@@ -1,0 +1,22 @@
+"""Bench E9 — the per-class glue of Theorem 5.1's proof."""
+
+import pytest
+
+from repro.experiments.classwise_bounds import format_table, run_classwise_bounds
+
+
+@pytest.fixture(scope="module")
+def classwise_rows():
+    rows = run_classwise_bounds(ds=(8, 16, 32), d_c=4, trials=3, seed=37)
+    print()
+    print("E9 (bench scale)")
+    print(format_table(rows))
+    return rows
+
+
+def test_bench_classwise(benchmark, classwise_rows):
+    rows = benchmark(run_classwise_bounds, ds=(8,), d_c=2, trials=1, seed=3)
+    assert rows
+    # Eq. 44 (ceiling form) and Eq. 336 are unconditional.
+    assert all(row.eq44_holds for row in classwise_rows)
+    assert all(row.averaging_gap < 1e-9 for row in classwise_rows)

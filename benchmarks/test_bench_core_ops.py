@@ -1,0 +1,45 @@
+"""Micro-benchmarks of the core operations (entropy, J-measure, KL form)."""
+
+import numpy as np
+import pytest
+
+from repro.core.jmeasure import j_measure, j_measure_kl
+from repro.core.random_relations import random_relation
+from repro.info.divergence import conditional_mutual_information
+from repro.info.entropy import joint_entropy
+from repro.jointrees.build import jointree_from_schema
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = np.random.default_rng(61)
+    relation = random_relation({"A": 50, "B": 50, "C": 10, "D": 10}, 20_000, rng)
+    tree = jointree_from_schema([{"A", "C"}, {"B", "C", "D"}, {"C", "D"}])
+    return relation, tree
+
+
+def test_bench_joint_entropy(benchmark, workload):
+    relation, _ = workload
+    value = benchmark(joint_entropy, relation, ["A", "B"])
+    assert value > 0
+
+
+def test_bench_cmi(benchmark, workload):
+    relation, _ = workload
+    value = benchmark(
+        conditional_mutual_information, relation, ["A"], ["B"], ["C"]
+    )
+    assert value >= 0
+
+
+def test_bench_j_measure_entropy_form(benchmark, workload):
+    relation, tree = workload
+    value = benchmark(j_measure, relation, tree)
+    assert value >= 0
+
+
+def test_bench_j_measure_kl_form(benchmark, workload):
+    relation, tree = workload
+    value = benchmark(j_measure_kl, relation, tree)
+    # The two forms agree (Theorem 3.2).
+    assert value == pytest.approx(j_measure(relation, tree), abs=1e-8)

@@ -1,0 +1,37 @@
+"""Bench E8 — schema discovery quality (J vs rho, planted recovery)."""
+
+import pytest
+
+from repro.experiments.discovery_quality import (
+    format_recovery_table,
+    run_j_rho_correlation,
+    run_recovery,
+)
+
+
+@pytest.fixture(scope="module")
+def recovery_rows():
+    rows = run_recovery(seed=23)
+    print()
+    print("E8a (bench scale)")
+    print(format_recovery_table(rows))
+    return rows
+
+
+def test_bench_recovery(benchmark, recovery_rows):
+    rows = benchmark(run_recovery, noise_rates=(0.0,), seed=3)
+    assert rows[0].recovered
+    # Noise-free planted schemas are always recovered exactly.
+    assert recovery_rows[0].recovered
+    # Planted-schema J increases with the noise rate.
+    js = [row.planted_j for row in recovery_rows]
+    assert js == sorted(js)
+
+
+def test_bench_j_rho_correlation(benchmark):
+    result = benchmark(run_j_rho_correlation, instances=20, seed=29)
+    print()
+    print(f"E8b Spearman(J, rho) = {result.spearman:.3f} (p={result.p_value:.2e})")
+    # Reproduces [14]'s observation: strong positive rank correlation.
+    assert result.spearman > 0.7
+    assert result.p_value < 1e-3

@@ -1,0 +1,38 @@
+"""Bench E4 — entropy confidence (Theorem 5.2 / Proposition 5.4)."""
+
+import pytest
+
+from repro.experiments.upper_bound import (
+    format_entropy_table,
+    run_entropy_confidence,
+)
+
+
+@pytest.fixture(scope="module")
+def entropy_rows():
+    rows = run_entropy_confidence(
+        d_a=128, d_b=128, etas=(4096, 8192, 16384), trials=10, seed=11
+    )
+    print()
+    print("E4 / Thm 5.2 (bench scale)")
+    print(format_entropy_table(rows))
+    return rows
+
+
+def test_bench_entropy_confidence(benchmark, entropy_rows):
+    rows = benchmark(
+        run_entropy_confidence,
+        d_a=64,
+        d_b=64,
+        etas=(4096,),
+        trials=3,
+        seed=1,
+    )
+    assert rows[0].coverage == 1.0
+
+    # Shapes on the module-scale sweep: the deficit shrinks with eta and
+    # stays below the Prop 5.4 expected-value bound C(d_B).
+    deficits = [row.deficit_mean for row in entropy_rows]
+    assert deficits == sorted(deficits, reverse=True)
+    assert all(row.deficit_mean <= row.expected_bound for row in entropy_rows)
+    assert all(row.coverage == 1.0 for row in entropy_rows)

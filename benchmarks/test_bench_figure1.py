@@ -1,0 +1,36 @@
+"""Bench E1 — Figure 1: mutual information vs log(1+rho).
+
+Regenerates the paper's only figure at a bench-friendly scale and checks
+its shape: the MI scatter stays below the ``log(1+ρ̄)`` ceiling and the
+gap shrinks as ``d`` grows.  Run ``python -m repro.experiments.runner E1``
+for the full paper-scale sweep (d up to 1000).
+"""
+
+import pytest
+
+from repro.experiments.figure1 import format_table, run_figure1, shape_holds
+
+BENCH_DS = (50, 100, 200)
+
+
+@pytest.fixture(scope="module")
+def figure1_rows():
+    rows = run_figure1(ds=BENCH_DS, trials=2, seed=2023)
+    print()
+    print("E1 / Figure 1 (bench scale)")
+    print(format_table(rows))
+    return rows
+
+
+def test_bench_figure1(benchmark, figure1_rows):
+    rows = benchmark(run_figure1, ds=(50, 100), trials=1, seed=1)
+    assert len(rows) == 2
+    # Paper shape on the module-scale sweep.
+    assert shape_holds(figure1_rows)
+
+
+def test_bench_figure1_single_point(benchmark):
+    rows = benchmark(run_figure1, ds=(100,), trials=1, seed=5)
+    (row,) = rows
+    # MI is within 5% of its asymptote already at d=100 (paper's y-axis).
+    assert 0.9 * row.target <= row.mi_mean <= row.target + 1e-9

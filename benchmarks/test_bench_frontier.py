@@ -1,0 +1,29 @@
+"""Bench A4 — schema-frontier profiling (exhaustive enumeration)."""
+
+import numpy as np
+import pytest
+
+from repro.core.random_relations import random_relation
+from repro.discovery.frontier import format_frontier, pareto_front, schema_frontier
+
+
+@pytest.fixture(scope="module")
+def relation():
+    rng = np.random.default_rng(71)
+    return random_relation({"A": 5, "B": 5, "C": 3, "D": 2}, 60, rng)
+
+
+def test_bench_schema_frontier(benchmark, relation):
+    points = benchmark(schema_frontier, relation, compute_rho=False)
+    assert points
+    front = pareto_front(points)
+    print()
+    print(f"A4: {len(points)} hierarchical schemas, {len(front)} on the front")
+
+
+def test_bench_pareto_front(benchmark, relation):
+    points = schema_frontier(relation)
+    front = benchmark(pareto_front, points)
+    assert front
+    print()
+    print(format_frontier(front[:8]))

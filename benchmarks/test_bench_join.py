@@ -1,0 +1,42 @@
+"""Bench A1 — ablation: counting joins vs materializing them.
+
+``acyclic_join_size`` (message passing) must agree with the materialized
+join while scaling to instances whose join would be too large to build.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.random_relations import random_relation
+from repro.jointrees.build import jointree_from_schema
+from repro.relations.join import acyclic_join_size, materialized_acyclic_join
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = np.random.default_rng(41)
+    relation = random_relation({"A": 20, "B": 20, "C": 8}, 600, rng)
+    tree = jointree_from_schema([{"A", "C"}, {"B", "C"}])
+    return relation, tree
+
+
+def test_bench_count_join(benchmark, workload):
+    relation, tree = workload
+    size = benchmark(acyclic_join_size, relation, tree)
+    assert size >= len(relation)
+
+
+def test_bench_materialized_join(benchmark, workload):
+    relation, tree = workload
+    joined = benchmark(materialized_acyclic_join, relation, tree)
+    assert len(joined) == acyclic_join_size(relation, tree)
+
+
+def test_bench_count_join_large(benchmark):
+    # A join whose result (~2.4M tuples) should never be materialized:
+    # counting stays linear in N and the projection sizes.
+    rng = np.random.default_rng(43)
+    relation = random_relation({"A": 1200, "B": 1200, "C": 2}, 3000, rng)
+    tree = jointree_from_schema([{"A", "C"}, {"B", "C"}])
+    size = benchmark(acyclic_join_size, relation, tree)
+    assert size > 1_000_000

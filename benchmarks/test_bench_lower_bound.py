@@ -1,0 +1,34 @@
+"""Bench E2/E3 — the deterministic lower bound of Lemma 4.1."""
+
+import pytest
+
+from repro.experiments.lower_bound import (
+    format_gap_table,
+    format_tightness_table,
+    run_diagonal_tightness,
+    run_lower_bound_gap,
+)
+
+
+@pytest.fixture(scope="module")
+def gap_rows():
+    rows = run_lower_bound_gap(trials=3, seed=7)
+    print()
+    print("E3 / Lemma 4.1 (bench scale)")
+    print(format_gap_table(rows))
+    return rows
+
+
+def test_bench_diagonal_tightness(benchmark):
+    rows = benchmark(run_diagonal_tightness, (2, 10, 100, 1000))
+    print()
+    print("E2 / Example 4.1 (bench scale)")
+    print(format_tightness_table(rows))
+    # The bound is an equality on the diagonal family.
+    assert all(abs(row.gap) < 1e-9 for row in rows)
+
+
+def test_bench_lower_bound_gap(benchmark, gap_rows):
+    rows = benchmark(run_lower_bound_gap, trials=1, seed=3)
+    assert all(row.holds for row in rows)
+    assert all(row.holds for row in gap_rows)

@@ -1,0 +1,34 @@
+"""Bench A2 — ablation: random-relation sampler strategies (Def. 5.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.random_relations import random_relation
+
+
+@pytest.mark.parametrize("method", ["permutation", "rejection"])
+def test_bench_sampler_sparse(benchmark, method):
+    # Sparse regime: N is 1% of the product domain.
+    rng = np.random.default_rng(47)
+    relation = benchmark(
+        random_relation, {"A": 500, "B": 500}, 2500, rng, method=method
+    )
+    assert len(relation) == 2500
+
+
+def test_bench_sampler_dense_complement(benchmark):
+    # Dense regime: 95% of the product domain; complement sampling.
+    rng = np.random.default_rng(53)
+    relation = benchmark(
+        random_relation, {"A": 100, "B": 100}, 9500, rng, method="complement"
+    )
+    assert len(relation) == 9500
+
+
+def test_bench_sampler_auto_large_domain(benchmark):
+    # Product domain of 10^8 cells: only rejection is feasible.
+    rng = np.random.default_rng(59)
+    relation = benchmark(
+        random_relation, {"A": 10_000, "B": 10_000}, 5_000, rng, method="auto"
+    )
+    assert len(relation) == 5_000

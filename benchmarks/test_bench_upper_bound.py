@@ -1,0 +1,31 @@
+"""Bench E5 — the MVD upper bound (Theorem 5.1)."""
+
+import pytest
+
+from repro.experiments.upper_bound import format_upper_table, run_mvd_upper_bound
+
+
+@pytest.fixture(scope="module")
+def upper_rows():
+    rows = run_mvd_upper_bound(ds=(16, 32, 64), d_c=4, trials=5, seed=13)
+    print()
+    print("E5 / Thm 5.1 (bench scale)")
+    print(format_upper_table(rows))
+    return rows
+
+
+def test_bench_mvd_upper_bound(benchmark, upper_rows):
+    rows = benchmark(run_mvd_upper_bound, ds=(16,), d_c=2, trials=2, seed=3)
+    assert rows
+
+    # Thm 5.1's event log(1+rho) <= I + eps* never fails (eps* is generous
+    # at laptop scale), while the bare bound log(1+rho) <= I does fail —
+    # exactly the paper's point that a deterministic upper bound in terms
+    # of I alone cannot hold.
+    assert all(row.bound_violation_rate == 0.0 for row in upper_rows)
+    assert any(row.bare_violation_rate > 0.0 for row in upper_rows)
+
+    # The CMI approaches log(1+rho) from below as d grows (Figure 1 shape
+    # in the conditional setting).
+    gaps = [row.log_loss_mean - row.cmi_mean for row in upper_rows]
+    assert gaps[-1] < gaps[0]

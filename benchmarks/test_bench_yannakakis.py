@@ -1,0 +1,39 @@
+"""Bench A5 — Yannakakis evaluation vs naive multiway join."""
+
+import numpy as np
+import pytest
+
+from repro.core.random_relations import random_relation
+from repro.jointrees.build import jointree_from_schema
+from repro.relations.join import natural_join_all
+from repro.relations.yannakakis import evaluate_acyclic_join
+
+
+@pytest.fixture(scope="module")
+def chain_instance():
+    rng = np.random.default_rng(73)
+    tree = jointree_from_schema(
+        [{"A", "B"}, {"B", "C"}, {"C", "D"}, {"D", "E"}]
+    )
+    relations = {
+        0: random_relation({"A": 30, "B": 30}, 250, rng),
+        1: random_relation({"B": 30, "C": 30}, 250, rng),
+        2: random_relation({"C": 30, "D": 30}, 250, rng),
+        3: random_relation({"D": 30, "E": 30}, 250, rng),
+    }
+    return tree, relations
+
+
+def test_bench_yannakakis(benchmark, chain_instance):
+    tree, relations = chain_instance
+    result = benchmark(evaluate_acyclic_join, relations, tree)
+    naive = natural_join_all([relations[k] for k in sorted(relations)])
+    assert len(result) == len(naive)
+
+
+def test_bench_naive_join(benchmark, chain_instance):
+    __, relations = chain_instance
+    result = benchmark(
+        natural_join_all, [relations[k] for k in sorted(relations)]
+    )
+    assert result is not None

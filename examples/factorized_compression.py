@@ -1,0 +1,72 @@
+"""Factorization as lossy compression with integrity bounds.
+
+The paper's introduction motivates bounding spurious tuples for systems
+that use schema factorization as *compression* while wishing to maintain
+data integrity (Olteanu & Zavodny [22]).  This example quantifies that
+trade-off: storing the projections of an acyclic schema instead of the
+universal relation saves cells, while the join introduces spurious
+tuples.  Lemma 4.1 turns the (cheap) J-measure into a certified floor on
+that integrity loss, so the trade-off can be judged *before* joining.
+
+Run:  python examples/factorized_compression.py
+"""
+
+import numpy as np
+
+from repro import (
+    analyze,
+    jointree_from_schema,
+    random_relation,
+)
+from repro.datasets import perturb, planted_mvd_relation
+
+
+def storage_cells(relation, tree) -> tuple[int, int]:
+    """(cells of the universal relation, cells of the factorized form)."""
+    original = len(relation) * relation.schema.arity
+    factorized = sum(
+        len(relation.project(relation.schema.canonical_order(bag))) * len(bag)
+        for bag in tree.schema()
+    )
+    return original, factorized
+
+
+def show(label: str, relation, tree) -> None:
+    report = analyze(relation, tree)
+    original, factorized = storage_cells(relation, tree)
+    ratio = factorized / original
+    print(
+        f"{label:>22}: N={report.n:>5}  cells {original:>6} -> {factorized:>6} "
+        f"({ratio:>5.1%})  J={report.j_entropy:>7.4f}  "
+        f"rho={report.rho:>7.4f}  floor={report.rho_lower_bound:>7.4f}"
+    )
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    tree = jointree_from_schema([{"A", "C"}, {"B", "C"}])
+
+    # 1. Perfectly factorizable data: big savings, zero loss.
+    exact = planted_mvd_relation(30, 30, 6, rng, group_size_a=12, group_size_b=12)
+    show("exact MVD", exact, tree)
+
+    # 2. The same data with increasing noise: savings persist, loss grows.
+    for rate in (0.01, 0.05, 0.2):
+        noisy = perturb(exact, rng, insert_rate=rate)
+        show(f"noise rate {rate:.0%}", noisy, tree)
+
+    # 3. Unstructured data: factorizing is a bad idea and J says so.
+    unstructured = random_relation({"A": 30, "B": 30, "C": 6}, 900, rng)
+    show("unstructured", unstructured, tree)
+
+    print()
+    print(
+        "Reading: the 'floor' column (e^J − 1, Lemma 4.1) certifies how\n"
+        "many spurious tuples per stored tuple any consumer of the\n"
+        "factorized form must tolerate — computable from entropies alone,\n"
+        "without ever executing the join."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Schema discovery on a denormalized sales table.
+
+The paper's motivating application (via Kenig et al. [14]): given a flat,
+denormalized table, automatically find an acyclic schema that
+*approximately* fits it.  We synthesize a small star-schema-like sales
+fact table — product determines category, store determines city — then
+inject dirty rows (the real-world situation where exact dependencies
+fail) and mine schemas at increasing J thresholds.
+
+Expected output shape: at threshold 0 only the dirty table's trivial
+schema survives; as the threshold grows the miner re-discovers the
+product/store hierarchies, trading a bounded number of spurious tuples
+(predicted by Lemma 4.1's floor) for a normalized layout.
+
+Run:  python examples/schema_discovery.py
+"""
+
+import numpy as np
+
+from repro import loss_lower_bound, mine_jointree
+from repro.datasets import insert_random_tuples, star_schema_table
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    # product → category and store → city hold exactly in the clean
+    # table, so {product·category, store·city, product·store}-style
+    # decompositions are nearly lossless.
+    clean = star_schema_table(rng)
+    dirty = insert_random_tuples(clean, 6, rng)  # a few bad rows
+
+    print(f"sales table: {len(dirty)} rows over {dirty.schema.names}")
+    print()
+    header = f"{'threshold':>10} {'bags':>42} {'J':>8} {'rho':>8} {'rho floor':>10}"
+    print(header)
+    print("-" * len(header))
+    for threshold in (1e-9, 0.05, 0.2, 0.5):
+        mined = mine_jointree(dirty, threshold=threshold)
+        bags = " ".join(
+            "{" + ",".join(sorted(b)) + "}"
+            for b in sorted(mined.bags, key=lambda b: sorted(b))
+        )
+        floor = loss_lower_bound(mined.j_value)
+        print(
+            f"{threshold:>10.2g} {bags:>42} {mined.j_value:>8.4f} "
+            f"{mined.rho:>8.4f} {floor:>10.4f}"
+        )
+    print()
+    print(
+        "Reading: larger thresholds buy more decomposition (smaller bags)\n"
+        "at the cost of spurious tuples; the 'rho floor' column is the\n"
+        "paper's Lemma 4.1 guarantee that no instance with this J can do\n"
+        "better."
+    )
+
+
+if __name__ == "__main__":
+    main()

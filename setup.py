@@ -1,0 +1,10 @@
+"""Setup shim.
+
+Kept so `pip install -e . --no-use-pep517` (legacy editable install) works
+in offline environments whose setuptools lacks the `wheel` package needed
+for PEP 660 editable wheels.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

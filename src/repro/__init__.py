@@ -1,0 +1,136 @@
+"""repro — Quantifying the Loss of Acyclic Join Dependencies.
+
+A reproduction of Kenig & Weinberger (PODS 2023): the J-measure of an
+acyclic schema equals the KL divergence between a relation's empirical
+distribution and its junction-tree factorization, and it bounds the number
+of spurious tuples from below deterministically (Lemma 4.1) and from above
+with high probability under the random relation model (Theorem 5.1).
+
+Quick start
+-----------
+>>> import numpy as np
+>>> from repro import analyze, jointree_from_schema, random_relation
+>>> r = random_relation({"A": 8, "B": 8, "C": 4}, 40, np.random.default_rng(0))
+>>> tree = jointree_from_schema([{"A", "C"}, {"B", "C"}])
+>>> report = analyze(r, tree)
+>>> report.rho >= np.expm1(report.j_entropy) - 1e-9   # Lemma 4.1
+True
+
+Subpackages
+-----------
+``repro.relations``      relational algebra (schemas, joins, counting)
+``repro.jointrees``      join trees, GYO, MVD support
+``repro.info``           empirical distributions, entropies, divergences
+``repro.concentration``  Appendix D probability tooling
+``repro.core``           J-measure, loss, bounds, random relation model
+``repro.datasets``       synthetic workloads and noise
+``repro.discovery``      approximate acyclic-schema mining
+``repro.experiments``    the paper's evaluation harness (Figure 1 etc.)
+"""
+
+from repro.core import (
+    LossAnalysis,
+    analyze,
+    entropy_confidence_radius,
+    epsilon_star,
+    expected_entropy_bounds,
+    is_lossless,
+    j_measure,
+    j_measure_kl,
+    j_measure_upper_bound,
+    loss_lower_bound,
+    mi_lower_confidence,
+    product_bound_check,
+    random_mvd_relation,
+    random_relation,
+    sandwich_bounds,
+    satisfies_ajd,
+    schema_upper_bound,
+    split_loss,
+    spurious_count,
+    spurious_loss,
+    support_cmis,
+    support_split_losses,
+)
+from repro.discovery import mine_jointree
+from repro.info import (
+    EmpiricalDistribution,
+    conditional_mutual_information,
+    joint_entropy,
+    junction_tree_factorization,
+    kl_divergence,
+    models_tree,
+    mutual_information,
+)
+from repro.jointrees import (
+    MVD,
+    JoinTree,
+    chain_jointree,
+    edge_support,
+    is_acyclic,
+    jointree_from_mvd,
+    jointree_from_schema,
+    star_jointree,
+)
+from repro.relations import (
+    Relation,
+    RelationSchema,
+    acyclic_join_size,
+    join_size,
+    natural_join,
+    natural_join_all,
+    read_csv,
+    write_csv,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EmpiricalDistribution",
+    "JoinTree",
+    "LossAnalysis",
+    "MVD",
+    "Relation",
+    "RelationSchema",
+    "__version__",
+    "acyclic_join_size",
+    "analyze",
+    "chain_jointree",
+    "conditional_mutual_information",
+    "edge_support",
+    "entropy_confidence_radius",
+    "epsilon_star",
+    "expected_entropy_bounds",
+    "is_acyclic",
+    "is_lossless",
+    "j_measure",
+    "j_measure_kl",
+    "j_measure_upper_bound",
+    "join_size",
+    "joint_entropy",
+    "jointree_from_mvd",
+    "jointree_from_schema",
+    "junction_tree_factorization",
+    "kl_divergence",
+    "loss_lower_bound",
+    "mi_lower_confidence",
+    "mine_jointree",
+    "models_tree",
+    "mutual_information",
+    "natural_join",
+    "natural_join_all",
+    "product_bound_check",
+    "random_mvd_relation",
+    "random_relation",
+    "read_csv",
+    "sandwich_bounds",
+    "satisfies_ajd",
+    "schema_upper_bound",
+    "split_loss",
+    "spurious_count",
+    "spurious_loss",
+    "star_jointree",
+    "support_cmis",
+    "support_split_losses",
+    "write_csv",
+]

@@ -1,0 +1,132 @@
+"""Command-line interface: analyze tables, mine schemas, run experiments.
+
+Installed as ``repro-ajd`` (see pyproject).  Subcommands:
+
+* ``analyze <csv> --schema "A,B;B,C"`` — full loss analysis of a CSV table
+  under a user-supplied acyclic schema;
+* ``mine <csv> [--threshold T]``       — discover a low-J acyclic schema;
+* ``experiment <id>|all``              — run a paper experiment (E1–E8);
+* ``version``                          — print the package version.
+"""
+
+from __future__ import annotations
+
+import argparse
+from collections.abc import Sequence
+
+from repro.core.analysis import analyze
+from repro.discovery.miner import mine_jointree
+from repro.errors import ReproError
+from repro.jointrees.build import jointree_from_schema
+from repro.relations.io import infer_integer_domains, read_csv
+
+
+def _parse_schema(text: str) -> list[set[str]]:
+    """Parse ``"A,B;B,C"`` into ``[{"A","B"}, {"B","C"}]``."""
+    bags = []
+    for part in text.split(";"):
+        attrs = {a.strip() for a in part.split(",") if a.strip()}
+        if attrs:
+            bags.append(attrs)
+    if not bags:
+        raise ReproError(f"could not parse any schema bags from {text!r}")
+    return bags
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    relation = infer_integer_domains(read_csv(args.csv))
+    tree = jointree_from_schema(_parse_schema(args.schema))
+    report = analyze(relation, tree, delta=args.delta)
+    print(report.render())
+    return 0
+
+
+def _cmd_mine(args: argparse.Namespace) -> int:
+    relation = infer_integer_domains(read_csv(args.csv))
+    mined = mine_jointree(
+        relation,
+        threshold=args.threshold,
+        max_separator_size=args.max_separator,
+    )
+    print("mined schema:")
+    for bag in sorted(mined.bags, key=lambda b: sorted(b)):
+        print("  {" + ", ".join(sorted(bag)) + "}")
+    print(f"J-measure: {mined.j_value:.6g} nats")
+    print(f"loss rho : {mined.rho:.6g}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import runner
+
+    return runner.main([args.id])
+
+
+def _cmd_version(_: argparse.Namespace) -> int:
+    import repro
+
+    print(repro.__version__)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-ajd",
+        description="Quantify the loss of acyclic join dependencies.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_analyze = sub.add_parser("analyze", help="analyze a CSV under a schema")
+    p_analyze.add_argument("csv", help="path to a CSV file with a header row")
+    p_analyze.add_argument(
+        "--schema",
+        required=True,
+        help="acyclic schema as semicolon-separated comma lists, e.g. 'A,B;B,C'",
+    )
+    p_analyze.add_argument(
+        "--delta",
+        type=float,
+        default=None,
+        help="failure budget for the probabilistic bounds (omit to skip)",
+    )
+    p_analyze.set_defaults(func=_cmd_analyze)
+
+    p_mine = sub.add_parser("mine", help="discover a low-J acyclic schema")
+    p_mine.add_argument("csv", help="path to a CSV file with a header row")
+    p_mine.add_argument(
+        "--threshold",
+        type=float,
+        default=1e-9,
+        help="maximum CMI (nats) an accepted split may incur",
+    )
+    p_mine.add_argument(
+        "--max-separator",
+        type=int,
+        default=2,
+        help="maximum separator size searched",
+    )
+    p_mine.set_defaults(func=_cmd_mine)
+
+    p_exp = sub.add_parser("experiment", help="run a paper experiment")
+    p_exp.add_argument("id", help="experiment id (E1..E8) or 'all'")
+    p_exp.set_defaults(func=_cmd_experiment)
+
+    p_version = sub.add_parser("version", help="print the package version")
+    p_version.set_defaults(func=_cmd_version)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        parser.exit(2, f"error: {exc}\n")
+        return 2  # pragma: no cover - parser.exit raises
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

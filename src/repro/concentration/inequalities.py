@@ -1,0 +1,178 @@
+"""Elementary inequalities and special functions from Appendix D.
+
+These small functions appear throughout the paper's proofs and bounds:
+
+* ``h(t) = t·log(1+t)`` (Eq. 57) — the rate function of Proposition 5.5;
+* ``C(d) = 2·log(d)/√d`` (Eq. 45) — the expected-entropy deficit bound;
+* ``g(t) = −t·log t`` and its Lipschitz surrogates ``ĝ_ζ`` (Eq. 209) and
+  ``g̃_η`` (Eq. 219);
+* ``f_ζ(w)`` (Eq. 261) — the positive surrogate used to bound ``Ent(W)``;
+* the log-sum inequality (Lemma D.8);
+* ``|g(t) − g(s)| ≤ 2·g(|s − t|)`` (Lemma D.2);
+* Lemma D.6: ``x ≥ y·log y  ⇒  x/log x ≥ y``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from repro.errors import BoundConditionError
+
+
+def h_rate(t: float) -> float:
+    """``h(t) = t·log(1 + t)`` for ``t ≥ 0`` (Eq. 57).
+
+    Examples
+    --------
+    >>> h_rate(0.0)
+    0.0
+    >>> round(h_rate(1.0), 6)
+    0.693147
+    """
+    if t < 0:
+        raise BoundConditionError(f"h(t) needs t >= 0, got {t}")
+    return t * math.log1p(t)
+
+
+def expected_entropy_deficit(d: float) -> float:
+    """``C(d) = 2·log(d)/√d`` (Eq. 45).
+
+    Upper-bounds ``log d_A − E[H(A_S)]`` in Proposition 5.4 when evaluated
+    at the *other* side's domain size.
+    """
+    if d < 1:
+        raise BoundConditionError(f"C(d) needs d >= 1, got {d}")
+    return 2.0 * math.log(d) / math.sqrt(d)
+
+
+def neg_xlogx(t: float) -> float:
+    """``g(t) = −t·log t`` with the continuous extension ``g(0) = 0``."""
+    if t < 0:
+        raise BoundConditionError(f"g(t) needs t >= 0, got {t}")
+    if t == 0.0:
+        return 0.0
+    return -t * math.log(t)
+
+
+def clipped_neg_xlogx(t: float, zeta: float) -> float:
+    """``ĝ_ζ(t)`` (Eq. 209): a ``log(ζ/e)``-Lipschitz surrogate of ``g``.
+
+    Linear with slope ``log(ζ/e)`` on ``[0, 1/ζ]`` (offset ``1/ζ`` keeps it
+    continuous), equal to ``g(t) = −t·log t`` for ``t ≥ 1/ζ``.  Requires
+    ``ζ ≥ e``.  Satisfies ``max_{t∈[0,1]} |ĝ_ζ(t) − g(t)| = 1/ζ``
+    (Eq. 210).
+    """
+    if zeta < math.e:
+        raise BoundConditionError(f"ĝ_ζ needs ζ >= e, got {zeta}")
+    if t < 0:
+        raise BoundConditionError(f"ĝ_ζ(t) needs t >= 0, got {t}")
+    if t <= 1.0 / zeta:
+        return t * math.log(zeta / math.e) + 1.0 / zeta
+    return -t * math.log(t)
+
+
+def capped_neg_xlogx(t: float, eta: float) -> float:
+    """``g̃_η(t)`` (Eq. 219): ``ĝ_η`` capped at its maximum past ``t = 1/e``.
+
+    Tracks ``ĝ_η(t)`` on ``[0, 1/e]`` and stays at ``ĝ_η(1/e) = 1/e``
+    afterwards, making it Lipschitz on all of ``[0, ∞)``.
+    """
+    if t < 0:
+        raise BoundConditionError(f"g̃_η(t) needs t >= 0, got {t}")
+    cutoff = 1.0 / math.e
+    if t <= cutoff:
+        return clipped_neg_xlogx(t, eta)
+    return clipped_neg_xlogx(cutoff, eta)
+
+
+def positive_floor_surrogate(w: int, zeta: float) -> float:
+    """``f_ζ(w)`` (Eq. 261): ``1/ζ`` at ``w = 0``, else ``w``.
+
+    A strictly positive surrogate of the identity on ℕ, used with the
+    Poisson LSI to bound ``Ent(W) ≤ 4`` in Lemma B.5.  Requires ``ζ > 2``.
+    """
+    if zeta <= 2:
+        raise BoundConditionError(f"f_ζ needs ζ > 2, got {zeta}")
+    if w < 0:
+        raise BoundConditionError(f"f_ζ(w) needs w >= 0, got {w}")
+    return 1.0 / zeta if w == 0 else float(w)
+
+
+def log_sum_inequality_sides(
+    a: Sequence[float], b: Sequence[float]
+) -> tuple[float, float]:
+    """Both sides of the log-sum inequality (Lemma D.8).
+
+    Returns ``(lhs, rhs)`` with
+    ``lhs = (Σaᵢ)·log(Σaᵢ/Σbᵢ) ≤ rhs = Σ aᵢ·log(aᵢ/bᵢ)``.
+    Uses the conventions ``0·log(0/b) = 0`` and ``a·log(a/0) = ∞``.
+    """
+    if len(a) != len(b):
+        raise BoundConditionError("log-sum inequality needs aligned sequences")
+    if any(x < 0 for x in a) or any(x < 0 for x in b):
+        raise BoundConditionError("log-sum inequality needs non-negative terms")
+    sum_a = sum(a)
+    sum_b = sum(b)
+    if sum_a == 0.0:
+        lhs = 0.0
+    elif sum_b == 0.0:
+        lhs = math.inf
+    else:
+        lhs = sum_a * math.log(sum_a / sum_b)
+    rhs = 0.0
+    for ai, bi in zip(a, b):
+        if ai == 0.0:
+            continue
+        if bi == 0.0:
+            rhs = math.inf
+            break
+        rhs += ai * math.log(ai / bi)
+    return lhs, rhs
+
+
+def g_difference_bound(t: float, s: float) -> tuple[float, float]:
+    """Lemma D.2 (second part): ``|g(t) − g(s)| ≤ 2·g(|s − t|)``.
+
+    Returns ``(|g(t) − g(s)|, 2·g(|s − t|))`` for ``t, s ∈ [0, 1]`` with
+    ``|s − t| ≤ 1/2``.
+
+    **Erratum.** The paper states the inequality for all ``s, t ∈ [0, 1]``,
+    but it fails for ``|s − t|`` close to 1 (e.g. ``t = 0.025, s = 1``
+    gives ``lhs ≈ 0.092 > rhs ≈ 0.049``): the proof's case-2 step
+    ``2(s−t) ≤ 2(s−t)·log(1/(s−t))`` needs ``s − t ≤ 1/e``.  The paper
+    only ever applies the bound with ``|s − t| ≤ √(2/d_B) ≤ 1/2``
+    (Lemma B.3), where it is valid — so this function enforces that
+    regime.  See EXPERIMENTS.md §Errata.
+    """
+    for value in (t, s):
+        if not 0.0 <= value <= 1.0:
+            raise BoundConditionError(
+                f"the g-difference bound needs arguments in [0, 1]; got {value}"
+            )
+    if abs(s - t) > 0.5:
+        raise BoundConditionError(
+            f"the g-difference bound is valid for |s − t| <= 1/2; "
+            f"got |{s} − {t}| = {abs(s - t)} (see the Lemma D.2 erratum)"
+        )
+    lhs = abs(neg_xlogx(t) - neg_xlogx(s))
+    rhs = 2.0 * neg_xlogx(abs(s - t))
+    return lhs, rhs
+
+
+def inverse_x_over_logx(y: float) -> float:
+    """Lemma D.6 (repaired): a witness ``x`` with ``x/log x ≥ y``.
+
+    Returns ``x = 2·y·log y``, which satisfies the conclusion for all
+    ``y ≥ 2``.
+
+    **Erratum.** The paper's witness ``x = y·log y`` does *not* satisfy
+    ``x/log x ≥ y`` for ``y > e`` (e.g. ``y = 5`` gives
+    ``x/log x ≈ 3.86 < 5``): ``log(y·log y) = log y + log log y > log y``.
+    Doubling the witness repairs it — ``2y·log y / log(2y·log y) ≥ y``
+    holds whenever ``y ≥ 2·log y``, i.e. for all ``y ≥ 2`` — at the cost
+    of a factor 2 inside condition (287).  See EXPERIMENTS.md §Errata.
+    """
+    if y < 2.0:
+        raise BoundConditionError(f"Lemma D.6 (repaired) needs y >= 2, got {y}")
+    return 2.0 * y * math.log(y)

@@ -1,0 +1,145 @@
+"""Bernoulli logarithmic Sobolev inequality and Efron–Stein variance.
+
+Lemma D.1: for i.i.d. ``±1`` variables with ``P[R(j)=1] = p`` and any
+``g : {−1,1}^d → ℝ``,
+
+    Ent(g²) ≤ (1/(1−2p))·log((1−p)/p) · E(g),
+
+where ``E(g)`` is the Efron–Stein variance (Eq. 340), which carries the
+``p(1−p)`` factor.  Also Lemma D.2's relative Chernoff bound for binomial
+averages.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import BoundConditionError
+
+#: Maximum dimension for exact (2^d enumeration) Efron–Stein evaluation.
+MAX_EXACT_DIMENSION = 20
+
+
+def bernoulli_lsi_constant(p: float) -> float:
+    """The LSI pre-factor ``(1/(1−2p))·log((1−p)/p)``.
+
+    Continuously extended to ``p = 1/2``, where the limit is 2.
+    """
+    if not 0.0 < p < 1.0:
+        raise BoundConditionError(f"p must lie in (0, 1), got {p}")
+    if abs(p - 0.5) < 1e-9:
+        return 2.0
+    return math.log((1.0 - p) / p) / (1.0 - 2.0 * p)
+
+
+def _sign_vectors(d: int):
+    return itertools.product((-1, 1), repeat=d)
+
+
+def _vector_probability(signs: Sequence[int], p: float) -> float:
+    ones = sum(1 for s in signs if s == 1)
+    return (p ** ones) * ((1.0 - p) ** (len(signs) - ones))
+
+
+def efron_stein_variance_exact(
+    g: Callable[[Sequence[int]], float], p: float, d: int
+) -> float:
+    """Exact Efron–Stein variance ``E(g)`` (Eq. 340) by enumeration.
+
+    ``E(g) = p(1−p)·E[Σⱼ (g(R) − g(R^{(j)}))²]`` where ``R^{(j)}`` flips
+    coordinate ``j``.  Exponential in ``d``; limited to
+    ``d ≤ MAX_EXACT_DIMENSION``.
+    """
+    _validate_p_d(p, d)
+    if d > MAX_EXACT_DIMENSION:
+        raise BoundConditionError(
+            f"exact Efron–Stein enumeration limited to d <= {MAX_EXACT_DIMENSION}"
+        )
+    total = 0.0
+    for signs in _sign_vectors(d):
+        prob = _vector_probability(signs, p)
+        base = g(signs)
+        for j in range(d):
+            flipped = signs[:j] + (-signs[j],) + signs[j + 1:]
+            diff = base - g(flipped)
+            total += prob * diff * diff
+    return p * (1.0 - p) * total
+
+
+def efron_stein_variance_mc(
+    g: Callable[[Sequence[int]], float],
+    p: float,
+    d: int,
+    *,
+    samples: int,
+    rng: np.random.Generator,
+) -> float:
+    """Monte-Carlo Efron–Stein variance for larger dimensions."""
+    _validate_p_d(p, d)
+    if samples <= 0:
+        raise BoundConditionError(f"samples must be positive, got {samples}")
+    total = 0.0
+    for _ in range(samples):
+        signs = tuple(np.where(rng.random(d) < p, 1, -1).tolist())
+        base = g(signs)
+        inner = 0.0
+        for j in range(d):
+            flipped = signs[:j] + (-signs[j],) + signs[j + 1:]
+            diff = base - g(flipped)
+            inner += diff * diff
+        total += inner
+    return p * (1.0 - p) * total / samples
+
+
+def bernoulli_functional_entropy_exact(
+    g: Callable[[Sequence[int]], float], p: float, d: int
+) -> float:
+    """Exact ``Ent(g²)`` under the product Bernoulli(±1, p) measure."""
+    _validate_p_d(p, d)
+    if d > MAX_EXACT_DIMENSION:
+        raise BoundConditionError(
+            f"exact entropy enumeration limited to d <= {MAX_EXACT_DIMENSION}"
+        )
+    mean_sq = 0.0
+    mean_sq_log = 0.0
+    for signs in _sign_vectors(d):
+        prob = _vector_probability(signs, p)
+        sq = g(signs) ** 2
+        mean_sq += prob * sq
+        if sq > 0.0:
+            mean_sq_log += prob * sq * math.log(sq)
+    if mean_sq <= 0.0:
+        return 0.0
+    return max(mean_sq_log - mean_sq * math.log(mean_sq), 0.0)
+
+
+def bernoulli_lsi_bound(
+    g: Callable[[Sequence[int]], float], p: float, d: int
+) -> float:
+    """Lemma D.1 right-hand side: ``constant(p) · E(g)`` (exact mode)."""
+    return bernoulli_lsi_constant(p) * efron_stein_variance_exact(g, p, d)
+
+
+def relative_chernoff_tail(n: int, p: float, xi: float) -> float:
+    """Lemma D.2 (first part): relative Chernoff bound for binomials.
+
+    ``P[|n⁻¹ΣBᵢ − p| ≥ ξp] ≤ 2·exp(−ξ²pn/3)`` for ``ξ ∈ [0, 1]``.
+    """
+    if n <= 0:
+        raise BoundConditionError(f"n must be positive, got {n}")
+    if not 0.0 < p < 1.0:
+        raise BoundConditionError(f"p must lie in (0, 1), got {p}")
+    if not 0.0 <= xi <= 1.0:
+        raise BoundConditionError(f"ξ must lie in [0, 1], got {xi}")
+    return min(1.0, 2.0 * math.exp(-xi * xi * p * n / 3.0))
+
+
+def _validate_p_d(p: float, d: int) -> None:
+    if not 0.0 < p < 1.0:
+        raise BoundConditionError(f"p must lie in (0, 1), got {p}")
+    if d <= 0:
+        raise BoundConditionError(f"dimension must be positive, got {d}")

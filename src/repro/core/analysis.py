@@ -1,0 +1,141 @@
+"""One-call loss analysis: everything the paper says about ``(R, S)``.
+
+:func:`analyze` computes the combinatorial loss, the J-measure in both of
+its equivalent forms, the Theorem 2.2 sandwich, the deterministic lower
+bound of Lemma 4.1, the per-split losses with the product bound of
+Proposition 5.1, and — when a failure probability ``δ`` is supplied — the
+probabilistic upper bounds of Theorem 5.1 / Proposition 5.3.  The result
+renders as a readable report.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.bounds import (
+    ProductBoundCheck,
+    SchemaUpperBound,
+    StepwiseExpansionCheck,
+    loss_lower_bound,
+    product_bound_check,
+    schema_upper_bound,
+    stepwise_expansion_check,
+)
+from repro.core.jmeasure import SandwichBounds, j_measure, j_measure_kl, sandwich_bounds
+from repro.core.loss import SplitLoss, spurious_count, spurious_loss, support_split_losses
+from repro.jointrees.jointree import JoinTree
+from repro.relations.relation import Relation
+
+
+@dataclass(frozen=True)
+class LossAnalysis:
+    """Full loss profile of a relation under an acyclic schema.
+
+    All information quantities are in nats.
+    """
+
+    n: int
+    num_attributes: int
+    schema: tuple[frozenset[str], ...]
+    rho: float
+    spurious: int
+    j_entropy: float
+    j_kl: float
+    sandwich: SandwichBounds
+    rho_lower_bound: float
+    split_losses: tuple[SplitLoss, ...]
+    product_bound: ProductBoundCheck
+    stepwise_bound: StepwiseExpansionCheck
+    probabilistic: SchemaUpperBound | None = field(default=None)
+
+    @property
+    def lossless(self) -> bool:
+        """Whether the AJD holds exactly (no spurious tuples)."""
+        return self.spurious == 0
+
+    @property
+    def log_loss(self) -> float:
+        """``log(1 + ρ(R, S))`` — the quantity all bounds address."""
+        return math.log1p(self.rho)
+
+    def render(self) -> str:
+        """Multi-line human-readable report."""
+        lines = [
+            "Loss analysis (all information values in nats)",
+            f"  relation size N          : {self.n}",
+            f"  attributes               : {self.num_attributes}",
+            f"  schema bags              : "
+            + ", ".join("{" + ",".join(sorted(b)) + "}" for b in self.schema),
+            f"  spurious tuples          : {self.spurious}",
+            f"  loss rho(R,S)            : {self.rho:.6g}",
+            f"  log(1+rho)               : {self.log_loss:.6g}",
+            f"  J-measure (entropy form) : {self.j_entropy:.6g}",
+            f"  J-measure (KL form)      : {self.j_kl:.6g}",
+            f"  Thm 2.2 sandwich         : "
+            f"{self.sandwich.lower:.6g} <= J <= {self.sandwich.upper:.6g}"
+            f"  [{'ok' if self.sandwich.holds else 'VIOLATED'}]",
+            f"  Lemma 4.1 lower bound    : rho >= {self.rho_lower_bound:.6g}"
+            f"  [{'ok' if self.rho + 1e-9 >= self.rho_lower_bound else 'VIOLATED'}]",
+            f"  Prop 5.1 product bound   : "
+            f"{self.product_bound.lhs:.6g} <= {self.product_bound.rhs:.6g}"
+            f"  [{'ok' if self.product_bound.holds else 'fails (known erratum)'}]",
+            f"  stepwise expansion bound : "
+            f"{self.stepwise_bound.lhs:.6g} <= {self.stepwise_bound.rhs:.6g}"
+            f"  [{'ok' if self.stepwise_bound.holds else 'VIOLATED'}]",
+        ]
+        for split in self.split_losses:
+            sep = ",".join(sorted(split.separator)) or "∅"
+            lines.append(
+                f"    split #{split.index}: sep={{{sep}}} rho={split.rho:.6g}"
+            )
+        if self.probabilistic is not None:
+            p = self.probabilistic
+            regime = "in regime" if p.conditions_hold else "OUT OF REGIME"
+            lines.append(
+                f"  Prop 5.3 upper bounds    : "
+                f"log(1+rho)={p.actual:.6g} <= "
+                f"sum(I)+sum(eps)={p.cmi_sum_bound:.6g}, "
+                f"(m-1)J+sum(eps)={p.j_bound:.6g}  [{regime}]"
+            )
+        return "\n".join(lines)
+
+
+def analyze(
+    relation: Relation,
+    jointree: JoinTree,
+    *,
+    delta: float | None = None,
+) -> LossAnalysis:
+    """Compute the full loss profile of ``relation`` under ``jointree``.
+
+    Parameters
+    ----------
+    relation:
+        The universal relation instance ``R``.
+    jointree:
+        A join tree over exactly the relation's attributes.
+    delta:
+        If given, also evaluate the probabilistic upper bounds of
+        Proposition 5.3 at failure budget ``δ``.
+    """
+    rho = spurious_loss(relation, jointree)
+    j_ent = j_measure(relation, jointree)
+    probabilistic = (
+        schema_upper_bound(relation, jointree, delta) if delta is not None else None
+    )
+    return LossAnalysis(
+        n=len(relation),
+        num_attributes=relation.schema.arity,
+        schema=tuple(sorted(jointree.schema(), key=lambda b: sorted(b))),
+        rho=rho,
+        spurious=spurious_count(relation, jointree),
+        j_entropy=j_ent,
+        j_kl=j_measure_kl(relation, jointree),
+        sandwich=sandwich_bounds(relation, jointree),
+        rho_lower_bound=loss_lower_bound(j_ent),
+        split_losses=support_split_losses(relation, jointree),
+        product_bound=product_bound_check(relation, jointree),
+        stepwise_bound=stepwise_expansion_check(relation, jointree),
+        probabilistic=probabilistic,
+    )

@@ -1,0 +1,487 @@
+"""All quantitative bounds of the paper, as checkable functions.
+
+Each bound returns a :class:`BoundReport` (or a small dedicated dataclass)
+carrying the numeric value, whether the theorem's *qualifying condition*
+holds for the supplied parameters, and the condition's threshold.  Nothing
+is silently extrapolated: callers can see when they are outside a
+theorem's regime.  Passing ``strict=True`` raises
+:class:`~repro.errors.BoundConditionError` instead.
+
+Everything is in **nats**.
+
+Implemented bounds
+------------------
+* Lemma 4.1    — deterministic lower bound ``ρ ≥ e^J − 1``.
+* Prop. 5.1    — product bound ``log(1+ρ(R,S)) ≤ Σ log(1+ρ(R,φᵢ))``.
+* Prop. 5.4    — expected entropy deficit ``≤ C(d_B) = 2·log d_B/√d_B``.
+* Thm. 5.2     — entropy confidence ``log d_A − H(A_S) ≤ 20√(d_A log³(η/δ)/η)``.
+* Cor. 5.2.1   — MI lower confidence ``I ≥ log(1+ρ̄) − 40√(d_A log³(2η/δ)/η)``.
+* Thm. 5.1     — ``log(1+ρ) ≤ I(A;B|C) + ε*`` with
+  ``ε* = 60√(d_A·d·log³(6Nd_C/δ)/N)``.
+* Prop. 5.3    — schema-level union bound (Eqs. 33–34).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.concentration.inequalities import expected_entropy_deficit
+from repro.errors import BoundConditionError
+from repro.jointrees.jointree import JoinTree
+from repro.relations.relation import Relation
+
+
+@dataclass(frozen=True)
+class BoundReport:
+    """A bound value together with its qualifying condition status.
+
+    Attributes
+    ----------
+    value:
+        The numeric bound (nats where applicable).
+    condition_holds:
+        Whether the theorem's qualifying condition is met.
+    required:
+        The condition's threshold (e.g. minimal ``N``); ``nan`` when the
+        bound is unconditional.
+    description:
+        Human-readable provenance (theorem number and formula).
+    """
+
+    value: float
+    condition_holds: bool
+    required: float
+    description: str
+
+
+def _check_strict(report: BoundReport, strict: bool) -> BoundReport:
+    if strict and not report.condition_holds:
+        raise BoundConditionError(
+            f"{report.description}: qualifying condition fails "
+            f"(threshold {report.required:.6g})"
+        )
+    return report
+
+
+def _validate_delta(delta: float) -> None:
+    if not 0.0 < delta < 1.0:
+        raise BoundConditionError(f"delta must lie in (0, 1), got {delta}")
+
+
+# ----------------------------------------------------------------------
+# Lemma 4.1 — the deterministic lower bound
+# ----------------------------------------------------------------------
+def loss_lower_bound(j_nats: float) -> float:
+    """Lemma 4.1 rearranged: ``ρ(R, S) ≥ e^{J(T)} − 1``.
+
+    Tight for the diagonal family of Example 4.1.
+    """
+    if j_nats < 0:
+        raise BoundConditionError(f"J must be non-negative, got {j_nats}")
+    return math.expm1(j_nats)
+
+
+def j_measure_upper_bound(rho: float) -> float:
+    """Lemma 4.1 as stated: ``J(T) ≤ log(1 + ρ(R, S))``."""
+    if rho < 0:
+        raise BoundConditionError(f"ρ must be non-negative, got {rho}")
+    return math.log1p(rho)
+
+
+# ----------------------------------------------------------------------
+# Proposition 5.1 — product bound over the support
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ProductBoundCheck:
+    """Both sides of Proposition 5.1 for a concrete relation and tree.
+
+    ``lhs = log(1 + ρ(R,S))`` and ``rhs = Σᵢ log(1 + ρ(R,φᵢ))``; the
+    proposition asserts ``lhs ≤ rhs``.
+
+    **Erratum.** Proposition 5.1 is *false as stated*: with ``ρ(R, φᵢ)``
+    defined by Eq. 28 (join of two projections of ``R``), the relation
+    ``R = {0000, 0001, 0100, 1110}`` over the chain schema
+    ``{AB, BC, CD}`` gives ``1+ρ(S) = 2 > 1.5·1.25``, for *every* rooting
+    of the tree.  The inductive proof treats projections of the
+    accumulated join as projections of ``R``.  The inequality does hold
+    for ``m = 2`` (trivially, with equality) and empirically holds on the
+    vast majority of instances; use :func:`stepwise_expansion_check` for
+    the provably correct replacement.  See EXPERIMENTS.md §Errata.
+    """
+
+    lhs: float
+    rhs: float
+    split_losses: tuple[float, ...]
+
+    @property
+    def holds(self) -> bool:
+        """Whether the inequality holds on this instance (with float slack).
+
+        May legitimately be ``False`` — see the class erratum note.
+        """
+        return self.lhs <= self.rhs + 1e-9 * max(1.0, abs(self.rhs))
+
+
+def product_bound_check(relation: Relation, jointree: JoinTree) -> ProductBoundCheck:
+    """Evaluate Proposition 5.1 on a concrete instance (see erratum)."""
+    from repro.core.loss import spurious_loss, support_split_losses
+
+    rho = spurious_loss(relation, jointree)
+    splits = support_split_losses(relation, jointree)
+    split_rhos = tuple(s.rho for s in splits)
+    return ProductBoundCheck(
+        lhs=math.log1p(rho),
+        rhs=sum(math.log1p(r) for r in split_rhos),
+        split_losses=split_rhos,
+    )
+
+
+@dataclass(frozen=True)
+class StepwiseExpansionCheck:
+    """The provably correct replacement for Proposition 5.1.
+
+    Let ``J_i = ⋈_{j≤i} R[Ω_j]`` over a depth-first enumeration of the
+    tree's bags.  Then ``|J_m| = |J_1|·∏_{i≥2} (|J_i|/|J_{i−1}|)`` and
+    ``|J_1| ≤ N``, so
+
+        ``log(1 + ρ(R, S)) ≤ Σ_{i≥2} log(|J_i| / |J_{i−1}|)``
+
+    holds *unconditionally* (a telescoping identity plus ``|J_1| ≤ N``).
+    The per-step ratios play the role the paper intended for
+    ``1 + ρ(R, φᵢ)``.
+    """
+
+    lhs: float
+    rhs: float
+    step_ratios: tuple[float, ...]
+    prefix_sizes: tuple[int, ...]
+
+    @property
+    def holds(self) -> bool:
+        """Always true up to float slack; exposed for uniformity."""
+        return self.lhs <= self.rhs + 1e-9 * max(1.0, abs(self.rhs))
+
+
+def stepwise_expansion_check(
+    relation: Relation, jointree: JoinTree, *, root: int | None = None
+) -> StepwiseExpansionCheck:
+    """Evaluate the stepwise-expansion bound on a concrete instance.
+
+    Prefix join sizes ``|J_i|`` are computed by message passing on the
+    induced subtree of the first ``i`` DFS nodes (always a valid join
+    tree), so nothing is materialized.
+    """
+    from repro.core.loss import spurious_loss
+    from repro.relations.join import acyclic_join_size
+
+    order = jointree.dfs_order(root)
+    parent = jointree.parents(root)
+    sizes: list[int] = []
+    for i in range(1, len(order) + 1):
+        prefix_nodes = order[:i]
+        bags = {node: jointree.bag(node) for node in prefix_nodes}
+        edges = [
+            (parent[node], node) for node in prefix_nodes[1:]
+        ]
+        subtree = JoinTree(bags, edges)
+        sizes.append(acyclic_join_size(relation, subtree))
+    ratios = tuple(
+        sizes[i] / sizes[i - 1] for i in range(1, len(sizes))
+    )
+    lhs = math.log1p(spurious_loss(relation, jointree))
+    rhs = sum(math.log(r) for r in ratios if r > 0)
+    return StepwiseExpansionCheck(
+        lhs=lhs,
+        rhs=rhs,
+        step_ratios=ratios,
+        prefix_sizes=tuple(sizes),
+    )
+
+
+# ----------------------------------------------------------------------
+# Proposition 5.4 — expected entropy
+# ----------------------------------------------------------------------
+def expected_entropy_bounds(
+    d_a: int, d_b: int, eta: int, *, strict: bool = False
+) -> BoundReport:
+    """Prop. 5.4: ``0 ≤ log d_A − E[H(A_S)] ≤ C(d_B)``.
+
+    Returns the deficit bound ``C(d_B) = 2·log(d_B)/√d_B`` with the
+    qualifying condition ``η ≥ 60·d_A`` (and ``d_A ≥ d_B``).
+    """
+    _validate_sizes(d_a=d_a, d_b=d_b)
+    required = 60.0 * d_a
+    report = BoundReport(
+        value=expected_entropy_deficit(d_b),
+        condition_holds=(eta >= required and d_a >= d_b),
+        required=required,
+        description="Prop 5.4: log d_A − E[H(A_S)] ≤ 2·log(d_B)/√d_B",
+    )
+    return _check_strict(report, strict)
+
+
+# ----------------------------------------------------------------------
+# Proposition 5.5 — concentration of H(A_S) around its expectation
+# ----------------------------------------------------------------------
+def entropy_concentration_tail(
+    t: float, d_a: int, d_b: int, eta: int, *, strict: bool = False
+) -> BoundReport:
+    """Prop. 5.5: ``P[|H(A_S) − E[H(A_S)]| > t]`` upper bound (Eq. 58).
+
+    ``½·e^{−η/12} + ½·exp(−(η/(2·d_A))·h(r/(2·log(η/e))) + 4·log η)``
+    with ``r = max(0, t − 8·d_A/η − C(d_B))`` (Eq. 59) and
+    ``h(x) = x·log(1+x)``.  Qualifying conditions: ``d_A > d_B``,
+    ``η ≥ 60·d_A``, ``η ≤ d_A·d_B − d_B``.
+    """
+    from repro.concentration.inequalities import h_rate
+
+    _validate_sizes(d_a=d_a, d_b=d_b)
+    if t <= 0:
+        raise BoundConditionError(f"t must be positive, got {t}")
+    if eta <= 0:
+        raise BoundConditionError(f"η must be positive, got {eta}")
+    condition = d_a > d_b and eta >= 60 * d_a and eta <= d_a * d_b - d_b
+    r = max(0.0, t - 8.0 * d_a / eta - expected_entropy_deficit(d_b))
+    log_eta_e = math.log(eta / math.e)
+    exponent = -(eta / (2.0 * d_a)) * h_rate(r / (2.0 * log_eta_e)) + 4.0 * math.log(eta)
+    value = min(1.0, 0.5 * math.exp(-eta / 12.0) + 0.5 * math.exp(exponent))
+    report = BoundReport(
+        value=value,
+        condition_holds=condition,
+        required=60.0 * d_a,
+        description="Prop 5.5: tail bound on |H(A_S) − E[H(A_S)]|",
+    )
+    return _check_strict(report, strict)
+
+
+# ----------------------------------------------------------------------
+# Theorem 5.2 — entropy confidence interval
+# ----------------------------------------------------------------------
+def entropy_confidence_radius(
+    d_a: int, d_b: int, eta: int, delta: float, *, strict: bool = False
+) -> BoundReport:
+    """Thm. 5.2: with prob. ``≥ 1 − δ``,
+
+    ``log d_A ≥ H(A_S) ≥ log d_A − 20·√(d_A·log³(η/δ)/η)``.
+
+    Qualifying condition (Eq. 40): ``η ≥ 128·d_A·log(128·d_A/δ)`` and
+    ``d_A ≥ d_B``.
+    """
+    _validate_sizes(d_a=d_a, d_b=d_b)
+    _validate_delta(delta)
+    if eta <= 0:
+        raise BoundConditionError(f"η must be positive, got {eta}")
+    required = 128.0 * d_a * math.log(128.0 * d_a / delta)
+    radius = 20.0 * math.sqrt(d_a * math.log(eta / delta) ** 3 / eta)
+    report = BoundReport(
+        value=radius,
+        condition_holds=(eta >= required and d_a >= d_b),
+        required=required,
+        description="Thm 5.2: log d_A − H(A_S) ≤ 20·√(d_A·log³(η/δ)/η)",
+    )
+    return _check_strict(report, strict)
+
+
+# ----------------------------------------------------------------------
+# Corollary 5.2.1 — mutual information lower confidence bound
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class MIConfidenceBound:
+    """Cor. 5.2.1: ``I(A_S;B_S) ≥ log(1+ρ̄) − radius`` w.p. ``≥ 1 − δ``."""
+
+    target: float
+    radius: float
+    lower: float
+    condition_holds: bool
+    required: float
+
+
+def mi_lower_confidence(
+    d_a: int, d_b: int, eta: int, delta: float, *, strict: bool = False
+) -> MIConfidenceBound:
+    """Evaluate Corollary 5.2.1 (``d_C = 1`` setting, Eq. 42).
+
+    ``ρ̄ = d_A·d_B/η − 1``; ``radius = 40·√(d_A·log³(2η/δ)/η)``.
+    """
+    _validate_sizes(d_a=d_a, d_b=d_b)
+    _validate_delta(delta)
+    if not 0 < eta <= d_a * d_b:
+        raise BoundConditionError(
+            f"η must lie in (0, d_A·d_B] = (0, {d_a * d_b}], got {eta}"
+        )
+    rho_bar = d_a * d_b / eta - 1.0
+    target = math.log1p(rho_bar)
+    radius = 40.0 * math.sqrt(d_a * math.log(2.0 * eta / delta) ** 3 / eta)
+    required = 128.0 * d_a * math.log(128.0 * d_a / delta)
+    bound = MIConfidenceBound(
+        target=target,
+        radius=radius,
+        lower=target - radius,
+        condition_holds=(eta >= required and d_a >= d_b),
+        required=required,
+    )
+    if strict and not bound.condition_holds:
+        raise BoundConditionError(
+            "Cor 5.2.1: qualifying condition fails "
+            f"(need η ≥ {required:.6g} and d_A ≥ d_B)"
+        )
+    return bound
+
+
+# ----------------------------------------------------------------------
+# Theorem 5.1 — high-probability upper bound for a single MVD
+# ----------------------------------------------------------------------
+def epsilon_star(
+    d_a: int,
+    d_b: int,
+    d_c: int,
+    n: int,
+    delta: float,
+    *,
+    strict: bool = False,
+) -> BoundReport:
+    """Thm. 5.1's deviation term (Eq. 38):
+
+    ``ε*(φ, N, δ) = 60·√(d_A·d·log³(6·N·d_C/δ)/N)`` with
+    ``d = max(d_A, d_C)``, under the convention ``d_A ≥ d_B`` (sides are
+    swapped automatically when violated, as the theorem is w.l.o.g.).
+
+    Qualifying condition (Eq. 37): ``N ≥ 256·d_A·d·log(384·d/δ)``.
+    """
+    _validate_sizes(d_a=d_a, d_b=d_b, d_c=d_c)
+    _validate_delta(delta)
+    if n <= 0:
+        raise BoundConditionError(f"N must be positive, got {n}")
+    if d_a < d_b:
+        d_a, d_b = d_b, d_a
+    d = max(d_a, d_c)
+    required = 256.0 * d_a * d * math.log(384.0 * d / delta)
+    value = 60.0 * math.sqrt(d_a * d * math.log(6.0 * n * d_c / delta) ** 3 / n)
+    report = BoundReport(
+        value=value,
+        condition_holds=n >= required,
+        required=required,
+        description="Thm 5.1: log(1+ρ(R_S,φ)) ≤ I(A_S;B_S|C_S) + ε*(φ,N,δ)",
+    )
+    return _check_strict(report, strict)
+
+
+def mvd_loss_upper_confidence(
+    cmi_nats: float,
+    d_a: int,
+    d_b: int,
+    d_c: int,
+    n: int,
+    delta: float,
+    *,
+    strict: bool = False,
+) -> BoundReport:
+    """Thm. 5.1 assembled: the bound ``log(1+ρ) ≤ I + ε*`` as a number."""
+    if cmi_nats < 0:
+        raise BoundConditionError(f"CMI must be non-negative, got {cmi_nats}")
+    eps = epsilon_star(d_a, d_b, d_c, n, delta, strict=strict)
+    return BoundReport(
+        value=cmi_nats + eps.value,
+        condition_holds=eps.condition_holds,
+        required=eps.required,
+        description=eps.description,
+    )
+
+
+# ----------------------------------------------------------------------
+# Proposition 5.3 — schema-level union bound
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SchemaUpperBound:
+    """Prop. 5.3: the two schema-level upper bounds on ``log(1+ρ(R,S))``.
+
+    Attributes
+    ----------
+    cmi_sum_bound:
+        Eq. 33: ``Σᵢ [I(Ω_{1:i−1}; Ω_{i:m} | Δᵢ) + εᵢ]``.
+    j_bound:
+        Eq. 34: ``(m−1)·J(T) + Σᵢ εᵢ``.
+    epsilons:
+        The per-split deviation terms ``εᵢ`` (δ split as ``δ/(m−1)``).
+    conditions_hold:
+        Whether every split's Thm. 5.1 qualifying condition holds.
+    actual:
+        ``log(1 + ρ(R, S))`` for the supplied instance.
+    """
+
+    cmi_sum_bound: float
+    j_bound: float
+    epsilons: tuple[float, ...]
+    conditions_hold: bool
+    actual: float
+
+
+def schema_upper_bound(
+    relation: Relation,
+    jointree: JoinTree,
+    delta: float,
+    *,
+    root: int | None = None,
+) -> SchemaUpperBound:
+    """Assemble Proposition 5.3 for a concrete relation and join tree.
+
+    Domain sizes for each split's ε-term use *active* domain sizes
+    (``d_A = |Π_A(R)|`` etc.), matching the paper's convention below
+    Eq. 29.  The failure budget δ is split evenly over the ``m − 1``
+    support MVDs.
+    """
+    from repro.core.jmeasure import j_measure, support_cmis
+    from repro.core.loss import spurious_loss
+
+    _validate_delta(delta)
+    cmis = support_cmis(relation, jointree, root=root)
+    m_minus_1 = len(cmis)
+    if m_minus_1 == 0:
+        actual = math.log1p(spurious_loss(relation, jointree))
+        return SchemaUpperBound(
+            cmi_sum_bound=0.0,
+            j_bound=0.0,
+            epsilons=(),
+            conditions_hold=True,
+            actual=actual,
+        )
+    per_mvd_delta = delta / m_minus_1
+    epsilons = []
+    conditions = []
+    n = len(relation)
+    for term in cmis:
+        sep = term.separator
+        side_a = term.prefix - sep
+        side_b = term.suffix - sep
+        d_a = _projection_size(relation, side_a)
+        d_b = _projection_size(relation, side_b)
+        d_c = _projection_size(relation, sep) if sep else 1
+        eps = epsilon_star(max(d_a, d_b), min(d_a, d_b), d_c, n, per_mvd_delta)
+        epsilons.append(eps.value)
+        conditions.append(eps.condition_holds)
+    cmi_sum = sum(term.cmi for term in cmis)
+    j_value = j_measure(relation, jointree)
+    actual = math.log1p(spurious_loss(relation, jointree))
+    return SchemaUpperBound(
+        cmi_sum_bound=cmi_sum + sum(epsilons),
+        j_bound=m_minus_1 * j_value + sum(epsilons),
+        epsilons=tuple(epsilons),
+        conditions_hold=all(conditions),
+        actual=actual,
+    )
+
+
+def _projection_size(relation: Relation, attrs: frozenset[str]) -> int:
+    if not attrs:
+        return 1
+    ordered = relation.schema.canonical_order(attrs)
+    return len(relation.project(ordered))
+
+
+def _validate_sizes(**sizes: int) -> None:
+    for name, value in sizes.items():
+        if value <= 0:
+            raise BoundConditionError(
+                f"{name} must be a positive domain size, got {value}"
+            )

@@ -1,0 +1,183 @@
+"""Data-dependency checking via Lee's entropic characterizations.
+
+Lee [18, 19] characterized the classic dependency families in terms of
+the empirical distribution's information measures; this module exposes
+those checks directly:
+
+* **FD** ``X → Y``  ⇔  ``H(Y | X) = 0``;
+* **MVD** ``X ↠ Y₁|…|Y_m``  ⇔  the schema ``{XYᵢ}`` is lossless  ⇔  its
+  J-measure vanishes;
+* **AJD** ``⋈S``  ⇔  ``J(S) = 0`` (Theorem 2.1).
+
+Each check also has a *degree* variant returning the information residual
+(how far the dependency is from holding, in nats), which is the natural
+"approximate dependency" measure in the paper's framework — the FD
+residual is ``H(Y|X)``, and the MVD/AJD residual equals the schema's
+J-measure, so Lemma 4.1 converts it into a spurious-tuple floor.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.core.jmeasure import j_measure
+from repro.errors import UnknownAttributeError
+from repro.info.entropy import conditional_entropy
+from repro.jointrees.build import jointree_from_mvd
+from repro.jointrees.jointree import JoinTree
+from repro.jointrees.mvds import MVD
+from repro.relations.relation import Relation
+
+
+@dataclass(frozen=True)
+class DependencyCheck:
+    """Outcome of a dependency check.
+
+    ``residual`` is the information measure that vanishes exactly when
+    the dependency holds (nats): ``H(Y|X)`` for FDs, ``J`` for
+    MVDs/AJDs.
+    """
+
+    kind: str
+    description: str
+    residual: float
+    tolerance: float
+
+    @property
+    def holds(self) -> bool:
+        """Whether the dependency holds up to the tolerance."""
+        return self.residual <= self.tolerance
+
+
+def check_fd(
+    relation: Relation,
+    determinant: Iterable[str],
+    dependent: Iterable[str],
+    *,
+    tolerance: float = 1e-9,
+) -> DependencyCheck:
+    """Check the functional dependency ``determinant → dependent``.
+
+    Residual: ``H(dependent | determinant)`` over the empirical
+    distribution — zero iff each determinant value maps to one dependent
+    value.
+
+    Examples
+    --------
+    >>> from repro.relations.relation import Relation
+    >>> from repro.relations.schema import RelationSchema
+    >>> s = RelationSchema.from_names(["A", "B"])
+    >>> check_fd(Relation(s, [(1, "x"), (2, "y")]), ["A"], ["B"]).holds
+    True
+    """
+    determinant = tuple(determinant)
+    dependent = tuple(dependent)
+    if not determinant or not dependent:
+        raise UnknownAttributeError("an FD needs non-empty sides")
+    residual = conditional_entropy(relation, dependent, determinant)
+    lhs = " ".join(sorted(determinant))
+    rhs = " ".join(sorted(dependent))
+    return DependencyCheck(
+        kind="FD",
+        description=f"{lhs} -> {rhs}",
+        residual=residual,
+        tolerance=tolerance,
+    )
+
+
+def check_mvd(
+    relation: Relation, mvd: MVD, *, tolerance: float = 1e-9
+) -> DependencyCheck:
+    """Check the MVD ``X ↠ Y₁|…|Y_m`` (Lee: its J-measure vanishes).
+
+    The MVD's attributes must cover the relation (Section 2.1 requires
+    ``XY₁…Y_m = Ω``).
+    """
+    missing = relation.schema.name_set - mvd.attributes()
+    if missing:
+        raise UnknownAttributeError(
+            f"MVD must cover the relation's attributes; missing {sorted(missing)}"
+        )
+    tree = jointree_from_mvd(mvd)
+    residual = j_measure(relation, tree)
+    return DependencyCheck(
+        kind="MVD",
+        description=repr(mvd),
+        residual=residual,
+        tolerance=tolerance,
+    )
+
+
+def check_ajd(
+    relation: Relation, jointree: JoinTree, *, tolerance: float = 1e-9
+) -> DependencyCheck:
+    """Check the acyclic join dependency of ``jointree`` (Theorem 2.1)."""
+    residual = j_measure(relation, jointree)
+    bags = ", ".join(
+        "{" + ",".join(sorted(b)) + "}" for b in sorted(jointree.schema(), key=sorted)
+    )
+    return DependencyCheck(
+        kind="AJD",
+        description=f"JD({bags})",
+        residual=residual,
+        tolerance=tolerance,
+    )
+
+
+def fd_violation_pairs(
+    relation: Relation,
+    determinant: Iterable[str],
+    dependent: Iterable[str],
+) -> int:
+    """Number of determinant values mapped to more than one dependent value.
+
+    A combinatorial companion to :func:`check_fd`'s entropic residual.
+    """
+    determinant = tuple(determinant)
+    dependent = tuple(dependent)
+    groups: dict[tuple, set[tuple]] = {}
+    det_idx = relation.schema.indices(determinant)
+    dep_idx = relation.schema.indices(dependent)
+    for row in relation:
+        key = tuple(row[i] for i in det_idx)
+        groups.setdefault(key, set()).add(tuple(row[i] for i in dep_idx))
+    return sum(1 for images in groups.values() if len(images) > 1)
+
+
+def discover_fds(
+    relation: Relation, *, max_lhs_size: int = 2, tolerance: float = 1e-9
+) -> list[DependencyCheck]:
+    """Enumerate all minimal exact FDs with small determinants.
+
+    Brute-force over determinant subsets up to ``max_lhs_size`` and
+    single dependent attributes; an FD is reported only if no proper
+    subset of its determinant already implies the dependent (minimality).
+    Exponential in ``max_lhs_size`` — intended for profiling small
+    tables.
+    """
+    import itertools
+
+    names = relation.schema.names
+    found: list[DependencyCheck] = []
+    holding: set[tuple[frozenset[str], str]] = set()
+    for size in range(1, max_lhs_size + 1):
+        for lhs in itertools.combinations(names, size):
+            lhs_set = frozenset(lhs)
+            for target in names:
+                if target in lhs_set:
+                    continue
+                implied = any(
+                    (subset, target) in holding
+                    for r in range(1, size)
+                    for subset in map(
+                        frozenset, itertools.combinations(sorted(lhs_set), r)
+                    )
+                )
+                if implied:
+                    continue
+                check = check_fd(relation, lhs, [target], tolerance=tolerance)
+                if check.holds:
+                    holding.add((lhs_set, target))
+                    found.append(check)
+    return found

@@ -1,0 +1,120 @@
+"""Spurious-tuple loss ``ρ(R, S)`` (Eq. 1) and per-split losses (Eq. 28).
+
+``ρ(R, S) = (|⋈ᵢ R[Ωᵢ]| − |R|) / |R|`` counts the relative number of
+tuples the re-joined decomposition invents.  Join sizes are obtained by
+counting (never materializing): message passing over the join tree for the
+full schema, and a pairwise count for the two-projection splits of the
+tree's support.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.errors import DistributionError
+from repro.jointrees.jointree import JoinTree
+from repro.relations.join import (
+    acyclic_join_size,
+    join_size,
+    materialized_acyclic_join,
+)
+from repro.relations.relation import Relation
+
+
+def spurious_count(relation: Relation, jointree: JoinTree) -> int:
+    """``|⋈ᵢ R[Ωᵢ]| − |R|`` — the number of spurious tuples.
+
+    Always non-negative: the join of projections contains ``R``.
+    """
+    if relation.is_empty():
+        return 0
+    return acyclic_join_size(relation, jointree) - len(relation)
+
+
+def spurious_loss(relation: Relation, jointree: JoinTree) -> float:
+    """``ρ(R, S)`` (Eq. 1) for the schema defined by ``jointree``."""
+    if relation.is_empty():
+        raise DistributionError("ρ(R, S) is undefined for an empty relation")
+    return spurious_count(relation, jointree) / len(relation)
+
+
+def split_loss(
+    relation: Relation,
+    left: Iterable[str],
+    right: Iterable[str],
+) -> float:
+    """``ρ(R, φ)`` for a two-projection split (Eq. 28).
+
+    ``φ`` joins ``R[left]`` with ``R[right]``; the two attribute sets may
+    overlap (their intersection acts as the join key) and must jointly
+    cover the relation's attributes.
+    """
+    if relation.is_empty():
+        raise DistributionError("ρ(R, φ) is undefined for an empty relation")
+    left = set(left)
+    right = set(right)
+    covered = left | right
+    missing = relation.schema.name_set - covered
+    if missing:
+        raise DistributionError(
+            f"split must cover all attributes; missing {sorted(missing)}"
+        )
+    left_proj = relation.project(relation.schema.canonical_order(left))
+    right_proj = relation.project(relation.schema.canonical_order(right))
+    size = join_size(left_proj, right_proj)
+    return (size - len(relation)) / len(relation)
+
+
+@dataclass(frozen=True)
+class SplitLoss:
+    """Loss of one rooted-split MVD ``φᵢ`` of a join tree's support."""
+
+    index: int
+    separator: frozenset[str]
+    prefix: frozenset[str]
+    suffix: frozenset[str]
+    rho: float
+
+
+def support_split_losses(
+    relation: Relation, jointree: JoinTree, *, root: int | None = None
+) -> tuple[SplitLoss, ...]:
+    """``ρ(R, φᵢ)`` for every rooted-split MVD in the tree's support.
+
+    These are the terms of Proposition 5.1's product bound
+    ``1 + ρ(R, S) ≤ ∏ᵢ (1 + ρ(R, φᵢ))``.
+    """
+    out = []
+    for split in jointree.rooted_splits(root):
+        rho = split_loss(relation, split.prefix, split.suffix)
+        out.append(
+            SplitLoss(
+                index=split.index,
+                separator=split.separator,
+                prefix=split.prefix,
+                suffix=split.suffix,
+                rho=rho,
+            )
+        )
+    return tuple(out)
+
+
+def spurious_tuples(relation: Relation, jointree: JoinTree) -> Relation:
+    """The spurious tuples ``(⋈ᵢ R[Ωᵢ]) \\ R`` — materialized.
+
+    Only for small instances (tests, examples, inspection); the join is
+    materialized.  Use :func:`spurious_count` for sizes.
+    """
+    joined = materialized_acyclic_join(relation, jointree)
+    aligned = joined.reorder(relation.schema.names)
+    return aligned.difference(
+        Relation(aligned.schema, relation.rows(), validate=False)
+    )
+
+
+def satisfies_ajd(relation: Relation, jointree: JoinTree) -> bool:
+    """Whether ``R ⊨ AJD(S)`` — the decomposition is lossless (ρ = 0)."""
+    if relation.is_empty():
+        return True
+    return spurious_count(relation, jointree) == 0

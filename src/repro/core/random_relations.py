@@ -1,0 +1,212 @@
+"""The random relation model of Definition 5.2.
+
+A relation of size ``N`` over attributes with domains ``[d₁], …, [d_n]``
+is drawn *uniformly at random without replacement* from the product domain
+``[d₁] × … × [d_n]``.  Equivalently: a uniform ``N``-subset of the
+``∏dᵢ`` possible tuples.
+
+Sampling strategies (picked automatically by density):
+
+* ``permutation`` — materialize a random permutation of all cell indices
+  and take a prefix.  Exact and fast when the product domain is small.
+* ``rejection``   — draw random cell indices and deduplicate until ``N``
+  distinct ones are collected.  Memory-light when ``N ≪ ∏dᵢ``.
+* ``complement``  — sample the ``∏dᵢ − N`` *excluded* cells by rejection
+  when the relation is very dense.
+
+Cells are encoded as mixed-radix integers so only ``O(N)`` tuples are ever
+materialized.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import SamplingError
+from repro.relations.relation import Relation
+from repro.relations.schema import RelationSchema
+
+#: Product-domain size below which the permutation strategy is used.
+PERMUTATION_LIMIT = 4_000_000
+
+#: Density above which the complement strategy is used.
+COMPLEMENT_DENSITY = 0.9
+
+
+def product_domain_size(sizes: Sequence[int]) -> int:
+    """``∏ᵢ dᵢ`` with validation."""
+    total = 1
+    for d in sizes:
+        if d <= 0:
+            raise SamplingError(f"domain sizes must be positive, got {d}")
+        total *= d
+    return total
+
+
+def decode_cells(indices: np.ndarray, sizes: Sequence[int]) -> np.ndarray:
+    """Mixed-radix decode of cell indices into value columns.
+
+    Returns an ``(len(indices), len(sizes))`` array where column ``j``
+    holds the value of attribute ``j`` (least-significant attribute last,
+    matching row-major order of the product domain).
+    """
+    out = np.empty((len(indices), len(sizes)), dtype=np.int64)
+    rem = np.asarray(indices, dtype=np.int64).copy()
+    for j in range(len(sizes) - 1, -1, -1):
+        out[:, j] = rem % sizes[j]
+        rem //= sizes[j]
+    return out
+
+
+def _sample_distinct_indices(
+    total: int, n: int, rng: np.random.Generator, *, method: str
+) -> np.ndarray:
+    """``n`` distinct uniform indices from ``range(total)``."""
+    if method == "permutation":
+        return rng.permutation(total)[:n]
+    if method == "rejection":
+        # Insertion-ordered dict keeps exactly the first n distinct draws,
+        # preserving uniformity (truncating a *set* of ints would bias
+        # toward small hash values).
+        chosen: dict[int, None] = {}
+        while len(chosen) < n:
+            need = n - len(chosen)
+            for x in rng.integers(0, total, size=max(2 * need, 64)):
+                if len(chosen) == n:
+                    break
+                chosen[int(x)] = None
+        return np.fromiter(chosen, dtype=np.int64, count=n)
+    if method == "complement":
+        excluded = _sample_distinct_indices(
+            total, total - n, rng, method="rejection"
+        )
+        mask = np.ones(total, dtype=bool)
+        mask[excluded] = False
+        return np.nonzero(mask)[0]
+    raise SamplingError(f"unknown sampling method {method!r}")
+
+
+def _pick_method(total: int, n: int) -> str:
+    if total <= PERMUTATION_LIMIT:
+        return "permutation"
+    if n / total >= COMPLEMENT_DENSITY and total <= 50_000_000:
+        return "complement"
+    return "rejection"
+
+
+def random_relation(
+    sizes: Mapping[str, int],
+    n: int,
+    rng: np.random.Generator,
+    *,
+    method: str = "auto",
+) -> Relation:
+    """Draw a relation from the random relation model (Definition 5.2).
+
+    Parameters
+    ----------
+    sizes:
+        Mapping attribute name → domain size ``dᵢ`` (domains are
+        ``{0, …, dᵢ−1}``); iteration order fixes the schema order.
+    n:
+        Number of tuples ``N``; must satisfy ``0 < N ≤ ∏dᵢ``.
+    rng:
+        Source of randomness.
+    method:
+        ``"auto"`` (default), ``"permutation"``, ``"rejection"``, or
+        ``"complement"``.
+
+    Examples
+    --------
+    >>> rng = np.random.default_rng(0)
+    >>> r = random_relation({"A": 10, "B": 10}, 30, rng)
+    >>> len(r)
+    30
+    """
+    names = tuple(sizes)
+    dims = tuple(sizes[name] for name in names)
+    total = product_domain_size(dims)
+    if not 0 < n <= total:
+        raise SamplingError(
+            f"relation size must satisfy 0 < N <= {total}, got {n}"
+        )
+    if method == "auto":
+        method = _pick_method(total, n)
+    indices = _sample_distinct_indices(total, n, rng, method=method)
+    cells = decode_cells(indices, dims)
+    schema = RelationSchema.integer_domains(dict(zip(names, dims)))
+    return Relation(schema, (tuple(row) for row in cells.tolist()), validate=False)
+
+
+def random_mvd_relation(
+    d_a: int,
+    d_b: int,
+    d_c: int,
+    n: int,
+    rng: np.random.Generator,
+    *,
+    method: str = "auto",
+) -> Relation:
+    """Random relation over attributes ``A, B, C`` (the single-MVD setting).
+
+    ``d_C = 1`` gives the degenerate model of Section 5.1 (attribute ``C``
+    is constant).
+    """
+    return random_relation({"A": d_a, "B": d_b, "C": d_c}, n, rng, method=method)
+
+
+def relation_size_for_loss(sizes: Mapping[str, int], rho: float) -> int:
+    """``N = ∏dᵢ / (1 + ρ)`` — the size that targets loss ``ρ``.
+
+    Figure 1's protocol: fixing the *maximal* loss
+    ``ρ̄ = ∏dᵢ/N − 1`` and solving for ``N``.  Result is clamped to
+    ``[1, ∏dᵢ]``.
+    """
+    if rho < 0:
+        raise SamplingError(f"target loss must be non-negative, got {rho}")
+    total = product_domain_size(tuple(sizes.values()))
+    n = round(total / (1.0 + rho))
+    return max(1, min(total, n))
+
+
+def expected_cell_probability(sizes: Mapping[str, int], n: int) -> float:
+    """``P[(i,j,…) ∈ S] = N / ∏dᵢ`` — each cell's inclusion probability."""
+    total = product_domain_size(tuple(sizes.values()))
+    if not 0 < n <= total:
+        raise SamplingError(f"relation size must satisfy 0 < N <= {total}, got {n}")
+    return n / total
+
+
+def max_loss(sizes: Mapping[str, int], n: int) -> float:
+    """``ρ̄ = ∏dᵢ/N − 1`` — the deterministic ceiling on ρ for any split.
+
+    For any two-projection split the join is contained in the product
+    domain, so ``ρ(R, φ) ≤ ρ̄`` always (used in Corollary 5.2.1).
+    """
+    total = product_domain_size(tuple(sizes.values()))
+    if not 0 < n <= total:
+        raise SamplingError(f"relation size must satisfy 0 < N <= {total}, got {n}")
+    return total / n - 1.0
+
+
+def sample_loss_and_mi(
+    d: int,
+    rho: float,
+    rng: np.random.Generator,
+) -> tuple[float, float]:
+    """One draw of Figure 1's experiment: ``(log(1+ρ̄), I(A;B))``.
+
+    Samples ``N = d²/(1+ρ)`` tuples over ``d_A = d_B = d`` (``d_C = 1``)
+    and returns the target ``log(1+ρ̄)`` with the realized mutual
+    information, both in nats.
+    """
+    from repro.info.divergence import mutual_information
+
+    sizes = {"A": d, "B": d}
+    n = relation_size_for_loss(sizes, rho)
+    relation = random_relation(sizes, n, rng)
+    mi = mutual_information(relation, ["A"], ["B"])
+    return math.log(d * d / n), mi

@@ -1,0 +1,29 @@
+"""Synthetic workload generators and noise injection."""
+
+from repro.datasets.noise import (
+    delete_random_tuples,
+    insert_random_tuples,
+    perturb,
+)
+from repro.datasets.synthetic import (
+    diagonal_relation,
+    functional_relation,
+    independent_product_relation,
+    lossless_instance,
+    planted_mvd_relation,
+)
+from repro.datasets.tables import orders_table, star_schema_table, zipf_relation
+
+__all__ = [
+    "delete_random_tuples",
+    "diagonal_relation",
+    "functional_relation",
+    "independent_product_relation",
+    "insert_random_tuples",
+    "lossless_instance",
+    "orders_table",
+    "perturb",
+    "planted_mvd_relation",
+    "star_schema_table",
+    "zipf_relation",
+]

@@ -1,0 +1,101 @@
+"""Noise injection: perturb relations so exact AJDs become approximate.
+
+The paper's motivation is data that only *approximately* fits a schema;
+these helpers produce such data from exact instances:
+
+* :func:`insert_random_tuples` — add tuples drawn from the product domain
+  (outside the current instance);
+* :func:`delete_random_tuples` — drop existing tuples;
+* :func:`perturb` — a convenience combining both at given rates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SamplingError
+from repro.relations.relation import Relation
+
+
+def _domain_sizes(relation: Relation) -> list[int]:
+    sizes = []
+    for attr in relation.schema.attributes:
+        if attr.domain is None:
+            raise SamplingError(
+                f"attribute {attr.name!r} needs a declared domain for noise "
+                "injection (use infer_integer_domains first)"
+            )
+        sizes.append(len(attr.domain))
+    return sizes
+
+
+def insert_random_tuples(
+    relation: Relation, count: int, rng: np.random.Generator
+) -> Relation:
+    """Insert ``count`` uniform-random tuples not already present.
+
+    Requires integer domains ``{0, …, d−1}`` (the library's synthetic
+    convention).  Raises when fewer than ``count`` free cells exist.
+    """
+    if count < 0:
+        raise SamplingError(f"count must be non-negative, got {count}")
+    if count == 0:
+        return relation
+    sizes = _domain_sizes(relation)
+    total = 1
+    for d in sizes:
+        total *= d
+    free = total - len(relation)
+    if count > free:
+        raise SamplingError(
+            f"cannot insert {count} tuples; only {free} free cells remain"
+        )
+    existing = set(relation.rows())
+    new_rows: set[tuple] = set()
+    while len(new_rows) < count:
+        need = count - len(new_rows)
+        batch = np.column_stack(
+            [rng.integers(0, d, size=max(2 * need, 16)) for d in sizes]
+        )
+        for row in map(tuple, batch.tolist()):
+            if row not in existing and row not in new_rows:
+                new_rows.add(row)
+                if len(new_rows) == count:
+                    break
+    return Relation(
+        relation.schema, existing | new_rows, validate=False
+    )
+
+
+def delete_random_tuples(
+    relation: Relation, count: int, rng: np.random.Generator
+) -> Relation:
+    """Delete ``count`` uniformly chosen tuples."""
+    if count < 0:
+        raise SamplingError(f"count must be non-negative, got {count}")
+    if count > len(relation):
+        raise SamplingError(
+            f"cannot delete {count} tuples from a relation of size {len(relation)}"
+        )
+    if count == 0:
+        return relation
+    rows = relation.sorted_rows()
+    keep_idx = rng.choice(len(rows), size=len(rows) - count, replace=False)
+    kept = [rows[i] for i in keep_idx]
+    return Relation(relation.schema, kept, validate=False)
+
+
+def perturb(
+    relation: Relation,
+    rng: np.random.Generator,
+    *,
+    insert_rate: float = 0.0,
+    delete_rate: float = 0.0,
+) -> Relation:
+    """Apply deletion then insertion at the given rates (fractions of N)."""
+    for name, rate in (("insert_rate", insert_rate), ("delete_rate", delete_rate)):
+        if not 0.0 <= rate <= 1.0:
+            raise SamplingError(f"{name} must lie in [0, 1], got {rate}")
+    n = len(relation)
+    out = delete_random_tuples(relation, int(round(delete_rate * n)), rng)
+    return insert_random_tuples(out, int(round(insert_rate * n)), rng)

@@ -1,0 +1,121 @@
+"""Synthetic relation generators used by tests, examples, and experiments.
+
+* :func:`diagonal_relation` — the tight family of Example 4.1;
+* :func:`independent_product_relation` — fully lossless two-attribute data;
+* :func:`planted_mvd_relation` — a relation satisfying ``C ↠ A|B`` exactly;
+* :func:`lossless_instance` — a relation modeling an arbitrary join tree
+  exactly (``R ⊨ AJD``), obtained by closing a random seed under the
+  schema's join;
+* :func:`functional_relation` — a relation satisfying the FD ``A → B``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.core.random_relations import random_relation
+from repro.errors import SamplingError
+from repro.jointrees.jointree import JoinTree
+from repro.relations.join import materialized_acyclic_join
+from repro.relations.relation import Relation
+from repro.relations.schema import RelationSchema
+
+
+def diagonal_relation(n: int) -> Relation:
+    """Example 4.1: ``R = {(a₁,b₁), …, (a_N,b_N)}`` with disjoint domains.
+
+    For the schema ``{{A},{B}}`` this family is the tight case of
+    Lemma 4.1: ``J = I(A;B) = log N = log(1 + ρ)`` with ``ρ = N − 1``.
+    """
+    if n <= 0:
+        raise SamplingError(f"diagonal relation needs N >= 1, got {n}")
+    schema = RelationSchema.integer_domains({"A": n, "B": n})
+    return Relation(schema, [(i, i) for i in range(n)], validate=False)
+
+
+def independent_product_relation(d_a: int, d_b: int) -> Relation:
+    """The full product ``[d_A] × [d_B]`` — lossless for ``{{A},{B}}``.
+
+    Its empirical distribution makes ``A`` and ``B`` independent and
+    uniform, so ``I(A;B) = 0`` and ``ρ = 0``.
+    """
+    if d_a <= 0 or d_b <= 0:
+        raise SamplingError("domain sizes must be positive")
+    schema = RelationSchema.integer_domains({"A": d_a, "B": d_b})
+    return Relation.full(schema)
+
+
+def planted_mvd_relation(
+    d_a: int,
+    d_b: int,
+    d_c: int,
+    rng: np.random.Generator,
+    *,
+    group_size_a: int | None = None,
+    group_size_b: int | None = None,
+) -> Relation:
+    """A relation satisfying the MVD ``C ↠ A|B`` *exactly*.
+
+    For every ``c ∈ [d_C]``, independent subsets ``S_A(c) ⊆ [d_A]`` and
+    ``S_B(c) ⊆ [d_B]`` are drawn and the class is their full product
+    ``S_A(c) × S_B(c) × {c}``, so conditioning on ``C`` makes ``A`` and
+    ``B`` combinatorially independent and ``ρ(R, C↠A|B) = 0``.
+
+    Group sizes default to about half of each domain (at least 1).
+    """
+    if min(d_a, d_b, d_c) <= 0:
+        raise SamplingError("domain sizes must be positive")
+    size_a = max(1, d_a // 2) if group_size_a is None else group_size_a
+    size_b = max(1, d_b // 2) if group_size_b is None else group_size_b
+    if not 1 <= size_a <= d_a or not 1 <= size_b <= d_b:
+        raise SamplingError("group sizes must fit inside the domains")
+    rows = []
+    for c in range(d_c):
+        sa = rng.choice(d_a, size=size_a, replace=False)
+        sb = rng.choice(d_b, size=size_b, replace=False)
+        rows.extend((int(a), int(b), c) for a in sa for b in sb)
+    schema = RelationSchema.integer_domains({"A": d_a, "B": d_b, "C": d_c})
+    return Relation(schema, rows, validate=False)
+
+
+def lossless_instance(
+    jointree: JoinTree,
+    sizes: Mapping[str, int],
+    seed_size: int,
+    rng: np.random.Generator,
+) -> Relation:
+    """A relation that models ``jointree`` exactly (``ρ = 0``).
+
+    Draws a random seed relation of ``seed_size`` tuples and closes it
+    under the schema's join: ``R = ⋈ᵢ Π_{Ωᵢ}(seed)``.  For an acyclic
+    schema, the join of projections equals the join of *its own*
+    projections, so the result satisfies the AJD exactly.
+
+    The closure is materialized — keep ``sizes`` and ``seed_size`` small.
+    """
+    missing = jointree.attributes() - set(sizes)
+    if missing:
+        raise SamplingError(f"sizes missing attributes {sorted(missing)}")
+    seed = random_relation(
+        {name: sizes[name] for name in sizes}, seed_size, rng
+    )
+    closed = materialized_acyclic_join(seed, jointree)
+    return closed.project(seed.schema.names)
+
+
+def functional_relation(
+    d_a: int, d_b: int, rng: np.random.Generator
+) -> Relation:
+    """A relation over ``A, B`` satisfying the FD ``A → B``.
+
+    One tuple per ``a ∈ [d_A]`` with ``b = f(a)`` for a random function
+    ``f : [d_A] → [d_B]``.  FDs are the ``|group| = 1`` degenerate case of
+    MVDs; useful for edge-case tests.
+    """
+    if d_a <= 0 or d_b <= 0:
+        raise SamplingError("domain sizes must be positive")
+    f = rng.integers(0, d_b, size=d_a)
+    schema = RelationSchema.integer_domains({"A": d_a, "B": d_b})
+    return Relation(schema, [(a, int(f[a])) for a in range(d_a)], validate=False)

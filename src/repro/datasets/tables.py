@@ -1,0 +1,146 @@
+"""Reusable realistic table generators for examples and experiments.
+
+Denormalized tables with planted structure — the workloads the paper's
+introduction motivates (schema discovery on flat, slightly dirty data):
+
+* :func:`star_schema_table` — a fact table with hierarchies
+  (dimension → attribute FDs), the snowflake-schema setting of [20];
+* :func:`orders_table` — customers/regions × products/categories;
+* :func:`zipf_relation` — skewed-frequency random relation (multiplicity
+  via a Zipf law over a latent key), for heavy-tail entropy behaviour.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SamplingError
+from repro.relations.relation import Relation
+from repro.relations.schema import RelationSchema
+
+
+def star_schema_table(
+    rng: np.random.Generator,
+    *,
+    n_rows: int = 90,
+    n_products: int = 12,
+    n_categories: int = 4,
+    n_stores: int = 8,
+    n_cities: int = 3,
+) -> Relation:
+    """A sales fact table (product, category, store, city).
+
+    Plants the FDs ``product → category`` and ``store → city``, so the
+    schema ``{product·category, store·city, product·store}`` is (nearly)
+    lossless.
+    """
+    _validate_positive(
+        n_rows=n_rows,
+        n_products=n_products,
+        n_categories=n_categories,
+        n_stores=n_stores,
+        n_cities=n_cities,
+    )
+    if n_rows > n_products * n_stores:
+        raise SamplingError(
+            f"at most {n_products * n_stores} distinct (product, store) "
+            f"pairs exist; cannot make {n_rows} rows"
+        )
+    category_of = rng.integers(0, n_categories, size=n_products)
+    city_of = rng.integers(0, n_cities, size=n_stores)
+    rows = set()
+    while len(rows) < n_rows:
+        p = int(rng.integers(0, n_products))
+        s = int(rng.integers(0, n_stores))
+        rows.add((p, int(category_of[p]), s, int(city_of[s])))
+    schema = RelationSchema.integer_domains(
+        {
+            "product": n_products,
+            "category": n_categories,
+            "store": n_stores,
+            "city": n_cities,
+        }
+    )
+    return Relation(schema, rows, validate=False)
+
+
+def orders_table(
+    rng: np.random.Generator,
+    *,
+    n_rows: int = 70,
+    n_customers: int = 10,
+    n_regions: int = 3,
+    n_products: int = 8,
+    n_categories: int = 4,
+) -> Relation:
+    """An orders table (customer, region, product, category).
+
+    Plants ``customer → region`` and ``product → category``.
+    """
+    _validate_positive(
+        n_rows=n_rows,
+        n_customers=n_customers,
+        n_regions=n_regions,
+        n_products=n_products,
+        n_categories=n_categories,
+    )
+    if n_rows > n_customers * n_products:
+        raise SamplingError(
+            f"at most {n_customers * n_products} distinct "
+            f"(customer, product) pairs exist; cannot make {n_rows} rows"
+        )
+    region_of = rng.integers(0, n_regions, size=n_customers)
+    category_of = rng.integers(0, n_categories, size=n_products)
+    rows = set()
+    while len(rows) < n_rows:
+        c = int(rng.integers(0, n_customers))
+        p = int(rng.integers(0, n_products))
+        rows.add((c, int(region_of[c]), p, int(category_of[p])))
+    schema = RelationSchema.integer_domains(
+        {
+            "customer": n_customers,
+            "region": n_regions,
+            "product": n_products,
+            "category": n_categories,
+        }
+    )
+    return Relation(schema, rows, validate=False)
+
+
+def zipf_relation(
+    rng: np.random.Generator,
+    *,
+    n_rows: int = 100,
+    d_a: int = 20,
+    d_b: int = 20,
+    exponent: float = 1.5,
+) -> Relation:
+    """A two-attribute relation with Zipf-skewed ``A`` frequencies.
+
+    ``A`` values are drawn from a (truncated) Zipf law and paired with
+    uniform fresh ``B`` values; the result is a *set* of up to
+    ``n_rows`` tuples whose ``A``-marginal is heavy-tailed — useful for
+    exercising entropy estimators away from the uniform regime.
+    """
+    _validate_positive(n_rows=n_rows, d_a=d_a, d_b=d_b)
+    if exponent <= 1.0:
+        raise SamplingError(f"Zipf exponent must exceed 1, got {exponent}")
+    if n_rows > d_a * d_b:
+        raise SamplingError(
+            f"cannot make {n_rows} distinct rows over {d_a * d_b} cells"
+        )
+    weights = 1.0 / np.arange(1, d_a + 1) ** exponent
+    weights /= weights.sum()
+    rows: set[tuple[int, int]] = set()
+    while len(rows) < n_rows:
+        a = int(rng.choice(d_a, p=weights))
+        b = int(rng.integers(0, d_b))
+        rows.add((a, b))
+    schema = RelationSchema.integer_domains({"A": d_a, "B": d_b})
+    return Relation(schema, rows, validate=False)
+
+
+def _validate_positive(**values: int) -> None:
+    for name, value in values.items():
+        if value <= 0:
+            raise SamplingError(f"{name} must be positive, got {value}")

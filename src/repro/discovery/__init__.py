@@ -1,0 +1,39 @@
+"""Approximate acyclic-schema discovery (motivating application)."""
+
+from repro.discovery.budget import BudgetFit, fit_schema_with_budget
+from repro.discovery.candidates import (
+    binary_partitions,
+    candidate_separators,
+    greedy_partition,
+)
+from repro.discovery.exhaustive import (
+    MAX_EXHAUSTIVE_ATTRIBUTES,
+    hierarchical_schemas,
+    mine_exhaustive,
+)
+from repro.discovery.frontier import (
+    FrontierPoint,
+    format_frontier,
+    pareto_front,
+    schema_frontier,
+)
+from repro.discovery.miner import MVDSplit, MinedSchema, best_split, mine_jointree
+
+__all__ = [
+    "MAX_EXHAUSTIVE_ATTRIBUTES",
+    "BudgetFit",
+    "FrontierPoint",
+    "MVDSplit",
+    "MinedSchema",
+    "best_split",
+    "binary_partitions",
+    "candidate_separators",
+    "fit_schema_with_budget",
+    "format_frontier",
+    "greedy_partition",
+    "hierarchical_schemas",
+    "mine_exhaustive",
+    "mine_jointree",
+    "pareto_front",
+    "schema_frontier",
+]

@@ -1,0 +1,124 @@
+"""Candidate separators and binary partitions for schema discovery.
+
+The miner searches MVD splits ``X ↠ Y | Z`` of an attribute set.  This
+module enumerates the search space:
+
+* :func:`candidate_separators` — subsets ``X`` up to a size cap;
+* :func:`binary_partitions` — all unordered partitions ``{Y, Z}`` of a set
+  (exponential; the miner caps the set size for exact search);
+* :func:`greedy_partition` — a pairwise-CMI clustering heuristic for
+  larger sets.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterator, Sequence
+
+from repro.errors import DiscoveryError
+from repro.info.divergence import conditional_mutual_information
+from repro.relations.relation import Relation
+
+
+def candidate_separators(
+    attributes: Sequence[str], max_size: int
+) -> Iterator[frozenset[str]]:
+    """All subsets of ``attributes`` with ``0 ≤ |X| ≤ max_size``.
+
+    A separator must leave at least two attributes to split, so subsets
+    larger than ``len(attributes) − 2`` are skipped.
+    """
+    if max_size < 0:
+        raise DiscoveryError(f"max separator size must be >= 0, got {max_size}")
+    limit = min(max_size, len(attributes) - 2)
+    for size in range(0, limit + 1):
+        for combo in itertools.combinations(sorted(attributes), size):
+            yield frozenset(combo)
+
+
+def binary_partitions(
+    attributes: Sequence[str],
+) -> Iterator[tuple[frozenset[str], frozenset[str]]]:
+    """All unordered two-block partitions of ``attributes``.
+
+    Yields ``2^{n−1} − 1`` pairs; callers cap ``n`` (the miner uses exact
+    search only for small remainders).
+    """
+    items = sorted(attributes)
+    if len(items) < 2:
+        raise DiscoveryError("binary partition needs at least two attributes")
+    pivot, rest = items[0], items[1:]
+    for size in range(0, len(rest) + 1):
+        for combo in itertools.combinations(rest, size):
+            left = frozenset((pivot, *combo))
+            right = frozenset(items) - left
+            if right:
+                yield left, right
+
+
+def greedy_partition(
+    relation: Relation,
+    attributes: Sequence[str],
+    separator: frozenset[str],
+) -> tuple[frozenset[str], frozenset[str]]:
+    """Heuristic partition minimizing ``I(Y; Z | X)`` for larger sets.
+
+    Builds the pairwise conditional-MI graph among ``attributes`` (given
+    the separator) and grows ``Y`` from the most strongly tied pair:
+    attributes whose maximum tie to ``Y`` exceeds their maximum tie to the
+    rest join ``Y``.  One local-improvement sweep then tries single moves.
+    """
+    items = sorted(attributes)
+    if len(items) < 2:
+        raise DiscoveryError("greedy partition needs at least two attributes")
+    if len(items) == 2:
+        return frozenset({items[0]}), frozenset({items[1]})
+
+    pair_cmi: dict[tuple[str, str], float] = {}
+    for a, b in itertools.combinations(items, 2):
+        pair_cmi[(a, b)] = conditional_mutual_information(
+            relation, [a], [b], separator
+        )
+
+    def tie(a: str, b: str) -> float:
+        return pair_cmi[(a, b) if (a, b) in pair_cmi else (b, a)]
+
+    # Seed Y with the most strongly tied pair: splitting them apart would
+    # cost the most, so they belong together.
+    seed = max(pair_cmi, key=pair_cmi.get)
+    left = {seed[0], seed[1]}
+    right = set(items) - left
+    # Move attributes that are more tied to `left` than to `right`.
+    moved = True
+    while moved and len(right) > 1:
+        moved = False
+        for attr in sorted(right):
+            if len(right) == 1:
+                break
+            to_left = max(tie(attr, other) for other in left)
+            to_right = max((tie(attr, other) for other in right if other != attr),
+                           default=0.0)
+            if to_left > to_right:
+                left.add(attr)
+                right.discard(attr)
+                moved = True
+
+    def cost(y: set[str], z: set[str]) -> float:
+        return conditional_mutual_information(relation, y, z, separator)
+
+    best = (frozenset(left), frozenset(right))
+    best_cost = cost(left, right)
+    # One local-improvement sweep: try moving each attribute across.
+    for attr in items:
+        if attr in left and len(left) > 1:
+            new_left, new_right = left - {attr}, right | {attr}
+        elif attr in right and len(right) > 1:
+            new_left, new_right = left | {attr}, right - {attr}
+        else:
+            continue
+        candidate_cost = cost(new_left, new_right)
+        if candidate_cost < best_cost:
+            best = (frozenset(new_left), frozenset(new_right))
+            best_cost = candidate_cost
+            left, right = set(new_left), set(new_right)
+    return best

@@ -1,0 +1,128 @@
+"""Exhaustive search over hierarchical acyclic schemas (miner baseline).
+
+The greedy miner (:mod:`repro.discovery.miner`) accepts the first split
+below threshold at each level; this module enumerates *every* schema
+reachable by recursive binary MVD splits and returns the global optimum,
+providing an exactness baseline for small attribute counts (the space is
+super-exponential: use ``n ≤ 6``).
+
+A "hierarchical schema" here is the family produced by recursively
+splitting an attribute set ``V`` into ``(X ∪ Y) , (X ∪ Z)`` with
+``X = separator``, ``Y ⊎ Z = V∖X`` — exactly the search space of [14]'s
+miner and of ours.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from functools import lru_cache
+
+from repro.core.jmeasure import j_measure
+from repro.core.loss import spurious_loss
+from repro.discovery.candidates import binary_partitions, candidate_separators
+from repro.discovery.miner import MinedSchema
+from repro.errors import DiscoveryError
+from repro.jointrees.build import jointree_from_schema
+from repro.relations.relation import Relation
+
+#: Hard cap on attribute count for exhaustive enumeration.
+MAX_EXHAUSTIVE_ATTRIBUTES = 6
+
+
+def hierarchical_schemas(
+    attributes: frozenset[str], *, max_separator_size: int = 2
+) -> Iterator[frozenset[frozenset[str]]]:
+    """Yield every hierarchical schema over ``attributes`` (deduplicated).
+
+    Includes the trivial one-bag schema.  Exponential; guarded by
+    :data:`MAX_EXHAUSTIVE_ATTRIBUTES`.
+    """
+    if len(attributes) > MAX_EXHAUSTIVE_ATTRIBUTES:
+        raise DiscoveryError(
+            f"exhaustive enumeration capped at {MAX_EXHAUSTIVE_ATTRIBUTES} "
+            f"attributes; got {len(attributes)}"
+        )
+
+    @lru_cache(maxsize=None)
+    def decompositions(attrs: frozenset[str]) -> frozenset[frozenset[frozenset[str]]]:
+        """All bag-sets reachable from ``attrs`` (as frozensets of bags)."""
+        results = {frozenset({attrs})}
+        if len(attrs) >= 2:
+            for separator in candidate_separators(
+                sorted(attrs), max_separator_size
+            ):
+                rest = attrs - separator
+                if len(rest) < 2:
+                    continue
+                for left, right in binary_partitions(sorted(rest)):
+                    for left_schema in decompositions(separator | left):
+                        for right_schema in decompositions(separator | right):
+                            results.add(left_schema | right_schema)
+        return frozenset(results)
+
+    from repro.jointrees.gyo import is_acyclic
+
+    seen: set[frozenset[frozenset[str]]] = set()
+    for schema in decompositions(frozenset(attributes)):
+        # Drop non-maximal bags (can appear when a separator bag is
+        # swallowed by a larger sibling bag).
+        maximal = frozenset(
+            bag for bag in schema if not any(bag < other for other in schema)
+        )
+        if maximal in seen:
+            continue
+        seen.add(maximal)
+        # Recursive splits are not closed under union (the glued schema
+        # can be cyclic when a separator scatters across bags); keep only
+        # genuine acyclic schemas.
+        if is_acyclic(maximal):
+            yield maximal
+
+
+def mine_exhaustive(
+    relation: Relation,
+    *,
+    threshold: float = 1e-9,
+    max_separator_size: int = 2,
+) -> MinedSchema:
+    """Globally optimal hierarchical schema by full enumeration.
+
+    Objective: among schemas whose J-measure is at most ``threshold``,
+    pick the one with the most bags (finest decomposition), breaking
+    ties by smaller J; if none beats the trivial schema, return the
+    trivial schema.  This matches the greedy miner's goal so the two are
+    directly comparable.
+    """
+    if relation.is_empty():
+        raise DiscoveryError("cannot mine a schema from an empty relation")
+    attrs = relation.schema.name_set
+
+    best_tree = None
+    best_key: tuple[float, float] | None = None
+    seen: set[frozenset[frozenset[str]]] = set()
+    for schema in hierarchical_schemas(
+        attrs, max_separator_size=max_separator_size
+    ):
+        if schema in seen:
+            continue
+        seen.add(schema)
+        tree = jointree_from_schema(schema)
+        j_value = j_measure(relation, tree)
+        if j_value > threshold:
+            continue
+        key = (-float(len(schema)), j_value)
+        if best_key is None or key < best_key:
+            best_key = key
+            best_tree = tree
+    if best_tree is None:  # even the trivial schema exceeded the threshold?
+        raise DiscoveryError(
+            "no hierarchical schema met the threshold (the trivial schema "
+            "has J = 0, so this indicates an internal error)"
+        )
+    return MinedSchema(
+        jointree=best_tree,
+        bags=frozenset(best_tree.schema()),
+        j_value=j_measure(relation, best_tree),
+        rho=spurious_loss(relation, best_tree),
+        splits=(),
+    )

@@ -1,0 +1,109 @@
+"""Schema frontier: the Pareto trade-off between compression and loss.
+
+For a small relation, enumerate every hierarchical acyclic schema and
+chart the two axes the paper's motivation cares about:
+
+* **compression** — storage cells of the factorized representation
+  relative to the original (``repro.jointrees.metrics.compression_ratio``);
+* **loss** — the J-measure (and through Lemma 4.1, a certified floor on
+  spurious tuples), plus the realized ``ρ``.
+
+:func:`schema_frontier` returns every schema's point;
+:func:`pareto_front` filters to the non-dominated ones (minimize both
+axes).  This is the decision-support view for "approximately fitting" a
+schema: pick a point on the front.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.jmeasure import j_measure
+from repro.core.loss import spurious_loss
+from repro.discovery.exhaustive import hierarchical_schemas
+from repro.errors import DiscoveryError
+from repro.jointrees.build import jointree_from_schema
+from repro.jointrees.metrics import compression_ratio
+from repro.relations.relation import Relation
+
+
+@dataclass(frozen=True)
+class FrontierPoint:
+    """One schema's position in (compression, loss) space."""
+
+    bags: frozenset[frozenset[str]]
+    num_bags: int
+    compression: float     # factorized cells / original cells (lower=better)
+    j_value: float         # nats (lower = better)
+    rho: float
+
+    def dominates(self, other: "FrontierPoint") -> bool:
+        """Strict Pareto dominance on (compression, J)."""
+        no_worse = (
+            self.compression <= other.compression + 1e-12
+            and self.j_value <= other.j_value + 1e-12
+        )
+        better = (
+            self.compression < other.compression - 1e-12
+            or self.j_value < other.j_value - 1e-12
+        )
+        return no_worse and better
+
+
+def schema_frontier(
+    relation: Relation,
+    *,
+    max_separator_size: int = 2,
+    compute_rho: bool = True,
+) -> list[FrontierPoint]:
+    """Evaluate every hierarchical schema of the relation's attributes.
+
+    Exponential in the attribute count (capped at
+    :data:`repro.discovery.exhaustive.MAX_EXHAUSTIVE_ATTRIBUTES`).
+    Points are sorted by (compression, J).
+    """
+    if relation.is_empty():
+        raise DiscoveryError("cannot profile an empty relation")
+    points = []
+    for schema in hierarchical_schemas(
+        relation.schema.name_set, max_separator_size=max_separator_size
+    ):
+        tree = jointree_from_schema(schema)
+        points.append(
+            FrontierPoint(
+                bags=schema,
+                num_bags=len(schema),
+                compression=compression_ratio(relation, tree),
+                j_value=j_measure(relation, tree),
+                rho=spurious_loss(relation, tree) if compute_rho else float("nan"),
+            )
+        )
+    points.sort(key=lambda p: (p.compression, p.j_value))
+    return points
+
+
+def pareto_front(points: list[FrontierPoint]) -> list[FrontierPoint]:
+    """The non-dominated subset, sorted by compression."""
+    front = [
+        p
+        for p in points
+        if not any(q.dominates(p) for q in points)
+    ]
+    front.sort(key=lambda p: (p.compression, p.j_value))
+    return front
+
+
+def format_frontier(points: list[FrontierPoint]) -> str:
+    """Render frontier points as an aligned table."""
+    header = f"{'bags':>40} {'m':>3} {'cells%':>7} {'J':>8} {'rho':>8}"
+    lines = [header, "-" * len(header)]
+    for p in points:
+        bags = " ".join(
+            "{" + ",".join(sorted(b)) + "}"
+            for b in sorted(p.bags, key=lambda b: sorted(b))
+        )
+        lines.append(
+            f"{bags:>40} {p.num_bags:>3} {p.compression:>7.1%} "
+            f"{p.j_value:>8.4f} {p.rho:>8.4f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,60 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised intentionally by the library derives from
+:class:`ReproError`, so callers can catch library failures with a single
+``except`` clause while still distinguishing the failure mode by subclass.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class SchemaError(ReproError):
+    """A relation schema is malformed (duplicate attributes, empty, ...)."""
+
+
+class DomainError(SchemaError):
+    """A tuple value falls outside the declared attribute domain."""
+
+
+class ArityError(SchemaError):
+    """A tuple's length does not match the schema's attribute count."""
+
+
+class UnknownAttributeError(SchemaError):
+    """An operation referenced an attribute the schema does not contain."""
+
+
+class JoinTreeError(ReproError):
+    """A join tree is structurally invalid (not a tree, bad bags, ...)."""
+
+
+class RunningIntersectionError(JoinTreeError):
+    """A candidate join tree violates the running intersection property."""
+
+
+class CyclicSchemaError(JoinTreeError):
+    """A schema expected to be acyclic admits no join tree (GYO failed)."""
+
+
+class DistributionError(ReproError):
+    """A probability distribution is malformed (negative mass, sum != 1)."""
+
+
+class BoundConditionError(ReproError):
+    """A theorem's qualifying condition is violated and ``strict`` was set."""
+
+
+class SamplingError(ReproError):
+    """The random-relation sampler received infeasible parameters."""
+
+
+class DiscoveryError(ReproError):
+    """The schema miner could not produce a valid decomposition."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness was configured inconsistently."""

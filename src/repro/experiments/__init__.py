@@ -1,0 +1,21 @@
+"""The paper's evaluation harness (experiment index in DESIGN.md §3)."""
+
+from repro.experiments import (
+    classwise_bounds,
+    discovery_quality,
+    estimator_bias,
+    figure1,
+    lower_bound,
+    schema_bounds,
+    upper_bound,
+)
+
+__all__ = [
+    "classwise_bounds",
+    "discovery_quality",
+    "estimator_bias",
+    "figure1",
+    "lower_bound",
+    "schema_bounds",
+    "upper_bound",
+]

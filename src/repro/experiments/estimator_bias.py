@@ -1,0 +1,103 @@
+"""Experiment E10 — entropy-estimator bias vs the Prop 5.4 deficit.
+
+Proposition 5.4 bounds the *plug-in* entropy's negative bias under the
+random relation model; this ablation measures how far bias-corrected
+estimators (Miller–Madow, jackknife) close the gap to the exact
+expectation computed in closed form
+(:mod:`repro.concentration.expected_entropy`).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.concentration.expected_entropy import exact_expected_entropy
+from repro.core.random_relations import random_relation
+from repro.errors import ExperimentError
+from repro.info.estimators import jackknife, miller_madow, plug_in
+
+
+@dataclass(frozen=True)
+class EstimatorBiasRow:
+    """Mean absolute error of each estimator at one configuration."""
+
+    d: int
+    eta: int
+    exact_expected: float       # E[H(A_S)] in closed form
+    truth: float                # log d (the asymptotic value)
+    plug_in_deficit: float      # truth − mean plug-in estimate
+    miller_madow_error: float   # |truth − estimate|, averaged
+    jackknife_error: float
+
+
+def run_estimator_bias(
+    *,
+    ds: Sequence[int] = (32, 64, 128),
+    density: float = 0.25,
+    trials: int = 20,
+    seed: int = 43,
+) -> list[EstimatorBiasRow]:
+    """Measure estimator bias across domain sizes."""
+    if not 0 < density <= 1:
+        raise ExperimentError(f"density must lie in (0, 1], got {density}")
+    if trials <= 0:
+        raise ExperimentError(f"trials must be positive, got {trials}")
+    rng = np.random.default_rng(seed)
+    rows = []
+    for d in ds:
+        eta = max(2, int(density * d * d))
+        truth = math.log(d)
+        plug_vals, mm_errs, jk_errs = [], [], []
+        for _ in range(trials):
+            relation = random_relation({"A": d, "B": d}, eta, rng)
+            counts = list(relation.projection_counts(["A"]).values())
+            plug_vals.append(plug_in(counts))
+            mm_errs.append(abs(truth - miller_madow(counts)))
+            jk_errs.append(abs(truth - jackknife(counts)))
+        rows.append(
+            EstimatorBiasRow(
+                d=d,
+                eta=eta,
+                exact_expected=exact_expected_entropy(d, d, eta),
+                truth=truth,
+                plug_in_deficit=truth - float(np.mean(plug_vals)),
+                miller_madow_error=float(np.mean(mm_errs)),
+                jackknife_error=float(np.mean(jk_errs)),
+            )
+        )
+    return rows
+
+
+def format_table(rows: Sequence[EstimatorBiasRow]) -> str:
+    """Render the E10 series."""
+    header = (
+        f"{'d':>5} {'eta':>7} {'log d':>8} {'E[H] exact':>11} "
+        f"{'plug-in deficit':>16} {'MM |err|':>9} {'JK |err|':>9}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.d:>5} {row.eta:>7} {row.truth:>8.4f} "
+            f"{row.exact_expected:>11.4f} {row.plug_in_deficit:>16.5f} "
+            f"{row.miller_madow_error:>9.5f} {row.jackknife_error:>9.5f}"
+        )
+    return "\n".join(lines)
+
+
+def main() -> None:
+    """Print the estimator-bias ablation."""
+    print("E10 — entropy-estimator bias vs the Prop 5.4 deficit")
+    rows = run_estimator_bias()
+    print(format_table(rows))
+    print(
+        "Reading: the plug-in deficit matches log d − E[H] (exact column); "
+        "bias-corrected estimators shrink it."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,169 @@
+"""Experiments E2/E3 — the deterministic lower bound (Lemma 4.1).
+
+* **E2** replays Example 4.1: for the diagonal relation family the bound
+  ``ρ ≥ e^J − 1`` is an *equality* for every ``N ≥ 2``.
+* **E3** stress-tests the bound across random, planted-then-noised, and
+  structured instances: it must never fail, and the experiment reports
+  the gap distribution (how loose the bound gets away from the tight
+  family).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.bounds import loss_lower_bound
+from repro.core.jmeasure import j_measure
+from repro.core.loss import spurious_loss
+from repro.core.random_relations import random_relation
+from repro.datasets.noise import perturb
+from repro.datasets.synthetic import diagonal_relation, planted_mvd_relation
+from repro.errors import ExperimentError
+from repro.jointrees.build import jointree_from_schema
+from repro.jointrees.jointree import JoinTree
+from repro.relations.relation import Relation
+
+
+@dataclass(frozen=True)
+class TightnessRow:
+    """E2: one diagonal-family instance."""
+
+    n: int
+    j_value: float
+    log_loss: float
+
+    @property
+    def gap(self) -> float:
+        """``log(1+ρ) − J`` — exactly zero for the diagonal family."""
+        return self.log_loss - self.j_value
+
+
+def run_diagonal_tightness(
+    ns: Sequence[int] = (2, 5, 10, 50, 100, 500, 1000),
+) -> list[TightnessRow]:
+    """E2: verify ``J = log(1+ρ)`` on Example 4.1's family."""
+    tree = jointree_from_schema([{"A"}, {"B"}])
+    rows = []
+    for n in ns:
+        relation = diagonal_relation(n)
+        rows.append(
+            TightnessRow(
+                n=n,
+                j_value=j_measure(relation, tree),
+                log_loss=math.log1p(spurious_loss(relation, tree)),
+            )
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class LowerBoundRow:
+    """E3: one instance's loss versus its Lemma 4.1 floor."""
+
+    label: str
+    n: int
+    j_value: float
+    rho: float
+    rho_floor: float
+
+    @property
+    def holds(self) -> bool:
+        """``ρ ≥ e^J − 1`` with floating-point slack."""
+        return self.rho + 1e-9 * max(1.0, self.rho) >= self.rho_floor
+
+    @property
+    def slack(self) -> float:
+        """``ρ − (e^J − 1)`` — how loose the bound is here."""
+        return self.rho - self.rho_floor
+
+
+def _measure(label: str, relation: Relation, tree: JoinTree) -> LowerBoundRow:
+    j_value = j_measure(relation, tree)
+    return LowerBoundRow(
+        label=label,
+        n=len(relation),
+        j_value=j_value,
+        rho=spurious_loss(relation, tree),
+        rho_floor=loss_lower_bound(j_value),
+    )
+
+
+def run_lower_bound_gap(*, trials: int = 5, seed: int = 7) -> list[LowerBoundRow]:
+    """E3: the lower bound across heterogeneous workloads.
+
+    Workloads: sparse/dense random relations under an MVD schema, planted
+    MVD instances with increasing insertion noise, and a three-bag chain
+    schema over four attributes.
+    """
+    if trials <= 0:
+        raise ExperimentError(f"trials must be positive, got {trials}")
+    rng = np.random.default_rng(seed)
+    rows: list[LowerBoundRow] = []
+
+    mvd_tree = jointree_from_schema([{"A", "C"}, {"B", "C"}])
+    for density, label in ((0.05, "random sparse"), (0.4, "random dense")):
+        for _ in range(trials):
+            total = 12 * 12 * 4
+            n = max(4, int(density * total))
+            relation = random_relation({"A": 12, "B": 12, "C": 4}, n, rng)
+            rows.append(_measure(label, relation, mvd_tree))
+
+    for rate in (0.0, 0.1, 0.3):
+        for _ in range(trials):
+            base = planted_mvd_relation(10, 10, 4, rng)
+            noisy = perturb(base, rng, insert_rate=rate)
+            rows.append(_measure(f"planted noise={rate:.1f}", noisy, mvd_tree))
+
+    chain = jointree_from_schema([{"A", "B"}, {"B", "C"}, {"C", "D"}])
+    for _ in range(trials):
+        relation = random_relation({"A": 6, "B": 6, "C": 6, "D": 6}, 80, rng)
+        rows.append(_measure("chain m=3", relation, chain))
+    return rows
+
+
+def format_tightness_table(rows: Sequence[TightnessRow]) -> str:
+    """Render the E2 series."""
+    header = f"{'N':>6} {'J':>10} {'log(1+rho)':>11} {'gap':>11}"
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.n:>6} {row.j_value:>10.6f} {row.log_loss:>11.6f} "
+            f"{row.gap:>11.2e}"
+        )
+    return "\n".join(lines)
+
+
+def format_gap_table(rows: Sequence[LowerBoundRow]) -> str:
+    """Render the E3 series."""
+    header = (
+        f"{'workload':>20} {'N':>6} {'J':>9} {'rho':>10} "
+        f"{'floor':>10} {'slack':>10} {'ok':>3}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.label:>20} {row.n:>6} {row.j_value:>9.4f} {row.rho:>10.4f} "
+            f"{row.rho_floor:>10.4f} {row.slack:>10.4f} "
+            f"{'ok' if row.holds else 'NO':>3}"
+        )
+    return "\n".join(lines)
+
+
+def main() -> None:
+    """Print both lower-bound experiments."""
+    print("E2 / Example 4.1 — tightness of the lower bound (diagonal family)")
+    tight = run_diagonal_tightness()
+    print(format_tightness_table(tight))
+    print()
+    print("E3 / Lemma 4.1 — rho >= e^J − 1 across workloads")
+    gaps = run_lower_bound_gap()
+    print(format_gap_table(gaps))
+    print(f"bound held on {sum(r.holds for r in gaps)}/{len(gaps)} instances")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Experiment registry: run any paper experiment by id.
+
+Maps the experiment ids of DESIGN.md §3 to their ``main()`` entry points.
+``python -m repro.experiments.runner E1`` prints Figure 1's series;
+``python -m repro.experiments.runner all`` runs the full suite.
+"""
+
+from __future__ import annotations
+
+import sys
+from collections.abc import Callable, Sequence
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    classwise_bounds,
+    discovery_quality,
+    estimator_bias,
+    figure1,
+    lower_bound,
+    schema_bounds,
+    upper_bound,
+)
+
+#: Experiment id → (description, entry point).
+REGISTRY: dict[str, tuple[str, Callable[[], None]]] = {
+    "E1": ("Figure 1: MI scattering vs log(1+rho)", figure1.main),
+    "E2": ("Example 4.1: lower-bound tightness", lower_bound.main),
+    "E3": ("Lemma 4.1: lower bound across workloads", lower_bound.main),
+    "E4": ("Thm 5.2: entropy confidence", upper_bound.main),
+    "E5": ("Thm 5.1: MVD upper bound", upper_bound.main),
+    "E6": ("Prop 5.1: product bound", schema_bounds.main),
+    "E7": ("Thm 2.2: sandwich bounds", schema_bounds.main),
+    "E8": ("Discovery: J vs rho, schema recovery", discovery_quality.main),
+    "E9": ("Per-class glue of Thm 5.1 (Eq 44/336, Lemma C.1)", classwise_bounds.main),
+    "E10": ("Estimator bias vs Prop 5.4 deficit", estimator_bias.main),
+}
+
+
+def run(experiment_id: str) -> None:
+    """Run one experiment by id (case-insensitive)."""
+    key = experiment_id.upper()
+    if key not in REGISTRY:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; "
+            f"known ids: {', '.join(sorted(REGISTRY))}"
+        )
+    REGISTRY[key][1]()
+
+
+def run_all() -> None:
+    """Run the full suite (each shared entry point once)."""
+    seen: set[Callable[[], None]] = set()
+    for key in sorted(REGISTRY):
+        __, entry = REGISTRY[key]
+        if entry in seen:
+            continue
+        seen.add(entry)
+        entry()
+        print()
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point for the experiment runner."""
+    args = list(sys.argv[1:] if argv is None else argv)
+    if not args or args[0] in {"-h", "--help"}:
+        print("usage: python -m repro.experiments.runner <experiment-id>|all")
+        for key in sorted(REGISTRY):
+            print(f"  {key}: {REGISTRY[key][0]}")
+        return 0
+    if args[0].lower() == "all":
+        run_all()
+        return 0
+    run(args[0])
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

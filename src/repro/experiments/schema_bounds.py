@@ -1,0 +1,150 @@
+"""Experiments E6/E7 — schema-level inequalities.
+
+* **E6** (Proposition 5.1): the product bound
+  ``log(1+ρ(R,S)) ≤ Σᵢ log(1+ρ(R,φᵢ))`` over multi-node schemas (chains
+  and stars, ``m = 3 … 5``), together with the provably correct
+  *stepwise expansion* replacement (see the Prop 5.1 erratum in
+  EXPERIMENTS.md: the paper's inequality admits counterexamples, so the
+  experiment reports its empirical violation rate rather than asserting
+  it).
+* **E7** (Theorem 2.2): the sandwich
+  ``maxᵢ Iᵢ ≤ J(T) ≤ Σᵢ Iᵢ`` across the same instances — this one is
+  unconditional and must always hold.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.bounds import product_bound_check, stepwise_expansion_check
+from repro.core.jmeasure import sandwich_bounds
+from repro.core.random_relations import random_relation
+from repro.errors import ExperimentError
+from repro.jointrees.build import jointree_from_schema
+from repro.jointrees.jointree import JoinTree
+
+
+def _workloads() -> list[tuple[str, dict[str, int], JoinTree]]:
+    """The chain/star schema zoo used by both experiments."""
+    chain4 = jointree_from_schema([{"A", "B"}, {"B", "C"}, {"C", "D"}])
+    chain5 = jointree_from_schema(
+        [{"A", "B"}, {"B", "C"}, {"C", "D"}, {"D", "E"}]
+    )
+    star4 = jointree_from_schema([{"X", "A"}, {"X", "B"}, {"X", "C"}])
+    star5 = jointree_from_schema([{"X", "A"}, {"X", "B"}, {"X", "C"}, {"X", "D"}])
+    wide_chain = jointree_from_schema([{"A", "B", "C"}, {"B", "C", "D"}, {"C", "D", "E"}])
+    return [
+        ("chain m=3", {"A": 6, "B": 6, "C": 6, "D": 6}, chain4),
+        ("chain m=4", {"A": 5, "B": 5, "C": 5, "D": 5, "E": 5}, chain5),
+        ("star  m=3", {"X": 4, "A": 6, "B": 6, "C": 6}, star4),
+        ("star  m=4", {"X": 4, "A": 5, "B": 5, "C": 5, "D": 5}, star5),
+        ("chain bags=3attrs", {"A": 4, "B": 4, "C": 4, "D": 4, "E": 4}, wide_chain),
+    ]
+
+
+@dataclass(frozen=True)
+class SchemaBoundRow:
+    """E6 + E7 results for one sampled instance."""
+
+    label: str
+    n: int
+    product_lhs: float
+    product_rhs: float
+    stepwise_rhs: float
+    sandwich_lower: float
+    j_value: float
+    sandwich_upper: float
+
+    @property
+    def product_holds(self) -> bool:
+        """Proposition 5.1's inequality on this instance (may fail; erratum)."""
+        return self.product_lhs <= self.product_rhs + 1e-9
+
+    @property
+    def stepwise_holds(self) -> bool:
+        """The stepwise replacement — provably always true."""
+        return self.product_lhs <= self.stepwise_rhs + 1e-9
+
+    @property
+    def sandwich_holds(self) -> bool:
+        """Theorem 2.2's sandwich on this instance."""
+        slack = 1e-9 * max(1.0, self.sandwich_upper)
+        return (
+            self.sandwich_lower <= self.j_value + slack
+            and self.j_value <= self.sandwich_upper + slack
+        )
+
+
+def run_schema_bounds(
+    *, density: float = 0.15, trials: int = 5, seed: int = 17
+) -> list[SchemaBoundRow]:
+    """Evaluate E6/E7 over the schema zoo with random instances."""
+    if not 0 < density <= 1:
+        raise ExperimentError(f"density must lie in (0, 1], got {density}")
+    if trials <= 0:
+        raise ExperimentError(f"trials must be positive, got {trials}")
+    rng = np.random.default_rng(seed)
+    rows = []
+    for label, sizes, tree in _workloads():
+        total = int(np.prod(list(sizes.values())))
+        n = max(4, int(density * total))
+        for _ in range(trials):
+            relation = random_relation(sizes, n, rng)
+            product = product_bound_check(relation, tree)
+            stepwise = stepwise_expansion_check(relation, tree)
+            sandwich = sandwich_bounds(relation, tree)
+            rows.append(
+                SchemaBoundRow(
+                    label=label,
+                    n=n,
+                    product_lhs=product.lhs,
+                    product_rhs=product.rhs,
+                    stepwise_rhs=stepwise.rhs,
+                    sandwich_lower=sandwich.lower,
+                    j_value=sandwich.j_value,
+                    sandwich_upper=sandwich.upper,
+                )
+            )
+    return rows
+
+
+def format_table(rows: Sequence[SchemaBoundRow]) -> str:
+    """Render the E6/E7 series."""
+    header = (
+        f"{'schema':>18} {'N':>6} {'lhs':>8} {'P5.1rhs':>8} {'steprhs':>8} "
+        f"{'maxI':>8} {'J':>8} {'sumI':>8} {'P5.1':>5} {'step':>5} {'T2.2':>5}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.label:>18} {row.n:>6} {row.product_lhs:>8.4f} "
+            f"{row.product_rhs:>8.4f} {row.stepwise_rhs:>8.4f} "
+            f"{row.sandwich_lower:>8.4f} {row.j_value:>8.4f} "
+            f"{row.sandwich_upper:>8.4f} "
+            f"{'ok' if row.product_holds else 'NO':>5} "
+            f"{'ok' if row.stepwise_holds else 'NO':>5} "
+            f"{'ok' if row.sandwich_holds else 'NO':>5}"
+        )
+    return "\n".join(lines)
+
+
+def main() -> None:
+    """Print the schema-level bound experiments."""
+    print("E6 / Prop 5.1 + E7 / Thm 2.2 — schema-level bounds")
+    rows = run_schema_bounds()
+    print(format_table(rows))
+    p_ok = sum(1 for r in rows if r.product_holds)
+    s_ok = sum(1 for r in rows if r.stepwise_holds)
+    t_ok = sum(1 for r in rows if r.sandwich_holds)
+    print(
+        f"Prop 5.1 held on {p_ok}/{len(rows)} (can fail; see erratum), "
+        f"stepwise bound on {s_ok}/{len(rows)}, "
+        f"Thm 2.2 sandwich on {t_ok}/{len(rows)}"
+    )
+
+
+if __name__ == "__main__":
+    main()

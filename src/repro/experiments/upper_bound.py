@@ -1,0 +1,203 @@
+"""Experiments E4/E5 — the probabilistic upper bounds (Section 5).
+
+* **E4** (Theorem 5.2 / Proposition 5.4): sample ``A_S`` from the random
+  relation model with ``d_C = 1`` and measure the entropy deficit
+  ``log d_A − H(A_S)`` against the confidence radius
+  ``20·√(d_A·log³(η/δ)/η)`` and the expected-value bound ``C(d_B)``.
+  Coverage must be at least ``1 − δ``; the deficit must shrink with ``η``.
+* **E5** (Theorem 5.1 / Corollary 5.2.1): sample full MVD instances and
+  compare ``log(1 + ρ(R_S, φ))`` with ``I(A_S; B_S | C_S) + ε*``.  The
+  empirical violation rate must stay below ``δ``, and ``ε*`` shrinks like
+  ``Õ(√(d_A·d/N))``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.bounds import (
+    entropy_confidence_radius,
+    epsilon_star,
+    expected_entropy_bounds,
+)
+from repro.core.loss import split_loss
+from repro.core.random_relations import random_relation
+from repro.errors import ExperimentError
+from repro.info.divergence import conditional_mutual_information
+from repro.info.entropy import joint_entropy
+
+
+@dataclass(frozen=True)
+class EntropyConfidenceRow:
+    """E4: entropy deficit statistics at one sample size ``η``."""
+
+    d_a: int
+    d_b: int
+    eta: int
+    deficit_mean: float
+    deficit_max: float
+    radius: float
+    expected_bound: float
+    coverage: float
+    in_regime: bool
+
+
+def run_entropy_confidence(
+    *,
+    d_a: int = 256,
+    d_b: int = 256,
+    etas: Sequence[int] = (16384, 32768, 65536),
+    delta: float = 0.1,
+    trials: int = 20,
+    seed: int = 11,
+) -> list[EntropyConfidenceRow]:
+    """E4: measure ``log d_A − H(A_S)`` against Theorem 5.2's radius."""
+    if trials <= 0:
+        raise ExperimentError(f"trials must be positive, got {trials}")
+    rng = np.random.default_rng(seed)
+    rows = []
+    for eta in etas:
+        if eta > d_a * d_b:
+            raise ExperimentError(
+                f"η = {eta} exceeds the product domain {d_a * d_b}"
+            )
+        deficits = []
+        for _ in range(trials):
+            relation = random_relation({"A": d_a, "B": d_b}, eta, rng)
+            deficits.append(math.log(d_a) - joint_entropy(relation, ["A"]))
+        radius_report = entropy_confidence_radius(d_a, d_b, eta, delta)
+        expected_report = expected_entropy_bounds(d_a, d_b, eta)
+        covered = sum(1 for d in deficits if d <= radius_report.value)
+        rows.append(
+            EntropyConfidenceRow(
+                d_a=d_a,
+                d_b=d_b,
+                eta=eta,
+                deficit_mean=float(np.mean(deficits)),
+                deficit_max=float(np.max(deficits)),
+                radius=radius_report.value,
+                expected_bound=expected_report.value,
+                coverage=covered / trials,
+                in_regime=radius_report.condition_holds,
+            )
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class UpperBoundRow:
+    """E5: one MVD configuration, aggregated over trials."""
+
+    d: int
+    d_c: int
+    n: int
+    log_loss_mean: float
+    cmi_mean: float
+    epsilon: float
+    bare_violation_rate: float   # log(1+ρ) > I          (no slack term)
+    bound_violation_rate: float  # log(1+ρ) > I + ε*     (Thm 5.1 event)
+    in_regime: bool
+
+
+def run_mvd_upper_bound(
+    *,
+    ds: Sequence[int] = (16, 32, 64),
+    d_c: int = 4,
+    density: float = 0.5,
+    delta: float = 0.1,
+    trials: int = 10,
+    seed: int = 13,
+) -> list[UpperBoundRow]:
+    """E5: ``log(1+ρ(R_S,φ)) ≤ I(A;B|C) + ε*`` empirically.
+
+    For each ``d ∈ ds`` samples ``N = density·d·d·d_C`` tuples over
+    ``d_A = d_B = d`` and the MVD ``φ = C ↠ A|B``.
+    """
+    if not 0 < density <= 1:
+        raise ExperimentError(f"density must lie in (0, 1], got {density}")
+    if trials <= 0:
+        raise ExperimentError(f"trials must be positive, got {trials}")
+    rng = np.random.default_rng(seed)
+    rows = []
+    for d in ds:
+        n = max(4, int(density * d * d * d_c))
+        log_losses = []
+        cmis = []
+        bare_violations = 0
+        bound_violations = 0
+        eps = epsilon_star(d, d, d_c, n, delta)
+        for _ in range(trials):
+            relation = random_relation({"A": d, "B": d, "C": d_c}, n, rng)
+            rho = split_loss(relation, {"A", "C"}, {"B", "C"})
+            cmi = conditional_mutual_information(relation, ["A"], ["B"], ["C"])
+            log_loss = math.log1p(rho)
+            log_losses.append(log_loss)
+            cmis.append(cmi)
+            if log_loss > cmi + 1e-12:
+                bare_violations += 1
+            if log_loss > cmi + eps.value:
+                bound_violations += 1
+        rows.append(
+            UpperBoundRow(
+                d=d,
+                d_c=d_c,
+                n=n,
+                log_loss_mean=float(np.mean(log_losses)),
+                cmi_mean=float(np.mean(cmis)),
+                epsilon=eps.value,
+                bare_violation_rate=bare_violations / trials,
+                bound_violation_rate=bound_violations / trials,
+                in_regime=eps.condition_holds,
+            )
+        )
+    return rows
+
+
+def format_entropy_table(rows: Sequence[EntropyConfidenceRow]) -> str:
+    """Render the E4 series."""
+    header = (
+        f"{'eta':>8} {'deficit_mean':>13} {'deficit_max':>12} "
+        f"{'radius(Thm5.2)':>15} {'C(d_B)':>9} {'coverage':>9} {'regime':>7}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.eta:>8} {row.deficit_mean:>13.6f} {row.deficit_max:>12.6f} "
+            f"{row.radius:>15.4f} {row.expected_bound:>9.4f} "
+            f"{row.coverage:>9.2f} {'yes' if row.in_regime else 'no':>7}"
+        )
+    return "\n".join(lines)
+
+
+def format_upper_table(rows: Sequence[UpperBoundRow]) -> str:
+    """Render the E5 series."""
+    header = (
+        f"{'d':>5} {'N':>8} {'log(1+rho)':>11} {'I(A;B|C)':>10} "
+        f"{'eps*':>9} {'bare_viol':>10} {'bound_viol':>11} {'regime':>7}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.d:>5} {row.n:>8} {row.log_loss_mean:>11.5f} "
+            f"{row.cmi_mean:>10.5f} {row.epsilon:>9.3f} "
+            f"{row.bare_violation_rate:>10.2f} {row.bound_violation_rate:>11.2f} "
+            f"{'yes' if row.in_regime else 'no':>7}"
+        )
+    return "\n".join(lines)
+
+
+def main() -> None:
+    """Print both upper-bound experiments."""
+    print("E4 / Thm 5.2 — entropy confidence (d_C = 1)")
+    print(format_entropy_table(run_entropy_confidence()))
+    print()
+    print("E5 / Thm 5.1 — log(1+rho) vs I + eps* for the MVD C ↠ A|B")
+    print(format_upper_table(run_mvd_upper_bound()))
+
+
+if __name__ == "__main__":
+    main()

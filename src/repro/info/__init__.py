@@ -1,0 +1,61 @@
+"""Information-theory substrate: distributions, entropies, divergences."""
+
+from repro.info.distribution import EmpiricalDistribution
+from repro.info.divergence import (
+    conditional_mutual_information,
+    distribution_conditional_mutual_information,
+    interaction_deficit,
+    kl_divergence,
+    kl_divergence_to_callable,
+    mutual_information,
+)
+from repro.info.entropy import (
+    conditional_entropy,
+    entropy_of_counts,
+    entropy_of_probs,
+    joint_entropy,
+    max_entropy,
+    relation_entropy,
+)
+from repro.info.estimators import (
+    estimate_joint_entropy,
+    jackknife,
+    miller_madow,
+    plug_in,
+)
+from repro.info.factorization import (
+    FactorizedDistribution,
+    junction_tree_factorization,
+    marginal_preservation_gaps,
+    models_tree,
+)
+from repro.info.functional import (
+    functional_entropy_exact,
+    functional_entropy_sample,
+)
+
+__all__ = [
+    "EmpiricalDistribution",
+    "FactorizedDistribution",
+    "conditional_entropy",
+    "conditional_mutual_information",
+    "distribution_conditional_mutual_information",
+    "entropy_of_counts",
+    "entropy_of_probs",
+    "estimate_joint_entropy",
+    "functional_entropy_exact",
+    "functional_entropy_sample",
+    "jackknife",
+    "interaction_deficit",
+    "joint_entropy",
+    "junction_tree_factorization",
+    "kl_divergence",
+    "kl_divergence_to_callable",
+    "marginal_preservation_gaps",
+    "max_entropy",
+    "miller_madow",
+    "models_tree",
+    "mutual_information",
+    "plug_in",
+    "relation_entropy",
+]

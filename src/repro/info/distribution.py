@@ -1,0 +1,224 @@
+"""Empirical (and general finite) distributions over attribute tuples.
+
+The paper associates with every relation instance ``R`` of size ``N`` its
+*empirical distribution*: the uniform distribution assigning ``1/N`` to
+each tuple (Section 2.2).  :class:`EmpiricalDistribution` generalizes this
+slightly to arbitrary finite distributions over named tuples, since the
+variational results of Section 3 hold for any joint distribution ``P``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Mapping
+
+from repro.errors import DistributionError, UnknownAttributeError
+from repro.relations.relation import Relation
+from repro.relations.schema import Row
+
+#: Tolerance for "probabilities sum to one" checks.
+_SUM_TOLERANCE = 1e-9
+
+
+class EmpiricalDistribution:
+    """A finite joint distribution over tuples of named attributes.
+
+    Parameters
+    ----------
+    attributes:
+        Attribute names, fixing tuple layout.
+    probabilities:
+        Mapping ``tuple -> probability``.  Probabilities must be
+        non-negative and sum to 1 (within tolerance); zero-probability
+        entries are dropped.
+
+    Examples
+    --------
+    >>> p = EmpiricalDistribution(("A", "B"), {(0, 0): 0.5, (1, 1): 0.5})
+    >>> p.prob((0, 0))
+    0.5
+    >>> p.marginal(["A"]).prob((1,))
+    0.5
+    """
+
+    __slots__ = ("_attributes", "_index", "_probs")
+
+    def __init__(
+        self,
+        attributes: Iterable[str],
+        probabilities: Mapping[Row, float],
+    ) -> None:
+        self._attributes = tuple(attributes)
+        if len(set(self._attributes)) != len(self._attributes):
+            raise DistributionError("duplicate attribute names")
+        if not self._attributes:
+            raise DistributionError("a distribution needs at least one attribute")
+        self._index = {name: i for i, name in enumerate(self._attributes)}
+        probs: dict[Row, float] = {}
+        total = 0.0
+        arity = len(self._attributes)
+        for row, p in probabilities.items():
+            if p < -_SUM_TOLERANCE:
+                raise DistributionError(f"negative probability {p} for {row!r}")
+            if len(row) != arity:
+                raise DistributionError(
+                    f"tuple {row!r} has arity {len(row)}, expected {arity}"
+                )
+            if p > 0.0:
+                probs[tuple(row)] = probs.get(tuple(row), 0.0) + p
+                total += p
+        if abs(total - 1.0) > 1e-6:
+            raise DistributionError(f"probabilities sum to {total}, expected 1")
+        self._probs = probs
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_relation(cls, relation: Relation) -> "EmpiricalDistribution":
+        """The uniform distribution over the tuples of ``relation``."""
+        n = len(relation)
+        if n == 0:
+            raise DistributionError(
+                "the empirical distribution of an empty relation is undefined"
+            )
+        p = 1.0 / n
+        return cls(relation.schema.names, {row: p for row in relation})
+
+    @classmethod
+    def from_counts(
+        cls, attributes: Iterable[str], counts: Mapping[Row, int]
+    ) -> "EmpiricalDistribution":
+        """Empirical distribution of a multiset given by multiplicities."""
+        total = sum(counts.values())
+        if total <= 0:
+            raise DistributionError("counts must have positive total")
+        return cls(attributes, {row: c / total for row, c in counts.items()})
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        """Attribute names in tuple-layout order."""
+        return self._attributes
+
+    def support(self) -> frozenset[Row]:
+        """Tuples with positive probability."""
+        return frozenset(self._probs)
+
+    def support_size(self) -> int:
+        """Number of tuples with positive probability."""
+        return len(self._probs)
+
+    def prob(self, row: Row) -> float:
+        """Probability of ``row`` (0 if outside the support)."""
+        return self._probs.get(tuple(row), 0.0)
+
+    def items(self):
+        """Iterate ``(tuple, probability)`` pairs."""
+        return self._probs.items()
+
+    def is_uniform(self, *, tolerance: float = 1e-9) -> bool:
+        """Whether all support points carry (nearly) equal mass."""
+        if not self._probs:
+            return True
+        target = 1.0 / len(self._probs)
+        return all(abs(p - target) <= tolerance for p in self._probs.values())
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def canonical_order(self, names: Iterable[str]) -> tuple[str, ...]:
+        """Order ``names`` by their layout position (mirrors RelationSchema)."""
+        wanted = set(names)
+        unknown = wanted - set(self._attributes)
+        if unknown:
+            raise UnknownAttributeError(
+                f"unknown attributes {sorted(unknown)}; "
+                f"distribution has {list(self._attributes)}"
+            )
+        return tuple(n for n in self._attributes if n in wanted)
+
+    def marginal(self, names: Iterable[str]) -> "EmpiricalDistribution":
+        """The marginal distribution ``P[names]``.
+
+        Output attribute order is canonical (layout order), so marginals
+        onto equal attribute *sets* are identical.
+        """
+        ordered = self.canonical_order(names)
+        if not ordered:
+            raise UnknownAttributeError("marginal onto the empty attribute set")
+        positions = tuple(self._index[n] for n in ordered)
+        out: dict[Row, float] = {}
+        for row, p in self._probs.items():
+            key = tuple(row[i] for i in positions)
+            out[key] = out.get(key, 0.0) + p
+        return EmpiricalDistribution(ordered, out)
+
+    def marginal_probs(self, names: Iterable[str]) -> dict[Row, float]:
+        """Marginal as a plain dict (avoids re-validation on hot paths)."""
+        ordered = self.canonical_order(names)
+        positions = tuple(self._index[n] for n in ordered)
+        out: dict[Row, float] = {}
+        for row, p in self._probs.items():
+            key = tuple(row[i] for i in positions)
+            out[key] = out.get(key, 0.0) + p
+        return out
+
+    def entropy(self, *, base: float | None = None) -> float:
+        """Shannon entropy ``H(P)`` in nats (or in the given ``base``)."""
+        h = -sum(p * math.log(p) for p in self._probs.values() if p > 0.0)
+        if base is not None:
+            h /= math.log(base)
+        return max(h, 0.0)
+
+    def restrict(self, name: str, value) -> "EmpiricalDistribution":
+        """The conditional distribution ``P(· | name = value)``."""
+        pos = self._index.get(name)
+        if pos is None:
+            raise UnknownAttributeError(f"unknown attribute {name!r}")
+        mass = {
+            row: p for row, p in self._probs.items() if row[pos] == value
+        }
+        total = sum(mass.values())
+        if total <= 0.0:
+            raise DistributionError(
+                f"conditioning event {name}={value!r} has probability 0"
+            )
+        return EmpiricalDistribution(
+            self._attributes, {row: p / total for row, p in mass.items()}
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EmpiricalDistribution):
+            return NotImplemented
+        if self._attributes != other._attributes:
+            return False
+        keys = set(self._probs) | set(other._probs)
+        return all(
+            math.isclose(
+                self._probs.get(k, 0.0), other._probs.get(k, 0.0), abs_tol=1e-9
+            )
+            for k in keys
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - defined for API symmetry
+        return hash(self._attributes)
+
+    def __repr__(self) -> str:
+        return (
+            f"EmpiricalDistribution({list(self._attributes)}, "
+            f"support={len(self._probs)})"
+        )
+
+    def total_variation(self, other: "EmpiricalDistribution") -> float:
+        """Total variation distance ``½ Σ |P − Q|`` to another distribution."""
+        if self._attributes != other._attributes:
+            raise DistributionError(
+                "total variation needs identical attribute layouts"
+            )
+        keys = set(self._probs) | set(other._probs)
+        return 0.5 * sum(
+            abs(self._probs.get(k, 0.0) - other._probs.get(k, 0.0)) for k in keys
+        )

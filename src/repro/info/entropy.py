@@ -1,0 +1,115 @@
+"""Entropy computations over relations and count vectors.
+
+The paper's entropies are always taken over the empirical distribution of
+a relation instance (Section 2.2): for a set ``Y ⊆ Ω`` of attributes,
+
+    H(Y) = log N − (1/N) · Σ_y |R(Y=y)| · log |R(Y=y)|,
+
+where the sum runs over the distinct values of the projection.  This module
+computes that directly from multiplicity counts, avoiding the construction
+of explicit probability dictionaries on hot paths.
+
+All functions return **nats** by default; pass ``base=2`` for bits.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.errors import DistributionError
+from repro.relations.relation import Relation
+
+
+def _convert(value_nats: float, base: float | None) -> float:
+    if base is None:
+        return value_nats
+    if base <= 0 or base == 1.0:
+        raise DistributionError(f"log base must be positive and != 1, got {base}")
+    return value_nats / math.log(base)
+
+
+def entropy_of_counts(counts: Iterable[int], *, base: float | None = None) -> float:
+    """Entropy of the empirical distribution given value multiplicities.
+
+    ``counts`` are the multiplicities of each distinct value; they need not
+    be normalized.  Zero counts are ignored.
+
+    Examples
+    --------
+    >>> round(entropy_of_counts([1, 1, 1, 1], base=2), 6)
+    2.0
+    """
+    arr = np.asarray([c for c in counts if c], dtype=np.float64)
+    if arr.size == 0:
+        raise DistributionError("entropy of an empty count vector is undefined")
+    if np.any(arr < 0):
+        raise DistributionError("counts must be non-negative")
+    total = float(arr.sum())
+    h = math.log(total) - float((arr * np.log(arr)).sum()) / total
+    return _convert(max(h, 0.0), base)
+
+
+def entropy_of_probs(probs: Iterable[float], *, base: float | None = None) -> float:
+    """Entropy of an explicit probability vector (must sum to 1)."""
+    arr = np.asarray([p for p in probs if p > 0.0], dtype=np.float64)
+    if arr.size == 0:
+        raise DistributionError("entropy of an empty distribution is undefined")
+    total = float(arr.sum())
+    if abs(total - 1.0) > 1e-6:
+        raise DistributionError(f"probabilities sum to {total}, expected 1")
+    h = -float((arr * np.log(arr)).sum())
+    return _convert(max(h, 0.0), base)
+
+
+def joint_entropy(
+    relation: Relation,
+    attributes: Iterable[str],
+    *,
+    base: float | None = None,
+) -> float:
+    """``H(attributes)`` under the empirical distribution of ``relation``.
+
+    This is the joint entropy of the (possibly multi-attribute) projection,
+    computed from projection multiplicities.  For the full attribute set it
+    equals ``log N`` because a relation instance is a set.
+    """
+    if relation.is_empty():
+        raise DistributionError("entropy over an empty relation is undefined")
+    counts = relation.projection_counts(attributes)
+    return entropy_of_counts(counts.values(), base=base)
+
+
+def relation_entropy(relation: Relation, *, base: float | None = None) -> float:
+    """``H(Ω) = log N`` for a relation instance of size ``N``."""
+    if relation.is_empty():
+        raise DistributionError("entropy over an empty relation is undefined")
+    return _convert(math.log(len(relation)), base)
+
+
+def conditional_entropy(
+    relation: Relation,
+    targets: Iterable[str],
+    given: Iterable[str],
+    *,
+    base: float | None = None,
+) -> float:
+    """``H(targets | given) = H(targets ∪ given) − H(given)``.
+
+    Clamped at zero to absorb floating-point noise.
+    """
+    targets = tuple(targets)
+    given = tuple(given)
+    joint = joint_entropy(relation, set(targets) | set(given), base=base)
+    if not given:
+        return joint
+    return max(joint - joint_entropy(relation, given, base=base), 0.0)
+
+
+def max_entropy(support_size: int, *, base: float | None = None) -> float:
+    """``log(support_size)`` — the uniform-distribution entropy ceiling."""
+    if support_size <= 0:
+        raise DistributionError("support size must be positive")
+    return _convert(math.log(support_size), base)

@@ -1,0 +1,288 @@
+"""Junction-tree factorization ``P^T`` (Proposition 3.1, Eq. 10).
+
+Given a joint distribution ``P`` and a join tree ``T`` with bags ``Ωᵢ``
+and separators ``Δᵢ``,
+
+    P^T(x) = ∏ᵢ P[Ωᵢ](x[Ωᵢ]) / ∏ᵢ P[Δᵢ](x[Δᵢ]).
+
+``P^T`` is the KL-projection of ``P`` onto the distributions that model
+``T`` (Lemma 3.4), it preserves every bag and separator marginal
+(Lemma 3.3), and ``D_KL(P‖P^T) = J(T)`` (Theorem 3.2).
+
+:class:`FactorizedDistribution` evaluates ``P^T`` *lazily*: its support is
+the join of the bag-marginal supports, which can be astronomically larger
+than ``P``'s support, so only pointwise evaluation plus an optional
+materialization (for small instances) are provided.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.errors import DistributionError, JoinTreeError
+from repro.info.distribution import EmpiricalDistribution
+from repro.info.divergence import distribution_conditional_mutual_information
+from repro.jointrees.jointree import JoinTree
+from repro.relations.relation import Relation
+from repro.relations.schema import RelationSchema, Row
+
+
+class FactorizedDistribution:
+    """``P^T`` for a base distribution ``P`` and join tree ``T``.
+
+    Stores one marginal table per bag and per edge separator; evaluates
+    the factorization pointwise.
+
+    Parameters
+    ----------
+    base_dist:
+        The joint distribution ``P``.
+    jointree:
+        A join tree whose attributes equal the distribution's attributes.
+    """
+
+    __slots__ = ("_attributes", "_bag_tables", "_base", "_index", "_sep_tables", "_tree")
+
+    def __init__(self, base_dist: EmpiricalDistribution, jointree: JoinTree) -> None:
+        tree_attrs = jointree.attributes()
+        dist_attrs = frozenset(base_dist.attributes)
+        if tree_attrs != dist_attrs:
+            raise JoinTreeError(
+                "join tree covers "
+                f"{sorted(tree_attrs)} but the distribution has {sorted(dist_attrs)}"
+            )
+        self._base = base_dist
+        self._tree = jointree
+        self._attributes = base_dist.attributes
+        self._index = {name: i for i, name in enumerate(self._attributes)}
+
+        self._bag_tables: list[tuple[tuple[int, ...], dict[Row, float]]] = []
+        for node in jointree.node_ids():
+            bag_order = base_dist.canonical_order(jointree.bag(node))
+            positions = tuple(self._index[a] for a in bag_order)
+            self._bag_tables.append((positions, base_dist.marginal_probs(bag_order)))
+
+        self._sep_tables: list[tuple[tuple[int, ...], dict[Row, float]]] = []
+        for u, v in jointree.edges():
+            separator = jointree.separator(u, v)
+            if not separator:
+                # An empty separator contributes a factor of 1.
+                continue
+            sep_order = base_dist.canonical_order(separator)
+            positions = tuple(self._index[a] for a in sep_order)
+            self._sep_tables.append((positions, base_dist.marginal_probs(sep_order)))
+
+    # ------------------------------------------------------------------
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        """Attribute names in tuple-layout order (same as the base)."""
+        return self._attributes
+
+    @property
+    def jointree(self) -> JoinTree:
+        """The join tree defining the factorization."""
+        return self._tree
+
+    def prob(self, row: Row) -> float:
+        """``P^T(row)`` — zero when any bag marginal vanishes."""
+        row = tuple(row)
+        if len(row) != len(self._attributes):
+            raise DistributionError(
+                f"tuple arity {len(row)} != {len(self._attributes)}"
+            )
+        numerator = 1.0
+        for positions, table in self._bag_tables:
+            mass = table.get(tuple(row[i] for i in positions), 0.0)
+            if mass <= 0.0:
+                return 0.0
+            numerator *= mass
+        denominator = 1.0
+        for positions, table in self._sep_tables:
+            mass = table.get(tuple(row[i] for i in positions), 0.0)
+            if mass <= 0.0:
+                # Impossible when some bag containing the separator has
+                # positive mass, but keep the evaluation total.
+                return 0.0
+            denominator *= mass
+        return numerator / denominator
+
+    def sample(self, n: int, rng) -> Relation:
+        """Draw ``n`` tuples i.i.d. from ``P^T`` and return them as a relation.
+
+        Duplicates collapse (a relation is a set), so the result may have
+        fewer than ``n`` rows; use :meth:`sample_rows` for the raw draws.
+        """
+        rows = self.sample_rows(n, rng)
+        schema = RelationSchema.from_names(self._attributes)
+        return Relation(schema, rows, validate=False)
+
+    def sample_rows(self, n: int, rng) -> list[Row]:
+        """Draw ``n`` raw tuples i.i.d. from ``P^T`` (ancestral sampling).
+
+        Samples the root bag from its marginal, then walks the join tree
+        sampling each child bag conditionally on its separator value —
+        linear in the tree size per tuple, no materialization.
+
+        Parameters
+        ----------
+        n:
+            Number of draws.
+        rng:
+            A ``numpy.random.Generator``.
+        """
+        if n <= 0:
+            raise DistributionError(f"sample size must be positive, got {n}")
+        order = self._tree.dfs_order()
+        parent = self._tree.parents()
+
+        # Precompute per-node marginal tables and, for non-root nodes,
+        # conditional tables keyed by separator value.
+        bag_orders = {
+            node: self._base.canonical_order(self._tree.bag(node))
+            for node in self._tree.node_ids()
+        }
+        root = order[0]
+        root_items = list(self._base.marginal_probs(bag_orders[root]).items())
+        conditionals: dict[int, dict[Row, list[tuple[Row, float]]]] = {}
+        for node in order[1:]:
+            p = parent[node]
+            separator = self._tree.bag(node) & self._tree.bag(p)
+            sep_order = self._base.canonical_order(separator) if separator else ()
+            positions = tuple(bag_orders[node].index(a) for a in sep_order)
+            table: dict[Row, list[tuple[Row, float]]] = {}
+            for row, mass in self._base.marginal_probs(bag_orders[node]).items():
+                key = tuple(row[i] for i in positions)
+                table.setdefault(key, []).append((row, mass))
+            conditionals[node] = table
+
+        import numpy as np
+
+        def draw(items: list[tuple[Row, float]]) -> Row:
+            weights = np.asarray([m for _, m in items], dtype=np.float64)
+            weights /= weights.sum()
+            idx = rng.choice(len(items), p=weights)
+            return items[idx][0]
+
+        rows = []
+        for _ in range(n):
+            assignment: dict[str, object] = {}
+            root_row = draw(root_items)
+            assignment.update(zip(bag_orders[root], root_row))
+            for node in order[1:]:
+                p = parent[node]
+                separator = self._tree.bag(node) & self._tree.bag(p)
+                sep_order = (
+                    self._base.canonical_order(separator) if separator else ()
+                )
+                key = tuple(assignment[a] for a in sep_order)
+                choices = conditionals[node].get(key)
+                if not choices:
+                    # Impossible: separator values always come from the
+                    # same base marginals.
+                    raise DistributionError(
+                        "internal error: separator value missing from child table"
+                    )
+                child_row = draw(choices)
+                assignment.update(zip(bag_orders[node], child_row))
+            rows.append(tuple(assignment[a] for a in self._attributes))
+        return rows
+
+    # ------------------------------------------------------------------
+    def materialize(self, *, max_support: int = 2_000_000) -> EmpiricalDistribution:
+        """Enumerate ``P^T``'s support and return it as an explicit distribution.
+
+        The support is the natural join of the bag-marginal supports.  It
+        is computed with the relational join machinery; a guard refuses to
+        materialize supports larger than ``max_support``.
+        """
+        bag_relations = []
+        for node in self._tree.node_ids():
+            bag_order = self._base.canonical_order(self._tree.bag(node))
+            marginal = self._base.marginal_probs(bag_order)
+            schema = RelationSchema.from_names(bag_order)
+            bag_relations.append(Relation(schema, marginal.keys(), validate=False))
+
+        from repro.relations.join import natural_join_all
+
+        joined = natural_join_all(bag_relations)
+        if len(joined) > max_support:
+            raise DistributionError(
+                f"P^T support has {len(joined)} tuples; "
+                f"refusing to materialize more than {max_support}"
+            )
+        positions = joined.schema.indices(self._attributes)
+        probs: dict[Row, float] = {}
+        for row in joined:
+            full = tuple(row[i] for i in positions)
+            mass = self.prob(full)
+            if mass > 0.0:
+                probs[full] = mass
+        return EmpiricalDistribution(self._attributes, probs)
+
+
+def junction_tree_factorization(
+    source: EmpiricalDistribution | Relation, jointree: JoinTree
+) -> FactorizedDistribution:
+    """Build ``P^T`` from a distribution or directly from a relation."""
+    if isinstance(source, Relation):
+        source = EmpiricalDistribution.from_relation(source)
+    return FactorizedDistribution(source, jointree)
+
+
+def models_tree(
+    source: EmpiricalDistribution | Relation,
+    jointree: JoinTree,
+    *,
+    tolerance: float = 1e-9,
+) -> bool:
+    """Definition 2.2: whether ``P ⊨ T``.
+
+    True iff every rooted-split conditional mutual information
+    ``I(Ω_{1:i−1}; Ω_{i:m} | Δᵢ)`` vanishes.  By Proposition 3.1 this is
+    equivalent to ``P = P^T``.
+    """
+    if isinstance(source, Relation):
+        source = EmpiricalDistribution.from_relation(source)
+    tree_attrs = jointree.attributes()
+    if tree_attrs != frozenset(source.attributes):
+        raise JoinTreeError(
+            "join tree covers "
+            f"{sorted(tree_attrs)} but the distribution has "
+            f"{sorted(source.attributes)}"
+        )
+    for split in jointree.rooted_splits():
+        cmi = distribution_conditional_mutual_information(
+            source, split.prefix, split.suffix, split.separator
+        )
+        if cmi > tolerance:
+            return False
+    return True
+
+
+def marginal_preservation_gaps(
+    source: EmpiricalDistribution | Relation, jointree: JoinTree
+) -> dict[str, float]:
+    """Lemma 3.3 check: total-variation gaps between ``P`` and ``P^T`` marginals.
+
+    Returns ``{"bags": max gap over bags, "separators": max gap over
+    separators}``.  Both should be ~0 up to floating point; exposed for
+    tests and diagnostics.  Requires materializing ``P^T`` (small inputs).
+    """
+    if isinstance(source, Relation):
+        source = EmpiricalDistribution.from_relation(source)
+    factorized = FactorizedDistribution(source, jointree).materialize()
+
+    def max_gap(attr_sets: Iterable[frozenset[str]]) -> float:
+        worst = 0.0
+        for attrs in attr_sets:
+            if not attrs:
+                continue
+            p_marg = source.marginal(attrs)
+            q_marg = factorized.marginal(attrs)
+            worst = max(worst, p_marg.total_variation(q_marg))
+        return worst
+
+    return {
+        "bags": max_gap(jointree.bags()),
+        "separators": max_gap(jointree.separators()),
+    }

@@ -1,0 +1,40 @@
+"""Acyclic schemas: join trees, GYO reduction, MVD support."""
+
+from repro.jointrees.build import (
+    chain_jointree,
+    jointree_from_mvd,
+    jointree_from_schema,
+    star_jointree,
+)
+from repro.jointrees.enumerate import all_jointrees, count_jointrees
+from repro.jointrees.gyo import EarRemoval, GYOResult, gyo_reduction, is_acyclic
+from repro.jointrees.jointree import Bag, JoinTree, RootedSplit
+from repro.jointrees.metrics import (
+    TreeMetrics,
+    compression_ratio,
+    storage_cells,
+    tree_metrics,
+)
+from repro.jointrees.mvds import MVD, edge_support
+
+__all__ = [
+    "Bag",
+    "EarRemoval",
+    "GYOResult",
+    "JoinTree",
+    "MVD",
+    "RootedSplit",
+    "TreeMetrics",
+    "all_jointrees",
+    "chain_jointree",
+    "count_jointrees",
+    "compression_ratio",
+    "edge_support",
+    "storage_cells",
+    "tree_metrics",
+    "gyo_reduction",
+    "is_acyclic",
+    "jointree_from_mvd",
+    "jointree_from_schema",
+    "star_jointree",
+]

@@ -1,0 +1,78 @@
+"""Join tree construction.
+
+* :func:`jointree_from_schema` — build a join tree for any acyclic schema
+  using the GYO ear-removal witnesses (raises for cyclic schemas).
+* :func:`jointree_from_mvd` — the star-shaped tree of an MVD
+  ``X ↠ Y₁|…|Y_m`` with bags ``XYᵢ`` (Section 2.1).
+* :func:`chain_jointree` / :func:`star_jointree` — explicit shapes used by
+  experiments and tests.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.errors import CyclicSchemaError, JoinTreeError
+from repro.jointrees.gyo import gyo_reduction
+from repro.jointrees.jointree import JoinTree
+from repro.jointrees.mvds import MVD
+
+
+def jointree_from_schema(schema: Iterable[Iterable[str]]) -> JoinTree:
+    """Build a join tree whose bags are the given acyclic schema.
+
+    The GYO reduction removes one "ear" at a time; connecting each removed
+    ear to its witness edge yields a tree satisfying the running
+    intersection property (classic construction, Beeri et al. [2]).
+
+    Raises
+    ------
+    CyclicSchemaError
+        If the schema admits no join tree.
+    """
+    bags = [frozenset(b) for b in schema]
+    if not bags:
+        raise JoinTreeError("cannot build a join tree for an empty schema")
+    result = gyo_reduction(bags)
+    if not result.acyclic:
+        residual = [sorted(bags[i]) for i in result.residual]
+        raise CyclicSchemaError(
+            f"schema is cyclic; GYO stalled with residual edges {residual}"
+        )
+    edges = [
+        (removal.edge_index, removal.witness_index)
+        for removal in result.removals
+        if removal.witness_index is not None
+    ]
+    return JoinTree({i: bag for i, bag in enumerate(bags)}, edges)
+
+
+def jointree_from_mvd(mvd: MVD) -> JoinTree:
+    """The join tree of an MVD: bags ``X·Yᵢ`` in a star around ``X·Y₁``.
+
+    Any tree over these bags has every separator equal to ``X``, so the
+    J-measure is shape-independent (the paper's ``XU − XV − XW`` example);
+    we pick the star for determinism.
+    """
+    bags = {i: mvd.lhs | group for i, group in enumerate(mvd.groups)}
+    edges = [(0, i) for i in range(1, len(bags))]
+    return JoinTree(bags, edges)
+
+
+def chain_jointree(bags: Sequence[Iterable[str]]) -> JoinTree:
+    """A path-shaped join tree ``bag₀ − bag₁ − … − bag_{m−1}``.
+
+    Raises if the chain violates running intersection.
+    """
+    bag_map = {i: frozenset(b) for i, b in enumerate(bags)}
+    edges = [(i, i + 1) for i in range(len(bag_map) - 1)]
+    return JoinTree(bag_map, edges)
+
+
+def star_jointree(center: Iterable[str], leaves: Sequence[Iterable[str]]) -> JoinTree:
+    """A star-shaped join tree with ``center`` adjacent to every leaf."""
+    bag_map: dict[int, frozenset[str]] = {0: frozenset(center)}
+    for i, leaf in enumerate(leaves, start=1):
+        bag_map[i] = frozenset(leaf)
+    edges = [(0, i) for i in range(1, len(bag_map))]
+    return JoinTree(bag_map, edges)

@@ -1,0 +1,67 @@
+"""Enumerate every join tree of an acyclic schema.
+
+An acyclic schema generally admits many join trees (e.g. the schema of an
+MVD ``X ↠ Y₁|…|Y_m`` admits every tree on ``m`` nodes).  The classic
+characterization: a tree over the bags is a join tree iff it is a
+*maximum-weight* spanning tree of the bag intersection graph, with edge
+weight ``|Ωᵢ ∩ Ω_j|``.  Since the schemas here are small, we simply
+enumerate all spanning trees (networkx) and keep those satisfying the
+running intersection property.
+
+The paper notes that ``J`` depends only on the schema, not the join tree
+(Section 2.2); :func:`all_jointrees` lets tests verify that invariance
+over the *entire* tree space rather than a few hand-picked shapes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+import networkx as nx
+
+from repro.errors import CyclicSchemaError, JoinTreeError, RunningIntersectionError
+from repro.jointrees.jointree import JoinTree
+
+
+def all_jointrees(schema: Iterable[Iterable[str]]) -> Iterator[JoinTree]:
+    """Yield every join tree whose bags are exactly the given schema.
+
+    Raises :class:`CyclicSchemaError` if the schema admits none.
+    Exponential in general (Cayley: up to ``m^{m−2}`` trees) — intended
+    for small schemas (tests, the discovery baseline).
+    """
+    bags = [frozenset(b) for b in schema]
+    if not bags:
+        raise JoinTreeError("cannot enumerate join trees of an empty schema")
+    if len(bags) == 1:
+        yield JoinTree({0: bags[0]}, [])
+        return
+
+    graph = nx.Graph()
+    graph.add_nodes_from(range(len(bags)))
+    for i in range(len(bags)):
+        for j in range(i + 1, len(bags)):
+            # Zero-intersection edges are allowed (disconnected-attribute
+            # schemas need them to form a tree at all).
+            graph.add_edge(i, j, weight=len(bags[i] & bags[j]))
+
+    found = False
+    for tree in nx.SpanningTreeIterator(graph):
+        try:
+            candidate = JoinTree(
+                {i: bags[i] for i in range(len(bags))},
+                list(tree.edges()),
+            )
+        except RunningIntersectionError:
+            continue
+        found = True
+        yield candidate
+    if not found:
+        raise CyclicSchemaError(
+            "schema admits no join tree (cyclic hypergraph)"
+        )
+
+
+def count_jointrees(schema: Iterable[Iterable[str]]) -> int:
+    """Number of distinct join trees of the schema."""
+    return sum(1 for _ in all_jointrees(schema))

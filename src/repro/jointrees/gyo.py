@@ -1,0 +1,111 @@
+"""GYO reduction: testing acyclicity of a schema (hypergraph).
+
+A schema ``S = {Ω₁, …, Ω_m}`` is *acyclic* iff it admits a join tree
+(Definition 2.1).  The classic Graham/Yu–Özsoyoğlu (GYO) algorithm decides
+this by repeatedly removing "ears":
+
+1. remove any attribute that appears in exactly one hyperedge ("isolated");
+2. remove any hyperedge that is contained in another hyperedge.
+
+The schema is acyclic iff the reduction terminates with at most one
+(possibly empty) hyperedge.  Recording *which* surviving edge witnessed
+each removal yields a join tree directly (see
+:func:`repro.jointrees.build.jointree_from_schema`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class EarRemoval:
+    """One step of a successful GYO reduction.
+
+    ``edge_index`` was removed because, after dropping its isolated
+    attributes, the remainder was contained in ``witness_index`` (an edge
+    still alive at that point).  ``witness_index`` is ``None`` only for the
+    final surviving edge.
+    """
+
+    edge_index: int
+    witness_index: int | None
+
+
+@dataclass
+class GYOResult:
+    """Outcome of :func:`gyo_reduction`.
+
+    Attributes
+    ----------
+    acyclic:
+        Whether the schema is acyclic.
+    removals:
+        Ear-removal sequence (only meaningful when ``acyclic``); the last
+        entry is the final surviving edge with ``witness_index=None``.
+    residual:
+        Hyperedges (by original index) left when the reduction stalls;
+        empty when ``acyclic``.
+    """
+
+    acyclic: bool
+    removals: list[EarRemoval] = field(default_factory=list)
+    residual: list[int] = field(default_factory=list)
+
+
+def gyo_reduction(hyperedges: Iterable[Iterable[str]]) -> GYOResult:
+    """Run GYO reduction on a hypergraph given as attribute collections.
+
+    Duplicate hyperedges are allowed (one will absorb the other).  The
+    empty hypergraph and single-edge hypergraphs are trivially acyclic.
+    """
+    edges: list[frozenset[str]] = [frozenset(e) for e in hyperedges]
+    alive: dict[int, set[str]] = {i: set(e) for i, e in enumerate(edges)}
+    removals: list[EarRemoval] = []
+
+    if not alive:
+        return GYOResult(acyclic=True)
+
+    changed = True
+    while changed and len(alive) > 1:
+        changed = False
+
+        # Step 1: drop attributes appearing in exactly one live edge.
+        attr_count: dict[str, int] = {}
+        for attrs in alive.values():
+            for attr in attrs:
+                attr_count[attr] = attr_count.get(attr, 0) + 1
+        for attrs in alive.values():
+            isolated = {a for a in attrs if attr_count[a] == 1}
+            if isolated:
+                attrs -= isolated
+                changed = True
+
+        # Step 2: remove edges contained in some other live edge.
+        for idx in sorted(alive):
+            attrs = alive[idx]
+            witness = next(
+                (
+                    j
+                    for j in sorted(alive)
+                    if j != idx and attrs <= alive[j]
+                ),
+                None,
+            )
+            if witness is not None:
+                removals.append(EarRemoval(edge_index=idx, witness_index=witness))
+                del alive[idx]
+                changed = True
+                break  # attribute counts are stale; restart the sweep
+
+    if len(alive) == 1:
+        last = next(iter(alive))
+        removals.append(EarRemoval(edge_index=last, witness_index=None))
+        return GYOResult(acyclic=True, removals=removals)
+    return GYOResult(acyclic=False, residual=sorted(alive))
+
+
+def is_acyclic(hyperedges: Iterable[Iterable[str]]) -> bool:
+    """Whether the schema admits a join tree (GYO succeeds)."""
+    return gyo_reduction(hyperedges).acyclic

@@ -1,0 +1,381 @@
+"""Join trees (junction trees) over attribute sets.
+
+Implements Definition 2.1 of the paper: a :class:`JoinTree` is an undirected
+tree whose nodes carry attribute sets ("bags") satisfying the *running
+intersection property* — for every attribute, the nodes containing it form
+a connected subtree.
+
+The class also provides the rooted depth-first enumeration used throughout
+Section 2.3 (``u₁, …, u_m`` with ``parent(uᵢ) = u_j, j < i``), the
+separators ``Δᵢ = χ(parent(uᵢ)) ∩ χ(uᵢ)``, and the prefix/suffix attribute
+unions ``Ω_{1:i−1}`` / ``Ω_{i:m}`` that define the tree's MVD support.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass
+
+from repro.errors import JoinTreeError, RunningIntersectionError
+
+Bag = frozenset[str]
+
+
+@dataclass(frozen=True)
+class RootedSplit:
+    """One term of the rooted support (Theorem 2.2 / Eq. 9).
+
+    For the ``i``-th node of a depth-first enumeration (``i ≥ 2``):
+
+    * ``separator`` — ``Δᵢ = χ(parent(uᵢ)) ∩ χ(uᵢ)``;
+    * ``prefix``    — ``Ω_{1:i−1}``, the union of the first ``i−1`` bags;
+    * ``suffix``    — ``Ω_{i:m}``, the union of the remaining bags.
+
+    The associated conditional mutual information is
+    ``I(prefix; suffix | separator)``.
+    """
+
+    index: int
+    separator: Bag
+    prefix: Bag
+    suffix: Bag
+
+
+class JoinTree:
+    """An undirected tree of bags with the running intersection property.
+
+    Parameters
+    ----------
+    bags:
+        Mapping from node id (any hashable; ints conventional) to the
+        node's attribute set.
+    edges:
+        Iterable of node-id pairs.  Must form a tree over the node ids
+        (``m − 1`` edges, connected, no self-loops).
+    validate:
+        If true (default), check treeness and running intersection at
+        construction and raise on violation.
+
+    Examples
+    --------
+    >>> t = JoinTree({0: {"X", "U"}, 1: {"X", "V"}}, [(0, 1)])
+    >>> sorted(map(sorted, t.bags()))
+    [['U', 'X'], ['V', 'X']]
+    >>> t.separator(0, 1)
+    frozenset({'X'})
+    """
+
+    __slots__ = ("_adjacency", "_bags", "_edges")
+
+    def __init__(
+        self,
+        bags: Mapping[int, Iterable[str]],
+        edges: Iterable[tuple[int, int]],
+        *,
+        validate: bool = True,
+    ) -> None:
+        if not bags:
+            raise JoinTreeError("a join tree needs at least one node")
+        self._bags: dict[int, Bag] = {
+            node: frozenset(attrs) for node, attrs in bags.items()
+        }
+        for node, bag in self._bags.items():
+            if not bag:
+                raise JoinTreeError(f"node {node!r} has an empty bag")
+        self._edges: list[tuple[int, int]] = []
+        self._adjacency: dict[int, set[int]] = {node: set() for node in self._bags}
+        for u, v in edges:
+            if u not in self._bags or v not in self._bags:
+                raise JoinTreeError(f"edge ({u!r}, {v!r}) references unknown node")
+            if u == v:
+                raise JoinTreeError(f"self-loop on node {u!r}")
+            if v in self._adjacency[u]:
+                raise JoinTreeError(f"duplicate edge ({u!r}, {v!r})")
+            self._adjacency[u].add(v)
+            self._adjacency[v].add(u)
+            self._edges.append((u, v))
+        if validate:
+            self._validate_tree()
+            self._validate_running_intersection()
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def _validate_tree(self) -> None:
+        m = len(self._bags)
+        if len(self._edges) != m - 1:
+            raise JoinTreeError(
+                f"a tree on {m} nodes needs {m - 1} edges, got {len(self._edges)}"
+            )
+        if m == 1:
+            return
+        seen: set[int] = set()
+        start = next(iter(self._bags))
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(self._adjacency[node] - seen)
+        if len(seen) != m:
+            raise JoinTreeError("join tree is not connected")
+
+    def _validate_running_intersection(self) -> None:
+        attr_nodes: dict[str, list[int]] = {}
+        for node, bag in self._bags.items():
+            for attr in bag:
+                attr_nodes.setdefault(attr, []).append(node)
+        for attr, nodes in attr_nodes.items():
+            if len(nodes) <= 1:
+                continue
+            member = set(nodes)
+            # BFS within the induced subgraph; must reach every member.
+            seen = {nodes[0]}
+            stack = [nodes[0]]
+            while stack:
+                node = stack.pop()
+                for nbr in self._adjacency[node]:
+                    if nbr in member and nbr not in seen:
+                        seen.add(nbr)
+                        stack.append(nbr)
+            if seen != member:
+                raise RunningIntersectionError(
+                    f"attribute {attr!r} appears in a disconnected node set"
+                )
+
+    # ------------------------------------------------------------------
+    # Structure accessors
+    # ------------------------------------------------------------------
+    def node_ids(self) -> tuple[int, ...]:
+        """Node ids in a deterministic order."""
+        return tuple(sorted(self._bags, key=repr))
+
+    def bag(self, node: int) -> Bag:
+        """The attribute set ``χ(node)``."""
+        try:
+            return self._bags[node]
+        except KeyError:
+            raise JoinTreeError(f"unknown node {node!r}") from None
+
+    def bags(self) -> tuple[Bag, ...]:
+        """All bags, aligned with :meth:`node_ids`."""
+        return tuple(self._bags[n] for n in self.node_ids())
+
+    def edges(self) -> tuple[tuple[int, int], ...]:
+        """The tree's edges as given at construction."""
+        return tuple(self._edges)
+
+    def neighbors(self, node: int) -> frozenset[int]:
+        """Neighbor node ids of ``node``."""
+        self.bag(node)  # raise on unknown node
+        return frozenset(self._adjacency[node])
+
+    def separator(self, u: int, v: int) -> Bag:
+        """``χ(u) ∩ χ(v)`` for an *edge* ``(u, v)``."""
+        if v not in self._adjacency[u]:
+            raise JoinTreeError(f"({u!r}, {v!r}) is not an edge of the tree")
+        return self._bags[u] & self._bags[v]
+
+    def separators(self) -> tuple[Bag, ...]:
+        """Separators of all edges, aligned with :meth:`edges`."""
+        return tuple(self._bags[u] & self._bags[v] for u, v in self._edges)
+
+    def attributes(self) -> Bag:
+        """``χ(T)`` — the union of all bags."""
+        out: set[str] = set()
+        for bag in self._bags.values():
+            out |= bag
+        return frozenset(out)
+
+    @property
+    def num_nodes(self) -> int:
+        """``m`` — number of nodes."""
+        return len(self._bags)
+
+    # ------------------------------------------------------------------
+    # The schema defined by the tree
+    # ------------------------------------------------------------------
+    def schema(self) -> frozenset[Bag]:
+        """The acyclic schema ``S``: the set of *maximal* bags.
+
+        Definition 2.1's schema drops bags contained in another bag (a
+        schema requires ``Ωᵢ ⊄ Ω_j``); duplicated or nested bags are legal
+        in a join tree but contribute nothing to the schema.
+        """
+        bags = set(self._bags.values())
+        return frozenset(
+            bag
+            for bag in bags
+            if not any(bag < other for other in bags)
+        )
+
+    def is_reduced(self) -> bool:
+        """Whether no bag is contained in another (schema = bags)."""
+        bags = list(self._bags.values())
+        return not any(
+            a <= b for i, a in enumerate(bags) for j, b in enumerate(bags) if i != j
+        )
+
+    # ------------------------------------------------------------------
+    # Rooted views
+    # ------------------------------------------------------------------
+    def default_root(self) -> int:
+        """The deterministic default root (smallest node id by repr)."""
+        return self.node_ids()[0]
+
+    def dfs_order(self, root: int | None = None) -> tuple[int, ...]:
+        """Depth-first enumeration ``u₁, …, u_m`` starting at ``root``.
+
+        Guarantees ``parent(uᵢ)`` precedes ``uᵢ``; children are visited in
+        deterministic (sorted) order.
+        """
+        root = self.default_root() if root is None else root
+        self.bag(root)
+        order: list[int] = []
+        seen: set[int] = set()
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            order.append(node)
+            stack.extend(
+                sorted(self._adjacency[node] - seen, key=repr, reverse=True)
+            )
+        return tuple(order)
+
+    def parents(self, root: int | None = None) -> dict[int, int]:
+        """Parent map for the rooted tree (root absent from the map)."""
+        order = self.dfs_order(root)
+        root_node = order[0]
+        parent: dict[int, int] = {}
+        placed = {root_node}
+        for node in order[1:]:
+            # the unique already-placed neighbor is the parent
+            for nbr in self._adjacency[node]:
+                if nbr in placed:
+                    parent[node] = nbr
+                    break
+            placed.add(node)
+        return parent
+
+    def topological_order(self, root: int | None = None) -> tuple[int, ...]:
+        """Leaves-first order (reverse DFS): every node before its parent."""
+        return tuple(reversed(self.dfs_order(root)))
+
+    def rooted_splits(self, root: int | None = None) -> tuple[RootedSplit, ...]:
+        """The ``m − 1`` rooted splits of Theorem 2.2 / Eq. 9.
+
+        For each ``i ∈ [2, m]`` of the depth-first enumeration, yields
+        ``Δᵢ``, ``Ω_{1:i−1}``, and ``Ω_{i:m}``.
+        """
+        order = self.dfs_order(root)
+        parent = self.parents(root)
+        m = len(order)
+        prefix_unions: list[Bag] = []
+        acc: set[str] = set()
+        for node in order:
+            acc |= self._bags[node]
+            prefix_unions.append(frozenset(acc))
+        suffix_unions: list[Bag] = [frozenset()] * m
+        acc = set()
+        for i in range(m - 1, -1, -1):
+            acc |= self._bags[order[i]]
+            suffix_unions[i] = frozenset(acc)
+        splits = []
+        for i in range(1, m):
+            node = order[i]
+            separator = self._bags[node] & self._bags[parent[node]]
+            splits.append(
+                RootedSplit(
+                    index=i + 1,  # paper's 1-based i ∈ [2, m]
+                    separator=separator,
+                    prefix=prefix_unions[i - 1],
+                    suffix=suffix_unions[i],
+                )
+            )
+        return tuple(splits)
+
+    def edge_subtree_attributes(self, u: int, v: int) -> tuple[Bag, Bag]:
+        """``(χ(T_u), χ(T_v))`` after removing edge ``(u, v)``.
+
+        These are the two sides of the MVD ``φ_{u,v}`` associated with the
+        edge (Section 2.1).  By running intersection their overlap is
+        exactly the edge separator.
+        """
+        if v not in self._adjacency[u]:
+            raise JoinTreeError(f"({u!r}, {v!r}) is not an edge of the tree")
+        side_u = self._collect_side(u, blocked=v)
+        side_v = self._collect_side(v, blocked=u)
+        return side_u, side_v
+
+    def _collect_side(self, start: int, *, blocked: int) -> Bag:
+        seen = {start}
+        stack = [start]
+        attrs: set[str] = set()
+        while stack:
+            node = stack.pop()
+            attrs |= self._bags[node]
+            for nbr in self._adjacency[node]:
+                if nbr != blocked and nbr not in seen:
+                    seen.add(nbr)
+                    stack.append(nbr)
+        return frozenset(attrs)
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def merge_edge(self, u: int, v: int) -> "JoinTree":
+        """Contract edge ``(u, v)`` into one node with bag ``χ(u) ∪ χ(v)``.
+
+        The construction used in the inductive proofs of Prop. 3.1 and
+        Prop. 5.1.  The merged node keeps id ``u``.
+        """
+        if v not in self._adjacency[u]:
+            raise JoinTreeError(f"({u!r}, {v!r}) is not an edge of the tree")
+        new_bags = {
+            node: bag for node, bag in self._bags.items() if node != v
+        }
+        new_bags[u] = self._bags[u] | self._bags[v]
+        new_edges = []
+        for a, b in self._edges:
+            if {a, b} == {u, v}:
+                continue
+            a2 = u if a == v else a
+            b2 = u if b == v else b
+            new_edges.append((a2, b2))
+        return JoinTree(new_bags, new_edges)
+
+    def relabel(self, mapping: Mapping[int, int]) -> "JoinTree":
+        """Return a copy with node ids relabeled via ``mapping``."""
+        new_bags = {mapping.get(n, n): bag for n, bag in self._bags.items()}
+        if len(new_bags) != len(self._bags):
+            raise JoinTreeError("relabel mapping collapses node ids")
+        new_edges = [
+            (mapping.get(u, u), mapping.get(v, v)) for u, v in self._edges
+        ]
+        return JoinTree(new_bags, new_edges)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, JoinTree):
+            return NotImplemented
+        return self._bags == other._bags and set(
+            frozenset(e) for e in self._edges
+        ) == set(frozenset(e) for e in other._edges)
+
+    def __hash__(self) -> int:
+        return hash(
+            (
+                frozenset(self._bags.items()),
+                frozenset(frozenset(e) for e in self._edges),
+            )
+        )
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{node}:{{{','.join(sorted(self._bags[node]))}}}"
+            for node in self.node_ids()
+        )
+        return f"JoinTree({parts}; edges={self._edges})"

@@ -1,0 +1,85 @@
+"""Structural metrics of join trees and acyclic schemas.
+
+Used by analysis reports and the schema-frontier profiler to describe a
+decomposition's shape: width (max bag size), separator sizes, diameter,
+and the storage footprint of the factorized representation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.jointrees.jointree import JoinTree
+from repro.relations.relation import Relation
+
+
+@dataclass(frozen=True)
+class TreeMetrics:
+    """Shape statistics of a join tree."""
+
+    num_nodes: int
+    num_bags: int          # maximal bags (the schema's size m)
+    width: int             # max bag size
+    min_bag_size: int
+    max_separator_size: int
+    diameter: int          # longest path, in edges
+
+
+def tree_metrics(jointree: JoinTree) -> TreeMetrics:
+    """Compute :class:`TreeMetrics` for a join tree."""
+    bags = jointree.bags()
+    separators = jointree.separators()
+    return TreeMetrics(
+        num_nodes=jointree.num_nodes,
+        num_bags=len(jointree.schema()),
+        width=max(len(b) for b in bags),
+        min_bag_size=min(len(b) for b in bags),
+        max_separator_size=max((len(s) for s in separators), default=0),
+        diameter=_diameter(jointree),
+    )
+
+
+def _diameter(jointree: JoinTree) -> int:
+    """Longest shortest-path between two nodes (double BFS)."""
+    if jointree.num_nodes == 1:
+        return 0
+
+    def farthest(start: int) -> tuple[int, int]:
+        depth = {start: 0}
+        frontier = [start]
+        last = start
+        while frontier:
+            nxt = []
+            for node in frontier:
+                for nbr in jointree.neighbors(node):
+                    if nbr not in depth:
+                        depth[nbr] = depth[node] + 1
+                        nxt.append(nbr)
+                        last = nbr
+            frontier = nxt
+        return last, depth[last]
+
+    end, _ = farthest(jointree.node_ids()[0])
+    _, dist = farthest(end)
+    return dist
+
+
+def storage_cells(relation: Relation, jointree: JoinTree) -> int:
+    """Cells needed to store the schema's projections of ``relation``.
+
+    ``Σ_bag |R[bag]| · |bag|`` — the factorized footprint the intro's
+    compression application cares about (vs ``N·n`` for the original).
+    """
+    total = 0
+    for bag in jointree.schema():
+        ordered = relation.schema.canonical_order(bag)
+        total += len(relation.project(ordered)) * len(bag)
+    return total
+
+
+def compression_ratio(relation: Relation, jointree: JoinTree) -> float:
+    """``storage_cells / (N·n)`` — below 1 means the factorization saves space."""
+    original = len(relation) * relation.schema.arity
+    if original == 0:
+        return 1.0
+    return storage_cells(relation, jointree) / original

@@ -1,0 +1,119 @@
+"""Multivalued dependencies and the MVD support of a join tree.
+
+An MVD ``φ = X ↠ Y₁ | … | Y_m`` (Section 2.1) asserts that the schema
+``{XY₁, …, XY_m}`` is lossless for the instance.  Beeri et al. showed that
+a relation satisfies an acyclic join dependency iff it satisfies the
+``m − 1`` MVDs attached to the join tree's edges — the tree's *support*.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.errors import SchemaError
+
+
+@dataclass(frozen=True)
+class MVD:
+    """A multivalued dependency ``lhs ↠ groups[0] | groups[1] | …``.
+
+    Groups are pairwise disjoint and disjoint from ``lhs``; together with
+    ``lhs`` they cover the MVD's attribute universe.
+
+    Examples
+    --------
+    >>> phi = MVD.parse("X -> U | V W")
+    >>> sorted(phi.lhs), [sorted(g) for g in phi.groups]
+    (['X'], [['U'], ['V', 'W']])
+    """
+
+    lhs: frozenset[str]
+    groups: tuple[frozenset[str], ...]
+
+    def __post_init__(self) -> None:
+        lhs = frozenset(self.lhs)
+        groups = tuple(frozenset(g) for g in self.groups)
+        object.__setattr__(self, "lhs", lhs)
+        object.__setattr__(self, "groups", groups)
+        if len(groups) < 2:
+            raise SchemaError("an MVD needs at least two groups")
+        seen: set[str] = set(lhs)
+        for group in groups:
+            if not group:
+                raise SchemaError("MVD groups must be non-empty")
+            overlap = group & seen
+            if overlap:
+                raise SchemaError(
+                    f"MVD groups must be disjoint from each other and the "
+                    f"lhs; {sorted(overlap)} repeats"
+                )
+            seen |= group
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def binary(
+        cls, lhs: Iterable[str], left: Iterable[str], right: Iterable[str]
+    ) -> "MVD":
+        """The two-group MVD ``lhs ↠ left | right``."""
+        return cls(frozenset(lhs), (frozenset(left), frozenset(right)))
+
+    @classmethod
+    def parse(cls, text: str) -> "MVD":
+        """Parse ``"X Y -> A B | C | D"`` style notation.
+
+        The left-hand side may be empty (``"-> A | B"`` denotes the
+        degenerate MVD with ``d_C = 1``).
+        """
+        if "->" not in text:
+            raise SchemaError(f"cannot parse MVD {text!r}: missing '->'")
+        lhs_text, rhs_text = text.split("->", 1)
+        lhs = frozenset(lhs_text.split())
+        groups = tuple(
+            frozenset(part.split()) for part in rhs_text.split("|")
+        )
+        return cls(lhs, groups)
+
+    # ------------------------------------------------------------------
+    def attributes(self) -> frozenset[str]:
+        """All attributes mentioned by the MVD."""
+        out = set(self.lhs)
+        for group in self.groups:
+            out |= group
+        return frozenset(out)
+
+    def schema(self) -> tuple[frozenset[str], ...]:
+        """The acyclic schema ``{lhs ∪ Yᵢ}`` the MVD decomposes into."""
+        return tuple(self.lhs | group for group in self.groups)
+
+    def is_binary(self) -> bool:
+        """Whether the MVD has exactly two groups (``X ↠ Y | Z``)."""
+        return len(self.groups) == 2
+
+    def __repr__(self) -> str:
+        lhs = " ".join(sorted(self.lhs)) or "∅"
+        rhs = " | ".join(" ".join(sorted(g)) for g in self.groups)
+        return f"MVD({lhs} ↠ {rhs})"
+
+
+def edge_support(jointree) -> tuple[MVD, ...]:
+    """The ``m − 1`` edge MVDs ``φ_{u,v}`` of a join tree (Beeri et al.).
+
+    For each edge ``(u, v)``, removing the edge splits the tree into
+    subtrees ``T_u`` and ``T_v``; the MVD is
+    ``χ(u) ∩ χ(v) ↠ χ(T_u) \\ sep | χ(T_v) \\ sep``.
+
+    By running intersection, the two sides overlap exactly in the
+    separator, so the groups are genuinely disjoint.
+    """
+    mvds = []
+    for u, v in jointree.edges():
+        separator = jointree.separator(u, v)
+        side_u, side_v = jointree.edge_subtree_attributes(u, v)
+        left = side_u - separator
+        right = side_v - separator
+        if not left or not right:
+            # Degenerate edge (one side adds no attributes): no constraint.
+            continue
+        mvds.append(MVD(separator, (left, right)))
+    return tuple(mvds)

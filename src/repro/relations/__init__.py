@@ -1,0 +1,52 @@
+"""Relational algebra substrate: schemas, relation instances, joins.
+
+See :mod:`repro.relations.schema`, :mod:`repro.relations.relation`,
+:mod:`repro.relations.join`, and :mod:`repro.relations.io`.
+"""
+
+from repro.relations.join import (
+    acyclic_join_size,
+    cartesian_size,
+    join_size,
+    materialized_acyclic_join,
+    natural_join,
+    natural_join_all,
+)
+from repro.relations.io import infer_integer_domains, read_csv, write_csv
+from repro.relations.relation import Relation
+from repro.relations.schema import Attribute, RelationSchema, Row, Value
+from repro.relations.semijoin import (
+    dangling_counts,
+    full_reduce,
+    is_globally_consistent,
+    projections_for_tree,
+    semijoin,
+)
+from repro.relations.yannakakis import (
+    evaluate_acyclic_join,
+    evaluate_decomposition,
+)
+
+__all__ = [
+    "Attribute",
+    "Relation",
+    "RelationSchema",
+    "Row",
+    "Value",
+    "acyclic_join_size",
+    "cartesian_size",
+    "dangling_counts",
+    "evaluate_acyclic_join",
+    "evaluate_decomposition",
+    "full_reduce",
+    "infer_integer_domains",
+    "is_globally_consistent",
+    "join_size",
+    "materialized_acyclic_join",
+    "natural_join",
+    "natural_join_all",
+    "projections_for_tree",
+    "read_csv",
+    "semijoin",
+    "write_csv",
+]

@@ -1,0 +1,275 @@
+"""Relation instances: immutable sets of tuples over a schema.
+
+A :class:`Relation` models the paper's relation instance ``R ∈ Rel(Ω)``: a
+finite *set* of tuples (no duplicates).  Projections return relations
+(sets), but multiplicity information — how many tuples of ``R`` project to
+each value — is exposed via :meth:`Relation.projection_counts`, which is the
+workhorse for all empirical-entropy computations.
+"""
+
+from __future__ import annotations
+
+import operator
+from collections import Counter
+from collections.abc import Callable, Iterable, Iterator, Sequence
+
+from repro.errors import SchemaError, UnknownAttributeError
+from repro.relations.schema import RelationSchema, Row, Value
+
+
+class Relation:
+    """An immutable relation instance over a :class:`RelationSchema`.
+
+    Duplicate input rows are collapsed (a relation is a set); use
+    :func:`len` for ``N = |R|``.
+
+    Parameters
+    ----------
+    schema:
+        The relation's schema.
+    rows:
+        Iterable of tuples, each validated against the schema.
+    validate:
+        If ``False``, skip per-row domain validation (rows are still
+        tuple-ified and deduplicated).  Use for trusted internal callers on
+        hot paths such as samplers.
+
+    Examples
+    --------
+    >>> schema = RelationSchema.from_names(["A", "B"])
+    >>> r = Relation(schema, [(1, "x"), (2, "y"), (1, "x")])
+    >>> len(r)
+    2
+    >>> sorted(r.project(["A"]).rows())
+    [(1,), (2,)]
+    """
+
+    __slots__ = ("_rows", "_schema")
+
+    def __init__(
+        self,
+        schema: RelationSchema,
+        rows: Iterable[Sequence[Value]],
+        *,
+        validate: bool = True,
+    ) -> None:
+        self._schema = schema
+        if validate:
+            self._rows: frozenset[Row] = frozenset(
+                schema.validate_row(row) for row in rows
+            )
+        else:
+            self._rows = frozenset(tuple(row) for row in rows)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_named_rows(
+        cls, schema: RelationSchema, rows: Iterable[dict[str, Value]]
+    ) -> "Relation":
+        """Build a relation from dict rows keyed by attribute name."""
+        names = schema.names
+        return cls(schema, (tuple(row[n] for n in names) for row in rows))
+
+    @classmethod
+    def empty(cls, schema: RelationSchema) -> "Relation":
+        """The empty relation over ``schema``."""
+        return cls(schema, [])
+
+    @classmethod
+    def full(cls, schema: RelationSchema) -> "Relation":
+        """The full product relation ``D(X₁) × … × D(X_n)``.
+
+        Every attribute must have a declared domain.  Intended for small
+        schemas (tests and examples); the size is the product of domain
+        sizes.
+        """
+        import itertools
+
+        domains = []
+        for attr in schema.attributes:
+            if attr.domain is None:
+                raise SchemaError(
+                    f"attribute {attr.name!r} has no declared domain; "
+                    "Relation.full needs finite domains"
+                )
+            domains.append(sorted(attr.domain, key=repr))
+        return cls(schema, itertools.product(*domains), validate=False)
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def schema(self) -> RelationSchema:
+        """The relation's schema."""
+        return self._schema
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        """Attribute names in schema order."""
+        return self._schema.names
+
+    def rows(self) -> frozenset[Row]:
+        """The underlying set of tuples."""
+        return self._rows
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __contains__(self, row: object) -> bool:
+        return row in self._rows
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return self._schema.names == other._schema.names and self._rows == other._rows
+
+    def __hash__(self) -> int:
+        return hash((self._schema.names, self._rows))
+
+    def __repr__(self) -> str:
+        return f"Relation({list(self._schema.names)}, N={len(self._rows)})"
+
+    def is_empty(self) -> bool:
+        """Whether the relation has no tuples."""
+        return not self._rows
+
+    # ------------------------------------------------------------------
+    # Relational algebra
+    # ------------------------------------------------------------------
+    def _getter(self, names: Sequence[str]) -> Callable[[Row], Row]:
+        """Return a function extracting ``names`` positions from a row."""
+        idx = self._schema.indices(names)
+        if len(idx) == 1:
+            single = idx[0]
+            return lambda row: (row[single],)
+        getter = operator.itemgetter(*idx)
+        return lambda row: getter(row)
+
+    def project(self, names: Iterable[str]) -> "Relation":
+        """Projection ``R[Y]`` onto the attribute *set* ``names``.
+
+        The output schema orders attributes canonically (by their position
+        in this relation's schema), so projections onto equal sets are
+        equal relations.
+        """
+        ordered = self._schema.canonical_order(names)
+        if ordered == self._schema.names:
+            return self
+        if not ordered:
+            raise UnknownAttributeError("projection onto the empty attribute set")
+        getter = self._getter(ordered)
+        return Relation(
+            self._schema.project(ordered),
+            {getter(row) for row in self._rows},
+            validate=False,
+        )
+
+    def projection_counts(self, names: Iterable[str]) -> Counter[Row]:
+        """Multiplicities of projected values: ``value -> |R(Y=value)|``.
+
+        This is the empirical-distribution workhorse: the marginal
+        probability of ``y`` is ``counts[y] / N`` (Section 2.2 of the
+        paper).
+        """
+        ordered = self._schema.canonical_order(names)
+        if not ordered:
+            raise UnknownAttributeError("projection onto the empty attribute set")
+        getter = self._getter(ordered)
+        return Counter(getter(row) for row in self._rows)
+
+    def select(self, predicate: Callable[[dict[str, Value]], bool]) -> "Relation":
+        """Selection by an arbitrary predicate over named values."""
+        names = self._schema.names
+        kept = [
+            row for row in self._rows if predicate(dict(zip(names, row)))
+        ]
+        return Relation(self._schema, kept, validate=False)
+
+    def select_eq(self, name: str, value: Value) -> "Relation":
+        """Selection ``σ_{name=value}(R)`` (the paper's ``R_ℓ = σ_{C=ℓ}R``)."""
+        pos = self._schema.index(name)
+        return Relation(
+            self._schema,
+            [row for row in self._rows if row[pos] == value],
+            validate=False,
+        )
+
+    def reorder(self, names: Sequence[str]) -> "Relation":
+        """Permute columns into exactly the given order.
+
+        ``names`` must be a permutation of the schema's attribute names.
+        Unlike :meth:`project`, the requested order is honored verbatim —
+        used to align relations with different schema layouts over the
+        same attribute set.
+        """
+        ordered = tuple(names)
+        if set(ordered) != set(self._schema.names) or len(ordered) != self._schema.arity:
+            raise SchemaError(
+                f"reorder needs a permutation of {list(self._schema.names)}, "
+                f"got {list(ordered)}"
+            )
+        if ordered == self._schema.names:
+            return self
+        idx = self._schema.indices(ordered)
+        return Relation(
+            self._schema.project(ordered),
+            ((tuple(row[i] for i in idx)) for row in self._rows),
+            validate=False,
+        )
+
+    def rename(self, mapping: dict[str, str]) -> "Relation":
+        """Rename attributes according to ``mapping`` (old → new)."""
+        from repro.relations.schema import Attribute
+
+        new_attrs = []
+        for attr in self._schema.attributes:
+            new_name = mapping.get(attr.name, attr.name)
+            new_attrs.append(Attribute(new_name, attr.domain))
+        return Relation(RelationSchema(new_attrs), self._rows, validate=False)
+
+    def union(self, other: "Relation") -> "Relation":
+        """Set union; schemas must have identical attribute names/order."""
+        self._require_compatible(other)
+        return Relation(self._schema, self._rows | other._rows, validate=False)
+
+    def difference(self, other: "Relation") -> "Relation":
+        """Set difference ``R \\ S``; schemas must match."""
+        self._require_compatible(other)
+        return Relation(self._schema, self._rows - other._rows, validate=False)
+
+    def intersection(self, other: "Relation") -> "Relation":
+        """Set intersection; schemas must match."""
+        self._require_compatible(other)
+        return Relation(self._schema, self._rows & other._rows, validate=False)
+
+    def _require_compatible(self, other: "Relation") -> None:
+        if self._schema.names != other._schema.names:
+            raise SchemaError(
+                "set operation needs identical schemas: "
+                f"{list(self._schema.names)} vs {list(other._schema.names)}"
+            )
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def active_domain(self, name: str) -> frozenset[Value]:
+        """Values of ``name`` actually present in the relation."""
+        pos = self._schema.index(name)
+        return frozenset(row[pos] for row in self._rows)
+
+    def active_domain_size(self, name: str) -> int:
+        """``|Π_name(R)|`` — the paper's ``d_A``-style quantity."""
+        return len(self.active_domain(name))
+
+    def group_sizes(self, names: Iterable[str]) -> dict[Row, int]:
+        """Alias of :meth:`projection_counts` returning a plain dict."""
+        return dict(self.projection_counts(names))
+
+    def sorted_rows(self) -> list[Row]:
+        """Rows in a deterministic order (for display and tests)."""
+        return sorted(self._rows, key=repr)

@@ -1,0 +1,252 @@
+"""Relation schemas: ordered attribute names with optional finite domains.
+
+A :class:`RelationSchema` is the type of a relation instance: an ordered
+sequence of distinct attribute names, each optionally carrying a finite
+domain.  Domains matter for the paper's random relation model
+(Definition 5.2), where the domain sizes ``d_i`` enter every bound, and for
+validating tuples on construction.
+
+The paper writes ``Ω = {X₁, …, X_n}`` for the attribute set; here attribute
+names are plain strings and ``Ω`` maps to a schema or a frozenset of names
+depending on context (join-tree bags are frozensets of names).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import DomainError, SchemaError, UnknownAttributeError
+
+#: Values stored in relation tuples.  Kept deliberately loose: the library
+#: only requires hashability (tuples live in sets and dict keys).
+Value = Any
+
+#: A database tuple: one value per schema attribute, in schema order.
+Row = tuple[Value, ...]
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A named attribute with an optional finite domain.
+
+    Parameters
+    ----------
+    name:
+        Attribute name; must be non-empty.
+    domain:
+        Optional finite domain.  ``None`` means "unconstrained": any
+        hashable value is accepted and the active domain (the set of values
+        actually present) is used where a domain is needed.
+    """
+
+    name: str
+    domain: frozenset[Value] | None = field(default=None)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("attribute name must be a non-empty string")
+        if not isinstance(self.name, str):
+            raise SchemaError(f"attribute name must be str, got {type(self.name).__name__}")
+        if self.domain is not None and not isinstance(self.domain, frozenset):
+            object.__setattr__(self, "domain", frozenset(self.domain))
+        if self.domain is not None and len(self.domain) == 0:
+            raise SchemaError(f"attribute {self.name!r} has an empty domain")
+
+    @property
+    def domain_size(self) -> int | None:
+        """Size of the declared domain, or ``None`` if unconstrained."""
+        return None if self.domain is None else len(self.domain)
+
+    def validate(self, value: Value) -> None:
+        """Raise :class:`DomainError` if ``value`` is outside the domain."""
+        if self.domain is not None and value not in self.domain:
+            raise DomainError(
+                f"value {value!r} not in domain of attribute {self.name!r}"
+            )
+
+    def __repr__(self) -> str:
+        if self.domain is None:
+            return f"Attribute({self.name!r})"
+        return f"Attribute({self.name!r}, |domain|={len(self.domain)})"
+
+
+class RelationSchema:
+    """An ordered sequence of distinct attributes.
+
+    The schema is immutable.  Attribute order defines tuple layout; all
+    set-like operations (projection targets, bags) use attribute *names*.
+
+    Examples
+    --------
+    >>> schema = RelationSchema.from_names(["A", "B", "C"])
+    >>> schema.names
+    ('A', 'B', 'C')
+    >>> schema.index("B")
+    1
+    """
+
+    __slots__ = ("_attributes", "_index", "_names")
+
+    def __init__(self, attributes: Iterable[Attribute]) -> None:
+        attrs = tuple(attributes)
+        if not attrs:
+            raise SchemaError("a relation schema needs at least one attribute")
+        names = tuple(a.name for a in attrs)
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise SchemaError(f"duplicate attribute names: {dupes}")
+        self._attributes: tuple[Attribute, ...] = attrs
+        self._names: tuple[str, ...] = names
+        self._index: dict[str, int] = {name: i for i, name in enumerate(names)}
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_names(cls, names: Sequence[str]) -> "RelationSchema":
+        """Build a schema of unconstrained attributes from plain names."""
+        return cls(Attribute(name) for name in names)
+
+    @classmethod
+    def from_domains(cls, domains: Mapping[str, Iterable[Value]]) -> "RelationSchema":
+        """Build a schema from a mapping ``name -> finite domain``.
+
+        Iteration order of the mapping fixes attribute order (Python dicts
+        preserve insertion order).
+        """
+        return cls(
+            Attribute(name, frozenset(domain)) for name, domain in domains.items()
+        )
+
+    @classmethod
+    def integer_domains(cls, sizes: Mapping[str, int]) -> "RelationSchema":
+        """Build a schema where attribute ``X`` has domain ``{0, …, d−1}``.
+
+        This matches the paper's convention ``D(X_i) = [d_i]`` (we use
+        0-based values; only the *size* matters for every bound).
+        """
+        for name, size in sizes.items():
+            if size <= 0:
+                raise SchemaError(f"domain size for {name!r} must be positive, got {size}")
+        return cls(
+            Attribute(name, frozenset(range(size))) for name, size in sizes.items()
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def attributes(self) -> tuple[Attribute, ...]:
+        """The attributes in schema order."""
+        return self._attributes
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Attribute names in schema order."""
+        return self._names
+
+    @property
+    def name_set(self) -> frozenset[str]:
+        """Attribute names as a frozenset (the paper's ``Ω``)."""
+        return frozenset(self._names)
+
+    @property
+    def arity(self) -> int:
+        """Number of attributes."""
+        return len(self._names)
+
+    def index(self, name: str) -> int:
+        """Position of attribute ``name`` in tuple layout."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise UnknownAttributeError(
+                f"unknown attribute {name!r}; schema has {list(self._names)}"
+            ) from None
+
+    def indices(self, names: Iterable[str]) -> tuple[int, ...]:
+        """Positions of several attributes, in the order given."""
+        return tuple(self.index(n) for n in names)
+
+    def attribute(self, name: str) -> Attribute:
+        """The :class:`Attribute` object for ``name``."""
+        return self._attributes[self.index(name)]
+
+    def domain_size(self, name: str) -> int | None:
+        """Declared domain size of ``name`` (``None`` if unconstrained)."""
+        return self.attribute(name).domain_size
+
+    def total_domain_size(self) -> int | None:
+        """``∏ᵢ dᵢ``, the size of the full product domain.
+
+        Returns ``None`` if any attribute is unconstrained.
+        """
+        total = 1
+        for attr in self._attributes:
+            if attr.domain is None:
+                return None
+            total *= len(attr.domain)
+        return total
+
+    def contains(self, names: Iterable[str]) -> bool:
+        """Whether every name in ``names`` belongs to this schema."""
+        return all(n in self._index for n in names)
+
+    # ------------------------------------------------------------------
+    # Derivation
+    # ------------------------------------------------------------------
+    def project(self, names: Sequence[str]) -> "RelationSchema":
+        """Sub-schema over ``names``, keeping the given order."""
+        return RelationSchema(self.attribute(n) for n in names)
+
+    def canonical_order(self, names: Iterable[str]) -> tuple[str, ...]:
+        """Order ``names`` by their position in this schema.
+
+        Used so that projections onto the same attribute *set* always share
+        tuple layout regardless of how the caller spelled the set.
+        """
+        wanted = set(names)
+        unknown = wanted - set(self._names)
+        if unknown:
+            raise UnknownAttributeError(
+                f"unknown attributes {sorted(unknown)}; schema has {list(self._names)}"
+            )
+        return tuple(n for n in self._names if n in wanted)
+
+    def validate_row(self, row: Sequence[Value]) -> Row:
+        """Validate arity and domains of ``row``; return it as a tuple."""
+        tup = tuple(row)
+        if len(tup) != self.arity:
+            from repro.errors import ArityError
+
+            raise ArityError(
+                f"tuple has {len(tup)} values but schema has {self.arity} attributes"
+            )
+        for attr, value in zip(self._attributes, tup):
+            attr.validate(value)
+        return tup
+
+    # ------------------------------------------------------------------
+    # Dunder protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.arity
+
+    def __iter__(self):
+        return iter(self._attributes)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._index
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RelationSchema):
+            return NotImplemented
+        return self._attributes == other._attributes
+
+    def __hash__(self) -> int:
+        return hash(self._attributes)
+
+    def __repr__(self) -> str:
+        return f"RelationSchema({list(self._names)})"

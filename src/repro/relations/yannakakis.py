@@ -1,0 +1,88 @@
+"""Yannakakis' algorithm: output-sensitive acyclic join evaluation.
+
+The full pipeline the paper cites for "efficient query evaluation" over
+acyclic schemas [26]:
+
+1. **full reduction** — two semijoin sweeps remove dangling tuples
+   (:mod:`repro.relations.semijoin`);
+2. **bottom-up join** — join reduced relations along the tree; because
+   nothing dangles, every intermediate result embeds into the final one,
+   so the cost is ``O(input + output)`` joins rather than worst-case
+   intermediate blowup;
+3. optional **projection** onto requested output attributes.
+
+:func:`evaluate_acyclic_join` is the user-facing entry point; it also
+supports evaluating directly from a universal relation's projections
+(the paper's decomposition setting).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.errors import JoinTreeError
+from repro.jointrees.jointree import JoinTree
+from repro.relations.join import natural_join
+from repro.relations.relation import Relation
+from repro.relations.semijoin import full_reduce, projections_for_tree
+
+
+def evaluate_acyclic_join(
+    relations: Mapping[int, Relation],
+    jointree: JoinTree,
+    *,
+    output: Iterable[str] | None = None,
+) -> Relation:
+    """Compute ``⋈ᵢ Rᵢ`` over a join tree with Yannakakis' algorithm.
+
+    Parameters
+    ----------
+    relations:
+        One relation per tree node (attributes = the node's bag).
+    jointree:
+        The acyclic schema's join tree.
+    output:
+        Optional attribute subset to project the result onto (canonical
+        order).  ``None`` returns the full join.
+
+    Returns
+    -------
+    Relation
+        The join result (possibly projected).
+    """
+    reduced = full_reduce(relations, jointree)
+
+    order = jointree.dfs_order()
+    parent = jointree.parents()
+    # Bottom-up: fold each subtree's join into its parent.
+    accumulated: dict[int, Relation] = dict(reduced)
+    for node in reversed(order[1:]):
+        p = parent[node]
+        accumulated[p] = natural_join(accumulated[p], accumulated[node])
+    result = accumulated[order[0]]
+
+    if output is not None:
+        wanted = set(output)
+        missing = wanted - set(result.schema.names)
+        if missing:
+            raise JoinTreeError(
+                f"output attributes {sorted(missing)} not produced by the join"
+            )
+        result = result.project(result.schema.canonical_order(wanted))
+    return result
+
+
+def evaluate_decomposition(
+    relation: Relation,
+    jointree: JoinTree,
+    *,
+    output: Iterable[str] | None = None,
+) -> Relation:
+    """Yannakakis over the projections ``R[Ωᵢ]`` of a universal relation.
+
+    This materializes exactly the join whose *size* the loss machinery
+    counts; use it only when the result is small enough to hold.
+    """
+    return evaluate_acyclic_join(
+        projections_for_tree(relation, jointree), jointree, output=output
+    )

@@ -1,0 +1,100 @@
+"""Unit tests for repro.core.analysis (the one-call report)."""
+
+import math
+
+import pytest
+
+from repro.core.analysis import analyze
+from repro.core.random_relations import random_relation
+from repro.datasets.synthetic import diagonal_relation, planted_mvd_relation
+from repro.jointrees.build import jointree_from_schema
+
+
+class TestAnalyze:
+    def test_lossless_instance(self, rng, mvd_tree):
+        r = planted_mvd_relation(5, 5, 3, rng)
+        report = analyze(r, mvd_tree)
+        assert report.lossless
+        assert report.rho == 0.0
+        assert report.j_entropy == pytest.approx(0.0, abs=1e-9)
+        assert report.rho_lower_bound == pytest.approx(0.0, abs=1e-9)
+
+    def test_lossy_instance(self, rng, mvd_tree):
+        r = random_relation({"A": 6, "B": 6, "C": 3}, 20, rng)
+        report = analyze(r, mvd_tree)
+        assert report.n == 20
+        assert report.num_attributes == 3
+        assert report.j_entropy == pytest.approx(report.j_kl, abs=1e-9)
+        assert report.sandwich.holds
+        assert report.product_bound.holds
+        assert report.rho + 1e-9 >= report.rho_lower_bound
+        assert report.log_loss == pytest.approx(math.log1p(report.rho))
+
+    def test_probabilistic_section_optional(self, rng, mvd_tree):
+        r = random_relation({"A": 6, "B": 6, "C": 3}, 20, rng)
+        without = analyze(r, mvd_tree)
+        with_prob = analyze(r, mvd_tree, delta=0.1)
+        assert without.probabilistic is None
+        assert with_prob.probabilistic is not None
+
+    def test_schema_field(self, rng, mvd_tree):
+        r = random_relation({"A": 6, "B": 6, "C": 3}, 20, rng)
+        report = analyze(r, mvd_tree)
+        assert set(report.schema) == {
+            frozenset({"A", "C"}),
+            frozenset({"B", "C"}),
+        }
+
+
+class TestRender:
+    def test_render_contains_key_lines(self, rng, mvd_tree):
+        r = random_relation({"A": 6, "B": 6, "C": 3}, 20, rng)
+        text = analyze(r, mvd_tree, delta=0.1).render()
+        for token in (
+            "relation size N",
+            "J-measure (entropy form)",
+            "J-measure (KL form)",
+            "Thm 2.2 sandwich",
+            "Lemma 4.1 lower bound",
+            "Prop 5.1 product bound",
+            "Prop 5.3 upper bounds",
+            "[ok]",
+        ):
+            assert token in text
+
+    def test_render_diagonal(self):
+        tree = jointree_from_schema([{"A"}, {"B"}])
+        text = analyze(diagonal_relation(5), tree).render()
+        assert "spurious tuples          : 20" in text
+        assert "VIOLATED" not in text
+
+    def test_render_without_probabilistic(self, rng, mvd_tree):
+        r = random_relation({"A": 6, "B": 6, "C": 3}, 20, rng)
+        text = analyze(r, mvd_tree).render()
+        assert "Prop 5.3" not in text
+
+    def test_stepwise_bound_in_report(self, rng, mvd_tree):
+        r = random_relation({"A": 6, "B": 6, "C": 3}, 20, rng)
+        report = analyze(r, mvd_tree)
+        assert report.stepwise_bound.holds
+        assert "stepwise expansion bound" in report.render()
+
+    def test_render_flags_prop51_erratum_instance(self):
+        # On the Prop 5.1 counterexample the report labels the failure
+        # as the known erratum rather than an internal violation.
+        from repro.jointrees.build import jointree_from_schema
+        from repro.relations.relation import Relation
+        from repro.relations.schema import RelationSchema
+
+        schema = RelationSchema.integer_domains(
+            {"A": 2, "B": 2, "C": 2, "D": 2}
+        )
+        r = Relation(
+            schema,
+            [(0, 0, 0, 0), (0, 0, 0, 1), (0, 1, 0, 0), (1, 1, 1, 0)],
+            validate=False,
+        )
+        tree = jointree_from_schema([{"A", "B"}, {"B", "C"}, {"C", "D"}])
+        text = analyze(r, tree).render()
+        assert "fails (known erratum)" in text
+        assert "VIOLATED" not in text

@@ -1,0 +1,358 @@
+"""Unit tests for repro.core.bounds (every theorem's numeric form)."""
+
+import math
+
+import pytest
+
+from repro.core.bounds import (
+    entropy_confidence_radius,
+    epsilon_star,
+    expected_entropy_bounds,
+    j_measure_upper_bound,
+    loss_lower_bound,
+    mi_lower_confidence,
+    mvd_loss_upper_confidence,
+    product_bound_check,
+    schema_upper_bound,
+)
+from repro.core.jmeasure import j_measure
+from repro.core.loss import spurious_loss
+from repro.core.random_relations import random_relation
+from repro.datasets.synthetic import diagonal_relation, planted_mvd_relation
+from repro.errors import BoundConditionError
+from repro.jointrees.build import jointree_from_schema
+
+
+class TestLemma41:
+    def test_inverse_pair(self):
+        for rho in (0.0, 0.5, 3.0, 100.0):
+            assert loss_lower_bound(j_measure_upper_bound(rho)) == pytest.approx(rho)
+
+    def test_zero_j(self):
+        assert loss_lower_bound(0.0) == 0.0
+
+    def test_bound_holds_on_instances(self, rng, mvd_tree):
+        for _ in range(10):
+            r = random_relation({"A": 6, "B": 6, "C": 3}, 25, rng)
+            j_val = j_measure(r, mvd_tree)
+            assert spurious_loss(r, mvd_tree) >= loss_lower_bound(j_val) - 1e-9
+
+    def test_tight_on_diagonal(self):
+        tree = jointree_from_schema([{"A"}, {"B"}])
+        r = diagonal_relation(20)
+        j_val = j_measure(r, tree)
+        assert spurious_loss(r, tree) == pytest.approx(loss_lower_bound(j_val))
+
+    def test_invalid_inputs(self):
+        with pytest.raises(BoundConditionError):
+            loss_lower_bound(-0.1)
+        with pytest.raises(BoundConditionError):
+            j_measure_upper_bound(-0.1)
+
+
+class TestProposition51:
+    def test_typically_holds_on_chain(self, rng, chain_tree):
+        # Not guaranteed (see erratum) but holds on typical random data.
+        for _ in range(5):
+            r = random_relation({"A": 4, "B": 4, "C": 4, "D": 4}, 30, rng)
+            assert product_bound_check(r, chain_tree).holds
+
+    def test_equality_for_binary_tree(self, rng, mvd_tree):
+        # With one support MVD the two sides coincide (m = 2 is the case
+        # where the proposition is trivially true).
+        r = random_relation({"A": 5, "B": 5, "C": 3}, 15, rng)
+        check = product_bound_check(r, mvd_tree)
+        assert check.lhs == pytest.approx(check.rhs)
+
+    def test_lossless_both_zero(self, rng, mvd_tree):
+        r = planted_mvd_relation(5, 5, 3, rng)
+        check = product_bound_check(r, mvd_tree)
+        assert check.lhs == pytest.approx(0.0)
+        assert check.rhs == pytest.approx(0.0)
+
+    def test_erratum_counterexample(self):
+        # Regression pin for the erratum: the paper's inequality fails on
+        # this instance (1 + rho(S) = 2 > 1.5 * 1.25), for every rooting.
+        from repro.relations.relation import Relation
+        from repro.relations.schema import RelationSchema
+
+        schema = RelationSchema.integer_domains({"A": 2, "B": 2, "C": 2, "D": 2})
+        r = Relation(
+            schema,
+            [(0, 0, 0, 0), (0, 0, 0, 1), (0, 1, 0, 0), (1, 1, 1, 0)],
+            validate=False,
+        )
+        tree = jointree_from_schema([{"A", "B"}, {"B", "C"}, {"C", "D"}])
+        check = product_bound_check(r, tree)
+        assert not check.holds
+        assert check.lhs == pytest.approx(math.log(2))
+        assert check.rhs == pytest.approx(math.log(1.5) + math.log(1.25))
+
+
+class TestStepwiseExpansion:
+    """The provably correct replacement for Proposition 5.1."""
+
+    def test_holds_on_erratum_counterexample(self):
+        from repro.core.bounds import stepwise_expansion_check
+        from repro.relations.relation import Relation
+        from repro.relations.schema import RelationSchema
+
+        schema = RelationSchema.integer_domains({"A": 2, "B": 2, "C": 2, "D": 2})
+        r = Relation(
+            schema,
+            [(0, 0, 0, 0), (0, 0, 0, 1), (0, 1, 0, 0), (1, 1, 1, 0)],
+            validate=False,
+        )
+        tree = jointree_from_schema([{"A", "B"}, {"B", "C"}, {"C", "D"}])
+        check = stepwise_expansion_check(r, tree)
+        assert check.holds
+
+    def test_ratios_at_least_one(self, rng, chain_tree):
+        from repro.core.bounds import stepwise_expansion_check
+
+        r = random_relation({"A": 4, "B": 4, "C": 4, "D": 4}, 30, rng)
+        check = stepwise_expansion_check(r, chain_tree)
+        assert all(ratio >= 1.0 - 1e-12 for ratio in check.step_ratios)
+        assert check.prefix_sizes == tuple(sorted(check.prefix_sizes))
+
+    def test_final_prefix_is_join_size(self, rng, chain_tree):
+        from repro.core.bounds import stepwise_expansion_check
+        from repro.relations.join import acyclic_join_size
+
+        r = random_relation({"A": 4, "B": 4, "C": 4, "D": 4}, 30, rng)
+        check = stepwise_expansion_check(r, chain_tree)
+        assert check.prefix_sizes[-1] == acyclic_join_size(r, chain_tree)
+
+    def test_lossless_is_tight_at_zero(self, rng, mvd_tree):
+        from repro.core.bounds import stepwise_expansion_check
+
+        r = planted_mvd_relation(5, 5, 3, rng)
+        check = stepwise_expansion_check(r, mvd_tree)
+        assert check.lhs == pytest.approx(0.0)
+
+    def test_root_choice_always_valid(self, rng, chain_tree):
+        from repro.core.bounds import stepwise_expansion_check
+
+        r = random_relation({"A": 4, "B": 4, "C": 4, "D": 4}, 30, rng)
+        for root in chain_tree.node_ids():
+            assert stepwise_expansion_check(r, chain_tree, root=root).holds
+
+
+class TestProposition54:
+    def test_value(self):
+        report = expected_entropy_bounds(100, 64, 6000)
+        assert report.value == pytest.approx(2 * math.log(64) / 8)
+        assert report.condition_holds
+
+    def test_condition(self):
+        assert not expected_entropy_bounds(100, 64, 100).condition_holds
+        assert not expected_entropy_bounds(10, 64, 6000).condition_holds  # d_A < d_B
+
+    def test_strict_raises(self):
+        with pytest.raises(BoundConditionError):
+            expected_entropy_bounds(100, 64, 100, strict=True)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(BoundConditionError):
+            expected_entropy_bounds(0, 64, 100)
+
+
+class TestProposition55:
+    def test_monotone_decreasing_in_t(self):
+        from repro.core.bounds import entropy_concentration_tail
+
+        d_a, d_b, eta = 100, 50, 8000
+        values = [
+            entropy_concentration_tail(t, d_a, d_b, eta).value
+            for t in (0.5, 1.0, 2.0, 4.0)
+        ]
+        assert values == sorted(values, reverse=True)
+
+    def test_capped_at_one(self):
+        from repro.core.bounds import entropy_concentration_tail
+
+        assert entropy_concentration_tail(0.01, 100, 50, 8000).value <= 1.0
+
+    def test_conditions(self):
+        from repro.core.bounds import entropy_concentration_tail
+
+        # Regime needs 60·d_A <= η <= d_A·d_B − d_B and d_A > d_B.
+        ok = entropy_concentration_tail(1.0, 100, 80, 7000)
+        assert ok.condition_holds
+        # d_A must exceed d_B.
+        assert not entropy_concentration_tail(1.0, 50, 50, 2400).condition_holds
+        # η must be at least 60·d_A.
+        assert not entropy_concentration_tail(1.0, 100, 80, 100).condition_holds
+        # η must leave d_B cells free.
+        assert not entropy_concentration_tail(1.0, 100, 80, 7950).condition_holds
+
+    def test_empirical_validity(self, rng):
+        # The bound must dominate the simulated two-sided tail.
+        import numpy as np
+
+        from repro.core.bounds import entropy_concentration_tail
+        from repro.core.random_relations import random_relation
+        from repro.info.entropy import joint_entropy
+
+        d_a, d_b, eta = 20, 10, 150
+        entropies = [
+            joint_entropy(
+                random_relation({"A": d_a, "B": d_b}, eta, rng), ["A"]
+            )
+            for _ in range(300)
+        ]
+        mean = float(np.mean(entropies))
+        for t in (0.05, 0.1, 0.2):
+            empirical = float(
+                np.mean([abs(h - mean) > t for h in entropies])
+            )
+            bound = entropy_concentration_tail(t, d_a, d_b, eta).value
+            assert empirical <= bound + 0.05
+
+    def test_invalid(self):
+        from repro.core.bounds import entropy_concentration_tail
+
+        with pytest.raises(BoundConditionError):
+            entropy_concentration_tail(0.0, 100, 50, 8000)
+        with pytest.raises(BoundConditionError):
+            entropy_concentration_tail(1.0, 100, 50, 0)
+        with pytest.raises(BoundConditionError):
+            entropy_concentration_tail(1.0, 100, 50, 100, strict=True)
+
+
+class TestTheorem52:
+    def test_radius_formula(self):
+        d_a, eta, delta = 32, 10**6, 0.05
+        report = entropy_confidence_radius(d_a, 32, eta, delta)
+        expected = 20 * math.sqrt(d_a * math.log(eta / delta) ** 3 / eta)
+        assert report.value == pytest.approx(expected)
+
+    def test_radius_shrinks_with_eta(self):
+        r1 = entropy_confidence_radius(32, 32, 10**5, 0.1)
+        r2 = entropy_confidence_radius(32, 32, 10**7, 0.1)
+        assert r2.value < r1.value
+
+    def test_condition_threshold(self):
+        delta = 0.1
+        d_a = 16
+        threshold = 128 * d_a * math.log(128 * d_a / delta)
+        ok = entropy_confidence_radius(d_a, 8, int(threshold) + 1, delta)
+        bad = entropy_confidence_radius(d_a, 8, int(threshold) - 1, delta)
+        assert ok.condition_holds
+        assert not bad.condition_holds
+
+    def test_invalid(self):
+        with pytest.raises(BoundConditionError):
+            entropy_confidence_radius(16, 8, 100, 1.5)
+        with pytest.raises(BoundConditionError):
+            entropy_confidence_radius(16, 8, 0, 0.1)
+        with pytest.raises(BoundConditionError):
+            entropy_confidence_radius(16, 8, 100, 0.1, strict=True)
+
+
+class TestCorollary521:
+    def test_target_is_log_max_loss(self):
+        d_a = d_b = 100
+        eta = 5000
+        bound = mi_lower_confidence(d_a, d_b, eta, 0.1)
+        assert bound.target == pytest.approx(math.log(d_a * d_b / eta))
+
+    def test_lower_is_target_minus_radius(self):
+        bound = mi_lower_confidence(64, 64, 2048, 0.1)
+        assert bound.lower == pytest.approx(bound.target - bound.radius)
+
+    def test_radius_formula(self):
+        d_a, eta, delta = 64, 2048, 0.1
+        bound = mi_lower_confidence(d_a, d_a, eta, delta)
+        expected = 40 * math.sqrt(d_a * math.log(2 * eta / delta) ** 3 / eta)
+        assert bound.radius == pytest.approx(expected)
+
+    def test_eta_validated(self):
+        with pytest.raises(BoundConditionError):
+            mi_lower_confidence(10, 10, 101, 0.1)
+
+    def test_strict(self):
+        with pytest.raises(BoundConditionError):
+            mi_lower_confidence(64, 64, 100, 0.1, strict=True)
+
+
+class TestTheorem51:
+    def test_epsilon_formula(self):
+        d_a, d_b, d_c, n, delta = 50, 40, 10, 10**6, 0.1
+        report = epsilon_star(d_a, d_b, d_c, n, delta)
+        d = max(d_a, d_c)
+        expected = 60 * math.sqrt(
+            d_a * d * math.log(6 * n * d_c / delta) ** 3 / n
+        )
+        assert report.value == pytest.approx(expected)
+
+    def test_sides_swapped_when_needed(self):
+        # d_A >= d_B is w.l.o.g.; passing them reversed must not change ε*.
+        a = epsilon_star(40, 50, 10, 10**6, 0.1)
+        b = epsilon_star(50, 40, 10, 10**6, 0.1)
+        assert a.value == pytest.approx(b.value)
+
+    def test_epsilon_vanishes(self):
+        # ε* = Õ(√(d_A·d/N)) → 0 when N = ω(d²·polylog).
+        values = [
+            epsilon_star(16, 16, 4, n, 0.1).value
+            for n in (10**4, 10**8, 10**11, 10**14)
+        ]
+        assert values == sorted(values, reverse=True)
+        assert values[-1] < 0.1
+
+    def test_condition_eq37(self):
+        d_a = d_b = 16
+        d_c = 4
+        delta = 0.1
+        d = max(d_a, d_c)
+        threshold = 256 * d_a * d * math.log(384 * d / delta)
+        ok = epsilon_star(d_a, d_b, d_c, int(threshold) + 1, delta)
+        bad = epsilon_star(d_a, d_b, d_c, int(threshold) - 1, delta)
+        assert ok.condition_holds
+        assert not bad.condition_holds
+
+    def test_assembled_bound(self):
+        eps = epsilon_star(16, 16, 4, 10**6, 0.1)
+        combined = mvd_loss_upper_confidence(0.5, 16, 16, 4, 10**6, 0.1)
+        assert combined.value == pytest.approx(0.5 + eps.value)
+
+    def test_assembled_rejects_negative_cmi(self):
+        with pytest.raises(BoundConditionError):
+            mvd_loss_upper_confidence(-1.0, 16, 16, 4, 10**6, 0.1)
+
+    def test_invalid(self):
+        with pytest.raises(BoundConditionError):
+            epsilon_star(16, 16, 4, 0, 0.1)
+        with pytest.raises(BoundConditionError):
+            epsilon_star(16, 16, 4, 100, 0.1, strict=True)
+
+
+class TestProposition53:
+    def test_structure(self, rng, chain_tree):
+        r = random_relation({"A": 4, "B": 4, "C": 4, "D": 4}, 40, rng)
+        bound = schema_upper_bound(r, chain_tree, 0.1)
+        assert len(bound.epsilons) == chain_tree.num_nodes - 1
+        # Eq. 34 dominates Eq. 33 term-by-term construction:
+        # (m−1)·J >= sum of CMIs by Theorem 2.2.
+        assert bound.j_bound >= bound.cmi_sum_bound - 1e-9
+
+    def test_bounds_dominate_actual(self, rng, chain_tree):
+        # At laptop scale the ε terms are enormous, so the inequality is
+        # comfortably satisfied even out of regime.
+        r = random_relation({"A": 4, "B": 4, "C": 4, "D": 4}, 40, rng)
+        bound = schema_upper_bound(r, chain_tree, 0.1)
+        assert bound.actual <= bound.cmi_sum_bound
+        assert bound.actual <= bound.j_bound
+
+    def test_single_node_tree(self, rng):
+        tree = jointree_from_schema([{"A", "B"}])
+        r = random_relation({"A": 4, "B": 4}, 10, rng)
+        bound = schema_upper_bound(r, tree, 0.1)
+        assert bound.epsilons == ()
+        assert bound.actual == pytest.approx(0.0)
+
+    def test_invalid_delta(self, rng, chain_tree):
+        r = random_relation({"A": 4, "B": 4, "C": 4, "D": 4}, 20, rng)
+        with pytest.raises(BoundConditionError):
+            schema_upper_bound(r, chain_tree, 0.0)

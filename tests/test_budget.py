@@ -1,0 +1,114 @@
+"""Unit tests for repro.discovery.budget (schema fitting under a budget)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.datasets.noise import perturb
+from repro.datasets.synthetic import planted_mvd_relation
+from repro.datasets.tables import star_schema_table
+from repro.discovery.budget import fit_schema_with_budget
+from repro.errors import DiscoveryError
+from repro.relations.relation import Relation
+from repro.relations.schema import RelationSchema
+
+
+class TestExhaustiveMode:
+    def test_budget_respected(self, rng):
+        base = planted_mvd_relation(8, 8, 4, rng)
+        noisy = perturb(base, rng, insert_rate=0.1)
+        for budget in (0.0, 0.2, 1.0):
+            fit = fit_schema_with_budget(noisy, budget, mode="exhaustive")
+            assert fit.rho <= budget + 1e-12
+
+    def test_zero_budget_gives_lossless(self, rng):
+        base = planted_mvd_relation(8, 8, 4, rng)
+        fit = fit_schema_with_budget(base, 0.0, mode="exhaustive")
+        assert fit.rho == 0.0
+        # The planted structure should be exploited: compression < 1.
+        assert fit.compression < 1.0
+
+    def test_larger_budget_never_compresses_worse(self, rng):
+        base = planted_mvd_relation(8, 8, 4, rng)
+        noisy = perturb(base, rng, insert_rate=0.15)
+        fits = [
+            fit_schema_with_budget(noisy, budget, mode="exhaustive")
+            for budget in (0.0, 0.5, 2.0)
+        ]
+        comps = [f.compression for f in fits]
+        assert comps == sorted(comps, reverse=True)
+
+    def test_lemma41_pruning_is_sound(self, rng):
+        # Everything pruned by J would indeed have violated the budget.
+        # (Indirect check: pruned + verified = all schemas, and the
+        # chosen fit is within budget; directly re-verify a few.)
+        from repro.core.jmeasure import j_measure
+        from repro.core.loss import spurious_loss
+        from repro.discovery.exhaustive import hierarchical_schemas
+        from repro.jointrees.build import jointree_from_schema
+
+        base = planted_mvd_relation(6, 6, 3, rng)
+        noisy = perturb(base, rng, insert_rate=0.2)
+        budget = 0.3
+        ceiling = math.log1p(budget)
+        for schema in hierarchical_schemas(noisy.schema.name_set):
+            tree = jointree_from_schema(schema)
+            if j_measure(noisy, tree) > ceiling:
+                assert spurious_loss(noisy, tree) > budget
+
+    def test_pruning_counts_reported(self, rng):
+        base = planted_mvd_relation(8, 8, 4, rng)
+        noisy = perturb(base, rng, insert_rate=0.3)
+        fit = fit_schema_with_budget(noisy, 0.05, mode="exhaustive")
+        assert fit.pruned_by_j > 0
+        assert fit.verified > 0
+
+    def test_star_schema_table(self):
+        rng = np.random.default_rng(9)
+        table = star_schema_table(rng)
+        fit = fit_schema_with_budget(table, 0.0, mode="exhaustive")
+        assert fit.rho == 0.0
+        assert fit.compression < 1.0
+
+
+class TestGreedyMode:
+    def test_budget_respected(self, rng):
+        base = planted_mvd_relation(8, 8, 4, rng)
+        noisy = perturb(base, rng, insert_rate=0.1)
+        fit = fit_schema_with_budget(noisy, 0.5, mode="greedy")
+        assert fit.rho <= 0.5 + 1e-12
+
+    def test_falls_back_to_trivial_when_over_budget(self, rng):
+        # With a tiny budget on noisy data, greedy mining may exceed it;
+        # the fitter must fall back to the (lossless) trivial schema.
+        base = planted_mvd_relation(8, 8, 4, rng)
+        noisy = perturb(base, rng, insert_rate=0.4)
+        fit = fit_schema_with_budget(noisy, 1e-6, mode="greedy")
+        assert fit.rho <= 1e-6
+
+    def test_auto_mode_dispatch(self, rng):
+        # 7 attributes exceed the exhaustive cap; auto must use greedy.
+        sizes = {name: 2 for name in "ABCDEFG"}
+        from repro.core.random_relations import random_relation
+
+        r = random_relation(sizes, 40, rng)
+        fit = fit_schema_with_budget(r, 0.5, mode="auto")
+        assert fit.rho <= 0.5 + 1e-12
+
+
+class TestValidation:
+    def test_negative_budget_rejected(self, rng):
+        r = planted_mvd_relation(4, 4, 2, rng)
+        with pytest.raises(DiscoveryError):
+            fit_schema_with_budget(r, -0.1)
+
+    def test_empty_rejected(self):
+        schema = RelationSchema.integer_domains({"A": 2, "B": 2})
+        with pytest.raises(DiscoveryError):
+            fit_schema_with_budget(Relation.empty(schema), 0.5)
+
+    def test_unknown_mode_rejected(self, rng):
+        r = planted_mvd_relation(4, 4, 2, rng)
+        with pytest.raises(DiscoveryError):
+            fit_schema_with_budget(r, 0.5, mode="quantum")

@@ -1,0 +1,90 @@
+"""Unit tests for repro.jointrees.build."""
+
+import pytest
+
+from repro.errors import CyclicSchemaError, JoinTreeError, RunningIntersectionError
+from repro.jointrees.build import (
+    chain_jointree,
+    jointree_from_mvd,
+    jointree_from_schema,
+    star_jointree,
+)
+from repro.jointrees.mvds import MVD
+
+
+class TestFromSchema:
+    def test_bags_preserved(self):
+        schema = [{"A", "B"}, {"B", "C"}, {"C", "D"}]
+        tree = jointree_from_schema(schema)
+        assert set(tree.bags()) == {frozenset(b) for b in schema}
+        assert tree.num_nodes == 3
+
+    def test_star_schema(self):
+        schema = [{"X", "A"}, {"X", "B"}, {"X", "C"}, {"X", "D"}]
+        tree = jointree_from_schema(schema)
+        assert tree.num_nodes == 4
+        # Every separator must be {X}.
+        assert all(sep == frozenset({"X"}) for sep in tree.separators())
+
+    def test_cyclic_rejected(self):
+        with pytest.raises(CyclicSchemaError):
+            jointree_from_schema([{"A", "B"}, {"B", "C"}, {"A", "C"}])
+
+    def test_empty_rejected(self):
+        with pytest.raises(JoinTreeError):
+            jointree_from_schema([])
+
+    def test_single_bag(self):
+        tree = jointree_from_schema([{"A", "B", "C"}])
+        assert tree.num_nodes == 1
+
+    def test_disjoint_bags(self):
+        tree = jointree_from_schema([{"A"}, {"B"}])
+        assert tree.num_nodes == 2
+        assert tree.separators() == (frozenset(),)
+
+    def test_result_satisfies_running_intersection(self):
+        # Construction must always yield a valid join tree (validated in
+        # the JoinTree constructor; this documents the guarantee).
+        schema = [
+            {"A", "B", "C"},
+            {"B", "C", "D"},
+            {"C", "D", "E"},
+            {"E", "F"},
+            {"D", "G"},
+        ]
+        tree = jointree_from_schema(schema)
+        assert tree.num_nodes == 5
+
+
+class TestFromMvd:
+    def test_binary(self):
+        tree = jointree_from_mvd(MVD.parse("X -> A | B"))
+        assert set(tree.bags()) == {
+            frozenset({"X", "A"}),
+            frozenset({"X", "B"}),
+        }
+
+    def test_multi_group_star(self):
+        tree = jointree_from_mvd(MVD.parse("X -> U | V | W"))
+        assert tree.num_nodes == 3
+        assert all(sep == frozenset({"X"}) for sep in tree.separators())
+
+    def test_empty_lhs(self):
+        tree = jointree_from_mvd(MVD.parse("-> A | B"))
+        assert tree.separators() == (frozenset(),)
+
+
+class TestShapes:
+    def test_chain(self):
+        tree = chain_jointree([{"A", "B"}, {"B", "C"}, {"C", "D"}])
+        assert tree.edges() == ((0, 1), (1, 2))
+
+    def test_invalid_chain_rejected(self):
+        with pytest.raises(RunningIntersectionError):
+            chain_jointree([{"A", "B"}, {"C", "D"}, {"B", "C"}])
+
+    def test_star(self):
+        tree = star_jointree({"X"}, [{"X", "A"}, {"X", "B"}])
+        assert tree.num_nodes == 3
+        assert tree.bag(0) == frozenset({"X"})

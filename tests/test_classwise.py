@@ -1,0 +1,105 @@
+"""Unit tests for repro.core.classwise (Eq. 44 / Eq. 336 machinery)."""
+
+import math
+
+import pytest
+
+from repro.core.classwise import classwise_decomposition
+from repro.core.random_relations import random_relation
+from repro.datasets.synthetic import planted_mvd_relation
+from repro.errors import DistributionError, UnknownAttributeError
+from repro.relations.relation import Relation
+from repro.relations.schema import RelationSchema
+
+
+class TestStructure:
+    def test_weights_sum_to_one(self, rng):
+        r = random_relation({"A": 4, "B": 4, "C": 3}, 15, rng)
+        dec = classwise_decomposition(r, "A", "B", "C")
+        assert sum(c.weight for c in dec.classes) == pytest.approx(1.0)
+        assert sum(c.n for c in dec.classes) == len(r)
+
+    def test_one_class_per_active_value(self, rng):
+        r = random_relation({"A": 4, "B": 4, "C": 3}, 15, rng)
+        dec = classwise_decomposition(r, "A", "B", "C")
+        assert len(dec.classes) == r.active_domain_size("C")
+
+    def test_ceiling_dominates_realized(self, rng):
+        r = random_relation({"A": 4, "B": 4, "C": 3}, 15, rng)
+        dec = classwise_decomposition(r, "A", "B", "C")
+        for c in dec.classes:
+            assert c.rho <= c.rho_ceiling + 1e-9
+
+    def test_multi_attribute_groups(self, rng):
+        r = random_relation({"A": 3, "B": 3, "C": 3, "D": 2}, 15, rng)
+        dec = classwise_decomposition(r, ("A", "B"), "C", "D")
+        assert dec.eq44_holds
+
+
+class TestEq44:
+    def test_holds_on_random_instances(self, rng):
+        for _ in range(10):
+            r = random_relation({"A": 5, "B": 5, "C": 3}, 20, rng)
+            dec = classwise_decomposition(r, "A", "B", "C")
+            assert dec.eq44_holds
+
+    def test_holds_on_lossless(self, rng):
+        r = planted_mvd_relation(6, 6, 4, rng)
+        dec = classwise_decomposition(r, "A", "B", "C")
+        assert dec.log_loss == pytest.approx(0.0)
+        assert dec.eq44_holds
+
+    def test_realized_variant_can_fail(self):
+        # The docstring's warning: with realized per-class losses the
+        # inequality is false — two classes, one diagonal, one constant-B.
+        m = 32
+        schema = RelationSchema.integer_domains({"A": m, "B": m, "C": 2})
+        rows = [(i, i, 0) for i in range(m)]          # diagonal class
+        rows += [(i, 0, 1) for i in range(m)]          # constant-B class
+        r = Relation(schema, rows, validate=False)
+        dec = classwise_decomposition(r, "A", "B", "C")
+        realized_rhs = dec.entropy_gap + dec.weighted_log_loss
+        assert dec.log_loss > realized_rhs  # realized form fails ...
+        assert dec.eq44_holds               # ... ceiling form holds
+
+    def test_entropy_gap_non_negative(self, rng):
+        r = random_relation({"A": 4, "B": 4, "C": 4}, 20, rng)
+        dec = classwise_decomposition(r, "A", "B", "C")
+        assert dec.entropy_gap >= -1e-12
+
+
+class TestEq336:
+    def test_averaging_identity(self, rng):
+        for _ in range(5):
+            r = random_relation({"A": 5, "B": 5, "C": 3}, 25, rng)
+            dec = classwise_decomposition(r, "A", "B", "C")
+            assert dec.averaging_identity_gap < 1e-9
+
+    def test_single_class(self, rng):
+        r = random_relation({"A": 4, "B": 4, "C": 1}, 10, rng)
+        dec = classwise_decomposition(r, "A", "B", "C")
+        assert len(dec.classes) == 1
+        # With d_C = 1 the CMI is the plain MI of the only class.
+        assert dec.cmi == pytest.approx(dec.classes[0].mi)
+        assert dec.entropy_gap == pytest.approx(0.0)
+
+
+class TestValidation:
+    def test_cover_enforced(self, rng):
+        r = random_relation({"A": 3, "B": 3, "C": 3, "D": 3}, 12, rng)
+        with pytest.raises(UnknownAttributeError):
+            classwise_decomposition(r, "A", "B", "C")  # D missing
+
+    def test_empty_rejected(self):
+        schema = RelationSchema.integer_domains({"A": 2, "B": 2, "C": 2})
+        with pytest.raises(DistributionError):
+            classwise_decomposition(Relation.empty(schema), "A", "B", "C")
+
+    def test_global_loss_matches_split_loss(self, rng):
+        from repro.core.loss import split_loss
+
+        r = random_relation({"A": 5, "B": 5, "C": 3}, 20, rng)
+        dec = classwise_decomposition(r, "A", "B", "C")
+        assert dec.log_loss == pytest.approx(
+            math.log1p(split_loss(r, {"A", "C"}, {"B", "C"}))
+        )

@@ -1,0 +1,86 @@
+"""End-to-end tests for the repro-ajd CLI."""
+
+import pytest
+
+from repro.cli import _parse_schema, build_parser, main
+from repro.errors import ReproError
+
+
+@pytest.fixture()
+def table_csv(tmp_path):
+    path = tmp_path / "table.csv"
+    # A relation satisfying C ↠ A|B exactly: each c-class is a product.
+    lines = ["A,B,C"]
+    for c in (0, 1):
+        for a in (0, 1):
+            for b in (0, 1):
+                lines.append(f"{a + 2 * c},{b},{c}")
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+class TestParseSchema:
+    def test_basic(self):
+        assert _parse_schema("A,B;B,C") == [{"A", "B"}, {"B", "C"}]
+
+    def test_whitespace_tolerated(self):
+        assert _parse_schema(" A , B ; C ") == [{"A", "B"}, {"C"}]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            _parse_schema(" ; ")
+
+
+class TestAnalyzeCommand:
+    def test_lossless_schema(self, table_csv, capsys):
+        code = main(["analyze", str(table_csv), "--schema", "A,C;B,C"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "loss rho(R,S)            : 0" in out
+        assert "J-measure (entropy form) : 0" in out
+
+    def test_with_delta(self, table_csv, capsys):
+        code = main(
+            ["analyze", str(table_csv), "--schema", "A,C;B,C", "--delta", "0.1"]
+        )
+        assert code == 0
+        assert "Prop 5.3" in capsys.readouterr().out
+
+    def test_cyclic_schema_fails_cleanly(self, table_csv, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["analyze", str(table_csv), "--schema", "A,B;B,C;A,C"])
+        assert excinfo.value.code == 2
+        assert "cyclic" in capsys.readouterr().err
+
+
+class TestMineCommand:
+    def test_mines_lossless_schema(self, table_csv, capsys):
+        # In this table B is independent of (A, C), so the miner may find
+        # a refinement of the planted C ↠ A|B; it must be lossless.
+        code = main(["mine", str(table_csv)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "{A, C}" in out
+        assert "J-measure: 0" in out
+        assert "loss rho : 0" in out
+
+    def test_threshold_flag(self, table_csv, capsys):
+        code = main(["mine", str(table_csv), "--threshold", "0.5"])
+        assert code == 0
+        assert "mined schema" in capsys.readouterr().out
+
+
+class TestOtherCommands:
+    def test_version(self, capsys):
+        import repro
+
+        assert main(["version"]) == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+    def test_experiment_dispatch(self, capsys):
+        assert main(["experiment", "E2"]) == 0
+        assert "Example 4.1" in capsys.readouterr().out
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

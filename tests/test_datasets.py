@@ -1,0 +1,171 @@
+"""Unit tests for repro.datasets (synthetic generators + noise)."""
+
+import math
+
+import pytest
+
+from repro.core.jmeasure import j_measure
+from repro.core.loss import spurious_loss
+from repro.datasets.noise import (
+    delete_random_tuples,
+    insert_random_tuples,
+    perturb,
+)
+from repro.datasets.synthetic import (
+    diagonal_relation,
+    functional_relation,
+    independent_product_relation,
+    lossless_instance,
+    planted_mvd_relation,
+)
+from repro.errors import SamplingError
+from repro.info.divergence import mutual_information
+from repro.jointrees.build import jointree_from_schema
+from repro.relations.io import read_csv
+from repro.relations.relation import Relation
+
+
+class TestDiagonal:
+    def test_size_and_shape(self):
+        r = diagonal_relation(7)
+        assert len(r) == 7
+        assert all(a == b for a, b in r)
+
+    def test_tightness_property(self):
+        tree = jointree_from_schema([{"A"}, {"B"}])
+        r = diagonal_relation(12)
+        assert j_measure(r, tree) == pytest.approx(math.log(12))
+        assert spurious_loss(r, tree) == pytest.approx(11.0)
+
+    def test_invalid(self):
+        with pytest.raises(SamplingError):
+            diagonal_relation(0)
+
+
+class TestIndependentProduct:
+    def test_zero_mi(self):
+        r = independent_product_relation(4, 5)
+        assert len(r) == 20
+        assert mutual_information(r, ["A"], ["B"]) == pytest.approx(0.0, abs=1e-12)
+
+    def test_invalid(self):
+        with pytest.raises(SamplingError):
+            independent_product_relation(0, 5)
+
+
+class TestPlantedMVD:
+    def test_exactly_lossless(self, rng, mvd_tree):
+        r = planted_mvd_relation(8, 8, 5, rng)
+        assert spurious_loss(r, mvd_tree) == 0.0
+        assert j_measure(r, mvd_tree) == pytest.approx(0.0, abs=1e-9)
+
+    def test_group_sizes(self, rng):
+        r = planted_mvd_relation(8, 6, 3, rng, group_size_a=2, group_size_b=3)
+        # Each class is a 2x3 product.
+        assert len(r) == 3 * 2 * 3
+
+    def test_invalid_group_sizes(self, rng):
+        with pytest.raises(SamplingError):
+            planted_mvd_relation(4, 4, 2, rng, group_size_a=9)
+
+    def test_invalid_domains(self, rng):
+        with pytest.raises(SamplingError):
+            planted_mvd_relation(0, 4, 2, rng)
+
+
+class TestLosslessInstance:
+    def test_models_tree_exactly(self, rng, chain_tree):
+        sizes = {"A": 3, "B": 3, "C": 3, "D": 3}
+        r = lossless_instance(chain_tree, sizes, 10, rng)
+        assert spurious_loss(r, chain_tree) == 0.0
+        assert j_measure(r, chain_tree) == pytest.approx(0.0, abs=1e-9)
+
+    def test_contains_at_least_seed_size(self, rng, mvd_tree):
+        sizes = {"A": 4, "B": 4, "C": 2}
+        r = lossless_instance(mvd_tree, sizes, 8, rng)
+        assert len(r) >= 8
+
+    def test_missing_sizes_rejected(self, rng, mvd_tree):
+        with pytest.raises(SamplingError):
+            lossless_instance(mvd_tree, {"A": 3}, 4, rng)
+
+
+class TestFunctionalRelation:
+    def test_fd_holds(self, rng):
+        r = functional_relation(10, 4, rng)
+        assert len(r) == 10
+        # A → B: each a maps to exactly one b.
+        counts = r.projection_counts(["A"])
+        assert all(c == 1 for c in counts.values())
+
+    def test_invalid(self, rng):
+        with pytest.raises(SamplingError):
+            functional_relation(0, 2, rng)
+
+
+class TestNoise:
+    def test_insert_grows(self, rng):
+        base = planted_mvd_relation(6, 6, 3, rng)
+        noisy = insert_random_tuples(base, 10, rng)
+        assert len(noisy) == len(base) + 10
+        assert base.rows() <= noisy.rows()
+
+    def test_insert_zero_identity(self, rng):
+        base = planted_mvd_relation(6, 6, 3, rng)
+        assert insert_random_tuples(base, 0, rng) is base
+
+    def test_insert_too_many_rejected(self, rng):
+        base = planted_mvd_relation(4, 4, 2, rng)
+        free = 4 * 4 * 2 - len(base)
+        with pytest.raises(SamplingError):
+            insert_random_tuples(base, free + 1, rng)
+
+    def test_insert_needs_domains(self, rng, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("A,B\n1,2\n")
+        loaded = read_csv(path)  # schema without domains
+        with pytest.raises(SamplingError):
+            insert_random_tuples(loaded, 1, rng)
+
+    def test_delete_shrinks(self, rng):
+        base = planted_mvd_relation(6, 6, 3, rng)
+        smaller = delete_random_tuples(base, 5, rng)
+        assert len(smaller) == len(base) - 5
+        assert smaller.rows() <= base.rows()
+
+    def test_delete_too_many_rejected(self, rng):
+        base = planted_mvd_relation(4, 4, 2, rng)
+        with pytest.raises(SamplingError):
+            delete_random_tuples(base, len(base) + 1, rng)
+
+    def test_negative_counts_rejected(self, rng):
+        base = planted_mvd_relation(4, 4, 2, rng)
+        with pytest.raises(SamplingError):
+            insert_random_tuples(base, -1, rng)
+        with pytest.raises(SamplingError):
+            delete_random_tuples(base, -1, rng)
+
+    def test_perturb_rates(self, rng):
+        base = planted_mvd_relation(8, 8, 3, rng)
+        n = len(base)
+        noisy = perturb(base, rng, insert_rate=0.1, delete_rate=0.1)
+        # delete 10% then insert 10% of the original size.
+        assert len(noisy) == n - round(0.1 * n) + round(0.1 * n)
+
+    def test_perturb_increases_j(self, rng, mvd_tree):
+        base = planted_mvd_relation(8, 8, 4, rng)
+        noisy = perturb(base, rng, insert_rate=0.2)
+        assert j_measure(noisy, mvd_tree) > j_measure(base, mvd_tree)
+
+    def test_perturb_invalid_rate(self, rng):
+        base = planted_mvd_relation(4, 4, 2, rng)
+        with pytest.raises(SamplingError):
+            perturb(base, rng, insert_rate=1.5)
+
+
+class TestEmptyRelationNoise:
+    def test_delete_from_small(self, rng):
+        schema_rel = diagonal_relation(3)
+        out = delete_random_tuples(schema_rel, 3, rng)
+        assert isinstance(out, Relation)
+        assert out.is_empty()

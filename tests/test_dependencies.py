@@ -1,0 +1,147 @@
+"""Unit tests for repro.core.dependencies (Lee's entropic checks)."""
+
+import math
+
+import pytest
+
+from repro.core.dependencies import (
+    check_ajd,
+    check_fd,
+    check_mvd,
+    discover_fds,
+    fd_violation_pairs,
+)
+from repro.core.random_relations import random_relation
+from repro.datasets.synthetic import (
+    diagonal_relation,
+    functional_relation,
+    planted_mvd_relation,
+)
+from repro.errors import UnknownAttributeError
+from repro.jointrees.mvds import MVD
+from repro.relations.relation import Relation
+from repro.relations.schema import RelationSchema
+
+
+class TestCheckFD:
+    def test_holds_on_functional_relation(self, rng):
+        r = functional_relation(10, 4, rng)
+        check = check_fd(r, ["A"], ["B"])
+        assert check.holds
+        assert check.residual == pytest.approx(0.0)
+        assert check.kind == "FD"
+
+    def test_fails_on_diagonal_reverse_ok(self):
+        # Diagonal: A -> B and B -> A both hold (bijection).
+        r = diagonal_relation(6)
+        assert check_fd(r, ["A"], ["B"]).holds
+        assert check_fd(r, ["B"], ["A"]).holds
+
+    def test_fails_with_positive_residual(self):
+        schema = RelationSchema.integer_domains({"A": 2, "B": 2})
+        r = Relation(schema, [(0, 0), (0, 1), (1, 0)])
+        check = check_fd(r, ["A"], ["B"])
+        assert not check.holds
+        assert check.residual > 0
+
+    def test_residual_is_conditional_entropy(self):
+        # A=0 maps to two B values with equal weight: H(B|A) = (2/3)·log2.
+        schema = RelationSchema.integer_domains({"A": 2, "B": 2})
+        r = Relation(schema, [(0, 0), (0, 1), (1, 0)])
+        check = check_fd(r, ["A"], ["B"])
+        assert check.residual == pytest.approx(2 / 3 * math.log(2))
+
+    def test_empty_sides_rejected(self, rng):
+        r = functional_relation(5, 3, rng)
+        with pytest.raises(UnknownAttributeError):
+            check_fd(r, [], ["B"])
+
+
+class TestFdViolationPairs:
+    def test_counts_multivalued_groups(self):
+        schema = RelationSchema.integer_domains({"A": 3, "B": 3})
+        r = Relation(schema, [(0, 0), (0, 1), (1, 0), (2, 2)])
+        assert fd_violation_pairs(r, ["A"], ["B"]) == 1
+
+    def test_zero_when_fd_holds(self, rng):
+        r = functional_relation(8, 3, rng)
+        assert fd_violation_pairs(r, ["A"], ["B"]) == 0
+
+
+class TestCheckMVD:
+    def test_planted_mvd_holds(self, rng):
+        r = planted_mvd_relation(6, 6, 4, rng)
+        check = check_mvd(r, MVD.parse("C -> A | B"))
+        assert check.holds
+
+    def test_residual_positive_on_random(self, rng):
+        r = random_relation({"A": 5, "B": 5, "C": 2}, 10, rng)
+        check = check_mvd(r, MVD.parse("C -> A | B"))
+        assert check.residual >= 0
+
+    def test_cover_enforced(self, rng):
+        r = random_relation({"A": 3, "B": 3, "C": 3, "D": 3}, 10, rng)
+        with pytest.raises(UnknownAttributeError):
+            check_mvd(r, MVD.parse("C -> A | B"))
+
+    def test_multi_group_mvd(self, rng):
+        # A relation whose classes are full 3-way products satisfies
+        # X ->> U|V|W.
+        rows = []
+        for x in range(2):
+            for u in range(2):
+                for v in range(2):
+                    for w in range(2):
+                        rows.append((x, u, v, w))
+        schema = RelationSchema.integer_domains({"X": 2, "U": 2, "V": 2, "W": 2})
+        r = Relation(schema, rows)
+        assert check_mvd(r, MVD.parse("X -> U | V | W")).holds
+
+
+class TestCheckAJD:
+    def test_matches_j_measure(self, rng, mvd_tree):
+        from repro.core.jmeasure import j_measure
+
+        r = random_relation({"A": 5, "B": 5, "C": 3}, 15, rng)
+        check = check_ajd(r, mvd_tree)
+        assert check.residual == pytest.approx(j_measure(r, mvd_tree))
+
+    def test_description_lists_bags(self, rng, mvd_tree):
+        r = random_relation({"A": 5, "B": 5, "C": 3}, 15, rng)
+        check = check_ajd(r, mvd_tree)
+        assert "{A,C}" in check.description
+        assert "{B,C}" in check.description
+
+
+class TestDiscoverFds:
+    def test_finds_planted_fds(self, rng):
+        # product -> category, store -> city.
+        n_p, n_s = 8, 6
+        category_of = rng.integers(0, 3, size=n_p)
+        city_of = rng.integers(0, 2, size=n_s)
+        rows = set()
+        while len(rows) < 30:
+            p = int(rng.integers(0, n_p))
+            s = int(rng.integers(0, n_s))
+            rows.add((p, int(category_of[p]), s, int(city_of[s])))
+        schema = RelationSchema.from_names(
+            ["product", "category", "store", "city"]
+        )
+        r = Relation(schema, rows)
+        found = {c.description for c in discover_fds(r, max_lhs_size=1)}
+        assert "product -> category" in found
+        assert "store -> city" in found
+
+    def test_minimality(self, rng):
+        # A -> B holds, so AB-determinant FDs onto B are not reported.
+        r = functional_relation(10, 4, rng)
+        found = discover_fds(r, max_lhs_size=2)
+        descriptions = {c.description for c in found}
+        assert "A -> B" in descriptions
+        assert all("A B ->" not in d for d in descriptions)
+
+    def test_no_fds_on_product(self):
+        from repro.datasets.synthetic import independent_product_relation
+
+        r = independent_product_relation(3, 4)
+        assert discover_fds(r, max_lhs_size=1) == []

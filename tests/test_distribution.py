@@ -1,0 +1,139 @@
+"""Unit tests for repro.info.distribution."""
+
+import math
+
+import pytest
+
+from repro.errors import DistributionError, UnknownAttributeError
+from repro.info.distribution import EmpiricalDistribution
+from repro.relations.relation import Relation
+from repro.relations.schema import RelationSchema
+
+
+@pytest.fixture()
+def xy_dist():
+    return EmpiricalDistribution(
+        ("X", "Y"),
+        {(0, 0): 0.25, (0, 1): 0.25, (1, 0): 0.25, (1, 1): 0.25},
+    )
+
+
+class TestConstruction:
+    def test_basic(self, xy_dist):
+        assert xy_dist.prob((0, 0)) == 0.25
+        assert xy_dist.prob((9, 9)) == 0.0
+        assert xy_dist.support_size() == 4
+
+    def test_zero_mass_dropped(self):
+        d = EmpiricalDistribution(("X",), {(0,): 1.0, (1,): 0.0})
+        assert d.support() == frozenset({(0,)})
+
+    def test_negative_mass_rejected(self):
+        with pytest.raises(DistributionError):
+            EmpiricalDistribution(("X",), {(0,): 1.5, (1,): -0.5})
+
+    def test_sum_not_one_rejected(self):
+        with pytest.raises(DistributionError):
+            EmpiricalDistribution(("X",), {(0,): 0.4})
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(DistributionError):
+            EmpiricalDistribution(("X", "Y"), {(0,): 1.0})
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(DistributionError):
+            EmpiricalDistribution(("X", "X"), {(0, 0): 1.0})
+
+    def test_no_attributes_rejected(self):
+        with pytest.raises(DistributionError):
+            EmpiricalDistribution((), {(): 1.0})
+
+    def test_from_relation_uniform(self):
+        schema = RelationSchema.integer_domains({"A": 3})
+        r = Relation(schema, [(0,), (1,), (2,)])
+        d = EmpiricalDistribution.from_relation(r)
+        assert d.is_uniform()
+        assert d.prob((1,)) == pytest.approx(1 / 3)
+
+    def test_from_empty_relation_rejected(self):
+        schema = RelationSchema.integer_domains({"A": 3})
+        with pytest.raises(DistributionError):
+            EmpiricalDistribution.from_relation(Relation.empty(schema))
+
+    def test_from_counts(self):
+        d = EmpiricalDistribution.from_counts(("X",), {(0,): 3, (1,): 1})
+        assert d.prob((0,)) == 0.75
+
+    def test_from_zero_counts_rejected(self):
+        with pytest.raises(DistributionError):
+            EmpiricalDistribution.from_counts(("X",), {})
+
+
+class TestMarginal:
+    def test_marginal_sums(self, xy_dist):
+        m = xy_dist.marginal(["X"])
+        assert m.prob((0,)) == pytest.approx(0.5)
+        assert m.attributes == ("X",)
+
+    def test_marginal_canonical_order(self, xy_dist):
+        m = xy_dist.marginal(["Y", "X"])
+        assert m.attributes == ("X", "Y")
+
+    def test_marginal_unknown_rejected(self, xy_dist):
+        with pytest.raises(UnknownAttributeError):
+            xy_dist.marginal(["Z"])
+
+    def test_marginal_empty_rejected(self, xy_dist):
+        with pytest.raises(UnknownAttributeError):
+            xy_dist.marginal([])
+
+    def test_marginal_probs_matches(self, xy_dist):
+        assert xy_dist.marginal_probs(["X"]) == {(0,): 0.5, (1,): 0.5}
+
+
+class TestEntropy:
+    def test_uniform_entropy(self, xy_dist):
+        assert xy_dist.entropy() == pytest.approx(math.log(4))
+        assert xy_dist.entropy(base=2) == pytest.approx(2.0)
+
+    def test_point_mass_entropy(self):
+        d = EmpiricalDistribution(("X",), {(0,): 1.0})
+        assert d.entropy() == 0.0
+
+
+class TestRestrict:
+    def test_conditioning(self, xy_dist):
+        c = xy_dist.restrict("X", 0)
+        assert c.prob((0, 0)) == pytest.approx(0.5)
+        assert c.prob((1, 0)) == 0.0
+
+    def test_zero_probability_event_rejected(self, xy_dist):
+        with pytest.raises(DistributionError):
+            xy_dist.restrict("X", 99)
+
+    def test_unknown_attribute_rejected(self, xy_dist):
+        with pytest.raises(UnknownAttributeError):
+            xy_dist.restrict("Z", 0)
+
+
+class TestComparison:
+    def test_equality(self, xy_dist):
+        other = EmpiricalDistribution(
+            ("X", "Y"),
+            {(0, 0): 0.25, (0, 1): 0.25, (1, 0): 0.25, (1, 1): 0.25},
+        )
+        assert xy_dist == other
+        assert xy_dist != "nope"
+
+    def test_total_variation(self, xy_dist):
+        point = EmpiricalDistribution(("X", "Y"), {(0, 0): 1.0})
+        tv = xy_dist.total_variation(point)
+        assert tv == pytest.approx(0.75)
+
+    def test_total_variation_layout_mismatch(self, xy_dist):
+        other = EmpiricalDistribution(("A",), {(0,): 1.0})
+        with pytest.raises(DistributionError):
+            xy_dist.total_variation(other)
+
+    def test_repr(self, xy_dist):
+        assert "support=4" in repr(xy_dist)

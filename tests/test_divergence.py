@@ -1,0 +1,159 @@
+"""Unit tests for repro.info.divergence."""
+
+import math
+
+import pytest
+
+from repro.core.random_relations import random_relation
+from repro.datasets.synthetic import diagonal_relation, planted_mvd_relation
+from repro.errors import DistributionError
+from repro.info.distribution import EmpiricalDistribution
+from repro.info.divergence import (
+    conditional_mutual_information,
+    distribution_conditional_mutual_information,
+    interaction_deficit,
+    kl_divergence,
+    kl_divergence_to_callable,
+    mutual_information,
+)
+from repro.relations.relation import Relation
+from repro.relations.schema import RelationSchema
+
+
+class TestKLDivergence:
+    def test_identical_is_zero(self):
+        p = EmpiricalDistribution(("X",), {(0,): 0.5, (1,): 0.5})
+        assert kl_divergence(p, p) == pytest.approx(0.0)
+
+    def test_known_value(self):
+        p = EmpiricalDistribution(("X",), {(0,): 0.75, (1,): 0.25})
+        q = EmpiricalDistribution(("X",), {(0,): 0.5, (1,): 0.5})
+        expected = 0.75 * math.log(1.5) + 0.25 * math.log(0.5)
+        assert kl_divergence(p, q) == pytest.approx(expected)
+
+    def test_asymmetric(self):
+        p = EmpiricalDistribution(("X",), {(0,): 0.9, (1,): 0.1})
+        q = EmpiricalDistribution(("X",), {(0,): 0.5, (1,): 0.5})
+        assert kl_divergence(p, q) != pytest.approx(kl_divergence(q, p))
+
+    def test_support_violation_is_inf(self):
+        p = EmpiricalDistribution(("X",), {(0,): 0.5, (1,): 0.5})
+        q = EmpiricalDistribution(("X",), {(0,): 1.0})
+        assert kl_divergence(p, q) == math.inf
+
+    def test_layout_mismatch_rejected(self):
+        p = EmpiricalDistribution(("X",), {(0,): 1.0})
+        q = EmpiricalDistribution(("Y",), {(0,): 1.0})
+        with pytest.raises(DistributionError):
+            kl_divergence(p, q)
+
+    def test_base_conversion(self):
+        p = EmpiricalDistribution(("X",), {(0,): 0.75, (1,): 0.25})
+        q = EmpiricalDistribution(("X",), {(0,): 0.5, (1,): 0.5})
+        assert kl_divergence(p, q, base=2) == pytest.approx(
+            kl_divergence(p, q) / math.log(2)
+        )
+
+    def test_callable_variant_matches(self):
+        p = EmpiricalDistribution(("X",), {(0,): 0.75, (1,): 0.25})
+        q = EmpiricalDistribution(("X",), {(0,): 0.5, (1,): 0.5})
+        assert kl_divergence_to_callable(p, q.prob) == pytest.approx(
+            kl_divergence(p, q)
+        )
+
+    def test_callable_zero_mass_is_inf(self):
+        p = EmpiricalDistribution(("X",), {(0,): 1.0})
+        assert kl_divergence_to_callable(p, lambda row: 0.0) == math.inf
+
+
+class TestMutualInformation:
+    def test_independent_is_zero(self):
+        schema = RelationSchema.integer_domains({"A": 2, "B": 2})
+        r = Relation.full(schema)
+        assert mutual_information(r, ["A"], ["B"]) == pytest.approx(0.0)
+
+    def test_diagonal_is_log_n(self):
+        r = diagonal_relation(16)
+        assert mutual_information(r, ["A"], ["B"]) == pytest.approx(math.log(16))
+
+    def test_symmetry(self, rng):
+        r = random_relation({"A": 5, "B": 5}, 12, rng)
+        assert mutual_information(r, ["A"], ["B"]) == pytest.approx(
+            mutual_information(r, ["B"], ["A"])
+        )
+
+    def test_non_negative(self, rng):
+        for _ in range(5):
+            r = random_relation({"A": 4, "B": 4}, 8, rng)
+            assert mutual_information(r, ["A"], ["B"]) >= 0.0
+
+    def test_empty_side_rejected(self, rng):
+        r = random_relation({"A": 4, "B": 4}, 8, rng)
+        with pytest.raises(DistributionError):
+            mutual_information(r, [], ["B"])
+
+
+class TestConditionalMutualInformation:
+    def test_planted_mvd_is_zero(self, rng):
+        r = planted_mvd_relation(6, 6, 4, rng)
+        cmi = conditional_mutual_information(r, ["A"], ["B"], ["C"])
+        assert cmi == pytest.approx(0.0, abs=1e-9)
+
+    def test_empty_condition_reduces_to_mi(self, rng):
+        r = random_relation({"A": 4, "B": 4}, 10, rng)
+        assert conditional_mutual_information(r, ["A"], ["B"], []) == pytest.approx(
+            mutual_information(r, ["A"], ["B"])
+        )
+
+    def test_overlapping_sides_allowed(self, rng):
+        # Theorem 2.2 feeds overlapping prefix/suffix unions.
+        r = random_relation({"A": 3, "B": 3, "C": 3}, 10, rng)
+        value = conditional_mutual_information(
+            r, ["A", "B"], ["B", "C"], []
+        )
+        assert value >= 0.0
+
+    def test_chain_rule_overlap_identity(self, rng):
+        # I(AB; BC | ∅) where the overlap is B: equals H(B) + I(A;C|B)
+        # by expanding the four-entropy formula.
+        from repro.info.entropy import joint_entropy
+
+        r = random_relation({"A": 3, "B": 3, "C": 3}, 12, rng)
+        lhs = conditional_mutual_information(r, ["A", "B"], ["B", "C"], [])
+        rhs = joint_entropy(r, ["B"]) + conditional_mutual_information(
+            r, ["A"], ["C"], ["B"]
+        )
+        assert lhs == pytest.approx(rhs)
+
+    def test_interaction_deficit(self, rng):
+        r = planted_mvd_relation(6, 6, 4, rng)
+        assert interaction_deficit(r, ["A"], ["B"], ["C"])
+        d = diagonal_relation(8)
+        assert not interaction_deficit(d, ["A"], ["B"])
+
+
+class TestDistributionCMI:
+    def test_matches_relation_variant(self, rng):
+        r = random_relation({"A": 4, "B": 4, "C": 3}, 15, rng)
+        dist = EmpiricalDistribution.from_relation(r)
+        for given in ([], ["C"]):
+            assert distribution_conditional_mutual_information(
+                dist, ["A"], ["B"], given
+            ) == pytest.approx(
+                conditional_mutual_information(r, ["A"], ["B"], given)
+            )
+
+    def test_non_uniform_distribution(self):
+        # Perfectly correlated non-uniform pair: I = H(X).
+        dist = EmpiricalDistribution(
+            ("X", "Y"), {(0, 0): 0.7, (1, 1): 0.3}
+        )
+        h_x = dist.marginal(["X"]).entropy()
+        assert distribution_conditional_mutual_information(
+            dist, ["X"], ["Y"]
+        ) == pytest.approx(h_x)
+
+    def test_empty_side_rejected(self):
+        dist = EmpiricalDistribution(("X", "Y"), {(0, 0): 1.0})
+        with pytest.raises(DistributionError):
+            distribution_conditional_mutual_information(dist, [], ["Y"])

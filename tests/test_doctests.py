@@ -1,0 +1,38 @@
+"""Run the doctest examples embedded in public docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.concentration.inequalities
+import repro.core.classwise
+import repro.core.dependencies
+import repro.core.random_relations
+import repro.discovery.miner
+import repro.info.distribution
+import repro.info.entropy
+import repro.jointrees.jointree
+import repro.jointrees.mvds
+import repro.relations.relation
+import repro.relations.schema
+
+MODULES = [
+    repro.concentration.inequalities,
+    repro.core.classwise,
+    repro.core.dependencies,
+    repro.core.random_relations,
+    repro.discovery.miner,
+    repro.info.distribution,
+    repro.info.entropy,
+    repro.jointrees.jointree,
+    repro.jointrees.mvds,
+    repro.relations.relation,
+    repro.relations.schema,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"
+    assert results.attempted > 0, f"no doctests found in {module.__name__}"

@@ -1,0 +1,58 @@
+"""Failure-injection tests: malformed inputs raise typed errors.
+
+Every error raised intentionally derives from ReproError; this module
+verifies the hierarchy and that invalid inputs fail loudly (never silently
+produce wrong numbers).
+"""
+
+import pytest
+
+import repro.errors as errors
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        subclasses = [
+            errors.SchemaError,
+            errors.DomainError,
+            errors.ArityError,
+            errors.UnknownAttributeError,
+            errors.JoinTreeError,
+            errors.RunningIntersectionError,
+            errors.CyclicSchemaError,
+            errors.DistributionError,
+            errors.BoundConditionError,
+            errors.SamplingError,
+            errors.DiscoveryError,
+            errors.ExperimentError,
+        ]
+        for cls in subclasses:
+            assert issubclass(cls, errors.ReproError)
+
+    def test_domain_error_is_schema_error(self):
+        assert issubclass(errors.DomainError, errors.SchemaError)
+        assert issubclass(errors.ArityError, errors.SchemaError)
+
+    def test_running_intersection_is_jointree_error(self):
+        assert issubclass(errors.RunningIntersectionError, errors.JoinTreeError)
+        assert issubclass(errors.CyclicSchemaError, errors.JoinTreeError)
+
+
+class TestCatchability:
+    def test_single_except_clause_suffices(self, rng):
+        from repro.core.random_relations import random_relation
+
+        with pytest.raises(errors.ReproError):
+            random_relation({"A": 2}, 99, rng)
+
+    def test_join_tree_failures_catchable(self):
+        from repro.jointrees.build import jointree_from_schema
+
+        with pytest.raises(errors.ReproError):
+            jointree_from_schema([{"A", "B"}, {"B", "C"}, {"A", "C"}])
+
+    def test_bound_failures_catchable(self):
+        from repro.core.bounds import epsilon_star
+
+        with pytest.raises(errors.ReproError):
+            epsilon_star(4, 4, 2, 10, 0.1, strict=True)

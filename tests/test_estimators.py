@@ -1,0 +1,105 @@
+"""Unit tests for repro.info.estimators (bias-corrected entropy)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.random_relations import random_relation
+from repro.errors import DistributionError
+from repro.info.entropy import entropy_of_counts
+from repro.info.estimators import (
+    estimate_joint_entropy,
+    jackknife,
+    miller_madow,
+    plug_in,
+)
+
+
+class TestPlugIn:
+    def test_alias_of_default(self):
+        counts = [3, 2, 1]
+        assert plug_in(counts) == pytest.approx(entropy_of_counts(counts))
+
+
+class TestMillerMadow:
+    def test_correction_value(self):
+        counts = [2, 2]  # K = 2, N = 4 -> correction 1/8
+        assert miller_madow(counts) == pytest.approx(
+            entropy_of_counts(counts) + 1 / 8
+        )
+
+    def test_exceeds_plug_in(self):
+        counts = [5, 3, 1]
+        assert miller_madow(counts) > plug_in(counts)
+
+    def test_single_value_no_correction(self):
+        assert miller_madow([7]) == pytest.approx(0.0)
+
+    def test_base_conversion(self):
+        counts = [3, 1]
+        assert miller_madow(counts, base=2) == pytest.approx(
+            miller_madow(counts) / math.log(2)
+        )
+
+
+class TestJackknife:
+    def test_reduces_bias_on_random_model(self):
+        # Under the random relation model the plug-in entropy of A is
+        # biased low (Prop 5.4); the jackknife must land closer to the
+        # truth (log d_A) on average.
+        rng = np.random.default_rng(21)
+        d = 64
+        plug_errs, jk_errs = [], []
+        for _ in range(30):
+            r = random_relation({"A": d, "B": d}, 1200, rng)
+            counts = list(r.projection_counts(["A"]).values())
+            plug_errs.append(math.log(d) - plug_in(counts))
+            jk_errs.append(math.log(d) - jackknife(counts))
+        assert np.mean(jk_errs) < np.mean(plug_errs)
+
+    def test_miller_madow_reduces_bias_too(self):
+        rng = np.random.default_rng(22)
+        d = 64
+        plug_errs, mm_errs = [], []
+        for _ in range(30):
+            r = random_relation({"A": d, "B": d}, 1200, rng)
+            counts = list(r.projection_counts(["A"]).values())
+            plug_errs.append(math.log(d) - plug_in(counts))
+            mm_errs.append(abs(math.log(d) - miller_madow(counts)))
+        assert np.mean(mm_errs) < np.mean(plug_errs)
+
+    def test_needs_two_observations(self):
+        with pytest.raises(DistributionError):
+            jackknife([1])
+
+    def test_base_conversion(self):
+        counts = [4, 3, 2]
+        assert jackknife(counts, base=2) == pytest.approx(
+            jackknife(counts) / math.log(2)
+        )
+
+    def test_uniform_large_sample_close_to_truth(self):
+        counts = [100] * 8
+        assert jackknife(counts) == pytest.approx(math.log(8), abs=0.01)
+
+
+class TestEstimateJointEntropy:
+    def test_dispatch(self, rng):
+        r = random_relation({"A": 6, "B": 6}, 20, rng)
+        p = estimate_joint_entropy(r, ["A"], estimator="plug_in")
+        m = estimate_joint_entropy(r, ["A"], estimator="miller_madow")
+        j = estimate_joint_entropy(r, ["A"], estimator="jackknife")
+        assert p <= m
+        assert j >= p
+
+    def test_unknown_estimator_rejected(self, rng):
+        r = random_relation({"A": 6, "B": 6}, 20, rng)
+        with pytest.raises(DistributionError):
+            estimate_joint_entropy(r, ["A"], estimator="oracle")
+
+    def test_invalid_counts(self):
+        with pytest.raises(DistributionError):
+            plug_in([])
+        with pytest.raises(DistributionError):
+            miller_madow([-1, 2])

@@ -1,0 +1,114 @@
+"""Unit tests for repro.discovery.exhaustive (miner exactness baseline)."""
+
+import pytest
+
+from repro.core.random_relations import random_relation
+from repro.datasets.synthetic import lossless_instance, planted_mvd_relation
+from repro.discovery.exhaustive import (
+    MAX_EXHAUSTIVE_ATTRIBUTES,
+    hierarchical_schemas,
+    mine_exhaustive,
+)
+from repro.discovery.miner import mine_jointree
+from repro.errors import DiscoveryError
+from repro.jointrees.build import jointree_from_schema
+from repro.jointrees.gyo import is_acyclic
+from repro.relations.relation import Relation
+from repro.relations.schema import RelationSchema
+
+
+class TestHierarchicalSchemas:
+    def test_includes_trivial(self):
+        schemas = set(hierarchical_schemas(frozenset("ABC")))
+        assert frozenset({frozenset("ABC")}) in schemas
+
+    def test_three_attributes_members(self):
+        # Over {A,B,C} the family includes the trivial schema, every
+        # "one attribute split off" schema, every MVD schema, and the
+        # fully independent decomposition.
+        schemas = set(hierarchical_schemas(frozenset("ABC")))
+        expected_members = [
+            frozenset({frozenset("ABC")}),
+            frozenset({frozenset("A"), frozenset("BC")}),
+            frozenset({frozenset({"A", "C"}), frozenset({"B", "C"})}),
+            frozenset({frozenset("A"), frozenset("B"), frozenset("C")}),
+        ]
+        for member in expected_members:
+            assert member in schemas
+        assert len(schemas) >= 8
+
+    def test_all_schemas_acyclic(self):
+        for schema in hierarchical_schemas(frozenset("ABCD")):
+            assert is_acyclic(schema)
+
+    def test_all_schemas_cover_attributes(self):
+        for schema in hierarchical_schemas(frozenset("ABCD")):
+            covered = set()
+            for bag in schema:
+                covered |= bag
+            assert covered == set("ABCD")
+
+    def test_maximality(self):
+        for schema in hierarchical_schemas(frozenset("ABCD")):
+            bags = list(schema)
+            assert not any(
+                a < b for a in bags for b in bags
+            )
+
+    def test_cap_enforced(self):
+        with pytest.raises(DiscoveryError):
+            list(hierarchical_schemas(frozenset("ABCDEFG")))
+
+    def test_cap_value(self):
+        assert MAX_EXHAUSTIVE_ATTRIBUTES == 6
+
+
+class TestMineExhaustive:
+    def test_recovers_planted_mvd(self, rng):
+        r = planted_mvd_relation(6, 6, 4, rng)
+        mined = mine_exhaustive(r)
+        assert mined.j_value == pytest.approx(0.0, abs=1e-9)
+        assert mined.rho == 0.0
+        assert len(mined.bags) >= 2
+
+    def test_at_least_as_fine_as_greedy(self, rng):
+        # The exhaustive baseline never finds a coarser lossless schema
+        # than the greedy miner.
+        for seed in range(3):
+            import numpy as np
+
+            local = np.random.default_rng(seed)
+            r = planted_mvd_relation(5, 5, 3, local)
+            greedy = mine_jointree(r)
+            exact = mine_exhaustive(r)
+            assert len(exact.bags) >= len(greedy.bags)
+            assert exact.j_value <= 1e-9
+
+    def test_chain_instance(self, rng, chain_tree):
+        sizes = {"A": 3, "B": 3, "C": 3, "D": 3}
+        r = lossless_instance(chain_tree, sizes, 10, rng)
+        mined = mine_exhaustive(r)
+        assert mined.j_value == pytest.approx(0.0, abs=1e-9)
+        assert mined.rho == 0.0
+
+    def test_unstructured_stays_trivial(self, rng):
+        r = random_relation({"A": 4, "B": 4, "C": 4}, 12, rng)
+        mined = mine_exhaustive(r, threshold=1e-9)
+        if len(mined.bags) == 1:
+            assert mined.bags == frozenset({frozenset("ABC")})
+        # Either way the threshold was respected:
+        assert mined.j_value <= 1e-9
+
+    def test_threshold_trades_bags_for_loss(self, rng):
+        from repro.datasets.noise import perturb
+
+        base = planted_mvd_relation(6, 6, 3, rng)
+        noisy = perturb(base, rng, insert_rate=0.1)
+        strict = mine_exhaustive(noisy, threshold=1e-9)
+        loose = mine_exhaustive(noisy, threshold=1.0)
+        assert len(loose.bags) >= len(strict.bags)
+
+    def test_empty_rejected(self):
+        schema = RelationSchema.integer_domains({"A": 2, "B": 2})
+        with pytest.raises(DiscoveryError):
+            mine_exhaustive(Relation.empty(schema))

@@ -1,0 +1,104 @@
+"""Unit tests for repro.concentration.expected_entropy (exact E[H], E[I])."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.concentration.expected_entropy import (
+    exact_expected_entropy,
+    exact_expected_mi,
+    proposition_54_exact,
+)
+from repro.core.random_relations import random_relation
+from repro.errors import BoundConditionError
+from repro.info.divergence import mutual_information
+from repro.info.entropy import joint_entropy
+
+
+class TestExactExpectedEntropy:
+    def test_full_grid_is_deterministic(self):
+        # η = d_A·d_B: every cell present, H(A) = log d_A exactly.
+        assert exact_expected_entropy(5, 4, 20) == pytest.approx(math.log(5))
+
+    def test_single_tuple(self):
+        # η = 1: one row occupied, H(A) = 0.
+        assert exact_expected_entropy(5, 4, 1) == pytest.approx(0.0)
+
+    def test_matches_simulation(self, rng):
+        d_a, d_b, eta = 20, 15, 150
+        exact = exact_expected_entropy(d_a, d_b, eta)
+        sims = [
+            joint_entropy(
+                random_relation({"A": d_a, "B": d_b}, eta, rng), ["A"]
+            )
+            for _ in range(400)
+        ]
+        assert exact == pytest.approx(float(np.mean(sims)), abs=0.01)
+
+    def test_bounded_by_log_da(self):
+        for eta in (10, 100, 400):
+            assert exact_expected_entropy(20, 20, eta) <= math.log(20) + 1e-12
+
+    def test_monotone_in_eta(self):
+        values = [exact_expected_entropy(20, 20, eta) for eta in (20, 80, 320)]
+        assert values == sorted(values)
+
+    def test_invalid(self):
+        with pytest.raises(BoundConditionError):
+            exact_expected_entropy(0, 4, 1)
+        with pytest.raises(BoundConditionError):
+            exact_expected_entropy(4, 4, 17)
+
+
+class TestExactExpectedMI:
+    def test_full_grid_zero_mi(self):
+        assert exact_expected_mi(4, 5, 20) == pytest.approx(0.0, abs=1e-12)
+
+    def test_matches_simulation(self, rng):
+        d, eta = 25, 250
+        exact = exact_expected_mi(d, d, eta)
+        sims = [
+            mutual_information(
+                random_relation({"A": d, "B": d}, eta, rng), ["A"], ["B"]
+            )
+            for _ in range(200)
+        ]
+        assert exact == pytest.approx(float(np.mean(sims)), abs=0.02)
+
+    def test_below_ceiling(self):
+        # E[I] <= log(1 + rho-bar) always (I is a.s. below the ceiling).
+        d, eta = 40, 800
+        assert exact_expected_mi(d, d, eta) <= math.log(d * d / eta) + 1e-12
+
+    def test_figure1_convergence(self):
+        # The exact expected curve reproduces Figure 1's shape without
+        # any sampling: the gap to log(1+rho) shrinks in d.
+        gaps = []
+        for d in (50, 100, 200):
+            n = round(d * d / 1.1)
+            gaps.append(math.log(d * d / n) - exact_expected_mi(d, d, n))
+        assert gaps == sorted(gaps, reverse=True)
+        assert gaps[-1] < 5e-4
+
+
+class TestProposition54Exact:
+    def test_holds_in_regime(self):
+        # d_A = d_B = 16, η = 60·16 = 960 <= 256: in regime and true.
+        report = proposition_54_exact(16, 16, 16 * 16)
+        # η = 256 < 60·16 → out of regime, but the inequality still holds.
+        assert report.proposition_holds
+
+    def test_holds_on_grid(self):
+        for d_a, d_b in ((12, 12), (16, 8), (20, 5)):
+            for frac in (0.25, 0.5, 0.9):
+                eta = max(1, int(frac * d_a * d_b))
+                report = proposition_54_exact(d_a, d_b, eta)
+                assert report.deficit >= -1e-9
+                if report.in_regime:
+                    assert report.proposition_holds
+
+    def test_deficit_vanishes_when_dense(self):
+        sparse = proposition_54_exact(16, 16, 64).deficit
+        dense = proposition_54_exact(16, 16, 240).deficit
+        assert dense < sparse

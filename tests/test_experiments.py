@@ -1,0 +1,251 @@
+"""Unit tests for repro.experiments (harness correctness at small scale)."""
+
+import math
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    discovery_quality,
+    figure1,
+    lower_bound,
+    schema_bounds,
+    upper_bound,
+)
+from repro.experiments.runner import REGISTRY, run
+
+
+class TestFigure1:
+    def test_rows_structure(self):
+        rows = figure1.run_figure1(ds=(20, 40), rho=0.1, trials=2, seed=1)
+        assert [row.d for row in rows] == [20, 40]
+        for row in rows:
+            assert row.n == round(row.d * row.d / 1.1)
+            assert row.mi_min <= row.mi_mean <= row.mi_max
+
+    def test_mi_below_ceiling(self):
+        rows = figure1.run_figure1(ds=(30,), rho=0.2, trials=3, seed=2)
+        assert rows[0].mi_max <= rows[0].target + 1e-9
+
+    def test_shape_holds_small(self):
+        rows = figure1.run_figure1(ds=(20, 80), rho=0.1, trials=3, seed=3)
+        assert figure1.shape_holds(rows)
+
+    def test_shape_needs_two_points(self):
+        rows = figure1.run_figure1(ds=(20,), trials=1, seed=1)
+        with pytest.raises(ExperimentError):
+            figure1.shape_holds(rows)
+
+    def test_format_table(self):
+        rows = figure1.run_figure1(ds=(20,), trials=1, seed=1)
+        table = figure1.format_table(rows)
+        assert "log(1+rho)" in table
+        assert "20" in table
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ExperimentError):
+            figure1.run_figure1(ds=(20,), rho=-1.0)
+        with pytest.raises(ExperimentError):
+            figure1.run_figure1(ds=(20,), trials=0)
+        with pytest.raises(ExperimentError):
+            figure1.run_figure1(ds=(1,), trials=1)
+
+    def test_exact_column_tracks_simulation(self):
+        rows = figure1.run_figure1(ds=(40,), trials=5, seed=9)
+        assert rows[0].exact_gap < 0.01
+
+    def test_conditional_variant(self):
+        rows = figure1.run_figure1_conditional(
+            ds=(10, 30), d_c=3, trials=3, seed=1
+        )
+        assert len(rows) == 2
+        # CMI approaches log(1+rho) from below as d grows.
+        assert all(row.cmi_mean <= row.target + 1e-9 for row in rows)
+        assert rows[-1].gap < rows[0].gap
+        assert "I(A;B|C)" in figure1.format_conditional_table(rows)
+
+    def test_conditional_invalid(self):
+        with pytest.raises(ExperimentError):
+            figure1.run_figure1_conditional(rho=-1.0)
+        with pytest.raises(ExperimentError):
+            figure1.run_figure1_conditional(trials=0)
+
+
+class TestLowerBound:
+    def test_diagonal_rows_exact(self):
+        rows = lower_bound.run_diagonal_tightness(ns=(2, 8))
+        for row in rows:
+            assert row.j_value == pytest.approx(math.log(row.n))
+            assert row.gap == pytest.approx(0.0, abs=1e-9)
+
+    def test_gap_rows_all_hold(self):
+        rows = lower_bound.run_lower_bound_gap(trials=2, seed=1)
+        assert rows
+        assert all(row.holds for row in rows)
+        assert all(row.slack >= -1e-9 for row in rows)
+
+    def test_format_tables(self):
+        tight = lower_bound.run_diagonal_tightness(ns=(2,))
+        gaps = lower_bound.run_lower_bound_gap(trials=1, seed=1)
+        assert "gap" in lower_bound.format_tightness_table(tight)
+        assert "workload" in lower_bound.format_gap_table(gaps)
+
+    def test_invalid_trials(self):
+        with pytest.raises(ExperimentError):
+            lower_bound.run_lower_bound_gap(trials=0)
+
+
+class TestUpperBound:
+    def test_entropy_rows(self):
+        rows = upper_bound.run_entropy_confidence(
+            d_a=32, d_b=32, etas=(256, 1024), trials=4, seed=1
+        )
+        assert len(rows) == 2
+        for row in rows:
+            assert 0.0 <= row.deficit_mean <= row.deficit_max
+            assert 0.0 <= row.coverage <= 1.0
+
+    def test_entropy_eta_validated(self):
+        with pytest.raises(ExperimentError):
+            upper_bound.run_entropy_confidence(
+                d_a=4, d_b=4, etas=(100,), trials=1
+            )
+
+    def test_mvd_rows(self):
+        rows = upper_bound.run_mvd_upper_bound(
+            ds=(8, 16), d_c=2, trials=3, seed=1
+        )
+        assert len(rows) == 2
+        for row in rows:
+            assert row.bound_violation_rate <= row.bare_violation_rate
+            assert row.epsilon > 0
+
+    def test_mvd_invalid(self):
+        with pytest.raises(ExperimentError):
+            upper_bound.run_mvd_upper_bound(density=0.0)
+        with pytest.raises(ExperimentError):
+            upper_bound.run_mvd_upper_bound(trials=0)
+
+    def test_format_tables(self):
+        rows = upper_bound.run_entropy_confidence(
+            d_a=32, d_b=32, etas=(256,), trials=2, seed=1
+        )
+        assert "coverage" in upper_bound.format_entropy_table(rows)
+        mvd_rows = upper_bound.run_mvd_upper_bound(ds=(8,), d_c=2, trials=2)
+        assert "eps*" in upper_bound.format_upper_table(mvd_rows)
+
+
+class TestSchemaBounds:
+    def test_unconditional_bounds_hold(self):
+        rows = schema_bounds.run_schema_bounds(trials=1, seed=1)
+        assert rows
+        assert all(row.stepwise_holds for row in rows)
+        assert all(row.sandwich_holds for row in rows)
+
+    def test_format(self):
+        rows = schema_bounds.run_schema_bounds(trials=1, seed=1)
+        assert "P5.1" in schema_bounds.format_table(rows)
+
+    def test_invalid(self):
+        with pytest.raises(ExperimentError):
+            schema_bounds.run_schema_bounds(density=2.0)
+        with pytest.raises(ExperimentError):
+            schema_bounds.run_schema_bounds(trials=-1)
+
+
+class TestDiscoveryQuality:
+    def test_recovery_noise_zero(self):
+        rows = discovery_quality.run_recovery(noise_rates=(0.0,), seed=1)
+        assert rows[0].recovered
+        assert rows[0].planted_rho == 0.0
+
+    def test_correlation_positive(self):
+        result = discovery_quality.run_j_rho_correlation(instances=15, seed=2)
+        assert result.spearman > 0.5
+        assert len(result.pairs) == 15
+
+    def test_correlation_needs_instances(self):
+        with pytest.raises(ExperimentError):
+            discovery_quality.run_j_rho_correlation(instances=2)
+
+    def test_format(self):
+        rows = discovery_quality.run_recovery(noise_rates=(0.0,), seed=1)
+        assert "recovered" in discovery_quality.format_recovery_table(rows)
+
+
+class TestClasswiseBounds:
+    def test_all_glue_steps_hold(self):
+        from repro.experiments import classwise_bounds
+
+        rows = classwise_bounds.run_classwise_bounds(
+            ds=(8, 16), d_c=3, trials=2, seed=1
+        )
+        assert rows
+        assert all(row.eq44_holds for row in rows)
+        assert all(row.averaging_gap < 1e-9 for row in rows)
+
+    def test_format(self):
+        from repro.experiments import classwise_bounds
+
+        rows = classwise_bounds.run_classwise_bounds(ds=(8,), trials=1, seed=1)
+        assert "Eq44" in classwise_bounds.format_table(rows)
+
+    def test_invalid(self):
+        from repro.experiments import classwise_bounds
+
+        with pytest.raises(ExperimentError):
+            classwise_bounds.run_classwise_bounds(density=0.0)
+        with pytest.raises(ExperimentError):
+            classwise_bounds.run_classwise_bounds(trials=0)
+
+
+class TestEstimatorBias:
+    def test_rows_and_shapes(self):
+        from repro.experiments import estimator_bias
+
+        rows = estimator_bias.run_estimator_bias(ds=(16, 32), trials=5, seed=1)
+        assert len(rows) == 2
+        for row in rows:
+            # The plug-in deficit matches the exact expectation closely.
+            assert row.plug_in_deficit == pytest.approx(
+                row.truth - row.exact_expected, abs=0.02
+            )
+            # Corrections beat the raw deficit.
+            assert row.miller_madow_error < row.plug_in_deficit
+            assert row.jackknife_error < row.plug_in_deficit
+
+    def test_format(self):
+        from repro.experiments import estimator_bias
+
+        rows = estimator_bias.run_estimator_bias(ds=(16,), trials=2, seed=1)
+        assert "plug-in deficit" in estimator_bias.format_table(rows)
+
+    def test_invalid(self):
+        from repro.experiments import estimator_bias
+
+        with pytest.raises(ExperimentError):
+            estimator_bias.run_estimator_bias(density=0.0)
+        with pytest.raises(ExperimentError):
+            estimator_bias.run_estimator_bias(trials=0)
+
+
+class TestRunner:
+    def test_registry_complete(self):
+        assert set(REGISTRY) == {f"E{i}" for i in range(1, 11)}
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(ExperimentError):
+            run("E99")
+
+    def test_case_insensitive(self, capsys, monkeypatch):
+        # E2 is the fastest full experiment; run it via the registry.
+        run("e2")
+        out = capsys.readouterr().out
+        assert "Example 4.1" in out
+
+    def test_help(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["--help"]) == 0
+        out = capsys.readouterr().out
+        assert "E1" in out

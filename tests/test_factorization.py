@@ -1,0 +1,129 @@
+"""Unit tests for repro.info.factorization (P^T, Prop 3.1, Lemma 3.3)."""
+
+import pytest
+
+from repro.core.random_relations import random_relation
+from repro.datasets.synthetic import diagonal_relation, planted_mvd_relation
+from repro.errors import DistributionError, JoinTreeError
+from repro.info.distribution import EmpiricalDistribution
+from repro.info.factorization import (
+    FactorizedDistribution,
+    junction_tree_factorization,
+    marginal_preservation_gaps,
+    models_tree,
+)
+from repro.jointrees.build import jointree_from_schema
+
+
+@pytest.fixture()
+def ab_tree():
+    return jointree_from_schema([{"A"}, {"B"}])
+
+
+class TestFactorizedDistribution:
+    def test_probabilities_sum_to_one(self, rng, mvd_tree):
+        r = random_relation({"A": 4, "B": 4, "C": 3}, 12, rng)
+        factorized = junction_tree_factorization(r, mvd_tree)
+        materialized = factorized.materialize()
+        total = sum(p for _, p in materialized.items())
+        assert total == pytest.approx(1.0)
+
+    def test_independent_product_form(self, ab_tree):
+        # For the schema {{A},{B}}, P^T(a,b) = P(a)·P(b).
+        r = diagonal_relation(4)
+        p = EmpiricalDistribution.from_relation(r)
+        factorized = FactorizedDistribution(p, ab_tree)
+        assert factorized.prob((0, 0)) == pytest.approx(1 / 16)
+        assert factorized.prob((0, 1)) == pytest.approx(1 / 16)
+
+    def test_zero_outside_support(self, ab_tree):
+        r = diagonal_relation(3)
+        factorized = junction_tree_factorization(r, ab_tree)
+        assert factorized.prob((0, 9)) == 0.0
+
+    def test_arity_checked(self, ab_tree):
+        factorized = junction_tree_factorization(diagonal_relation(3), ab_tree)
+        with pytest.raises(DistributionError):
+            factorized.prob((0,))
+
+    def test_attribute_mismatch_rejected(self, mvd_tree):
+        r = diagonal_relation(3)  # attributes A, B only
+        with pytest.raises(JoinTreeError):
+            junction_tree_factorization(r, mvd_tree)
+
+    def test_materialize_guard(self, ab_tree):
+        r = diagonal_relation(40)  # P^T support = 1600 tuples
+        factorized = junction_tree_factorization(r, ab_tree)
+        with pytest.raises(DistributionError):
+            factorized.materialize(max_support=100)
+
+    def test_single_node_tree_is_base(self, rng):
+        tree = jointree_from_schema([{"A", "B"}])
+        r = random_relation({"A": 3, "B": 3}, 6, rng)
+        factorized = junction_tree_factorization(r, tree)
+        p = EmpiricalDistribution.from_relation(r)
+        for row, mass in p.items():
+            assert factorized.prob(row) == pytest.approx(mass)
+
+
+class TestLemma33:
+    """P^T preserves every bag and separator marginal."""
+
+    def test_mvd_tree(self, rng, mvd_tree):
+        r = random_relation({"A": 3, "B": 3, "C": 2}, 8, rng)
+        gaps = marginal_preservation_gaps(r, mvd_tree)
+        assert gaps["bags"] == pytest.approx(0.0, abs=1e-9)
+        assert gaps["separators"] == pytest.approx(0.0, abs=1e-9)
+
+    def test_chain_tree(self, rng, chain_tree):
+        r = random_relation({"A": 3, "B": 3, "C": 3, "D": 3}, 10, rng)
+        gaps = marginal_preservation_gaps(r, chain_tree)
+        assert gaps["bags"] == pytest.approx(0.0, abs=1e-9)
+        assert gaps["separators"] == pytest.approx(0.0, abs=1e-9)
+
+    def test_non_uniform_distribution(self, mvd_tree):
+        dist = EmpiricalDistribution(
+            ("A", "B", "C"),
+            {(0, 0, 0): 0.5, (1, 0, 0): 0.2, (0, 1, 1): 0.3},
+        )
+        factorized = FactorizedDistribution(dist, mvd_tree).materialize()
+        for bag in mvd_tree.bags():
+            p_marg = dist.marginal(bag)
+            q_marg = factorized.marginal(bag)
+            assert p_marg.total_variation(q_marg) == pytest.approx(0.0, abs=1e-9)
+
+
+class TestProposition31:
+    """P ⊨ T  ⇔  P = P^T."""
+
+    def test_planted_mvd_models_tree(self, rng, mvd_tree):
+        r = planted_mvd_relation(5, 5, 3, rng)
+        assert models_tree(r, mvd_tree)
+        # Forward direction: P = P^T pointwise.
+        p = EmpiricalDistribution.from_relation(r)
+        factorized = FactorizedDistribution(p, mvd_tree)
+        for row, mass in p.items():
+            assert factorized.prob(row) == pytest.approx(mass)
+
+    def test_dependent_relation_does_not_model(self, mvd_tree, rng):
+        r = random_relation({"A": 5, "B": 5, "C": 2}, 9, rng)
+        # A 9-tuple random relation over 50 cells is essentially never
+        # conditionally independent; check it is flagged and P != P^T.
+        if not models_tree(r, mvd_tree):
+            p = EmpiricalDistribution.from_relation(r)
+            factorized = FactorizedDistribution(p, mvd_tree)
+            mismatches = [
+                row for row, mass in p.items()
+                if abs(factorized.prob(row) - mass) > 1e-12
+            ]
+            assert mismatches
+
+    def test_models_tree_tolerance(self, rng, mvd_tree):
+        r = planted_mvd_relation(5, 5, 3, rng)
+        assert models_tree(r, mvd_tree, tolerance=0.0) or models_tree(
+            r, mvd_tree, tolerance=1e-12
+        )
+
+    def test_attribute_mismatch_rejected(self, mvd_tree):
+        with pytest.raises(JoinTreeError):
+            models_tree(diagonal_relation(3), mvd_tree)

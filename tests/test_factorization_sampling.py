@@ -1,0 +1,70 @@
+"""Tests for ancestral sampling from P^T (FactorizedDistribution.sample)."""
+
+import numpy as np
+import pytest
+
+from repro.core.random_relations import random_relation
+from repro.datasets.synthetic import planted_mvd_relation
+from repro.errors import DistributionError
+from repro.info.distribution import EmpiricalDistribution
+from repro.info.factorization import junction_tree_factorization
+from repro.jointrees.build import jointree_from_schema
+
+
+class TestSample:
+    def test_support_within_factorization(self, rng, mvd_tree):
+        base = random_relation({"A": 4, "B": 4, "C": 2}, 10, rng)
+        factorized = junction_tree_factorization(base, mvd_tree)
+        sampled = factorized.sample(200, rng)
+        for row in sampled:
+            assert factorized.prob(row) > 0.0
+
+    def test_schema_matches_attributes(self, rng, mvd_tree):
+        base = random_relation({"A": 4, "B": 4, "C": 2}, 10, rng)
+        factorized = junction_tree_factorization(base, mvd_tree)
+        sampled = factorized.sample(20, rng)
+        assert sampled.schema.names == factorized.attributes
+
+    def test_empirical_frequencies_match(self, mvd_tree):
+        # Sample a lot; empirical frequency of each tuple approaches
+        # P^T's mass (total variation shrinks).
+        rng = np.random.default_rng(31)
+        base = planted_mvd_relation(3, 3, 2, rng)
+        factorized = junction_tree_factorization(base, mvd_tree)
+        truth = factorized.materialize()
+
+        draws = 6000
+        rows = factorized.sample_rows(draws, rng)
+        counts: dict[tuple, int] = {}
+        for row in rows:
+            counts[row] = counts.get(row, 0) + 1
+        empirical = EmpiricalDistribution(
+            factorized.attributes,
+            {row: c / draws for row, c in counts.items()},
+        )
+        assert truth.total_variation(empirical) < 0.08
+
+    def test_chain_tree_sampling(self, rng, chain_tree):
+        base = random_relation({"A": 3, "B": 3, "C": 3, "D": 3}, 12, rng)
+        factorized = junction_tree_factorization(base, chain_tree)
+        sampled = factorized.sample(50, rng)
+        assert not sampled.is_empty()
+        for row in sampled:
+            assert factorized.prob(row) > 0.0
+
+    def test_lossless_base_resamples_base_support(self, rng, mvd_tree):
+        # When R models T exactly, P^T = P, so samples stay inside R.
+        base = planted_mvd_relation(4, 4, 3, rng)
+        factorized = junction_tree_factorization(base, mvd_tree)
+        sampled = factorized.sample(100, rng)
+        base_rows = {
+            tuple(row[base.schema.index(a)] for a in factorized.attributes)
+            for row in base
+        }
+        assert sampled.rows() <= base_rows
+
+    def test_invalid_size(self, rng, mvd_tree):
+        base = random_relation({"A": 3, "B": 3, "C": 2}, 6, rng)
+        factorized = junction_tree_factorization(base, mvd_tree)
+        with pytest.raises(DistributionError):
+            factorized.sample(0, rng)

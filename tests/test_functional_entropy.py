@@ -1,0 +1,77 @@
+"""Unit tests for repro.info.functional (functional entropy Ent(X))."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import DistributionError
+from repro.info.functional import (
+    functional_entropy_exact,
+    functional_entropy_sample,
+)
+
+
+class TestExact:
+    def test_constant_is_zero(self):
+        assert functional_entropy_exact([3.0, 3.0], [0.5, 0.5]) == pytest.approx(0.0)
+
+    def test_known_two_point(self):
+        # X = 0 w.p. 1/2, X = 2 w.p. 1/2: E[XlogX] = log 2, E[X] = 1.
+        value = functional_entropy_exact([0.0, 2.0], [0.5, 0.5])
+        assert value == pytest.approx(math.log(2))
+
+    def test_non_negative(self):
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            x = rng.random(5) * 10
+            p = rng.random(5)
+            p /= p.sum()
+            assert functional_entropy_exact(x, p) >= 0.0
+
+    def test_zero_log_zero_extension(self):
+        assert functional_entropy_exact([0.0], [1.0]) == pytest.approx(0.0)
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(DistributionError):
+            functional_entropy_exact([1.0], [0.5, 0.5])
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(DistributionError):
+            functional_entropy_exact([-1.0, 1.0], [0.5, 0.5])
+
+    def test_bad_probabilities_rejected(self):
+        with pytest.raises(DistributionError):
+            functional_entropy_exact([1.0, 2.0], [0.9, 0.9])
+
+    def test_empty_rejected(self):
+        with pytest.raises(DistributionError):
+            functional_entropy_exact([], [])
+
+
+class TestSample:
+    def test_matches_exact_for_uniform_sample(self):
+        # A sample containing each value once = uniform empirical law.
+        values = [1.0, 2.0, 3.0, 4.0]
+        exact = functional_entropy_exact(values, [0.25] * 4)
+        assert functional_entropy_sample(values) == pytest.approx(exact)
+
+    def test_constant_sample_zero(self):
+        assert functional_entropy_sample([2.0] * 10) == pytest.approx(0.0)
+
+    def test_all_zeros(self):
+        assert functional_entropy_sample([0.0, 0.0]) == pytest.approx(0.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(DistributionError):
+            functional_entropy_sample([-0.1])
+
+    def test_empty_rejected(self):
+        with pytest.raises(DistributionError):
+            functional_entropy_sample([])
+
+    def test_jensen_gap_interpretation(self):
+        # Ent(X) grows with the spread of X at fixed mean.
+        tight = functional_entropy_sample([0.9, 1.1])
+        wide = functional_entropy_sample([0.1, 1.9])
+        assert wide > tight

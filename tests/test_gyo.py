@@ -1,0 +1,75 @@
+"""Unit tests for repro.jointrees.gyo (acyclicity testing)."""
+
+from repro.jointrees.gyo import gyo_reduction, is_acyclic
+
+
+class TestAcyclicCases:
+    def test_empty_hypergraph(self):
+        assert is_acyclic([])
+
+    def test_single_edge(self):
+        assert is_acyclic([{"A", "B"}])
+
+    def test_two_overlapping_edges(self):
+        assert is_acyclic([{"A", "B"}, {"B", "C"}])
+
+    def test_chain(self):
+        assert is_acyclic([{"A", "B"}, {"B", "C"}, {"C", "D"}])
+
+    def test_star(self):
+        assert is_acyclic([{"X", "A"}, {"X", "B"}, {"X", "C"}])
+
+    def test_nested_edges(self):
+        assert is_acyclic([{"A", "B", "C"}, {"B", "C"}, {"C"}])
+
+    def test_duplicate_edges(self):
+        assert is_acyclic([{"A", "B"}, {"A", "B"}])
+
+    def test_disjoint_edges(self):
+        # Disconnected but acyclic (join tree exists with empty separators).
+        assert is_acyclic([{"A"}, {"B"}])
+
+    def test_alpha_acyclic_cycle_with_big_edge(self):
+        # The triangle plus a covering edge is alpha-acyclic.
+        assert is_acyclic(
+            [{"A", "B"}, {"B", "C"}, {"A", "C"}, {"A", "B", "C"}]
+        )
+
+
+class TestCyclicCases:
+    def test_triangle(self):
+        assert not is_acyclic([{"A", "B"}, {"B", "C"}, {"A", "C"}])
+
+    def test_square(self):
+        assert not is_acyclic(
+            [{"A", "B"}, {"B", "C"}, {"C", "D"}, {"A", "D"}]
+        )
+
+    def test_three_way_cycle_with_shared_attrs(self):
+        assert not is_acyclic(
+            [{"A", "B", "X"}, {"B", "C", "Y"}, {"A", "C", "Z"}]
+        )
+
+
+class TestReductionOutput:
+    def test_removal_sequence_complete(self):
+        result = gyo_reduction([{"A", "B"}, {"B", "C"}, {"C", "D"}])
+        assert result.acyclic
+        removed = [r.edge_index for r in result.removals]
+        assert sorted(removed) == [0, 1, 2]
+        # Exactly one final edge has no witness.
+        assert sum(1 for r in result.removals if r.witness_index is None) == 1
+
+    def test_witnesses_still_alive(self):
+        result = gyo_reduction([{"A", "B"}, {"B", "C"}, {"C", "D"}])
+        removed_so_far: set[int] = set()
+        for removal in result.removals:
+            if removal.witness_index is not None:
+                assert removal.witness_index not in removed_so_far
+            removed_so_far.add(removal.edge_index)
+
+    def test_residual_on_cycle(self):
+        result = gyo_reduction([{"A", "B"}, {"B", "C"}, {"A", "C"}])
+        assert not result.acyclic
+        assert sorted(result.residual) == [0, 1, 2]
+        assert result.removals == []

@@ -1,0 +1,130 @@
+"""Unit tests for repro.concentration.hypergeometric."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.concentration.hypergeometric import (
+    class_size_guarantee,
+    hypergeometric_mean,
+    hypergeometric_pmf,
+    poissonization_ratio,
+    sample_hypergeometric,
+    serfling_tail,
+)
+from repro.errors import BoundConditionError
+
+
+class TestBasics:
+    def test_mean(self):
+        assert hypergeometric_mean(100, 20, 10) == pytest.approx(2.0)
+
+    def test_pmf_sums_to_one(self):
+        total = sum(
+            hypergeometric_pmf(k, 20, 5, 8) for k in range(0, 9)
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_pmf_known_value(self):
+        # P[Y=1] for population 4, successes 2, draws 2: C(2,1)C(2,1)/C(4,2).
+        assert hypergeometric_pmf(1, 4, 2, 2) == pytest.approx(4 / 6)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(BoundConditionError):
+            hypergeometric_mean(0, 0, 0)
+        with pytest.raises(BoundConditionError):
+            hypergeometric_mean(10, 11, 5)
+        with pytest.raises(BoundConditionError):
+            hypergeometric_mean(10, 5, 11)
+
+    def test_sampler_range_and_mean(self, rng):
+        samples = sample_hypergeometric(1000, 100, 50, 4000, rng)
+        assert samples.min() >= 0
+        assert samples.max() <= 50
+        assert float(samples.mean()) == pytest.approx(5.0, abs=0.3)
+
+
+class TestSerfling:
+    def test_simplified_form(self):
+        assert serfling_tail(10.0, 100) == pytest.approx(math.exp(-2.0))
+
+    def test_sharper_with_population(self):
+        loose = serfling_tail(10.0, 100)
+        sharp = serfling_tail(10.0, 100, population=150)
+        assert sharp <= loose
+
+    def test_empirical_validity(self, rng):
+        # The bound must dominate the empirical tail.
+        population, successes, draws = 400, 100, 80
+        mean = hypergeometric_mean(population, successes, draws)
+        samples = sample_hypergeometric(
+            population, successes, draws, 20_000, rng
+        )
+        for eps in (2.0, 5.0, 8.0):
+            empirical = float(np.mean(samples - mean >= eps))
+            assert empirical <= serfling_tail(eps, draws, population=population) + 0.01
+
+    def test_invalid(self):
+        with pytest.raises(BoundConditionError):
+            serfling_tail(-1.0, 10)
+        with pytest.raises(BoundConditionError):
+            serfling_tail(1.0, 0)
+        with pytest.raises(BoundConditionError):
+            serfling_tail(1.0, 10, population=5)
+
+
+class TestPoissonization:
+    """Lemma B.4: P[Z=b] <= 21·d_A²·P[W=b]."""
+
+    @pytest.mark.parametrize(
+        ("d_a", "d_b", "eta"),
+        [(10, 5, 20), (20, 20, 100), (50, 10, 200), (30, 30, 500)],
+    )
+    def test_bound_holds(self, d_a, d_b, eta):
+        check = poissonization_ratio(d_a, d_b, eta)
+        assert check.holds, (
+            f"max ratio {check.max_ratio} at b={check.argmax_b} "
+            f"exceeds {check.bound}"
+        )
+
+    def test_regime_validated(self):
+        with pytest.raises(BoundConditionError):
+            poissonization_ratio(5, 10, 20)  # d_A < d_B
+        with pytest.raises(BoundConditionError):
+            poissonization_ratio(10, 5, 3)  # eta < d_A
+        with pytest.raises(BoundConditionError):
+            poissonization_ratio(10, 5, 50)  # eta > d_A d_B − d_B
+
+
+class TestClassSizeGuarantee:
+    def test_threshold_is_half_mean(self):
+        g = class_size_guarantee(1000, 10, 4, 0.1)
+        assert g.threshold == pytest.approx(125.0)
+
+    def test_condition_scaling(self):
+        small = class_size_guarantee(100, 10, 4, 0.1)
+        assert not small.condition_holds
+        big_n = int(small.required_n) + 1
+        big = class_size_guarantee(big_n, 10, 4, 0.1)
+        assert big.condition_holds
+
+    def test_per_class_failure_decreases_with_n(self):
+        f1 = class_size_guarantee(1_000, 10, 4, 0.1).per_class_failure
+        f2 = class_size_guarantee(10_000, 10, 4, 0.1).per_class_failure
+        assert f2 < f1
+
+    def test_empirical_class_sizes(self, rng):
+        # In the random relation model each class size is hypergeometric;
+        # with N large all classes exceed N/(2 d_C) essentially always.
+        from repro.core.random_relations import random_relation
+
+        d_c, n = 4, 2000
+        relation = random_relation({"A": 40, "B": 40, "C": d_c}, n, rng)
+        counts = relation.projection_counts(["C"])
+        threshold = n / (2 * d_c)
+        assert all(c >= threshold for c in counts.values())
+
+    def test_invalid_delta(self):
+        with pytest.raises(BoundConditionError):
+            class_size_guarantee(100, 10, 4, 1.5)

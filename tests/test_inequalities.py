@@ -1,0 +1,208 @@
+"""Unit tests for repro.concentration.inequalities (Appendix D helpers)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.concentration.inequalities import (
+    capped_neg_xlogx,
+    clipped_neg_xlogx,
+    expected_entropy_deficit,
+    g_difference_bound,
+    h_rate,
+    inverse_x_over_logx,
+    log_sum_inequality_sides,
+    neg_xlogx,
+    positive_floor_surrogate,
+)
+from repro.errors import BoundConditionError
+
+
+class TestHRate:
+    def test_values(self):
+        assert h_rate(0.0) == 0.0
+        assert h_rate(1.0) == pytest.approx(math.log(2))
+
+    def test_monotone(self):
+        xs = np.linspace(0, 5, 50)
+        ys = [h_rate(float(x)) for x in xs]
+        assert all(b >= a for a, b in zip(ys, ys[1:]))
+
+    def test_negative_rejected(self):
+        with pytest.raises(BoundConditionError):
+            h_rate(-0.1)
+
+
+class TestExpectedEntropyDeficit:
+    def test_formula(self):
+        assert expected_entropy_deficit(100) == pytest.approx(
+            2 * math.log(100) / 10
+        )
+
+    def test_vanishes(self):
+        assert expected_entropy_deficit(10**8) < 0.01
+
+    def test_invalid(self):
+        with pytest.raises(BoundConditionError):
+            expected_entropy_deficit(0.5)
+
+
+class TestNegXLogX:
+    def test_continuity_at_zero(self):
+        assert neg_xlogx(0.0) == 0.0
+        assert neg_xlogx(1e-12) == pytest.approx(0.0, abs=1e-9)
+
+    def test_max_at_inverse_e(self):
+        assert neg_xlogx(1 / math.e) == pytest.approx(1 / math.e)
+        assert neg_xlogx(0.5) < neg_xlogx(1 / math.e)
+
+    def test_negative_rejected(self):
+        with pytest.raises(BoundConditionError):
+            neg_xlogx(-1.0)
+
+
+class TestClippedSurrogate:
+    def test_continuous_at_knee(self):
+        zeta = 10.0
+        knee = 1 / zeta
+        assert clipped_neg_xlogx(knee, zeta) == pytest.approx(neg_xlogx(knee))
+
+    def test_agrees_beyond_knee(self):
+        zeta = 10.0
+        for t in (0.2, 0.5, 0.9):
+            assert clipped_neg_xlogx(t, zeta) == pytest.approx(neg_xlogx(t))
+
+    def test_max_deviation_is_inverse_zeta(self):
+        # Eq. 210: sup |ĝ_ζ − g| = 1/ζ, attained at t = 0.
+        zeta = 25.0
+        ts = np.linspace(0, 1, 401)
+        gap = max(
+            abs(clipped_neg_xlogx(float(t), zeta) - neg_xlogx(float(t))) for t in ts
+        )
+        assert gap == pytest.approx(1 / zeta, abs=1e-9)
+        assert clipped_neg_xlogx(0.0, zeta) == pytest.approx(1 / zeta)
+
+    def test_lipschitz_constant(self):
+        # ĝ_ζ is log(ζ/e)-Lipschitz on [0, 1].
+        zeta = 40.0
+        lip = math.log(zeta / math.e)
+        ts = np.linspace(0, 1, 200)
+        values = [clipped_neg_xlogx(float(t), zeta) for t in ts]
+        for (t1, v1), (t2, v2) in zip(
+            zip(ts, values), zip(ts[1:], values[1:])
+        ):
+            assert abs(v2 - v1) <= lip * abs(t2 - t1) + 1e-12
+
+    def test_zeta_below_e_rejected(self):
+        with pytest.raises(BoundConditionError):
+            clipped_neg_xlogx(0.5, 2.0)
+
+
+class TestCappedSurrogate:
+    def test_tracks_below_cutoff(self):
+        eta = 50.0
+        assert capped_neg_xlogx(0.2, eta) == pytest.approx(
+            clipped_neg_xlogx(0.2, eta)
+        )
+
+    def test_constant_above_cutoff(self):
+        eta = 50.0
+        cap = clipped_neg_xlogx(1 / math.e, eta)
+        assert capped_neg_xlogx(5.0, eta) == pytest.approx(cap)
+        assert capped_neg_xlogx(100.0, eta) == pytest.approx(cap)
+
+    def test_negative_rejected(self):
+        with pytest.raises(BoundConditionError):
+            capped_neg_xlogx(-0.1, 50.0)
+
+
+class TestPositiveFloorSurrogate:
+    def test_values(self):
+        assert positive_floor_surrogate(0, 4.0) == 0.25
+        assert positive_floor_surrogate(3, 4.0) == 3.0
+
+    def test_sup_deviation_of_xlogx(self):
+        # Eq. 262: sup_w |w log w − f_ζ(w) log f_ζ(w)| = log(ζ)/ζ.
+        zeta = 8.0
+        gap = abs(0.0 - positive_floor_surrogate(0, zeta) * math.log(1 / zeta))
+        assert gap == pytest.approx(math.log(zeta) / zeta)
+
+    def test_invalid(self):
+        with pytest.raises(BoundConditionError):
+            positive_floor_surrogate(1, 2.0)
+        with pytest.raises(BoundConditionError):
+            positive_floor_surrogate(-1, 4.0)
+
+
+class TestLogSumInequality:
+    def test_holds_on_random_inputs(self):
+        rng = np.random.default_rng(5)
+        for _ in range(50):
+            a = rng.random(6).tolist()
+            b = rng.random(6).tolist()
+            lhs, rhs = log_sum_inequality_sides(a, b)
+            assert lhs <= rhs + 1e-12
+
+    def test_equality_when_proportional(self):
+        a = [1.0, 2.0, 3.0]
+        b = [2.0, 4.0, 6.0]
+        lhs, rhs = log_sum_inequality_sides(a, b)
+        assert lhs == pytest.approx(rhs)
+
+    def test_zero_conventions(self):
+        lhs, rhs = log_sum_inequality_sides([0.0, 1.0], [1.0, 1.0])
+        assert math.isfinite(lhs) and math.isfinite(rhs)
+        lhs2, rhs2 = log_sum_inequality_sides([1.0], [0.0])
+        assert rhs2 == math.inf and lhs2 == math.inf
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(BoundConditionError):
+            log_sum_inequality_sides([1.0], [1.0, 2.0])
+
+    def test_negative_rejected(self):
+        with pytest.raises(BoundConditionError):
+            log_sum_inequality_sides([-1.0], [1.0])
+
+
+class TestGDifferenceBound:
+    def test_holds_on_valid_regime(self):
+        ts = np.linspace(0, 1, 41)
+        for t in ts:
+            for s in ts:
+                if abs(s - t) > 0.5:
+                    continue
+                lhs, rhs = g_difference_bound(float(t), float(s))
+                assert lhs <= rhs + 1e-12
+
+    def test_paper_counterexample_rejected(self):
+        # Erratum: the paper's unrestricted claim fails at (0.025, 1.0);
+        # the implementation refuses the invalid regime.
+        t, s = 0.025, 1.0
+        lhs = abs(neg_xlogx(t) - neg_xlogx(s))
+        rhs = 2.0 * neg_xlogx(abs(s - t))
+        assert lhs > rhs  # documents why the regime is restricted
+        with pytest.raises(BoundConditionError):
+            g_difference_bound(t, s)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(BoundConditionError):
+            g_difference_bound(1.5, 0.5)
+
+
+class TestLemmaD6:
+    def test_witness_satisfies_conclusion(self):
+        for y in (2.0, math.e, 5.0, 100.0, 1e6):
+            x = inverse_x_over_logx(y)
+            assert x / math.log(x) >= y - 1e-9
+
+    def test_paper_witness_fails(self):
+        # Erratum: the paper's witness x = y·log y violates the claimed
+        # conclusion for y > e.
+        y = 5.0
+        x_paper = y * math.log(y)
+        assert x_paper / math.log(x_paper) < y
+
+    def test_below_two_rejected(self):
+        with pytest.raises(BoundConditionError):
+            inverse_x_over_logx(1.0)

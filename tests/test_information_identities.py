@@ -1,0 +1,113 @@
+"""Classic information identities over empirical distributions.
+
+These are the textbook facts (Cover & Thomas, the paper's [9]) that the
+whole bound machinery leans on; validating them over arbitrary generated
+relations guards the entropy/CMI plumbing against sign and conditioning
+mistakes.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.info.divergence import (
+    conditional_mutual_information,
+    mutual_information,
+)
+from repro.info.entropy import conditional_entropy, joint_entropy
+from repro.relations.relation import Relation
+from repro.relations.schema import RelationSchema
+
+
+def relations_abc(max_domain: int = 3):
+    row = st.tuples(*(st.integers(0, max_domain - 1) for _ in range(3)))
+    return st.sets(row, min_size=2, max_size=14).map(
+        lambda rows: Relation(
+            RelationSchema.integer_domains(
+                {"A": max_domain, "B": max_domain, "C": max_domain}
+            ),
+            rows,
+            validate=False,
+        )
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(relations_abc())
+def test_entropy_chain_rule(relation):
+    # H(AB) = H(A) + H(B|A)
+    lhs = joint_entropy(relation, ["A", "B"])
+    rhs = joint_entropy(relation, ["A"]) + conditional_entropy(
+        relation, ["B"], ["A"]
+    )
+    assert lhs == pytest.approx(rhs, abs=1e-9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(relations_abc())
+def test_mutual_information_chain_rule(relation):
+    # I(A; BC) = I(A; B) + I(A; C | B)
+    lhs = mutual_information(relation, ["A"], ["B", "C"])
+    rhs = mutual_information(relation, ["A"], ["B"]) + (
+        conditional_mutual_information(relation, ["A"], ["C"], ["B"])
+    )
+    assert lhs == pytest.approx(rhs, abs=1e-9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(relations_abc())
+def test_mi_bounded_by_marginal_entropies(relation):
+    mi = mutual_information(relation, ["A"], ["B"])
+    assert mi <= joint_entropy(relation, ["A"]) + 1e-9
+    assert mi <= joint_entropy(relation, ["B"]) + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(relations_abc())
+def test_entropy_submodularity(relation):
+    # H(AB) + H(BC) >= H(ABC) + H(B)  (equivalent to I(A;C|B) >= 0)
+    lhs = joint_entropy(relation, ["A", "B"]) + joint_entropy(relation, ["B", "C"])
+    rhs = joint_entropy(relation, ["A", "B", "C"]) + joint_entropy(relation, ["B"])
+    assert lhs >= rhs - 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(relations_abc())
+def test_conditioning_reduces_entropy(relation):
+    # H(B|A) <= H(B)  (Cover & Thomas 2.6.5, used in Prop 5.4's proof)
+    assert conditional_entropy(relation, ["B"], ["A"]) <= joint_entropy(
+        relation, ["B"]
+    ) + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(relations_abc())
+def test_joint_entropy_subadditive(relation):
+    # H(ABC) <= H(A) + H(B) + H(C)
+    lhs = joint_entropy(relation, ["A", "B", "C"])
+    rhs = sum(joint_entropy(relation, [x]) for x in ("A", "B", "C"))
+    assert lhs <= rhs + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(relations_abc())
+def test_full_entropy_is_log_n(relation):
+    assert joint_entropy(relation, ["A", "B", "C"]) == pytest.approx(
+        math.log(len(relation)), abs=1e-9
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(relations_abc())
+def test_j_measure_as_cmi_for_binary_schema(relation):
+    # For S = {XZ, XY}: J(S) = I(Z; Y | X)  (Section 2.2 remark).
+    from repro.core.jmeasure import j_measure
+    from repro.jointrees.build import jointree_from_schema
+
+    tree = jointree_from_schema([{"A", "C"}, {"B", "C"}])
+    assert j_measure(relation, tree) == pytest.approx(
+        conditional_mutual_information(relation, ["A"], ["B"], ["C"]),
+        abs=1e-9,
+    )

@@ -1,0 +1,128 @@
+"""Integration tests: full pipelines across modules."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import (
+    analyze,
+    j_measure,
+    jointree_from_schema,
+    mine_jointree,
+    random_relation,
+    spurious_loss,
+)
+from repro.datasets.noise import perturb
+from repro.datasets.synthetic import planted_mvd_relation
+from repro.relations.io import infer_integer_domains, read_csv, write_csv
+
+
+class TestDatasetToAnalysisPipeline:
+    def test_generate_perturb_analyze(self, rng, mvd_tree):
+        base = planted_mvd_relation(8, 8, 4, rng)
+        noisy = perturb(base, rng, insert_rate=0.2, delete_rate=0.05)
+        report = analyze(noisy, mvd_tree, delta=0.05)
+        # Every inequality in the report must be internally consistent.
+        assert report.j_entropy == pytest.approx(report.j_kl, abs=1e-9)
+        assert report.rho + 1e-9 >= report.rho_lower_bound
+        assert report.sandwich.holds
+        assert report.product_bound.holds
+        assert report.probabilistic.actual <= report.probabilistic.cmi_sum_bound
+
+    def test_generate_mine_analyze(self, rng):
+        base = planted_mvd_relation(10, 10, 5, rng)
+        mined = mine_jointree(base)
+        report = analyze(base, mined.jointree)
+        assert report.lossless
+        assert report.j_entropy == pytest.approx(0.0, abs=1e-9)
+
+
+class TestCsvRoundTripPipeline:
+    def test_write_read_analyze(self, rng, mvd_tree, tmp_path):
+        original = planted_mvd_relation(6, 6, 3, rng)
+        path = tmp_path / "data.csv"
+        write_csv(original, path)
+        loaded = infer_integer_domains(read_csv(path))
+        assert loaded.rows() == original.rows()
+        assert j_measure(loaded, mvd_tree) == pytest.approx(
+            j_measure(original, mvd_tree), abs=1e-12
+        )
+
+    def test_mine_loaded_relation(self, rng, tmp_path):
+        original = planted_mvd_relation(6, 6, 3, rng)
+        path = tmp_path / "data.csv"
+        write_csv(original, path)
+        mined = mine_jointree(infer_integer_domains(read_csv(path)))
+        assert mined.j_value == pytest.approx(0.0, abs=1e-9)
+
+
+class TestCrossFormAgreement:
+    """The same quantity computed through independent code paths."""
+
+    def test_loss_three_ways(self, rng, mvd_tree):
+        from repro.core.loss import split_loss, spurious_tuples
+
+        r = random_relation({"A": 5, "B": 5, "C": 3}, 18, rng)
+        via_count = spurious_loss(r, mvd_tree)
+        via_split = split_loss(r, {"A", "C"}, {"B", "C"})
+        via_materialized = len(spurious_tuples(r, mvd_tree)) / len(r)
+        assert via_count == pytest.approx(via_split)
+        assert via_count == pytest.approx(via_materialized)
+
+    def test_figure1_point_reproducible(self):
+        from repro.core.random_relations import sample_loss_and_mi
+
+        rng1 = np.random.default_rng(99)
+        rng2 = np.random.default_rng(99)
+        assert sample_loss_and_mi(40, 0.1, rng1) == sample_loss_and_mi(
+            40, 0.1, rng2
+        )
+
+
+class TestTheorem51Pipeline:
+    """End-to-end Theorem 5.1 at moderate scale: sample, measure, bound."""
+
+    def test_full_pipeline(self):
+        import numpy as np
+
+        from repro.core.bounds import epsilon_star
+        from repro.core.classwise import classwise_decomposition
+        from repro.core.loss import split_loss
+        from repro.info.divergence import conditional_mutual_information
+
+        rng = np.random.default_rng(55)
+        d, d_c, n, delta = 32, 4, 2000, 0.1
+        relation = random_relation({"A": d, "B": d, "C": d_c}, n, rng)
+
+        log_loss = math.log1p(split_loss(relation, {"A", "C"}, {"B", "C"}))
+        cmi = conditional_mutual_information(relation, ["A"], ["B"], ["C"])
+        eps = epsilon_star(d, d, d_c, n, delta)
+
+        # Lemma 4.1 (lower) and Thm 5.1 (upper, generous eps at this N).
+        assert cmi <= log_loss + 1e-9
+        assert log_loss <= cmi + eps.value
+
+        # The classwise decomposition agrees with the global measures.
+        dec = classwise_decomposition(relation, "A", "B", "C")
+        assert dec.log_loss == pytest.approx(log_loss)
+        assert dec.cmi == pytest.approx(cmi)
+        assert dec.eq44_holds
+
+
+class TestScalingBehaviour:
+    def test_larger_relations_still_consistent(self, rng, mvd_tree):
+        r = random_relation({"A": 40, "B": 40, "C": 8}, 4000, rng)
+        j_value = j_measure(r, mvd_tree)
+        rho = spurious_loss(r, mvd_tree)
+        assert rho >= math.expm1(j_value) - 1e-9
+
+    def test_wide_relation(self, rng):
+        sizes = {name: 3 for name in "ABCDEF"}
+        r = random_relation(sizes, 120, rng)
+        tree = jointree_from_schema(
+            [{"A", "B"}, {"B", "C"}, {"C", "D"}, {"D", "E"}, {"E", "F"}]
+        )
+        report = analyze(r, tree)
+        assert report.sandwich.holds
+        assert report.product_bound.holds

@@ -1,0 +1,85 @@
+"""Unit tests for repro.relations.io (CSV round-tripping)."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relations.io import infer_integer_domains, read_csv, write_csv
+from repro.relations.relation import Relation
+from repro.relations.schema import RelationSchema
+
+
+@pytest.fixture()
+def csv_path(tmp_path):
+    path = tmp_path / "table.csv"
+    path.write_text("A,B,C\n1,x,0.5\n2,y,1.5\n1,x,0.5\n")
+    return path
+
+
+class TestReadCsv:
+    def test_header_becomes_schema(self, csv_path):
+        r = read_csv(csv_path)
+        assert r.schema.names == ("A", "B", "C")
+
+    def test_typed_coercion(self, csv_path):
+        r = read_csv(csv_path)
+        assert (1, "x", 0.5) in r
+
+    def test_duplicates_collapse(self, csv_path):
+        assert len(read_csv(csv_path)) == 2
+
+    def test_untyped(self, csv_path):
+        r = read_csv(csv_path, typed=False)
+        assert ("1", "x", "0.5") in r
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(SchemaError):
+            read_csv(path)
+
+    def test_ragged_row_rejected(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("A,B\n1,2\n3\n")
+        with pytest.raises(SchemaError):
+            read_csv(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "blank.csv"
+        path.write_text("A,B\n1,2\n\n3,4\n")
+        assert len(read_csv(path)) == 2
+
+    def test_custom_delimiter(self, tmp_path):
+        path = tmp_path / "semi.csv"
+        path.write_text("A;B\n1;2\n")
+        r = read_csv(path, delimiter=";")
+        assert (1, 2) in r
+
+
+class TestWriteCsv:
+    def test_round_trip(self, tmp_path):
+        schema = RelationSchema.from_names(["A", "B"])
+        original = Relation(schema, [(1, "x"), (2, "y")])
+        path = tmp_path / "out.csv"
+        write_csv(original, path)
+        loaded = read_csv(path)
+        assert loaded.rows() == original.rows()
+
+    def test_deterministic_output(self, tmp_path):
+        schema = RelationSchema.from_names(["A"])
+        r = Relation(schema, [(3,), (1,), (2,)])
+        p1, p2 = tmp_path / "a.csv", tmp_path / "b.csv"
+        write_csv(r, p1)
+        write_csv(r, p2)
+        assert p1.read_text() == p2.read_text()
+
+
+class TestInferIntegerDomains:
+    def test_domains_become_active(self, csv_path):
+        r = infer_integer_domains(read_csv(csv_path))
+        assert r.schema.attribute("A").domain == frozenset({1, 2})
+        assert r.schema.attribute("B").domain == frozenset({"x", "y"})
+
+    def test_rows_preserved(self, csv_path):
+        before = read_csv(csv_path)
+        after = infer_integer_domains(before)
+        assert after.rows() == before.rows()

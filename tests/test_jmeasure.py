@@ -1,0 +1,180 @@
+"""Unit tests for repro.core.jmeasure (Eq. 7, Theorems 2.1, 2.2, 3.2)."""
+
+import math
+
+import pytest
+
+from repro.core.jmeasure import (
+    is_lossless,
+    j_measure,
+    j_measure_distribution,
+    j_measure_kl,
+    sandwich_bounds,
+    support_cmis,
+)
+from repro.core.loss import spurious_loss
+from repro.core.random_relations import random_relation
+from repro.datasets.synthetic import diagonal_relation, planted_mvd_relation
+from repro.errors import JoinTreeError
+from repro.info.distribution import EmpiricalDistribution
+from repro.jointrees.build import chain_jointree, jointree_from_schema
+
+
+class TestEntropyForm:
+    def test_diagonal_value(self):
+        tree = jointree_from_schema([{"A"}, {"B"}])
+        assert j_measure(diagonal_relation(32), tree) == pytest.approx(math.log(32))
+
+    def test_lossless_is_zero(self, rng, mvd_tree):
+        r = planted_mvd_relation(6, 6, 4, rng)
+        assert j_measure(r, mvd_tree) == pytest.approx(0.0, abs=1e-9)
+
+    def test_non_negative(self, rng, mvd_tree):
+        for _ in range(10):
+            r = random_relation({"A": 5, "B": 5, "C": 3}, 20, rng)
+            assert j_measure(r, mvd_tree) >= 0.0
+
+    def test_base_conversion(self, rng, mvd_tree):
+        r = random_relation({"A": 5, "B": 5, "C": 3}, 20, rng)
+        assert j_measure(r, mvd_tree, base=2) == pytest.approx(
+            j_measure(r, mvd_tree) / math.log(2)
+        )
+
+    def test_attribute_cover_enforced(self, rng):
+        r = random_relation({"A": 4, "B": 4, "C": 3}, 10, rng)
+        partial_tree = jointree_from_schema([{"A", "B"}])
+        with pytest.raises(JoinTreeError):
+            j_measure(r, partial_tree)
+
+    def test_single_bag_tree_is_zero(self, rng):
+        r = random_relation({"A": 4, "B": 4}, 10, rng)
+        tree = jointree_from_schema([{"A", "B"}])
+        assert j_measure(r, tree) == pytest.approx(0.0)
+
+
+class TestTreeShapeInvariance:
+    """J depends only on the schema, not the tree shape (Section 2.2)."""
+
+    def test_mvd_chain_vs_star(self, rng):
+        # Schema {XU, XV, XW}: join trees XU−XV−XW and XU−XW−XV (and the
+        # star) all give the same J.
+        r = random_relation({"X": 3, "U": 4, "V": 4, "W": 4}, 40, rng)
+        chain1 = chain_jointree([{"X", "U"}, {"X", "V"}, {"X", "W"}])
+        chain2 = chain_jointree([{"X", "U"}, {"X", "W"}, {"X", "V"}])
+        star = jointree_from_schema([{"X", "U"}, {"X", "V"}, {"X", "W"}])
+        j1 = j_measure(r, chain1)
+        assert j_measure(r, chain2) == pytest.approx(j1)
+        assert j_measure(r, star) == pytest.approx(j1)
+
+    def test_mvd_example_formula(self, rng):
+        # J = H(XU) + H(XV) + H(XW) − 2H(X) − H(XUVW) (paper's example).
+        from repro.info.entropy import joint_entropy
+
+        r = random_relation({"X": 3, "U": 4, "V": 4, "W": 4}, 40, rng)
+        chain = chain_jointree([{"X", "U"}, {"X", "V"}, {"X", "W"}])
+        expected = (
+            joint_entropy(r, ["X", "U"])
+            + joint_entropy(r, ["X", "V"])
+            + joint_entropy(r, ["X", "W"])
+            - 2 * joint_entropy(r, ["X"])
+            - joint_entropy(r, ["X", "U", "V", "W"])
+        )
+        assert j_measure(r, chain) == pytest.approx(expected)
+
+
+class TestTheorem32:
+    """J(T) = D_KL(P || P^T)."""
+
+    @pytest.mark.parametrize("n", [10, 30, 60])
+    def test_identity_mvd_tree(self, rng, mvd_tree, n):
+        r = random_relation({"A": 5, "B": 5, "C": 3}, n, rng)
+        assert j_measure_kl(r, mvd_tree) == pytest.approx(
+            j_measure(r, mvd_tree), abs=1e-9
+        )
+
+    def test_identity_chain_tree(self, rng, chain_tree):
+        r = random_relation({"A": 4, "B": 4, "C": 4, "D": 4}, 30, rng)
+        assert j_measure_kl(r, chain_tree) == pytest.approx(
+            j_measure(r, chain_tree), abs=1e-9
+        )
+
+    def test_identity_diagonal(self):
+        tree = jointree_from_schema([{"A"}, {"B"}])
+        r = diagonal_relation(16)
+        assert j_measure_kl(r, tree) == pytest.approx(math.log(16))
+
+    def test_general_distribution(self, mvd_tree):
+        # Theorem 3.2 holds for non-uniform P too.
+        dist = EmpiricalDistribution(
+            ("A", "B", "C"),
+            {(0, 0, 0): 0.4, (1, 1, 0): 0.3, (0, 1, 1): 0.2, (1, 0, 1): 0.1},
+        )
+        j_kl = j_measure_distribution(dist, mvd_tree)
+        # Entropy form for general distributions: sum of bag entropies
+        # minus separator entropies minus the joint entropy.
+        expected = (
+            dist.marginal({"A", "C"}).entropy()
+            + dist.marginal({"B", "C"}).entropy()
+            - dist.marginal({"C"}).entropy()
+            - dist.entropy()
+        )
+        assert j_kl == pytest.approx(expected, abs=1e-9)
+
+    def test_distribution_cover_enforced(self, mvd_tree):
+        dist = EmpiricalDistribution(("A", "B"), {(0, 0): 1.0})
+        with pytest.raises(JoinTreeError):
+            j_measure_distribution(dist, mvd_tree)
+
+
+class TestLeeTheorem:
+    """Theorem 2.1: R ⊨ AJD(S) iff J(S) = 0."""
+
+    def test_forward(self, rng, mvd_tree):
+        r = planted_mvd_relation(6, 6, 4, rng)
+        assert spurious_loss(r, mvd_tree) == 0.0
+        assert is_lossless(r, mvd_tree)
+
+    def test_backward(self, rng, mvd_tree):
+        for _ in range(10):
+            r = random_relation({"A": 4, "B": 4, "C": 2}, 12, rng)
+            j_zero = j_measure(r, mvd_tree) <= 1e-9
+            rho_zero = spurious_loss(r, mvd_tree) == 0.0
+            assert j_zero == rho_zero
+
+
+class TestTheorem22Sandwich:
+    def test_sandwich_holds(self, rng, chain_tree):
+        for _ in range(5):
+            r = random_relation({"A": 4, "B": 4, "C": 4, "D": 4}, 40, rng)
+            bounds = sandwich_bounds(r, chain_tree)
+            assert bounds.holds
+
+    def test_binary_tree_equality(self, rng, mvd_tree):
+        # For m = 2 the sandwich collapses: max = J = sum.
+        r = random_relation({"A": 5, "B": 5, "C": 3}, 20, rng)
+        bounds = sandwich_bounds(r, mvd_tree)
+        assert bounds.lower == pytest.approx(bounds.j_value)
+        assert bounds.upper == pytest.approx(bounds.j_value)
+
+    def test_single_node_tree(self, rng):
+        tree = jointree_from_schema([{"A", "B"}])
+        r = random_relation({"A": 4, "B": 4}, 8, rng)
+        bounds = sandwich_bounds(r, tree)
+        assert bounds.j_value == 0.0
+        assert bounds.holds
+
+    def test_support_cmis_count(self, rng, chain_tree):
+        r = random_relation({"A": 4, "B": 4, "C": 4, "D": 4}, 20, rng)
+        cmis = support_cmis(r, chain_tree)
+        assert len(cmis) == chain_tree.num_nodes - 1
+        assert all(term.cmi >= 0 for term in cmis)
+
+    def test_support_cmis_root_choice(self, rng, chain_tree):
+        # Different roots give different split lists but the sandwich
+        # always brackets the same J.
+        r = random_relation({"A": 4, "B": 4, "C": 4, "D": 4}, 30, rng)
+        j_value = j_measure(r, chain_tree)
+        for root in chain_tree.node_ids():
+            cmis = [t.cmi for t in support_cmis(r, chain_tree, root=root)]
+            assert max(cmis) <= j_value + 1e-9
+            assert j_value <= sum(cmis) + 1e-9

@@ -1,0 +1,213 @@
+"""Unit tests for repro.jointrees.jointree."""
+
+import pytest
+
+from repro.errors import JoinTreeError, RunningIntersectionError
+from repro.jointrees.jointree import JoinTree
+
+
+@pytest.fixture()
+def chain():
+    return JoinTree(
+        {0: {"A", "B"}, 1: {"B", "C"}, 2: {"C", "D"}},
+        [(0, 1), (1, 2)],
+    )
+
+
+@pytest.fixture()
+def star():
+    return JoinTree(
+        {0: {"X", "A"}, 1: {"X", "B"}, 2: {"X", "C"}},
+        [(0, 1), (0, 2)],
+    )
+
+
+class TestValidation:
+    def test_single_node(self):
+        t = JoinTree({0: {"A"}}, [])
+        assert t.num_nodes == 1
+        assert t.attributes() == frozenset({"A"})
+
+    def test_empty_rejected(self):
+        with pytest.raises(JoinTreeError):
+            JoinTree({}, [])
+
+    def test_empty_bag_rejected(self):
+        with pytest.raises(JoinTreeError):
+            JoinTree({0: set()}, [])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(JoinTreeError):
+            JoinTree({0: {"A"}, 1: {"A"}}, [(0, 0)])
+
+    def test_duplicate_edge_rejected(self):
+        with pytest.raises(JoinTreeError):
+            JoinTree({0: {"A"}, 1: {"A"}}, [(0, 1), (1, 0)])
+
+    def test_unknown_node_in_edge(self):
+        with pytest.raises(JoinTreeError):
+            JoinTree({0: {"A"}}, [(0, 7)])
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(JoinTreeError):
+            JoinTree({0: {"A"}, 1: {"A"}, 2: {"A"}}, [(0, 1), (0, 1)])
+
+    def test_too_few_edges_rejected(self):
+        with pytest.raises(JoinTreeError):
+            JoinTree({0: {"A"}, 1: {"A"}}, [])
+
+    def test_running_intersection_violation(self):
+        # A appears at both ends of a path whose middle lacks it.
+        with pytest.raises(RunningIntersectionError):
+            JoinTree(
+                {0: {"A", "B"}, 1: {"B", "C"}, 2: {"A", "C"}},
+                [(0, 1), (1, 2)],
+            )
+
+    def test_validation_skippable(self):
+        t = JoinTree(
+            {0: {"A", "B"}, 1: {"B", "C"}, 2: {"A", "C"}},
+            [(0, 1), (1, 2)],
+            validate=False,
+        )
+        assert t.num_nodes == 3
+
+
+class TestAccessors:
+    def test_bags_and_ids(self, chain):
+        assert chain.node_ids() == (0, 1, 2)
+        assert chain.bag(1) == frozenset({"B", "C"})
+        assert len(chain.bags()) == 3
+
+    def test_unknown_node(self, chain):
+        with pytest.raises(JoinTreeError):
+            chain.bag(9)
+
+    def test_neighbors(self, chain):
+        assert chain.neighbors(1) == frozenset({0, 2})
+
+    def test_separator(self, chain):
+        assert chain.separator(0, 1) == frozenset({"B"})
+        with pytest.raises(JoinTreeError):
+            chain.separator(0, 2)
+
+    def test_separators_align_with_edges(self, chain):
+        seps = chain.separators()
+        assert seps == (frozenset({"B"}), frozenset({"C"}))
+
+    def test_attributes(self, chain):
+        assert chain.attributes() == frozenset({"A", "B", "C", "D"})
+
+
+class TestSchema:
+    def test_maximal_bags(self):
+        t = JoinTree(
+            {0: {"A", "B"}, 1: {"B"}, 2: {"B", "C"}},
+            [(0, 1), (1, 2)],
+        )
+        assert t.schema() == frozenset(
+            {frozenset({"A", "B"}), frozenset({"B", "C"})}
+        )
+        assert not t.is_reduced()
+
+    def test_reduced(self, chain):
+        assert chain.is_reduced()
+        assert chain.schema() == frozenset(chain.bags())
+
+
+class TestRootedViews:
+    def test_dfs_order_parent_first(self, star):
+        order = star.dfs_order(0)
+        parents = star.parents(0)
+        position = {node: i for i, node in enumerate(order)}
+        for child, parent in parents.items():
+            assert position[parent] < position[child]
+
+    def test_topological_order_is_reverse(self, chain):
+        assert chain.topological_order(0) == tuple(reversed(chain.dfs_order(0)))
+
+    def test_parents_root_absent(self, chain):
+        parents = chain.parents(0)
+        assert 0 not in parents
+        assert parents[1] == 0
+        assert parents[2] == 1
+
+    def test_rooted_splits_chain(self, chain):
+        splits = chain.rooted_splits(0)
+        assert len(splits) == 2
+        first = splits[0]
+        assert first.index == 2
+        assert first.separator == frozenset({"B"})
+        assert first.prefix == frozenset({"A", "B"})
+        assert first.suffix == frozenset({"B", "C", "D"})
+        second = splits[1]
+        assert second.separator == frozenset({"C"})
+        assert second.prefix == frozenset({"A", "B", "C"})
+        assert second.suffix == frozenset({"C", "D"})
+
+    def test_rooted_splits_cover_omega(self, star):
+        for split in star.rooted_splits():
+            assert split.prefix | split.suffix == star.attributes()
+
+    def test_single_node_no_splits(self):
+        t = JoinTree({0: {"A"}}, [])
+        assert t.rooted_splits() == ()
+
+    def test_default_root(self, chain):
+        assert chain.default_root() == 0
+
+
+class TestEdgeSubtrees:
+    def test_chain_middle_edge(self, chain):
+        side_u, side_v = chain.edge_subtree_attributes(1, 2)
+        assert side_u == frozenset({"A", "B", "C"})
+        assert side_v == frozenset({"C", "D"})
+
+    def test_overlap_is_separator(self, star):
+        for u, v in star.edges():
+            side_u, side_v = star.edge_subtree_attributes(u, v)
+            assert side_u & side_v == star.separator(u, v)
+
+    def test_non_edge_rejected(self, star):
+        with pytest.raises(JoinTreeError):
+            star.edge_subtree_attributes(1, 2)
+
+
+class TestTransformations:
+    def test_merge_edge(self, chain):
+        merged = chain.merge_edge(0, 1)
+        assert merged.num_nodes == 2
+        assert merged.bag(0) == frozenset({"A", "B", "C"})
+        assert merged.attributes() == chain.attributes()
+
+    def test_merge_non_edge_rejected(self, chain):
+        with pytest.raises(JoinTreeError):
+            chain.merge_edge(0, 2)
+
+    def test_relabel(self, chain):
+        relabeled = chain.relabel({0: 10, 1: 11, 2: 12})
+        assert relabeled.node_ids() == (10, 11, 12)
+        assert relabeled.bag(10) == chain.bag(0)
+
+    def test_relabel_collision_rejected(self, chain):
+        with pytest.raises(JoinTreeError):
+            chain.relabel({0: 1})
+
+
+class TestEquality:
+    def test_equal_trees(self):
+        t1 = JoinTree({0: {"A", "B"}, 1: {"B", "C"}}, [(0, 1)])
+        t2 = JoinTree({0: {"A", "B"}, 1: {"B", "C"}}, [(1, 0)])
+        assert t1 == t2
+        assert hash(t1) == hash(t2)
+
+    def test_unequal_trees(self):
+        t1 = JoinTree({0: {"A", "B"}, 1: {"B", "C"}}, [(0, 1)])
+        t2 = JoinTree({0: {"A", "B"}, 1: {"B", "D"}}, [(0, 1)])
+        assert t1 != t2
+        assert t1 != 42
+
+    def test_repr(self, chain):
+        text = repr(chain)
+        assert "JoinTree" in text
+        assert "A" in text

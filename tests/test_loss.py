@@ -1,0 +1,109 @@
+"""Unit tests for repro.core.loss (Eq. 1, Eq. 28)."""
+
+import pytest
+
+from repro.core.loss import (
+    satisfies_ajd,
+    split_loss,
+    spurious_count,
+    spurious_loss,
+    spurious_tuples,
+    support_split_losses,
+)
+from repro.core.random_relations import random_relation
+from repro.datasets.synthetic import diagonal_relation, planted_mvd_relation
+from repro.errors import DistributionError
+from repro.jointrees.build import jointree_from_schema
+from repro.relations.relation import Relation
+from repro.relations.schema import RelationSchema
+
+
+class TestSpuriousLoss:
+    def test_diagonal(self):
+        tree = jointree_from_schema([{"A"}, {"B"}])
+        r = diagonal_relation(10)
+        assert spurious_count(r, tree) == 90
+        assert spurious_loss(r, tree) == pytest.approx(9.0)
+
+    def test_lossless(self, rng, mvd_tree):
+        r = planted_mvd_relation(6, 6, 4, rng)
+        assert spurious_count(r, mvd_tree) == 0
+        assert satisfies_ajd(r, mvd_tree)
+
+    def test_non_negative(self, rng, mvd_tree):
+        for _ in range(5):
+            r = random_relation({"A": 5, "B": 5, "C": 3}, 15, rng)
+            assert spurious_count(r, mvd_tree) >= 0
+
+    def test_empty_relation(self, mvd_tree):
+        schema = RelationSchema.integer_domains({"A": 2, "B": 2, "C": 2})
+        empty = Relation.empty(schema)
+        assert spurious_count(empty, mvd_tree) == 0
+        assert satisfies_ajd(empty, mvd_tree)
+        with pytest.raises(DistributionError):
+            spurious_loss(empty, mvd_tree)
+
+
+class TestSplitLoss:
+    def test_matches_schema_loss_for_binary_tree(self, rng, mvd_tree):
+        r = random_relation({"A": 5, "B": 5, "C": 3}, 15, rng)
+        rho_schema = spurious_loss(r, mvd_tree)
+        rho_split = split_loss(r, {"A", "C"}, {"B", "C"})
+        assert rho_split == pytest.approx(rho_schema)
+
+    def test_cover_enforced(self, rng):
+        r = random_relation({"A": 4, "B": 4, "C": 3}, 10, rng)
+        with pytest.raises(DistributionError):
+            split_loss(r, {"A"}, {"B"})
+
+    def test_empty_relation_rejected(self, mvd_tree):
+        schema = RelationSchema.integer_domains({"A": 2, "B": 2})
+        with pytest.raises(DistributionError):
+            split_loss(Relation.empty(schema), {"A"}, {"A", "B"})
+
+    def test_overlapping_split(self, rng):
+        # Splits may overlap beyond the separator (Theorem 2.2's form).
+        r = random_relation({"A": 4, "B": 4, "C": 4}, 20, rng)
+        rho = split_loss(r, {"A", "B"}, {"B", "C"})
+        assert rho >= 0.0
+
+
+class TestSupportSplitLosses:
+    def test_count_and_order(self, rng, chain_tree):
+        r = random_relation({"A": 4, "B": 4, "C": 4, "D": 4}, 25, rng)
+        splits = support_split_losses(r, chain_tree)
+        assert len(splits) == 2
+        assert [s.index for s in splits] == [2, 3]
+
+    def test_each_split_bounded_by_product_domain(self, rng, chain_tree):
+        r = random_relation({"A": 4, "B": 4, "C": 4, "D": 4}, 25, rng)
+        n = len(r)
+        for s in support_split_losses(r, chain_tree):
+            left_size = len(r.project(r.schema.canonical_order(s.prefix)))
+            right_size = len(r.project(r.schema.canonical_order(s.suffix)))
+            assert (1 + s.rho) * n <= left_size * right_size + 1e-9
+
+
+class TestSpuriousTuples:
+    def test_diagonal_tuples(self):
+        tree = jointree_from_schema([{"A"}, {"B"}])
+        r = diagonal_relation(3)
+        spurious = spurious_tuples(r, tree)
+        assert len(spurious) == 6
+        assert not (spurious.rows() & r.rows())
+
+    def test_lossless_empty(self, rng, mvd_tree):
+        r = planted_mvd_relation(4, 4, 3, rng)
+        assert spurious_tuples(r, mvd_tree).is_empty()
+
+    def test_count_agrees(self, rng, mvd_tree):
+        r = random_relation({"A": 4, "B": 4, "C": 2}, 12, rng)
+        assert len(spurious_tuples(r, mvd_tree)) == spurious_count(r, mvd_tree)
+
+    def test_join_contains_original(self, rng, mvd_tree):
+        from repro.relations.join import materialized_acyclic_join
+
+        r = random_relation({"A": 4, "B": 4, "C": 2}, 12, rng)
+        joined = materialized_acyclic_join(r, mvd_tree)
+        aligned = joined.reorder(r.schema.names)
+        assert r.rows() <= aligned.rows()

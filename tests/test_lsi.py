@@ -1,0 +1,118 @@
+"""Unit tests for repro.concentration.lsi (Bernoulli LSI, Efron–Stein)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.concentration.lsi import (
+    MAX_EXACT_DIMENSION,
+    bernoulli_functional_entropy_exact,
+    bernoulli_lsi_bound,
+    bernoulli_lsi_constant,
+    efron_stein_variance_exact,
+    efron_stein_variance_mc,
+    relative_chernoff_tail,
+)
+from repro.errors import BoundConditionError
+
+
+def average_plus_one(signs) -> float:
+    """A smooth test function of the sign vector."""
+    return sum(signs) / len(signs) + 2.0
+
+
+def sqrt_positives(signs) -> float:
+    """The √(average of indicators) shape used in the paper's Lemma B.2."""
+    ones = sum(1 for s in signs if s == 1)
+    return math.sqrt(ones / len(signs))
+
+
+class TestLSIConstant:
+    def test_symmetric_limit(self):
+        assert bernoulli_lsi_constant(0.5) == pytest.approx(2.0)
+        assert bernoulli_lsi_constant(0.5 + 1e-12) == pytest.approx(2.0)
+
+    def test_continuity_near_half(self):
+        assert bernoulli_lsi_constant(0.499) == pytest.approx(2.0, rel=1e-4)
+
+    def test_symmetry_in_p(self):
+        assert bernoulli_lsi_constant(0.2) == pytest.approx(
+            bernoulli_lsi_constant(0.8)
+        )
+
+    def test_invalid(self):
+        with pytest.raises(BoundConditionError):
+            bernoulli_lsi_constant(0.0)
+
+
+class TestEfronStein:
+    def test_constant_function_zero(self):
+        assert efron_stein_variance_exact(lambda s: 1.0, 0.3, 4) == pytest.approx(0.0)
+
+    def test_scaling(self):
+        base = efron_stein_variance_exact(average_plus_one, 0.3, 4)
+        doubled = efron_stein_variance_exact(
+            lambda s: 2 * average_plus_one(s), 0.3, 4
+        )
+        assert doubled == pytest.approx(4 * base)
+
+    def test_mc_approximates_exact(self):
+        rng = np.random.default_rng(9)
+        exact = efron_stein_variance_exact(average_plus_one, 0.4, 6)
+        mc = efron_stein_variance_mc(
+            average_plus_one, 0.4, 6, samples=4000, rng=rng
+        )
+        assert mc == pytest.approx(exact, rel=0.15)
+
+    def test_dimension_cap(self):
+        with pytest.raises(BoundConditionError):
+            efron_stein_variance_exact(
+                average_plus_one, 0.5, MAX_EXACT_DIMENSION + 1
+            )
+
+    def test_invalid_parameters(self):
+        with pytest.raises(BoundConditionError):
+            efron_stein_variance_exact(average_plus_one, 1.5, 3)
+        with pytest.raises(BoundConditionError):
+            efron_stein_variance_mc(
+                average_plus_one, 0.5, 3, samples=0, rng=np.random.default_rng(0)
+            )
+
+
+class TestBernoulliLSI:
+    """Lemma D.1: Ent(g²) ≤ constant(p)·E(g)."""
+
+    @pytest.mark.parametrize("p", [0.1, 0.3, 0.5, 0.7])
+    @pytest.mark.parametrize("g", [average_plus_one, sqrt_positives])
+    def test_lsi_holds(self, p, g):
+        d = 6
+        ent = bernoulli_functional_entropy_exact(g, p, d)
+        bound = bernoulli_lsi_bound(g, p, d)
+        assert ent <= bound + 1e-9
+
+    def test_entropy_non_negative(self):
+        assert bernoulli_functional_entropy_exact(sqrt_positives, 0.3, 5) >= 0.0
+
+    def test_zero_function(self):
+        assert bernoulli_functional_entropy_exact(lambda s: 0.0, 0.3, 3) == 0.0
+
+
+class TestRelativeChernoff:
+    def test_empirical_validity(self, rng):
+        n, p = 200, 0.3
+        samples = rng.binomial(n, p, size=20_000) / n
+        for xi in (0.2, 0.4):
+            empirical = float(np.mean(np.abs(samples - p) >= xi * p))
+            assert empirical <= relative_chernoff_tail(n, p, xi) + 0.01
+
+    def test_capped_at_one(self):
+        assert relative_chernoff_tail(1, 0.1, 0.1) <= 1.0
+
+    def test_invalid(self):
+        with pytest.raises(BoundConditionError):
+            relative_chernoff_tail(0, 0.5, 0.5)
+        with pytest.raises(BoundConditionError):
+            relative_chernoff_tail(10, 0.5, 2.0)
+        with pytest.raises(BoundConditionError):
+            relative_chernoff_tail(10, 1.0, 0.5)

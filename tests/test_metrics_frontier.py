@@ -1,0 +1,131 @@
+"""Unit tests for repro.jointrees.metrics and repro.discovery.frontier."""
+
+import math
+
+import pytest
+
+from repro.core.random_relations import random_relation
+from repro.datasets.synthetic import planted_mvd_relation
+from repro.discovery.frontier import (
+    format_frontier,
+    pareto_front,
+    schema_frontier,
+)
+from repro.errors import DiscoveryError
+from repro.jointrees.build import chain_jointree, jointree_from_schema
+from repro.jointrees.metrics import (
+    compression_ratio,
+    storage_cells,
+    tree_metrics,
+)
+from repro.relations.relation import Relation
+from repro.relations.schema import RelationSchema
+
+
+class TestTreeMetrics:
+    def test_chain(self, chain_tree):
+        m = tree_metrics(chain_tree)
+        assert m.num_nodes == 3
+        assert m.num_bags == 3
+        assert m.width == 2
+        assert m.max_separator_size == 1
+        assert m.diameter == 2
+
+    def test_single_node(self):
+        tree = jointree_from_schema([{"A", "B", "C"}])
+        m = tree_metrics(tree)
+        assert m.width == 3
+        assert m.diameter == 0
+        assert m.max_separator_size == 0
+
+    def test_star_diameter(self):
+        tree = jointree_from_schema([{"X", "A"}, {"X", "B"}, {"X", "C"}])
+        assert tree_metrics(tree).diameter == 2
+
+    def test_long_chain_diameter(self):
+        tree = chain_jointree(
+            [{"A", "B"}, {"B", "C"}, {"C", "D"}, {"D", "E"}, {"E", "F"}]
+        )
+        assert tree_metrics(tree).diameter == 4
+
+    def test_nested_bags_counted_once(self):
+        from repro.jointrees.jointree import JoinTree
+
+        tree = JoinTree({0: {"A", "B"}, 1: {"B"}}, [(0, 1)])
+        m = tree_metrics(tree)
+        assert m.num_nodes == 2
+        assert m.num_bags == 1
+
+
+class TestStorage:
+    def test_cells_formula(self, rng, mvd_tree):
+        r = random_relation({"A": 4, "B": 4, "C": 2}, 10, rng)
+        expected = (
+            len(r.project(["A", "C"])) * 2 + len(r.project(["B", "C"])) * 2
+        )
+        assert storage_cells(r, mvd_tree) == expected
+
+    def test_compression_below_one_on_structured(self, rng, mvd_tree):
+        r = planted_mvd_relation(10, 10, 4, rng)
+        assert compression_ratio(r, mvd_tree) < 1.0
+
+    def test_trivial_schema_ratio_one(self, rng):
+        r = random_relation({"A": 4, "B": 4}, 10, rng)
+        tree = jointree_from_schema([{"A", "B"}])
+        assert compression_ratio(r, tree) == pytest.approx(1.0)
+
+
+class TestSchemaFrontier:
+    def test_contains_trivial_point(self, rng):
+        r = random_relation({"A": 4, "B": 4, "C": 2}, 10, rng)
+        points = schema_frontier(r)
+        trivial = [p for p in points if p.num_bags == 1]
+        assert len(trivial) == 1
+        assert trivial[0].j_value == pytest.approx(0.0)
+        assert trivial[0].compression == pytest.approx(1.0)
+
+    def test_sorted_by_compression(self, rng):
+        r = random_relation({"A": 4, "B": 4, "C": 2}, 10, rng)
+        points = schema_frontier(r)
+        comps = [p.compression for p in points]
+        assert comps == sorted(comps)
+
+    def test_planted_mvd_has_free_lunch_point(self, rng):
+        # A lossless schema that also compresses: J = 0, compression < 1.
+        r = planted_mvd_relation(8, 8, 4, rng)
+        points = schema_frontier(r)
+        free_lunch = [
+            p for p in points if p.j_value <= 1e-9 and p.compression < 1.0
+        ]
+        assert free_lunch
+
+    def test_pareto_front_non_dominated(self, rng):
+        r = random_relation({"A": 4, "B": 4, "C": 3}, 15, rng)
+        points = schema_frontier(r)
+        front = pareto_front(points)
+        assert front
+        for p in front:
+            assert not any(q.dominates(p) for q in points)
+
+    def test_front_subset_of_points(self, rng):
+        r = random_relation({"A": 4, "B": 4, "C": 3}, 15, rng)
+        points = schema_frontier(r)
+        front = pareto_front(points)
+        bags = {p.bags for p in points}
+        assert all(p.bags in bags for p in front)
+
+    def test_rho_skippable(self, rng):
+        r = random_relation({"A": 3, "B": 3, "C": 2}, 8, rng)
+        points = schema_frontier(r, compute_rho=False)
+        assert all(math.isnan(p.rho) for p in points)
+
+    def test_empty_rejected(self):
+        schema = RelationSchema.integer_domains({"A": 2, "B": 2})
+        with pytest.raises(DiscoveryError):
+            schema_frontier(Relation.empty(schema))
+
+    def test_format(self, rng):
+        r = random_relation({"A": 3, "B": 3, "C": 2}, 8, rng)
+        text = format_frontier(pareto_front(schema_frontier(r)))
+        assert "cells%" in text
+        assert "J" in text

@@ -1,0 +1,99 @@
+"""Unit tests for repro.jointrees.mvds."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.jointrees.build import chain_jointree, jointree_from_schema
+from repro.jointrees.mvds import MVD, edge_support
+
+
+class TestMVDConstruction:
+    def test_binary(self):
+        phi = MVD.binary({"X"}, {"A"}, {"B"})
+        assert phi.is_binary()
+        assert phi.attributes() == frozenset({"X", "A", "B"})
+
+    def test_schema(self):
+        phi = MVD.parse("X -> A | B C")
+        assert set(phi.schema()) == {
+            frozenset({"X", "A"}),
+            frozenset({"X", "B", "C"}),
+        }
+
+    def test_single_group_rejected(self):
+        with pytest.raises(SchemaError):
+            MVD(frozenset({"X"}), (frozenset({"A"}),))
+
+    def test_overlapping_groups_rejected(self):
+        with pytest.raises(SchemaError):
+            MVD(frozenset({"X"}), (frozenset({"A"}), frozenset({"A", "B"})))
+
+    def test_group_overlapping_lhs_rejected(self):
+        with pytest.raises(SchemaError):
+            MVD(frozenset({"X"}), (frozenset({"X"}), frozenset({"B"})))
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(SchemaError):
+            MVD(frozenset({"X"}), (frozenset(), frozenset({"B"})))
+
+    def test_frozen_coercion(self):
+        phi = MVD({"X"}, ({"A"}, {"B"}))
+        assert isinstance(phi.lhs, frozenset)
+        assert all(isinstance(g, frozenset) for g in phi.groups)
+
+
+class TestParse:
+    def test_multi_attribute_groups(self):
+        phi = MVD.parse("X Y -> A B | C")
+        assert phi.lhs == frozenset({"X", "Y"})
+        assert phi.groups == (frozenset({"A", "B"}), frozenset({"C"}))
+
+    def test_empty_lhs(self):
+        phi = MVD.parse("-> A | B")
+        assert phi.lhs == frozenset()
+
+    def test_missing_arrow_rejected(self):
+        with pytest.raises(SchemaError):
+            MVD.parse("X A | B")
+
+    def test_repr_round_trip_info(self):
+        phi = MVD.parse("X -> A | B")
+        text = repr(phi)
+        assert "X" in text and "A" in text and "B" in text
+
+
+class TestEdgeSupport:
+    def test_chain_support(self):
+        tree = chain_jointree([{"A", "B"}, {"B", "C"}, {"C", "D"}])
+        support = edge_support(tree)
+        assert len(support) == 2
+        by_sep = {next(iter(phi.lhs)): phi for phi in support}
+        assert set(by_sep) == {"B", "C"}
+        phi_b = by_sep["B"]
+        assert set(phi_b.groups) == {frozenset({"A"}), frozenset({"C", "D"})}
+
+    def test_star_support(self):
+        tree = jointree_from_schema([{"X", "A"}, {"X", "B"}, {"X", "C"}])
+        support = edge_support(tree)
+        assert len(support) == 2
+        for phi in support:
+            assert phi.lhs == frozenset({"X"})
+
+    def test_support_groups_disjoint(self):
+        tree = jointree_from_schema(
+            [{"A", "B", "C"}, {"B", "C", "D"}, {"C", "D", "E"}]
+        )
+        for phi in edge_support(tree):
+            assert not (phi.groups[0] & phi.groups[1])
+            assert not (phi.groups[0] & phi.lhs)
+
+    def test_degenerate_edge_skipped(self):
+        # A bag nested in its neighbor contributes no MVD.
+        from repro.jointrees.jointree import JoinTree
+
+        tree = JoinTree({0: {"A", "B"}, 1: {"B"}}, [(0, 1)])
+        assert edge_support(tree) == ()
+
+    def test_single_node_empty_support(self):
+        tree = jointree_from_schema([{"A", "B"}])
+        assert edge_support(tree) == ()

@@ -1,0 +1,139 @@
+"""Unit tests for repro.concentration.poisson."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.concentration.poisson import (
+    CHERNOFF_MIN_ALPHA,
+    discrete_derivative,
+    expected_inverse_one_plus_poisson,
+    poisson_chernoff_tail,
+    poisson_expectation,
+    poisson_functional_entropy,
+    poisson_identity_entropy_bound,
+    poisson_lipschitz_tail,
+    poisson_lsi_bound,
+)
+from repro.errors import BoundConditionError
+
+
+class TestChernoff:
+    def test_dominates_true_tail(self):
+        lam = 2.0
+        for alpha in (9.0, 12.0, 20.0):
+            true_tail = float(stats.poisson.sf(alpha * lam - 1, lam))
+            assert true_tail <= poisson_chernoff_tail(alpha, lam) + 1e-12
+
+    def test_alpha_regime(self):
+        with pytest.raises(BoundConditionError):
+            poisson_chernoff_tail(CHERNOFF_MIN_ALPHA, 1.0)
+
+    def test_invalid_lambda(self):
+        with pytest.raises(BoundConditionError):
+            poisson_chernoff_tail(10.0, 0.0)
+
+    def test_capped_at_one(self):
+        assert poisson_chernoff_tail(8.2, 1e-9) <= 1.0
+
+
+class TestLipschitzConcentration:
+    def test_empirical_validity_identity_function(self, rng):
+        # f(w) = w is 1-Lipschitz; check the bound dominates the upper tail
+        # of W − λ.
+        lam = 5.0
+        samples = rng.poisson(lam, size=50_000)
+        for t in (2.0, 5.0, 10.0):
+            empirical = float(np.mean(samples - lam > t))
+            assert empirical <= poisson_lipschitz_tail(t, lam) + 0.01
+
+    def test_monotone_decreasing_in_t(self):
+        lam = 3.0
+        values = [poisson_lipschitz_tail(t, lam) for t in (1.0, 2.0, 4.0, 8.0)]
+        assert values == sorted(values, reverse=True)
+
+    def test_invalid(self):
+        with pytest.raises(BoundConditionError):
+            poisson_lipschitz_tail(0.0, 1.0)
+        with pytest.raises(BoundConditionError):
+            poisson_lipschitz_tail(1.0, -1.0)
+
+
+class TestExpectation:
+    def test_mean(self):
+        assert poisson_expectation(lambda w: float(w), 4.0) == pytest.approx(4.0)
+
+    def test_second_moment(self):
+        lam = 3.0
+        second = poisson_expectation(lambda w: float(w * w), lam)
+        assert second == pytest.approx(lam + lam * lam, rel=1e-9)
+
+    def test_indicator(self):
+        lam = 2.0
+        p0 = poisson_expectation(lambda w: 1.0 if w == 0 else 0.0, lam)
+        assert p0 == pytest.approx(math.exp(-lam))
+
+    def test_invalid_lambda(self):
+        with pytest.raises(BoundConditionError):
+            poisson_expectation(lambda w: 1.0, 0.0)
+
+
+class TestInverseOnePlus:
+    def test_series_identity(self):
+        for lam in (0.5, 1.0, 4.0, 10.0):
+            expected = (1 - math.exp(-lam)) / lam
+            numeric = poisson_expectation(lambda w: 1.0 / (1.0 + w), lam)
+            assert expected_inverse_one_plus_poisson(lam) == pytest.approx(expected)
+            assert numeric == pytest.approx(expected, rel=1e-9)
+
+    def test_invalid(self):
+        with pytest.raises(BoundConditionError):
+            expected_inverse_one_plus_poisson(0.0)
+
+
+class TestPoissonLSI:
+    """Lemma D.5: Ent[f(W)] <= λ·E[(Df)²/f]."""
+
+    @pytest.mark.parametrize("lam", [0.5, 2.0, 5.0])
+    def test_lsi_holds_for_positive_functions(self, lam):
+        functions = [
+            lambda w: float(w + 1),
+            lambda w: float((w + 1) ** 2),
+            lambda w: math.exp(-0.1 * w) + 0.5,
+            lambda w: 1.0 / (1.0 + w),
+        ]
+        for f in functions:
+            ent = poisson_functional_entropy(f, lam)
+            bound = poisson_lsi_bound(f, lam)
+            assert ent <= bound + 1e-9
+
+    def test_lemma_b5_surrogate_bound(self):
+        # The f_ζ surrogate drives Ent(W) ≤ 4 (Lemma B.5); check the LSI
+        # chain numerically for a representative λ ≥ 1.
+        from repro.concentration.inequalities import positive_floor_surrogate
+
+        zeta = 4.0
+        for lam in (1.0, 2.0, 8.0):
+            f = lambda w: positive_floor_surrogate(w, zeta)  # noqa: E731
+            ent = poisson_functional_entropy(f, lam)
+            assert ent <= zeta + 1  # Eq. 275
+
+    def test_identity_entropy_below_four(self):
+        # Ent(W) ≤ 4 for the regimes used by the paper (λ = η/d_A ≥ 1).
+        for lam in (1.0, 3.0, 10.0, 60.0):
+            ent = poisson_functional_entropy(lambda w: float(max(w, 1e-12)), lam)
+            assert ent <= poisson_identity_entropy_bound()
+
+    def test_nonpositive_function_rejected(self):
+        with pytest.raises(BoundConditionError):
+            poisson_lsi_bound(lambda w: 0.0, 1.0)
+        with pytest.raises(BoundConditionError):
+            poisson_functional_entropy(lambda w: -1.0, 1.0)
+
+
+class TestDiscreteDerivative:
+    def test_values(self):
+        df = discrete_derivative(lambda w: w * w)
+        assert df(3) == 16 - 9

@@ -1,0 +1,365 @@
+"""Property-based tests (hypothesis) for the paper's core invariants.
+
+Each property is one of the paper's theorems checked on *arbitrary* small
+relation instances and join trees, not hand-picked examples:
+
+* Theorem 3.2 — ``J(T) = D_KL(P‖P^T)``;
+* Theorem 2.1 — ``J = 0  ⇔  ρ = 0``;
+* Theorem 2.2 — ``max Iᵢ ≤ J ≤ Σ Iᵢ``;
+* Lemma 4.1   — ``ρ ≥ e^J − 1``;
+* Prop. 5.1   — ``log(1+ρ(S)) ≤ Σ log(1+ρ(φᵢ))``;
+* Lemma 3.3   — ``P^T`` preserves bag/separator marginals;
+plus structural invariants of the substrates (join counting, entropy,
+log-sum, KL non-negativity, sampler size guarantees).
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import loss_lower_bound, product_bound_check
+from repro.core.jmeasure import j_measure, j_measure_kl, sandwich_bounds
+from repro.core.loss import spurious_loss
+from repro.info.distribution import EmpiricalDistribution
+from repro.info.divergence import (
+    conditional_mutual_information,
+    kl_divergence,
+    mutual_information,
+)
+from repro.info.entropy import entropy_of_counts, joint_entropy
+from repro.info.factorization import marginal_preservation_gaps
+from repro.jointrees.build import jointree_from_schema
+from repro.jointrees.gyo import is_acyclic
+from repro.relations.join import (
+    acyclic_join_size,
+    join_size,
+    materialized_acyclic_join,
+    natural_join,
+)
+from repro.relations.relation import Relation
+from repro.relations.schema import RelationSchema
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+#: Attribute names used by generated relations.
+ATTRS3 = ("A", "B", "C")
+ATTRS4 = ("A", "B", "C", "D")
+
+
+def relations(attrs: tuple[str, ...], max_domain: int = 3, min_rows: int = 1):
+    """Strategy: a non-empty relation over ``attrs`` with small domains."""
+    row = st.tuples(*(st.integers(0, max_domain - 1) for _ in attrs))
+    return st.sets(row, min_size=min_rows, max_size=12).map(
+        lambda rows: Relation(
+            RelationSchema.integer_domains({a: max_domain for a in attrs}),
+            rows,
+            validate=False,
+        )
+    )
+
+
+def trees3():
+    """Strategy: a join tree covering A, B, C (two overlapping bags)."""
+    shapes = [
+        [{"A", "C"}, {"B", "C"}],
+        [{"A", "B"}, {"B", "C"}],
+        [{"A", "B"}, {"A", "C"}],
+        [{"A"}, {"A", "B", "C"}],
+        [{"A", "B"}, {"A", "B", "C"}],
+        [{"A"}, {"B"}, {"C"}],
+        [{"A", "B"}, {"C"}],
+    ]
+    return st.sampled_from(shapes).map(jointree_from_schema)
+
+
+def trees4():
+    """Strategy: a join tree covering A, B, C, D."""
+    shapes = [
+        [{"A", "B"}, {"B", "C"}, {"C", "D"}],
+        [{"A", "B"}, {"B", "C", "D"}],
+        [{"A", "B", "C"}, {"C", "D"}],
+        [{"A", "D"}, {"B", "D"}, {"C", "D"}],
+        [{"A", "B", "C"}, {"B", "C", "D"}],
+        [{"A"}, {"B"}, {"C"}, {"D"}],
+        [{"A", "B"}, {"C", "D"}],
+    ]
+    return st.sampled_from(shapes).map(jointree_from_schema)
+
+
+# ----------------------------------------------------------------------
+# Theorem 3.2: J (entropy form) = D_KL(P || P^T)
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(relations(ATTRS3), trees3())
+def test_theorem_32_identity_3attrs(relation, tree):
+    assert j_measure_kl(relation, tree) == pytest.approx(
+        j_measure(relation, tree), abs=1e-8
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(relations(ATTRS4), trees4())
+def test_theorem_32_identity_4attrs(relation, tree):
+    assert j_measure_kl(relation, tree) == pytest.approx(
+        j_measure(relation, tree), abs=1e-8
+    )
+
+
+# ----------------------------------------------------------------------
+# Theorem 2.1 (Lee): J = 0  ⇔  lossless
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(relations(ATTRS3), trees3())
+def test_lee_equivalence(relation, tree):
+    j_zero = j_measure(relation, tree) <= 1e-9
+    rho_zero = spurious_loss(relation, tree) == 0.0
+    assert j_zero == rho_zero
+
+
+# ----------------------------------------------------------------------
+# Lemma 4.1: rho >= e^J − 1
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(relations(ATTRS3), trees3())
+def test_lemma_41_lower_bound(relation, tree):
+    j_value = j_measure(relation, tree)
+    assert spurious_loss(relation, tree) >= loss_lower_bound(j_value) - 1e-9
+
+
+# ----------------------------------------------------------------------
+# Theorem 2.2: sandwich bounds
+# ----------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(relations(ATTRS4), trees4())
+def test_theorem_22_sandwich(relation, tree):
+    assert sandwich_bounds(relation, tree).holds
+
+
+# ----------------------------------------------------------------------
+# Proposition 5.1 (erratum) and its stepwise replacement
+# ----------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(relations(ATTRS4), trees4())
+def test_stepwise_expansion_bound_always_holds(relation, tree):
+    # The paper's Prop 5.1 admits counterexamples (see test_bounds.py);
+    # the telescoping stepwise bound is the unconditional replacement.
+    from repro.core.bounds import stepwise_expansion_check
+
+    check = stepwise_expansion_check(relation, tree)
+    assert check.holds
+    assert all(r >= 1.0 - 1e-12 for r in check.step_ratios)
+    # The product-bound evaluation must at least be well-defined and
+    # internally consistent even when the inequality fails.
+    product = product_bound_check(relation, tree)
+    assert product.lhs >= -1e-12
+    assert product.rhs >= -1e-12
+
+
+# ----------------------------------------------------------------------
+# Lemma 3.3: P^T preserves bag and separator marginals
+# ----------------------------------------------------------------------
+@settings(max_examples=25, deadline=None)
+@given(relations(ATTRS3, max_domain=2), trees3())
+def test_lemma_33_marginal_preservation(relation, tree):
+    gaps = marginal_preservation_gaps(relation, tree)
+    assert gaps["bags"] <= 1e-9
+    assert gaps["separators"] <= 1e-9
+
+
+# ----------------------------------------------------------------------
+# Join counting agrees with materialization
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(relations(ATTRS3), trees3())
+def test_acyclic_join_size_matches_materialized(relation, tree):
+    assert acyclic_join_size(relation, tree) == len(
+        materialized_acyclic_join(relation, tree)
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(relations(("A", "B")), relations(("B", "C")))
+def test_pairwise_join_size_matches(left, right):
+    assert join_size(left, right) == len(natural_join(left, right))
+
+
+@settings(max_examples=40, deadline=None)
+@given(relations(("A", "B")), relations(("B", "C")))
+def test_join_commutative_up_to_columns(left, right):
+    j1 = natural_join(left, right)
+    j2 = natural_join(right, left)
+    as_dicts1 = {tuple(sorted(zip(j1.schema.names, row))) for row in j1}
+    as_dicts2 = {tuple(sorted(zip(j2.schema.names, row))) for row in j2}
+    assert as_dicts1 == as_dicts2
+
+
+# ----------------------------------------------------------------------
+# Entropy invariants
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(relations(ATTRS3))
+def test_entropy_bounded_by_log_n(relation):
+    for attrs in (["A"], ["A", "B"], ["A", "B", "C"]):
+        h = joint_entropy(relation, attrs)
+        assert -1e-12 <= h <= math.log(len(relation)) + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(relations(ATTRS3))
+def test_entropy_monotone_in_attribute_sets(relation):
+    assert (
+        joint_entropy(relation, ["A"])
+        <= joint_entropy(relation, ["A", "B"]) + 1e-9
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(1, 50), min_size=1, max_size=12), st.integers(2, 5))
+def test_entropy_scale_invariance(counts, k):
+    assert entropy_of_counts([k * c for c in counts]) == pytest.approx(
+        entropy_of_counts(counts), abs=1e-9
+    )
+
+
+# ----------------------------------------------------------------------
+# Information measures: non-negativity and symmetry
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(relations(ATTRS3))
+def test_cmi_non_negative_and_mi_symmetric(relation):
+    assert conditional_mutual_information(relation, ["A"], ["B"], ["C"]) >= 0.0
+    assert mutual_information(relation, ["A"], ["B"]) == pytest.approx(
+        mutual_information(relation, ["B"], ["A"]), abs=1e-9
+    )
+
+
+def _distributions(size: int = 4):
+    probs = st.lists(
+        st.floats(0.01, 1.0, allow_nan=False), min_size=size, max_size=size
+    )
+    return probs.map(
+        lambda weights: EmpiricalDistribution(
+            ("X",),
+            {
+                (i,): w / sum(weights)
+                for i, w in enumerate(weights)
+            },
+        )
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(_distributions(), _distributions())
+def test_kl_non_negative_and_zero_iff_equal(p, q):
+    value = kl_divergence(p, q)
+    assert value >= 0.0
+    assert kl_divergence(p, p) == pytest.approx(0.0, abs=1e-12)
+    if value < 1e-12:
+        assert p.total_variation(q) < 1e-5
+
+
+# ----------------------------------------------------------------------
+# Structural invariants
+# ----------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(trees4())
+def test_generated_trees_are_acyclic_schemas(tree):
+    assert is_acyclic(tree.bags())
+    for split in tree.rooted_splits():
+        assert split.prefix | split.suffix == tree.attributes()
+        assert split.separator <= split.prefix
+        assert split.separator <= split.suffix
+
+
+@settings(max_examples=60, deadline=None)
+@given(relations(ATTRS3))
+def test_projection_counts_sum_to_n(relation):
+    for attrs in (["A"], ["B", "C"]):
+        counts = relation.projection_counts(attrs)
+        assert sum(counts.values()) == len(relation)
+        assert len(counts) == len(relation.project(attrs))
+
+
+@settings(max_examples=30, deadline=None)
+@given(relations(ATTRS4, max_domain=2, min_rows=2))
+def test_miner_always_returns_valid_acyclic_schema(relation):
+    # Regression for the cyclic-union bug: recursive splits must always
+    # glue into a genuine acyclic schema, for any input relation.
+    from repro.discovery.miner import mine_jointree
+    from repro.jointrees.gyo import is_acyclic
+
+    mined = mine_jointree(relation, threshold=0.05)
+    assert is_acyclic(mined.bags)
+    assert mined.jointree.attributes() == relation.schema.name_set
+    assert mined.j_value >= -1e-12
+
+
+@settings(max_examples=20, deadline=None)
+@given(relations(ATTRS3, max_domain=2, min_rows=2), st.floats(0.0, 3.0))
+def test_budget_fit_respects_budget(relation, budget):
+    from repro.discovery.budget import fit_schema_with_budget
+
+    fit = fit_schema_with_budget(relation, budget, mode="exhaustive")
+    assert fit.rho <= budget + 1e-9
+    assert fit.jointree.attributes() == relation.schema.name_set
+
+
+@settings(max_examples=30, deadline=None)
+@given(relations(ATTRS3, max_domain=3, min_rows=2))
+def test_yannakakis_matches_materialized(relation):
+    from repro.relations.join import materialized_acyclic_join
+    from repro.relations.yannakakis import evaluate_decomposition
+
+    tree = jointree_from_schema([{"A", "C"}, {"B", "C"}])
+    via_yannakakis = evaluate_decomposition(relation, tree)
+    via_materialized = materialized_acyclic_join(relation, tree)
+    assert (
+        via_yannakakis.reorder(via_materialized.schema.names).rows()
+        == via_materialized.rows()
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(1, 60), min_size=2, max_size=15))
+def test_estimators_ordering(counts):
+    from repro.info.estimators import jackknife, miller_madow, plug_in
+
+    # Miller–Madow always adds a non-negative correction; the jackknife
+    # never falls below the plug-in for multinomial counts.
+    assert miller_madow(counts) >= plug_in(counts)
+    assert jackknife(counts) >= plug_in(counts) - 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(relations(ATTRS3, max_domain=3, min_rows=2))
+def test_classwise_eq44_and_averaging(relation):
+    from repro.core.classwise import classwise_decomposition
+
+    dec = classwise_decomposition(relation, "A", "B", "C")
+    assert dec.eq44_holds
+    assert dec.averaging_identity_gap < 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(2, 6),
+    st.integers(2, 6),
+    st.integers(1, 20),
+    st.integers(0, 2**31 - 1),
+)
+def test_random_relation_size_guarantee(d_a, d_b, n, seed):
+    import numpy as np
+
+    from repro.core.random_relations import random_relation
+
+    total = d_a * d_b
+    n = min(n, total)
+    relation = random_relation(
+        {"A": d_a, "B": d_b}, n, np.random.default_rng(seed)
+    )
+    assert len(relation) == n
+    assert all(0 <= a < d_a and 0 <= b < d_b for a, b in relation)

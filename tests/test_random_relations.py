@@ -1,0 +1,155 @@
+"""Unit tests for repro.core.random_relations (Definition 5.2)."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.core.random_relations import (
+    decode_cells,
+    expected_cell_probability,
+    max_loss,
+    product_domain_size,
+    random_mvd_relation,
+    random_relation,
+    relation_size_for_loss,
+    sample_loss_and_mi,
+)
+from repro.errors import SamplingError
+
+
+class TestDecodeCells:
+    def test_round_trip(self):
+        sizes = (3, 4, 5)
+        indices = np.arange(60)
+        cells = decode_cells(indices, sizes)
+        # Re-encode and compare.
+        encoded = cells[:, 0] * 20 + cells[:, 1] * 5 + cells[:, 2]
+        assert np.array_equal(encoded, indices)
+
+    def test_all_distinct(self):
+        cells = decode_cells(np.arange(24), (2, 3, 4))
+        assert len({tuple(row) for row in cells.tolist()}) == 24
+
+    def test_values_in_range(self):
+        cells = decode_cells(np.arange(24), (2, 3, 4))
+        assert cells[:, 0].max() < 2
+        assert cells[:, 1].max() < 3
+        assert cells[:, 2].max() < 4
+
+
+class TestRandomRelation:
+    @pytest.mark.parametrize("method", ["auto", "permutation", "rejection"])
+    def test_size_and_distinctness(self, rng, method):
+        r = random_relation({"A": 10, "B": 10}, 30, rng, method=method)
+        assert len(r) == 30
+
+    def test_complement_method(self, rng):
+        r = random_relation({"A": 10, "B": 10}, 95, rng, method="complement")
+        assert len(r) == 95
+
+    def test_full_relation(self, rng):
+        r = random_relation({"A": 4, "B": 4}, 16, rng)
+        assert len(r) == 16  # the entire product domain
+
+    def test_single_tuple(self, rng):
+        r = random_relation({"A": 4, "B": 4}, 1, rng)
+        assert len(r) == 1
+
+    def test_values_within_domains(self, rng):
+        r = random_relation({"A": 3, "B": 7}, 15, rng)
+        assert all(0 <= a < 3 and 0 <= b < 7 for a, b in r)
+
+    def test_schema_has_domains(self, rng):
+        r = random_relation({"A": 3, "B": 7}, 10, rng)
+        assert r.schema.domain_size("A") == 3
+        assert r.schema.domain_size("B") == 7
+
+    def test_oversized_rejected(self, rng):
+        with pytest.raises(SamplingError):
+            random_relation({"A": 2, "B": 2}, 5, rng)
+
+    def test_zero_rejected(self, rng):
+        with pytest.raises(SamplingError):
+            random_relation({"A": 2}, 0, rng)
+
+    def test_bad_domain_rejected(self, rng):
+        with pytest.raises(SamplingError):
+            random_relation({"A": 0}, 1, rng)
+
+    def test_unknown_method_rejected(self, rng):
+        with pytest.raises(SamplingError):
+            random_relation({"A": 4}, 2, rng, method="magic")
+
+    def test_reproducible_with_seed(self):
+        r1 = random_relation({"A": 8, "B": 8}, 20, np.random.default_rng(1))
+        r2 = random_relation({"A": 8, "B": 8}, 20, np.random.default_rng(1))
+        assert r1 == r2
+
+    def test_uniform_cell_inclusion(self):
+        # Each cell's inclusion frequency over many draws matches N/total
+        # (chi-square goodness of fit on inclusion counts).
+        rng = np.random.default_rng(77)
+        d, n, draws = 4, 8, 2000
+        counts = np.zeros((d, d))
+        for _ in range(draws):
+            r = random_relation({"A": d, "B": d}, n, rng)
+            for a, b in r:
+                counts[a, b] += 1
+        expected = draws * n / (d * d)
+        chi2 = float(((counts - expected) ** 2 / expected).sum())
+        # 15 dof; p < 0.001 would be ~37.7.
+        assert chi2 < stats.chi2.ppf(0.999, d * d - 1)
+
+    def test_methods_statistically_agree(self):
+        # Permutation and rejection draws have the same mean projection
+        # size (coarse uniformity cross-check).
+        sizes = {"A": 12, "B": 12}
+
+        def mean_active(method, seed):
+            rng = np.random.default_rng(seed)
+            vals = [
+                random_relation(sizes, 24, rng, method=method).active_domain_size("A")
+                for _ in range(200)
+            ]
+            return float(np.mean(vals))
+
+        a = mean_active("permutation", 5)
+        b = mean_active("rejection", 6)
+        assert a == pytest.approx(b, rel=0.05)
+
+
+class TestHelpers:
+    def test_product_domain_size(self):
+        assert product_domain_size((3, 4, 5)) == 60
+        with pytest.raises(SamplingError):
+            product_domain_size((3, 0))
+
+    def test_relation_size_for_loss(self):
+        n = relation_size_for_loss({"A": 100, "B": 100}, 0.1)
+        assert n == round(10000 / 1.1)
+
+    def test_relation_size_for_loss_clamped(self):
+        assert relation_size_for_loss({"A": 2, "B": 2}, 0.0) == 4
+        assert relation_size_for_loss({"A": 2}, 1e9) == 1
+        with pytest.raises(SamplingError):
+            relation_size_for_loss({"A": 2}, -0.5)
+
+    def test_expected_cell_probability(self):
+        assert expected_cell_probability({"A": 10, "B": 10}, 25) == 0.25
+        with pytest.raises(SamplingError):
+            expected_cell_probability({"A": 2}, 3)
+
+    def test_max_loss(self):
+        assert max_loss({"A": 10, "B": 10}, 50) == pytest.approx(1.0)
+        with pytest.raises(SamplingError):
+            max_loss({"A": 2}, 0)
+
+    def test_random_mvd_relation(self, rng):
+        r = random_mvd_relation(5, 6, 2, 20, rng)
+        assert r.schema.names == ("A", "B", "C")
+        assert len(r) == 20
+
+    def test_sample_loss_and_mi(self, rng):
+        target, mi = sample_loss_and_mi(30, 0.1, rng)
+        assert mi <= target + 1e-9
+        assert mi >= 0.0

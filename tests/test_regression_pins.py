@@ -1,0 +1,81 @@
+"""Regression pins: exact numbers recorded in EXPERIMENTS.md.
+
+These tests freeze the seeded results that EXPERIMENTS.md quotes, so any
+behavioural drift in samplers or measures is caught loudly rather than
+silently invalidating the documented reproduction.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments.discovery_quality import run_j_rho_correlation
+from repro.experiments.figure1 import run_figure1
+
+
+class TestFigure1Pins:
+    def test_d100_point(self):
+        # EXPERIMENTS.md E1 table, first row (seed 2023, trials 3).
+        (row,) = run_figure1(ds=(100,), trials=3, seed=2023)
+        assert row.n == 9091
+        assert row.target == pytest.approx(0.09530, abs=5e-6)
+        assert row.mi_mean == pytest.approx(0.09438, abs=5e-6)
+
+    def test_asymptote_value(self):
+        assert math.log(1.1) == pytest.approx(0.0953102, abs=1e-7)
+
+
+class TestCorrelationPin:
+    def test_spearman_value(self):
+        # EXPERIMENTS.md E8b: Spearman(J, rho) = 0.984 at seed 29.
+        result = run_j_rho_correlation(instances=40, seed=29)
+        assert result.spearman == pytest.approx(0.984, abs=0.001)
+
+
+class TestErrataPins:
+    def test_lemma_d2_counterexample_values(self):
+        # EXPERIMENTS.md Erratum 1: (t, s) = (0.025, 1).
+        from repro.concentration.inequalities import neg_xlogx
+
+        lhs = abs(neg_xlogx(0.025) - neg_xlogx(1.0))
+        rhs = 2.0 * neg_xlogx(0.975)
+        assert lhs == pytest.approx(0.0922, abs=1e-3)
+        assert rhs == pytest.approx(0.0494, abs=1e-3)
+        assert lhs > rhs
+
+    def test_lemma_d6_counterexample_values(self):
+        # EXPERIMENTS.md Erratum 2: y = 5 → x/log x ≈ 3.86 < 5.
+        y = 5.0
+        x = y * math.log(y)
+        assert x / math.log(x) == pytest.approx(3.86, abs=0.01)
+
+    def test_prop51_counterexample_values(self):
+        # EXPERIMENTS.md Erratum 3: 2 > (6/4)·(5/4).
+        from repro.core.bounds import product_bound_check
+        from repro.jointrees.build import jointree_from_schema
+        from repro.relations.relation import Relation
+        from repro.relations.schema import RelationSchema
+
+        schema = RelationSchema.integer_domains(
+            {"A": 2, "B": 2, "C": 2, "D": 2}
+        )
+        r = Relation(
+            schema,
+            [(0, 0, 0, 0), (0, 0, 0, 1), (0, 1, 0, 0), (1, 1, 1, 0)],
+            validate=False,
+        )
+        tree = jointree_from_schema([{"A", "B"}, {"B", "C"}, {"C", "D"}])
+        check = product_bound_check(r, tree)
+        assert math.exp(check.lhs) == pytest.approx(2.0)
+        assert math.exp(check.rhs) == pytest.approx(1.875)
+
+
+class TestEstimatorPins:
+    def test_e10_first_row(self):
+        from repro.experiments.estimator_bias import run_estimator_bias
+
+        (row,) = run_estimator_bias(ds=(32,), trials=20, seed=43)
+        # EXPERIMENTS.md E10 table, first row.
+        assert row.eta == 256
+        assert row.exact_expected == pytest.approx(3.4189, abs=1e-4)
+        assert row.plug_in_deficit == pytest.approx(0.04655, abs=1e-5)

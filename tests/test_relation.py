@@ -1,0 +1,179 @@
+"""Unit tests for repro.relations.relation."""
+
+import pytest
+
+from repro.errors import DomainError, SchemaError, UnknownAttributeError
+from repro.relations.relation import Relation
+from repro.relations.schema import RelationSchema
+
+
+@pytest.fixture()
+def ab_schema():
+    return RelationSchema.integer_domains({"A": 5, "B": 5})
+
+
+class TestConstruction:
+    def test_duplicates_collapse(self, ab_schema):
+        r = Relation(ab_schema, [(0, 0), (0, 0), (1, 1)])
+        assert len(r) == 2
+
+    def test_validation_enforced(self, ab_schema):
+        with pytest.raises(DomainError):
+            Relation(ab_schema, [(9, 0)])
+
+    def test_validation_skippable(self, ab_schema):
+        r = Relation(ab_schema, [(9, 0)], validate=False)
+        assert (9, 0) in r
+
+    def test_from_named_rows(self, ab_schema):
+        r = Relation.from_named_rows(ab_schema, [{"A": 1, "B": 2}])
+        assert (1, 2) in r
+
+    def test_empty(self, ab_schema):
+        r = Relation.empty(ab_schema)
+        assert r.is_empty()
+        assert len(r) == 0
+
+    def test_full(self):
+        schema = RelationSchema.integer_domains({"A": 2, "B": 3})
+        r = Relation.full(schema)
+        assert len(r) == 6
+
+    def test_full_requires_domains(self):
+        schema = RelationSchema.from_names(["A"])
+        with pytest.raises(SchemaError):
+            Relation.full(schema)
+
+
+class TestProjection:
+    def test_projection_dedupes(self, ab_schema):
+        r = Relation(ab_schema, [(0, 0), (0, 1), (1, 0)])
+        assert sorted(r.project(["A"]).rows()) == [(0,), (1,)]
+
+    def test_projection_canonical_order(self, ab_schema):
+        r = Relation(ab_schema, [(0, 1)])
+        # Projection onto {B, A} uses schema order (A, B).
+        p = r.project(["B", "A"])
+        assert p.schema.names == ("A", "B")
+        assert (0, 1) in p
+
+    def test_projection_identity_returns_self(self, ab_schema):
+        r = Relation(ab_schema, [(0, 1)])
+        assert r.project(["A", "B"]) is r
+
+    def test_projection_counts(self, ab_schema):
+        r = Relation(ab_schema, [(0, 0), (0, 1), (1, 0)])
+        counts = r.projection_counts(["A"])
+        assert counts[(0,)] == 2
+        assert counts[(1,)] == 1
+
+    def test_projection_empty_set_rejected(self, ab_schema):
+        r = Relation(ab_schema, [(0, 0)])
+        with pytest.raises(UnknownAttributeError):
+            r.project([])
+        with pytest.raises(UnknownAttributeError):
+            r.projection_counts([])
+
+    def test_unknown_attribute(self, ab_schema):
+        r = Relation(ab_schema, [(0, 0)])
+        with pytest.raises(UnknownAttributeError):
+            r.project(["Z"])
+
+
+class TestSelection:
+    def test_select_eq(self, ab_schema):
+        r = Relation(ab_schema, [(0, 0), (0, 1), (1, 0)])
+        s = r.select_eq("A", 0)
+        assert len(s) == 2
+        assert all(row[0] == 0 for row in s)
+
+    def test_select_predicate(self, ab_schema):
+        r = Relation(ab_schema, [(0, 0), (1, 2), (2, 4)])
+        s = r.select(lambda t: t["B"] == 2 * t["A"])
+        assert len(s) == 3
+        s2 = r.select(lambda t: t["A"] > 0)
+        assert len(s2) == 2
+
+
+class TestSetOperations:
+    def test_union_difference_intersection(self, ab_schema):
+        r1 = Relation(ab_schema, [(0, 0), (1, 1)])
+        r2 = Relation(ab_schema, [(1, 1), (2, 2)])
+        assert len(r1.union(r2)) == 3
+        assert r1.difference(r2).rows() == frozenset({(0, 0)})
+        assert r1.intersection(r2).rows() == frozenset({(1, 1)})
+
+    def test_incompatible_schemas_rejected(self, ab_schema):
+        other = RelationSchema.integer_domains({"X": 5, "Y": 5})
+        r1 = Relation(ab_schema, [(0, 0)])
+        r2 = Relation(other, [(0, 0)])
+        with pytest.raises(SchemaError):
+            r1.union(r2)
+
+
+class TestRename:
+    def test_rename(self, ab_schema):
+        r = Relation(ab_schema, [(0, 1)])
+        renamed = r.rename({"A": "X"})
+        assert renamed.schema.names == ("X", "B")
+        assert (0, 1) in renamed
+
+
+class TestReorder:
+    def test_permutes_columns(self, ab_schema):
+        r = Relation(ab_schema, [(0, 1), (2, 3)])
+        swapped = r.reorder(["B", "A"])
+        assert swapped.schema.names == ("B", "A")
+        assert (1, 0) in swapped
+        assert (3, 2) in swapped
+
+    def test_identity_returns_self(self, ab_schema):
+        r = Relation(ab_schema, [(0, 1)])
+        assert r.reorder(["A", "B"]) is r
+
+    def test_round_trip(self, ab_schema):
+        r = Relation(ab_schema, [(0, 1), (2, 3)])
+        assert r.reorder(["B", "A"]).reorder(["A", "B"]) == r
+
+    def test_non_permutation_rejected(self, ab_schema):
+        r = Relation(ab_schema, [(0, 1)])
+        with pytest.raises(SchemaError):
+            r.reorder(["A"])
+        with pytest.raises(SchemaError):
+            r.reorder(["A", "Z"])
+        with pytest.raises(SchemaError):
+            r.reorder(["A", "A"])
+
+
+class TestStatistics:
+    def test_active_domain(self, ab_schema):
+        r = Relation(ab_schema, [(0, 0), (0, 1), (3, 0)])
+        assert r.active_domain("A") == frozenset({0, 3})
+        assert r.active_domain_size("B") == 2
+
+    def test_group_sizes(self, ab_schema):
+        r = Relation(ab_schema, [(0, 0), (0, 1)])
+        assert r.group_sizes(["A"]) == {(0,): 2}
+
+    def test_sorted_rows_deterministic(self, ab_schema):
+        r = Relation(ab_schema, [(1, 1), (0, 0)])
+        assert r.sorted_rows() == sorted(r.rows(), key=repr)
+
+
+class TestDunder:
+    def test_equality(self, ab_schema):
+        r1 = Relation(ab_schema, [(0, 0)])
+        r2 = Relation(ab_schema, [(0, 0)])
+        assert r1 == r2
+        assert hash(r1) == hash(r2)
+        assert r1 != Relation(ab_schema, [(1, 1)])
+        assert r1 != "nope"
+
+    def test_contains_and_iter(self, ab_schema):
+        r = Relation(ab_schema, [(0, 0), (1, 1)])
+        assert (0, 0) in r
+        assert set(r) == {(0, 0), (1, 1)}
+
+    def test_repr(self, ab_schema):
+        r = Relation(ab_schema, [(0, 0)])
+        assert "N=1" in repr(r)

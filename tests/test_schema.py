@@ -1,0 +1,138 @@
+"""Unit tests for repro.relations.schema."""
+
+import pytest
+
+from repro.errors import (
+    ArityError,
+    DomainError,
+    SchemaError,
+    UnknownAttributeError,
+)
+from repro.relations.schema import Attribute, RelationSchema
+
+
+class TestAttribute:
+    def test_unconstrained(self):
+        attr = Attribute("A")
+        assert attr.domain is None
+        assert attr.domain_size is None
+        attr.validate("anything")  # never raises
+
+    def test_finite_domain(self):
+        attr = Attribute("A", frozenset({1, 2, 3}))
+        assert attr.domain_size == 3
+        attr.validate(2)
+        with pytest.raises(DomainError):
+            attr.validate(99)
+
+    def test_domain_coerced_to_frozenset(self):
+        attr = Attribute("A", {1, 2})
+        assert isinstance(attr.domain, frozenset)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("")
+
+    def test_non_string_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute(7)
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("A", frozenset())
+
+    def test_repr_mentions_domain_size(self):
+        assert "|domain|=2" in repr(Attribute("A", {1, 2}))
+        assert repr(Attribute("B")) == "Attribute('B')"
+
+
+class TestRelationSchema:
+    def test_from_names(self):
+        schema = RelationSchema.from_names(["A", "B", "C"])
+        assert schema.names == ("A", "B", "C")
+        assert schema.arity == 3
+        assert len(schema) == 3
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            RelationSchema.from_names(["A", "B", "A"])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema([])
+
+    def test_from_domains_preserves_order(self):
+        schema = RelationSchema.from_domains({"B": [1], "A": [2, 3]})
+        assert schema.names == ("B", "A")
+        assert schema.domain_size("A") == 2
+
+    def test_integer_domains(self):
+        schema = RelationSchema.integer_domains({"A": 3, "B": 2})
+        assert schema.attribute("A").domain == frozenset({0, 1, 2})
+        assert schema.total_domain_size() == 6
+
+    def test_integer_domains_rejects_nonpositive(self):
+        with pytest.raises(SchemaError):
+            RelationSchema.integer_domains({"A": 0})
+
+    def test_index_and_indices(self):
+        schema = RelationSchema.from_names(["A", "B", "C"])
+        assert schema.index("B") == 1
+        assert schema.indices(["C", "A"]) == (2, 0)
+
+    def test_unknown_attribute(self):
+        schema = RelationSchema.from_names(["A"])
+        with pytest.raises(UnknownAttributeError):
+            schema.index("Z")
+        with pytest.raises(UnknownAttributeError):
+            schema.canonical_order(["Z"])
+
+    def test_total_domain_size_none_when_unconstrained(self):
+        schema = RelationSchema.from_names(["A", "B"])
+        assert schema.total_domain_size() is None
+
+    def test_canonical_order(self):
+        schema = RelationSchema.from_names(["A", "B", "C", "D"])
+        assert schema.canonical_order({"D", "B"}) == ("B", "D")
+        assert schema.canonical_order(["C", "A"]) == ("A", "C")
+
+    def test_project_keeps_given_order(self):
+        schema = RelationSchema.from_names(["A", "B", "C"])
+        sub = schema.project(["C", "A"])
+        assert sub.names == ("C", "A")
+
+    def test_validate_row_arity(self):
+        schema = RelationSchema.from_names(["A", "B"])
+        with pytest.raises(ArityError):
+            schema.validate_row((1,))
+
+    def test_validate_row_domain(self):
+        schema = RelationSchema.integer_domains({"A": 2})
+        with pytest.raises(DomainError):
+            schema.validate_row((5,))
+        assert schema.validate_row((1,)) == (1,)
+
+    def test_contains_and_in(self):
+        schema = RelationSchema.from_names(["A", "B"])
+        assert "A" in schema
+        assert "Z" not in schema
+        assert schema.contains(["A", "B"])
+        assert not schema.contains(["A", "Z"])
+
+    def test_equality_and_hash(self):
+        s1 = RelationSchema.from_names(["A", "B"])
+        s2 = RelationSchema.from_names(["A", "B"])
+        s3 = RelationSchema.from_names(["B", "A"])
+        assert s1 == s2
+        assert hash(s1) == hash(s2)
+        assert s1 != s3
+        assert s1 != "not a schema"
+
+    def test_name_set(self):
+        schema = RelationSchema.from_names(["A", "B"])
+        assert schema.name_set == frozenset({"A", "B"})
+
+    def test_iteration_yields_attributes(self):
+        schema = RelationSchema.from_names(["A", "B"])
+        names = [attr.name for attr in schema]
+        assert names == ["A", "B"]

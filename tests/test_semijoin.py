@@ -1,0 +1,111 @@
+"""Unit tests for repro.relations.semijoin (Yannakakis full reducer)."""
+
+import pytest
+
+from repro.core.random_relations import random_relation
+from repro.errors import JoinTreeError
+from repro.jointrees.build import jointree_from_schema
+from repro.relations.join import natural_join_all
+from repro.relations.relation import Relation
+from repro.relations.schema import RelationSchema
+from repro.relations.semijoin import (
+    dangling_counts,
+    full_reduce,
+    is_globally_consistent,
+    projections_for_tree,
+    semijoin,
+)
+
+
+@pytest.fixture()
+def ab_bc():
+    s1 = RelationSchema.integer_domains({"A": 4, "B": 4})
+    s2 = RelationSchema.integer_domains({"B": 4, "C": 4})
+    r1 = Relation(s1, [(0, 0), (1, 1), (2, 2)])
+    r2 = Relation(s2, [(0, 0), (1, 0), (3, 3)])
+    return r1, r2
+
+
+class TestSemijoin:
+    def test_filters_non_matching(self, ab_bc):
+        r1, r2 = ab_bc
+        reduced = semijoin(r1, r2)
+        # B values of r2 are {0, 1, 3}; r1 tuples with B in that set:
+        assert reduced.rows() == frozenset({(0, 0), (1, 1)})
+
+    def test_direction_matters(self, ab_bc):
+        r1, r2 = ab_bc
+        reduced = semijoin(r2, r1)
+        # B values of r1 are {0, 1, 2}.
+        assert reduced.rows() == frozenset({(0, 0), (1, 0)})
+
+    def test_no_shared_attributes(self, rng):
+        r1 = random_relation({"A": 3}, 2, rng)
+        r2 = random_relation({"B": 3}, 2, rng)
+        assert semijoin(r1, r2) is r1
+        empty = Relation.empty(r2.schema)
+        assert semijoin(r1, empty).is_empty()
+
+    def test_idempotent(self, ab_bc):
+        r1, r2 = ab_bc
+        once = semijoin(r1, r2)
+        assert semijoin(once, r2) == once
+
+
+class TestFullReduce:
+    def test_same_relation_projections_are_consistent(self, rng, mvd_tree):
+        r = random_relation({"A": 5, "B": 5, "C": 3}, 20, rng)
+        projections = projections_for_tree(r, mvd_tree)
+        assert is_globally_consistent(projections, mvd_tree)
+        assert all(v == 0 for v in dangling_counts(projections, mvd_tree).values())
+
+    def test_removes_dangling_tuples(self):
+        tree = jointree_from_schema([{"A", "B"}, {"B", "C"}])
+        s1 = RelationSchema.integer_domains({"A": 4, "B": 4})
+        s2 = RelationSchema.integer_domains({"B": 4, "C": 4})
+        r1 = Relation(s1, [(0, 0), (1, 3)])   # (1, 3): B=3 unmatched
+        r2 = Relation(s2, [(0, 0), (2, 2)])   # (2, 2): B=2 unmatched
+        reduced = full_reduce({0: r1, 1: r2}, tree)
+        assert reduced[0].rows() == frozenset({(0, 0)})
+        assert reduced[1].rows() == frozenset({(0, 0)})
+
+    def test_reduced_join_equals_original_join(self, rng):
+        # The reducer never changes the join result.
+        tree = jointree_from_schema([{"A", "B"}, {"B", "C"}, {"C", "D"}])
+        rels = {
+            0: random_relation({"A": 3, "B": 3}, 6, rng),
+            1: random_relation({"B": 3, "C": 3}, 6, rng),
+            2: random_relation({"C": 3, "D": 3}, 6, rng),
+        }
+        reduced = full_reduce(rels, tree)
+        original_join = natural_join_all([rels[k] for k in sorted(rels)])
+        reduced_join = natural_join_all([reduced[k] for k in sorted(reduced)])
+        assert original_join.rows() == reduced_join.reorder(
+            original_join.schema.names
+        ).rows()
+
+    def test_no_dangling_after_reduction(self, rng):
+        # Every surviving tuple participates in at least one join result.
+        tree = jointree_from_schema([{"A", "B"}, {"B", "C"}])
+        rels = {
+            0: random_relation({"A": 4, "B": 4}, 8, rng),
+            1: random_relation({"B": 4, "C": 4}, 8, rng),
+        }
+        reduced = full_reduce(rels, tree)
+        joined = natural_join_all([reduced[0], reduced[1]])
+        for node, relation in reduced.items():
+            bag_order = joined.schema.canonical_order(tree.bag(node))
+            participating = joined.project(bag_order).rows()
+            for row in relation.reorder(bag_order):
+                assert row in participating
+
+    def test_key_mismatch_rejected(self, rng, mvd_tree):
+        r = random_relation({"A": 3, "C": 3}, 4, rng)
+        with pytest.raises(JoinTreeError):
+            full_reduce({0: r}, mvd_tree)
+
+    def test_bag_mismatch_rejected(self, rng, mvd_tree):
+        wrong = random_relation({"A": 3, "B": 3}, 4, rng)
+        ok = random_relation({"B": 3, "C": 3}, 4, rng)
+        with pytest.raises(JoinTreeError):
+            full_reduce({0: wrong, 1: ok}, mvd_tree)

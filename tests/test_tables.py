@@ -1,0 +1,87 @@
+"""Unit tests for repro.datasets.tables (realistic generators)."""
+
+import numpy as np
+import pytest
+
+from repro.core.dependencies import check_fd
+from repro.datasets.tables import orders_table, star_schema_table, zipf_relation
+from repro.errors import SamplingError
+from repro.info.entropy import joint_entropy
+
+
+class TestStarSchemaTable:
+    def test_size_and_schema(self, rng):
+        table = star_schema_table(rng, n_rows=50)
+        assert len(table) == 50
+        assert table.schema.names == ("product", "category", "store", "city")
+
+    def test_planted_fds_hold(self, rng):
+        table = star_schema_table(rng)
+        assert check_fd(table, ["product"], ["category"]).holds
+        assert check_fd(table, ["store"], ["city"]).holds
+
+    def test_too_many_rows_rejected(self, rng):
+        with pytest.raises(SamplingError):
+            star_schema_table(rng, n_rows=1000, n_products=4, n_stores=4)
+
+    def test_invalid_sizes_rejected(self, rng):
+        with pytest.raises(SamplingError):
+            star_schema_table(rng, n_products=0)
+
+
+class TestOrdersTable:
+    def test_planted_fds_hold(self, rng):
+        table = orders_table(rng)
+        assert check_fd(table, ["customer"], ["region"]).holds
+        assert check_fd(table, ["product"], ["category"]).holds
+
+    def test_size(self, rng):
+        assert len(orders_table(rng, n_rows=40)) == 40
+
+    def test_capacity_check(self, rng):
+        with pytest.raises(SamplingError):
+            orders_table(rng, n_rows=10_000)
+
+
+class TestZipfRelation:
+    def test_size_and_domains(self, rng):
+        r = zipf_relation(rng, n_rows=60, d_a=15, d_b=15)
+        assert len(r) == 60
+        assert all(0 <= a < 15 and 0 <= b < 15 for a, b in r)
+
+    def test_skew_lowers_entropy(self):
+        # A heavy-tailed A-marginal has lower entropy than a uniform one
+        # of the same support (on average over seeds).
+        import math
+
+        rng = np.random.default_rng(17)
+        skews = []
+        for _ in range(10):
+            r = zipf_relation(rng, n_rows=80, d_a=20, d_b=20, exponent=2.0)
+            skews.append(math.log(r.active_domain_size("A")) - joint_entropy(r, ["A"]))
+        assert float(np.mean(skews)) > 0.1
+
+    def test_stronger_exponent_more_skew(self):
+        import math
+
+        def mean_deficit(exponent, seed):
+            rng = np.random.default_rng(seed)
+            vals = []
+            for _ in range(10):
+                r = zipf_relation(
+                    rng, n_rows=80, d_a=20, d_b=20, exponent=exponent
+                )
+                vals.append(
+                    math.log(r.active_domain_size("A")) - joint_entropy(r, ["A"])
+                )
+            return float(np.mean(vals))
+
+        assert mean_deficit(2.5, 3) > mean_deficit(1.2, 3)
+
+    def test_invalid(self, rng):
+        with pytest.raises(SamplingError):
+            zipf_relation(rng, exponent=1.0)
+        with pytest.raises(SamplingError):
+            zipf_relation(rng, n_rows=10_000, d_a=10, d_b=10)
+        with pytest.raises(SamplingError):
+            zipf_relation(rng, d_a=0)

@@ -1,0 +1,87 @@
+"""Unit tests for repro.relations.yannakakis (acyclic query evaluation)."""
+
+import pytest
+
+from repro.core.random_relations import random_relation
+from repro.errors import JoinTreeError
+from repro.jointrees.build import jointree_from_schema
+from repro.relations.join import materialized_acyclic_join, natural_join_all
+from repro.relations.yannakakis import (
+    evaluate_acyclic_join,
+    evaluate_decomposition,
+)
+
+
+@pytest.fixture()
+def chain_instance(rng):
+    tree = jointree_from_schema([{"A", "B"}, {"B", "C"}, {"C", "D"}])
+    relations = {
+        0: random_relation({"A": 4, "B": 4}, 8, rng),
+        1: random_relation({"B": 4, "C": 4}, 8, rng),
+        2: random_relation({"C": 4, "D": 4}, 8, rng),
+    }
+    return tree, relations
+
+
+class TestEvaluateAcyclicJoin:
+    def test_matches_naive_join(self, chain_instance):
+        tree, relations = chain_instance
+        result = evaluate_acyclic_join(relations, tree)
+        naive = natural_join_all([relations[k] for k in sorted(relations)])
+        assert result.reorder(naive.schema.names).rows() == naive.rows()
+
+    def test_projection_output(self, chain_instance):
+        tree, relations = chain_instance
+        result = evaluate_acyclic_join(relations, tree, output=["A", "D"])
+        naive = natural_join_all([relations[k] for k in sorted(relations)])
+        expected = naive.project(naive.schema.canonical_order({"A", "D"}))
+        assert result.rows() == expected.rows()
+
+    def test_unknown_output_rejected(self, chain_instance):
+        tree, relations = chain_instance
+        with pytest.raises(JoinTreeError):
+            evaluate_acyclic_join(relations, tree, output=["Z"])
+
+    def test_empty_operand_empty_result(self, rng):
+        from repro.relations.relation import Relation
+        from repro.relations.schema import RelationSchema
+
+        tree = jointree_from_schema([{"A", "B"}, {"B", "C"}])
+        relations = {
+            0: random_relation({"A": 3, "B": 3}, 5, rng),
+            1: Relation.empty(RelationSchema.integer_domains({"B": 3, "C": 3})),
+        }
+        assert evaluate_acyclic_join(relations, tree).is_empty()
+
+    def test_star_schema(self, rng):
+        tree = jointree_from_schema([{"X", "A"}, {"X", "B"}, {"X", "C"}])
+        relations = {
+            0: random_relation({"X": 3, "A": 3}, 6, rng),
+            1: random_relation({"X": 3, "B": 3}, 6, rng),
+            2: random_relation({"X": 3, "C": 3}, 6, rng),
+        }
+        result = evaluate_acyclic_join(relations, tree)
+        naive = natural_join_all([relations[k] for k in sorted(relations)])
+        assert result.reorder(naive.schema.names).rows() == naive.rows()
+
+
+class TestEvaluateDecomposition:
+    def test_matches_materialized_join(self, rng, mvd_tree):
+        r = random_relation({"A": 5, "B": 5, "C": 3}, 15, rng)
+        via_yannakakis = evaluate_decomposition(r, mvd_tree)
+        via_materialized = materialized_acyclic_join(r, mvd_tree)
+        assert (
+            via_yannakakis.reorder(via_materialized.schema.names).rows()
+            == via_materialized.rows()
+        )
+
+    def test_contains_original(self, rng, mvd_tree):
+        r = random_relation({"A": 5, "B": 5, "C": 3}, 15, rng)
+        result = evaluate_decomposition(r, mvd_tree)
+        aligned = result.reorder(r.schema.names)
+        assert r.rows() <= aligned.rows()
+
+    def test_projection(self, rng, mvd_tree):
+        r = random_relation({"A": 5, "B": 5, "C": 3}, 15, rng)
+        result = evaluate_decomposition(r, mvd_tree, output=["A", "B"])
+        assert set(result.schema.names) == {"A", "B"}
