@@ -1,0 +1,26 @@
+# Developer entry points.  The repo is pure-Python (src layout); nothing
+# needs building — targets just wire up PYTHONPATH consistently.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench bench-baseline lint
+
+## tier-1 suite (tests only; benchmarks are opt-in via `make bench`)
+test:
+	$(PYTHON) -m pytest tests -x -q
+
+## full benchmark suite with comparison columns
+bench:
+	$(PYTHON) -m pytest benchmarks -q --benchmark-columns=mean,ops
+
+## record the entropy-engine baseline JSON (see docs/performance.md)
+bench-baseline:
+	$(PYTHON) -m pytest benchmarks/test_bench_entropy_engine.py -q \
+		--benchmark-json=BENCH_entropy_engine.json
+
+## byte-compile + import smoke check (no third-party linter is vendored
+## in the runtime image; swap in ruff/flake8 here when available)
+lint:
+	$(PYTHON) -m compileall -q src tests benchmarks examples
+	$(PYTHON) -c "import repro, repro.info, repro.relations, repro.discovery"

@@ -1,0 +1,85 @@
+"""Bench E11 — the columnar store and memoizing entropy engine.
+
+Measures the three claims of the columnar backend:
+
+* **cold vs warm** — a cold entropy query pays one mixed-radix pack +
+  group count over the code columns; a warm (memoized) query is a dict
+  hit, orders of magnitude cheaper;
+* **columnar vs legacy** — ``projection_counts`` via the column store vs
+  the row-at-a-time ``Counter`` reference (``projection_counts_naive``);
+* **engine CMI** — a four-entropy CMI with all terms memoized.
+
+Record a baseline with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_entropy_engine.py \
+        --benchmark-json=BENCH_entropy_engine.json
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.random_relations import random_relation
+from repro.info.engine import EntropyEngine
+
+N_ROWS = 100_000
+SIZES = {"A": 128, "B": 64, "C": 16, "D": 8}
+
+
+@pytest.fixture(scope="module")
+def relation():
+    return random_relation(SIZES, N_ROWS, np.random.default_rng(911))
+
+
+def test_bench_entropy_cold(benchmark, relation):
+    """Un-memoized H(A,B): clear caches each round, pay the full group-by."""
+
+    def run():
+        relation.columns().clear_cache()
+        return EntropyEngine(relation).entropy(["A", "B"])
+
+    value = benchmark(run)
+    assert value > 0
+
+
+def test_bench_entropy_warm(benchmark, relation):
+    """Memoized H(A,B): dict hit on the shared engine."""
+    engine = EntropyEngine.for_relation(relation)
+    engine.entropy(["A", "B"])  # prime
+    value = benchmark(engine.entropy, ["A", "B"])
+    assert value > 0
+
+
+def test_bench_cmi_warm(benchmark, relation):
+    """I(A;B|C) with all four entropies memoized."""
+    engine = EntropyEngine.for_relation(relation)
+    engine.cmi(["A"], ["B"], ["C"])  # prime
+    value = benchmark(engine.cmi, ["A"], ["B"], ["C"])
+    assert value >= 0
+
+
+def test_bench_projection_counts_columnar(benchmark, relation):
+    """Counter-of-tuples via the column store (vectorized group-by)."""
+
+    def run():
+        relation.columns().clear_cache()
+        return relation.projection_counts(["A", "B"])
+
+    counts = benchmark(run)
+    assert sum(counts.values()) == len(relation)
+
+
+def test_bench_projection_counts_legacy(benchmark, relation):
+    """The row-at-a-time Counter reference path, for comparison."""
+    counts = benchmark(relation.projection_counts_naive, ["A", "B"])
+    assert sum(counts.values()) == len(relation)
+
+
+def test_bench_projection_count_values(benchmark, relation):
+    """Counts-only hot path (no tuple decoding), cold each round."""
+
+    def run():
+        relation.columns().clear_cache()
+        return relation.projection_count_values(["A", "B"])
+
+    counts = benchmark(run)
+    assert int(counts.sum()) == len(relation)

@@ -57,3 +57,28 @@ def test_bench_estimator_bias_ablation(benchmark, count_vectors):
     # Both corrections reduce the plug-in's negative bias.
     assert abs(result["miller_madow"]) < result["plug_in"]
     assert abs(result["jackknife"]) < result["plug_in"]
+
+
+# ----------------------------------------------------------------------
+# Scale tier: estimator kernels on a large count vector (d_A = 1024
+# marginal of an η = 131 072-row random relation).
+# ----------------------------------------------------------------------
+D_LARGE = 1024
+ETA_LARGE = 131_072
+
+
+@pytest.fixture(scope="module")
+def large_counts():
+    rng = np.random.default_rng(71)
+    relation = random_relation({"A": D_LARGE, "B": 512}, ETA_LARGE, rng)
+    return np.asarray(
+        sorted(relation.projection_counts(["A"]).values()), dtype=np.int64
+    )
+
+
+@pytest.mark.parametrize(
+    "estimator", [plug_in, miller_madow, jackknife], ids=lambda f: f.__name__
+)
+def test_bench_estimator_large(benchmark, large_counts, estimator):
+    value = benchmark(estimator, large_counts)
+    assert 0 < value <= math.log(D_LARGE) + 0.1

@@ -433,9 +433,11 @@ def schema_upper_bound(
     """
     from repro.core.jmeasure import j_measure, support_cmis
     from repro.core.loss import spurious_loss
+    from repro.info.engine import EntropyEngine
 
     _validate_delta(delta)
-    cmis = support_cmis(relation, jointree, root=root)
+    engine = EntropyEngine.for_relation(relation)
+    cmis = support_cmis(relation, jointree, root=root, engine=engine)
     m_minus_1 = len(cmis)
     if m_minus_1 == 0:
         actual = math.log1p(spurious_loss(relation, jointree))
@@ -461,7 +463,7 @@ def schema_upper_bound(
         epsilons.append(eps.value)
         conditions.append(eps.condition_holds)
     cmi_sum = sum(term.cmi for term in cmis)
-    j_value = j_measure(relation, jointree)
+    j_value = j_measure(relation, jointree, engine=engine)
     actual = math.log1p(spurious_loss(relation, jointree))
     return SchemaUpperBound(
         cmi_sum_bound=cmi_sum + sum(epsilons),
@@ -475,8 +477,7 @@ def schema_upper_bound(
 def _projection_size(relation: Relation, attrs: frozenset[str]) -> int:
     if not attrs:
         return 1
-    ordered = relation.schema.canonical_order(attrs)
-    return len(relation.project(ordered))
+    return relation.projection_size(attrs)
 
 
 def _validate_sizes(**sizes: int) -> None:

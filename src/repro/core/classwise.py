@@ -132,8 +132,8 @@ def classwise_decomposition(
             f"MVD groups must cover the relation; missing {sorted(missing)}"
         )
     n_total = len(relation)
-    d_a = len(relation.project(relation.schema.canonical_order(left_attrs)))
-    d_b = len(relation.project(relation.schema.canonical_order(right_attrs)))
+    d_a = relation.projection_size(left_attrs)
+    d_b = relation.projection_size(right_attrs)
 
     values = sorted(relation.active_domain(condition), key=repr)
     d_c = len(values)

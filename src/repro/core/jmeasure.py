@@ -23,7 +23,8 @@ from repro.info.divergence import (
     conditional_mutual_information,
     kl_divergence_to_callable,
 )
-from repro.info.entropy import joint_entropy, relation_entropy
+from repro.info.engine import EntropyEngine
+from repro.info.entropy import relation_entropy
 from repro.info.factorization import junction_tree_factorization
 from repro.jointrees.jointree import JoinTree
 from repro.relations.relation import Relation
@@ -40,21 +41,30 @@ def _require_cover(relation: Relation, jointree: JoinTree) -> None:
 
 
 def j_measure(
-    relation: Relation, jointree: JoinTree, *, base: float | None = None
+    relation: Relation,
+    jointree: JoinTree,
+    *,
+    base: float | None = None,
+    engine: EntropyEngine | None = None,
 ) -> float:
     """``J(T)`` by the entropy formula (Eq. 7), over the empirical distribution.
 
     Empty separators contribute ``H(∅) = 0``.  The result is clamped at 0
     (``J ≥ 0`` always holds; tiny negative values are floating-point
-    noise).
+    noise).  All entropies come from the relation's memoizing
+    :class:`~repro.info.engine.EntropyEngine` (or the supplied ``engine``),
+    so evaluating many candidate trees over one relation — the discovery
+    searches — shares one entropy cache.
     """
     _require_cover(relation, jointree)
+    if engine is None:
+        engine = EntropyEngine.for_relation(relation)
     total = -relation_entropy(relation)
     for node in jointree.node_ids():
-        total += joint_entropy(relation, jointree.bag(node))
+        total += engine.entropy(jointree.bag(node))
     for separator in jointree.separators():
         if separator:
-            total -= joint_entropy(relation, separator)
+            total -= engine.entropy(separator)
     total = max(total, 0.0)
     if base is not None:
         total /= math.log(base)
@@ -111,13 +121,21 @@ def support_cmis(
     *,
     root: int | None = None,
     base: float | None = None,
+    engine: EntropyEngine | None = None,
 ) -> tuple[SupportCMI, ...]:
     """The ``m − 1`` conditional mutual informations of Theorem 2.2."""
     _require_cover(relation, jointree)
+    if engine is None:
+        engine = EntropyEngine.for_relation(relation)
     out = []
     for split in jointree.rooted_splits(root):
         cmi = conditional_mutual_information(
-            relation, split.prefix, split.suffix, split.separator, base=base
+            relation,
+            split.prefix,
+            split.suffix,
+            split.separator,
+            base=base,
+            engine=engine,
         )
         out.append(
             SupportCMI(
@@ -154,8 +172,14 @@ def sandwich_bounds(
     base: float | None = None,
 ) -> SandwichBounds:
     """Evaluate both sides of Theorem 2.2 together with ``J(T)``."""
-    cmis = [term.cmi for term in support_cmis(relation, jointree, root=root, base=base)]
-    j_value = j_measure(relation, jointree, base=base)
+    engine = EntropyEngine.for_relation(relation)
+    cmis = [
+        term.cmi
+        for term in support_cmis(
+            relation, jointree, root=root, base=base, engine=engine
+        )
+    ]
+    j_value = j_measure(relation, jointree, base=base, engine=engine)
     if not cmis:  # single-node tree: J = 0 with no support terms
         return SandwichBounds(lower=0.0, j_value=j_value, upper=0.0)
     return SandwichBounds(lower=max(cmis), j_value=j_value, upper=sum(cmis))

@@ -138,7 +138,7 @@ def random_relation(
     indices = _sample_distinct_indices(total, n, rng, method=method)
     cells = decode_cells(indices, dims)
     schema = RelationSchema.integer_domains(dict(zip(names, dims)))
-    return Relation(schema, (tuple(row) for row in cells.tolist()), validate=False)
+    return Relation.from_codes(schema, cells, distinct=True)
 
 
 def random_mvd_relation(

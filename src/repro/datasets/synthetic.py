@@ -71,13 +71,17 @@ def planted_mvd_relation(
     size_b = max(1, d_b // 2) if group_size_b is None else group_size_b
     if not 1 <= size_a <= d_a or not 1 <= size_b <= d_b:
         raise SamplingError("group sizes must fit inside the domains")
-    rows = []
+    blocks = []
     for c in range(d_c):
         sa = rng.choice(d_a, size=size_a, replace=False)
         sb = rng.choice(d_b, size=size_b, replace=False)
-        rows.extend((int(a), int(b), c) for a in sa for b in sb)
+        block = np.empty((size_a * size_b, 3), dtype=np.int64)
+        block[:, 0] = np.repeat(sa, size_b)
+        block[:, 1] = np.tile(sb, size_a)
+        block[:, 2] = c
+        blocks.append(block)
     schema = RelationSchema.integer_domains({"A": d_a, "B": d_b, "C": d_c})
-    return Relation(schema, rows, validate=False)
+    return Relation.from_codes(schema, np.concatenate(blocks), distinct=True)
 
 
 def lossless_instance(

@@ -17,6 +17,7 @@ from collections.abc import Iterator, Sequence
 
 from repro.errors import DiscoveryError
 from repro.info.divergence import conditional_mutual_information
+from repro.info.engine import EntropyEngine
 from repro.relations.relation import Relation
 
 
@@ -60,6 +61,8 @@ def greedy_partition(
     relation: Relation,
     attributes: Sequence[str],
     separator: frozenset[str],
+    *,
+    engine: EntropyEngine | None = None,
 ) -> tuple[frozenset[str], frozenset[str]]:
     """Heuristic partition minimizing ``I(Y; Z | X)`` for larger sets.
 
@@ -67,17 +70,20 @@ def greedy_partition(
     the separator) and grows ``Y`` from the most strongly tied pair:
     attributes whose maximum tie to ``Y`` exceeds their maximum tie to the
     rest join ``Y``.  One local-improvement sweep then tries single moves.
+    All CMIs share one memoizing entropy engine.
     """
     items = sorted(attributes)
     if len(items) < 2:
         raise DiscoveryError("greedy partition needs at least two attributes")
     if len(items) == 2:
         return frozenset({items[0]}), frozenset({items[1]})
+    if engine is None:
+        engine = EntropyEngine.for_relation(relation)
 
     pair_cmi: dict[tuple[str, str], float] = {}
     for a, b in itertools.combinations(items, 2):
         pair_cmi[(a, b)] = conditional_mutual_information(
-            relation, [a], [b], separator
+            relation, [a], [b], separator, engine=engine
         )
 
     def tie(a: str, b: str) -> float:
@@ -104,7 +110,7 @@ def greedy_partition(
                 moved = True
 
     def cost(y: set[str], z: set[str]) -> float:
-        return conditional_mutual_information(relation, y, z, separator)
+        return conditional_mutual_information(relation, y, z, separator, engine=engine)
 
     best = (frozenset(left), frozenset(right))
     best_cost = cost(left, right)

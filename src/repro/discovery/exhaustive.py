@@ -95,7 +95,10 @@ def mine_exhaustive(
     """
     if relation.is_empty():
         raise DiscoveryError("cannot mine a schema from an empty relation")
+    from repro.info.engine import EntropyEngine
+
     attrs = relation.schema.name_set
+    engine = EntropyEngine.for_relation(relation)
 
     best_tree = None
     best_key: tuple[float, float] | None = None
@@ -107,7 +110,7 @@ def mine_exhaustive(
             continue
         seen.add(schema)
         tree = jointree_from_schema(schema)
-        j_value = j_measure(relation, tree)
+        j_value = j_measure(relation, tree, engine=engine)
         if j_value > threshold:
             continue
         key = (-float(len(schema)), j_value)
@@ -122,7 +125,7 @@ def mine_exhaustive(
     return MinedSchema(
         jointree=best_tree,
         bags=frozenset(best_tree.schema()),
-        j_value=j_measure(relation, best_tree),
+        j_value=j_measure(relation, best_tree, engine=engine),
         rho=spurious_loss(relation, best_tree),
         splits=(),
     )

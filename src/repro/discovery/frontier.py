@@ -64,6 +64,9 @@ def schema_frontier(
     """
     if relation.is_empty():
         raise DiscoveryError("cannot profile an empty relation")
+    from repro.info.engine import EntropyEngine
+
+    engine = EntropyEngine.for_relation(relation)
     points = []
     for schema in hierarchical_schemas(
         relation.schema.name_set, max_separator_size=max_separator_size
@@ -74,7 +77,7 @@ def schema_frontier(
                 bags=schema,
                 num_bags=len(schema),
                 compression=compression_ratio(relation, tree),
-                j_value=j_measure(relation, tree),
+                j_value=j_measure(relation, tree, engine=engine),
                 rho=spurious_loss(relation, tree) if compute_rho else float("nan"),
             )
         )

@@ -34,6 +34,7 @@ from repro.discovery.candidates import (
 )
 from repro.errors import DiscoveryError
 from repro.info.divergence import conditional_mutual_information
+from repro.info.engine import EntropyEngine
 from repro.jointrees.build import jointree_from_schema
 from repro.jointrees.jointree import JoinTree
 from repro.relations.relation import Relation
@@ -80,15 +81,21 @@ def best_split(
     *,
     max_separator_size: int = 2,
     exact_partition_limit: int = 10,
+    engine: EntropyEngine | None = None,
 ) -> MVDSplit | None:
     """The lowest-CMI split of ``attributes``, or ``None`` if unsplittable.
 
     Searches every separator up to the size cap; for each, partitions the
     remainder exactly (small remainders) or greedily.  Ties break toward
-    smaller separators, then lexicographically, for determinism.
+    smaller separators, then lexicographically, for determinism.  All CMIs
+    are served by one memoizing entropy engine (the relation's shared one
+    unless ``engine`` is given), so the four-entropy expansions of
+    overlapping candidate splits are each computed once.
     """
     if len(attributes) < 2:
         return None
+    if engine is None:
+        engine = EntropyEngine.for_relation(relation)
     best: MVDSplit | None = None
     for separator in candidate_separators(sorted(attributes), max_separator_size):
         rest = attributes - separator
@@ -97,9 +104,13 @@ def best_split(
         if len(rest) <= exact_partition_limit:
             partitions = binary_partitions(sorted(rest))
         else:
-            partitions = [greedy_partition(relation, sorted(rest), separator)]
+            partitions = [
+                greedy_partition(relation, sorted(rest), separator, engine=engine)
+            ]
         for left, right in partitions:
-            cmi = conditional_mutual_information(relation, left, right, separator)
+            cmi = conditional_mutual_information(
+                relation, left, right, separator, engine=engine
+            )
             candidate = MVDSplit(separator, left, right, cmi)
             if best is None or _prefer(candidate, best):
                 best = candidate
@@ -166,6 +177,7 @@ def mine_jointree(
     from repro.jointrees.gyo import is_acyclic
 
     accepted: list[MVDSplit] = []
+    engine = EntropyEngine.for_relation(relation)
 
     def decompose(attrs: frozenset[str]) -> list[frozenset[str]]:
         split = (
@@ -174,6 +186,7 @@ def mine_jointree(
                 attrs,
                 max_separator_size=max_separator_size,
                 exact_partition_limit=exact_partition_limit,
+                engine=engine,
             )
             if len(attrs) > 2
             else None
@@ -206,7 +219,7 @@ def mine_jointree(
             seen.add(bag)
             schema.append(bag)
     tree = jointree_from_schema(schema)
-    j_value = j_measure(relation, tree)
+    j_value = j_measure(relation, tree, engine=engine)
     rho = spurious_loss(relation, tree) if compute_loss else math.nan
     return MinedSchema(
         jointree=tree,

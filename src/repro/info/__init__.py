@@ -1,6 +1,7 @@
 """Information-theory substrate: distributions, entropies, divergences."""
 
 from repro.info.distribution import EmpiricalDistribution
+from repro.info.engine import EntropyEngine
 from repro.info.divergence import (
     conditional_mutual_information,
     distribution_conditional_mutual_information,
@@ -36,6 +37,7 @@ from repro.info.functional import (
 
 __all__ = [
     "EmpiricalDistribution",
+    "EntropyEngine",
     "FactorizedDistribution",
     "conditional_entropy",
     "conditional_mutual_information",

@@ -18,7 +18,7 @@ from collections.abc import Iterable
 
 from repro.errors import DistributionError
 from repro.info.distribution import EmpiricalDistribution
-from repro.info.entropy import joint_entropy
+from repro.info.engine import EntropyEngine
 from repro.relations.relation import Relation
 
 
@@ -80,9 +80,12 @@ def mutual_information(
     right: Iterable[str],
     *,
     base: float | None = None,
+    engine: EntropyEngine | None = None,
 ) -> float:
     """``I(left; right)`` under the empirical distribution of ``relation``."""
-    return conditional_mutual_information(relation, left, right, (), base=base)
+    return conditional_mutual_information(
+        relation, left, right, (), base=base, engine=engine
+    )
 
 
 def conditional_mutual_information(
@@ -92,6 +95,7 @@ def conditional_mutual_information(
     given: Iterable[str],
     *,
     base: float | None = None,
+    engine: EntropyEngine | None = None,
 ) -> float:
     """``I(left; right | given)`` via the four-entropy formula (Eq. 4).
 
@@ -99,22 +103,15 @@ def conditional_mutual_information(
     overlapping prefix/suffix unions); overlapping parts contribute their
     conditional entropy.  With empty ``given`` this is the plain mutual
     information.  Clamped at zero.
-    """
-    left = set(left)
-    right = set(right)
-    given = set(given)
-    if not left or not right:
-        raise DistributionError("mutual information needs non-empty sides")
 
-    h_c = joint_entropy(relation, given) if given else 0.0
-    h_ac = joint_entropy(relation, left | given)
-    h_bc = joint_entropy(relation, right | given)
-    h_abc = joint_entropy(relation, left | right | given)
-    value = h_bc + h_ac - h_abc - h_c
-    value = max(value, 0.0)
-    if base is not None:
-        value /= math.log(base)
-    return value
+    The four entropies are served by the relation's memoizing
+    :class:`~repro.info.engine.EntropyEngine` (or the explicitly supplied
+    ``engine``), so repeated CMI queries over overlapping subsets — the
+    discovery miner's hot path — share one entropy cache.
+    """
+    if engine is None:
+        engine = EntropyEngine.for_relation(relation)
+    return engine.cmi(left, right, given, base=base)
 
 
 def distribution_conditional_mutual_information(

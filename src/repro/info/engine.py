@@ -1,0 +1,181 @@
+"""Memoizing entropy engine: one relation, one cache, all of ``H``/CMI.
+
+Every quantity the paper computes — joint entropies ``H(Y)``, the CMIs
+``I(Y;Z|X)`` that drive MVD mining, and the J-measure assembled from both —
+reduces to projection multiplicity counts of a *single* relation instance.
+:class:`EntropyEngine` wraps one relation and memoizes ``H(Y)`` (in nats)
+per canonical attribute-subset key, so a lattice search that revisits
+overlapping subsets (the discovery miner evaluates thousands of CMIs whose
+four-entropy expansions share terms) computes each distinct entropy once,
+from the relation's vectorized columnar counts.
+
+Cache keying and invalidation
+-----------------------------
+Keys are the attribute subsets in the *relation schema's canonical order*
+(``schema.canonical_order``), so every spelling of the same set hits the
+same entry.  Relations are immutable, hence the memo is never invalidated:
+derived relations (projections, selections, unions) are new objects with
+fresh engines.  Use :meth:`EntropyEngine.for_relation` to get the engine
+cached *on* the relation, which is how the discovery, core, and info
+layers all end up sharing one cache per relation instance.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.errors import DistributionError
+from repro.relations.relation import Relation
+
+
+def _convert(value_nats: float, base: float | None) -> float:
+    if base is None:
+        return value_nats
+    if base <= 0 or base == 1.0:
+        raise DistributionError(f"log base must be positive and != 1, got {base}")
+    return value_nats / math.log(base)
+
+
+class EntropyEngine:
+    """Vectorized, memoizing empirical-entropy oracle for one relation.
+
+    All entropies are plug-in (maximum-likelihood) entropies of the
+    relation's empirical distribution, in nats unless ``base`` is given —
+    exactly the quantities of Section 2.2 of the paper.
+
+    Examples
+    --------
+    >>> from repro.relations.schema import RelationSchema
+    >>> schema = RelationSchema.from_names(["A", "B"])
+    >>> r = Relation(schema, [(0, 0), (0, 1), (1, 0), (1, 1)])
+    >>> engine = EntropyEngine.for_relation(r)
+    >>> round(engine.entropy(["A"], base=2), 6)
+    1.0
+    >>> engine.cmi(["A"], ["B"])  # independent: I(A;B) = 0
+    0.0
+    """
+
+    __slots__ = ("_cache", "_log_n", "_n", "_relation")
+
+    def __init__(self, relation: Relation) -> None:
+        self._relation = relation
+        self._cache: dict[tuple[str, ...], float] = {}
+        self._n = len(relation)
+        self._log_n = math.log(self._n) if self._n else None
+
+    @classmethod
+    def for_relation(cls, relation: Relation) -> "EntropyEngine":
+        """The engine cached on ``relation`` (created on first use).
+
+        All library call sites route through this accessor, so any mix of
+        ``joint_entropy`` / CMI / J-measure / miner calls against the same
+        relation instance shares a single memo.
+        """
+        engine = relation._engine
+        if engine is None:
+            engine = cls(relation)
+            relation._engine = engine
+        return engine
+
+    @property
+    def relation(self) -> Relation:
+        """The wrapped relation."""
+        return self._relation
+
+    def key(self, attributes: Iterable[str]) -> tuple[str, ...]:
+        """Canonical cache key for an attribute subset (schema order)."""
+        return self._relation.schema.canonical_order(attributes)
+
+    def cache_size(self) -> int:
+        """Number of memoized entropy entries."""
+        return len(self._cache)
+
+    # ------------------------------------------------------------------
+    # Entropies
+    # ------------------------------------------------------------------
+    def _entropy_nats(self, key: tuple[str, ...]) -> float:
+        """``H(key)`` in nats; ``key`` must already be canonical."""
+        if not key:
+            return 0.0  # H(∅) = 0 (the empty-separator convention)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        if self._log_n is None:
+            raise DistributionError("entropy over an empty relation is undefined")
+        counts = self._relation.projection_count_values(key)
+        c = counts.astype(np.float64, copy=False)
+        value = max(self._log_n - float(c @ np.log(c)) / self._n, 0.0)
+        self._cache[key] = value
+        return value
+
+    def entropy(
+        self, attributes: Iterable[str], *, base: float | None = None
+    ) -> float:
+        """``H(attributes)`` under the relation's empirical distribution.
+
+        The empty set yields ``H(∅) = 0``; unknown attribute names raise
+        :class:`~repro.errors.UnknownAttributeError`.
+        """
+        return _convert(self._entropy_nats(self.key(attributes)), base)
+
+    def entropies(
+        self,
+        subsets: Iterable[Iterable[str]],
+        *,
+        base: float | None = None,
+    ) -> list[float]:
+        """Batched :meth:`entropy` over several attribute subsets."""
+        return [self.entropy(subset, base=base) for subset in subsets]
+
+    def conditional_entropy(
+        self,
+        targets: Iterable[str],
+        given: Iterable[str] = (),
+        *,
+        base: float | None = None,
+    ) -> float:
+        """``H(targets | given) = H(targets ∪ given) − H(given)`` (clamped)."""
+        target_key = self.key(targets)
+        given_key = self.key(given)
+        joint = self._entropy_nats(self.key(set(target_key) | set(given_key)))
+        if not given_key:
+            return _convert(joint, base)
+        return _convert(max(joint - self._entropy_nats(given_key), 0.0), base)
+
+    def cmi(
+        self,
+        left: Iterable[str],
+        right: Iterable[str],
+        given: Iterable[str] = (),
+        *,
+        base: float | None = None,
+    ) -> float:
+        """``I(left; right | given)`` via the four-entropy formula (Eq. 4).
+
+        The sides may overlap (Theorem 2.2 applies the measure to
+        overlapping prefix/suffix unions); with empty ``given`` this is
+        the plain mutual information.  Clamped at zero.
+        """
+        left = set(left)
+        right = set(right)
+        given = set(given)
+        if not left or not right:
+            raise DistributionError("mutual information needs non-empty sides")
+        h_c = self._entropy_nats(self.key(given)) if given else 0.0
+        h_ac = self._entropy_nats(self.key(left | given))
+        h_bc = self._entropy_nats(self.key(right | given))
+        h_abc = self._entropy_nats(self.key(left | right | given))
+        return _convert(max(h_bc + h_ac - h_abc - h_c, 0.0), base)
+
+    def mutual_information(
+        self,
+        left: Iterable[str],
+        right: Iterable[str],
+        *,
+        base: float | None = None,
+    ) -> float:
+        """``I(left; right)`` — :meth:`cmi` with an empty separator."""
+        return self.cmi(left, right, (), base=base)

@@ -9,6 +9,12 @@ where the sum runs over the distinct values of the projection.  This module
 computes that directly from multiplicity counts, avoiding the construction
 of explicit probability dictionaries on hot paths.
 
+Count/probability vectors are handled array-first: ndarray inputs are used
+as-is (zeros masked with boolean indexing, no Python-level comprehension),
+and relation-level entropies are answered by the relation's memoizing
+:class:`~repro.info.engine.EntropyEngine` over its columnar counts, so
+repeated queries for overlapping attribute subsets are computed once.
+
 All functions return **nats** by default; pass ``base=2`` for bits.
 """
 
@@ -19,7 +25,8 @@ from collections.abc import Iterable
 
 import numpy as np
 
-from repro.errors import DistributionError
+from repro.errors import DistributionError, UnknownAttributeError
+from repro.info.engine import EntropyEngine
 from repro.relations.relation import Relation
 
 
@@ -31,36 +38,60 @@ def _convert(value_nats: float, base: float | None) -> float:
     return value_nats / math.log(base)
 
 
+def _as_float_array(values: Iterable[float]) -> np.ndarray:
+    """Coerce counts/probs to a float64 ndarray without a Python loop."""
+    if isinstance(values, np.ndarray):
+        return values.astype(np.float64, copy=False)
+    if not isinstance(values, (list, tuple)):
+        values = list(values)
+    return np.asarray(values, dtype=np.float64)
+
+
 def entropy_of_counts(counts: Iterable[int], *, base: float | None = None) -> float:
     """Entropy of the empirical distribution given value multiplicities.
 
     ``counts`` are the multiplicities of each distinct value; they need not
-    be normalized.  Zero counts are ignored.
+    be normalized.  Zero counts are ignored.  Accepts any iterable, and
+    ndarrays directly (zeros are masked with boolean indexing — no
+    per-element Python comprehension).
 
     Examples
     --------
     >>> round(entropy_of_counts([1, 1, 1, 1], base=2), 6)
     2.0
+    >>> import numpy as np
+    >>> round(entropy_of_counts(np.array([2, 0, 2])), 6) == round(math.log(2), 6)
+    True
     """
-    arr = np.asarray([c for c in counts if c], dtype=np.float64)
+    arr = _as_float_array(counts)
+    if arr.size:
+        lo = float(arr.min())
+        if lo < 0:
+            raise DistributionError("counts must be non-negative")
+        if lo == 0.0:
+            arr = arr[arr != 0.0]
     if arr.size == 0:
         raise DistributionError("entropy of an empty count vector is undefined")
-    if np.any(arr < 0):
-        raise DistributionError("counts must be non-negative")
     total = float(arr.sum())
-    h = math.log(total) - float((arr * np.log(arr)).sum()) / total
+    h = math.log(total) - float(arr @ np.log(arr)) / total
     return _convert(max(h, 0.0), base)
 
 
 def entropy_of_probs(probs: Iterable[float], *, base: float | None = None) -> float:
-    """Entropy of an explicit probability vector (must sum to 1)."""
-    arr = np.asarray([p for p in probs if p > 0.0], dtype=np.float64)
+    """Entropy of an explicit probability vector (must sum to 1).
+
+    Accepts ndarrays directly; non-positive entries are masked out with
+    boolean indexing before the sum-to-one check, matching the historical
+    behaviour of the list-comprehension implementation.
+    """
+    arr = _as_float_array(probs)
+    arr = arr[arr > 0.0]
     if arr.size == 0:
         raise DistributionError("entropy of an empty distribution is undefined")
     total = float(arr.sum())
     if abs(total - 1.0) > 1e-6:
         raise DistributionError(f"probabilities sum to {total}, expected 1")
-    h = -float((arr * np.log(arr)).sum())
+    h = -float(arr @ np.log(arr))
     return _convert(max(h, 0.0), base)
 
 
@@ -69,17 +100,25 @@ def joint_entropy(
     attributes: Iterable[str],
     *,
     base: float | None = None,
+    engine: EntropyEngine | None = None,
 ) -> float:
     """``H(attributes)`` under the empirical distribution of ``relation``.
 
     This is the joint entropy of the (possibly multi-attribute) projection,
-    computed from projection multiplicities.  For the full attribute set it
-    equals ``log N`` because a relation instance is a set.
+    computed from columnar projection multiplicities and memoized per
+    attribute subset on the relation's shared
+    :class:`~repro.info.engine.EntropyEngine` (pass ``engine`` to reuse an
+    explicit one).  For the full attribute set it equals ``log N`` because
+    a relation instance is a set.
     """
     if relation.is_empty():
         raise DistributionError("entropy over an empty relation is undefined")
-    counts = relation.projection_counts(attributes)
-    return entropy_of_counts(counts.values(), base=base)
+    if engine is None:
+        engine = EntropyEngine.for_relation(relation)
+    key = engine.key(attributes)
+    if not key:
+        raise UnknownAttributeError("projection onto the empty attribute set")
+    return engine.entropy(key, base=base)
 
 
 def relation_entropy(relation: Relation, *, base: float | None = None) -> float:
@@ -95,6 +134,7 @@ def conditional_entropy(
     given: Iterable[str],
     *,
     base: float | None = None,
+    engine: EntropyEngine | None = None,
 ) -> float:
     """``H(targets | given) = H(targets ∪ given) − H(given)``.
 
@@ -102,10 +142,12 @@ def conditional_entropy(
     """
     targets = tuple(targets)
     given = tuple(given)
-    joint = joint_entropy(relation, set(targets) | set(given), base=base)
+    if engine is None:
+        engine = EntropyEngine.for_relation(relation)
+    joint = joint_entropy(relation, set(targets) | set(given), base=base, engine=engine)
     if not given:
         return joint
-    return max(joint - joint_entropy(relation, given, base=base), 0.0)
+    return max(joint - joint_entropy(relation, given, base=base, engine=engine), 0.0)
 
 
 def max_entropy(support_size: int, *, base: float | None = None) -> float:

@@ -26,11 +26,21 @@ from repro.relations.relation import Relation
 
 
 def _counts_array(counts: Iterable[int]) -> np.ndarray:
-    arr = np.asarray([c for c in counts if c], dtype=np.int64)
+    """Coerce counts to a positive int64 ndarray (zeros masked, no loop)."""
+    if isinstance(counts, np.ndarray):
+        arr = counts.astype(np.int64, copy=False)
+    else:
+        if not isinstance(counts, (list, tuple)):
+            counts = list(counts)
+        arr = np.asarray(counts, dtype=np.int64)
+    if arr.size:
+        lo = int(arr.min())
+        if lo < 0:
+            raise DistributionError("counts must be non-negative")
+        if lo == 0:
+            arr = arr[arr != 0]
     if arr.size == 0:
         raise DistributionError("entropy of an empty count vector is undefined")
-    if np.any(arr < 0):
-        raise DistributionError("counts must be non-negative")
     return arr
 
 
@@ -62,12 +72,12 @@ def jackknife(counts: Iterable[int], *, base: float | None = None) -> float:
 
     ``H_JK = N·H − (N−1)/N · Σ_j c_j · H_{−j}`` where ``H_{−j}`` is the
     plug-in entropy with one observation of value ``j`` removed.
-    Computed in closed form from the count vector (no resampling loop
-    over observations, only over distinct values).
+    Computed in closed form from the count vector (vectorized over the
+    distinct values — no Python-level loop).
     """
     import math
 
-    arr = _counts_array(counts)
+    arr = _counts_array(counts).astype(np.float64)
     n = int(arr.sum())
     if n < 2:
         raise DistributionError("jackknife needs at least two observations")
@@ -76,15 +86,12 @@ def jackknife(counts: Iterable[int], *, base: float | None = None) -> float:
     # Plug-in entropy of the full sample: H = log n − S/n with
     # S = Σ c log c.  Removing one observation of a value with count c
     # gives n' = n − 1 and S' = S − c log c + (c−1) log(c−1).
-    s_full = float((arr * np.log(arr)).sum())
-    loo_sum = 0.0
-    for c in arr:
-        c = float(c)
-        s_minus = s_full - c * math.log(c)
-        if c > 1:
-            s_minus += (c - 1) * math.log(c - 1)
-        h_minus = math.log(n - 1) - s_minus / (n - 1)
-        loo_sum += c * h_minus
+    c_log_c = arr * np.log(arr)
+    s_full = float(c_log_c.sum())
+    c_minus_1 = arr - 1.0
+    s_minus = s_full - c_log_c + c_minus_1 * np.log(np.maximum(c_minus_1, 1.0))
+    h_minus = math.log(n - 1) - s_minus / (n - 1)
+    loo_sum = float(arr @ h_minus)
     value = n * h_full - (n - 1) / n * loo_sum
     value = max(value, 0.0)
     if base is not None:
@@ -113,5 +120,5 @@ def estimate_joint_entropy(
         raise DistributionError(
             f"unknown estimator {estimator!r}; choose from {sorted(estimators)}"
         )
-    counts = relation.projection_counts(attributes)
-    return estimators[estimator](counts.values(), base=base)
+    counts = relation.projection_count_values(attributes)
+    return estimators[estimator](counts, base=base)

@@ -65,7 +65,7 @@ class JoinTree:
     frozenset({'X'})
     """
 
-    __slots__ = ("_adjacency", "_bags", "_edges")
+    __slots__ = ("_adjacency", "_attributes", "_bags", "_edges", "_node_ids", "_separators")
 
     def __init__(
         self,
@@ -94,6 +94,10 @@ class JoinTree:
             self._adjacency[u].add(v)
             self._adjacency[v].add(u)
             self._edges.append((u, v))
+        # Lazily-computed structure caches (the tree is immutable).
+        self._node_ids: tuple[int, ...] | None = None
+        self._attributes: Bag | None = None
+        self._separators: tuple[Bag, ...] | None = None
         if validate:
             self._validate_tree()
             self._validate_running_intersection()
@@ -148,8 +152,10 @@ class JoinTree:
     # Structure accessors
     # ------------------------------------------------------------------
     def node_ids(self) -> tuple[int, ...]:
-        """Node ids in a deterministic order."""
-        return tuple(sorted(self._bags, key=repr))
+        """Node ids in a deterministic order (cached)."""
+        if self._node_ids is None:
+            self._node_ids = tuple(sorted(self._bags, key=repr))
+        return self._node_ids
 
     def bag(self, node: int) -> Bag:
         """The attribute set ``χ(node)``."""
@@ -178,15 +184,21 @@ class JoinTree:
         return self._bags[u] & self._bags[v]
 
     def separators(self) -> tuple[Bag, ...]:
-        """Separators of all edges, aligned with :meth:`edges`."""
-        return tuple(self._bags[u] & self._bags[v] for u, v in self._edges)
+        """Separators of all edges, aligned with :meth:`edges` (cached)."""
+        if self._separators is None:
+            self._separators = tuple(
+                self._bags[u] & self._bags[v] for u, v in self._edges
+            )
+        return self._separators
 
     def attributes(self) -> Bag:
-        """``χ(T)`` — the union of all bags."""
-        out: set[str] = set()
-        for bag in self._bags.values():
-            out |= bag
-        return frozenset(out)
+        """``χ(T)`` — the union of all bags (cached)."""
+        if self._attributes is None:
+            out: set[str] = set()
+            for bag in self._bags.values():
+                out |= bag
+            self._attributes = frozenset(out)
+        return self._attributes
 
     @property
     def num_nodes(self) -> int:

@@ -12,6 +12,7 @@ from repro.relations.join import (
     natural_join,
     natural_join_all,
 )
+from repro.relations.columns import ColumnStore, GroupIndex
 from repro.relations.io import infer_integer_domains, read_csv, write_csv
 from repro.relations.relation import Relation
 from repro.relations.schema import Attribute, RelationSchema, Row, Value
@@ -29,6 +30,8 @@ from repro.relations.yannakakis import (
 
 __all__ = [
     "Attribute",
+    "ColumnStore",
+    "GroupIndex",
     "Relation",
     "RelationSchema",
     "Row",

@@ -1,0 +1,263 @@
+"""Columnar backing store: integer-coded attribute columns for a relation.
+
+A :class:`ColumnStore` factorizes each attribute of a relation exactly once
+into a dense ``int64`` *code* array.  Every multiplicity query over an
+attribute subset — the workhorse behind ``H(Y)``, CMI, and the J-measure —
+then reduces to a mixed-radix pack of the subset's code columns followed by
+one :func:`numpy.bincount` / :func:`numpy.unique` call: no Python-level row
+iteration or tuple hashing.
+
+Column coding picks the cheapest safe representation:
+
+* **identity** — columns that are already small non-negative integers (the
+  library's synthetic convention ``D(X) = [d]``) are used as codes
+  directly; no factorization work at all;
+* **unique**   — homogeneous numeric or string columns go through
+  :func:`numpy.unique` with ``return_inverse``;
+* **dict**     — heterogeneous or numpy-unsafe columns (mixed types, NaNs,
+  arbitrary hashables) fall back to a first-occurrence dict loop whose
+  equality semantics match Python's hash-based containers bit-for-bit
+  (``1 == True == 1.0`` collapse, exactly as inside the relation's
+  ``frozenset`` of rows).
+
+Group results are cached per attribute-position subset: a counts-only
+cache (entropy queries need just multiplicities) and a full
+:class:`GroupIndex` cache (group ids + first-occurrence representatives,
+used by projection, selection, and join-size message passing).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import NamedTuple
+
+import numpy as np
+
+#: Mixed-radix packing stays below this to keep int64 arithmetic exact;
+#: when the running radix product would cross it, the partial key is
+#: re-compressed with :func:`numpy.unique` (bounding the radix by ``N``).
+_MAX_PACK = 1 << 62
+
+
+def _dense_limit(n: int) -> int:
+    """Largest code range we treat as "dense enough" for direct bincount."""
+    return max(4 * n, 1024)
+
+
+class GroupIndex(NamedTuple):
+    """Grouping of the relation's rows by one attribute-position subset.
+
+    Attributes
+    ----------
+    gids:
+        ``int64[N]`` — dense group id of each row (ids follow the sorted
+        order of the packed keys).
+    first_index:
+        ``int64[G]`` — for each group, the index (into the store's row
+        list) of its first occurrence; used to decode representative rows.
+    counts:
+        ``int64[G]`` — multiplicity of each group.
+    """
+
+    gids: np.ndarray
+    first_index: np.ndarray
+    counts: np.ndarray
+
+
+def _encode_column(values: Sequence) -> tuple[np.ndarray, int, object]:
+    """Encode one column; return ``(codes, card, decoder)``.
+
+    ``card`` is an exclusive upper bound on the codes (the mixed-radix
+    digit base).  ``decoder`` describes how to map values back:
+
+    * ``None``   — identity coding (value *is* the code);
+    * ``list``   — ``decoder[code] = value`` (``numpy.unique`` path);
+    * ``dict``   — a ready ``value → code`` encoder (dict fallback).
+    """
+    n = len(values)
+    candidate = None
+    try:
+        arr = np.asarray(values)
+        if arr.ndim == 1 and arr.shape[0] == n:
+            candidate = arr
+    except Exception:
+        candidate = None
+    if candidate is not None:
+        kind = candidate.dtype.kind
+        if kind in "iub":
+            codes = candidate.astype(np.int64, copy=False)
+            if n == 0:
+                return codes, 0, None
+            lo = int(codes.min())
+            hi = int(codes.max())
+            if lo >= 0 and hi < _dense_limit(n):
+                return codes, hi + 1, None  # identity coding: no unique
+            uniques, inverse = np.unique(codes, return_inverse=True)
+            return (
+                inverse.astype(np.int64, copy=False),
+                len(uniques),
+                uniques.tolist(),
+            )
+        if (kind == "f" and not np.isnan(candidate).any()) or (
+            kind in "US" and all(type(v) is str for v in values)
+        ):
+            uniques, inverse = np.unique(candidate, return_inverse=True)
+            return (
+                inverse.astype(np.int64, copy=False),
+                len(uniques),
+                uniques.tolist(),
+            )
+
+    codes = np.empty(n, dtype=np.int64)
+    encoder: dict = {}
+    for i, value in enumerate(values):
+        code = encoder.get(value)
+        if code is None:
+            code = len(encoder)
+            encoder[value] = code
+        codes[i] = code
+    return codes, len(encoder), encoder
+
+
+class ColumnStore:
+    """Integer-coded columns plus per-subset grouping caches.
+
+    Built lazily (and exactly once) by
+    :meth:`repro.relations.relation.Relation.columns`; immutable
+    thereafter, like the relation itself, so cached groupings never need
+    invalidation.
+    """
+
+    __slots__ = ("cards", "codes", "row_list", "_counts", "_decoders", "_encoders", "_groups")
+
+    def __init__(self, row_list: tuple, arity: int) -> None:
+        self.row_list = row_list
+        columns = list(zip(*row_list)) if row_list else [()] * arity
+        codes = []
+        cards = []
+        decoders = []
+        for column in columns:
+            col_codes, card, decoder = _encode_column(column)
+            codes.append(col_codes)
+            cards.append(card)
+            decoders.append(decoder)
+        self.codes: tuple[np.ndarray, ...] = tuple(codes)
+        self.cards: tuple[int, ...] = tuple(cards)
+        self._decoders = decoders
+        self._encoders: list[dict | None] = [
+            d if isinstance(d, dict) else None for d in decoders
+        ]
+        self._groups: dict[tuple[int, ...], GroupIndex] = {}
+        self._counts: dict[tuple[int, ...], np.ndarray] = {}
+
+    @classmethod
+    def from_identity_codes(
+        cls, row_list: tuple, columns: Sequence[np.ndarray], cards: Sequence[int]
+    ) -> "ColumnStore":
+        """Seed a store whose columns are already dense non-negative codes.
+
+        Used by :meth:`repro.relations.relation.Relation.from_codes` to
+        skip per-column factorization entirely: the arrays are adopted as
+        identity-coded columns (``value == code``).
+        """
+        store = cls.__new__(cls)
+        store.row_list = row_list
+        store.codes = tuple(columns)
+        store.cards = tuple(int(c) for c in cards)
+        store._decoders = [None] * len(store.codes)
+        store._encoders = [None] * len(store.codes)
+        store._groups = {}
+        store._counts = {}
+        return store
+
+    def __len__(self) -> int:
+        return len(self.row_list)
+
+    def encoder(self, position: int) -> dict:
+        """``value → code`` mapping for one column (built lazily)."""
+        encoder = self._encoders[position]
+        if encoder is None:
+            decoder = self._decoders[position]
+            if decoder is None:  # identity coding: present values are codes
+                present = np.unique(self.codes[position]).tolist()
+                encoder = {value: value for value in present}
+            else:
+                encoder = {value: code for code, value in enumerate(decoder)}
+            self._encoders[position] = encoder
+        return encoder
+
+    def packed_key(self, positions: Sequence[int]) -> np.ndarray:
+        """Mixed-radix pack of the code columns at ``positions``.
+
+        Two rows get equal keys iff they agree on all the positions.  The
+        running radix is kept below ``2^62`` by re-compressing the partial
+        key with :func:`numpy.unique` whenever the next column would
+        overflow, so the packing is exact for any ``N`` and cardinalities.
+        """
+        key = self.codes[positions[0]]
+        radix = max(self.cards[positions[0]], 1)
+        for position in positions[1:]:
+            card = self.cards[position]
+            if card <= 1:
+                continue  # constant column: contributes nothing
+            if radix * card >= _MAX_PACK:
+                uniques, key = np.unique(key, return_inverse=True)
+                radix = max(len(uniques), 1)
+            key = key * card + self.codes[position]
+            radix *= card
+        return key
+
+    def counts(self, positions: Sequence[int]) -> np.ndarray:
+        """Group multiplicities only (the entropy hot path; cached).
+
+        When the subset's radix is dense enough, this is a straight
+        :func:`numpy.bincount` over the packed key — cheaper than the
+        sorting :func:`numpy.unique` that :meth:`groups` needs for ids
+        and representatives.  Count order matches :meth:`groups`.
+        """
+        cache_key = tuple(positions)
+        cached = self._counts.get(cache_key)
+        if cached is not None:
+            return cached
+        group = self._groups.get(cache_key)
+        if group is not None:
+            self._counts[cache_key] = group.counts
+            return group.counts
+        n = len(self.row_list)
+        radix = 1
+        limit = _dense_limit(n)
+        for position in cache_key:
+            radix *= max(self.cards[position], 1)
+            if radix > limit:
+                break
+        if n and radix <= limit:
+            counts = np.bincount(self.packed_key(cache_key))
+            counts = counts[counts > 0]
+        else:
+            counts = self.groups(cache_key).counts
+        counts.flags.writeable = False  # shared cached array
+        self._counts[cache_key] = counts
+        return counts
+
+    def groups(self, positions: Sequence[int]) -> GroupIndex:
+        """Group rows by the attribute subset at ``positions`` (cached)."""
+        cache_key = tuple(positions)
+        cached = self._groups.get(cache_key)
+        if cached is not None:
+            return cached
+        key = self.packed_key(cache_key)
+        _, first_index, gids, counts = np.unique(
+            key, return_index=True, return_inverse=True, return_counts=True
+        )
+        result = GroupIndex(
+            gids=gids.astype(np.int64, copy=False),
+            first_index=first_index.astype(np.int64, copy=False),
+            counts=counts.astype(np.int64, copy=False),
+        )
+        self._groups[cache_key] = result
+        return result
+
+    def clear_cache(self) -> None:
+        """Drop cached groupings (codes and encoders are kept)."""
+        self._groups.clear()
+        self._counts.clear()

@@ -26,9 +26,21 @@ import operator
 from collections import Counter, defaultdict
 from collections.abc import Iterable, Sequence
 
+import numpy as np
+
 from repro.errors import JoinTreeError, SchemaError
+from repro.relations.columns import _dense_limit
 from repro.relations.relation import Relation
 from repro.relations.schema import RelationSchema, Row
+
+#: Cartesian-bound ceiling under which the vectorized int64 message
+#: passing is provably overflow-free (every intermediate weight is at most
+#: the product of all bag projection sizes).
+_INT64_SAFE_BOUND = 1 << 62
+
+#: Below this bound float64 accumulation (``numpy.bincount``) is exact, so
+#: the faster bincount path replaces ``numpy.add.at``.
+_FLOAT64_EXACT_BOUND = 1 << 53
 
 
 def _common_attributes(left: Relation, right: Relation) -> tuple[str, ...]:
@@ -171,6 +183,161 @@ def acyclic_join_size(relation: Relation, jointree) -> int:
     order = jointree.topological_order()  # leaves-first, root last
     parent_of = jointree.parents()
 
+    size = _acyclic_join_size_dense(relation, jointree, order, parent_of)
+    if size is None:
+        size = _acyclic_join_size_columnar(relation, jointree, order, parent_of)
+    if size is not None:
+        return size
+    return _acyclic_join_size_python(relation, jointree, order, parent_of)
+
+
+def _bag_positions(relation: Relation, bag) -> tuple[int, ...]:
+    schema = relation.schema
+    return schema.indices(schema.canonical_order(bag))
+
+
+def _dense_radix(store, positions) -> tuple[tuple[int, ...], int]:
+    """Per-position strides and total radix for a dense mixed-radix pack."""
+    strides = [1] * len(positions)
+    radix = 1
+    for i in range(len(positions) - 1, -1, -1):
+        strides[i] = radix
+        radix *= max(store.cards[positions[i]], 1)
+    return tuple(strides), radix
+
+
+def _acyclic_join_size_dense(
+    relation: Relation, jointree, order, parent_of
+) -> int | None:
+    """Bincount-only message passing for dense integer-coded relations.
+
+    Every bag's mixed-radix keyspace is materialized as a flat weight
+    vector (no sorting ``numpy.unique`` at all); separator cells are
+    recovered from bag cells arithmetically (digit extraction), so the
+    whole DP is ``O(N + Σ radixᵢ)``.  Returns ``None`` when any bag's
+    keyspace is too large for this to pay off (the sparse columnar or
+    dict paths then take over).
+    """
+    store = relation.columns()
+    n = len(store.row_list)
+    limit = _dense_limit(n)
+    node_ids = jointree.node_ids()
+    plans: dict[int, tuple[tuple[int, ...], tuple[int, ...], int]] = {}
+    for node in node_ids:
+        positions = _bag_positions(relation, jointree.bag(node))
+        strides, radix = _dense_radix(store, positions)
+        if radix > limit:
+            return None
+        plans[node] = (positions, strides, radix)
+
+    # Present-cell weight vectors per node, plus a conservative magnitude
+    # bound: every intermediate weight is at most ∏ᵢ |R[Ωᵢ]| ≤ ∏ᵢ radixᵢ.
+    bound = 1
+    cells: dict[int, np.ndarray] = {}
+    weights: dict[int, np.ndarray] = {}
+    for node in node_ids:
+        positions, strides, radix = plans[node]
+        key = store.codes[positions[0]] * strides[0]
+        for p, stride in zip(positions[1:], strides[1:]):
+            key = key + store.codes[p] * stride
+        present = np.flatnonzero(np.bincount(key, minlength=radix))
+        cells[node] = present
+        weights[node] = np.ones(len(present), dtype=np.int64)
+        bound *= max(len(present), 1)
+    if bound >= _INT64_SAFE_BOUND:
+        return None
+    use_bincount = bound < _FLOAT64_EXACT_BOUND
+
+    def subkey(node: int, sep_positions, sep_strides) -> np.ndarray:
+        """Separator cell of each of ``node``'s present bag cells."""
+        positions, strides, _ = plans[node]
+        where = {p: i for i, p in enumerate(positions)}
+        bag_cells = cells[node]
+        out = np.zeros(len(bag_cells), dtype=np.int64)
+        for p, sep_stride in zip(sep_positions, sep_strides):
+            i = where[p]
+            card = max(store.cards[p], 1)
+            out += ((bag_cells // strides[i]) % card) * sep_stride
+        return out
+
+    for node in order[:-1]:  # every non-root node sends a message up
+        parent = parent_of[node]
+        separator = jointree.bag(node) & jointree.bag(parent)
+        child_weights = weights.pop(node)
+        if not separator:
+            weights[parent] = weights[parent] * int(child_weights.sum())
+            continue
+        sep_positions = _bag_positions(relation, separator)
+        sep_strides, sep_radix = _dense_radix(store, sep_positions)
+        child_sep = subkey(node, sep_positions, sep_strides)
+        if use_bincount:
+            message = np.bincount(
+                child_sep, weights=child_weights, minlength=sep_radix
+            ).astype(np.int64)
+        else:
+            message = np.zeros(sep_radix, dtype=np.int64)
+            np.add.at(message, child_sep, child_weights)
+        parent_sep = subkey(parent, sep_positions, sep_strides)
+        weights[parent] = weights[parent] * message[parent_sep]
+    return int(weights[order[-1]].sum())
+
+
+def _acyclic_join_size_columnar(
+    relation: Relation, jointree, order, parent_of
+) -> int | None:
+    """Vectorized message passing over the relation's code columns.
+
+    Each node's table is a dense ``int64`` weight vector indexed by the
+    node's distinct bag groups; messages are bincounts over separator
+    group ids shared through the relation's cached
+    :class:`~repro.relations.columns.GroupIndex` objects.  Returns ``None``
+    when the Cartesian bound ``∏|R[Ωᵢ]|`` could overflow int64 (the exact
+    dict-based fallback then takes over with Python bignums).
+    """
+    schema = relation.schema
+    store = relation.columns()
+    groups = {}
+    bound = 1
+    for node in jointree.node_ids():
+        positions = schema.indices(schema.canonical_order(jointree.bag(node)))
+        group = store.groups(positions)
+        groups[node] = group
+        bound *= len(group.counts)
+    if bound >= _INT64_SAFE_BOUND:
+        return None
+    use_bincount = bound < _FLOAT64_EXACT_BOUND
+
+    weights = {
+        node: np.ones(len(groups[node].counts), dtype=np.int64)
+        for node in jointree.node_ids()
+    }
+    for node in order[:-1]:  # every non-root node sends a message up
+        parent = parent_of[node]
+        separator = jointree.bag(node) & jointree.bag(parent)
+        child_weights = weights.pop(node)
+        if not separator:
+            weights[parent] = weights[parent] * int(child_weights.sum())
+            continue
+        sep_positions = schema.indices(schema.canonical_order(separator))
+        sep_group = store.groups(sep_positions)
+        n_sep = len(sep_group.counts)
+        child_sep = sep_group.gids[groups[node].first_index]
+        if use_bincount:
+            message = np.bincount(
+                child_sep, weights=child_weights, minlength=n_sep
+            ).astype(np.int64)
+        else:
+            message = np.zeros(n_sep, dtype=np.int64)
+            np.add.at(message, child_sep, child_weights)
+        parent_sep = sep_group.gids[groups[parent].first_index]
+        weights[parent] = weights[parent] * message[parent_sep]
+    return int(weights[order[-1]].sum())
+
+
+def _acyclic_join_size_python(
+    relation: Relation, jointree, order, parent_of
+) -> int:
+    """Reference dict-based DP (exact with Python bignums, any size)."""
     # weight tables: node -> {bag-tuple(canonical order) -> weight}
     tables: dict[int, dict[Row, int]] = {}
     bag_orders: dict[int, tuple[str, ...]] = {}
@@ -229,5 +396,5 @@ def cartesian_size(relation: Relation, attribute_sets: Iterable[frozenset[str]])
     """Upper bound ``∏ᵢ |R[Ωᵢ]|`` on any join of the given projections."""
     total = 1
     for attrs in attribute_sets:
-        total *= len(relation.project(relation.schema.canonical_order(attrs)))
+        total *= relation.projection_size(attrs)
     return total

@@ -5,6 +5,18 @@ finite *set* of tuples (no duplicates).  Projections return relations
 (sets), but multiplicity information — how many tuples of ``R`` project to
 each value — is exposed via :meth:`Relation.projection_counts`, which is the
 workhorse for all empirical-entropy computations.
+
+Internally a relation lazily materializes a **columnar store**
+(:class:`repro.relations.columns.ColumnStore`): each attribute is
+factorized once into a dense ``int64`` code array, after which every
+multiplicity query over any attribute subset (``projection_counts``,
+:meth:`Relation.projection_count_values`, :meth:`Relation.projection_size`,
+:meth:`Relation.project`, :meth:`Relation.select_eq`) is a vectorized
+mixed-radix pack + ``numpy.unique`` — no per-row Python iteration.  The
+tuple-based API (:meth:`rows`, set operations, iteration) is unchanged and
+remains the source of truth; columns are derived from it and cached for
+the relation's lifetime (relations are immutable, so the cache never
+needs invalidation).
 """
 
 from __future__ import annotations
@@ -13,8 +25,30 @@ import operator
 from collections import Counter
 from collections.abc import Callable, Iterable, Iterator, Sequence
 
+import numpy as np
+
 from repro.errors import SchemaError, UnknownAttributeError
+from repro.relations.columns import ColumnStore, _dense_limit
 from repro.relations.schema import RelationSchema, Row, Value
+
+
+def _distinct_row_indices(arr, cards) -> "np.ndarray | None":
+    """First-occurrence indices of the distinct rows of an int code array.
+
+    Returns ``None`` when the mixed-radix key would overflow int64 (the
+    caller then falls back to hash-based dedup).
+    """
+    radix = 1
+    for card in cards:
+        radix *= max(card, 1)
+        if radix >= 1 << 62:
+            return None
+    key = arr[:, 0]
+    for j in range(1, arr.shape[1]):
+        key = key * max(cards[j], 1) + arr[:, j]
+    _, idx = np.unique(key, return_index=True)
+    idx.sort()
+    return idx
 
 
 class Relation:
@@ -44,7 +78,7 @@ class Relation:
     [(1,), (2,)]
     """
 
-    __slots__ = ("_rows", "_schema")
+    __slots__ = ("_engine", "_rows", "_schema", "_store")
 
     def __init__(
         self,
@@ -60,6 +94,10 @@ class Relation:
             )
         else:
             self._rows = frozenset(tuple(row) for row in rows)
+        # Lazily-built caches (the relation itself is immutable): the
+        # columnar store and the memoizing entropy engine bound to it.
+        self._store: ColumnStore | None = None
+        self._engine = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -71,6 +109,68 @@ class Relation:
         """Build a relation from dict rows keyed by attribute name."""
         names = schema.names
         return cls(schema, (tuple(row[n] for n in names) for row in rows))
+
+    @classmethod
+    def from_codes(
+        cls,
+        schema: RelationSchema,
+        codes,
+        *,
+        distinct: bool = False,
+    ) -> "Relation":
+        """Vectorized construction from a non-negative integer array.
+
+        ``codes`` is an ``(N, arity)`` array-like of small non-negative
+        integers (the library's synthetic convention ``D(X) = [d]``).
+        Rows are materialized via one ``tolist`` pass and the columnar
+        store is seeded directly from the array columns — no per-value
+        Python conversion and no re-factorization.  Pass
+        ``distinct=True`` when the rows are known to be pairwise distinct
+        (e.g. sampled without replacement) to skip the vectorized dedup.
+
+        Domain validation is skipped (as with ``validate=False``); callers
+        are trusted to supply in-domain codes.
+        """
+        arr = np.asarray(codes, dtype=np.int64)
+        if arr.ndim != 2 or arr.shape[1] != schema.arity:
+            raise SchemaError(
+                f"from_codes needs an (N, {schema.arity}) array, got shape "
+                f"{getattr(arr, 'shape', None)}"
+            )
+        if arr.size and int(arr.min()) < 0:
+            raise SchemaError("from_codes needs non-negative integer codes")
+        n = arr.shape[0]
+        cards = (
+            [int(arr[:, j].max()) + 1 for j in range(arr.shape[1])]
+            if n
+            else [0] * arr.shape[1]
+        )
+        if not distinct and n > 1:
+            keep = _distinct_row_indices(arr, cards)
+            if keep is not None:
+                if len(keep) != n:
+                    arr = arr[keep]
+                    n = arr.shape[0]
+            else:  # radix overflow: let frozenset dedup below
+                distinct_rows = frozenset(map(tuple, arr.tolist()))
+                return cls(schema, distinct_rows, validate=False)
+        row_list = tuple(map(tuple, arr.tolist()))
+        rows = frozenset(row_list)
+        if len(rows) != n:  # caller lied about distinctness: rebuild safely
+            return cls(schema, rows, validate=False)
+        relation = cls.__new__(cls)
+        relation._schema = schema
+        relation._rows = rows
+        relation._engine = None
+        if n and max(cards) < _dense_limit(n):
+            relation._store = ColumnStore.from_identity_codes(
+                row_list,
+                [np.ascontiguousarray(arr[:, j]) for j in range(arr.shape[1])],
+                cards,
+            )
+        else:
+            relation._store = None  # lazily re-factorized on demand
+        return relation
 
     @classmethod
     def empty(cls, schema: RelationSchema) -> "Relation":
@@ -139,6 +239,33 @@ class Relation:
         return not self._rows
 
     # ------------------------------------------------------------------
+    # Columnar backend
+    # ------------------------------------------------------------------
+    def columns(self) -> ColumnStore:
+        """The relation's columnar store (built lazily, once).
+
+        Each attribute is factorized into a dense ``int64`` code array;
+        multiplicity queries over attribute subsets are answered by
+        mixed-radix packing + ``numpy.unique`` and cached per subset.
+        Advanced API — most callers want :meth:`projection_counts`,
+        :meth:`projection_count_values`, or
+        :class:`repro.info.engine.EntropyEngine`.
+        """
+        store = self._store
+        if store is None:
+            store = ColumnStore(tuple(self._rows), self._schema.arity)
+            self._store = store
+        return store
+
+    def _group_index(self, names: Iterable[str]):
+        """Canonicalize ``names`` and group rows by them (columnar)."""
+        ordered = self._schema.canonical_order(names)
+        if not ordered:
+            raise UnknownAttributeError("projection onto the empty attribute set")
+        positions = self._schema.indices(ordered)
+        return ordered, positions, self.columns().groups(positions)
+
+    # ------------------------------------------------------------------
     # Relational algebra
     # ------------------------------------------------------------------
     def _getter(self, names: Sequence[str]) -> Callable[[Row], Row]:
@@ -155,26 +282,64 @@ class Relation:
 
         The output schema orders attributes canonically (by their position
         in this relation's schema), so projections onto equal sets are
-        equal relations.
+        equal relations.  Computed columnar: one group-by over the code
+        columns, then only the ``G`` distinct representatives are
+        materialized as tuples (instead of re-hashing all ``N`` rows).
         """
         ordered = self._schema.canonical_order(names)
         if ordered == self._schema.names:
             return self
         if not ordered:
             raise UnknownAttributeError("projection onto the empty attribute set")
-        getter = self._getter(ordered)
-        return Relation(
-            self._schema.project(ordered),
-            {getter(row) for row in self._rows},
-            validate=False,
-        )
+        if self._store is None and len(self._rows) < 64:
+            # Tiny one-shot relation: a plain scan beats building columns.
+            getter = self._getter(ordered)
+            return Relation(
+                self._schema.project(ordered),
+                {getter(row) for row in self._rows},
+                validate=False,
+            )
+        positions = self._schema.indices(ordered)
+        group = self.columns().groups(positions)
+        row_list = self.columns().row_list
+        if len(positions) == 1:
+            single = positions[0]
+            out_rows = [(row_list[i][single],) for i in group.first_index.tolist()]
+        else:
+            out_rows = [
+                tuple(row_list[i][p] for p in positions)
+                for i in group.first_index.tolist()
+            ]
+        return Relation(self._schema.project(ordered), out_rows, validate=False)
 
     def projection_counts(self, names: Iterable[str]) -> Counter[Row]:
         """Multiplicities of projected values: ``value -> |R(Y=value)|``.
 
         This is the empirical-distribution workhorse: the marginal
         probability of ``y`` is ``counts[y] / N`` (Section 2.2 of the
-        paper).
+        paper).  Computed from the columnar store: grouping is one
+        vectorized ``numpy.unique`` over packed code columns; only the
+        distinct groups are decoded back into value tuples.
+        """
+        ordered, positions, group = self._group_index(names)
+        row_list = self.columns().row_list
+        counts = group.counts.tolist()
+        first = group.first_index.tolist()
+        if len(positions) == 1:
+            single = positions[0]
+            keys = [(row_list[i][single],) for i in first]
+        elif ordered == self._schema.names:
+            keys = [row_list[i] for i in first]
+        else:
+            keys = [tuple(row_list[i][p] for p in positions) for i in first]
+        return Counter(dict(zip(keys, counts)))
+
+    def projection_counts_naive(self, names: Iterable[str]) -> Counter[Row]:
+        """Reference implementation of :meth:`projection_counts`.
+
+        Row-at-a-time Counter loop, kept as the independently-checkable
+        legacy path; property tests assert the columnar path matches it
+        bit-for-bit.
         """
         ordered = self._schema.canonical_order(names)
         if not ordered:
@@ -182,22 +347,97 @@ class Relation:
         getter = self._getter(ordered)
         return Counter(getter(row) for row in self._rows)
 
-    def select(self, predicate: Callable[[dict[str, Value]], bool]) -> "Relation":
-        """Selection by an arbitrary predicate over named values."""
-        names = self._schema.names
-        kept = [
-            row for row in self._rows if predicate(dict(zip(names, row)))
-        ]
+    def projection_count_values(self, names: Iterable[str]) -> np.ndarray:
+        """Multiplicities of the projection onto ``names`` — counts only.
+
+        Returns the ``int64`` count vector (one entry per distinct
+        projected value, in packed-key order) without decoding the value
+        tuples.  This is the entropy hot path: ``H(Y)`` needs only the
+        multiplicities, never the values.
+        """
+        ordered = self._schema.canonical_order(names)
+        if not ordered:
+            raise UnknownAttributeError("projection onto the empty attribute set")
+        return self.columns().counts(self._schema.indices(ordered))
+
+    def projection_size(self, names: Iterable[str]) -> int:
+        """``|Π_names(R)|`` — number of distinct projected values.
+
+        Equivalent to ``len(self.project(names))`` without materializing
+        the projection.
+        """
+        return len(self.projection_count_values(names))
+
+    def select(
+        self,
+        predicate: Callable[[dict[str, Value]], bool],
+        *,
+        attrs: Iterable[str] | None = None,
+    ) -> "Relation":
+        """Selection by an arbitrary predicate over named values.
+
+        Parameters
+        ----------
+        predicate:
+            Called with a ``{name: value}`` dict per row; rows where it
+            returns truthy are kept.
+        attrs:
+            Fast path: when given, the per-row dict contains only these
+            attributes (the ones the predicate actually reads), which
+            skips materializing the full-width dict for wide schemas.
+            For single-attribute equality use the vectorized
+            :meth:`select_eq` instead.
+        """
+        if attrs is None:
+            names = self._schema.names
+            kept = [
+                row for row in self._rows if predicate(dict(zip(names, row)))
+            ]
+        else:
+            ordered = self._schema.canonical_order(attrs)
+            if not ordered:
+                raise UnknownAttributeError("selection over an empty attribute set")
+            positions = self._schema.indices(ordered)
+            pairs = tuple(zip(ordered, positions))
+            kept = [
+                row
+                for row in self._rows
+                if predicate({name: row[p] for name, p in pairs})
+            ]
         return Relation(self._schema, kept, validate=False)
 
     def select_eq(self, name: str, value: Value) -> "Relation":
-        """Selection ``σ_{name=value}(R)`` (the paper's ``R_ℓ = σ_{C=ℓ}R``)."""
+        """Selection ``σ_{name=value}(R)`` (the paper's ``R_ℓ = σ_{C=ℓ}R``).
+
+        Vectorized via the code columns: the value is looked up in the
+        attribute's encoder and the matching rows come from one boolean
+        mask over the ``int64`` codes.  Tiny relations without a built
+        store use a plain scan (building columns would cost more).
+        """
         pos = self._schema.index(name)
-        return Relation(
-            self._schema,
-            [row for row in self._rows if row[pos] == value],
-            validate=False,
-        )
+        if self._store is None and len(self._rows) < 64:
+            return Relation(
+                self._schema,
+                [row for row in self._rows if row[pos] == value],
+                validate=False,
+            )
+        store = self.columns()
+        try:
+            code = store.encoder(pos).get(value)
+        except TypeError:  # unhashable probe (e.g. a set): scan with ==
+            return Relation(
+                self._schema,
+                [row for row in self._rows if row[pos] == value],
+                validate=False,
+            )
+        if code is None:
+            return Relation(self._schema, (), validate=False)
+        row_list = store.row_list
+        kept = [
+            row_list[i]
+            for i in np.flatnonzero(store.codes[pos] == code).tolist()
+        ]
+        return Relation(self._schema, kept, validate=False)
 
     def reorder(self, names: Sequence[str]) -> "Relation":
         """Permute columns into exactly the given order.
@@ -258,13 +498,18 @@ class Relation:
     # Statistics
     # ------------------------------------------------------------------
     def active_domain(self, name: str) -> frozenset[Value]:
-        """Values of ``name`` actually present in the relation."""
+        """Values of ``name`` actually present in the relation.
+
+        Always scans the rows so the *original* stored values are
+        returned (the columnar encoders canonicalize numerically-equal
+        values, e.g. ``True`` → ``1``, which would change labels).
+        """
         pos = self._schema.index(name)
         return frozenset(row[pos] for row in self._rows)
 
     def active_domain_size(self, name: str) -> int:
         """``|Π_name(R)|`` — the paper's ``d_A``-style quantity."""
-        return len(self.active_domain(name))
+        return self.projection_size((name,))
 
     def group_sizes(self, names: Iterable[str]) -> dict[Row, int]:
         """Alias of :meth:`projection_counts` returning a plain dict."""

@@ -26,6 +26,9 @@ Value = Any
 #: A database tuple: one value per schema attribute, in schema order.
 Row = tuple[Value, ...]
 
+#: Shared instances for :meth:`RelationSchema.integer_domains` (bounded).
+_INTEGER_SCHEMA_CACHE: dict = {}
+
 
 @dataclass(frozen=True)
 class Attribute:
@@ -87,7 +90,7 @@ class RelationSchema:
     1
     """
 
-    __slots__ = ("_attributes", "_index", "_names")
+    __slots__ = ("_attributes", "_index", "_name_set", "_names")
 
     def __init__(self, attributes: Iterable[Attribute]) -> None:
         attrs = tuple(attributes)
@@ -100,6 +103,7 @@ class RelationSchema:
         self._attributes: tuple[Attribute, ...] = attrs
         self._names: tuple[str, ...] = names
         self._index: dict[str, int] = {name: i for i, name in enumerate(names)}
+        self._name_set: frozenset[str] = frozenset(names)
 
     # ------------------------------------------------------------------
     # Constructors
@@ -125,14 +129,24 @@ class RelationSchema:
         """Build a schema where attribute ``X`` has domain ``{0, …, d−1}``.
 
         This matches the paper's convention ``D(X_i) = [d_i]`` (we use
-        0-based values; only the *size* matters for every bound).
+        0-based values; only the *size* matters for every bound).  Schemas
+        are immutable, so repeated requests for the same sizes (samplers
+        in experiment loops) return one shared cached instance.
         """
         for name, size in sizes.items():
             if size <= 0:
                 raise SchemaError(f"domain size for {name!r} must be positive, got {size}")
-        return cls(
-            Attribute(name, frozenset(range(size))) for name, size in sizes.items()
-        )
+        key = tuple(sizes.items())
+        cached = _INTEGER_SCHEMA_CACHE.get(key)
+        if cached is None:
+            cached = cls(
+                Attribute(name, frozenset(range(size)))
+                for name, size in sizes.items()
+            )
+            if len(_INTEGER_SCHEMA_CACHE) >= 512:
+                _INTEGER_SCHEMA_CACHE.clear()
+            _INTEGER_SCHEMA_CACHE[key] = cached
+        return cached
 
     # ------------------------------------------------------------------
     # Introspection
@@ -149,8 +163,8 @@ class RelationSchema:
 
     @property
     def name_set(self) -> frozenset[str]:
-        """Attribute names as a frozenset (the paper's ``Ω``)."""
-        return frozenset(self._names)
+        """Attribute names as a frozenset (the paper's ``Ω``; cached)."""
+        return self._name_set
 
     @property
     def arity(self) -> int:
@@ -208,7 +222,7 @@ class RelationSchema:
         tuple layout regardless of how the caller spelled the set.
         """
         wanted = set(names)
-        unknown = wanted - set(self._names)
+        unknown = wanted - self._index.keys()
         if unknown:
             raise UnknownAttributeError(
                 f"unknown attributes {sorted(unknown)}; schema has {list(self._names)}"
