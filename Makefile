@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-baseline lint
+.PHONY: test bench bench-baseline bench-strategies lint
 
 ## tier-1 suite (tests only; benchmarks are opt-in via `make bench`)
 test:
@@ -18,6 +18,13 @@ bench:
 bench-baseline:
 	$(PYTHON) -m pytest benchmarks/test_bench_entropy_engine.py -q \
 		--benchmark-json=BENCH_entropy_engine.json
+
+## compare discovery strategies + serial vs multiprocessing scoring;
+## appends a record to BENCH_discovery_strategies.json (see
+## docs/architecture.md)
+bench-strategies:
+	$(PYTHON) -m pytest benchmarks/test_bench_strategies.py -q -s \
+		--benchmark-columns=mean,ops
 
 ## byte-compile + import smoke check (no third-party linter is vendored
 ## in the runtime image; swap in ruff/flake8 here when available)

@@ -4,7 +4,10 @@ Installed as ``repro-ajd`` (see pyproject).  Subcommands:
 
 * ``analyze <csv> --schema "A,B;B,C"`` — full loss analysis of a CSV table
   under a user-supplied acyclic schema;
-* ``mine <csv> [--threshold T]``       — discover a low-J acyclic schema;
+* ``mine <csv> [--threshold T] [--strategy S] [--workers N]
+  [--deadline SEC]`` — discover a low-J acyclic schema with any
+  registered strategy, optionally with parallel split scoring and a
+  wall-clock budget;
 * ``experiment <id>|all``              — run a paper experiment (E1–E8);
 * ``version``                          — print the package version.
 """
@@ -16,9 +19,11 @@ from collections.abc import Sequence
 
 from repro.core.analysis import analyze
 from repro.discovery.miner import mine_jointree
-from repro.errors import ReproError
+from repro.discovery.strategies import available_strategies
+from repro.errors import DiscoveryError, ReproError
 from repro.jointrees.build import jointree_from_schema
 from repro.relations.io import infer_integer_domains, read_csv
+from repro.relations.relation import Relation
 
 
 def _parse_schema(text: str) -> list[set[str]]:
@@ -41,14 +46,33 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _require_minable(relation: Relation, path: str) -> None:
+    """Reject inputs no strategy can decompose, with a clean message."""
+    if relation.is_empty():
+        raise DiscoveryError(
+            f"{path} has no data rows; mining needs a non-empty table"
+        )
+    if relation.schema.arity < 2:
+        raise DiscoveryError(
+            f"{path} has {relation.schema.arity} column(s); mining a "
+            "schema needs at least two"
+        )
+
+
 def _cmd_mine(args: argparse.Namespace) -> int:
-    relation = infer_integer_domains(read_csv(args.csv))
+    loaded = read_csv(args.csv)
+    _require_minable(loaded, args.csv)
+    relation = infer_integer_domains(loaded)
     mined = mine_jointree(
         relation,
         threshold=args.threshold,
         max_separator_size=args.max_separator,
+        strategy=args.strategy,
+        workers=args.workers,
+        deadline=args.deadline,
+        seed=args.seed,
     )
-    print("mined schema:")
+    print(f"mined schema ({args.strategy}):")
     for bag in sorted(mined.bags, key=lambda b: sorted(b)):
         print("  {" + ", ".join(sorted(bag)) + "}")
     print(f"J-measure: {mined.j_value:.6g} nats")
@@ -105,6 +129,32 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=2,
         help="maximum separator size searched",
+    )
+    p_mine.add_argument(
+        "--strategy",
+        choices=available_strategies(),
+        default="recursive",
+        help="search strategy (default: recursive, the classic miner)",
+    )
+    p_mine.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for split scoring (>1 enables the "
+        "multiprocessing backend; default: serial)",
+    )
+    p_mine.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="wall-clock budget in seconds; anytime-aware strategies "
+        "return their best-so-far schema when it expires",
+    )
+    p_mine.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="RNG seed for randomized strategies",
     )
     p_mine.set_defaults(func=_cmd_mine)
 

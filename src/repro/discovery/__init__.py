@@ -1,4 +1,18 @@
-"""Approximate acyclic-schema discovery (motivating application)."""
+"""Approximate acyclic-schema discovery (motivating application).
+
+Layered since the engine refactor:
+
+* :mod:`repro.discovery.context` — :class:`SearchContext` bundles one
+  run's relation, entropy engine, scorer, budgets, deadline, and RNG;
+* :mod:`repro.discovery.scoring` — batched split scoring (serial or
+  multiprocessing with memo-cache merging);
+* :mod:`repro.discovery.strategies` — the pluggable search-mode registry
+  (``recursive``, ``beam``, ``greedy-agglomerative``, ``anytime``);
+* :mod:`repro.discovery.miner` — the ``mine_jointree`` front door.
+
+See ``docs/architecture.md`` for the full map and how to register a new
+strategy.
+"""
 
 from repro.discovery.budget import BudgetFit, fit_schema_with_budget
 from repro.discovery.candidates import (
@@ -6,6 +20,7 @@ from repro.discovery.candidates import (
     candidate_separators,
     greedy_partition,
 )
+from repro.discovery.context import SearchContext
 from repro.discovery.exhaustive import (
     MAX_EXHAUSTIVE_ATTRIBUTES,
     hierarchical_schemas,
@@ -18,22 +33,43 @@ from repro.discovery.frontier import (
     schema_frontier,
 )
 from repro.discovery.miner import MVDSplit, MinedSchema, best_split, mine_jointree
+from repro.discovery.scoring import (
+    MultiprocessSplitScorer,
+    SerialSplitScorer,
+    SplitScorer,
+    make_scorer,
+)
+from repro.discovery.strategies import (
+    DiscoveryStrategy,
+    available_strategies,
+    get_strategy,
+    register_strategy,
+)
 
 __all__ = [
     "MAX_EXHAUSTIVE_ATTRIBUTES",
     "BudgetFit",
+    "DiscoveryStrategy",
     "FrontierPoint",
     "MVDSplit",
     "MinedSchema",
+    "MultiprocessSplitScorer",
+    "SearchContext",
+    "SerialSplitScorer",
+    "SplitScorer",
+    "available_strategies",
     "best_split",
     "binary_partitions",
     "candidate_separators",
     "fit_schema_with_budget",
     "format_frontier",
+    "get_strategy",
     "greedy_partition",
     "hierarchical_schemas",
+    "make_scorer",
     "mine_exhaustive",
     "mine_jointree",
     "pareto_front",
+    "register_strategy",
     "schema_frontier",
 ]

@@ -20,6 +20,7 @@ from functools import lru_cache
 from repro.core.jmeasure import j_measure
 from repro.core.loss import spurious_loss
 from repro.discovery.candidates import binary_partitions, candidate_separators
+from repro.discovery.context import SearchContext
 from repro.discovery.miner import MinedSchema
 from repro.errors import DiscoveryError
 from repro.jointrees.build import jointree_from_schema
@@ -84,6 +85,7 @@ def mine_exhaustive(
     *,
     threshold: float = 1e-9,
     max_separator_size: int = 2,
+    context: "SearchContext | None" = None,
 ) -> MinedSchema:
     """Globally optimal hierarchical schema by full enumeration.
 
@@ -92,13 +94,21 @@ def mine_exhaustive(
     ties by smaller J; if none beats the trivial schema, return the
     trivial schema.  This matches the greedy miner's goal so the two are
     directly comparable.
+
+    ``context`` (optional) supplies a shared
+    :class:`~repro.discovery.context.SearchContext` so the enumeration
+    reuses a strategy run's entropy memo; its threshold/cap fields are
+    ignored in favour of the explicit arguments.
     """
     if relation.is_empty():
         raise DiscoveryError("cannot mine a schema from an empty relation")
     from repro.info.engine import EntropyEngine
 
     attrs = relation.schema.name_set
-    engine = EntropyEngine.for_relation(relation)
+    engine = (
+        context.engine if context is not None
+        else EntropyEngine.for_relation(relation)
+    )
 
     best_tree = None
     best_key: tuple[float, float] | None = None

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 from repro.core.jmeasure import j_measure
 from repro.core.loss import spurious_loss
+from repro.discovery.context import SearchContext
 from repro.discovery.exhaustive import hierarchical_schemas
 from repro.errors import DiscoveryError
 from repro.jointrees.build import jointree_from_schema
@@ -55,18 +56,27 @@ def schema_frontier(
     *,
     max_separator_size: int = 2,
     compute_rho: bool = True,
+    context: "SearchContext | None" = None,
 ) -> list[FrontierPoint]:
     """Evaluate every hierarchical schema of the relation's attributes.
 
     Exponential in the attribute count (capped at
     :data:`repro.discovery.exhaustive.MAX_EXHAUSTIVE_ATTRIBUTES`).
     Points are sorted by (compression, J).
+
+    ``context`` (optional) shares a
+    :class:`~repro.discovery.context.SearchContext`'s entropy memo with
+    the enumeration — profiling after a mining run then reuses every
+    entropy the search already paid for.
     """
     if relation.is_empty():
         raise DiscoveryError("cannot profile an empty relation")
     from repro.info.engine import EntropyEngine
 
-    engine = EntropyEngine.for_relation(relation)
+    engine = (
+        context.engine if context is not None
+        else EntropyEngine.for_relation(relation)
+    )
     points = []
     for schema in hierarchical_schemas(
         relation.schema.name_set, max_separator_size=max_separator_size

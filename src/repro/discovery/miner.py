@@ -1,23 +1,27 @@
 """Approximate acyclic-schema discovery (the spirit of Kenig et al. [14]).
 
-Given a relation, find an acyclic schema with small J-measure by
-recursively splitting the attribute set with low-CMI MVDs:
+Given a relation, find an acyclic schema with small J-measure.  Since the
+engine refactor, this module is the thin *front door* of a layered
+discovery engine:
 
-1. search separators ``X`` (up to ``max_separator_size``) and partitions
-   ``Y | Z`` of the remaining attributes minimizing ``I(Y; Z | X)``;
-2. if the best split's CMI is at most ``threshold``, recurse into
-   ``X ∪ Y`` and ``X ∪ Z``;
-3. otherwise keep the attribute set as one bag.
+* :class:`~repro.discovery.context.SearchContext` bundles the relation,
+  its memoizing entropy engine, the split-scoring backend, budget knobs,
+  a wall-clock deadline, and an RNG;
+* :mod:`repro.discovery.scoring` scores batches of candidate
+  ``(separator, partition)`` splits — serially or sharded across worker
+  processes with memo-cache merging;
+* :mod:`repro.discovery.strategies` holds the pluggable search modes:
+  ``recursive`` (the default; bit-for-bit the classic top-down miner),
+  ``beam``, ``greedy-agglomerative``, and ``anytime``.
 
-The bags produced by such recursive splits always form an acyclic schema,
-so a join tree is recovered with GYO.  The search space is the family of
-*hierarchical* join trees — the same family mined in [14]; exhaustive
-enumeration of all join trees is factorial and out of scope (see
-DESIGN.md §4).
+:func:`mine_jointree` wires the three together and finalizes the result
+(maximality, join-tree construction, J and ρ).  The default call —
+``mine_jointree(relation)`` — produces exactly the schemas, J-values,
+and split sequences of the pre-refactor miner.
 
-Partition search is exact (all ``2^{k−1}−1`` bipartitions) when the
-remainder has at most ``exact_partition_limit`` attributes and falls back
-to the greedy pairwise-CMI heuristic beyond that.
+The search space is the family of *hierarchical* join trees — the same
+family mined in [14]; exhaustive enumeration of all join trees is
+factorial and out of scope (see DESIGN.md §4).
 """
 
 from __future__ import annotations
@@ -27,27 +31,17 @@ from dataclasses import dataclass
 
 from repro.core.jmeasure import j_measure
 from repro.core.loss import spurious_loss
-from repro.discovery.candidates import (
-    binary_partitions,
-    candidate_separators,
-    greedy_partition,
-)
+from repro.discovery.context import SearchContext
+from repro.discovery.scoring import MVDSplit, SplitScorer, make_scorer
+from repro.discovery.strategies import get_strategy
+from repro.discovery.strategies.base import best_split_in_context, maximal_bags
 from repro.errors import DiscoveryError
-from repro.info.divergence import conditional_mutual_information
 from repro.info.engine import EntropyEngine
 from repro.jointrees.build import jointree_from_schema
 from repro.jointrees.jointree import JoinTree
 from repro.relations.relation import Relation
 
-
-@dataclass(frozen=True)
-class MVDSplit:
-    """A scored candidate split ``separator ↠ left | right``."""
-
-    separator: frozenset[str]
-    left: frozenset[str]
-    right: frozenset[str]
-    cmi: float
+__all__ = ["MVDSplit", "MinedSchema", "best_split", "mine_jointree"]
 
 
 @dataclass(frozen=True)
@@ -92,46 +86,16 @@ def best_split(
     unless ``engine`` is given), so the four-entropy expansions of
     overlapping candidate splits are each computed once.
     """
-    if len(attributes) < 2:
-        return None
     if engine is None:
         engine = EntropyEngine.for_relation(relation)
-    best: MVDSplit | None = None
-    for separator in candidate_separators(sorted(attributes), max_separator_size):
-        rest = attributes - separator
-        if len(rest) < 2:
-            continue
-        if len(rest) <= exact_partition_limit:
-            partitions = binary_partitions(sorted(rest))
-        else:
-            partitions = [
-                greedy_partition(relation, sorted(rest), separator, engine=engine)
-            ]
-        for left, right in partitions:
-            cmi = conditional_mutual_information(
-                relation, left, right, separator, engine=engine
-            )
-            candidate = MVDSplit(separator, left, right, cmi)
-            if best is None or _prefer(candidate, best):
-                best = candidate
-    return best
-
-
-def _prefer(candidate: MVDSplit, incumbent: MVDSplit) -> bool:
-    """Strict preference order: CMI, then separator size, then lexicographic."""
-    key_new = (
-        candidate.cmi,
-        len(candidate.separator),
-        sorted(candidate.separator),
-        sorted(candidate.left),
+    context = SearchContext(
+        relation=relation,
+        engine=engine,
+        scorer=make_scorer(),
+        max_separator_size=max_separator_size,
+        exact_partition_limit=exact_partition_limit,
     )
-    key_old = (
-        incumbent.cmi,
-        len(incumbent.separator),
-        sorted(incumbent.separator),
-        sorted(incumbent.left),
-    )
-    return key_new < key_old
+    return best_split_in_context(context, attributes)
 
 
 def mine_jointree(
@@ -141,6 +105,11 @@ def mine_jointree(
     max_separator_size: int = 2,
     exact_partition_limit: int = 10,
     compute_loss: bool = True,
+    strategy: str = "recursive",
+    workers: int | None = None,
+    scorer: SplitScorer | None = None,
+    deadline: float | None = None,
+    seed: int = 0,
 ) -> MinedSchema:
     """Discover an acyclic schema with small J-measure for ``relation``.
 
@@ -159,6 +128,22 @@ def mine_jointree(
     compute_loss:
         Also evaluate ``ρ`` of the mined schema (skippable when only J is
         needed).
+    strategy:
+        Registered search mode (see
+        :func:`repro.discovery.strategies.available_strategies`);
+        ``"recursive"`` reproduces the classic miner bit-for-bit.
+    workers:
+        Worker-process count for split scoring; > 1 shards candidate
+        batches across a ``multiprocessing`` pool and merges the memo
+        caches back.  Default: serial.
+    scorer:
+        Explicit scoring backend (overrides ``workers``).
+    deadline:
+        Wall-clock budget in seconds; deadline-aware strategies
+        (``anytime``, and all strategies' refinement loops) return their
+        best-so-far schema when it expires.
+    seed:
+        RNG seed for randomized strategies.
 
     Examples
     --------
@@ -169,62 +154,50 @@ def mine_jointree(
     >>> mined.j_value <= 1e-9
     True
     """
-    if relation.is_empty():
-        raise DiscoveryError("cannot mine a schema from an empty relation")
-    if threshold < 0:
-        raise DiscoveryError(f"threshold must be non-negative, got {threshold}")
+    context = SearchContext.create(
+        relation,
+        threshold=threshold,
+        max_separator_size=max_separator_size,
+        exact_partition_limit=exact_partition_limit,
+        scorer=scorer,
+        workers=workers,
+        deadline_seconds=deadline,
+        seed=seed,
+    )
+    search = get_strategy(strategy)
+    try:
+        outcome = search.search(context)
+    finally:
+        # Only close pools the miner itself created; caller-supplied
+        # scorers stay open for reuse across calls.
+        if scorer is None:
+            context.close()
+    return finalize_outcome(context, outcome, compute_loss=compute_loss)
 
-    from repro.jointrees.gyo import is_acyclic
 
-    accepted: list[MVDSplit] = []
-    engine = EntropyEngine.for_relation(relation)
+def finalize_outcome(
+    context: SearchContext,
+    outcome,
+    *,
+    compute_loss: bool = True,
+) -> MinedSchema:
+    """Turn a strategy's bags into a :class:`MinedSchema`.
 
-    def decompose(attrs: frozenset[str]) -> list[frozenset[str]]:
-        split = (
-            best_split(
-                relation,
-                attrs,
-                max_separator_size=max_separator_size,
-                exact_partition_limit=exact_partition_limit,
-                engine=engine,
-            )
-            if len(attrs) > 2
-            else None
-        )
-        if split is None or split.cmi > threshold:
-            return [attrs]
-        combined = decompose(split.separator | split.left) + decompose(
-            split.separator | split.right
-        )
-        # Recursive splits are not automatically closed under union:
-        # each side's schema is acyclic, but gluing them can create a
-        # cycle when a separator ends up scattered across bags.  Reject
-        # such splits (keep the set as one bag).
-        if not is_acyclic(combined):
-            return [attrs]
-        accepted.append(split)
-        return combined
-
-    bags = decompose(relation.schema.name_set)
-
-    # Drop bags contained in others (a schema requires maximality).
-    maximal = [
-        bag for bag in bags if not any(bag < other for other in bags)
-    ]
-    # Deduplicate while preserving order.
-    seen: set[frozenset[str]] = set()
-    schema = []
-    for bag in maximal:
-        if bag not in seen:
-            seen.add(bag)
-            schema.append(bag)
+    Shared post-processing for every strategy: drop non-maximal bags,
+    deduplicate preserving discovery order, build the join tree, and
+    evaluate J (always) and ρ (unless skipped) on the training relation.
+    """
+    bags = list(outcome.bags)
+    if not bags:
+        raise DiscoveryError("strategy returned no bags")
+    schema = maximal_bags(bags)
     tree = jointree_from_schema(schema)
-    j_value = j_measure(relation, tree, engine=engine)
-    rho = spurious_loss(relation, tree) if compute_loss else math.nan
+    j_value = j_measure(context.relation, tree, engine=context.engine)
+    rho = spurious_loss(context.relation, tree) if compute_loss else math.nan
     return MinedSchema(
         jointree=tree,
         bags=frozenset(schema),
         j_value=j_value,
         rho=rho,
-        splits=tuple(accepted),
+        splits=tuple(outcome.splits),
     )

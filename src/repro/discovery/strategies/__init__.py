@@ -1,0 +1,83 @@
+"""Pluggable discovery strategies: a name → search-mode registry.
+
+A strategy is a :class:`~repro.discovery.strategies.base.DiscoveryStrategy`
+subclass registered under a unique name:
+
+.. code-block:: python
+
+    from repro.discovery.strategies import register_strategy
+    from repro.discovery.strategies.base import DiscoveryStrategy, SearchOutcome
+
+    @register_strategy
+    class MyStrategy(DiscoveryStrategy):
+        name = "my-strategy"
+
+        def search(self, context):
+            ...
+            return SearchOutcome(bags, splits)
+
+Once registered (importing the defining module is enough), the strategy
+is selectable everywhere strategies are named: ``mine_jointree(...,
+strategy="my-strategy")``, ``repro-ajd mine --strategy my-strategy``,
+and the strategy benchmarks.  Built-ins: ``recursive`` (the default,
+bit-for-bit the pre-engine miner), ``beam``, ``greedy-agglomerative``,
+and ``anytime``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DiscoveryError
+
+_REGISTRY: dict[str, type] = {}
+
+
+def register_strategy(cls: type) -> type:
+    """Class decorator: add a strategy to the registry under ``cls.name``."""
+    name = getattr(cls, "name", None)
+    if not name or not isinstance(name, str):
+        raise DiscoveryError(
+            f"strategy class {cls.__name__} must define a string `name`"
+        )
+    if name in _REGISTRY and _REGISTRY[name] is not cls:
+        raise DiscoveryError(f"strategy name {name!r} is already registered")
+    _REGISTRY[name] = cls
+    return cls
+
+
+def get_strategy(name: str) -> "object":
+    """A fresh instance of the strategy registered under ``name``."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise DiscoveryError(
+            f"unknown strategy {name!r}; known: {', '.join(available_strategies())}"
+        ) from None
+    return cls()
+
+
+def available_strategies() -> tuple[str, ...]:
+    """Registered strategy names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+# Import the built-in strategy modules so they self-register.  (Placed
+# after the registry functions: the modules import `register_strategy`
+# from this partially-initialized package.)
+from repro.discovery.strategies import (  # noqa: E402
+    agglomerative as _agglomerative,
+    anytime as _anytime,
+    beam as _beam,
+    recursive as _recursive,
+)
+from repro.discovery.strategies.base import (  # noqa: E402
+    DiscoveryStrategy,
+    SearchOutcome,
+)
+
+__all__ = [
+    "DiscoveryStrategy",
+    "SearchOutcome",
+    "available_strategies",
+    "get_strategy",
+    "register_strategy",
+]

@@ -47,8 +47,14 @@ def run_recovery(
     noise_rates: Sequence[float] = (0.0, 0.05, 0.1, 0.2),
     threshold: float = 0.25,
     seed: int = 23,
+    strategy: str = "recursive",
+    workers: int | None = None,
 ) -> list[RecoveryRow]:
-    """E8a: plant ``C ↠ A|B``, add noise, mine, compare."""
+    """E8a: plant ``C ↠ A|B``, add noise, mine, compare.
+
+    ``strategy`` and ``workers`` select the discovery engine's search
+    mode and scoring backend (defaults reproduce the pinned numbers).
+    """
     rng = np.random.default_rng(seed)
     planted_tree = jointree_from_schema([{"A", "C"}, {"B", "C"}])
     planted_bags = {frozenset({"A", "C"}), frozenset({"B", "C"})}
@@ -56,7 +62,9 @@ def run_recovery(
     for rate in noise_rates:
         base = planted_mvd_relation(10, 10, 5, rng)
         noisy = perturb(base, rng, insert_rate=rate)
-        mined = mine_jointree(noisy, threshold=threshold)
+        mined = mine_jointree(
+            noisy, threshold=threshold, strategy=strategy, workers=workers
+        )
         rows.append(
             RecoveryRow(
                 noise=rate,
@@ -113,6 +121,65 @@ def run_j_rho_correlation(
     )
 
 
+@dataclass(frozen=True)
+class StrategyRow:
+    """E8c: one strategy's result on a fixed noisy planted instance."""
+
+    strategy: str
+    num_bags: int
+    j_value: float
+    rho: float
+    recovered: bool
+
+
+def run_strategy_comparison(
+    *,
+    noise: float = 0.1,
+    threshold: float = 0.25,
+    seed: int = 23,
+    strategies: Sequence[str] | None = None,
+) -> list[StrategyRow]:
+    """E8c: every registered strategy on one noisy planted instance.
+
+    All strategies see the same relation *instance*, so the shared
+    entropy memo makes the comparison cheap; rows report how finely each
+    strategy decomposed and at what J/ρ cost.
+    """
+    from repro.discovery.strategies import available_strategies
+
+    if strategies is None:
+        strategies = available_strategies()
+    rng = np.random.default_rng(seed)
+    base = planted_mvd_relation(10, 10, 5, rng)
+    noisy = perturb(base, rng, insert_rate=noise)
+    planted_bags = {frozenset({"A", "C"}), frozenset({"B", "C"})}
+    rows = []
+    for name in strategies:
+        mined = mine_jointree(noisy, threshold=threshold, strategy=name)
+        rows.append(
+            StrategyRow(
+                strategy=name,
+                num_bags=len(mined.bags),
+                j_value=mined.j_value,
+                rho=mined.rho,
+                recovered=set(mined.bags) == planted_bags,
+            )
+        )
+    return rows
+
+
+def format_strategy_table(rows: Sequence[StrategyRow]) -> str:
+    """Render the E8c comparison."""
+    header = f"{'strategy':>22} {'bags':>5} {'J':>9} {'rho':>9} {'recovered':>10}"
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.strategy:>22} {row.num_bags:>5} {row.j_value:>9.4f} "
+            f"{row.rho:>9.4f} {'yes' if row.recovered else 'no':>10}"
+        )
+    return "\n".join(lines)
+
+
 def format_recovery_table(rows: Sequence[RecoveryRow]) -> str:
     """Render the E8a series."""
     header = (
@@ -140,6 +207,9 @@ def main() -> None:
         f"{len(corr.pairs)} random instances: {corr.spearman:.3f} "
         f"(p = {corr.p_value:.2e})"
     )
+    print()
+    print("E8c — discovery strategies on one noisy planted instance")
+    print(format_strategy_table(run_strategy_comparison()))
 
 
 if __name__ == "__main__":

@@ -47,14 +47,36 @@ def run(experiment_id: str) -> None:
     REGISTRY[key][1]()
 
 
+def _id_key(experiment_id: str) -> tuple:
+    """Numeric-aware sort key: E2 before E10 (plain sorted() is not)."""
+    suffix = experiment_id[1:]
+    if experiment_id[:1] == "E" and suffix.isdigit():
+        return (0, int(suffix))
+    return (1, experiment_id)
+
+
+def entry_groups() -> list[tuple[Callable[[], None], list[str]]]:
+    """Experiment ids grouped by their entry callable, in numeric id order.
+
+    Several ids intentionally share one ``main`` (E2/E3, E4/E5, E6/E7
+    present two claims of the same experiment program); grouping by the
+    callable itself is what lets :func:`run_all` run each program exactly
+    once while every id stays individually runnable via :func:`run`.
+    """
+    groups: dict[Callable[[], None], list[str]] = {}
+    for key in sorted(REGISTRY, key=_id_key):
+        groups.setdefault(REGISTRY[key][1], []).append(key)
+    return list(groups.items())
+
+
 def run_all() -> None:
-    """Run the full suite (each shared entry point once)."""
-    seen: set[Callable[[], None]] = set()
-    for key in sorted(REGISTRY):
-        __, entry = REGISTRY[key]
-        if entry in seen:
-            continue
-        seen.add(entry)
+    """Run the full suite, executing each shared entry point exactly once.
+
+    Each run is labelled with *all* the ids it serves, so shared entry
+    points are visible rather than silently collapsed.
+    """
+    for entry, ids in entry_groups():
+        print(f"=== {'/'.join(ids)} ===")
         entry()
         print()
 
@@ -64,7 +86,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = list(sys.argv[1:] if argv is None else argv)
     if not args or args[0] in {"-h", "--help"}:
         print("usage: python -m repro.experiments.runner <experiment-id>|all")
-        for key in sorted(REGISTRY):
+        for key in sorted(REGISTRY, key=_id_key):
             print(f"  {key}: {REGISTRY[key][0]}")
         return 0
     if args[0].lower() == "all":

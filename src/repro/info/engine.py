@@ -22,6 +22,7 @@ layers all end up sharing one cache per relation instance.
 
 from __future__ import annotations
 
+import itertools
 import math
 from collections.abc import Iterable
 
@@ -92,6 +93,42 @@ class EntropyEngine:
     def cache_size(self) -> int:
         """Number of memoized entropy entries."""
         return len(self._cache)
+
+    def cache_snapshot(self) -> dict[tuple[str, ...], float]:
+        """A shallow copy of the memo: canonical subset key → ``H`` (nats).
+
+        Used by the parallel split scorer to ship a worker's newly
+        computed entropies back to the parent process.
+        """
+        return dict(self._cache)
+
+    def cache_entries_since(self, mark: int) -> dict[tuple[str, ...], float]:
+        """Entries added after the first ``mark`` insertions.
+
+        The memo only ever grows, so ``mark = cache_size()`` taken before
+        a unit of work identifies exactly that work's new entries (dicts
+        preserve insertion order) without copying the whole cache.
+        """
+        if mark <= 0:
+            return dict(self._cache)
+        return dict(itertools.islice(self._cache.items(), mark, None))
+
+    def merge_cache(self, entries: dict[tuple[str, ...], float]) -> int:
+        """Adopt precomputed entropies (canonical keys, nats).
+
+        Entries already memoized locally are kept (both sides compute the
+        same value for the same key, so precedence is irrelevant).
+        Returns the number of newly added entries.  This is how the
+        multiprocessing scorer folds per-worker memos into the run's
+        shared engine.
+        """
+        added = 0
+        cache = self._cache
+        for key, value in entries.items():
+            if key not in cache:
+                cache[key] = value
+                added += 1
+        return added
 
     # ------------------------------------------------------------------
     # Entropies

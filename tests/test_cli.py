@@ -69,6 +69,60 @@ class TestMineCommand:
         assert code == 0
         assert "mined schema" in capsys.readouterr().out
 
+    @pytest.mark.parametrize(
+        "strategy", ["recursive", "beam", "greedy-agglomerative", "anytime"]
+    )
+    def test_strategy_flag(self, strategy, table_csv, capsys):
+        code = main(["mine", str(table_csv), "--strategy", strategy])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"mined schema ({strategy})" in out
+        assert "J-measure" in out
+
+    def test_unknown_strategy_rejected_by_parser(self, table_csv, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["mine", str(table_csv), "--strategy", "quantum"])
+        assert excinfo.value.code == 2
+
+    def test_workers_flag(self, table_csv, capsys):
+        code = main(["mine", str(table_csv), "--workers", "2"])
+        assert code == 0
+        assert "mined schema" in capsys.readouterr().out
+
+    def test_deadline_flag(self, table_csv, capsys):
+        # A generous deadline changes nothing on a tiny table.
+        code = main(["mine", str(table_csv), "--deadline", "60", "--seed", "3"])
+        assert code == 0
+        assert "{A, C}" in capsys.readouterr().out
+
+    def test_empty_csv_exits_cleanly(self, tmp_path, capsys):
+        path = tmp_path / "empty.csv"
+        path.write_text("A,B,C\n")  # header only, no data rows
+        with pytest.raises(SystemExit) as excinfo:
+            main(["mine", str(path)])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "no data rows" in err
+        assert "Traceback" not in err
+
+    def test_one_column_csv_exits_cleanly(self, tmp_path, capsys):
+        path = tmp_path / "narrow.csv"
+        path.write_text("A\n1\n2\n3\n")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["mine", str(path)])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "at least two" in err
+        assert "Traceback" not in err
+
+    def test_headerless_empty_file_exits_cleanly(self, tmp_path, capsys):
+        path = tmp_path / "void.csv"
+        path.write_text("")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["mine", str(path)])
+        assert excinfo.value.code == 2
+        assert "header row is required" in capsys.readouterr().err
+
 
 class TestOtherCommands:
     def test_version(self, capsys):

@@ -229,9 +229,75 @@ class TestEstimatorBias:
             estimator_bias.run_estimator_bias(trials=0)
 
 
+class TestStrategyComparison:
+    def test_rows_cover_all_strategies(self):
+        from repro.discovery import available_strategies
+
+        rows = discovery_quality.run_strategy_comparison(seed=3)
+        assert [row.strategy for row in rows] == list(available_strategies())
+        for row in rows:
+            assert row.num_bags >= 1
+            assert row.j_value >= 0.0
+            assert row.rho >= 0.0
+
+    def test_recursive_row_matches_direct_mining(self):
+        rows = discovery_quality.run_strategy_comparison(
+            seed=7, strategies=("recursive",)
+        )
+        assert len(rows) == 1 and rows[0].strategy == "recursive"
+
+    def test_format(self):
+        rows = discovery_quality.run_strategy_comparison(
+            seed=3, strategies=("recursive", "beam")
+        )
+        table = discovery_quality.format_strategy_table(rows)
+        assert "strategy" in table and "recovered" in table
+
+
 class TestRunner:
     def test_registry_complete(self):
         assert set(REGISTRY) == {f"E{i}" for i in range(1, 11)}
+
+    def test_entry_groups_dedupe_by_callable(self):
+        from repro.experiments.runner import entry_groups
+
+        groups = entry_groups()
+        callables = [entry for entry, _ in groups]
+        # Each callable appears exactly once...
+        assert len(callables) == len(set(callables))
+        # ...every registry id is accounted for...
+        all_ids = [i for _, ids in groups for i in ids]
+        assert sorted(all_ids) == sorted(REGISTRY)
+        # ...and the known shared entry points are grouped together.
+        by_ids = {tuple(ids) for _, ids in groups}
+        assert ("E2", "E3") in by_ids
+        assert ("E4", "E5") in by_ids
+        assert ("E6", "E7") in by_ids
+
+    def test_run_all_runs_each_entry_once(self, capsys, monkeypatch):
+        import repro.experiments.runner as runner_mod
+
+        calls = []
+
+        def make_entry(tag):
+            def entry():
+                calls.append(tag)
+
+            return entry
+
+
+        shared = make_entry("shared")
+        registry = {
+            "E1": ("solo experiment", make_entry("solo")),
+            "E2": ("shared claim one", shared),
+            "E3": ("shared claim two", shared),
+        }
+        monkeypatch.setattr(runner_mod, "REGISTRY", registry)
+        runner_mod.run_all()
+        assert calls == ["solo", "shared"]
+        out = capsys.readouterr().out
+        assert "=== E1 ===" in out
+        assert "=== E2/E3 ===" in out
 
     def test_unknown_id_rejected(self):
         with pytest.raises(ExperimentError):
