@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-baseline bench-strategies lint
+.PHONY: test bench bench-baseline bench-strategies bench-jmeasure lint
 
 ## tier-1 suite (tests only; benchmarks are opt-in via `make bench`)
 test:
@@ -25,6 +25,13 @@ bench-baseline:
 bench-strategies:
 	$(PYTHON) -m pytest benchmarks/test_bench_strategies.py -q -s \
 		--benchmark-columns=mean,ops
+
+## engine-backed evaluation layer vs the pinned legacy paths at
+## N=1e4/1e5; appends a record to BENCH_jmeasure.json (see
+## docs/performance.md)
+bench-jmeasure:
+	$(PYTHON) -m pytest benchmarks/test_bench_jmeasure.py -q -s \
+		--benchmark-disable
 
 ## byte-compile + import smoke check (no third-party linter is vendored
 ## in the runtime image; swap in ruff/flake8 here when available)

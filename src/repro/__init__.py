@@ -25,10 +25,12 @@ Subpackages
 ``repro.core``           J-measure, loss, bounds, random relation model
 ``repro.datasets``       synthetic workloads and noise
 ``repro.discovery``      approximate acyclic-schema mining
+``repro.factorize``      materialized decompositions + JSON reports
 ``repro.experiments``    the paper's evaluation harness (Figure 1 etc.)
 """
 
 from repro.core import (
+    EvalContext,
     LossAnalysis,
     analyze,
     entropy_confidence_radius,
@@ -53,6 +55,14 @@ from repro.core import (
     support_split_losses,
 )
 from repro.discovery import mine_jointree
+from repro.factorize import (
+    Decomposition,
+    DecompositionReport,
+    decompose,
+    discover_and_decompose,
+    reconstruct,
+    write_decomposition,
+)
 from repro.info import (
     EmpiricalDistribution,
     conditional_mutual_information,
@@ -86,7 +96,10 @@ from repro.relations import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "Decomposition",
+    "DecompositionReport",
     "EmpiricalDistribution",
+    "EvalContext",
     "JoinTree",
     "LossAnalysis",
     "MVD",
@@ -97,6 +110,8 @@ __all__ = [
     "analyze",
     "chain_jointree",
     "conditional_mutual_information",
+    "decompose",
+    "discover_and_decompose",
     "edge_support",
     "entropy_confidence_radius",
     "epsilon_star",
@@ -123,6 +138,7 @@ __all__ = [
     "random_mvd_relation",
     "random_relation",
     "read_csv",
+    "reconstruct",
     "sandwich_bounds",
     "satisfies_ajd",
     "schema_upper_bound",
@@ -133,4 +149,5 @@ __all__ = [
     "support_cmis",
     "support_split_losses",
     "write_csv",
+    "write_decomposition",
 ]

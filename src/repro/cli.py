@@ -1,26 +1,39 @@
-"""Command-line interface: analyze tables, mine schemas, run experiments.
+"""Command-line interface: analyze tables, mine schemas, decompose, run experiments.
 
 Installed as ``repro-ajd`` (see pyproject).  Subcommands:
 
-* ``analyze <csv> --schema "A,B;B,C"`` — full loss analysis of a CSV table
-  under a user-supplied acyclic schema;
+* ``analyze <csv> --schema "A,B;B,C" [--json]`` — full loss analysis of a
+  CSV table under a user-supplied acyclic schema;
 * ``mine <csv> [--threshold T] [--strategy S] [--workers N]
-  [--deadline SEC]`` — discover a low-J acyclic schema with any
+  [--deadline SEC] [--json]`` — discover a low-J acyclic schema with any
   registered strategy, optionally with parallel split scoring and a
   wall-clock budget;
-* ``experiment <id>|all``              — run a paper experiment (E1–E8);
+* ``decompose <csv> [--strategy S | --schema ...] [--out-dir DIR]`` —
+  mine (or take) a schema, materialize the semijoin-reduced bag
+  projections, measure the decomposition, and emit a JSON report (plus
+  one CSV per bag when ``--out-dir`` is given);
+* ``experiment <id>|all``              — run a paper experiment (E1–E10);
 * ``version``                          — print the package version.
+
+``mine --json``, ``analyze --json``, and ``decompose`` share one JSON
+report core (see :mod:`repro.factorize.report`): ``command``,
+``strategy``, ``j_measure``, ``rho``, ``wall_time_s``, ``n_rows``,
+``n_cols``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import time
 from collections.abc import Sequence
 
 from repro.core.analysis import analyze
 from repro.discovery.miner import mine_jointree
 from repro.discovery.strategies import available_strategies
 from repro.errors import DiscoveryError, ReproError
+from repro.factorize.pipeline import decompose, write_decomposition
+from repro.factorize.report import base_report
 from repro.jointrees.build import jointree_from_schema
 from repro.relations.io import infer_integer_domains, read_csv
 from repro.relations.relation import Relation
@@ -38,11 +51,29 @@ def _parse_schema(text: str) -> list[set[str]]:
     return bags
 
 
+def _print_json(payload: dict) -> None:
+    print(json.dumps(payload, indent=2, sort_keys=True))
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
+    start = time.perf_counter()
     relation = infer_integer_domains(read_csv(args.csv))
     tree = jointree_from_schema(_parse_schema(args.schema))
     report = analyze(relation, tree, delta=args.delta)
-    print(report.render())
+    if args.json:
+        payload = base_report(
+            command="analyze",
+            strategy=None,
+            j_measure=report.j_entropy,
+            rho=report.rho,
+            wall_time_s=time.perf_counter() - start,
+            n_rows=report.n,
+            n_cols=report.num_attributes,
+        )
+        payload.update(report.to_dict())
+        _print_json(payload)
+    else:
+        print(report.render())
     return 0
 
 
@@ -60,6 +91,7 @@ def _require_minable(relation: Relation, path: str) -> None:
 
 
 def _cmd_mine(args: argparse.Namespace) -> int:
+    start = time.perf_counter()
     loaded = read_csv(args.csv)
     _require_minable(loaded, args.csv)
     relation = infer_integer_domains(loaded)
@@ -72,11 +104,94 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         deadline=args.deadline,
         seed=args.seed,
     )
+    sorted_bags = sorted((sorted(bag) for bag in mined.bags))
+    if args.json:
+        payload = base_report(
+            command="mine",
+            strategy=args.strategy,
+            j_measure=mined.j_value,
+            rho=mined.rho,
+            wall_time_s=time.perf_counter() - start,
+            n_rows=len(relation),
+            n_cols=relation.schema.arity,
+        )
+        payload["bags"] = sorted_bags
+        payload["threshold"] = args.threshold
+        _print_json(payload)
+        return 0
     print(f"mined schema ({args.strategy}):")
-    for bag in sorted(mined.bags, key=lambda b: sorted(b)):
-        print("  {" + ", ".join(sorted(bag)) + "}")
+    for bag in sorted_bags:
+        print("  {" + ", ".join(bag) + "}")
     print(f"J-measure: {mined.j_value:.6g} nats")
     print(f"loss rho : {mined.rho:.6g}")
+    return 0
+
+
+def _require_no_mining_flags(args: argparse.Namespace) -> None:
+    """``--schema`` and the mining knobs contradict each other; say so."""
+    conflicting = [
+        f"--{name.replace('_', '-')}"
+        for name, default in _MINING_DEFAULTS.items()
+        if getattr(args, name) != default
+    ]
+    if conflicting:
+        raise ReproError(
+            "--schema supplies the schema directly; the mining option(s) "
+            f"{', '.join(conflicting)} would be ignored — drop one side"
+        )
+
+
+def _cmd_decompose(args: argparse.Namespace) -> int:
+    start = time.perf_counter()
+    loaded = read_csv(args.csv)
+    strategy: str | None = None
+    if args.schema is not None:
+        _require_no_mining_flags(args)
+        relation = infer_integer_domains(loaded)
+        tree = jointree_from_schema(_parse_schema(args.schema))
+    else:
+        _require_minable(loaded, args.csv)
+        relation = infer_integer_domains(loaded)
+        strategy = args.strategy
+        mined = mine_jointree(
+            relation,
+            threshold=args.threshold,
+            max_separator_size=args.max_separator,
+            strategy=strategy,
+            workers=args.workers,
+            deadline=args.deadline,
+            seed=args.seed,
+        )
+        tree = mined.jointree
+    decomposition = decompose(relation, tree)
+    report = decomposition.report
+    payload = base_report(
+        command="decompose",
+        strategy=strategy,
+        j_measure=report.j_measure,
+        rho=report.rho,
+        wall_time_s=time.perf_counter() - start,
+        n_rows=report.n_rows,
+        n_cols=report.n_cols,
+    )
+    payload.update(report.to_dict())
+    if args.out_dir is not None:
+        try:
+            paths = write_decomposition(
+                decomposition,
+                args.out_dir,
+                report_extra={
+                    key: payload[key]
+                    for key in ("command", "strategy", "wall_time_s")
+                },
+            )
+        except OSError as exc:
+            raise ReproError(
+                f"cannot write decomposition to {args.out_dir}: "
+                f"{exc.strerror or exc}"
+            ) from exc
+        payload["out_dir"] = str(paths["report"].parent)
+    _print_json(payload)
     return 0
 
 
@@ -91,6 +206,61 @@ def _cmd_version(_: argparse.Namespace) -> int:
 
     print(repro.__version__)
     return 0
+
+
+#: Mining-knob defaults, shared between ``_add_mining_options`` (the
+#: ``add_argument(default=...)`` values) and ``_require_no_mining_flags``
+#: (the ``decompose --schema`` conflict check) — one source of truth.
+_MINING_DEFAULTS: dict[str, object] = {
+    "threshold": 1e-9,
+    "max_separator": 2,
+    "strategy": "recursive",
+    "workers": None,
+    "deadline": None,
+    "seed": 0,
+}
+
+
+def _add_mining_options(parser: argparse.ArgumentParser) -> None:
+    """Discovery knobs shared by ``mine`` and ``decompose``."""
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=_MINING_DEFAULTS["threshold"],
+        help="maximum CMI (nats) an accepted split may incur",
+    )
+    parser.add_argument(
+        "--max-separator",
+        type=int,
+        default=_MINING_DEFAULTS["max_separator"],
+        help="maximum separator size searched",
+    )
+    parser.add_argument(
+        "--strategy",
+        choices=available_strategies(),
+        default=_MINING_DEFAULTS["strategy"],
+        help="search strategy (default: recursive, the classic miner)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=_MINING_DEFAULTS["workers"],
+        help="worker processes for split scoring (>1 enables the "
+        "multiprocessing backend; default: serial)",
+    )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=_MINING_DEFAULTS["deadline"],
+        help="wall-clock budget in seconds; anytime-aware strategies "
+        "return their best-so-far schema when it expires",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=_MINING_DEFAULTS["seed"],
+        help="RNG seed for randomized strategies",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -114,52 +284,44 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="failure budget for the probabilistic bounds (omit to skip)",
     )
+    p_analyze.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a machine-readable JSON report instead of the text render",
+    )
     p_analyze.set_defaults(func=_cmd_analyze)
 
     p_mine = sub.add_parser("mine", help="discover a low-J acyclic schema")
     p_mine.add_argument("csv", help="path to a CSV file with a header row")
+    _add_mining_options(p_mine)
     p_mine.add_argument(
-        "--threshold",
-        type=float,
-        default=1e-9,
-        help="maximum CMI (nats) an accepted split may incur",
-    )
-    p_mine.add_argument(
-        "--max-separator",
-        type=int,
-        default=2,
-        help="maximum separator size searched",
-    )
-    p_mine.add_argument(
-        "--strategy",
-        choices=available_strategies(),
-        default="recursive",
-        help="search strategy (default: recursive, the classic miner)",
-    )
-    p_mine.add_argument(
-        "--workers",
-        type=int,
-        default=None,
-        help="worker processes for split scoring (>1 enables the "
-        "multiprocessing backend; default: serial)",
-    )
-    p_mine.add_argument(
-        "--deadline",
-        type=float,
-        default=None,
-        help="wall-clock budget in seconds; anytime-aware strategies "
-        "return their best-so-far schema when it expires",
-    )
-    p_mine.add_argument(
-        "--seed",
-        type=int,
-        default=0,
-        help="RNG seed for randomized strategies",
+        "--json",
+        action="store_true",
+        help="emit a machine-readable JSON report instead of the text summary",
     )
     p_mine.set_defaults(func=_cmd_mine)
 
+    p_decompose = sub.add_parser(
+        "decompose",
+        help="factorize a CSV: mine (or take) a schema, write reduced "
+        "bag CSVs and a JSON report",
+    )
+    p_decompose.add_argument("csv", help="path to a CSV file with a header row")
+    _add_mining_options(p_decompose)
+    p_decompose.add_argument(
+        "--schema",
+        default=None,
+        help="use this acyclic schema (e.g. 'A,C;B,C') instead of mining one",
+    )
+    p_decompose.add_argument(
+        "--out-dir",
+        default=None,
+        help="directory to write one CSV per bag plus report.json",
+    )
+    p_decompose.set_defaults(func=_cmd_decompose)
+
     p_exp = sub.add_parser("experiment", help="run a paper experiment")
-    p_exp.add_argument("id", help="experiment id (E1..E8) or 'all'")
+    p_exp.add_argument("id", help="experiment id (E1..E10) or 'all'")
     p_exp.set_defaults(func=_cmd_experiment)
 
     p_version = sub.add_parser("version", help="print the package version")

@@ -22,6 +22,7 @@ from repro.core.bounds import (
     schema_upper_bound,
     stepwise_expansion_check,
 )
+from repro.core.evalcontext import EvalContext
 from repro.core.jmeasure import SandwichBounds, j_measure, j_measure_kl, sandwich_bounds
 from repro.core.loss import SplitLoss, spurious_count, spurious_loss, support_split_losses
 from repro.jointrees.jointree import JoinTree
@@ -100,14 +101,72 @@ class LossAnalysis:
             )
         return "\n".join(lines)
 
+    def to_dict(self) -> dict:
+        """JSON-ready view of the analysis (``repro-ajd analyze --json``).
+
+        Extends the CLI's shared report schema (see
+        :mod:`repro.factorize.report`) with every bound the report
+        renders; values are plain Python scalars/lists.
+        """
+        out: dict = {
+            "n_rows": self.n,
+            "n_cols": self.num_attributes,
+            "schema": [sorted(bag) for bag in self.schema],
+            "j_measure": self.j_entropy,
+            "j_kl": self.j_kl,
+            "rho": self.rho,
+            "spurious": self.spurious,
+            "log_loss": self.log_loss,
+            "lossless": self.lossless,
+            "sandwich": {
+                "lower": self.sandwich.lower,
+                "upper": self.sandwich.upper,
+                "holds": self.sandwich.holds,
+            },
+            "rho_lower_bound": self.rho_lower_bound,
+            "split_losses": [
+                {
+                    "index": split.index,
+                    "separator": sorted(split.separator),
+                    "rho": split.rho,
+                }
+                for split in self.split_losses
+            ],
+            "product_bound": {
+                "lhs": self.product_bound.lhs,
+                "rhs": self.product_bound.rhs,
+                "holds": self.product_bound.holds,
+            },
+            "stepwise_bound": {
+                "lhs": self.stepwise_bound.lhs,
+                "rhs": self.stepwise_bound.rhs,
+                "holds": self.stepwise_bound.holds,
+            },
+        }
+        if self.probabilistic is not None:
+            out["probabilistic"] = {
+                "cmi_sum_bound": self.probabilistic.cmi_sum_bound,
+                "j_bound": self.probabilistic.j_bound,
+                "conditions_hold": self.probabilistic.conditions_hold,
+                "actual": self.probabilistic.actual,
+            }
+        return out
+
 
 def analyze(
     relation: Relation,
     jointree: JoinTree,
     *,
     delta: float | None = None,
+    context: EvalContext | None = None,
 ) -> LossAnalysis:
     """Compute the full loss profile of ``relation`` under ``jointree``.
+
+    Every constituent quantity is served by one shared
+    :class:`~repro.core.evalcontext.EvalContext`: entropies come from the
+    relation's memoizing engine, and every join size (the full schema's,
+    each split's, each stepwise prefix's) is counted exactly once even
+    though several bounds consume it.
 
     Parameters
     ----------
@@ -118,24 +177,31 @@ def analyze(
     delta:
         If given, also evaluate the probabilistic upper bounds of
         Proposition 5.3 at failure budget ``δ``.
+    context:
+        Optional evaluation context to reuse (defaults to the one cached
+        on the relation).
     """
-    rho = spurious_loss(relation, jointree)
-    j_ent = j_measure(relation, jointree)
+    if context is None:
+        context = EvalContext.for_relation(relation)
+    rho = spurious_loss(relation, jointree, context=context)
+    j_ent = j_measure(relation, jointree, engine=context.engine)
     probabilistic = (
-        schema_upper_bound(relation, jointree, delta) if delta is not None else None
+        schema_upper_bound(relation, jointree, delta, context=context)
+        if delta is not None
+        else None
     )
     return LossAnalysis(
         n=len(relation),
         num_attributes=relation.schema.arity,
         schema=tuple(sorted(jointree.schema(), key=lambda b: sorted(b))),
         rho=rho,
-        spurious=spurious_count(relation, jointree),
+        spurious=spurious_count(relation, jointree, context=context),
         j_entropy=j_ent,
         j_kl=j_measure_kl(relation, jointree),
-        sandwich=sandwich_bounds(relation, jointree),
+        sandwich=sandwich_bounds(relation, jointree, engine=context.engine),
         rho_lower_bound=loss_lower_bound(j_ent),
-        split_losses=support_split_losses(relation, jointree),
-        product_bound=product_bound_check(relation, jointree),
-        stepwise_bound=stepwise_expansion_check(relation, jointree),
+        split_losses=support_split_losses(relation, jointree, context=context),
+        product_bound=product_bound_check(relation, jointree, context=context),
+        stepwise_bound=stepwise_expansion_check(relation, jointree, context=context),
         probabilistic=probabilistic,
     )

@@ -123,12 +123,25 @@ class ProductBoundCheck:
         return self.lhs <= self.rhs + 1e-9 * max(1.0, abs(self.rhs))
 
 
-def product_bound_check(relation: Relation, jointree: JoinTree) -> ProductBoundCheck:
-    """Evaluate Proposition 5.1 on a concrete instance (see erratum)."""
+def product_bound_check(
+    relation: Relation,
+    jointree: JoinTree,
+    *,
+    context: "EvalContext | None" = None,
+) -> ProductBoundCheck:
+    """Evaluate Proposition 5.1 on a concrete instance (see erratum).
+
+    All join sizes come from the relation's shared
+    :class:`~repro.core.evalcontext.EvalContext` (or the supplied one),
+    so re-checking the bound after computing ``ρ`` costs nothing extra.
+    """
+    from repro.core.evalcontext import EvalContext
     from repro.core.loss import spurious_loss, support_split_losses
 
-    rho = spurious_loss(relation, jointree)
-    splits = support_split_losses(relation, jointree)
+    if context is None:
+        context = EvalContext.for_relation(relation)
+    rho = spurious_loss(relation, jointree, context=context)
+    splits = support_split_losses(relation, jointree, context=context)
     split_rhos = tuple(s.rho for s in splits)
     return ProductBoundCheck(
         lhs=math.log1p(rho),
@@ -164,17 +177,25 @@ class StepwiseExpansionCheck:
 
 
 def stepwise_expansion_check(
-    relation: Relation, jointree: JoinTree, *, root: int | None = None
+    relation: Relation,
+    jointree: JoinTree,
+    *,
+    root: int | None = None,
+    context: "EvalContext | None" = None,
 ) -> StepwiseExpansionCheck:
     """Evaluate the stepwise-expansion bound on a concrete instance.
 
     Prefix join sizes ``|J_i|`` are computed by message passing on the
     induced subtree of the first ``i`` DFS nodes (always a valid join
-    tree), so nothing is materialized.
+    tree), so nothing is materialized.  Each prefix size is memoized on
+    the evaluation context — the last prefix is the full tree, so the
+    size behind ``ρ`` is shared with every other consumer.
     """
+    from repro.core.evalcontext import EvalContext
     from repro.core.loss import spurious_loss
-    from repro.relations.join import acyclic_join_size
 
+    if context is None:
+        context = EvalContext.for_relation(relation)
     order = jointree.dfs_order(root)
     parent = jointree.parents(root)
     sizes: list[int] = []
@@ -185,11 +206,11 @@ def stepwise_expansion_check(
             (parent[node], node) for node in prefix_nodes[1:]
         ]
         subtree = JoinTree(bags, edges)
-        sizes.append(acyclic_join_size(relation, subtree))
+        sizes.append(context.join_size(subtree))
     ratios = tuple(
         sizes[i] / sizes[i - 1] for i in range(1, len(sizes))
     )
-    lhs = math.log1p(spurious_loss(relation, jointree))
+    lhs = math.log1p(spurious_loss(relation, jointree, context=context))
     rhs = sum(math.log(r) for r in ratios if r > 0)
     return StepwiseExpansionCheck(
         lhs=lhs,
@@ -423,24 +444,28 @@ def schema_upper_bound(
     delta: float,
     *,
     root: int | None = None,
+    context: "EvalContext | None" = None,
 ) -> SchemaUpperBound:
     """Assemble Proposition 5.3 for a concrete relation and join tree.
 
     Domain sizes for each split's ε-term use *active* domain sizes
     (``d_A = |Π_A(R)|`` etc.), matching the paper's convention below
     Eq. 29.  The failure budget δ is split evenly over the ``m − 1``
-    support MVDs.
+    support MVDs.  Entropies, join sizes, and projection sizes all come
+    from the relation's shared evaluation context.
     """
+    from repro.core.evalcontext import EvalContext
     from repro.core.jmeasure import j_measure, support_cmis
     from repro.core.loss import spurious_loss
-    from repro.info.engine import EntropyEngine
 
     _validate_delta(delta)
-    engine = EntropyEngine.for_relation(relation)
+    if context is None:
+        context = EvalContext.for_relation(relation)
+    engine = context.engine
     cmis = support_cmis(relation, jointree, root=root, engine=engine)
     m_minus_1 = len(cmis)
     if m_minus_1 == 0:
-        actual = math.log1p(spurious_loss(relation, jointree))
+        actual = math.log1p(spurious_loss(relation, jointree, context=context))
         return SchemaUpperBound(
             cmi_sum_bound=0.0,
             j_bound=0.0,
@@ -456,15 +481,15 @@ def schema_upper_bound(
         sep = term.separator
         side_a = term.prefix - sep
         side_b = term.suffix - sep
-        d_a = _projection_size(relation, side_a)
-        d_b = _projection_size(relation, side_b)
-        d_c = _projection_size(relation, sep) if sep else 1
+        d_a = _projection_size(context, side_a)
+        d_b = _projection_size(context, side_b)
+        d_c = _projection_size(context, sep) if sep else 1
         eps = epsilon_star(max(d_a, d_b), min(d_a, d_b), d_c, n, per_mvd_delta)
         epsilons.append(eps.value)
         conditions.append(eps.condition_holds)
     cmi_sum = sum(term.cmi for term in cmis)
     j_value = j_measure(relation, jointree, engine=engine)
-    actual = math.log1p(spurious_loss(relation, jointree))
+    actual = math.log1p(spurious_loss(relation, jointree, context=context))
     return SchemaUpperBound(
         cmi_sum_bound=cmi_sum + sum(epsilons),
         j_bound=m_minus_1 * j_value + sum(epsilons),
@@ -474,10 +499,10 @@ def schema_upper_bound(
     )
 
 
-def _projection_size(relation: Relation, attrs: frozenset[str]) -> int:
+def _projection_size(context, attrs: frozenset[str]) -> int:
     if not attrs:
         return 1
-    return relation.projection_size(attrs)
+    return context.projection_size(attrs)
 
 
 def _validate_sizes(**sizes: int) -> None:

@@ -1,0 +1,177 @@
+"""Pinned row-based evaluation paths (the pre-engine implementations).
+
+The evaluation layer — J-measure, KL form, split losses, the classwise
+decomposition — now runs on the columnar :class:`~repro.info.engine.EntropyEngine`
+backend through :class:`~repro.core.evalcontext.EvalContext`.  This module
+keeps the original row-at-a-time implementations alive under ``*_legacy``
+names, the same pattern as the pinned ``recursive`` discovery strategy:
+
+* they are the independently-checkable reference the equivalence suite
+  (``tests/test_eval_equivalence.py``) compares the engine paths against;
+* they are the "before" side of ``make bench-jmeasure``
+  (``BENCH_jmeasure.json``).
+
+Nothing in the library calls these on a hot path.  All quantities are in
+nats unless ``base`` is given.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+
+from repro.info.distribution import EmpiricalDistribution
+from repro.info.divergence import kl_divergence_to_callable
+from repro.info.factorization import junction_tree_factorization
+from repro.jointrees.jointree import JoinTree
+from repro.relations.join import join_size
+from repro.relations.relation import Relation
+from repro.relations.schema import Row
+
+
+def j_measure_legacy(
+    relation: Relation, jointree: JoinTree, *, base: float | None = None
+) -> float:
+    """``J(T)`` by the entropy formula, via explicit marginal distributions.
+
+    Materializes the empirical distribution and one marginal per bag and
+    per non-empty separator — the pre-engine evaluation path.
+    """
+    from repro.core.jmeasure import _require_cover
+
+    _require_cover(relation, jointree)
+    dist = EmpiricalDistribution.from_relation(relation)
+    total = -dist.entropy()
+    for node in jointree.node_ids():
+        total += dist.marginal(jointree.bag(node)).entropy()
+    for separator in jointree.separators():
+        if separator:
+            total -= dist.marginal(separator).entropy()
+    total = max(total, 0.0)
+    if base is not None:
+        total /= math.log(base)
+    return total
+
+
+def j_measure_kl_legacy(
+    relation: Relation, jointree: JoinTree, *, base: float | None = None
+) -> float:
+    """``J(T) = D_KL(P ‖ P^T)`` via the lazily-evaluated factorization.
+
+    Builds :class:`~repro.info.distribution.EmpiricalDistribution` and a
+    :class:`~repro.info.factorization.FactorizedDistribution`, then sums
+    ``p·log(p/q)`` tuple by tuple over ``P``'s support — the pre-engine
+    KL path (linear in ``|R|`` but entirely dict-based).
+    """
+    from repro.core.jmeasure import _require_cover
+
+    _require_cover(relation, jointree)
+    p = EmpiricalDistribution.from_relation(relation)
+    p_tree = junction_tree_factorization(p, jointree)
+    return kl_divergence_to_callable(p, p_tree.prob, base=base)
+
+
+def split_join_size_legacy(relation: Relation, left, right) -> int:
+    """``|R[left] ⋈ R[right]|`` by materializing both projections.
+
+    The pre-engine path behind :func:`~repro.core.loss.split_loss`:
+    projects twice, then counts via the ``Counter``-rekeying pairwise
+    :func:`~repro.relations.join.join_size`.
+    """
+    left_proj = relation.project(relation.schema.canonical_order(left))
+    right_proj = relation.project(relation.schema.canonical_order(right))
+    return join_size(left_proj, right_proj)
+
+
+def split_loss_legacy(relation: Relation, left, right) -> float:
+    """``ρ(R, φ)`` for a two-projection split, on the legacy join counter."""
+    from repro.core.loss import _require_split_cover
+
+    left, right = _require_split_cover(relation, left, right)
+    size = split_join_size_legacy(relation, left, right)
+    return (size - len(relation)) / len(relation)
+
+
+def acyclic_join_size_legacy(relation: Relation, jointree: JoinTree) -> int:
+    """``|⋈ᵢ R[Ωᵢ]|`` via the dict-of-tuples message passing (exact bignums).
+
+    Runs the reference Python DP directly, bypassing the dense/columnar
+    fast tiers of :func:`~repro.relations.join.acyclic_join_size`.
+    """
+    bags = jointree.bags()
+    missing = set().union(*bags) - set(relation.schema.names)
+    if missing:
+        from repro.errors import JoinTreeError
+
+        raise JoinTreeError(
+            f"join tree mentions attributes not in the relation: {sorted(missing)}"
+        )
+    if relation.is_empty():
+        return 0
+    order = jointree.topological_order()
+    parent_of = jointree.parents()
+
+    tables: dict[int, dict[Row, int]] = {}
+    bag_orders: dict[int, tuple[str, ...]] = {}
+    for node in jointree.node_ids():
+        bag_order = relation.schema.canonical_order(jointree.bag(node))
+        bag_orders[node] = bag_order
+        getter_idx = relation.schema.indices(bag_order)
+        seen = {tuple(row[i] for i in getter_idx) for row in relation.rows()}
+        tables[node] = {row: 1 for row in seen}
+
+    for node in order[:-1]:
+        parent = parent_of[node]
+        separator = jointree.bag(node) & jointree.bag(parent)
+        sep_order = relation.schema.canonical_order(separator) if separator else ()
+        message: dict[Row, int] = defaultdict(int)
+        child_positions = tuple(bag_orders[node].index(a) for a in sep_order)
+        for row, weight in tables[node].items():
+            message[tuple(row[i] for i in child_positions)] += weight
+        parent_positions = tuple(bag_orders[parent].index(a) for a in sep_order)
+        parent_table = tables[parent]
+        for row in list(parent_table):
+            hit = message.get(tuple(row[i] for i in parent_positions))
+            if hit is None:
+                del parent_table[row]
+            else:
+                parent_table[row] *= hit
+        del tables[node]
+    return sum(tables[order[-1]].values())
+
+
+def spurious_loss_legacy(relation: Relation, jointree: JoinTree) -> float:
+    """``ρ(R, S)`` on the legacy join counter."""
+    from repro.errors import DistributionError
+
+    if relation.is_empty():
+        raise DistributionError("ρ(R, S) is undefined for an empty relation")
+    return (acyclic_join_size_legacy(relation, jointree) - len(relation)) / len(
+        relation
+    )
+
+
+def support_split_losses_legacy(
+    relation: Relation, jointree: JoinTree, *, root: int | None = None
+) -> tuple[float, ...]:
+    """Per-split ``ρ(R, φᵢ)`` values on the legacy join counter."""
+    return tuple(
+        split_loss_legacy(relation, split.prefix, split.suffix)
+        for split in jointree.rooted_splits(root)
+    )
+
+
+def legacy_loss_profile(relation: Relation, jointree: JoinTree) -> dict[str, object]:
+    """The pre-engine cost of one ``analyze``-style evaluation.
+
+    Computes the four quantities every loss analysis needs — ``J``
+    (entropy form), ``J`` (KL form), ``ρ``, and the per-split losses —
+    entirely on the row-based reference paths.  This is the "before"
+    side of ``make bench-jmeasure``.
+    """
+    return {
+        "j_measure": j_measure_legacy(relation, jointree),
+        "j_kl": j_measure_kl_legacy(relation, jointree),
+        "rho": spurious_loss_legacy(relation, jointree),
+        "split_losses": support_split_losses_legacy(relation, jointree),
+    }

@@ -3,8 +3,15 @@
 ``ρ(R, S) = (|⋈ᵢ R[Ωᵢ]| − |R|) / |R|`` counts the relative number of
 tuples the re-joined decomposition invents.  Join sizes are obtained by
 counting (never materializing): message passing over the join tree for the
-full schema, and a pairwise count for the two-projection splits of the
-tree's support.
+full schema, and the columnar two-projection counter
+(:func:`~repro.relations.join.split_join_size`) for the splits of the
+tree's support.  All counts are memoized on the relation's shared
+:class:`~repro.core.evalcontext.EvalContext`, so one analysis — or many
+evaluations against the same instance — pays for each join size once.
+
+The pre-engine row-based counters survive in :mod:`repro.core.legacy`
+(``split_loss_legacy``, ``spurious_loss_legacy``) as the pinned reference
+the equivalence suite compares against.
 """
 
 from __future__ import annotations
@@ -12,57 +19,72 @@ from __future__ import annotations
 from collections.abc import Iterable
 from dataclasses import dataclass
 
+from repro.core.evalcontext import EvalContext
 from repro.errors import DistributionError
 from repro.jointrees.jointree import JoinTree
-from repro.relations.join import (
-    acyclic_join_size,
-    join_size,
-    materialized_acyclic_join,
-)
+from repro.relations.join import materialized_acyclic_join
 from repro.relations.relation import Relation
 
 
-def spurious_count(relation: Relation, jointree: JoinTree) -> int:
+def spurious_count(
+    relation: Relation, jointree: JoinTree, *, context: EvalContext | None = None
+) -> int:
     """``|⋈ᵢ R[Ωᵢ]| − |R|`` — the number of spurious tuples.
 
     Always non-negative: the join of projections contains ``R``.
     """
     if relation.is_empty():
         return 0
-    return acyclic_join_size(relation, jointree) - len(relation)
+    if context is None:
+        context = EvalContext.for_relation(relation)
+    return context.spurious_count(jointree)
 
 
-def spurious_loss(relation: Relation, jointree: JoinTree) -> float:
+def spurious_loss(
+    relation: Relation, jointree: JoinTree, *, context: EvalContext | None = None
+) -> float:
     """``ρ(R, S)`` (Eq. 1) for the schema defined by ``jointree``."""
     if relation.is_empty():
         raise DistributionError("ρ(R, S) is undefined for an empty relation")
-    return spurious_count(relation, jointree) / len(relation)
+    if context is None:
+        context = EvalContext.for_relation(relation)
+    return context.spurious_loss(jointree)
+
+
+def _require_split_cover(
+    relation: Relation, left: Iterable[str], right: Iterable[str]
+) -> tuple[set[str], set[str]]:
+    """Validate a two-projection split; returns the sides as sets."""
+    if relation.is_empty():
+        raise DistributionError("ρ(R, φ) is undefined for an empty relation")
+    left = set(left)
+    right = set(right)
+    missing = relation.schema.name_set - (left | right)
+    if missing:
+        raise DistributionError(
+            f"split must cover all attributes; missing {sorted(missing)}"
+        )
+    return left, right
 
 
 def split_loss(
     relation: Relation,
     left: Iterable[str],
     right: Iterable[str],
+    *,
+    context: EvalContext | None = None,
 ) -> float:
     """``ρ(R, φ)`` for a two-projection split (Eq. 28).
 
     ``φ`` joins ``R[left]`` with ``R[right]``; the two attribute sets may
     overlap (their intersection acts as the join key) and must jointly
-    cover the relation's attributes.
+    cover the relation's attributes.  The join size comes from the
+    columnar per-key-group counter — neither projection is materialized.
     """
-    if relation.is_empty():
-        raise DistributionError("ρ(R, φ) is undefined for an empty relation")
-    left = set(left)
-    right = set(right)
-    covered = left | right
-    missing = relation.schema.name_set - covered
-    if missing:
-        raise DistributionError(
-            f"split must cover all attributes; missing {sorted(missing)}"
-        )
-    left_proj = relation.project(relation.schema.canonical_order(left))
-    right_proj = relation.project(relation.schema.canonical_order(right))
-    size = join_size(left_proj, right_proj)
+    left, right = _require_split_cover(relation, left, right)
+    if context is None:
+        context = EvalContext.for_relation(relation)
+    size = context.split_join_size(left, right)
     return (size - len(relation)) / len(relation)
 
 
@@ -78,16 +100,22 @@ class SplitLoss:
 
 
 def support_split_losses(
-    relation: Relation, jointree: JoinTree, *, root: int | None = None
+    relation: Relation,
+    jointree: JoinTree,
+    *,
+    root: int | None = None,
+    context: EvalContext | None = None,
 ) -> tuple[SplitLoss, ...]:
     """``ρ(R, φᵢ)`` for every rooted-split MVD in the tree's support.
 
     These are the terms of Proposition 5.1's product bound
     ``1 + ρ(R, S) ≤ ∏ᵢ (1 + ρ(R, φᵢ))``.
     """
+    if context is None:
+        context = EvalContext.for_relation(relation)
     out = []
     for split in jointree.rooted_splits(root):
-        rho = split_loss(relation, split.prefix, split.suffix)
+        rho = split_loss(relation, split.prefix, split.suffix, context=context)
         out.append(
             SplitLoss(
                 index=split.index,

@@ -20,8 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 from scipy import stats
 
-from repro.core.jmeasure import j_measure
-from repro.core.loss import spurious_loss
+from repro.core.evalcontext import EvalContext
 from repro.core.random_relations import random_relation
 from repro.datasets.noise import perturb
 from repro.datasets.synthetic import planted_mvd_relation
@@ -65,14 +64,17 @@ def run_recovery(
         mined = mine_jointree(
             noisy, threshold=threshold, strategy=strategy, workers=workers
         )
+        # One evaluation context per instance: the planted-schema J and ρ
+        # reuse the entropies the mining run already memoized.
+        context = EvalContext.for_relation(noisy)
         rows.append(
             RecoveryRow(
                 noise=rate,
                 recovered=set(mined.bags) == planted_bags,
                 mined_j=mined.j_value,
                 mined_rho=mined.rho,
-                planted_j=j_measure(noisy, planted_tree),
-                planted_rho=spurious_loss(noisy, planted_tree),
+                planted_j=context.j_measure(planted_tree),
+                planted_rho=context.spurious_loss(planted_tree),
             )
         )
     return rows
@@ -110,8 +112,9 @@ def run_j_rho_correlation(
         total = d_a * d_b * d_c
         n = int(rng.integers(max(4, total // 20), max(5, total // 2)))
         relation = random_relation({"A": d_a, "B": d_b, "C": d_c}, n, rng)
+        context = EvalContext.for_relation(relation)
         pairs.append(
-            (j_measure(relation, tree), spurious_loss(relation, tree))
+            (context.j_measure(tree), context.spurious_loss(tree))
         )
     js = [p[0] for p in pairs]
     rhos = [p[1] for p in pairs]

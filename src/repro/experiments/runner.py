@@ -81,18 +81,33 @@ def run_all() -> None:
         print()
 
 
+def _usage_lines() -> list[str]:
+    """The id directory printed by ``--help`` and unknown-id errors."""
+    lines = ["usage: python -m repro.experiments.runner <experiment-id>|all"]
+    for key in sorted(REGISTRY, key=_id_key):
+        lines.append(f"  {key}: {REGISTRY[key][0]}")
+    return lines
+
+
 def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point for the experiment runner."""
+    """CLI entry point for the experiment runner.
+
+    An unknown experiment id exits with status 2 and the full directory
+    of valid ids (with descriptions) on stderr — never a traceback.
+    """
     args = list(sys.argv[1:] if argv is None else argv)
     if not args or args[0] in {"-h", "--help"}:
-        print("usage: python -m repro.experiments.runner <experiment-id>|all")
-        for key in sorted(REGISTRY, key=_id_key):
-            print(f"  {key}: {REGISTRY[key][0]}")
+        print("\n".join(_usage_lines()))
         return 0
-    if args[0].lower() == "all":
-        run_all()
-        return 0
-    run(args[0])
+    try:
+        if args[0].lower() == "all":
+            run_all()
+        else:
+            run(args[0])
+    except ExperimentError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        print("\n".join(_usage_lines()[1:]), file=sys.stderr)
+        return 2
     return 0
 
 

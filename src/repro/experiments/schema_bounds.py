@@ -20,6 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.bounds import product_bound_check, stepwise_expansion_check
+from repro.core.evalcontext import EvalContext
 from repro.core.jmeasure import sandwich_bounds
 from repro.core.random_relations import random_relation
 from repro.errors import ExperimentError
@@ -93,9 +94,13 @@ def run_schema_bounds(
         n = max(4, int(density * total))
         for _ in range(trials):
             relation = random_relation(sizes, n, rng)
-            product = product_bound_check(relation, tree)
-            stepwise = stepwise_expansion_check(relation, tree)
-            sandwich = sandwich_bounds(relation, tree)
+            # All three checks share one evaluation context: the full
+            # join size is counted once (product ρ, stepwise last
+            # prefix) and all entropies hit one memo.
+            context = EvalContext.for_relation(relation)
+            product = product_bound_check(relation, tree, context=context)
+            stepwise = stepwise_expansion_check(relation, tree, context=context)
+            sandwich = sandwich_bounds(relation, tree, engine=context.engine)
             rows.append(
                 SchemaBoundRow(
                     label=label,

@@ -1,0 +1,29 @@
+"""Factorized decomposition pipeline (project → reduce → measure → persist).
+
+See :mod:`repro.factorize.pipeline` for the pipeline and
+:mod:`repro.factorize.report` for the CLI's shared JSON report schema.
+"""
+
+from repro.factorize.pipeline import (
+    BagTable,
+    Decomposition,
+    DecompositionReport,
+    decompose,
+    discover_and_decompose,
+    reconstruct,
+    write_decomposition,
+)
+from repro.factorize.report import REPORT_SCHEMA, base_report, validate_report
+
+__all__ = [
+    "BagTable",
+    "Decomposition",
+    "DecompositionReport",
+    "REPORT_SCHEMA",
+    "base_report",
+    "decompose",
+    "discover_and_decompose",
+    "reconstruct",
+    "validate_report",
+    "write_decomposition",
+]

@@ -1,0 +1,95 @@
+"""Shared machine-readable report schema for the CLI's JSON outputs.
+
+``repro-ajd mine --json``, ``repro-ajd analyze --json``, and
+``repro-ajd decompose`` all emit one JSON object built on a common core,
+so downstream tooling can consume any of them uniformly:
+
+==============  ======  =====================================================
+field           type    meaning
+==============  ======  =====================================================
+``command``     str     which subcommand produced the report
+``strategy``    str?    discovery strategy used (``null`` for a user schema)
+``j_measure``   float   ``J`` of the evaluated schema, nats
+``rho``         float   spurious-tuple loss ``ρ(R, S)``
+``wall_time_s`` float   end-to-end wall time of the computation
+``n_rows``      int     ``N = |R|``
+``n_cols``      int     number of attributes
+==============  ======  =====================================================
+
+Commands append their own extra fields (bags, bounds, storage numbers);
+extras are allowed by validation, missing/mistyped core fields are not.
+:func:`validate_report` is what the test suite and the CI smoke job run
+against the CLI's actual output.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.errors import ReproError
+
+#: Core field → allowed types.  ``strategy`` is optional-by-value (null
+#: when the schema was user-supplied), never absent.
+REPORT_SCHEMA: dict[str, tuple[type, ...]] = {
+    "command": (str,),
+    "strategy": (str, type(None)),
+    "j_measure": (int, float),
+    "rho": (int, float),
+    "wall_time_s": (int, float),
+    "n_rows": (int,),
+    "n_cols": (int,),
+}
+
+
+def base_report(
+    *,
+    command: str,
+    strategy: str | None,
+    j_measure: float,
+    rho: float,
+    wall_time_s: float,
+    n_rows: int,
+    n_cols: int,
+) -> dict:
+    """Assemble the shared core of a CLI JSON report."""
+    return {
+        "command": command,
+        "strategy": strategy,
+        "j_measure": float(j_measure),
+        "rho": float(rho),
+        "wall_time_s": float(wall_time_s),
+        "n_rows": int(n_rows),
+        "n_cols": int(n_cols),
+    }
+
+
+def validate_report(data: Mapping) -> None:
+    """Check ``data`` against the shared report schema; raise on violation.
+
+    Extra fields are fine (commands extend the core); missing core
+    fields, wrong types, bools where numbers are expected, and negative
+    sizes are reported together in one :class:`~repro.errors.ReproError`.
+    """
+    if not isinstance(data, Mapping):
+        raise ReproError(f"report must be a JSON object, got {type(data).__name__}")
+    problems = []
+    for field, types in REPORT_SCHEMA.items():
+        if field not in data:
+            problems.append(f"missing field {field!r}")
+            continue
+        value = data[field]
+        if isinstance(value, bool) or not isinstance(value, types):
+            expected = "/".join(
+                "null" if t is type(None) else t.__name__ for t in types
+            )
+            problems.append(
+                f"field {field!r} should be {expected}, got {type(value).__name__}"
+            )
+    for field in ("n_rows", "n_cols"):
+        value = data.get(field)
+        if isinstance(value, int) and not isinstance(value, bool) and value < 0:
+            problems.append(f"field {field!r} must be non-negative, got {value}")
+    if problems:
+        raise ReproError(
+            "report fails the shared schema: " + "; ".join(problems)
+        )

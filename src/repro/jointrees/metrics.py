@@ -8,9 +8,13 @@ and the storage footprint of the factorized representation.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.jointrees.jointree import JoinTree
 from repro.relations.relation import Relation
+
+if TYPE_CHECKING:  # avoid a runtime cycle with repro.core.evalcontext
+    from repro.core.evalcontext import EvalContext
 
 
 @dataclass(frozen=True)
@@ -64,22 +68,26 @@ def _diameter(jointree: JoinTree) -> int:
     return dist
 
 
-def storage_cells(relation: Relation, jointree: JoinTree) -> int:
+def storage_cells(
+    relation: Relation, jointree: JoinTree, *, context: EvalContext | None = None
+) -> int:
     """Cells needed to store the schema's projections of ``relation``.
 
     ``Σ_bag |R[bag]| · |bag|`` — the factorized footprint the intro's
     compression application cares about (vs ``N·n`` for the original).
+    Counted from columnar projection sizes; nothing is materialized.
+    ``context`` may be an :class:`~repro.core.evalcontext.EvalContext`
+    whose projection-size memo should be shared.
     """
-    total = 0
-    for bag in jointree.schema():
-        ordered = relation.schema.canonical_order(bag)
-        total += len(relation.project(ordered)) * len(bag)
-    return total
+    size_of = context.projection_size if context is not None else relation.projection_size
+    return sum(size_of(bag) * len(bag) for bag in jointree.schema())
 
 
-def compression_ratio(relation: Relation, jointree: JoinTree) -> float:
+def compression_ratio(
+    relation: Relation, jointree: JoinTree, *, context: EvalContext | None = None
+) -> float:
     """``storage_cells / (N·n)`` — below 1 means the factorization saves space."""
     original = len(relation) * relation.schema.arity
     if original == 0:
         return 1.0
-    return storage_cells(relation, jointree) / original
+    return storage_cells(relation, jointree, context=context) / original

@@ -11,6 +11,7 @@ from repro.relations.join import (
     materialized_acyclic_join,
     natural_join,
     natural_join_all,
+    split_join_size,
 )
 from repro.relations.columns import ColumnStore, GroupIndex
 from repro.relations.io import infer_integer_domains, read_csv, write_csv
@@ -51,5 +52,6 @@ __all__ = [
     "projections_for_tree",
     "read_csv",
     "semijoin",
+    "split_join_size",
     "write_csv",
 ]

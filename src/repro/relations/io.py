@@ -37,22 +37,35 @@ def read_csv(
         CSV delimiter.
     """
     path = Path(path)
-    with path.open(newline="") as handle:
-        reader = csv.reader(handle, delimiter=delimiter)
-        try:
-            header = next(reader)
-        except StopIteration:
-            raise SchemaError(f"{path} is empty; a header row is required") from None
-        rows = []
-        for raw in reader:
-            if not raw:
-                continue
-            if len(raw) != len(header):
+    try:
+        with path.open(newline="") as handle:
+            reader = csv.reader(handle, delimiter=delimiter)
+            try:
+                header = next(reader)
+            except StopIteration:
                 raise SchemaError(
-                    f"{path}: row {reader.line_num} has {len(raw)} fields, "
-                    f"header has {len(header)}"
-                )
-            rows.append(tuple(_coerce(v) for v in raw) if typed else tuple(raw))
+                    f"{path} is empty; a header row is required"
+                ) from None
+            rows = []
+            for raw in reader:
+                if not raw:
+                    continue
+                if len(raw) != len(header):
+                    raise SchemaError(
+                        f"{path}: row {reader.line_num} has {len(raw)} fields, "
+                        f"header has {len(header)}"
+                    )
+                rows.append(tuple(_coerce(v) for v in raw) if typed else tuple(raw))
+    except OSError as exc:
+        reason = exc.strerror or exc
+        raise SchemaError(f"cannot read {path}: {reason}") from exc
+    except UnicodeDecodeError as exc:
+        raise SchemaError(
+            f"{path} is not a readable CSV text file ({exc.reason}); "
+            "is it binary?"
+        ) from exc
+    except csv.Error as exc:
+        raise SchemaError(f"{path} is not parseable as CSV: {exc}") from exc
     schema = RelationSchema.from_names(header)
     return Relation(schema, rows, validate=False)
 

@@ -138,6 +138,41 @@ def join_size(left: Relation, right: Relation) -> int:
     )
 
 
+def split_join_size(relation: Relation, left: Iterable[str], right: Iterable[str]) -> int:
+    """``|R[left] ⋈ R[right]|`` when both projections come from ``relation``.
+
+    The two-projection join sizes of Eq. 28 are the per-split loss
+    workhorse.  Because both sides project the *same* instance, the count
+    decomposes per shared-key group: ``Σ_k aₖ·bₖ`` where ``aₖ``/``bₖ``
+    are the numbers of distinct left/right projections within key group
+    ``k``.  Both are one bincount over the relation's cached columnar
+    :class:`~repro.relations.columns.GroupIndex` objects — nothing is
+    materialized and no tuples are hashed.
+
+    With no shared attributes the join is the Cartesian product of the
+    two projection sizes.  Falls back to exact Python bignums when the
+    product bound could overflow int64.
+    """
+    schema = relation.schema
+    left_order = schema.canonical_order(left)
+    right_order = schema.canonical_order(right)
+    if relation.is_empty():
+        return 0
+    store = relation.columns()
+    left_groups = store.groups(schema.indices(left_order))
+    right_groups = store.groups(schema.indices(right_order))
+    shared = set(left_order) & set(right_order)
+    if not shared:
+        return len(left_groups.counts) * len(right_groups.counts)
+    key_groups = store.groups(schema.indices(schema.canonical_order(shared)))
+    n_keys = len(key_groups.counts)
+    a = np.bincount(key_groups.gids[left_groups.first_index], minlength=n_keys)
+    b = np.bincount(key_groups.gids[right_groups.first_index], minlength=n_keys)
+    if len(left_groups.counts) * len(right_groups.counts) < _INT64_SAFE_BOUND:
+        return int(a @ b)
+    return sum(int(x) * int(y) for x, y in zip(a.tolist(), b.tolist()))
+
+
 def _rekey(counts: Counter[Row], have: tuple[str, ...], want: tuple[str, ...]) -> Counter[Row]:
     """Re-order composite keys from attribute order ``have`` to ``want``."""
     if have == want:

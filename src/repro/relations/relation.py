@@ -78,7 +78,7 @@ class Relation:
     [(1,), (2,)]
     """
 
-    __slots__ = ("_engine", "_rows", "_schema", "_store")
+    __slots__ = ("_engine", "_eval", "_rows", "_schema", "_store")
 
     def __init__(
         self,
@@ -95,9 +95,11 @@ class Relation:
         else:
             self._rows = frozenset(tuple(row) for row in rows)
         # Lazily-built caches (the relation itself is immutable): the
-        # columnar store and the memoizing entropy engine bound to it.
+        # columnar store, the memoizing entropy engine bound to it, and
+        # the evaluation context memoizing join sizes on top of both.
         self._store: ColumnStore | None = None
         self._engine = None
+        self._eval = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -162,6 +164,7 @@ class Relation:
         relation._schema = schema
         relation._rows = rows
         relation._engine = None
+        relation._eval = None
         if n and max(cards) < _dense_limit(n):
             relation._store = ColumnStore.from_identity_codes(
                 row_list,

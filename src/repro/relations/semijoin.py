@@ -15,9 +15,14 @@ from __future__ import annotations
 
 from collections.abc import Mapping, Sequence
 
+import numpy as np
+
 from repro.errors import JoinTreeError
 from repro.jointrees.jointree import JoinTree
 from repro.relations.relation import Relation
+
+#: Below this size a plain row scan beats building/consulting columns.
+_SCAN_LIMIT = 64
 
 
 def semijoin(left: Relation, right: Relation) -> Relation:
@@ -25,6 +30,12 @@ def semijoin(left: Relation, right: Relation) -> Relation:
 
     Matching is on the shared attributes; with no shared attributes the
     semijoin is ``left`` itself when ``right`` is non-empty, else empty.
+
+    Large left sides run columnar: the left rows are grouped once by the
+    shared attributes (a cached
+    :class:`~repro.relations.columns.GroupIndex`), membership is decided
+    per *distinct* key group rather than per row, and the surviving rows
+    come from one boolean mask over the group ids.
     """
     shared = [n for n in left.schema.names if n in set(right.schema.names)]
     if not shared:
@@ -32,6 +43,20 @@ def semijoin(left: Relation, right: Relation) -> Relation:
     left_idx = left.schema.indices(shared)
     right_idx = right.schema.indices(shared)
     keys = {tuple(row[i] for i in right_idx) for row in right}
+    if len(left) >= _SCAN_LIMIT:
+        store = left.columns()
+        group = store.groups(left_idx)
+        row_list = store.row_list
+        keep = np.fromiter(
+            (
+                tuple(row_list[i][p] for p in left_idx) in keys
+                for i in group.first_index.tolist()
+            ),
+            dtype=bool,
+            count=len(group.counts),
+        )
+        kept = [row_list[i] for i in np.flatnonzero(keep[group.gids]).tolist()]
+        return Relation(left.schema, kept, validate=False)
     kept = [
         row for row in left if tuple(row[i] for i in left_idx) in keys
     ]

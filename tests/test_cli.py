@@ -1,9 +1,12 @@
 """End-to-end tests for the repro-ajd CLI."""
 
+import json
+
 import pytest
 
 from repro.cli import _parse_schema, build_parser, main
 from repro.errors import ReproError
+from repro.factorize.report import validate_report
 
 
 @pytest.fixture()
@@ -51,6 +54,34 @@ class TestAnalyzeCommand:
             main(["analyze", str(table_csv), "--schema", "A,B;B,C;A,C"])
         assert excinfo.value.code == 2
         assert "cyclic" in capsys.readouterr().err
+
+    def test_json_output_matches_shared_schema(self, table_csv, capsys):
+        code = main(["analyze", str(table_csv), "--schema", "A,C;B,C", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        validate_report(payload)
+        assert payload["command"] == "analyze"
+        assert payload["strategy"] is None
+        assert payload["rho"] == 0.0
+        assert payload["n_rows"] == 8
+        assert payload["n_cols"] == 3
+        assert payload["sandwich"]["holds"] is True
+
+    def test_json_with_delta_includes_probabilistic(self, table_csv, capsys):
+        code = main(
+            [
+                "analyze",
+                str(table_csv),
+                "--schema",
+                "A,C;B,C",
+                "--delta",
+                "0.1",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "probabilistic" in payload
 
 
 class TestMineCommand:
@@ -123,6 +154,175 @@ class TestMineCommand:
         assert excinfo.value.code == 2
         assert "header row is required" in capsys.readouterr().err
 
+    def test_missing_file_exits_cleanly(self, tmp_path, capsys):
+        path = tmp_path / "does-not-exist.csv"
+        with pytest.raises(SystemExit) as excinfo:
+            main(["mine", str(path)])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "cannot read" in err
+        assert "Traceback" not in err
+
+    def test_binary_garbage_exits_cleanly(self, tmp_path, capsys):
+        path = tmp_path / "garbage.csv"
+        path.write_bytes(b"\xff\xfe\x00\x01binary\x00soup\x9c")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["mine", str(path)])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "Traceback" not in err
+
+    def test_ragged_rows_exit_cleanly(self, tmp_path, capsys):
+        path = tmp_path / "ragged.csv"
+        path.write_text("A,B\n1,2\n3,4,5\n")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["mine", str(path)])
+        assert excinfo.value.code == 2
+        assert "fields" in capsys.readouterr().err
+
+    def test_json_output_matches_shared_schema(self, table_csv, capsys):
+        code = main(["mine", str(table_csv), "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        validate_report(payload)
+        assert payload["command"] == "mine"
+        assert payload["strategy"] == "recursive"
+        assert ["A", "C"] in payload["bags"]
+        assert payload["rho"] == 0.0
+
+
+class TestDecomposeCommand:
+    def test_writes_bags_and_valid_report(self, table_csv, tmp_path, capsys):
+        out_dir = tmp_path / "decomp"
+        code = main(
+            [
+                "decompose",
+                str(table_csv),
+                "--strategy",
+                "beam",
+                "--out-dir",
+                str(out_dir),
+            ]
+        )
+        assert code == 0
+        stdout_payload = json.loads(capsys.readouterr().out)
+        validate_report(stdout_payload)
+        assert stdout_payload["command"] == "decompose"
+        assert stdout_payload["strategy"] == "beam"
+
+        report = json.loads((out_dir / "report.json").read_text())
+        assert report["spurious"] == 0
+        # `bags` keeps the family-wide shape (attribute lists, as in
+        # mine --json); file details live under `bag_files`.
+        assert all(isinstance(bag, list) for bag in report["bags"])
+        bag_files = [entry["file"] for entry in report["bag_files"]]
+        assert len(bag_files) >= 2
+        for name in bag_files:
+            assert (out_dir / name).exists()
+
+    def test_roundtrip_reproduces_distinct_tuples(self, table_csv, tmp_path):
+        from repro.jointrees.jointree import JoinTree
+        from repro.relations.io import read_csv
+        from repro.relations.yannakakis import evaluate_acyclic_join
+
+        out_dir = tmp_path / "decomp"
+        main(
+            [
+                "decompose",
+                str(table_csv),
+                "--strategy",
+                "beam",
+                "--out-dir",
+                str(out_dir),
+            ]
+        )
+        report = json.loads((out_dir / "report.json").read_text())
+        bags = {
+            i: frozenset(entry["attributes"])
+            for i, entry in enumerate(report["bag_files"])
+        }
+        relations = {
+            i: read_csv(out_dir / entry["file"])
+            for i, entry in enumerate(report["bag_files"])
+        }
+        # Rebuild a join tree over the written bags (schema is acyclic).
+        from repro.jointrees.build import jointree_from_schema
+
+        tree = jointree_from_schema(list(bags.values()))
+        keyed = {
+            node: next(
+                rel
+                for rel in relations.values()
+                if rel.schema.name_set == tree.bag(node)
+            )
+            for node in tree.node_ids()
+        }
+        rejoined = evaluate_acyclic_join(keyed, tree)
+        original = read_csv(table_csv)
+        assert rejoined.reorder(original.schema.names).rows() == original.rows()
+
+    def test_explicit_schema_reports_null_strategy(self, table_csv, capsys):
+        code = main(["decompose", str(table_csv), "--schema", "A,C;B,C"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        validate_report(payload)
+        assert payload["strategy"] is None
+        assert payload["schema"] == [["A", "C"], ["B", "C"]]
+        assert payload["lossless"] is True
+
+    def test_lossy_schema_reports_spurious(self, table_csv, capsys):
+        code = main(["decompose", str(table_csv), "--schema", "A,B;B,C"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["spurious"] > 0
+        assert payload["rho"] == payload["spurious"] / payload["n_rows"]
+
+    def test_empty_csv_exits_cleanly(self, tmp_path, capsys):
+        path = tmp_path / "empty.csv"
+        path.write_text("A,B,C\n")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["decompose", str(path)])
+        assert excinfo.value.code == 2
+        assert "no data rows" in capsys.readouterr().err
+
+    def test_unwritable_out_dir_exits_cleanly(self, table_csv, tmp_path, capsys):
+        blocker = tmp_path / "not-a-dir"
+        blocker.write_text("occupied")
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "decompose",
+                    str(table_csv),
+                    "--schema",
+                    "A,C;B,C",
+                    "--out-dir",
+                    str(blocker / "nested"),
+                ]
+            )
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "cannot write decomposition" in err
+        assert "Traceback" not in err
+
+    def test_schema_rejects_contradictory_mining_flags(self, table_csv, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "decompose",
+                    str(table_csv),
+                    "--schema",
+                    "A,C;B,C",
+                    "--strategy",
+                    "beam",
+                    "--workers",
+                    "4",
+                ]
+            )
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "--strategy" in err and "--workers" in err
+
 
 class TestOtherCommands:
     def test_version(self, capsys):
@@ -134,6 +334,22 @@ class TestOtherCommands:
     def test_experiment_dispatch(self, capsys):
         assert main(["experiment", "E2"]) == 0
         assert "Example 4.1" in capsys.readouterr().out
+
+    def test_unknown_experiment_lists_valid_ids(self, capsys):
+        assert main(["experiment", "E99"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err
+        # The error enumerates every valid id with its description.
+        for key in ("E1", "E8", "E10"):
+            assert key in err
+        assert "Figure 1" in err
+        assert "Traceback" not in err
+
+    def test_runner_main_unknown_id(self, capsys):
+        from repro.experiments import runner
+
+        assert runner.main(["nope"]) == 2
+        assert "known ids" in capsys.readouterr().err
 
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):

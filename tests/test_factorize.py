@@ -1,0 +1,232 @@
+"""Tests for the factorized decomposition pipeline and its JSON report."""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.evalcontext import EvalContext
+from repro.datasets.noise import perturb
+from repro.datasets.synthetic import planted_mvd_relation
+from repro.errors import ReproError
+from repro.factorize.pipeline import (
+    decompose,
+    discover_and_decompose,
+    reconstruct,
+    write_decomposition,
+)
+from repro.factorize.report import REPORT_SCHEMA, base_report, validate_report
+from repro.jointrees.build import jointree_from_schema
+from repro.relations.io import read_csv
+from repro.relations.join import acyclic_join_size, materialized_acyclic_join
+from repro.relations.relation import Relation
+from repro.relations.schema import RelationSchema
+from repro.relations.yannakakis import evaluate_acyclic_join
+
+TREE = jointree_from_schema([{"A", "C"}, {"B", "C"}])
+
+
+@pytest.fixture()
+def lossless_relation():
+    return planted_mvd_relation(8, 8, 4, np.random.default_rng(31))
+
+
+@pytest.fixture()
+def lossy_relation(lossless_relation):
+    return perturb(lossless_relation, np.random.default_rng(32), insert_rate=0.15)
+
+
+class TestDecompose:
+    def test_lossless_roundtrip(self, lossless_relation):
+        dec = decompose(lossless_relation, TREE)
+        assert dec.report.lossless
+        assert dec.report.spurious == 0
+        assert reconstruct(dec).rows() == lossless_relation.rows()
+
+    def test_spurious_matches_join_counter(self, lossy_relation):
+        dec = decompose(lossy_relation, TREE)
+        join_size = acyclic_join_size(lossy_relation, TREE)
+        assert dec.report.join_size == join_size
+        assert dec.report.spurious == join_size - len(lossy_relation)
+        assert dec.report.rho == dec.report.spurious / len(lossy_relation)
+
+    def test_reconstruct_matches_materialized_join(self, lossy_relation):
+        dec = decompose(lossy_relation, TREE)
+        rejoined = reconstruct(dec)
+        expected = materialized_acyclic_join(lossy_relation, TREE).reorder(
+            lossy_relation.schema.names
+        )
+        assert rejoined == expected
+        assert len(rejoined) == dec.report.join_size
+        # The join of projections always contains the original tuples.
+        assert lossy_relation.rows() <= rejoined.rows()
+
+    def test_bags_are_the_projections(self, lossy_relation):
+        dec = decompose(lossy_relation, TREE)
+        for bag in dec.bags:
+            expected = lossy_relation.project(
+                lossy_relation.schema.canonical_order(dec.jointree.bag(bag.node))
+            )
+            assert bag.relation == expected
+
+    def test_report_consistency(self, lossy_relation):
+        dec = decompose(lossy_relation, TREE)
+        report = dec.report
+        assert report.n_rows == len(lossy_relation)
+        assert report.n_cols == 3
+        assert report.schema == (("A", "C"), ("B", "C"))
+        assert report.j_measure == pytest.approx(report.j_kl, abs=1e-9)
+        # Lemma 4.1: rho >= e^J - 1.
+        assert report.rho + 1e-9 >= math.expm1(report.j_measure)
+        assert report.storage_cells == sum(
+            len(bag.relation) * len(bag.attributes) for bag in dec.bags
+        )
+        assert report.metrics.num_bags == 2
+
+    def test_shares_the_relation_context(self, lossy_relation):
+        context = EvalContext.for_relation(lossy_relation)
+        dec = decompose(lossy_relation, TREE)
+        assert context.join_size(TREE) == dec.report.join_size
+        assert context.cache_stats()["tree_join_sizes"] >= 1
+
+    def test_rejects_wrong_cover(self, lossless_relation):
+        with pytest.raises(ReproError):
+            decompose(lossless_relation, jointree_from_schema([{"A", "C"}]))
+
+    def test_rejects_empty_relation(self):
+        empty = Relation.empty(RelationSchema.from_names(["A", "B", "C"]))
+        with pytest.raises(ReproError):
+            decompose(empty, TREE)
+
+
+class TestDiscoverAndDecompose:
+    def test_mined_schema_is_measured(self, lossless_relation):
+        dec, mined = discover_and_decompose(lossless_relation, strategy="beam")
+        assert dec.jointree == mined.jointree
+        assert dec.report.j_measure == pytest.approx(mined.j_value, abs=1e-12)
+        assert dec.report.rho == mined.rho
+
+
+class TestWriteDecomposition:
+    def test_written_bags_rejoin_to_input_distinct_tuples(
+        self, tmp_path, lossy_relation
+    ):
+        dec = decompose(lossy_relation, TREE)
+        paths = write_decomposition(dec, tmp_path)
+        payload = json.loads(paths["report"].read_text())
+        assert payload["spurious"] == acyclic_join_size(lossy_relation, TREE) - len(
+            lossy_relation
+        )
+        # Load the bag CSVs back and re-join them with Yannakakis; the
+        # result must reproduce the decomposition's join — and therefore
+        # contain exactly the input's distinct tuples plus the reported
+        # spurious ones.
+        assert payload["bags"] == [list(b) for b in dec.report.schema]
+        relations = {}
+        for bag, entry in zip(dec.bags, payload["bag_files"]):
+            loaded = read_csv(tmp_path / entry["file"])
+            assert loaded == bag.relation
+            relations[bag.node] = loaded
+        rejoined = evaluate_acyclic_join(relations, dec.jointree).reorder(
+            lossy_relation.schema.names
+        )
+        assert lossy_relation.rows() <= rejoined.rows()
+        assert len(rejoined) == len(lossy_relation) + payload["spurious"]
+
+    def test_report_extra_merged(self, tmp_path, lossless_relation):
+        dec = decompose(lossless_relation, TREE)
+        paths = write_decomposition(
+            dec, tmp_path / "out", report_extra={"strategy": "beam"}
+        )
+        payload = json.loads(paths["report"].read_text())
+        assert payload["strategy"] == "beam"
+        assert payload["lossless"] is True
+
+    def test_report_valid_without_extra(self, tmp_path, lossless_relation):
+        """The library API alone writes a shared-schema-valid report."""
+        dec = decompose(lossless_relation, TREE)
+        paths = write_decomposition(dec, tmp_path / "bare")
+        payload = json.loads(paths["report"].read_text())
+        validate_report(payload)
+        assert payload["command"] == "decompose"
+        assert payload["strategy"] is None
+        assert payload["wall_time_s"] == 0.0
+
+
+class TestReportSchema:
+    def _core(self):
+        return base_report(
+            command="mine",
+            strategy="beam",
+            j_measure=0.5,
+            rho=1.25,
+            wall_time_s=0.01,
+            n_rows=100,
+            n_cols=4,
+        )
+
+    def test_base_report_validates(self):
+        validate_report(self._core())
+
+    def test_extras_allowed(self):
+        payload = self._core()
+        payload["bags"] = [["A", "B"]]
+        validate_report(payload)
+
+    def test_null_strategy_allowed(self):
+        payload = self._core()
+        payload["strategy"] = None
+        validate_report(payload)
+
+    @pytest.mark.parametrize("field", sorted(REPORT_SCHEMA))
+    def test_missing_field_rejected(self, field):
+        payload = self._core()
+        del payload[field]
+        with pytest.raises(ReproError, match=field):
+            validate_report(payload)
+
+    def test_mistyped_field_rejected(self):
+        payload = self._core()
+        payload["j_measure"] = "0.5"
+        with pytest.raises(ReproError, match="j_measure"):
+            validate_report(payload)
+
+    def test_bool_is_not_a_number(self):
+        payload = self._core()
+        payload["rho"] = True
+        with pytest.raises(ReproError, match="rho"):
+            validate_report(payload)
+
+    def test_negative_sizes_rejected(self):
+        payload = self._core()
+        payload["n_rows"] = -1
+        with pytest.raises(ReproError, match="n_rows"):
+            validate_report(payload)
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ReproError):
+            validate_report([1, 2, 3])
+
+
+class TestDecompositionReportPin:
+    """Regression pin: exact report numbers on a fixed seed."""
+
+    def test_pinned_fields(self):
+        base = planted_mvd_relation(10, 10, 5, np.random.default_rng(23))
+        noisy = perturb(base, np.random.default_rng(23), insert_rate=0.1)
+        dec = decompose(noisy, TREE)
+        report = dec.report
+        assert report.n_rows == 137
+        assert report.n_cols == 3
+        assert report.schema == (("A", "C"), ("B", "C"))
+        assert report.join_size == 205
+        assert report.spurious == 68
+        assert report.rho == pytest.approx(68 / 137)
+        assert report.j_measure == pytest.approx(0.1959436, abs=1e-6)
+        assert report.j_kl == pytest.approx(report.j_measure, abs=1e-9)
+        assert len(report.split_cmis) == 1
+        assert report.split_cmis[0] == pytest.approx(0.1959436, abs=1e-6)
+        assert report.storage_cells == 128
+        assert report.compression_ratio == pytest.approx(128 / (137 * 3))
+        assert report.metrics.width == 2
