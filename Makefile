@@ -4,7 +4,8 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-baseline bench-strategies bench-jmeasure lint
+.PHONY: test bench bench-baseline bench-strategies bench-jmeasure \
+	bench-streaming bench-gate lint
 
 ## tier-1 suite (tests only; benchmarks are opt-in via `make bench`)
 test:
@@ -32,6 +33,19 @@ bench-strategies:
 bench-jmeasure:
 	$(PYTHON) -m pytest benchmarks/test_bench_jmeasure.py -q -s \
 		--benchmark-disable
+
+## streaming ingestion + sketch mining vs the eager path, peak-RSS and
+## wall-clock at N=1e5 *and* N=1e6; appends a record to
+## BENCH_streaming.json (see docs/performance.md)
+bench-streaming:
+	BENCH_STREAMING_FULL=1 $(PYTHON) -m pytest \
+		benchmarks/test_bench_streaming.py -q -s --benchmark-disable
+
+## benchmark-regression gate: re-run smoke benches and compare against
+## the committed BENCH_*.json baselines (>2x degradation fails); the CI
+## bench-gate job runs exactly this (see docs/ci.md)
+bench-gate:
+	$(PYTHON) benchmarks/check_regression.py
 
 ## byte-compile + import smoke check (no third-party linter is vendored
 ## in the runtime image; swap in ruff/flake8 here when available)

@@ -1,0 +1,272 @@
+#!/usr/bin/env python
+"""Benchmark-regression gate: fresh smoke benches vs committed baselines.
+
+Re-runs a small, fast subset of the repo's benchmarks ("smoke" sizes)
+and compares each tracked operation against the baseline recorded in the
+committed ``BENCH_*.json`` files.  The gate fails (exit 1) when any
+tracked op degrades by more than ``--factor`` (default 2x).
+
+Tracked ops are **dimensionless ratios** (speedups, memory ratios), not
+absolute wall-clock times, so the gate is portable across machines: a CI
+runner that is uniformly 3x slower than the laptop that recorded the
+baselines produces the same ratios.  Policy details live in
+``docs/ci.md``.
+
+Usage::
+
+    python benchmarks/check_regression.py [--factor 2.0] [--report out.json]
+
+Exit codes: 0 ok · 1 regression detected · 2 baseline missing/unreadable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_PATH = REPO_ROOT / "src"
+sys.path.insert(0, str(SRC_PATH))
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+
+def _last_record(path: Path) -> dict:
+    """The most recent record of an append-style bench history file."""
+    if not path.exists():
+        raise FileNotFoundError(f"baseline file {path.name} is missing")
+    history = json.loads(path.read_text())
+    if isinstance(history, list):
+        if not history:
+            raise ValueError(f"baseline file {path.name} is empty")
+        return history[-1]
+    return history
+
+
+# ----------------------------------------------------------------------
+# Fresh smoke measurements (one function per tracked op family)
+# ----------------------------------------------------------------------
+def fresh_jmeasure_speedup() -> float:
+    """Engine-vs-legacy loss-profile speedup at the N=1e4 tier."""
+    import numpy as np
+
+    from repro.core.evalcontext import EvalContext
+    from repro.core.jmeasure import j_measure, j_measure_kl
+    from repro.core.legacy import legacy_loss_profile
+    from repro.core.loss import spurious_loss, support_split_losses
+    from repro.core.random_relations import random_relation
+    from repro.jointrees.build import jointree_from_schema
+
+    tree = jointree_from_schema(
+        [{"A", "B", "C"}, {"B", "C", "D"}, {"C", "D", "E"}]
+    )
+    sizes = {name: 16 for name in "ABCDE"}
+    relation = random_relation(sizes, 10_000, np.random.default_rng(211))
+
+    def engine_profile():
+        # Same four quantities benchmarks/test_bench_jmeasure.py times
+        # when it records the baseline — the ratio is only comparable if
+        # both sides run the same recipe.
+        relation.columns().clear_cache()
+        relation._engine = None
+        relation._eval = None
+        context = EvalContext.for_relation(relation)
+        j_measure(relation, tree, engine=context.engine)
+        j_measure_kl(relation, tree)
+        spurious_loss(relation, tree, context=context)
+        support_split_losses(relation, tree, context=context)
+
+    def best_of(func, rounds):
+        best = float("inf")
+        for _ in range(rounds):
+            start = time.perf_counter()
+            func()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    engine_s = best_of(engine_profile, 3)
+    legacy_s = best_of(lambda: legacy_loss_profile(relation, tree), 2)
+    return legacy_s / engine_s if engine_s else float("inf")
+
+
+def fresh_entropy_memo_speedup() -> float:
+    """Warm (memoized) vs cold joint-entropy query speedup, N=1e5."""
+    import numpy as np
+
+    from repro.core.random_relations import random_relation
+    from repro.info.engine import EntropyEngine
+
+    sizes = {name: 32 for name in "ABCD"}
+    relation = random_relation(sizes, 100_000, np.random.default_rng(7))
+    relation.columns()  # build codes outside the timed region
+    subset = ["A", "B", "C"]
+
+    # Mean over rounds, mirroring the pytest-benchmark *means* the
+    # baseline file records — a min-vs-mean mismatch would bias the
+    # fresh ratio low and eat the gate's headroom.
+    rounds = 7
+    total = 0.0
+    for _ in range(rounds):
+        relation.columns().clear_cache()
+        engine = EntropyEngine(relation)
+        start = time.perf_counter()
+        engine.entropy(subset)
+        total += time.perf_counter() - start
+    cold_s = total / rounds
+
+    engine = EntropyEngine.for_relation(relation)
+    engine.entropy(subset)
+    rounds = 2000
+    start = time.perf_counter()
+    for _ in range(rounds):
+        engine.entropy(subset)
+    warm_s = (time.perf_counter() - start) / rounds
+    return cold_s / warm_s if warm_s else float("inf")
+
+
+def fresh_streaming_rss_ratio() -> float:
+    """Eager-vs-stream peak-RSS ratio at the streaming smoke tier."""
+    import tempfile
+
+    from test_bench_streaming import run_probe, write_planted_csv
+
+    with tempfile.TemporaryDirectory() as tmp:
+        csv_path = Path(tmp) / "planted.csv"
+        write_planted_csv(csv_path, 100_000, 307)
+        eager = run_probe(csv_path, chunk_rows=None, backend_name="exact")
+        stream = run_probe(csv_path, chunk_rows=50_000, backend_name="sketch")
+    return eager["peak_rss_kb"] / max(stream["peak_rss_kb"], 1)
+
+
+# ----------------------------------------------------------------------
+# Baseline extraction
+# ----------------------------------------------------------------------
+def baseline_jmeasure_speedup() -> float:
+    record = _last_record(REPO_ROOT / "BENCH_jmeasure.json")
+    return float(record["tiers"]["n=1e4"]["speedup"])
+
+
+def baseline_entropy_memo_speedup() -> float:
+    doc = _last_record(REPO_ROOT / "BENCH_entropy_engine.json")
+    means = {
+        bench["name"]: bench["stats"]["mean"] for bench in doc["benchmarks"]
+    }
+    return means["test_bench_entropy_cold"] / means["test_bench_entropy_warm"]
+
+
+def baseline_streaming_rss_ratio() -> float:
+    record = _last_record(REPO_ROOT / "BENCH_streaming.json")
+    return float(
+        record["tiers"]["n=1e5"]["peak_rss_ratio_eager_over_stream"]
+    )
+
+
+#: name → (baseline extractor, fresh measurement, slack).  All values
+#: are "higher is better" ratios; the gate fails when
+#: fresh < baseline / (factor · slack).  ``slack`` > 1 widens the floor
+#: for ops whose fresh measurement is microbenchmark-noisy on shared
+#: runners (the warm-memo op times a ~µs dict hit against a ~100µs
+#: group-by, so scheduler noise moves the ratio more than real
+#: regressions the other ops wouldn't also catch).
+TRACKED_OPS = {
+    "jmeasure/engine_vs_legacy_speedup@1e4": (
+        baseline_jmeasure_speedup,
+        fresh_jmeasure_speedup,
+        1.0,
+    ),
+    "entropy_engine/warm_memo_speedup@1e5": (
+        baseline_entropy_memo_speedup,
+        fresh_entropy_memo_speedup,
+        1.5,
+    ),
+    "streaming/peak_rss_ratio_eager_over_stream@1e5": (
+        baseline_streaming_rss_ratio,
+        fresh_streaming_rss_ratio,
+        1.0,
+    ),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--factor",
+        type=float,
+        default=2.0,
+        help="maximum tolerated degradation (fresh may not fall below "
+        "baseline/factor); default 2.0",
+    )
+    parser.add_argument(
+        "--report",
+        default=None,
+        help="also write the gate's verdicts to this JSON file",
+    )
+    args = parser.parse_args(argv)
+    if args.factor <= 1.0:
+        parser.error(f"--factor must be > 1, got {args.factor}")
+
+    results = []
+    failures = 0
+    errors = 0
+    for name, (baseline_fn, fresh_fn, slack) in TRACKED_OPS.items():
+        try:
+            baseline = baseline_fn()
+        except (FileNotFoundError, KeyError, ValueError, json.JSONDecodeError) as exc:
+            print(f"[gate] ERROR {name}: unusable baseline ({exc})")
+            errors += 1
+            results.append({"op": name, "error": f"baseline: {exc}"})
+            continue
+        try:
+            fresh = fresh_fn()
+        except Exception as exc:  # an unmeasurable op is infra trouble,
+            # not a regression — report it distinctly and keep going so
+            # the report file still covers every op.
+            print(f"[gate] ERROR {name}: fresh measurement failed ({exc})")
+            errors += 1
+            results.append(
+                {"op": name, "baseline": baseline, "error": f"fresh: {exc}"}
+            )
+            continue
+        floor = baseline / (args.factor * slack)
+        ok = fresh >= floor
+        failures += 0 if ok else 1
+        verdict = "ok" if ok else "REGRESSION"
+        print(
+            f"[gate] {verdict:>10}  {name}: fresh {fresh:.2f}x vs baseline "
+            f"{baseline:.2f}x (floor {floor:.2f}x)"
+        )
+        results.append(
+            {
+                "op": name,
+                "baseline": baseline,
+                "fresh": fresh,
+                "floor": floor,
+                "slack": slack,
+                "ok": ok,
+            }
+        )
+
+    report = {
+        "factor": args.factor,
+        "timestamp": time.time(),
+        "ok": failures == 0 and errors == 0,
+        "ops": results,
+    }
+    if args.report:
+        Path(args.report).write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n"
+        )
+    if failures:
+        print(f"[gate] FAILED: {failures} tracked op(s) regressed >{args.factor}x")
+        return 1
+    if errors:
+        print(f"[gate] ERROR: {errors} tracked op(s) could not be evaluated")
+        return 2
+    print(f"[gate] all {len(results)} tracked ops within {args.factor}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

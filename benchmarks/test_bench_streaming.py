@@ -1,0 +1,227 @@
+"""Bench — streaming ingestion + sketch mining vs the eager in-memory path.
+
+The "huge input" tier of the out-of-core work: a planted-MVD synthetic
+CSV is generated once per tier, then two **separate subprocesses** load
+and mine it —
+
+* the **eager** path (``read_csv`` → ``infer_integer_domains`` →
+  ``mine_jointree`` on the exact backend), and
+* the **streaming** path (``Relation.from_csv_stream`` with a chunk
+  budget → the same mine with the CountMin/KMV **sketch** backend).
+
+Each probe reports its own peak RSS (``ru_maxrss``) and per-phase wall
+clock, so the two paths' memory high-water marks are independent (a
+single process would only ever report the max of both).  Every run
+appends a record — per-tier numbers plus eager/stream ratios — to
+``BENCH_streaming.json`` at the repo root via ``make bench-streaming``.
+
+The smoke tier (N=1e5) always runs; the full tier (N=1e6, the
+acceptance scenario) is opt-in via ``BENCH_STREAMING_FULL=1`` so plain
+CI bench smoke stays fast.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+import subprocess
+import sys
+import textwrap
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULTS_PATH = REPO_ROOT / "BENCH_streaming.json"
+SRC_PATH = REPO_ROOT / "src"
+
+#: Mining threshold used by both probes: loose enough that the planted
+#: separator is accepted by the exact *and* the MM-corrected sketch CMIs.
+THRESHOLD = 0.01
+
+_RECORD: dict = {
+    "bench": "streaming_ingest",
+    "cpu_count": os.cpu_count(),
+    "tiers": {},
+}
+
+
+def _append_record() -> None:
+    _RECORD["timestamp"] = time.time()
+    history = []
+    if RESULTS_PATH.exists():
+        try:
+            history = json.loads(RESULTS_PATH.read_text())
+        except json.JSONDecodeError:
+            history = []
+    if not isinstance(history, list):
+        history = [history]
+    history.append(_RECORD)
+    RESULTS_PATH.write_text(json.dumps(history, indent=2, sort_keys=True) + "\n")
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _append_results():
+    """Accumulate this session's numbers into the bench history file."""
+    yield
+    if _RECORD["tiers"]:
+        _append_record()
+
+
+def write_planted_csv(path: Path, n_rows: int, seed: int) -> None:
+    """A 5-column table satisfying the MVD ``C ↠ {A,B} | {D,E}``.
+
+    Per class ``c`` the (A,B) pair and the (D,E) pair are drawn
+    independently from small per-class pools, so the planted separator
+    {C} splits the table with (near-)zero CMI while every column keeps a
+    non-trivial active domain.
+    """
+    rng = np.random.default_rng(seed)
+    classes, pool = 16, 8
+    ab_pool = rng.integers(0, 32, size=(classes, pool, 2))
+    de_pool = rng.integers(0, 32, size=(classes, pool, 2))
+    c = rng.integers(0, classes, size=n_rows)
+    ab = ab_pool[c, rng.integers(0, pool, size=n_rows)]
+    de = de_pool[c, rng.integers(0, pool, size=n_rows)]
+    table = np.column_stack([ab, c, de])
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["A", "B", "C", "D", "E"])
+        writer.writerows(table.tolist())
+
+
+_PROBE_TEMPLATE = textwrap.dedent(
+    """
+    import json, resource, sys, time
+    sys.path.insert(0, {src!r})
+    from repro.discovery.miner import mine_jointree
+    from repro.relations.io import infer_integer_domains, read_csv
+    from repro.relations.relation import Relation
+
+    def rss_kb():
+        # /proc VmHWM: this process's own high-water mark.  (ru_maxrss is
+        # inherited across fork on Linux, so a child spawned from a fat
+        # parent would report the parent's peak.)
+        try:
+            with open("/proc/self/status") as status:
+                for line in status:
+                    if line.startswith("VmHWM:"):
+                        return int(line.split()[1])
+        except OSError:
+            pass
+        return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+
+    import_rss = rss_kb()  # interpreter + numpy/scipy import floor
+    start = time.perf_counter()
+    if {chunk_rows!r} is None:
+        relation = read_csv({csv_path!r})
+    else:
+        relation = Relation.from_csv_stream(
+            {csv_path!r}, chunk_rows={chunk_rows!r}
+        )
+    relation = infer_integer_domains(relation)
+    ingest_s = time.perf_counter() - start
+    ingest_rss = rss_kb()
+
+    backend = None
+    if {backend_name!r} == "sketch":
+        from repro.info.backends import SketchEntropyBackend
+        backend = SketchEntropyBackend(chunk_rows={chunk_rows!r})
+    start = time.perf_counter()
+    mined = mine_jointree(relation, threshold={threshold!r}, backend=backend)
+    mine_s = time.perf_counter() - start
+
+    print(json.dumps({{
+        "n_rows": len(relation),
+        "ingest_s": ingest_s,
+        "mine_s": mine_s,
+        "import_rss_kb": import_rss,
+        "ingest_peak_rss_kb": ingest_rss,
+        "peak_rss_kb": rss_kb(),
+        "bags": sorted(sorted(b) for b in mined.bags),
+        "j_value": mined.j_value,
+        "rho": mined.rho,
+    }}))
+    """
+)
+
+
+def run_probe(
+    csv_path: Path,
+    *,
+    chunk_rows: int | None,
+    backend_name: str,
+    threshold: float = THRESHOLD,
+) -> dict:
+    """Load + mine ``csv_path`` in a fresh subprocess; return its metrics."""
+    script = _PROBE_TEMPLATE.format(
+        src=str(SRC_PATH),
+        csv_path=str(csv_path),
+        chunk_rows=chunk_rows,
+        backend_name=backend_name,
+        threshold=threshold,
+    )
+    result = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    if result.returncode != 0:
+        raise AssertionError(f"probe failed:\n{result.stderr}")
+    return json.loads(result.stdout)
+
+
+def _tier_params():
+    tiers = [("n=1e5", 100_000, 50_000, 307)]
+    if os.environ.get("BENCH_STREAMING_FULL"):
+        tiers.append(("n=1e6", 1_000_000, 50_000, 311))
+    return tiers
+
+
+@pytest.mark.parametrize("label,n_rows,chunk_rows,seed", _tier_params())
+def test_bench_streaming_vs_eager(label, n_rows, chunk_rows, seed, tmp_path):
+    csv_path = tmp_path / "planted.csv"
+    write_planted_csv(csv_path, n_rows, seed)
+    csv_mb = csv_path.stat().st_size / 1e6
+
+    eager = run_probe(csv_path, chunk_rows=None, backend_name="exact")
+    stream = run_probe(csv_path, chunk_rows=chunk_rows, backend_name="sketch")
+
+    # Same data either way: identical post-dedup row count, and both
+    # paths must accept the planted separator {C}.
+    assert stream["n_rows"] == eager["n_rows"]
+    assert any("C" in bag and len(bag) < 5 for bag in eager["bags"]), eager
+    assert any("C" in bag and len(bag) < 5 for bag in stream["bags"]), stream
+    assert stream["rho"] == pytest.approx(eager["rho"], abs=1e-6)
+
+    rss_ratio = eager["peak_rss_kb"] / max(stream["peak_rss_kb"], 1)
+    # Net of the interpreter+imports floor: the part the ingestion path
+    # actually controls.
+    eager_data = max(eager["peak_rss_kb"] - eager["import_rss_kb"], 1)
+    stream_data = max(stream["peak_rss_kb"] - stream["import_rss_kb"], 1)
+    data_ratio = eager_data / stream_data
+    _RECORD["tiers"][label] = {
+        "n_rows_written": n_rows,
+        "n_rows_distinct": eager["n_rows"],
+        "csv_mb": csv_mb,
+        "chunk_rows": chunk_rows,
+        "eager": eager,
+        "stream": stream,
+        "peak_rss_ratio_eager_over_stream": rss_ratio,
+        "data_rss_ratio_eager_over_stream": data_ratio,
+        "ingest_ratio_eager_over_stream": (
+            eager["ingest_s"] / max(stream["ingest_s"], 1e-9)
+        ),
+    }
+    print(
+        f"\n[{label}] csv {csv_mb:.1f} MB | eager: ingest "
+        f"{eager['ingest_s']:.2f}s mine {eager['mine_s']:.2f}s peak "
+        f"{eager['peak_rss_kb'] / 1024:.0f} MB | stream(chunk={chunk_rows}): "
+        f"ingest {stream['ingest_s']:.2f}s mine {stream['mine_s']:.2f}s peak "
+        f"{stream['peak_rss_kb'] / 1024:.0f} MB | peak-RSS ratio "
+        f"{rss_ratio:.2f}x (net of imports {data_ratio:.1f}x)"
+    )

@@ -19,6 +19,17 @@ Installed as ``repro-ajd`` (see pyproject).  Subcommands:
 report core (see :mod:`repro.factorize.report`): ``command``,
 ``strategy``, ``j_measure``, ``rho``, ``wall_time_s``, ``n_rows``,
 ``n_cols``.
+
+All three table-consuming commands take ``--chunk-rows N`` (stream the
+CSV in bounded-memory chunks instead of an eager load) and ``--backend
+exact|sketch`` (exact columnar entropies, or one-pass CountMin/KMV
+streaming estimates with Miller–Madow correction).  What the sketch
+backend affects differs per command: ``mine`` scores splits and reports
+J and ρ from streaming estimates; ``analyze`` estimates the
+entropy-derived quantities (J entropy form, CMIs, sandwich) while ρ and
+the join-size-based bounds still run the exact counters; ``decompose``
+uses it for the mining phase only — the written decomposition and its
+report stay exact.
 """
 
 from __future__ import annotations
@@ -29,11 +40,14 @@ import time
 from collections.abc import Sequence
 
 from repro.core.analysis import analyze
+from repro.core.evalcontext import EvalContext
 from repro.discovery.miner import mine_jointree
 from repro.discovery.strategies import available_strategies
 from repro.errors import DiscoveryError, ReproError
 from repro.factorize.pipeline import decompose, write_decomposition
 from repro.factorize.report import base_report
+from repro.info.backends import available_backends, make_backend
+from repro.info.engine import EntropyEngine
 from repro.jointrees.build import jointree_from_schema
 from repro.relations.io import infer_integer_domains, read_csv
 from repro.relations.relation import Relation
@@ -55,11 +69,38 @@ def _print_json(payload: dict) -> None:
     print(json.dumps(payload, indent=2, sort_keys=True))
 
 
+def _load_csv(args: argparse.Namespace) -> Relation:
+    """Load the command's CSV — eagerly, or streamed when ``--chunk-rows``.
+
+    The streamed path (:meth:`Relation.from_csv_stream`) ingests the file
+    in bounded-memory chunks and produces a relation equal to the eager
+    one, with its columnar store pre-seeded from the streamed codes.
+    """
+    if args.chunk_rows is not None:
+        return Relation.from_csv_stream(args.csv, chunk_rows=args.chunk_rows)
+    return read_csv(args.csv)
+
+
+def _resolve_backend(args: argparse.Namespace):
+    """The run's entropy backend instance, or ``None`` for plain exact."""
+    if args.backend == "exact":
+        return None
+    return make_backend(args.backend, chunk_rows=args.chunk_rows)
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     start = time.perf_counter()
-    relation = infer_integer_domains(read_csv(args.csv))
+    relation = infer_integer_domains(_load_csv(args))
     tree = jointree_from_schema(_parse_schema(args.schema))
-    report = analyze(relation, tree, delta=args.delta)
+    backend = _resolve_backend(args)
+    context = (
+        EvalContext.for_relation(
+            relation, engine=EntropyEngine(relation, backend=backend)
+        )
+        if backend is not None
+        else None
+    )
+    report = analyze(relation, tree, delta=args.delta, context=context)
     if args.json:
         payload = base_report(
             command="analyze",
@@ -71,6 +112,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             n_cols=report.num_attributes,
         )
         payload.update(report.to_dict())
+        payload["backend"] = args.backend
         _print_json(payload)
     else:
         print(report.render())
@@ -92,7 +134,7 @@ def _require_minable(relation: Relation, path: str) -> None:
 
 def _cmd_mine(args: argparse.Namespace) -> int:
     start = time.perf_counter()
-    loaded = read_csv(args.csv)
+    loaded = _load_csv(args)
     _require_minable(loaded, args.csv)
     relation = infer_integer_domains(loaded)
     mined = mine_jointree(
@@ -103,6 +145,7 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         workers=args.workers,
         deadline=args.deadline,
         seed=args.seed,
+        backend=_resolve_backend(args),
     )
     sorted_bags = sorted((sorted(bag) for bag in mined.bags))
     if args.json:
@@ -117,6 +160,7 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         )
         payload["bags"] = sorted_bags
         payload["threshold"] = args.threshold
+        payload["backend"] = args.backend
         _print_json(payload)
         return 0
     print(f"mined schema ({args.strategy}):")
@@ -143,7 +187,7 @@ def _require_no_mining_flags(args: argparse.Namespace) -> None:
 
 def _cmd_decompose(args: argparse.Namespace) -> int:
     start = time.perf_counter()
-    loaded = read_csv(args.csv)
+    loaded = _load_csv(args)
     strategy: str | None = None
     if args.schema is not None:
         _require_no_mining_flags(args)
@@ -161,6 +205,7 @@ def _cmd_decompose(args: argparse.Namespace) -> int:
             workers=args.workers,
             deadline=args.deadline,
             seed=args.seed,
+            backend=_resolve_backend(args),
         )
         tree = mined.jointree
     decomposition = decompose(relation, tree)
@@ -175,6 +220,7 @@ def _cmd_decompose(args: argparse.Namespace) -> int:
         n_cols=report.n_cols,
     )
     payload.update(report.to_dict())
+    payload["backend"] = args.backend
     if args.out_dir is not None:
         try:
             paths = write_decomposition(
@@ -218,11 +264,39 @@ _MINING_DEFAULTS: dict[str, object] = {
     "workers": None,
     "deadline": None,
     "seed": 0,
+    "backend": "exact",
 }
+
+
+def _add_ingest_options(parser: argparse.ArgumentParser) -> None:
+    """CSV-ingestion knobs shared by every table-consuming command."""
+    parser.add_argument(
+        "--chunk-rows",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stream the CSV in chunks of N data rows (bounded-memory "
+        "ingestion); also sizes the sketch backend's streaming passes. "
+        "Default: eager load",
+    )
+
+
+def _add_backend_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default=_MINING_DEFAULTS["backend"],
+        help="entropy backend: 'exact' columnar counts, or 'sketch' "
+        "bounded-memory streaming estimates (CountMin/KMV with "
+        "Miller-Madow correction). Sketch makes entropy-derived values "
+        "estimates; for analyze, rho/join-size bounds stay exact, and "
+        "for decompose only the mining phase is affected",
+    )
 
 
 def _add_mining_options(parser: argparse.ArgumentParser) -> None:
     """Discovery knobs shared by ``mine`` and ``decompose``."""
+    _add_backend_option(parser)
     parser.add_argument(
         "--threshold",
         type=float,
@@ -273,6 +347,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_analyze = sub.add_parser("analyze", help="analyze a CSV under a schema")
     p_analyze.add_argument("csv", help="path to a CSV file with a header row")
+    _add_ingest_options(p_analyze)
+    _add_backend_option(p_analyze)
     p_analyze.add_argument(
         "--schema",
         required=True,
@@ -293,6 +369,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_mine = sub.add_parser("mine", help="discover a low-J acyclic schema")
     p_mine.add_argument("csv", help="path to a CSV file with a header row")
+    _add_ingest_options(p_mine)
     _add_mining_options(p_mine)
     p_mine.add_argument(
         "--json",
@@ -307,6 +384,7 @@ def build_parser() -> argparse.ArgumentParser:
         "bag CSVs and a JSON report",
     )
     p_decompose.add_argument("csv", help="path to a CSV file with a header row")
+    _add_ingest_options(p_decompose)
     _add_mining_options(p_decompose)
     p_decompose.add_argument(
         "--schema",

@@ -76,12 +76,17 @@ class SearchContext:
         workers: int | None = None,
         deadline_seconds: float | None = None,
         seed: int = 0,
+        backend: "object | None" = None,
     ) -> "SearchContext":
         """Build a context with library defaults.
 
         ``scorer`` wins over ``workers``; with neither, scoring is serial.
         ``deadline_seconds`` is relative (converted to an absolute
-        ``time.monotonic()`` deadline at creation).
+        ``time.monotonic()`` deadline at creation).  ``backend`` selects
+        the entropy backend the run's engine scores with — an
+        :class:`~repro.info.backends.EntropyBackend` instance or a name
+        (``"exact"``/``"sketch"``); ``None`` keeps the relation's cached
+        engine whatever backend it has.
         """
         from repro.discovery.scoring import make_scorer
 
@@ -97,7 +102,7 @@ class SearchContext:
             )
         return cls(
             relation=relation,
-            engine=EntropyEngine.for_relation(relation),
+            engine=EntropyEngine.for_relation(relation, backend=backend),
             scorer=scorer if scorer is not None else make_scorer(workers=workers),
             threshold=threshold,
             max_separator_size=max_separator_size,

@@ -30,7 +30,6 @@ import math
 from dataclasses import dataclass
 
 from repro.core.jmeasure import j_measure
-from repro.core.loss import spurious_loss
 from repro.discovery.context import SearchContext
 from repro.discovery.scoring import MVDSplit, SplitScorer, make_scorer
 from repro.discovery.strategies import get_strategy
@@ -110,6 +109,7 @@ def mine_jointree(
     scorer: SplitScorer | None = None,
     deadline: float | None = None,
     seed: int = 0,
+    backend: "object | None" = None,
 ) -> MinedSchema:
     """Discover an acyclic schema with small J-measure for ``relation``.
 
@@ -144,6 +144,12 @@ def mine_jointree(
         best-so-far schema when it expires.
     seed:
         RNG seed for randomized strategies.
+    backend:
+        Entropy backend for the run's engine — an
+        :class:`~repro.info.backends.EntropyBackend` instance or a name
+        (``"exact"``/``"sketch"``).  The sketch backend scores splits
+        (and evaluates the final J and ρ) from bounded-memory streaming
+        estimates; ``None`` keeps the relation's cached engine.
 
     Examples
     --------
@@ -163,6 +169,7 @@ def mine_jointree(
         workers=workers,
         deadline_seconds=deadline,
         seed=seed,
+        backend=backend,
     )
     search = get_strategy(strategy)
     try:
@@ -186,6 +193,10 @@ def finalize_outcome(
     Shared post-processing for every strategy: drop non-maximal bags,
     deduplicate preserving discovery order, build the join tree, and
     evaluate J (always) and ρ (unless skipped) on the training relation.
+    Both J and ρ are produced by the run's entropy backend, so a sketch
+    run reports streaming estimates and an exact run the exact values
+    (the exact backend routes ρ through the relation's shared
+    :class:`~repro.core.evalcontext.EvalContext`, as before).
     """
     bags = list(outcome.bags)
     if not bags:
@@ -193,7 +204,11 @@ def finalize_outcome(
     schema = maximal_bags(bags)
     tree = jointree_from_schema(schema)
     j_value = j_measure(context.relation, tree, engine=context.engine)
-    rho = spurious_loss(context.relation, tree) if compute_loss else math.nan
+    rho = (
+        context.engine.backend.spurious_loss(context.relation, tree)
+        if compute_loss
+        else math.nan
+    )
     return MinedSchema(
         jointree=tree,
         bags=frozenset(schema),

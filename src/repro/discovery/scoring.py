@@ -141,11 +141,14 @@ class SerialSplitScorer(SplitScorer):
 _WORKER_ENGINE: EntropyEngine | None = None
 
 
-def _init_worker(relation: Relation) -> None:
+def _init_worker(relation: Relation, backend: "object | None") -> None:
     global _WORKER_ENGINE
-    # for_relation: the fork inherited the parent's engine (and warm
-    # memo) on relation._engine; reuse it instead of starting cold.
-    _WORKER_ENGINE = EntropyEngine.for_relation(relation)
+    # for_relation with backend=None: the fork inherited the parent's
+    # exact engine (and warm memo) on relation._engine; reuse it instead
+    # of starting cold.  A non-default backend (sketch runs) gets its own
+    # per-worker engine so worker scores use the same estimator the
+    # parent merges into — exact and sketch entropies must never mix.
+    _WORKER_ENGINE = EntropyEngine.for_relation(relation, backend=backend)
 
 
 def _score_chunk(
@@ -188,6 +191,7 @@ class MultiprocessSplitScorer(SplitScorer):
         self._min_batch = min_batch
         self._pool: multiprocessing.pool.Pool | None = None
         self._pool_relation: Relation | None = None
+        self._pool_backend: object | None = None
         self._serial = SerialSplitScorer()
         self._degraded = False
 
@@ -196,10 +200,16 @@ class MultiprocessSplitScorer(SplitScorer):
         """The resolved worker count."""
         return self._workers if self._workers is not None else os.cpu_count() or 1
 
-    def _ensure_pool(self, relation: Relation) -> "multiprocessing.pool.Pool | None":
+    def _ensure_pool(
+        self, relation: Relation, backend: "object | None"
+    ) -> "multiprocessing.pool.Pool | None":
         if self._degraded:
             return None
-        if self._pool is not None and self._pool_relation is relation:
+        if (
+            self._pool is not None
+            and self._pool_relation is relation
+            and self._pool_backend is backend
+        ):
             return self._pool
         self.close()
         if "fork" not in multiprocessing.get_all_start_methods():
@@ -210,12 +220,13 @@ class MultiprocessSplitScorer(SplitScorer):
             self._pool = multiprocessing.get_context("fork").Pool(
                 processes=self.workers,
                 initializer=_init_worker,
-                initargs=(relation,),
+                initargs=(relation, backend),
             )
         except OSError:
             self._degraded = True
             return None
         self._pool_relation = relation
+        self._pool_backend = backend
         return self._pool
 
     def score_batch(
@@ -230,7 +241,11 @@ class MultiprocessSplitScorer(SplitScorer):
             engine = EntropyEngine.for_relation(relation)
         if self.workers <= 1 or len(candidates) < self._min_batch:
             return self._serial.score_batch(relation, candidates, engine=engine)
-        pool = self._ensure_pool(relation)
+        # Workers must score with the run's backend: None (the inherited
+        # cached exact engine) for exact runs, the backend instance itself
+        # for non-default (sketch) runs.
+        backend = None if engine.backend.name == "exact" else engine.backend
+        pool = self._ensure_pool(relation, backend)
         if pool is None:
             return self._serial.score_batch(relation, candidates, engine=engine)
         shards = max(1, min(self.workers * 4, len(candidates) // 2))
@@ -262,6 +277,7 @@ class MultiprocessSplitScorer(SplitScorer):
             self._pool.join()
             self._pool = None
             self._pool_relation = None
+            self._pool_backend = None
 
 
 def make_scorer(

@@ -1,5 +1,13 @@
 """Information-theory substrate: distributions, entropies, divergences."""
 
+from repro.info.backends import (
+    EntropyBackend,
+    EntropySketch,
+    ExactEntropyBackend,
+    SketchEntropyBackend,
+    available_backends,
+    make_backend,
+)
 from repro.info.distribution import EmpiricalDistribution
 from repro.info.engine import EntropyEngine
 from repro.info.divergence import (
@@ -37,8 +45,13 @@ from repro.info.functional import (
 
 __all__ = [
     "EmpiricalDistribution",
+    "EntropyBackend",
     "EntropyEngine",
+    "EntropySketch",
+    "ExactEntropyBackend",
     "FactorizedDistribution",
+    "SketchEntropyBackend",
+    "available_backends",
     "conditional_entropy",
     "conditional_mutual_information",
     "distribution_conditional_mutual_information",
@@ -53,6 +66,7 @@ __all__ = [
     "junction_tree_factorization",
     "kl_divergence",
     "kl_divergence_to_callable",
+    "make_backend",
     "marginal_preservation_gaps",
     "max_entropy",
     "miller_madow",

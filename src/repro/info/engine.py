@@ -18,6 +18,15 @@ derived relations (projections, selections, unions) are new objects with
 fresh engines.  Use :meth:`EntropyEngine.for_relation` to get the engine
 cached *on* the relation, which is how the discovery, core, and info
 layers all end up sharing one cache per relation instance.
+
+Backends
+--------
+*How* each memoized entropy is produced is pluggable
+(:mod:`repro.info.backends`): the default ``"exact"`` backend computes
+plug-in entropies from the exact columnar counts (bit-identical to the
+pre-backend engine), while ``"sketch"`` streams each subset's keys in
+bounded-memory chunks through CountMin/KMV counters and returns
+Miller–Madow-corrected estimates.  The memo layer is backend-agnostic.
 """
 
 from __future__ import annotations
@@ -26,9 +35,8 @@ import itertools
 import math
 from collections.abc import Iterable
 
-import numpy as np
-
 from repro.errors import DistributionError
+from repro.info.backends import EntropyBackend, make_backend
 from repro.relations.relation import Relation
 
 
@@ -59,32 +67,67 @@ class EntropyEngine:
     0.0
     """
 
-    __slots__ = ("_cache", "_log_n", "_n", "_relation")
+    __slots__ = ("_backend", "_cache", "_log_n", "_n", "_relation")
 
-    def __init__(self, relation: Relation) -> None:
+    def __init__(
+        self,
+        relation: Relation,
+        *,
+        backend: "str | EntropyBackend | None" = None,
+    ) -> None:
         self._relation = relation
+        self._backend = make_backend(backend)
         self._cache: dict[tuple[str, ...], float] = {}
         self._n = len(relation)
         self._log_n = math.log(self._n) if self._n else None
 
     @classmethod
-    def for_relation(cls, relation: Relation) -> "EntropyEngine":
+    def for_relation(
+        cls,
+        relation: Relation,
+        *,
+        backend: "str | EntropyBackend | None" = None,
+    ) -> "EntropyEngine":
         """The engine cached on ``relation`` (created on first use).
 
         All library call sites route through this accessor, so any mix of
         ``joint_entropy`` / CMI / J-measure / miner calls against the same
         relation instance shares a single memo.
+
+        With ``backend=None`` (the default) the cached engine is returned
+        whatever backend it was built with.  Requesting a specific
+        backend returns the cached engine when it matches; otherwise a
+        fresh *detached* engine is built around the requested backend.
+        **Only exact engines are ever cached on the relation**: an
+        approximate backend must never leak into callers that asked for
+        the default (e.g. an exact ``decompose`` report following a
+        sketch-backed mining run), so non-exact requests always get
+        detached engines.
         """
         engine = relation._engine
-        if engine is None:
-            engine = cls(relation)
+        if engine is not None:
+            if backend is None or engine._matches_backend(backend):
+                return engine
+            return cls(relation, backend=backend)
+        engine = cls(relation, backend=backend)
+        if engine._backend.name == "exact":
             relation._engine = engine
         return engine
+
+    def _matches_backend(self, backend: "str | EntropyBackend") -> bool:
+        if isinstance(backend, EntropyBackend):
+            return self._backend is backend
+        return self._backend.name == backend
 
     @property
     def relation(self) -> Relation:
         """The wrapped relation."""
         return self._relation
+
+    @property
+    def backend(self) -> EntropyBackend:
+        """The entropy backend producing this engine's (memoized) values."""
+        return self._backend
 
     def key(self, attributes: Iterable[str]) -> tuple[str, ...]:
         """Canonical cache key for an attribute subset (schema order)."""
@@ -142,9 +185,7 @@ class EntropyEngine:
             return cached
         if self._log_n is None:
             raise DistributionError("entropy over an empty relation is undefined")
-        counts = self._relation.projection_count_values(key)
-        c = counts.astype(np.float64, copy=False)
-        value = max(self._log_n - float(c @ np.log(c)) / self._n, 0.0)
+        value = max(self._backend.entropy_nats(self._relation, key), 0.0)
         self._cache[key] = value
         return value
 

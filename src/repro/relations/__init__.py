@@ -1,9 +1,18 @@
 """Relational algebra substrate: schemas, relation instances, joins.
 
 See :mod:`repro.relations.schema`, :mod:`repro.relations.relation`,
-:mod:`repro.relations.join`, and :mod:`repro.relations.io`.
+:mod:`repro.relations.join`, :mod:`repro.relations.io` (eager +
+streaming CSV), and :mod:`repro.relations.builder` (incremental
+columnar ingestion).
 """
 
+from repro.relations.builder import ColumnStoreBuilder, relation_from_chunks
+from repro.relations.io import (
+    DEFAULT_CHUNK_ROWS,
+    CsvChunk,
+    iter_csv_chunks,
+    sniff_header,
+)
 from repro.relations.join import (
     acyclic_join_size,
     cartesian_size,
@@ -32,6 +41,9 @@ from repro.relations.yannakakis import (
 __all__ = [
     "Attribute",
     "ColumnStore",
+    "ColumnStoreBuilder",
+    "CsvChunk",
+    "DEFAULT_CHUNK_ROWS",
     "GroupIndex",
     "Relation",
     "RelationSchema",
@@ -45,13 +57,16 @@ __all__ = [
     "full_reduce",
     "infer_integer_domains",
     "is_globally_consistent",
+    "iter_csv_chunks",
     "join_size",
     "materialized_acyclic_join",
     "natural_join",
     "natural_join_all",
     "projections_for_tree",
     "read_csv",
+    "relation_from_chunks",
     "semijoin",
+    "sniff_header",
     "split_join_size",
     "write_csv",
 ]

@@ -170,6 +170,32 @@ class ColumnStore:
         store._counts = {}
         return store
 
+    @classmethod
+    def from_coded_columns(
+        cls,
+        row_list: tuple,
+        columns: Sequence[np.ndarray],
+        cards: Sequence[int],
+        decoders: Sequence[list],
+    ) -> "ColumnStore":
+        """Seed a store from externally dictionary-coded columns.
+
+        Used by :class:`repro.relations.builder.ColumnStoreBuilder`: the
+        arrays are adopted as dict-coded columns whose ``decoders[j]``
+        lists map each column's codes back to values
+        (``decoders[j][code] = value``), so neither factorization nor
+        value re-encoding runs again.
+        """
+        store = cls.__new__(cls)
+        store.row_list = row_list
+        store.codes = tuple(columns)
+        store.cards = tuple(int(c) for c in cards)
+        store._decoders = list(decoders)
+        store._encoders = [None] * len(store.codes)
+        store._groups = {}
+        store._counts = {}
+        return store
+
     def __len__(self) -> int:
         return len(self.row_list)
 

@@ -1,21 +1,141 @@
-"""CSV import/export for relation instances.
+"""CSV import/export for relation instances — eager and streaming.
 
 Plain-text interchange so users can analyze their own tables:
 
-* :func:`read_csv` — load a relation from a CSV file (header row = schema).
-* :func:`write_csv` — save a relation (deterministic row order).
+* :func:`read_csv` — load a relation from a CSV file (header row = schema);
+* :func:`iter_csv_chunks` — stream the same file chunk-by-chunk for
+  out-of-core ingestion (see
+  :meth:`repro.relations.relation.Relation.from_csv_stream`);
+* :func:`sniff_header` — read just the header row;
+* :func:`write_csv` — save a relation (deterministic row order);
 * :func:`infer_integer_domains` — tighten a loaded relation's schema to the
   active domains, which the paper's bounds need (``d_A``, ``d_B``, …).
+
+Both readers consume one shared parsing core (:func:`_parse_stream`), so
+the eager and streaming paths **cannot diverge** on dialect, NUL-byte
+rejection, blank/trailing-line skipping, ragged-row detection, or error
+translation — a property pinned by ``tests/test_streaming.py``.
 """
 
 from __future__ import annotations
 
 import csv
+from collections.abc import Iterator
 from pathlib import Path
+from typing import NamedTuple
 
 from repro.errors import SchemaError
 from repro.relations.relation import Relation
-from repro.relations.schema import Attribute, RelationSchema
+from repro.relations.schema import Attribute, RelationSchema, Row
+
+#: Default number of data rows per streamed chunk.  Large enough that
+#: per-chunk numpy/dict overheads amortize, small enough that one chunk
+#: of raw Python values stays a few MB.
+DEFAULT_CHUNK_ROWS = 65536
+
+
+class CsvChunk(NamedTuple):
+    """One streamed batch of CSV data rows.
+
+    Attributes
+    ----------
+    header:
+        The file's header row (identical tuple on every chunk).
+    start_row:
+        0-based index of the chunk's first data row within the file
+        (blank lines excluded).
+    rows:
+        The chunk's parsed row tuples (values coerced exactly as
+        :func:`read_csv` would).
+    """
+
+    header: tuple[str, ...]
+    start_row: int
+    rows: list[Row]
+
+
+def _coerce(text: str):
+    """Convert ``text`` to int or float when it cleanly parses as one."""
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        return text
+
+
+def _nul_guard(handle, path: Path) -> Iterator[str]:
+    """Reject NUL bytes *before* the ``csv`` module sees each line.
+
+    NUL bytes mean binary data, and the stdlib ``csv`` module's handling
+    of them varies by Python version (< 3.11 raises its own
+    ``Error: line contains NUL``; newer versions silently pass NULs
+    through into field values).  Screening the raw lines makes both
+    readers reject identically — same message, same line number — on
+    every supported interpreter.
+    """
+    for line_num, line in enumerate(handle, start=1):
+        if "\x00" in line:
+            raise SchemaError(
+                f"{path}: line {line_num} contains a NUL byte; "
+                "is the file binary or truncated?"
+            )
+        yield line
+
+
+def _parse_stream(
+    path: str | Path, *, typed: bool, delimiter: str
+) -> Iterator[tuple]:
+    """The shared CSV parsing core: yields the header tuple, then row tuples.
+
+    Single source of truth for dialect, NUL-byte, blank-line, and
+    ragged-row handling, plus the translation of ``OSError`` /
+    ``UnicodeDecodeError`` / ``csv.Error`` into :class:`SchemaError`.
+    Both :func:`read_csv` and :func:`iter_csv_chunks` drain this
+    generator, so the two paths agree row-for-row by construction.
+    """
+    path = Path(path)
+    try:
+        with path.open(newline="") as handle:
+            reader = csv.reader(_nul_guard(handle, path), delimiter=delimiter)
+            try:
+                header = next(reader)
+            except StopIteration:
+                raise SchemaError(
+                    f"{path} is empty; a header row is required"
+                ) from None
+            width = len(header)
+            yield tuple(header)
+            for raw in reader:
+                if not raw:  # blank line (including a trailing newline)
+                    continue
+                if len(raw) != width:
+                    raise SchemaError(
+                        f"{path}: row {reader.line_num} has {len(raw)} fields, "
+                        f"header has {width}"
+                    )
+                yield tuple(_coerce(v) for v in raw) if typed else tuple(raw)
+    except OSError as exc:
+        reason = exc.strerror or exc
+        raise SchemaError(f"cannot read {path}: {reason}") from exc
+    except UnicodeDecodeError as exc:
+        raise SchemaError(
+            f"{path} is not a readable CSV text file ({exc.reason}); "
+            "is it binary?"
+        ) from exc
+    except csv.Error as exc:
+        raise SchemaError(f"{path} is not parseable as CSV: {exc}") from exc
+
+
+def sniff_header(path: str | Path, *, delimiter: str = ",") -> tuple[str, ...]:
+    """Read and return just the header row (shared parsing rules apply)."""
+    stream = _parse_stream(path, typed=False, delimiter=delimiter)
+    try:
+        return next(stream)
+    finally:
+        stream.close()
 
 
 def read_csv(
@@ -36,50 +156,43 @@ def read_csv(
     delimiter:
         CSV delimiter.
     """
-    path = Path(path)
-    try:
-        with path.open(newline="") as handle:
-            reader = csv.reader(handle, delimiter=delimiter)
-            try:
-                header = next(reader)
-            except StopIteration:
-                raise SchemaError(
-                    f"{path} is empty; a header row is required"
-                ) from None
-            rows = []
-            for raw in reader:
-                if not raw:
-                    continue
-                if len(raw) != len(header):
-                    raise SchemaError(
-                        f"{path}: row {reader.line_num} has {len(raw)} fields, "
-                        f"header has {len(header)}"
-                    )
-                rows.append(tuple(_coerce(v) for v in raw) if typed else tuple(raw))
-    except OSError as exc:
-        reason = exc.strerror or exc
-        raise SchemaError(f"cannot read {path}: {reason}") from exc
-    except UnicodeDecodeError as exc:
-        raise SchemaError(
-            f"{path} is not a readable CSV text file ({exc.reason}); "
-            "is it binary?"
-        ) from exc
-    except csv.Error as exc:
-        raise SchemaError(f"{path} is not parseable as CSV: {exc}") from exc
+    stream = _parse_stream(path, typed=typed, delimiter=delimiter)
+    header = next(stream)
+    rows = list(stream)
     schema = RelationSchema.from_names(header)
     return Relation(schema, rows, validate=False)
 
 
-def _coerce(text: str):
-    """Convert ``text`` to int or float when it cleanly parses as one."""
-    try:
-        return int(text)
-    except ValueError:
-        pass
-    try:
-        return float(text)
-    except ValueError:
-        return text
+def iter_csv_chunks(
+    path: str | Path,
+    *,
+    chunk_rows: int = DEFAULT_CHUNK_ROWS,
+    typed: bool = True,
+    delimiter: str = ",",
+) -> Iterator[CsvChunk]:
+    """Stream a CSV file as :class:`CsvChunk` batches of at most ``chunk_rows``.
+
+    Rows are parsed, coerced, and validated exactly as :func:`read_csv`
+    does (same shared core).  At least one chunk is always yielded — a
+    header-only file produces a single empty chunk — so consumers learn
+    the schema even when there is no data.  Errors (unreadable file, NUL
+    bytes, ragged rows, …) surface lazily, as the offending part of the
+    file is reached.
+    """
+    if chunk_rows < 1:
+        raise SchemaError(f"chunk_rows must be >= 1, got {chunk_rows}")
+    stream = _parse_stream(path, typed=typed, delimiter=delimiter)
+    header = next(stream)
+    start = 0
+    rows: list[Row] = []
+    for row in stream:
+        rows.append(row)
+        if len(rows) >= chunk_rows:
+            yield CsvChunk(header, start, rows)
+            start += len(rows)
+            rows = []
+    if rows or start == 0:
+        yield CsvChunk(header, start, rows)
 
 
 def write_csv(relation: Relation, path: str | Path, *, delimiter: str = ",") -> None:
@@ -107,4 +220,11 @@ def infer_integer_domains(relation: Relation) -> Relation:
         Attribute(name, frozenset(relation.active_domain(name)))
         for name in relation.schema.names
     ]
-    return Relation(RelationSchema(attrs), relation.rows(), validate=False)
+    out = Relation(RelationSchema(attrs), relation.rows(), validate=False)
+    if relation._store is not None:
+        # Same row set, same attribute order — only the declared domains
+        # changed, which the columnar codes never depend on.  Carrying the
+        # store over keeps a streamed relation's pre-seeded codes (and any
+        # warm group caches) instead of re-factorizing every column.
+        out._store = relation._store
+    return out

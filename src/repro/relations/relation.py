@@ -176,6 +176,63 @@ class Relation:
         return relation
 
     @classmethod
+    def from_csv(
+        cls,
+        path,
+        *,
+        typed: bool = True,
+        delimiter: str = ",",
+    ) -> "Relation":
+        """Eagerly load a relation from a CSV file (header row = schema).
+
+        Thin alias of :func:`repro.relations.io.read_csv`, provided for
+        symmetry with :meth:`from_csv_stream`.
+        """
+        from repro.relations.io import read_csv
+
+        return read_csv(path, typed=typed, delimiter=delimiter)
+
+    @classmethod
+    def from_csv_stream(
+        cls,
+        path,
+        *,
+        chunk_rows: int | None = None,
+        typed: bool = True,
+        delimiter: str = ",",
+    ) -> "Relation":
+        """Stream a CSV file into a relation with bounded ingestion memory.
+
+        Reads the file in chunks of ``chunk_rows`` data rows
+        (:func:`repro.relations.io.iter_csv_chunks`) and dictionary-codes
+        each chunk into an incremental
+        :class:`~repro.relations.builder.ColumnStoreBuilder`, so peak
+        memory during ingestion is one chunk of raw values plus the
+        accumulated ``int64`` codes — never the whole file's Python
+        tuples.  The result is equal to ``read_csv(path)`` (same schema,
+        same row set, same coercion) for **every** chunk size, and its
+        columnar store is pre-seeded from the streamed codes.
+        """
+        from repro.relations.builder import ColumnStoreBuilder
+        from repro.relations.io import DEFAULT_CHUNK_ROWS, iter_csv_chunks
+
+        if chunk_rows is None:
+            chunk_rows = DEFAULT_CHUNK_ROWS
+        builder: ColumnStoreBuilder | None = None
+        schema: RelationSchema | None = None
+        for chunk in iter_csv_chunks(
+            path, chunk_rows=chunk_rows, typed=typed, delimiter=delimiter
+        ):
+            if builder is None:
+                # Validate the schema before ingesting data, so a bad
+                # header fails fast instead of after gigabytes of rows.
+                schema = RelationSchema.from_names(chunk.header)
+                builder = ColumnStoreBuilder(schema.arity)
+            builder.add_rows(chunk.rows)
+        assert builder is not None and schema is not None  # >= 1 chunk always
+        return builder.finish(schema)
+
+    @classmethod
     def empty(cls, schema: RelationSchema) -> "Relation":
         """The empty relation over ``schema``."""
         return cls(schema, [])

@@ -324,6 +324,126 @@ class TestDecomposeCommand:
         assert "--strategy" in err and "--workers" in err
 
 
+class TestStreamingAndBackendFlags:
+    def test_mine_chunked_matches_eager(self, table_csv, capsys):
+        code = main(["mine", str(table_csv), "--json"])
+        assert code == 0
+        eager = json.loads(capsys.readouterr().out)
+        code = main(["mine", str(table_csv), "--chunk-rows", "3", "--json"])
+        assert code == 0
+        chunked = json.loads(capsys.readouterr().out)
+        assert chunked["bags"] == eager["bags"]
+        assert chunked["j_measure"] == eager["j_measure"]
+        assert chunked["rho"] == eager["rho"]
+        assert chunked["backend"] == "exact"
+
+    def test_mine_sketch_backend(self, table_csv, capsys):
+        code = main(
+            [
+                "mine",
+                str(table_csv),
+                "--backend",
+                "sketch",
+                "--chunk-rows",
+                "4",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        validate_report(payload)
+        assert payload["backend"] == "sketch"
+        # The planted C ↠ A|B split survives sketch scoring, and the
+        # streamed ρ estimate is exact here (single split, tiny table).
+        assert ["A", "C"] in payload["bags"]
+        assert payload["rho"] == 0.0
+
+    def test_analyze_sketch_backend(self, table_csv, capsys):
+        code = main(
+            [
+                "analyze",
+                str(table_csv),
+                "--schema",
+                "A,C;B,C",
+                "--backend",
+                "sketch",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        validate_report(payload)
+        assert payload["backend"] == "sketch"
+        assert payload["rho"] == 0.0  # join counting stays exact in analyze
+
+    def test_decompose_sketch_steers_mining_only(self, table_csv, capsys):
+        code = main(
+            ["decompose", str(table_csv), "--backend", "sketch"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        validate_report(payload)
+        assert payload["backend"] == "sketch"
+        assert payload["lossless"] is True  # report itself is exact
+
+    def test_decompose_schema_conflicts_with_backend(self, table_csv, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "decompose",
+                    str(table_csv),
+                    "--schema",
+                    "A,C;B,C",
+                    "--backend",
+                    "sketch",
+                ]
+            )
+        assert excinfo.value.code == 2
+        assert "--backend" in capsys.readouterr().err
+
+    def test_unknown_backend_rejected_by_parser(self, table_csv):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["mine", str(table_csv), "--backend", "quantum"])
+        assert excinfo.value.code == 2
+
+    def test_bad_chunk_rows_exits_cleanly(self, table_csv, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["mine", str(table_csv), "--chunk-rows", "0"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "chunk_rows" in err
+        assert "Traceback" not in err
+
+    def test_chunked_nul_byte_csv_exits_cleanly(self, tmp_path, capsys):
+        path = tmp_path / "nul.csv"
+        path.write_bytes(b"A,B\n1,\x002\n")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["mine", str(path), "--chunk-rows", "2"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "NUL byte" in err
+        assert "Traceback" not in err
+
+    def test_chunked_truncated_csv_exits_cleanly(self, tmp_path, capsys):
+        path = tmp_path / "truncated.csv"
+        path.write_text("A,B,C\n1,2,3\n4,5")  # cut mid-row
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "mine",
+                    str(path),
+                    "--backend",
+                    "sketch",
+                    "--chunk-rows",
+                    "1",
+                ]
+            )
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "fields" in err
+        assert "Traceback" not in err
+
+
 class TestOtherCommands:
     def test_version(self, capsys):
         import repro
