@@ -5,7 +5,7 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test bench bench-baseline bench-strategies bench-jmeasure \
-	bench-streaming bench-gate lint
+	bench-streaming bench-service bench-gate service-smoke lint
 
 ## tier-1 suite (tests only; benchmarks are opt-in via `make bench`)
 test:
@@ -41,6 +41,19 @@ bench-streaming:
 	BENCH_STREAMING_FULL=1 $(PYTHON) -m pytest \
 		benchmarks/test_bench_streaming.py -q -s --benchmark-disable
 
+## serving layer: cold-vs-warm HTTP latency + concurrent throughput
+## against an in-process server; appends a record to BENCH_service.json
+## (see docs/service.md)
+bench-service:
+	BENCH_SERVICE_FULL=1 $(PYTHON) -m pytest \
+		benchmarks/test_bench_service.py -q -s --benchmark-disable
+
+## boot a real `repro-ajd serve` subprocess and drive
+## register -> mine -> decompose -> warm repeat over HTTP (the CI
+## service-smoke job runs exactly this; see docs/service.md)
+service-smoke:
+	$(PYTHON) scripts/service_smoke.py
+
 ## benchmark-regression gate: re-run smoke benches and compare against
 ## the committed BENCH_*.json baselines (>2x degradation fails); the CI
 ## bench-gate job runs exactly this (see docs/ci.md)
@@ -50,5 +63,5 @@ bench-gate:
 ## byte-compile + import smoke check (no third-party linter is vendored
 ## in the runtime image; swap in ruff/flake8 here when available)
 lint:
-	$(PYTHON) -m compileall -q src tests benchmarks examples
-	$(PYTHON) -c "import repro, repro.info, repro.relations, repro.discovery"
+	$(PYTHON) -m compileall -q src tests benchmarks examples scripts
+	$(PYTHON) -c "import repro, repro.info, repro.relations, repro.discovery, repro.service"

@@ -126,6 +126,17 @@ def fresh_entropy_memo_speedup() -> float:
     return cold_s / warm_s if warm_s else float("inf")
 
 
+def fresh_service_warm_speedup() -> float:
+    """Cold-vs-warm HTTP mine latency ratio at the service smoke tier."""
+    import tempfile
+
+    from test_bench_service import run_service_tier
+
+    with tempfile.TemporaryDirectory() as tmp:
+        tier = run_service_tier(20_000, 31, Path(tmp) / "service_bench.csv")
+    return tier["warm_http_speedup"]
+
+
 def fresh_streaming_rss_ratio() -> float:
     """Eager-vs-stream peak-RSS ratio at the streaming smoke tier."""
     import tempfile
@@ -163,6 +174,11 @@ def baseline_streaming_rss_ratio() -> float:
     )
 
 
+def baseline_service_warm_speedup() -> float:
+    record = _last_record(REPO_ROOT / "BENCH_service.json")
+    return float(record["tiers"]["n=2e4"]["warm_http_speedup"])
+
+
 #: name → (baseline extractor, fresh measurement, slack).  All values
 #: are "higher is better" ratios; the gate fails when
 #: fresh < baseline / (factor · slack).  ``slack`` > 1 widens the floor
@@ -185,6 +201,13 @@ TRACKED_OPS = {
         baseline_streaming_rss_ratio,
         fresh_streaming_rss_ratio,
         1.0,
+    ),
+    # Warm requests are ~ms HTTP round trips, so scheduler noise moves
+    # this ratio like the warm-memo op; same widened floor.
+    "service/warm_vs_cold_http_speedup@2e4": (
+        baseline_service_warm_speedup,
+        fresh_service_warm_speedup,
+        1.5,
     ),
 }
 

@@ -1,0 +1,173 @@
+"""Bench — the serving layer: cold vs warm latency, concurrent throughput.
+
+The acceptance scenario of the service PR, measured end to end over
+HTTP against an in-process server:
+
+* **cold**: register a dataset and run its first `mine` job (full
+  compute on a worker thread);
+* **warm**: repeat the identical request — a result-cache hit that
+  never touches a worker (asserted ≥ 10x faster than cold, both at the
+  HTTP round-trip level and server-side);
+* **throughput**: 8 concurrent clients hammering warm mine/analyze
+  requests, reported as requests/second.
+
+Every run appends a record to ``BENCH_service.json`` at the repo root
+via ``make bench-service``.  The smoke tier (N=2·10⁴ rows) always
+runs; the full tier (N=10⁵) is opt-in via ``BENCH_SERVICE_FULL=1``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.random_relations import random_relation
+from repro.factorize.report import validate_report
+from repro.relations.io import write_csv
+from repro.service import Service, ServiceClient, ServiceConfig
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULTS_PATH = REPO_ROOT / "BENCH_service.json"
+
+_RECORD: dict = {
+    "bench": "service_layer",
+    "cpu_count": os.cpu_count(),
+    "tiers": {},
+}
+
+
+def _append_record() -> None:
+    _RECORD["timestamp"] = time.time()
+    history = []
+    if RESULTS_PATH.exists():
+        try:
+            history = json.loads(RESULTS_PATH.read_text())
+        except json.JSONDecodeError:
+            history = []
+    if not isinstance(history, list):
+        history = [history]
+    history.append(_RECORD)
+    RESULTS_PATH.write_text(json.dumps(history, indent=2, sort_keys=True) + "\n")
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _append_results():
+    """Accumulate this session's numbers into the bench history file."""
+    yield
+    if _RECORD["tiers"]:
+        _append_record()
+
+
+def _tier_params():
+    tiers = [("n=2e4", 20_000, 31)]
+    if os.environ.get("BENCH_SERVICE_FULL"):
+        tiers.append(("n=1e5", 100_000, 37))
+    return tiers
+
+
+def run_service_tier(n_rows: int, seed: int, csv_path: Path) -> dict:
+    """Measure one tier against a fresh in-process service; return metrics."""
+    relation = random_relation(
+        {name: 16 for name in "ABCDE"}, n_rows, np.random.default_rng(seed)
+    )
+    write_csv(relation, csv_path)
+
+    with Service(ServiceConfig(port=0, workers=2, max_queue=1024)) as service:
+        client = ServiceClient(f"http://127.0.0.1:{service.port}")
+
+        start = time.perf_counter()
+        dataset = client.register_dataset(path=str(csv_path))
+        register_s = time.perf_counter() - start
+        fp = dataset["fingerprint"]
+
+        start = time.perf_counter()
+        cold = client.run(fp, "mine", {"strategy": "beam"}, timeout=600)
+        cold_http_s = time.perf_counter() - start
+        assert cold["state"] == "done" and not cold["cached"], cold
+        validate_report(cold["result"])
+
+        warm_http_s = float("inf")
+        warm_service_s = float("inf")
+        for _ in range(5):
+            start = time.perf_counter()
+            warm = client.run(fp, "mine", {"strategy": "beam"})
+            warm_http_s = min(warm_http_s, time.perf_counter() - start)
+            warm_service_s = min(warm_service_s, warm["service_time_s"])
+            assert warm["cached"] is True, warm
+
+        # Concurrent warm traffic: 8 clients × 25 requests.
+        clients, per_client = 8, 25
+        errors: list = []
+
+        def hammer(k: int) -> None:
+            try:
+                own = ServiceClient(f"http://127.0.0.1:{service.port}")
+                for i in range(per_client):
+                    op = "mine" if (k + i) % 2 else "analyze"
+                    params = (
+                        {"strategy": "beam"}
+                        if op == "mine"
+                        else {"schema": "A,B;B,C;C,D;D,E"}
+                    )
+                    view = own.run(fp, op, params, timeout=600)
+                    assert view["state"] == "done", view
+            except Exception as exc:
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(k,)) for k in range(clients)
+        ]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        concurrent_s = time.perf_counter() - start
+        assert not errors, errors[:3]
+
+        stats = client.stats()
+        return {
+            "n_rows_written": n_rows,
+            "n_rows_distinct": dataset["n_rows"],
+            "register_s": register_s,
+            "cold_http_s": cold_http_s,
+            "cold_service_s": cold["service_time_s"],
+            "warm_http_s": warm_http_s,
+            "warm_service_s": warm_service_s,
+            "warm_http_speedup": cold_http_s / max(warm_http_s, 1e-9),
+            "warm_service_speedup": (
+                cold["service_time_s"] / max(warm_service_s, 1e-9)
+            ),
+            "concurrent_clients": clients,
+            "concurrent_requests": clients * per_client,
+            "concurrent_s": concurrent_s,
+            "concurrent_rps": clients * per_client / concurrent_s,
+            "cache_hit_rate": stats["cache"]["hit_rate"],
+        }
+
+
+@pytest.mark.parametrize("label,n_rows,seed", _tier_params())
+def test_bench_service_cold_warm_throughput(label, n_rows, seed, tmp_path):
+    tier = run_service_tier(n_rows, seed, tmp_path / "service_bench.csv")
+
+    # The PR's acceptance bar: the warm repeat is a cache hit >= 10x
+    # faster than the cold request, over HTTP and server-side.
+    assert tier["warm_http_speedup"] >= 10, tier
+    assert tier["warm_service_speedup"] >= 10, tier
+    assert tier["cache_hit_rate"] > 0.5, tier
+
+    _RECORD["tiers"][label] = tier
+    print(
+        f"\n[{label}] register {tier['register_s'] * 1e3:.0f} ms | cold mine "
+        f"{tier['cold_http_s'] * 1e3:.1f} ms | warm {tier['warm_http_s'] * 1e3:.2f} ms "
+        f"({tier['warm_http_speedup']:.0f}x http, "
+        f"{tier['warm_service_speedup']:.0f}x server-side) | "
+        f"{tier['concurrent_requests']} warm reqs × {tier['concurrent_clients']} "
+        f"clients: {tier['concurrent_rps']:.0f} req/s"
+    )

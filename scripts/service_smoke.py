@@ -1,0 +1,163 @@
+#!/usr/bin/env python
+"""Service smoke check: boot a real server, drive it over HTTP, assert.
+
+What the CI ``service-smoke`` job (and ``make service-smoke``) runs:
+
+1. start ``repro-ajd serve`` as a subprocess on an ephemeral port with a
+   spill directory, parsing the ``{"event": "serving", ...}`` startup
+   line for the port;
+2. register ``examples/planted_mvd.csv`` over HTTP;
+3. run mine → decompose → analyze via the Python client and validate
+   every report against the shared CLI report schema;
+4. repeat the identical mine request and assert it is served **from the
+   cache** (``cached: true``, bit-identical report, hit-rate > 0);
+5. check ``/healthz`` and ``/stats`` shapes, then shut the server down
+   and require a clean exit.
+
+Exit codes: 0 ok · 1 assertion failed · 2 infrastructure trouble.
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_PATH = REPO_ROOT / "src"
+sys.path.insert(0, str(SRC_PATH))
+
+from repro.factorize.report import validate_report  # noqa: E402
+from repro.service.client import ServiceClient  # noqa: E402
+
+
+def start_server(spill_dir: str, stderr_path: Path) -> tuple[subprocess.Popen, int]:
+    # stderr goes to a file (never a blocking pipe) and is read back on
+    # failure; stdout is drained by a thread so a stalled server fails
+    # this script fast instead of hanging a blocking readline().
+    stderr_handle = stderr_path.open("w")
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "serve",
+            "--port", "0",
+            "--workers", "2",
+            "--spill-dir", spill_dir,
+        ],
+        cwd=REPO_ROOT,
+        env={"PYTHONPATH": str(SRC_PATH), "PATH": "/usr/bin:/bin"},
+        stdout=subprocess.PIPE,
+        stderr=stderr_handle,
+        text=True,
+    )
+    stderr_handle.close()  # the child holds its own descriptor now
+    assert process.stdout is not None
+    lines: queue.Queue = queue.Queue()
+
+    def drain() -> None:
+        for line in process.stdout:
+            lines.put(line)
+        lines.put(None)  # EOF marker
+
+    threading.Thread(target=drain, daemon=True).start()
+    deadline = time.monotonic() + 30
+    while True:
+        try:
+            line = lines.get(timeout=max(deadline - time.monotonic(), 0.1))
+        except queue.Empty:
+            process.terminate()
+            raise RuntimeError(
+                "server never announced 'serving' within 30s; stderr:\n"
+                + stderr_path.read_text()
+            ) from None
+        if line is None:
+            raise RuntimeError(
+                "server exited before announcing a port; stderr:\n"
+                + stderr_path.read_text()
+            )
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if event.get("event") == "serving":
+            return process, int(event["port"])
+
+
+def main() -> int:
+    csv_path = REPO_ROOT / "examples" / "planted_mvd.csv"
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-") as spill_dir:
+        process, port = start_server(spill_dir, Path(spill_dir) / "server-stderr.log")
+        try:
+            client = ServiceClient(f"http://127.0.0.1:{port}")
+            assert client.healthz()["status"] == "ok"
+
+            dataset = client.register_dataset(path=str(csv_path))
+            assert dataset["created"] is True, dataset
+            fp = dataset["fingerprint"]
+            print(f"[smoke] registered {csv_path.name} as {fp}")
+
+            cold = client.run(fp, "mine", {"strategy": "beam"})
+            assert cold["state"] == "done" and cold["cached"] is False, cold
+            validate_report(cold["result"])
+            assert cold["result"]["rho"] == 0.0, cold["result"]
+            print(
+                f"[smoke] cold mine ok ({cold['service_time_s'] * 1e3:.1f} ms, "
+                f"bags {cold['result']['bags']})"
+            )
+
+            decompose = client.decompose(fp, strategy="beam")
+            validate_report(decompose)
+            assert decompose["lossless"] is True, decompose
+            print("[smoke] decompose ok (lossless)")
+
+            analyze = client.analyze(fp, "A,C;B,C")
+            validate_report(analyze)
+            print("[smoke] analyze ok")
+
+            warm = client.run(fp, "mine", {"strategy": "beam"})
+            assert warm["state"] == "done" and warm["cached"] is True, warm
+            clean = dict(warm["result"])
+            clean.pop("cached")
+            assert clean == cold["result"], "warm report diverged from cold"
+            print(
+                f"[smoke] warm repeat served from cache "
+                f"({warm['service_time_s'] * 1e3:.2f} ms)"
+            )
+
+            stats = client.stats()
+            assert stats["cache"]["hits"] >= 1, stats["cache"]
+            assert stats["cache"]["hit_rate"] > 0, stats["cache"]
+            assert stats["registry"]["datasets"] == 1, stats["registry"]
+            assert stats["jobs"]["states"]["failed"] == 0, stats["jobs"]
+            print(
+                f"[smoke] stats ok (hit rate "
+                f"{stats['cache']['hit_rate']:.2f}, "
+                f"{stats['registry']['resident_bytes']} resident bytes)"
+            )
+        finally:
+            process.terminate()
+            try:
+                process.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait(timeout=10)
+        print("[smoke] service smoke ok")
+        return 0
+
+
+if __name__ == "__main__":
+    try:
+        raise SystemExit(main())
+    except AssertionError as exc:
+        print(f"[smoke] FAILED: {exc}", file=sys.stderr)
+        raise SystemExit(1) from exc
+    except RuntimeError as exc:
+        print(f"[smoke] infrastructure error: {exc}", file=sys.stderr)
+        raise SystemExit(2) from exc

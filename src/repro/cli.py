@@ -12,8 +12,17 @@ Installed as ``repro-ajd`` (see pyproject).  Subcommands:
   mine (or take) a schema, materialize the semijoin-reduced bag
   projections, measure the decomposition, and emit a JSON report (plus
   one CSV per bag when ``--out-dir`` is given);
+* ``serve [--port P] [--workers N] [--memory-budget-mb M]
+  [--spill-dir DIR] ...`` — run the decomposition service: an HTTP/JSON
+  API with a dataset registry, fingerprint-keyed result cache, and a job
+  worker pool (see :mod:`repro.service` and ``docs/service.md``);
 * ``experiment <id>|all``              — run a paper experiment (E1–E10);
 * ``version``                          — print the package version.
+
+Exit codes follow the usual CLI contract (service smoke scripts rely on
+it): 0 on success and on ``--help`` (top-level or any subcommand), 2 on
+usage errors (unknown subcommand, bad flags) and on clean-rejection
+errors (unreadable/malformed input, contradictory flags).
 
 ``mine --json``, ``analyze --json``, and ``decompose`` share one JSON
 report core (see :mod:`repro.factorize.report`): ``command``,
@@ -241,6 +250,67 @@ def _cmd_decompose(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # Imported lazily: the service layer (threads, HTTP machinery) should
+    # not tax `mine`/`analyze` one-shot invocations.
+    from repro.service import Service, ServiceConfig
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        memory_budget_bytes=(
+            args.memory_budget_mb * 1024 * 1024
+            if args.memory_budget_mb is not None
+            else None
+        ),
+        max_queue=args.max_queue,
+        cache_entries=args.cache_entries,
+        spill_dir=args.spill_dir,
+        default_deadline_s=args.default_deadline,
+    )
+    service = Service(config)
+    try:
+        for path in args.preload:
+            entry, _ = service.registry.register_path(path)
+            print(
+                json.dumps(
+                    {
+                        "event": "preloaded",
+                        "path": path,
+                        "fingerprint": entry.fingerprint,
+                        "n_rows": entry.n_rows,
+                    }
+                ),
+                flush=True,
+            )
+    except ReproError:
+        service.stop()
+        raise
+    try:
+        port = service.port  # binds the socket
+    except OSError as exc:
+        service.stop()
+        raise ReproError(
+            f"cannot bind {config.host}:{config.port}: {exc.strerror or exc}"
+        ) from exc
+    # One machine-parseable line so wrappers (smoke scripts, benchmarks)
+    # can discover an ephemeral port before the blocking serve loop.
+    print(
+        json.dumps(
+            {
+                "event": "serving",
+                "host": config.host,
+                "port": port,
+                "workers": config.workers,
+            }
+        ),
+        flush=True,
+    )
+    service.serve_forever()
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments import runner
 
@@ -397,6 +467,68 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory to write one CSV per bag plus report.json",
     )
     p_decompose.set_defaults(func=_cmd_decompose)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the decomposition service (HTTP/JSON API with a "
+        "dataset registry, result cache, and job worker pool)",
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: loopback)"
+    )
+    p_serve.add_argument(
+        "--port",
+        type=int,
+        default=8765,
+        help="TCP port; 0 picks an ephemeral port (printed on startup)",
+    )
+    p_serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="job worker threads (default: 2)",
+    )
+    p_serve.add_argument(
+        "--memory-budget-mb",
+        type=int,
+        default=256,
+        metavar="MB",
+        help="resident-dataset budget for LRU eviction (default: 256)",
+    )
+    p_serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=64,
+        help="waiting-job bound before submissions get 503 (default: 64)",
+    )
+    p_serve.add_argument(
+        "--cache-entries",
+        type=int,
+        default=1024,
+        help="in-memory result-cache capacity (default: 1024)",
+    )
+    p_serve.add_argument(
+        "--spill-dir",
+        default=None,
+        metavar="DIR",
+        help="directory for the result cache's on-disk spill and inline "
+        "uploads; restarts pointed here start warm (default: no spill)",
+    )
+    p_serve.add_argument(
+        "--default-deadline",
+        type=float,
+        default=None,
+        metavar="SEC",
+        help="deadline applied to jobs that do not set one (default: none)",
+    )
+    p_serve.add_argument(
+        "--preload",
+        action="append",
+        default=[],
+        metavar="CSV",
+        help="register this CSV at startup (repeatable)",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_exp = sub.add_parser("experiment", help="run a paper experiment")
     p_exp.add_argument("id", help="experiment id (E1..E10) or 'all'")

@@ -75,6 +75,7 @@ class SearchContext:
         scorer: "object | None" = None,
         workers: int | None = None,
         deadline_seconds: float | None = None,
+        deadline_at: float | None = None,
         seed: int = 0,
         backend: "object | None" = None,
     ) -> "SearchContext":
@@ -82,8 +83,12 @@ class SearchContext:
 
         ``scorer`` wins over ``workers``; with neither, scoring is serial.
         ``deadline_seconds`` is relative (converted to an absolute
-        ``time.monotonic()`` deadline at creation).  ``backend`` selects
-        the entropy backend the run's engine scores with — an
+        ``time.monotonic()`` deadline at creation); ``deadline_at`` is an
+        absolute ``time.monotonic()`` timestamp, which long-lived callers
+        (the service's job workers map each job's wall-clock budget onto
+        the search this way) can pass without re-relativizing.  When both
+        are given the earlier one wins.  ``backend`` selects the entropy
+        backend the run's engine scores with — an
         :class:`~repro.info.backends.EntropyBackend` instance or a name
         (``"exact"``/``"sketch"``); ``None`` keeps the relation's cached
         engine whatever backend it has.
@@ -100,6 +105,13 @@ class SearchContext:
             raise DiscoveryError(
                 f"deadline must be positive, got {deadline_seconds}"
             )
+        deadlines = [
+            time.monotonic() + deadline_seconds
+            if deadline_seconds is not None
+            else None,
+            deadline_at,
+        ]
+        effective = [d for d in deadlines if d is not None]
         return cls(
             relation=relation,
             engine=EntropyEngine.for_relation(relation, backend=backend),
@@ -107,11 +119,7 @@ class SearchContext:
             threshold=threshold,
             max_separator_size=max_separator_size,
             exact_partition_limit=exact_partition_limit,
-            deadline=(
-                time.monotonic() + deadline_seconds
-                if deadline_seconds is not None
-                else None
-            ),
+            deadline=min(effective) if effective else None,
             rng=np.random.default_rng(seed),
         )
 

@@ -108,6 +108,7 @@ def mine_jointree(
     workers: int | None = None,
     scorer: SplitScorer | None = None,
     deadline: float | None = None,
+    deadline_at: float | None = None,
     seed: int = 0,
     backend: "object | None" = None,
 ) -> MinedSchema:
@@ -142,6 +143,10 @@ def mine_jointree(
         Wall-clock budget in seconds; deadline-aware strategies
         (``anytime``, and all strategies' refinement loops) return their
         best-so-far schema when it expires.
+    deadline_at:
+        Absolute ``time.monotonic()`` deadline, for callers that already
+        hold one (the service's job workers).  Combined with ``deadline``
+        by taking the earlier of the two.
     seed:
         RNG seed for randomized strategies.
     backend:
@@ -168,6 +173,7 @@ def mine_jointree(
         scorer=scorer,
         workers=workers,
         deadline_seconds=deadline,
+        deadline_at=deadline_at,
         seed=seed,
         backend=backend,
     )

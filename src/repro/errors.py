@@ -58,3 +58,15 @@ class DiscoveryError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment harness was configured inconsistently."""
+
+
+class ServiceError(ReproError):
+    """The decomposition service was asked for something it cannot do."""
+
+
+class UnknownDatasetError(ServiceError):
+    """A request referenced a dataset fingerprint the registry never saw."""
+
+
+class QueueFullError(ServiceError):
+    """The job queue is at capacity; the caller should back off and retry."""

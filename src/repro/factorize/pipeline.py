@@ -197,7 +197,9 @@ def discover_and_decompose(
     max_separator_size: int = 2,
     workers: int | None = None,
     deadline: float | None = None,
+    deadline_at: float | None = None,
     seed: int = 0,
+    backend: "object | None" = None,
 ):
     """Mine a low-J schema, then decompose and measure it in one call.
 
@@ -205,6 +207,12 @@ def discover_and_decompose(
     :class:`~repro.discovery.miner.MinedSchema`.  The mining run and the
     decomposition report share the relation's entropy memo and join-size
     cache, so the measurement step is nearly free after the search.
+
+    ``backend`` steers the *mining* phase only (as with the CLI's
+    ``decompose --backend``): the materialized decomposition and its
+    report always measure with the exact engine.  ``deadline`` /
+    ``deadline_at`` bound the mining search the way
+    :func:`~repro.discovery.miner.mine_jointree` does.
     """
     from repro.discovery.miner import mine_jointree
 
@@ -215,7 +223,9 @@ def discover_and_decompose(
         strategy=strategy,
         workers=workers,
         deadline=deadline,
+        deadline_at=deadline_at,
         seed=seed,
+        backend=backend,
     )
     return decompose(relation, mined.jointree), mined
 

@@ -137,6 +137,19 @@ class EntropyEngine:
         """Number of memoized entropy entries."""
         return len(self._cache)
 
+    def cache_info(self) -> dict:
+        """JSON-ready memo summary (the service's ``/stats`` embeds it).
+
+        Long-lived holders of an engine (the service's dataset registry
+        keeps one resident per dataset) report this to show how much
+        cross-request amortization the shared memo is buying.
+        """
+        return {
+            "backend": self._backend.name,
+            "entries": len(self._cache),
+            "n_rows": self._n,
+        }
+
     def cache_snapshot(self) -> dict[tuple[str, ...], float]:
         """A shallow copy of the memo: canonical subset key → ``H`` (nats).
 

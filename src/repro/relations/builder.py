@@ -170,6 +170,7 @@ class ColumnStoreBuilder:
         relation._rows = rows
         relation._engine = None
         relation._eval = None
+        relation._fingerprint = None
         relation._store = ColumnStore.from_coded_columns(
             row_list,
             [np.ascontiguousarray(arr[:, j]) for j in range(self._arity)],

@@ -221,6 +221,8 @@ def infer_integer_domains(relation: Relation) -> Relation:
         for name in relation.schema.names
     ]
     out = Relation(RelationSchema(attrs), relation.rows(), validate=False)
+    # Same names, same rows: the content fingerprint is unchanged too.
+    out._fingerprint = relation._fingerprint
     if relation._store is not None:
         # Same row set, same attribute order — only the declared domains
         # changed, which the columnar codes never depend on.  Carrying the

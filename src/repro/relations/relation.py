@@ -21,6 +21,7 @@ needs invalidation).
 
 from __future__ import annotations
 
+import hashlib
 import operator
 from collections import Counter
 from collections.abc import Callable, Iterable, Iterator, Sequence
@@ -78,7 +79,7 @@ class Relation:
     [(1,), (2,)]
     """
 
-    __slots__ = ("_engine", "_eval", "_rows", "_schema", "_store")
+    __slots__ = ("_engine", "_eval", "_fingerprint", "_rows", "_schema", "_store")
 
     def __init__(
         self,
@@ -100,6 +101,7 @@ class Relation:
         self._store: ColumnStore | None = None
         self._engine = None
         self._eval = None
+        self._fingerprint: str | None = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -165,6 +167,7 @@ class Relation:
         relation._rows = rows
         relation._engine = None
         relation._eval = None
+        relation._fingerprint = None
         if n and max(cards) < _dense_limit(n):
             relation._store = ColumnStore.from_identity_codes(
                 row_list,
@@ -553,6 +556,61 @@ class Relation:
                 "set operation needs identical schemas: "
                 f"{list(self._schema.names)} vs {list(other._schema.names)}"
             )
+
+    # ------------------------------------------------------------------
+    # Content identity
+    # ------------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """A stable content fingerprint of this relation instance.
+
+        The fingerprint is a 32-hex-digit hash over the schema's attribute
+        names (in order) and the *set* of rows.  Two relations have equal
+        fingerprints iff they have the same attribute names in the same
+        order and the same rows — regardless of
+
+        * **ingestion path**: eager ``read_csv`` and streamed
+          ``from_csv_stream`` of one CSV agree for every chunk size;
+        * **row iteration order**: per-row digests are *sorted* before
+          the final hash, so the hash-seed-dependent ``frozenset`` order
+          (and ``PYTHONHASHSEED``) never leaks in — and unlike an
+          additive digest combiner, a collision still requires breaking
+          the underlying hash;
+        * **process**: the value is reproducible across interpreter runs,
+          so it can key an on-disk result cache that stays warm over
+          service restarts.
+
+        Declared attribute domains are *not* hashed (they are derived
+        metadata; ``infer_integer_domains`` does not change the content).
+        The value is computed once and cached on the relation.
+
+        Examples
+        --------
+        >>> schema = RelationSchema.from_names(["A", "B"])
+        >>> a = Relation(schema, [(1, "x"), (2, "y")])
+        >>> b = Relation(schema, [(2, "y"), (1, "x")])
+        >>> a.fingerprint() == b.fingerprint()
+        True
+        """
+        fp = self._fingerprint
+        if fp is None:
+            combined = hashlib.blake2b(digest_size=16)
+            combined.update(
+                hashlib.blake2b(
+                    "\x1f".join(self._schema.names).encode("utf-8"),
+                    digest_size=16,
+                ).digest()
+            )
+            combined.update(len(self._rows).to_bytes(8, "big"))
+            for digest in sorted(
+                hashlib.blake2b(
+                    repr(row).encode("utf-8"), digest_size=16
+                ).digest()
+                for row in self._rows
+            ):
+                combined.update(digest)
+            fp = combined.hexdigest()
+            self._fingerprint = fp
+        return fp
 
     # ------------------------------------------------------------------
     # Statistics

@@ -1,0 +1,44 @@
+"""Decomposition-as-a-service: long-lived, cacheable serving infrastructure.
+
+The :mod:`repro.service` package turns the library's one-shot pipeline
+(ingest → mine → analyze → decompose) into a concurrent HTTP/JSON
+service that amortizes work across requests:
+
+* :class:`~repro.service.registry.DatasetRegistry` — CSVs ingested once
+  (eager or streamed), keyed by content fingerprint, kept resident with
+  their exact entropy engines under an LRU memory budget;
+* :class:`~repro.service.cache.ResultCache` — mine/analyze/decompose
+  reports keyed by ``(fingerprint, operation, canonical params)``, with
+  an optional on-disk spill so restarts stay warm;
+* :class:`~repro.service.jobs.JobQueue` — a thread worker pool with job
+  states, per-job deadlines mapped onto search budgets, request
+  coalescing, and backpressure;
+* :mod:`repro.service.http` / :class:`~repro.service.app.Service` — the
+  stdlib ``ThreadingHTTPServer`` API (``repro-ajd serve``);
+* :class:`~repro.service.client.ServiceClient` — the Python client.
+
+See ``docs/service.md`` for the API reference and semantics.
+"""
+
+from repro.service.app import Service
+from repro.service.cache import ResultCache, canonical_key
+from repro.service.client import ServiceClient, ServiceClientError
+from repro.service.config import ServiceConfig
+from repro.service.jobs import Job, JobQueue
+from repro.service.operations import canonicalize_params, run_operation
+from repro.service.registry import DatasetEntry, DatasetRegistry
+
+__all__ = [
+    "DatasetEntry",
+    "DatasetRegistry",
+    "Job",
+    "JobQueue",
+    "ResultCache",
+    "Service",
+    "ServiceClient",
+    "ServiceClientError",
+    "ServiceConfig",
+    "canonical_key",
+    "canonicalize_params",
+    "run_operation",
+]

@@ -1,0 +1,124 @@
+"""Service assembly: registry + cache + job queue + HTTP server, one object.
+
+:class:`Service` owns the subsystem lifecycle.  ``start()`` binds the
+listening socket (``port=0`` picks an ephemeral port, read back from
+``service.port``) and serves on a background thread; ``serve_forever()``
+is the blocking variant the ``repro-ajd serve`` CLI uses.  ``stop()``
+shuts the HTTP server and drains the worker pool.  The object is also a
+context manager, which is how the tests hold a live server::
+
+    with Service(ServiceConfig(port=0)) as service:
+        client = ServiceClient(f"http://127.0.0.1:{service.port}")
+        ...
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.service.cache import ResultCache
+from repro.service.config import ServiceConfig
+from repro.service.http import ServiceHTTPServer, ServiceRequestHandler
+from repro.service.jobs import JobQueue
+from repro.service.registry import DatasetRegistry
+
+
+class Service:
+    """A running (or startable) decomposition service."""
+
+    def __init__(self, config: ServiceConfig | None = None) -> None:
+        self.config = config or ServiceConfig()
+        self.registry = DatasetRegistry(
+            memory_budget_bytes=self.config.memory_budget_bytes,
+            spill_dir=self.config.spill_dir,
+        )
+        self.cache = ResultCache(
+            max_entries=self.config.cache_entries,
+            spill_dir=self.config.spill_dir,
+        )
+        self.jobs = JobQueue(
+            self.registry,
+            self.cache,
+            workers=self.config.workers,
+            max_queue=self.config.max_queue,
+            default_deadline_s=self.config.default_deadline_s,
+        )
+        self._server: ServiceHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+        self._started_at = time.monotonic()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def _bind(self) -> ServiceHTTPServer:
+        if self._server is None:
+            self._server = ServiceHTTPServer(
+                (self.config.host, self.config.port),
+                ServiceRequestHandler,
+                self,
+            )
+        return self._server
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (resolves ``port=0`` to the actual port)."""
+        return self._bind().server_address[1]
+
+    def start(self) -> "Service":
+        """Bind and serve on a background thread; returns self."""
+        server = self._bind()
+        if self._thread is None:
+            self._started_at = time.monotonic()
+            self._thread = threading.Thread(
+                target=server.serve_forever,
+                name="repro-service-http",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Blocking serve (the CLI path); Ctrl-C returns cleanly."""
+        server = self._bind()
+        self._started_at = time.monotonic()
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.stop()
+
+    def stop(self) -> None:
+        """Shut the HTTP server down and drain the worker pool."""
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+            self._server = None
+        self._thread = None
+        self.jobs.shutdown(wait=True)
+
+    def __enter__(self) -> "Service":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        return {
+            "status": "ok",
+            "uptime_s": time.monotonic() - self._started_at,
+            "workers": self.config.workers,
+        }
+
+    def stats(self) -> dict:
+        """The ``GET /stats`` document."""
+        return {
+            "uptime_s": time.monotonic() - self._started_at,
+            "cache": self.cache.stats(),
+            "registry": self.registry.stats(),
+            "jobs": self.jobs.stats(),
+        }

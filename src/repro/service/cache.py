@@ -1,0 +1,159 @@
+"""Result cache: ``(fingerprint, operation, canonical params)`` → report.
+
+Every completed job's JSON report is cached under a digest of its
+dataset fingerprint, operation name, and **canonicalized** parameters
+(defaults filled in, irrelevant knobs dropped, keys sorted), so any two
+requests that would compute the same thing share one entry regardless
+of how sparsely the client spelled its parameters.
+
+Two layers:
+
+* an in-memory LRU (``max_entries``), serving hits in O(1);
+* an optional on-disk **spill** (``spill_dir``): every stored report is
+  also written as one JSON file named by its key digest, and a memory
+  miss falls through to disk before being declared a miss.  A restarted
+  service pointed at the same spill directory therefore starts warm.
+
+Only reports that pass the shared CLI schema
+(:func:`repro.factorize.report.validate_report`) are admitted — on put
+*and* again when re-loaded from disk — so a cache can never serve a
+malformed report.  Partial results (deadline-expired mining) are the
+caller's responsibility to withhold; see :mod:`repro.service.jobs`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from collections import OrderedDict
+from pathlib import Path
+
+from repro.errors import ReproError, ServiceError
+from repro.factorize.report import validate_report
+
+
+def canonical_key(fingerprint: str, operation: str, params: dict) -> str:
+    """Digest identifying one unit of cacheable work.
+
+    ``params`` must already be canonical (see
+    :func:`repro.service.operations.canonicalize_params`); this function
+    only serializes deterministically and hashes.
+    """
+    payload = json.dumps(
+        {"fingerprint": fingerprint, "operation": operation, "params": params},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.blake2b(payload.encode("utf-8"), digest_size=16).hexdigest()
+
+
+class ResultCache:
+    """LRU report cache with optional on-disk spill."""
+
+    def __init__(
+        self,
+        *,
+        max_entries: int = 1024,
+        spill_dir: str | Path | None = None,
+    ) -> None:
+        if max_entries < 1:
+            raise ServiceError(f"max_entries must be >= 1, got {max_entries}")
+        self._max_entries = max_entries
+        self._spill_dir = Path(spill_dir) if spill_dir is not None else None
+        self._entries: OrderedDict[str, dict] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.spill_loads = 0
+        self.spill_writes = 0
+
+    # ------------------------------------------------------------------
+    def _spill_path(self, key: str) -> Path | None:
+        if self._spill_dir is None:
+            return None
+        return self._spill_dir / f"result-{key}.json"
+
+    def get(self, key: str) -> dict | None:
+        """The cached report for ``key``, or ``None`` (counts a miss).
+
+        Hits return a **deep copy** so callers can annotate their
+        response (``cached: true`` etc.) without corrupting the cache.
+        """
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return json.loads(json.dumps(cached))
+        spilled = self._load_spilled(key)
+        with self._lock:
+            if spilled is not None:
+                self.hits += 1
+                self.spill_loads += 1
+                self._admit(key, spilled)
+                return json.loads(json.dumps(spilled))
+            self.misses += 1
+        return None
+
+    def _load_spilled(self, key: str) -> dict | None:
+        path = self._spill_path(key)
+        if path is None or not path.exists():
+            return None
+        try:
+            document = json.loads(path.read_text())
+            payload = document["payload"]
+            validate_report(payload)
+            return payload
+        except (OSError, ValueError, KeyError, ReproError):
+            # A torn or stale spill file is a miss, never an error.
+            return None
+
+    def put(self, key: str, payload: dict, *, meta: dict | None = None) -> None:
+        """Admit a report (validated against the shared schema) under ``key``."""
+        validate_report(payload)
+        frozen = json.loads(json.dumps(payload))  # detach from the producer
+        with self._lock:
+            self._admit(key, frozen)
+        path = self._spill_path(key)
+        if path is not None:
+            try:
+                path.parent.mkdir(parents=True, exist_ok=True)
+                document = {"key": key, "meta": meta or {}, "payload": frozen}
+                tmp = path.with_suffix(".tmp")
+                tmp.write_text(
+                    json.dumps(document, indent=2, sort_keys=True) + "\n"
+                )
+                tmp.replace(path)  # atomic: readers never see a torn file
+                with self._lock:
+                    self.spill_writes += 1
+            except OSError:
+                pass  # spill is best-effort; the memory tier already has it
+
+    def _admit(self, key: str, payload: dict) -> None:
+        """Insert/refresh under the LRU cap (caller holds the lock)."""
+        self._entries[key] = payload
+        self._entries.move_to_end(key)
+        while len(self._entries) > self._max_entries:
+            self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict:
+        """JSON-ready cache summary (part of ``GET /stats``)."""
+        with self._lock:
+            lookups = self.hits + self.misses
+            return {
+                "entries": len(self._entries),
+                "max_entries": self._max_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": self.hits / lookups if lookups else 0.0,
+                "spill_dir": (
+                    str(self._spill_dir) if self._spill_dir is not None else None
+                ),
+                "spill_loads": self.spill_loads,
+                "spill_writes": self.spill_writes,
+            }

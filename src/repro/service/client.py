@@ -1,0 +1,187 @@
+"""Python client for the decomposition service (stdlib ``urllib`` only).
+
+:class:`ServiceClient` wraps the HTTP/JSON API in typed-ish methods and
+polling helpers, so scripts (the CI smoke job, the benchmarks, user
+code) never hand-roll requests::
+
+    client = ServiceClient("http://127.0.0.1:8765")
+    dataset = client.register_dataset(path="examples/planted_mvd.csv")
+    report = client.mine(dataset["fingerprint"], strategy="beam")
+    assert report["rho"] == 0.0
+
+Convenience methods (``mine`` / ``analyze`` / ``decompose``) submit a
+job and block until it finishes, returning the report and raising
+:class:`ServiceClientError` on ``failed`` / ``timeout`` jobs.  The
+lower-level ``submit_job`` / ``get_job`` / ``wait_job`` expose the
+asynchronous lifecycle directly.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+from repro.errors import ServiceError
+
+
+class ServiceClientError(ServiceError):
+    """An HTTP call failed; carries the status and server-sent error."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServiceClient:
+    """Thin JSON-over-HTTP client for one service base URL."""
+
+    def __init__(self, base_url: str, *, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _request(self, method: str, path: str, body: dict | None = None) -> dict:
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                detail = json.loads(exc.read().decode("utf-8")).get("error", "")
+            except Exception:
+                detail = exc.reason
+            raise ServiceClientError(exc.code, detail or str(exc.reason)) from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach service at {self.base_url}: {exc.reason}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Datasets
+    # ------------------------------------------------------------------
+    def register_dataset(
+        self,
+        *,
+        path: str | None = None,
+        csv: str | None = None,
+        chunk_rows: int | None = None,
+        name: str | None = None,
+    ) -> dict:
+        """Register a dataset by server-local path or inline CSV text."""
+        body: dict = {}
+        if path is not None:
+            body["path"] = str(path)
+        if csv is not None:
+            body["csv"] = csv
+        if chunk_rows is not None:
+            body["chunk_rows"] = chunk_rows
+        if name is not None:
+            body["name"] = name
+        return self._request("POST", "/datasets", body)
+
+    def get_dataset(self, fingerprint: str) -> dict:
+        return self._request("GET", f"/datasets/{fingerprint}")
+
+    def list_datasets(self) -> list[dict]:
+        return self._request("GET", "/datasets")["datasets"]
+
+    # ------------------------------------------------------------------
+    # Jobs
+    # ------------------------------------------------------------------
+    def submit_job(
+        self, fingerprint: str, operation: str, params: dict | None = None
+    ) -> dict:
+        return self._request(
+            "POST",
+            "/jobs",
+            {
+                "fingerprint": fingerprint,
+                "operation": operation,
+                "params": params or {},
+            },
+        )
+
+    def get_job(self, job_id: str) -> dict:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def wait_job(
+        self,
+        job_id: str,
+        *,
+        timeout: float = 60.0,
+        poll_s: float = 0.02,
+    ) -> dict:
+        """Poll until the job leaves queued/running; return its view."""
+        deadline = time.monotonic() + timeout
+        while True:
+            view = self.get_job(job_id)
+            if view["state"] not in ("queued", "running"):
+                return view
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still {view['state']} after {timeout:g}s"
+                )
+            time.sleep(poll_s)
+
+    def run(
+        self,
+        fingerprint: str,
+        operation: str,
+        params: dict | None = None,
+        *,
+        timeout: float = 60.0,
+    ) -> dict:
+        """Submit, wait, and return the finished job view (any state)."""
+        job = self.submit_job(fingerprint, operation, params)
+        if job["state"] in ("queued", "running"):
+            job = self.wait_job(job["job_id"], timeout=timeout)
+        return job
+
+    def _report(self, job: dict) -> dict:
+        if job["state"] != "done":
+            raise ServiceError(
+                f"job {job['job_id']} ended {job['state']}: "
+                f"{job.get('error', 'no detail')}"
+            )
+        return job["result"]
+
+    def mine(self, fingerprint: str, *, timeout: float = 60.0, **params) -> dict:
+        """Mine a schema; returns the report (raises on failed/timeout)."""
+        return self._report(self.run(fingerprint, "mine", params, timeout=timeout))
+
+    def analyze(
+        self, fingerprint: str, schema: str, *, timeout: float = 60.0, **params
+    ) -> dict:
+        """Analyze under an explicit schema; returns the report."""
+        params["schema"] = schema
+        return self._report(
+            self.run(fingerprint, "analyze", params, timeout=timeout)
+        )
+
+    def decompose(
+        self, fingerprint: str, *, timeout: float = 60.0, **params
+    ) -> dict:
+        """Decompose (mining unless ``schema=`` given); returns the report."""
+        return self._report(
+            self.run(fingerprint, "decompose", params, timeout=timeout)
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> dict:
+        return self._request("GET", "/stats")

@@ -1,0 +1,83 @@
+"""Service configuration: one dataclass, CLI- and test-friendly defaults.
+
+Every tunable of the serving layer lives here so the `repro-ajd serve`
+subcommand, the test harness, and embedded users construct the same
+object.  All sizes are in bytes (the CLI converts from MB).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import ServiceError
+
+#: Default TCP port of ``repro-ajd serve`` (0 = pick an ephemeral port).
+DEFAULT_PORT = 8765
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Knobs of one service instance.
+
+    Attributes
+    ----------
+    host / port:
+        Bind address.  ``port=0`` asks the OS for an ephemeral port
+        (read it back from ``Service.port`` after ``start()``).
+    workers:
+        Job-worker threads.  Each worker runs one job at a time; mining
+        jobs may additionally request fork-pool split scoring via their
+        ``workers`` param, which runs *inside* the job worker.
+    memory_budget_bytes:
+        Resident-dataset budget for the registry's LRU eviction, or
+        ``None`` for unbounded.  Evicted datasets keep their metadata and
+        are re-ingested from their source on next use.
+    max_queue:
+        Backpressure bound: jobs queued (not yet running) beyond this
+        are rejected with :class:`~repro.errors.QueueFullError`
+        (HTTP 503).
+    cache_entries:
+        In-memory result-cache capacity (LRU).
+    spill_dir:
+        Directory for the result cache's on-disk spill and for inline
+        CSV uploads; ``None`` disables both (cache is memory-only and
+        inline datasets cannot be re-ingested after eviction).
+    default_deadline_s:
+        Deadline applied to jobs that do not set one; ``None`` means
+        jobs without a deadline run unbounded.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = DEFAULT_PORT
+    workers: int = 2
+    memory_budget_bytes: int | None = 256 * 1024 * 1024
+    max_queue: int = 64
+    cache_entries: int = 1024
+    spill_dir: str | Path | None = None
+    default_deadline_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.port < 0 or self.port > 65535:
+            raise ServiceError(f"port must be in [0, 65535], got {self.port}")
+        if self.workers < 1:
+            raise ServiceError(f"workers must be >= 1, got {self.workers}")
+        if self.max_queue < 1:
+            raise ServiceError(f"max_queue must be >= 1, got {self.max_queue}")
+        if self.cache_entries < 1:
+            raise ServiceError(
+                f"cache_entries must be >= 1, got {self.cache_entries}"
+            )
+        if (
+            self.memory_budget_bytes is not None
+            and self.memory_budget_bytes < 1
+        ):
+            raise ServiceError(
+                "memory_budget_bytes must be positive or None, got "
+                f"{self.memory_budget_bytes}"
+            )
+        if self.default_deadline_s is not None and self.default_deadline_s <= 0:
+            raise ServiceError(
+                "default_deadline_s must be positive or None, got "
+                f"{self.default_deadline_s}"
+            )

@@ -1,0 +1,220 @@
+"""HTTP/JSON API: a stdlib ``ThreadingHTTPServer`` over the service core.
+
+Routes (all request/response bodies are JSON):
+
+=========================  ====================================================
+``POST /datasets``         register a dataset: ``{"path": ...}`` (server-local
+                           CSV) or ``{"csv": ...}`` (inline content), plus
+                           optional ``"chunk_rows"`` for streamed ingestion.
+                           201 with the dataset view (``"created": false``
+                           when the fingerprint was already registered).
+``GET /datasets``          list registered datasets (LRU → MRU order).
+``GET /datasets/{fp}``     one dataset's view, or 404.
+``POST /jobs``             submit work: ``{"fingerprint": ..., "operation":
+                           "mine"|"analyze"|"decompose", "params": {...}}``.
+                           200 with a finished job when served from cache,
+                           202 with a queued/coalesced job otherwise, 503
+                           when the queue is full (backpressure).
+``GET /jobs/{id}``         the job's state (+ ``result`` once done), or 404.
+``GET /healthz``           liveness: ``{"status": "ok", ...}``.
+``GET /stats``             cache hit-rates, registry residency/evictions,
+                           queue/worker counters, per-dataset engine memos.
+=========================  ====================================================
+
+Errors are JSON too: ``{"error": "..."}`` with 400 (bad request), 404
+(unknown dataset/job/route), 503 (queue full), or 500 (unexpected).
+The handler threads do no compute beyond registration ingest — jobs run
+on the worker pool, so slow mining never starves the accept loop.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.errors import (
+    QueueFullError,
+    ReproError,
+    ServiceError,
+    UnknownDatasetError,
+)
+
+#: Cap on request bodies (inline CSV uploads included): 64 MiB.
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the service instance for handlers."""
+
+    daemon_threads = True
+
+    def __init__(self, address, handler_class, service) -> None:
+        self.service = service
+        super().__init__(address, handler_class)
+
+
+class ServiceRequestHandler(BaseHTTPRequestHandler):
+    """Routes HTTP requests onto the service's registry/cache/job queue."""
+
+    server_version = "repro-ajd-service/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # request logging is the operator's reverse proxy's job
+
+    @property
+    def service(self):
+        return self.server.service
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload, indent=2, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if status == 503:
+            self.send_header("Retry-After", "1")
+        if self.close_connection:
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, message: str) -> None:
+        # Error paths cannot always prove the request body was consumed
+        # (unknown route, oversized/garbled body), and an unread body on
+        # a kept-alive HTTP/1.1 connection desyncs it — the leftover
+        # bytes get parsed as the next request line.  Closing after any
+        # error response is always legal and costs one reconnect.
+        self.close_connection = True
+        self._send_json(status, {"error": message})
+
+    def _read_json_body(self) -> dict:
+        raw_length = self.headers.get("Content-Length") or "0"
+        try:
+            length = int(raw_length)
+        except ValueError:
+            raise ServiceError(
+                f"Content-Length must be an integer, got {raw_length!r}"
+            ) from None
+        if length <= 0:
+            raise ServiceError("request body must be a JSON object")
+        if length > MAX_BODY_BYTES:
+            raise ServiceError(
+                f"request body of {length} bytes exceeds the "
+                f"{MAX_BODY_BYTES}-byte limit"
+            )
+        raw = self.rfile.read(length)
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServiceError(f"request body is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ServiceError("request body must be a JSON object")
+        return payload
+
+    def _route(self) -> tuple[str, ...]:
+        path = self.path.split("?", 1)[0]
+        return tuple(part for part in path.split("/") if part)
+
+    # ------------------------------------------------------------------
+    # Verbs
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        try:
+            parts = self._route()
+            if parts == ("healthz",):
+                self._send_json(200, self.service.health())
+            elif parts == ("stats",):
+                self._send_json(200, self.service.stats())
+            elif parts == ("datasets",):
+                self._send_json(
+                    200,
+                    {
+                        "datasets": [
+                            entry.describe()
+                            for entry in self.service.registry.entries()
+                        ]
+                    },
+                )
+            elif len(parts) == 2 and parts[0] == "datasets":
+                self._send_json(200, self.service.registry.get(parts[1]).describe())
+            elif len(parts) == 2 and parts[0] == "jobs":
+                self._send_json(200, self.service.jobs.get(parts[1]).describe())
+            else:
+                self._send_error_json(404, f"no such route: GET {self.path}")
+        except (UnknownDatasetError, ServiceError) as exc:
+            self._send_error_json(404, str(exc))
+        except Exception as exc:  # pragma: no cover - defensive
+            self._send_error_json(500, f"internal error: {exc}")
+
+    def do_POST(self) -> None:  # noqa: N802
+        try:
+            parts = self._route()
+            if parts == ("datasets",):
+                self._handle_register()
+            elif parts == ("jobs",):
+                self._handle_submit()
+            else:
+                self._send_error_json(404, f"no such route: POST {self.path}")
+        except QueueFullError as exc:
+            self._send_error_json(503, str(exc))
+        except UnknownDatasetError as exc:
+            self._send_error_json(404, str(exc))
+        except ReproError as exc:
+            # Bad CSVs, bad params, bad schemas: client errors, not 500s.
+            self._send_error_json(400, str(exc))
+        except Exception as exc:  # pragma: no cover - defensive
+            self._send_error_json(500, f"internal error: {exc}")
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def _handle_register(self) -> None:
+        body = self._read_json_body()
+        chunk_rows = body.get("chunk_rows")
+        if chunk_rows is not None and (
+            isinstance(chunk_rows, bool)
+            or not isinstance(chunk_rows, int)
+            or chunk_rows < 1
+        ):
+            raise ServiceError(
+                f"chunk_rows must be a positive integer, got {chunk_rows!r}"
+            )
+        if ("path" in body) == ("csv" in body):
+            raise ServiceError(
+                "register exactly one of 'path' (server-local CSV) or "
+                "'csv' (inline content)"
+            )
+        if "path" in body:
+            if not isinstance(body["path"], str):
+                raise ServiceError(f"path must be a string, got {body['path']!r}")
+            entry, created = self.service.registry.register_path(
+                body["path"], chunk_rows=chunk_rows
+            )
+        else:
+            if not isinstance(body["csv"], str):
+                raise ServiceError(f"csv must be a string, got {body['csv']!r}")
+            entry, created = self.service.registry.register_text(
+                body["csv"],
+                chunk_rows=chunk_rows,
+                name=str(body.get("name", "inline")),
+            )
+        view = entry.describe()
+        view["created"] = created
+        self._send_json(201 if created else 200, view)
+
+    def _handle_submit(self) -> None:
+        body = self._read_json_body()
+        fingerprint = body.get("fingerprint")
+        if not isinstance(fingerprint, str):
+            raise ServiceError("job body needs a string 'fingerprint'")
+        operation = body.get("operation")
+        if not isinstance(operation, str):
+            raise ServiceError("job body needs a string 'operation'")
+        params = body.get("params") or {}
+        if not isinstance(params, dict):
+            raise ServiceError(f"params must be a JSON object, got {params!r}")
+        job = self.service.jobs.submit(fingerprint, operation, params)
+        self._send_json(200 if job.state == "done" else 202, job.describe())

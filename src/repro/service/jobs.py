@@ -1,0 +1,426 @@
+"""Job queue + worker pool: asynchronous, cached, deadline-bounded compute.
+
+``POST /jobs`` becomes a :class:`Job` here.  The submission path is
+where all the amortization happens, in order:
+
+1. **Cache hit** — the `(fingerprint, operation, canonical params)` key
+   is already in the :class:`~repro.service.cache.ResultCache`: the job
+   is born ``done`` with the cached report (marked ``cached: true``)
+   and never touches a worker.
+2. **In-flight coalescing** — an identical job is already queued or
+   running: the *same* job object is returned, so concurrent identical
+   clients share one computation and read bit-identical reports.
+3. **Enqueue** — otherwise the job is queued for the worker pool, with
+   **backpressure**: beyond ``max_queue`` waiting jobs, submission
+   raises :class:`~repro.errors.QueueFullError` (HTTP 503).
+
+Workers are threads (the compute is numpy-heavy, releasing the GIL in
+the hot group-by/bincount kernels; mining jobs may additionally request
+the fork-based split-scoring pool via their ``workers`` param, which
+runs inside the worker thread).  Each job's optional ``deadline``
+becomes an absolute timestamp at submission: a job that *starts* past
+its deadline is failed as ``timeout`` without computing, and one that
+starts in time hands the remaining budget to the search context
+(:meth:`~repro.discovery.context.SearchContext.create` via
+``deadline_at``), so an expiring search returns its best-so-far schema
+with ``partial: true``.  Timed-out and partial results are **never
+cached** — a retry with a larger budget must recompute.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import time
+import traceback
+from collections import deque
+
+from repro.errors import QueueFullError, ReproError, ServiceError
+from repro.factorize.report import validate_report
+from repro.service.cache import ResultCache, canonical_key
+from repro.service.operations import canonicalize_params, run_operation
+from repro.service.registry import DatasetRegistry
+
+#: Job lifecycle states (``state`` in every ``GET /jobs/{id}`` response).
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+TIMEOUT = "timeout"
+
+
+class Job:
+    """One unit of requested work and its observable lifecycle."""
+
+    __slots__ = (
+        "cache_key",
+        "cached",
+        "canonical_params",
+        "deadline_at",
+        "deadline_s",
+        "error",
+        "event",
+        "fingerprint",
+        "finished_at",
+        "id",
+        "inflight_key",
+        "operation",
+        "result",
+        "started_at",
+        "state",
+        "submitted_at",
+        "workers",
+    )
+
+    def __init__(
+        self,
+        job_id: str,
+        fingerprint: str,
+        operation: str,
+        canonical_params: dict,
+        cache_key: str,
+        *,
+        deadline_s: float | None,
+        workers: int | None,
+    ) -> None:
+        self.id = job_id
+        self.fingerprint = fingerprint
+        self.operation = operation
+        self.canonical_params = canonical_params
+        self.cache_key = cache_key
+        self.inflight_key: str | None = None
+        self.deadline_s = deadline_s
+        self.deadline_at = (
+            time.monotonic() + deadline_s if deadline_s is not None else None
+        )
+        self.workers = workers
+        self.state = QUEUED
+        self.submitted_at = time.monotonic()
+        self.started_at: float | None = None
+        self.finished_at: float | None = None
+        self.result: dict | None = None
+        self.error: str | None = None
+        self.cached = False
+        self.event = threading.Event()
+
+    def service_time_s(self) -> float | None:
+        """Submission-to-completion wall time (None while unfinished)."""
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.submitted_at
+
+    def describe(self, *, include_result: bool = True) -> dict:
+        """JSON view served by ``GET /jobs/{id}``."""
+        view = {
+            "job_id": self.id,
+            "state": self.state,
+            "operation": self.operation,
+            "fingerprint": self.fingerprint,
+            "params": dict(self.canonical_params),
+            "cached": self.cached,
+            "deadline_s": self.deadline_s,
+            "service_time_s": self.service_time_s(),
+            "partial": bool(self.result and self.result.get("partial")),
+        }
+        if self.error is not None:
+            view["error"] = self.error
+        if include_result and self.result is not None:
+            view["result"] = self.result
+        return view
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the job finishes; ``True`` iff it did."""
+        return self.event.wait(timeout)
+
+    def _finish(self, state: str) -> None:
+        self.state = state
+        self.finished_at = time.monotonic()
+        self.event.set()
+
+
+class JobQueue:
+    """Bounded queue + thread worker pool over a registry and a cache."""
+
+    def __init__(
+        self,
+        registry: DatasetRegistry,
+        cache: ResultCache,
+        *,
+        workers: int = 2,
+        max_queue: int = 64,
+        default_deadline_s: float | None = None,
+        max_finished: int = 4096,
+    ) -> None:
+        if workers < 1:
+            raise ServiceError(f"workers must be >= 1, got {workers}")
+        if max_finished < 1:
+            raise ServiceError(f"max_finished must be >= 1, got {max_finished}")
+        self._registry = registry
+        self._cache = cache
+        self._default_deadline_s = default_deadline_s
+        self._queue: queue.Queue[Job | None] = queue.Queue(maxsize=max_queue)
+        self._jobs: dict[str, Job] = {}
+        #: Finished job ids, oldest first: only the newest ``max_finished``
+        #: finished jobs stay pollable; older ones are forgotten so a
+        #: long-lived server's memory is bounded by traffic *rate*, not
+        #: lifetime request count.  Queued/running jobs are never pruned.
+        self._finished: deque[str] = deque()
+        self._max_finished = max_finished
+        self._inflight: dict[str, Job] = {}  # cache_key → live deadline-free job
+        # Reentrant: the submit miss path creates jobs under the lock.
+        self._lock = threading.RLock()
+        self._ids = itertools.count(1)
+        self.coalesced = 0
+        self.completed = {DONE: 0, FAILED: 0, TIMEOUT: 0}
+        self._closed = False
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop, name=f"repro-job-worker-{i}", daemon=True
+            )
+            for i in range(workers)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        fingerprint: str,
+        operation: str,
+        params: dict | None = None,
+    ) -> Job:
+        """Create (or coalesce into, or answer from cache) one job."""
+        if self._closed:
+            raise ServiceError("job queue is shut down")
+        params = dict(params or {})
+        workers = params.pop("workers", None)
+        if workers is not None and (
+            isinstance(workers, bool) or not isinstance(workers, int) or workers < 1
+        ):
+            raise ServiceError(f"workers must be a positive integer, got {workers!r}")
+        deadline_s = params.pop("deadline", None)
+        if deadline_s is not None:
+            if isinstance(deadline_s, bool) or not isinstance(
+                deadline_s, (int, float)
+            ):
+                raise ServiceError(
+                    f"deadline must be a number of seconds, got {deadline_s!r}"
+                )
+            if deadline_s <= 0:
+                raise ServiceError(f"deadline must be positive, got {deadline_s}")
+            deadline_s = float(deadline_s)
+        else:
+            deadline_s = self._default_deadline_s
+        canonical = canonicalize_params(operation, params)
+        self._registry.get(fingerprint)  # raises UnknownDatasetError early
+        key = canonical_key(fingerprint, operation, canonical)
+        # The cache key is deadline-free (cached results are complete,
+        # hence valid under any budget); coalescing is stricter still:
+        # only deadline-free jobs coalesce.  Relative deadlines become
+        # absolute at submission, so two "deadline=10" requests arriving
+        # seconds apart have *different* remaining budgets — sharing one
+        # outcome would hand the later caller less wall clock than it
+        # asked for (or a timeout it never earned).
+        inflight_key = key if deadline_s is None else None
+
+        cached = self._cache.get(key)
+        if cached is not None:
+            job = self._new_job(
+                fingerprint, operation, canonical, key,
+                deadline_s=deadline_s, workers=workers,
+            )
+            job.cached = True
+            job.result = cached
+            job.result["cached"] = True
+            job._finish(DONE)
+            with self._lock:
+                self.completed[DONE] += 1
+                self._record_finished(job)
+            return job
+
+        with self._lock:
+            inflight = (
+                self._inflight.get(inflight_key)
+                if inflight_key is not None
+                else None
+            )
+            if inflight is not None:
+                self.coalesced += 1
+                return inflight
+            job = self._new_job(
+                fingerprint, operation, canonical, key,
+                deadline_s=deadline_s, workers=workers,
+            )
+            # Enqueue while still holding the lock (put_nowait cannot
+            # block): nobody can coalesce onto a job that backpressure
+            # is about to roll back.
+            try:
+                self._queue.put_nowait(job)
+            except queue.Full:
+                self._jobs.pop(job.id, None)
+                raise QueueFullError(
+                    f"job queue is full ({self._queue.maxsize} waiting); "
+                    "retry later"
+                ) from None
+            if inflight_key is not None:
+                job.inflight_key = inflight_key
+                self._inflight[inflight_key] = job
+        return job
+
+    def _new_job(
+        self,
+        fingerprint: str,
+        operation: str,
+        canonical: dict,
+        key: str,
+        *,
+        deadline_s: float | None,
+        workers: int | None,
+    ) -> Job:
+        with self._lock:
+            job_id = f"job-{next(self._ids)}"
+            job = Job(
+                job_id, fingerprint, operation, canonical, key,
+                deadline_s=deadline_s, workers=workers,
+            )
+            self._jobs[job_id] = job
+            return job
+
+    def _record_finished(self, job: Job) -> None:
+        """Bound finished-job retention (caller holds the lock)."""
+        self._finished.append(job.id)
+        while len(self._finished) > self._max_finished:
+            self._jobs.pop(self._finished.popleft(), None)
+
+    # ------------------------------------------------------------------
+    # Lookup + stats
+    # ------------------------------------------------------------------
+    def get(self, job_id: str) -> Job:
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise ServiceError(f"no such job: {job_id!r}")
+        return job
+
+    def stats(self) -> dict:
+        """JSON-ready queue summary (part of ``GET /stats``)."""
+        with self._lock:
+            states = {QUEUED: 0, RUNNING: 0, DONE: 0, FAILED: 0, TIMEOUT: 0}
+            for job in self._jobs.values():
+                states[job.state] += 1
+            return {
+                "jobs": len(self._jobs),
+                "states": states,
+                # Lifetime totals: `states` only covers the retained
+                # (un-pruned) jobs, these never decrease.
+                "completed_total": dict(self.completed),
+                "waiting": self._queue.qsize(),
+                "max_queue": self._queue.maxsize,
+                "workers": len(self._workers),
+                "coalesced": self.coalesced,
+            }
+
+    # ------------------------------------------------------------------
+    # Worker pool
+    # ------------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is None:  # shutdown sentinel
+                self._queue.task_done()
+                return
+            try:
+                self._run_job(job)
+            finally:
+                with self._lock:
+                    if job.inflight_key is not None:
+                        self._inflight.pop(job.inflight_key, None)
+                    self.completed[job.state] = (
+                        self.completed.get(job.state, 0) + 1
+                    )
+                    self._record_finished(job)
+                self._queue.task_done()
+
+    def _run_job(self, job: Job) -> None:
+        job.started_at = time.monotonic()
+        if job.deadline_at is not None and job.started_at >= job.deadline_at:
+            # Expired while waiting in the queue: report a well-formed
+            # timeout without burning a worker on doomed compute.
+            job.error = (
+                f"deadline of {job.deadline_s:g}s expired before the job "
+                f"started (queued {job.started_at - job.submitted_at:.3f}s)"
+            )
+            job._finish(TIMEOUT)
+            return
+        job.state = RUNNING
+        try:
+            relation = self._registry.relation(job.fingerprint)
+            payload = run_operation(
+                relation,
+                job.operation,
+                job.canonical_params,
+                deadline_at=job.deadline_at,
+                workers=job.workers,
+            )
+            validate_report(payload)
+            if not payload.get("partial"):
+                self._cache.put(
+                    job.cache_key,
+                    payload,
+                    meta={
+                        "fingerprint": job.fingerprint,
+                        "operation": job.operation,
+                        "params": job.canonical_params,
+                    },
+                )
+            job.result = payload
+            job._finish(DONE)
+        except ReproError as exc:
+            job.error = str(exc)
+            job._finish(FAILED)
+        except Exception as exc:  # never kill a worker thread
+            job.error = f"internal error: {exc}"
+            traceback.print_exc()
+            job._finish(FAILED)
+
+    def shutdown(self, *, wait: bool = True) -> None:
+        """Stop accepting jobs and (optionally) drain the workers.
+
+        Queued-but-unstarted jobs are failed immediately (never left
+        hanging for waiters), so the shutdown sentinels reach the
+        workers without blocking behind pending work; workers still
+        finish the job they are currently running.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        while True:
+            try:
+                job = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if job is None:
+                continue
+            job.error = "server shut down before the job started"
+            with self._lock:
+                if job.inflight_key is not None:
+                    self._inflight.pop(job.inflight_key, None)
+                self.completed[FAILED] += 1
+                self._record_finished(job)
+            job._finish(FAILED)
+            self._queue.task_done()
+        for _ in self._workers:
+            try:
+                # Bounded wait: with max_queue < workers the sentinels
+                # only fit as workers drain them.  Workers stuck on a
+                # long-running job are daemon threads; give up rather
+                # than stall the caller indefinitely.
+                self._queue.put(None, timeout=2)
+            except queue.Full:
+                break
+        if wait:
+            for worker in self._workers:
+                worker.join(timeout=10)

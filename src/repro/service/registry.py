@@ -1,0 +1,331 @@
+"""Dataset registry: fingerprint-keyed resident relations with LRU eviction.
+
+The registry is the service's working set.  ``register_path`` /
+``register_text`` ingest a CSV (eagerly or via the bounded-memory
+streamed path), apply :func:`~repro.relations.io.infer_integer_domains`
+(exactly like the CLI, so service reports match CLI reports bit for
+bit), fingerprint the content (:meth:`Relation.fingerprint`), and keep
+the relation — and therefore its cached exact
+:class:`~repro.info.engine.EntropyEngine` and
+:class:`~repro.core.evalcontext.EvalContext` — resident.
+
+Residency is bounded by a byte budget: when the estimated resident size
+exceeds it, least-recently-used datasets are **evicted** down to the
+budget.  Eviction drops the relation object (codes, memos, row tuples)
+but keeps the entry's metadata and source, so a later request for the
+same fingerprint transparently **re-ingests** from the recorded source
+path; inline uploads are persisted to the spill directory (when
+configured) for the same reason.  Re-ingestion re-verifies the
+fingerprint, so a source file mutated behind the registry's back is
+detected instead of silently served.
+
+Registering identical content twice (same fingerprint) is idempotent:
+one resident copy, one entry, whichever source arrived first.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ServiceError, UnknownDatasetError
+from repro.info.engine import EntropyEngine
+from repro.relations.io import infer_integer_domains, read_csv
+from repro.relations.relation import Relation
+
+
+def resident_bytes(relation: Relation) -> int:
+    """Estimated resident footprint of a relation, in bytes.
+
+    Counts the columnar code arrays exactly (``nbytes``) plus a flat
+    per-cell charge for the Python row tuples and per-column decoders.
+    An estimate, not an accounting — it only needs to be deterministic
+    and monotone in the data size for LRU eviction to behave.
+    """
+    store = relation.columns()
+    n = len(relation)
+    arity = relation.schema.arity
+    code_bytes = sum(col.nbytes for col in store.codes)
+    # ~56 bytes/cell: tuple slot + the (often shared) value object.
+    return int(code_bytes + 56 * n * arity + 64 * sum(store.cards))
+
+
+@dataclass
+class DatasetEntry:
+    """One registered dataset: metadata always, relation while resident."""
+
+    fingerprint: str
+    source: str | None  # CSV path to re-ingest from (None: inline, no spill)
+    chunk_rows: int | None
+    attributes: tuple[str, ...]
+    n_rows: int
+    n_cols: int
+    resident_bytes: int
+    registered_at: float
+    relation: Relation | None = None
+    hits: int = 0
+    reloads: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    @property
+    def resident(self) -> bool:
+        return self.relation is not None
+
+    def describe(self) -> dict:
+        """JSON view served by ``GET /datasets/{fingerprint}``."""
+        engine_info = None
+        relation = self.relation
+        if relation is not None and relation._engine is not None:
+            engine_info = relation._engine.cache_info()
+        return {
+            "fingerprint": self.fingerprint,
+            "attributes": list(self.attributes),
+            "n_rows": self.n_rows,
+            "n_cols": self.n_cols,
+            "resident": self.resident,
+            "resident_bytes": self.resident_bytes if self.resident else 0,
+            "hits": self.hits,
+            "reloads": self.reloads,
+            "chunk_rows": self.chunk_rows,
+            "source": self.source,
+            "engine": engine_info,
+        }
+
+
+class DatasetRegistry:
+    """Fingerprint-keyed store of ingested relations with LRU eviction."""
+
+    def __init__(
+        self,
+        *,
+        memory_budget_bytes: int | None = None,
+        spill_dir: str | Path | None = None,
+    ) -> None:
+        if memory_budget_bytes is not None and memory_budget_bytes < 1:
+            raise ServiceError(
+                f"memory budget must be positive or None, got "
+                f"{memory_budget_bytes}"
+            )
+        self._budget = memory_budget_bytes
+        self._spill_dir = Path(spill_dir) if spill_dir is not None else None
+        self._entries: OrderedDict[str, DatasetEntry] = OrderedDict()
+        self._lock = threading.RLock()
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def _ingest(self, path: str, chunk_rows: int | None) -> Relation:
+        loaded = (
+            Relation.from_csv_stream(path, chunk_rows=chunk_rows)
+            if chunk_rows is not None
+            else read_csv(path)
+        )
+        return infer_integer_domains(loaded)
+
+    def register_path(
+        self, path: str | Path, *, chunk_rows: int | None = None
+    ) -> tuple[DatasetEntry, bool]:
+        """Ingest a server-local CSV; returns ``(entry, created)``.
+
+        ``created`` is ``False`` when content with the same fingerprint
+        is already registered (the existing entry is returned and
+        refreshed in LRU order).
+        """
+        relation = self._ingest(str(path), chunk_rows)
+        return self._admit(relation, source=str(path), chunk_rows=chunk_rows)
+
+    def register_text(
+        self,
+        csv_text: str,
+        *,
+        chunk_rows: int | None = None,
+        name: str = "inline",
+    ) -> tuple[DatasetEntry, bool]:
+        """Ingest CSV content uploaded inline (``POST /datasets`` body).
+
+        With a spill directory configured the text is persisted there
+        (named by fingerprint), so the dataset survives eviction exactly
+        like a path-registered one.  Without one, eviction is final: a
+        later request for the fingerprint fails with a clear error.
+        """
+        import re
+        import tempfile
+
+        # The name is client-controlled and becomes a filename prefix:
+        # allow nothing that could navigate (no separators, no dots).
+        name = re.sub(r"[^A-Za-z0-9_-]", "_", name)[:40] or "inline"
+        with tempfile.NamedTemporaryFile(
+            "w", suffix=".csv", prefix=f"{name}-", delete=False
+        ) as handle:
+            handle.write(csv_text)
+            tmp_path = Path(handle.name)
+        try:
+            relation = self._ingest(str(tmp_path), chunk_rows)
+            source: str | None = None
+            if self._spill_dir is not None:
+                self._spill_dir.mkdir(parents=True, exist_ok=True)
+                kept = self._spill_dir / f"dataset-{relation.fingerprint()}.csv"
+                if not kept.exists():
+                    kept.write_text(csv_text)
+                source = str(kept)
+            return self._admit(relation, source=source, chunk_rows=chunk_rows)
+        finally:
+            tmp_path.unlink(missing_ok=True)
+
+    def _admit(
+        self, relation: Relation, *, source: str | None, chunk_rows: int | None
+    ) -> tuple[DatasetEntry, bool]:
+        fingerprint = relation.fingerprint()
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            if entry is not None:
+                self._entries.move_to_end(fingerprint)
+                if entry.source is None and source is not None:
+                    # An inline upload without a spill dir had no way to
+                    # survive eviction; re-registering the same content
+                    # by path gives it one.
+                    entry.source = source
+                    entry.chunk_rows = chunk_rows
+                if entry.relation is None:
+                    entry.relation = relation
+                    entry.resident_bytes = resident_bytes(relation)
+                    self._evict_over_budget()
+                return entry, False
+            entry = DatasetEntry(
+                fingerprint=fingerprint,
+                source=source,
+                chunk_rows=chunk_rows,
+                attributes=relation.schema.names,
+                n_rows=len(relation),
+                n_cols=relation.schema.arity,
+                resident_bytes=resident_bytes(relation),
+                registered_at=time.time(),
+                relation=relation,
+            )
+            self._entries[fingerprint] = entry
+            self._evict_over_budget()
+            return entry, True
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def get(self, fingerprint: str) -> DatasetEntry:
+        """The entry for ``fingerprint`` (metadata even if evicted).
+
+        Counts one hit — this is the request-level lookup (job
+        submission, ``GET /datasets/{fp}``).  Internal plumbing uses
+        :meth:`_touch` so one request never double-counts.
+        """
+        entry = self._touch(fingerprint)
+        entry.hits += 1
+        return entry
+
+    def _touch(self, fingerprint: str) -> DatasetEntry:
+        """Look up + refresh LRU order without counting a hit."""
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            if entry is None:
+                raise UnknownDatasetError(
+                    f"no dataset registered with fingerprint {fingerprint!r}"
+                )
+            self._entries.move_to_end(fingerprint)
+            return entry
+
+    def __contains__(self, fingerprint: str) -> bool:
+        with self._lock:
+            return fingerprint in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def entries(self) -> list[DatasetEntry]:
+        """All entries, least- to most-recently used."""
+        with self._lock:
+            return list(self._entries.values())
+
+    def relation(self, fingerprint: str) -> Relation:
+        """The dataset's relation, re-ingesting from source if evicted."""
+        entry = self._touch(fingerprint)
+        with entry._lock:  # one reload per evicted dataset, not per caller
+            if entry.relation is not None:
+                return entry.relation
+            if entry.source is None:
+                raise ServiceError(
+                    f"dataset {fingerprint!r} was evicted and has no source "
+                    "to re-ingest from (inline upload without a spill dir); "
+                    "re-register it"
+                )
+            try:
+                relation = self._ingest(entry.source, entry.chunk_rows)
+            except Exception as exc:
+                raise ServiceError(
+                    f"re-ingesting evicted dataset {fingerprint!r} from "
+                    f"{entry.source} failed: {exc}"
+                ) from exc
+            if relation.fingerprint() != fingerprint:
+                raise ServiceError(
+                    f"source {entry.source} changed on disk: re-ingested "
+                    f"fingerprint {relation.fingerprint()!r} != registered "
+                    f"{fingerprint!r}; re-register the dataset"
+                )
+            with self._lock:
+                entry.relation = relation
+                entry.resident_bytes = resident_bytes(relation)
+                entry.reloads += 1
+                self._entries.move_to_end(fingerprint)
+                self._evict_over_budget()
+            return relation
+
+    def engine(self, fingerprint: str) -> EntropyEngine:
+        """The dataset's resident exact entropy engine (shared memo)."""
+        return EntropyEngine.for_relation(self.relation(fingerprint))
+
+    # ------------------------------------------------------------------
+    # Eviction + stats
+    # ------------------------------------------------------------------
+    def total_resident_bytes(self) -> int:
+        with self._lock:
+            return sum(
+                e.resident_bytes for e in self._entries.values() if e.resident
+            )
+
+    def _evict_over_budget(self) -> None:
+        """Drop LRU relations until within budget (caller holds the lock).
+
+        The most recently touched dataset is never evicted, even when it
+        alone exceeds the budget — serving the request at hand beats
+        thrashing.
+        """
+        if self._budget is None:
+            return
+        resident = [e for e in self._entries.values() if e.resident]
+        total = sum(e.resident_bytes for e in resident)
+        # OrderedDict order is LRU → MRU; spare the last resident entry.
+        for entry in resident[:-1]:
+            if total <= self._budget:
+                break
+            entry.relation = None
+            total -= entry.resident_bytes
+            self.evictions += 1
+
+    def stats(self) -> dict:
+        """JSON-ready registry summary (part of ``GET /stats``)."""
+        with self._lock:
+            resident = [e for e in self._entries.values() if e.resident]
+            return {
+                "datasets": len(self._entries),
+                "resident": len(resident),
+                "resident_bytes": sum(e.resident_bytes for e in resident),
+                "memory_budget_bytes": self._budget,
+                "evictions": self.evictions,
+                "engines": {
+                    e.fingerprint: e.relation._engine.cache_info()
+                    for e in resident
+                    if e.relation._engine is not None
+                },
+            }

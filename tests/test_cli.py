@@ -444,6 +444,130 @@ class TestStreamingAndBackendFlags:
         assert "Traceback" not in err
 
 
+class TestExitCodeContract:
+    """Conventional exit codes: 0 for --help, 2 for usage errors.
+
+    Service smoke scripts drive the CLI from shell and rely on exactly
+    this contract; these tests pin it for every subcommand.
+    """
+
+    def test_top_level_help_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+        assert "usage:" in capsys.readouterr().out
+
+    @pytest.mark.parametrize(
+        "command",
+        ["analyze", "mine", "decompose", "serve", "experiment", "version"],
+    )
+    def test_subcommand_help_exits_zero(self, command, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([command, "--help"])
+        assert excinfo.value.code == 0
+        assert "usage:" in capsys.readouterr().out
+
+    def test_unknown_subcommand_exits_two_with_usage(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["frobnicate"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "usage:" in err
+        assert "frobnicate" in err
+
+    def test_no_arguments_exits_two(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([])
+        assert excinfo.value.code == 2
+        assert "usage:" in capsys.readouterr().err
+
+    def test_unknown_flag_exits_two(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["mine", "whatever.csv", "--no-such-flag"])
+        assert excinfo.value.code == 2
+
+    def test_process_level_codes(self, tmp_path):
+        """The `python -m repro.cli` process observes the same contract."""
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        src = Path(__file__).resolve().parent.parent / "src"
+
+        def run(*argv):
+            return subprocess.run(
+                [sys.executable, "-m", "repro.cli", *argv],
+                capture_output=True,
+                text=True,
+                env={"PYTHONPATH": str(src), "PATH": "/usr/bin:/bin"},
+            ).returncode
+
+        assert run("--help") == 0
+        assert run("serve", "--help") == 0
+        assert run("frobnicate") == 2
+        assert run() == 2
+
+
+class TestServeCommand:
+    def test_parser_accepts_service_flags(self):
+        args = build_parser().parse_args(
+            [
+                "serve",
+                "--port", "0",
+                "--workers", "3",
+                "--memory-budget-mb", "64",
+                "--spill-dir", "/tmp/spill",
+                "--max-queue", "8",
+                "--preload", "a.csv",
+                "--preload", "b.csv",
+            ]
+        )
+        assert args.port == 0
+        assert args.workers == 3
+        assert args.memory_budget_mb == 64
+        assert args.spill_dir == "/tmp/spill"
+        assert args.max_queue == 8
+        assert args.preload == ["a.csv", "b.csv"]
+
+    def test_bad_config_exits_two(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", "--port", "99999"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "port" in err
+        assert "Traceback" not in err
+
+    def test_port_in_use_exits_two(self, capsys):
+        import socket
+
+        blocker = socket.socket()
+        try:
+            blocker.bind(("127.0.0.1", 0))
+            port = blocker.getsockname()[1]
+            with pytest.raises(SystemExit) as excinfo:
+                main(["serve", "--port", str(port)])
+            assert excinfo.value.code == 2
+            err = capsys.readouterr().err
+            assert "cannot bind" in err
+            assert "Traceback" not in err
+        finally:
+            blocker.close()
+
+    def test_preload_missing_file_exits_two(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "serve",
+                    "--port", "0",
+                    "--preload", str(tmp_path / "missing.csv"),
+                ]
+            )
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "cannot read" in err
+        assert "Traceback" not in err
+
+
 class TestOtherCommands:
     def test_version(self, capsys):
         import repro

@@ -1,0 +1,531 @@
+"""Unit tests for the service core: registry, result cache, job queue."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.random_relations import random_relation
+from repro.errors import QueueFullError, ReproError, ServiceError, UnknownDatasetError
+from repro.factorize.report import validate_report
+from repro.relations.io import write_csv
+from repro.service.cache import ResultCache, canonical_key
+from repro.service.jobs import DONE, FAILED, TIMEOUT, JobQueue
+from repro.service.operations import canonicalize_params, run_operation
+from repro.service.registry import DatasetRegistry, resident_bytes
+
+
+def make_csv(tmp_path, name="table.csv", n_classes=2):
+    """A CSV satisfying C ↠ A|B exactly (same planted table as test_cli)."""
+    path = tmp_path / name
+    lines = ["A,B,C"]
+    for c in range(n_classes):
+        for a in (0, 1):
+            for b in (0, 1):
+                lines.append(f"{a + 2 * c},{b},{c}")
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+@pytest.fixture()
+def table_csv(tmp_path):
+    return make_csv(tmp_path)
+
+
+class TestDatasetRegistry:
+    def test_register_is_idempotent_by_content(self, tmp_path):
+        registry = DatasetRegistry()
+        first = make_csv(tmp_path, "a.csv")
+        same_content = make_csv(tmp_path, "b.csv")  # identical bytes
+        entry1, created1 = registry.register_path(first)
+        entry2, created2 = registry.register_path(same_content)
+        assert created1 and not created2
+        assert entry1 is entry2
+        assert len(registry) == 1
+
+    def test_eager_and_streamed_share_a_fingerprint(self, table_csv):
+        registry = DatasetRegistry()
+        eager, created = registry.register_path(table_csv)
+        streamed, created2 = registry.register_path(table_csv, chunk_rows=2)
+        assert created and not created2
+        assert eager.fingerprint == streamed.fingerprint
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(UnknownDatasetError):
+            DatasetRegistry().get("deadbeef")
+
+    def test_lru_eviction_under_tiny_budget(self, tmp_path):
+        paths = [make_csv(tmp_path, f"t{i}.csv", n_classes=2 + i) for i in range(3)]
+        one = DatasetRegistry().register_path(paths[0])[0]
+        # Budget fits roughly one dataset: registering three must evict.
+        registry = DatasetRegistry(
+            memory_budget_bytes=int(one.resident_bytes * 1.5)
+        )
+        entries = [registry.register_path(p)[0] for p in paths]
+        assert registry.evictions > 0
+        assert not entries[0].resident  # the least recently used fell out
+        assert entries[-1].resident  # the newest always stays
+        assert registry.total_resident_bytes() <= int(one.resident_bytes * 1.5) or (
+            sum(e.resident for e in entries) == 1
+        )
+        # Metadata survives eviction; the relation is re-ingested on use.
+        relation = registry.relation(entries[0].fingerprint)
+        assert len(relation) == entries[0].n_rows
+        assert entries[0].reloads == 1
+
+    def test_reingest_detects_mutated_source(self, tmp_path):
+        path = make_csv(tmp_path)
+        one = DatasetRegistry().register_path(path)[0]
+        registry = DatasetRegistry(memory_budget_bytes=one.resident_bytes + 1)
+        entry = registry.register_path(path)[0]
+        other = make_csv(tmp_path, "other.csv", n_classes=5)
+        registry.register_path(other)  # evicts the first entry
+        assert not entry.resident
+        path.write_text("A,B,C\n9,9,9\n")  # mutate behind the registry's back
+        with pytest.raises(ServiceError, match="changed on disk"):
+            registry.relation(entry.fingerprint)
+
+    def test_path_reregistration_gives_inline_dataset_a_source(self, tmp_path):
+        registry = DatasetRegistry()  # no spill dir: inline has no source
+        entry, _ = registry.register_text("A,B\n1,2\n3,4\n")
+        assert entry.source is None
+        path = tmp_path / "same.csv"
+        path.write_text("A,B\n1,2\n3,4\n")
+        again, created = registry.register_path(path)
+        assert again is entry and not created
+        assert entry.source == str(path)  # eviction is now survivable
+
+    def test_register_text_inline(self, tmp_path):
+        registry = DatasetRegistry(spill_dir=tmp_path / "spill")
+        entry, created = registry.register_text("A,B\n1,2\n3,4\n")
+        assert created
+        assert entry.n_rows == 2
+        assert entry.source is not None  # spilled for later re-ingestion
+        # Same content via a file: one entry.
+        path = tmp_path / "same.csv"
+        path.write_text("A,B\n1,2\n3,4\n")
+        assert registry.register_path(path)[0] is entry
+
+    def test_engine_is_shared_and_resident(self, table_csv):
+        registry = DatasetRegistry()
+        entry, _ = registry.register_path(table_csv)
+        engine = registry.engine(entry.fingerprint)
+        engine.entropy(["A"])
+        assert registry.engine(entry.fingerprint) is engine
+        assert engine.cache_info()["entries"] >= 1
+        assert registry.stats()["engines"][entry.fingerprint]["entries"] >= 1
+
+    def test_hits_count_request_lookups_not_plumbing(self, table_csv):
+        registry = DatasetRegistry()
+        entry, _ = registry.register_path(table_csv)
+        registry.get(entry.fingerprint)
+        registry.relation(entry.fingerprint)  # internal: no hit
+        registry.engine(entry.fingerprint)  # internal: no hit
+        assert entry.hits == 1
+
+    def test_resident_bytes_monotone(self, tmp_path):
+        small = DatasetRegistry().register_path(make_csv(tmp_path, "s.csv"))[0]
+        big = DatasetRegistry().register_path(
+            make_csv(tmp_path, "b.csv", n_classes=30)
+        )[0]
+        assert big.resident_bytes > small.resident_bytes > 0
+        assert resident_bytes(big.relation) == big.resident_bytes
+
+
+class TestResultCache:
+    def payload(self, j=0.0):
+        return {
+            "command": "mine",
+            "strategy": "recursive",
+            "j_measure": j,
+            "rho": 0.0,
+            "wall_time_s": 0.01,
+            "n_rows": 8,
+            "n_cols": 3,
+        }
+
+    def test_put_get_roundtrip_counts_stats(self):
+        cache = ResultCache()
+        key = canonical_key("fp", "mine", {"threshold": 1e-9})
+        assert cache.get(key) is None
+        cache.put(key, self.payload())
+        hit = cache.get(key)
+        assert hit == self.payload()
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["hit_rate"] == 0.5
+
+    def test_hits_are_detached_copies(self):
+        cache = ResultCache()
+        key = canonical_key("fp", "mine", {})
+        cache.put(key, self.payload())
+        first = cache.get(key)
+        first["mutated"] = True
+        assert "mutated" not in cache.get(key)
+
+    def test_rejects_malformed_reports(self):
+        cache = ResultCache()
+        with pytest.raises(ReproError):
+            cache.put("k", {"command": "mine"})  # missing core fields
+
+    def test_lru_capacity(self):
+        cache = ResultCache(max_entries=2)
+        keys = [canonical_key("fp", "mine", {"seed": i}) for i in range(3)]
+        for key in keys:
+            cache.put(key, self.payload())
+        assert len(cache) == 2
+        assert cache.get(keys[0]) is None  # oldest evicted
+
+    def test_spill_survives_restart(self, tmp_path):
+        spill = tmp_path / "spill"
+        key = canonical_key("fp", "mine", {"threshold": 1e-9})
+        warm = ResultCache(spill_dir=spill)
+        warm.put(key, self.payload(j=0.25))
+        restarted = ResultCache(spill_dir=spill)
+        assert restarted.get(key) == self.payload(j=0.25)
+        assert restarted.stats()["spill_loads"] == 1
+
+    def test_torn_spill_file_is_a_miss(self, tmp_path):
+        spill = tmp_path / "spill"
+        spill.mkdir()
+        key = canonical_key("fp", "mine", {})
+        (spill / f"result-{key}.json").write_text("{not json")
+        assert ResultCache(spill_dir=spill).get(key) is None
+
+    def test_key_is_order_insensitive_but_value_sensitive(self):
+        a = canonical_key("fp", "mine", {"a": 1, "b": 2})
+        b = canonical_key("fp", "mine", {"b": 2, "a": 1})
+        c = canonical_key("fp", "mine", {"a": 1, "b": 3})
+        assert a == b != c
+
+
+class TestCanonicalizeParams:
+    def test_defaults_filled_and_workers_dropped(self):
+        canonical = canonicalize_params("mine", {"workers": 4})
+        assert canonical["strategy"] == "recursive"
+        assert canonical["threshold"] == 1e-9
+        assert "workers" not in canonical
+
+    def test_spellings_collapse_to_one_key(self):
+        sparse = canonicalize_params("mine", None)
+        explicit = canonicalize_params(
+            "mine", {"strategy": "recursive", "threshold": 1e-9, "seed": 0}
+        )
+        assert sparse == explicit
+
+    def test_unknown_params_rejected(self):
+        with pytest.raises(ServiceError, match="unknown parameter"):
+            canonicalize_params("mine", {"frobnicate": 1})
+
+    def test_unknown_operation_rejected(self):
+        with pytest.raises(ServiceError, match="unknown operation"):
+            canonicalize_params("transmogrify", {})
+
+    def test_analyze_requires_schema(self):
+        with pytest.raises(ServiceError, match="schema"):
+            canonicalize_params("analyze", {})
+
+    def test_decompose_schema_resets_mining_knobs(self):
+        with_schema = canonicalize_params(
+            "decompose", {"schema": "A,C;B,C", "strategy": "beam", "seed": 7}
+        )
+        bare = canonicalize_params("decompose", {"schema": "A,C;B,C"})
+        assert with_schema == bare
+
+    def test_bad_values_rejected(self):
+        for operation, params in [
+            ("mine", {"backend": "quantum"}),
+            ("mine", {"strategy": "quantum"}),
+            ("mine", {"chunk_rows": 0}),
+            ("mine", {"threshold": "loose"}),
+            ("mine", {"max_separator": "2"}),
+            ("mine", {"max_separator": 0}),
+            ("mine", {"max_separator": True}),
+            ("analyze", {"schema": "; ;"}),
+        ]:
+            with pytest.raises(ServiceError):
+                canonicalize_params(operation, params)
+
+    def test_deadline_is_execution_only(self):
+        """Deadline never reaches the cache key: cached results are
+        complete, hence valid under any budget."""
+        with_deadline = canonicalize_params("mine", {"deadline": 5.0})
+        without = canonicalize_params("mine", {})
+        assert with_deadline == without
+        assert "deadline" not in without
+
+    def test_chunk_rows_moot_for_exact_backend(self):
+        """chunk_rows only sizes sketch streaming passes; exact jobs
+        with and without it must share a cache entry."""
+        chunked = canonicalize_params("mine", {"chunk_rows": 50_000})
+        plain = canonicalize_params("mine", {})
+        assert chunked == plain
+        sketch = canonicalize_params(
+            "mine", {"backend": "sketch", "chunk_rows": 50_000}
+        )
+        assert sketch["chunk_rows"] == 50_000  # meaningful there
+
+
+class TestRunOperation:
+    def test_all_operations_validate_and_match_cli_semantics(self, table_csv):
+        from repro.relations.io import infer_integer_domains, read_csv
+
+        relation = infer_integer_domains(read_csv(table_csv))
+        mine = run_operation(relation, "mine", canonicalize_params("mine", {}))
+        analyze = run_operation(
+            relation, "analyze", canonicalize_params("analyze", {"schema": "A,C;B,C"})
+        )
+        decompose = run_operation(
+            relation, "decompose", canonicalize_params("decompose", {})
+        )
+        for payload in (mine, analyze, decompose):
+            validate_report(payload)
+            assert payload["rho"] == 0.0
+            assert payload["backend"] == "exact"
+        assert ["A", "C"] in mine["bags"]
+        assert decompose["lossless"] is True
+
+
+class TestJobQueue:
+    def queue_for(self, tmp_path, **kwargs):
+        registry = DatasetRegistry()
+        entry, _ = registry.register_path(make_csv(tmp_path))
+        cache = ResultCache()
+        jobs = JobQueue(registry, cache, **kwargs)
+        return registry, cache, jobs, entry.fingerprint
+
+    def test_job_lifecycle_and_caching(self, tmp_path):
+        _, cache, jobs, fp = self.queue_for(tmp_path, workers=1)
+        try:
+            job = jobs.submit(fp, "mine", {"strategy": "beam"})
+            assert job.wait(10)
+            assert job.state == DONE and not job.cached
+            validate_report(job.result)
+
+            again = jobs.submit(fp, "mine", {"strategy": "beam"})
+            assert again.state == DONE and again.cached
+            assert again.result["cached"] is True
+            clean = dict(again.result)
+            clean.pop("cached")
+            assert clean == job.result  # bit-identical to the cold report
+            assert cache.stats()["hits"] == 1
+        finally:
+            jobs.shutdown()
+
+    def test_unknown_fingerprint_rejected_at_submit(self, tmp_path):
+        _, _, jobs, _ = self.queue_for(tmp_path)
+        try:
+            with pytest.raises(UnknownDatasetError):
+                jobs.submit("deadbeef", "mine", {})
+        finally:
+            jobs.shutdown()
+
+    def test_failed_job_reports_error(self, tmp_path):
+        _, _, jobs, fp = self.queue_for(tmp_path, workers=1)
+        try:
+            job = jobs.submit(fp, "analyze", {"schema": "A,B;B,C;A,C"})  # cyclic
+            assert job.wait(10)
+            assert job.state == FAILED
+            assert "cyclic" in job.error
+            view = job.describe()
+            assert view["state"] == "failed" and "error" in view
+        finally:
+            jobs.shutdown()
+
+    def test_deadline_expired_in_queue_times_out_cleanly(self, tmp_path):
+        registry, cache, jobs, fp = self.queue_for(tmp_path, workers=1)
+        try:
+            gate = threading.Event()
+            original = registry.relation
+
+            def slow_relation(fingerprint):
+                gate.wait(5)  # the first job blocks the only worker
+                return original(fingerprint)
+
+            registry.relation = slow_relation
+            blocker = jobs.submit(fp, "mine", {})
+            expiring = jobs.submit(fp, "mine", {"deadline": 0.05, "seed": 99})
+            time.sleep(0.2)  # let the deadline lapse while queued
+            gate.set()
+            assert expiring.wait(10)
+            assert expiring.state == TIMEOUT
+            view = expiring.describe()
+            assert view["state"] == "timeout"
+            assert "deadline" in view["error"]
+            assert view["service_time_s"] > 0
+            assert "result" not in view  # nothing fabricated
+            assert blocker.wait(10) and blocker.state == DONE
+            # Timed-out work is never cached: a retry recomputes.
+            retry = jobs.submit(fp, "mine", {"deadline": 30, "seed": 99})
+            assert retry.wait(10) and retry.state == DONE and not retry.cached
+        finally:
+            registry.relation = original
+            jobs.shutdown()
+
+    def test_partial_results_are_not_cached(self, tmp_path):
+        rng = np.random.default_rng(5)
+        relation = random_relation({n: 12 for n in "ABCDEF"}, 4000, rng)
+        path = tmp_path / "wide.csv"
+        write_csv(relation, path)
+        registry = DatasetRegistry()
+        entry, _ = registry.register_path(path)
+        cache = ResultCache()
+        jobs = JobQueue(registry, cache, workers=1)
+        try:
+            job = jobs.submit(
+                entry.fingerprint,
+                "mine",
+                {"strategy": "anytime", "deadline": 0.001},
+            )
+            assert job.wait(30)
+            if job.state == DONE and job.result.get("partial"):
+                assert len(cache) == 0
+                assert job.describe()["partial"] is True
+            else:  # machine fast enough to finish: then it must be cached
+                assert job.state in (DONE, TIMEOUT)
+        finally:
+            jobs.shutdown()
+
+    def test_backpressure_queue_full(self, tmp_path):
+        registry, cache, jobs, fp = self.queue_for(
+            tmp_path, workers=1, max_queue=1
+        )
+        try:
+            gate = threading.Event()
+            original = registry.relation
+
+            def slow_relation(fingerprint):
+                gate.wait(5)
+                return original(fingerprint)
+
+            registry.relation = slow_relation
+            jobs.submit(fp, "mine", {"seed": 1})  # occupies the worker
+            time.sleep(0.05)
+            jobs.submit(fp, "mine", {"seed": 2})  # fills the queue
+            with pytest.raises(QueueFullError, match="retry"):
+                jobs.submit(fp, "mine", {"seed": 3})
+            gate.set()
+        finally:
+            registry.relation = original
+            jobs.shutdown()
+
+    def test_inflight_coalescing_shares_one_job(self, tmp_path):
+        registry, cache, jobs, fp = self.queue_for(tmp_path, workers=1)
+        try:
+            gate = threading.Event()
+            original = registry.relation
+
+            def slow_relation(fingerprint):
+                gate.wait(5)
+                return original(fingerprint)
+
+            registry.relation = slow_relation
+            first = jobs.submit(fp, "mine", {})
+            second = jobs.submit(fp, "mine", {})
+            assert first is second
+            assert jobs.coalesced == 1
+            gate.set()
+            assert first.wait(10) and first.state == DONE
+        finally:
+            registry.relation = original
+            jobs.shutdown()
+
+    def test_shutdown_fails_unstarted_jobs_promptly(self, tmp_path):
+        registry, cache, jobs, fp = self.queue_for(tmp_path, workers=1)
+        gate = threading.Event()
+        original = registry.relation
+
+        def slow_relation(fingerprint):
+            gate.wait(5)
+            return original(fingerprint)
+
+        registry.relation = slow_relation
+        try:
+            running = jobs.submit(fp, "mine", {"seed": 1})
+            time.sleep(0.05)  # worker claims it and blocks on the gate
+            pending = jobs.submit(fp, "mine", {"seed": 2})
+            # Shut down while the worker is still stuck: the pending job
+            # must be failed by the drain, not left hanging for waiters.
+            shutdown_done = threading.Event()
+
+            def closer():
+                jobs.shutdown()
+                shutdown_done.set()
+
+            threading.Thread(target=closer).start()
+            assert pending.wait(5), "pending job left hanging by shutdown"
+            assert pending.state == FAILED
+            assert "shut down" in pending.error
+            gate.set()
+            assert running.wait(10)
+            assert shutdown_done.wait(10)
+        finally:
+            registry.relation = original
+
+    def test_default_deadline_applies(self, tmp_path):
+        _, _, jobs, fp = self.queue_for(
+            tmp_path, workers=1, default_deadline_s=30.0
+        )
+        try:
+            job = jobs.submit(fp, "mine", {})
+            assert job.deadline_s == 30.0
+            assert job.wait(10) and job.state == DONE
+        finally:
+            jobs.shutdown()
+
+    def test_bad_deadline_rejected_at_submit(self, tmp_path):
+        _, _, jobs, fp = self.queue_for(tmp_path)
+        try:
+            for bad in (-1, 0, "soon", True):
+                with pytest.raises(ServiceError, match="deadline"):
+                    jobs.submit(fp, "mine", {"deadline": bad})
+        finally:
+            jobs.shutdown()
+
+    def test_warm_hit_shared_across_deadline_spellings(self, tmp_path):
+        _, cache, jobs, fp = self.queue_for(tmp_path, workers=1)
+        try:
+            cold = jobs.submit(fp, "mine", {"deadline": 60})
+            assert cold.wait(10) and cold.state == DONE
+            warm = jobs.submit(fp, "mine", {})  # no deadline: same key
+            assert warm.cached
+        finally:
+            jobs.shutdown()
+
+    def test_deadline_jobs_never_coalesce(self, tmp_path):
+        """Relative deadlines anchor at submission, so later identical
+        submissions must get their own run (and full budget)."""
+        registry, cache, jobs, fp = self.queue_for(tmp_path, workers=1)
+        try:
+            gate = threading.Event()
+            original = registry.relation
+
+            def slow_relation(fingerprint):
+                gate.wait(5)
+                return original(fingerprint)
+
+            registry.relation = slow_relation
+            first = jobs.submit(fp, "mine", {"deadline": 60})
+            second = jobs.submit(fp, "mine", {"deadline": 60})
+            assert first is not second
+            assert jobs.coalesced == 0
+            gate.set()
+            assert first.wait(10) and second.wait(10)
+        finally:
+            registry.relation = original
+            jobs.shutdown()
+
+    def test_finished_job_retention_is_bounded(self, tmp_path):
+        _, _, jobs, fp = self.queue_for(tmp_path, workers=1, max_finished=3)
+        try:
+            first = jobs.submit(fp, "mine", {})
+            assert first.wait(10)
+            for seed in range(1, 5):  # distinct keys: real jobs each time
+                job = jobs.submit(fp, "mine", {"seed": seed})
+                assert job.wait(10)
+            with pytest.raises(ServiceError, match="no such job"):
+                jobs.get(first.id)
+            assert jobs.get(job.id) is job  # newest stays pollable
+        finally:
+            jobs.shutdown()
