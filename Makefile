@@ -5,7 +5,7 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test bench bench-baseline bench-strategies bench-jmeasure \
-	bench-streaming bench-service bench-gate service-smoke lint
+	bench-streaming bench-service bench-gate service-smoke chaos-smoke lint
 
 ## tier-1 suite (tests only; benchmarks are opt-in via `make bench`)
 test:
@@ -53,6 +53,12 @@ bench-service:
 ## service-smoke job runs exactly this; see docs/service.md)
 service-smoke:
 	$(PYTHON) scripts/service_smoke.py
+
+## boot a real server under a seeded fault plan (worker crash, torn
+## spill, dropped responses) and assert the resilience invariants; the
+## CI chaos-smoke job runs exactly this (see docs/robustness.md)
+chaos-smoke:
+	$(PYTHON) scripts/chaos_smoke.py
 
 ## benchmark-regression gate: re-run smoke benches and compare against
 ## the committed BENCH_*.json baselines (>2x degradation fails); the CI

@@ -126,15 +126,32 @@ def fresh_entropy_memo_speedup() -> float:
     return cold_s / warm_s if warm_s else float("inf")
 
 
+_fresh_service_tier: dict | None = None
+
+
+def _fresh_service_metrics() -> dict:
+    """One service smoke-tier run, shared by both service tracked ops."""
+    global _fresh_service_tier
+    if _fresh_service_tier is None:
+        import tempfile
+
+        from test_bench_service import run_service_tier
+
+        with tempfile.TemporaryDirectory() as tmp:
+            _fresh_service_tier = run_service_tier(
+                20_000, 31, Path(tmp) / "service_bench.csv"
+            )
+    return _fresh_service_tier
+
+
 def fresh_service_warm_speedup() -> float:
     """Cold-vs-warm HTTP mine latency ratio at the service smoke tier."""
-    import tempfile
+    return _fresh_service_metrics()["warm_http_speedup"]
 
-    from test_bench_service import run_service_tier
 
-    with tempfile.TemporaryDirectory() as tmp:
-        tier = run_service_tier(20_000, 31, Path(tmp) / "service_bench.csv")
-    return tier["warm_http_speedup"]
+def fresh_service_faults_idle_ratio() -> float:
+    """Warm latency with faults disabled vs armed-but-idle (≈1 is free)."""
+    return _fresh_service_metrics()["faults_idle_speedup"]
 
 
 def fresh_streaming_rss_ratio() -> float:
@@ -179,6 +196,11 @@ def baseline_service_warm_speedup() -> float:
     return float(record["tiers"]["n=2e4"]["warm_http_speedup"])
 
 
+def baseline_service_faults_idle_ratio() -> float:
+    record = _last_record(REPO_ROOT / "BENCH_service.json")
+    return float(record["tiers"]["n=2e4"]["faults_idle_speedup"])
+
+
 #: name → (baseline extractor, fresh measurement, slack).  All values
 #: are "higher is better" ratios; the gate fails when
 #: fresh < baseline / (factor · slack).  ``slack`` > 1 widens the floor
@@ -207,6 +229,15 @@ TRACKED_OPS = {
     "service/warm_vs_cold_http_speedup@2e4": (
         baseline_service_warm_speedup,
         fresh_service_warm_speedup,
+        1.5,
+    ),
+    # Resilience overhead: warm HTTP latency with the fault harness
+    # disabled vs armed-but-idle.  Baseline ≈ 1.0 (the hooks are a dict
+    # lookup); a real slowdown in the injection plumbing drags the
+    # fresh ratio down.  Both sides are ~ms round trips → widened floor.
+    "service/faults_idle_warm_ratio@2e4": (
+        baseline_service_faults_idle_ratio,
+        fresh_service_faults_idle_ratio,
         1.5,
     ),
 }

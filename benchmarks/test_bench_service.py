@@ -132,7 +132,7 @@ def run_service_tier(n_rows: int, seed: int, csv_path: Path) -> dict:
         assert not errors, errors[:3]
 
         stats = client.stats()
-        return {
+        tier = {
             "n_rows_written": n_rows,
             "n_rows_distinct": dataset["n_rows"],
             "register_s": register_s,
@@ -150,6 +150,46 @@ def run_service_tier(n_rows: int, seed: int, csv_path: Path) -> dict:
             "concurrent_rps": clients * per_client / concurrent_s,
             "cache_hit_rate": stats["cache"]["hit_rate"],
         }
+
+    # Resilience overhead: the same warm path with the fault harness
+    # armed but idle (times=0 rules: hooks evaluated, nothing fires) —
+    # what production pays for keeping the machinery compiled in.
+    idle_plan = {
+        "seed": 0,
+        "rules": [
+            {"site": "http.drop", "times": 0},
+            {"site": "http.stall", "times": 0},
+            {"site": "http.truncate", "times": 0},
+            {"site": "jobs.worker_crash", "times": 0},
+            {"site": "jobs.slow", "times": 0},
+            {"site": "jobs.oom", "times": 0},
+            {"site": "cache.spill_write_torn", "times": 0},
+        ],
+    }
+    with Service(
+        ServiceConfig(port=0, workers=2, max_queue=1024, fault_plan=idle_plan)
+    ) as service:
+        client = ServiceClient(f"http://127.0.0.1:{service.port}")
+        fp = client.register_dataset(path=str(csv_path))["fingerprint"]
+        first = client.run(fp, "mine", {"strategy": "beam"}, timeout=600)
+        assert first["state"] == "done", first
+        warm_http_s_faults_idle = float("inf")
+        for _ in range(5):
+            start = time.perf_counter()
+            warm = client.run(fp, "mine", {"strategy": "beam"})
+            warm_http_s_faults_idle = min(
+                warm_http_s_faults_idle, time.perf_counter() - start
+            )
+            assert warm["cached"] is True, warm
+        stats = client.stats()
+        assert stats["faults"]["enabled"] and stats["faults"]["total_fired"] == 0
+    tier["warm_http_s_faults_idle"] = warm_http_s_faults_idle
+    # >1 means idle faults were "faster" (noise); the gate tracks the
+    # inverse, so only a genuine slowdown can trip it.
+    tier["faults_idle_speedup"] = tier["warm_http_s"] / max(
+        warm_http_s_faults_idle, 1e-9
+    )
+    return tier
 
 
 @pytest.mark.parametrize("label,n_rows,seed", _tier_params())
@@ -169,5 +209,7 @@ def test_bench_service_cold_warm_throughput(label, n_rows, seed, tmp_path):
         f"({tier['warm_http_speedup']:.0f}x http, "
         f"{tier['warm_service_speedup']:.0f}x server-side) | "
         f"{tier['concurrent_requests']} warm reqs × {tier['concurrent_clients']} "
-        f"clients: {tier['concurrent_rps']:.0f} req/s"
+        f"clients: {tier['concurrent_rps']:.0f} req/s | faults-idle warm "
+        f"{tier['warm_http_s_faults_idle'] * 1e3:.2f} ms "
+        f"({tier['faults_idle_speedup']:.2f}x)"
     )

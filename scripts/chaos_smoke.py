@@ -1,0 +1,228 @@
+#!/usr/bin/env python
+"""Chaos smoke check: a real server under seeded fault injection.
+
+What the CI ``chaos-smoke`` job (and ``make chaos-smoke``) runs:
+
+1. start ``repro-ajd serve`` as a subprocess with a **seeded fault
+   plan** (via the ``REPRO_FAULT_PLAN`` environment variable): a
+   one-shot worker crash, a one-shot torn spill write, and a burst of
+   dropped HTTP responses;
+2. drive register → cold mine → a storm of mixed mine/analyze calls
+   through the retrying :class:`ServiceClient`, tolerating typed
+   errors but nothing else;
+3. assert the resilience invariants: the server stays up, ``/healthz``
+   reports ``degraded`` while incidents are fresh, every surviving
+   report validates against the shared schema, and a fault-free warm
+   repeat is **bit-identical** to its first answer;
+4. write ``chaos_report.json`` (uploaded as a CI artifact) recording
+   the faults that fired and the invariant checks that passed.
+
+Exit codes: 0 ok · 1 invariant violated · 2 infrastructure trouble.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import queue
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_PATH = REPO_ROOT / "src"
+sys.path.insert(0, str(SRC_PATH))
+
+from repro.errors import ReproError  # noqa: E402
+from repro.factorize.report import validate_report  # noqa: E402
+from repro.service.client import ServiceClient  # noqa: E402
+
+#: The seeded plan: deterministic, bounded chaos.  One worker crash
+#: (exercises supervision + respawn), one torn spill write (exercises
+#: quarantine), and up to five dropped responses at 30% (exercises
+#: client retries + idempotent resubmission).
+FAULT_PLAN = {
+    "seed": 20230817,
+    "rules": [
+        {"site": "jobs.worker_crash", "times": 1},
+        {"site": "cache.spill_write_torn", "times": 1},
+        {"site": "http.drop", "probability": 0.3, "times": 5},
+    ],
+}
+
+
+def start_server(spill_dir: str, stderr_path: Path) -> tuple[subprocess.Popen, int]:
+    stderr_handle = stderr_path.open("w")
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "serve",
+            "--port", "0",
+            "--workers", "2",
+            "--spill-dir", spill_dir,
+            "--breaker-failures", "3",
+            "--breaker-cooldown", "1.0",
+        ],
+        cwd=REPO_ROOT,
+        env={
+            "PYTHONPATH": str(SRC_PATH),
+            "PATH": "/usr/bin:/bin",
+            "REPRO_FAULT_PLAN": json.dumps(FAULT_PLAN),
+        },
+        stdout=subprocess.PIPE,
+        stderr=stderr_handle,
+        text=True,
+    )
+    stderr_handle.close()
+    assert process.stdout is not None
+    lines: queue.Queue = queue.Queue()
+
+    def drain() -> None:
+        for line in process.stdout:
+            lines.put(line)
+        lines.put(None)
+
+    threading.Thread(target=drain, daemon=True).start()
+    saw_faults_armed = False
+    deadline = time.monotonic() + 30
+    while True:
+        try:
+            line = lines.get(timeout=max(deadline - time.monotonic(), 0.1))
+        except queue.Empty:
+            process.terminate()
+            raise RuntimeError(
+                "server never announced 'serving' within 30s; stderr:\n"
+                + stderr_path.read_text()
+            ) from None
+        if line is None:
+            raise RuntimeError(
+                "server exited before announcing a port; stderr:\n"
+                + stderr_path.read_text()
+            )
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if event.get("event") == "faults_armed":
+            saw_faults_armed = True
+        if event.get("event") == "serving":
+            assert saw_faults_armed, "server never announced the armed fault plan"
+            return process, int(event["port"])
+
+
+def main() -> int:
+    csv_path = REPO_ROOT / "examples" / "planted_mvd.csv"
+    report_path = Path(os.environ.get("CHAOS_REPORT", "chaos_report.json"))
+    checks: dict[str, bool] = {}
+    client = None
+    final_stats = None
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as spill_dir:
+        process, port = start_server(spill_dir, Path(spill_dir) / "server-stderr.log")
+        try:
+            client = ServiceClient(
+                f"http://127.0.0.1:{port}", retries=6, seed=1
+            )
+            dataset = client.register_dataset(path=str(csv_path))
+            fp = dataset["fingerprint"]
+            print(f"[chaos] registered {csv_path.name} as {fp}")
+
+            # The storm: mixed operations; the seeded plan drops some
+            # responses and kills one worker mid-job.  Every call must
+            # either succeed (after retries) or raise a *typed* error.
+            succeeded, typed_failures = 0, 0
+            for seed in range(8):
+                try:
+                    report = client.mine(fp, seed=seed)
+                    validate_report(report)
+                    succeeded += 1
+                except ReproError as exc:
+                    typed_failures += 1
+                    print(f"[chaos] typed failure (seed {seed}): {exc}")
+            analyze = client.analyze(fp, "A,C;B,C")
+            validate_report(analyze)
+            succeeded += 1
+            checks["some_calls_succeeded"] = succeeded >= 1
+            assert succeeded >= 1, "no call survived the storm"
+            print(
+                f"[chaos] storm done: {succeeded} succeeded, "
+                f"{typed_failures} typed failures, "
+                f"{client.retried} client retries"
+            )
+
+            health = client.healthz()
+            checks["server_alive_after_storm"] = health["status"] in (
+                "ok",
+                "degraded",
+            )
+            assert checks["server_alive_after_storm"], health
+            print(f"[chaos] healthz after storm: {health['status']}")
+
+            stats = client.stats()
+            fired = stats["faults"]["total_fired"]
+            checks["faults_actually_fired"] = fired >= 1
+            assert fired >= 1, "the fault plan never fired; chaos was a no-op"
+            crash_count = stats["jobs"]["worker_crashes"]
+            checks["worker_pool_healed"] = (
+                stats["jobs"]["workers_alive"] == stats["jobs"]["workers"]
+            )
+            assert checks["worker_pool_healed"], stats["jobs"]
+            print(
+                f"[chaos] {fired} fault(s) fired, {crash_count} worker "
+                f"crash(es), pool healed to "
+                f"{stats['jobs']['workers_alive']} workers"
+            )
+
+            # Fault-free warm phase: the drop/crash budgets are spent,
+            # so two fresh identical requests must agree bit for bit —
+            # and nothing quarantined may ever be served.
+            first = client.mine(fp, seed=999)
+            second = client.mine(fp, seed=999)
+            second = {k: v for k, v in second.items() if k != "cached"}
+            checks["warm_repeat_bit_identical"] = first == second
+            assert first == second, "warm repeat diverged after recovery"
+            print("[chaos] warm repeat bit-identical after recovery")
+
+            final_stats = client.stats()
+            checks["no_unexplained_quarantine"] = (
+                final_stats["cache"]["quarantined"] <= 1
+            )
+            assert checks["no_unexplained_quarantine"], final_stats["cache"]
+        finally:
+            process.terminate()
+            try:
+                process.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait(timeout=10)
+            report_path.write_text(
+                json.dumps(
+                    {
+                        "fault_plan": FAULT_PLAN,
+                        "checks": checks,
+                        "client_retries": getattr(client, "retried", None),
+                        "stats": final_stats,
+                    },
+                    indent=2,
+                    sort_keys=True,
+                )
+                + "\n"
+            )
+            print(f"[chaos] invariant report written to {report_path}")
+        print("[chaos] chaos smoke ok")
+        return 0
+
+
+if __name__ == "__main__":
+    try:
+        raise SystemExit(main())
+    except AssertionError as exc:
+        print(f"[chaos] FAILED: {exc}", file=sys.stderr)
+        raise SystemExit(1) from exc
+    except RuntimeError as exc:
+        print(f"[chaos] infrastructure error: {exc}", file=sys.stderr)
+        raise SystemExit(2) from exc

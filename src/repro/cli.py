@@ -268,8 +268,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_entries=args.cache_entries,
         spill_dir=args.spill_dir,
         default_deadline_s=args.default_deadline,
+        fault_plan=args.fault_plan,
+        breaker_failures=args.breaker_failures,
+        breaker_cooldown_s=args.breaker_cooldown,
     )
     service = Service(config)
+    if service.faults.enabled:
+        print(
+            json.dumps(
+                {
+                    "event": "faults_armed",
+                    "seed": service.faults.seed,
+                    "rules": service.faults.stats()["rules"],
+                }
+            ),
+            flush=True,
+        )
     try:
         for path in args.preload:
             entry, _ = service.registry.register_path(path)
@@ -527,6 +541,29 @@ def build_parser() -> argparse.ArgumentParser:
         default=[],
         metavar="CSV",
         help="register this CSV at startup (repeatable)",
+    )
+    p_serve.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="JSON|PATH",
+        help="arm the chaos harness: inline JSON fault plan or a path to "
+        "one (default: REPRO_FAULT_PLAN env var, else disabled)",
+    )
+    p_serve.add_argument(
+        "--breaker-failures",
+        type=int,
+        default=5,
+        metavar="N",
+        help="consecutive infrastructure failures that open an "
+        "operation's circuit breaker (default: 5)",
+    )
+    p_serve.add_argument(
+        "--breaker-cooldown",
+        type=float,
+        default=5.0,
+        metavar="SEC",
+        help="seconds an open circuit breaker fast-fails submissions "
+        "before probing again (default: 5)",
     )
     p_serve.set_defaults(func=_cmd_serve)
 

@@ -70,3 +70,25 @@ class UnknownDatasetError(ServiceError):
 
 class QueueFullError(ServiceError):
     """The job queue is at capacity; the caller should back off and retry."""
+
+
+class DatasetDegradedError(ServiceError):
+    """A dataset survives as metadata only: its source vanished or mutated
+    after eviction, so the relation cannot be re-ingested.  Re-registering
+    the dataset (or restoring its source) heals it."""
+
+
+class CircuitOpenError(ServiceError):
+    """An operation's circuit breaker is open after consecutive
+    infrastructure failures; the caller should retry after the cooldown
+    (``retry_after_s``, surfaced as an HTTP ``Retry-After`` header)."""
+
+    def __init__(self, message: str, *, retry_after_s: float | None = None) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class InjectedFaultError(ServiceError):
+    """A deterministic fault-injection rule fired (chaos testing only;
+    never raised unless a :class:`~repro.service.faults.FaultPlan` is
+    explicitly enabled)."""

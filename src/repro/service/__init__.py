@@ -15,22 +15,29 @@ service that amortizes work across requests:
   coalescing, and backpressure;
 * :mod:`repro.service.http` / :class:`~repro.service.app.Service` — the
   stdlib ``ThreadingHTTPServer`` API (``repro-ajd serve``);
-* :class:`~repro.service.client.ServiceClient` — the Python client.
+* :class:`~repro.service.client.ServiceClient` — the Python client,
+  with capped-jittered retries and idempotent resubmission;
+* :class:`~repro.service.faults.FaultPlan` — the deterministic
+  fault-injection harness behind the chaos test suite.
 
-See ``docs/service.md`` for the API reference and semantics.
+See ``docs/service.md`` for the API reference and semantics, and
+``docs/robustness.md`` for the failure model.
 """
 
 from repro.service.app import Service
 from repro.service.cache import ResultCache, canonical_key
 from repro.service.client import ServiceClient, ServiceClientError
 from repro.service.config import ServiceConfig
-from repro.service.jobs import Job, JobQueue
+from repro.service.faults import FaultPlan, WorkerCrashInjection
+from repro.service.jobs import CircuitBreaker, Job, JobQueue
 from repro.service.operations import canonicalize_params, run_operation
 from repro.service.registry import DatasetEntry, DatasetRegistry
 
 __all__ = [
+    "CircuitBreaker",
     "DatasetEntry",
     "DatasetRegistry",
+    "FaultPlan",
     "Job",
     "JobQueue",
     "ResultCache",
@@ -38,6 +45,7 @@ __all__ = [
     "ServiceClient",
     "ServiceClientError",
     "ServiceConfig",
+    "WorkerCrashInjection",
     "canonical_key",
     "canonicalize_params",
     "run_operation",

@@ -14,11 +14,13 @@ context manager, which is how the tests hold a live server::
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 
 from repro.service.cache import ResultCache
 from repro.service.config import ServiceConfig
+from repro.service.faults import FaultPlan
 from repro.service.http import ServiceHTTPServer, ServiceRequestHandler
 from repro.service.jobs import JobQueue
 from repro.service.registry import DatasetRegistry
@@ -29,13 +31,20 @@ class Service:
 
     def __init__(self, config: ServiceConfig | None = None) -> None:
         self.config = config or ServiceConfig()
+        self.faults = FaultPlan.from_spec(
+            self.config.fault_plan
+            if self.config.fault_plan is not None
+            else os.environ.get("REPRO_FAULT_PLAN")
+        )
         self.registry = DatasetRegistry(
             memory_budget_bytes=self.config.memory_budget_bytes,
             spill_dir=self.config.spill_dir,
+            faults=self.faults,
         )
         self.cache = ResultCache(
             max_entries=self.config.cache_entries,
             spill_dir=self.config.spill_dir,
+            faults=self.faults,
         )
         self.jobs = JobQueue(
             self.registry,
@@ -43,10 +52,14 @@ class Service:
             workers=self.config.workers,
             max_queue=self.config.max_queue,
             default_deadline_s=self.config.default_deadline_s,
+            faults=self.faults,
+            breaker_failures=self.config.breaker_failures,
+            breaker_cooldown_s=self.config.breaker_cooldown_s,
         )
         self._server: ServiceHTTPServer | None = None
         self._thread: threading.Thread | None = None
         self._started_at = time.monotonic()
+        self._draining = False
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -70,6 +83,7 @@ class Service:
         server = self._bind()
         if self._thread is None:
             self._started_at = time.monotonic()
+            self._draining = False
             self._thread = threading.Thread(
                 target=server.serve_forever,
                 name="repro-service-http",
@@ -91,6 +105,7 @@ class Service:
 
     def stop(self) -> None:
         """Shut the HTTP server down and drain the worker pool."""
+        self._draining = True  # /healthz flips before the socket closes
         if self._server is not None:
             self._server.shutdown()
             self._server.server_close()
@@ -108,11 +123,61 @@ class Service:
     # Introspection
     # ------------------------------------------------------------------
     def health(self) -> dict:
-        return {
-            "status": "ok",
-            "uptime_s": time.monotonic() - self._started_at,
+        """The ``GET /healthz`` document: ``ok`` | ``degraded`` | ``draining``.
+
+        ``degraded`` means the service is still serving but impaired:
+        an open circuit breaker, a dataset demoted to metadata-only, a
+        shrunken worker pool, or a recent incident (worker crash, spill
+        quarantine, dataset degradation) within
+        ``health_incident_ttl_s``.  The recency window keeps a flapping
+        fault visible to health checks that only sample occasionally.
+        """
+        now = time.monotonic()
+        jobs_stats = self.jobs.stats()
+        breakers = jobs_stats["breakers"]
+        degraded_datasets = self.registry.degraded_count()
+        reasons = []
+        if any(b["state"] == "open" for b in breakers.values()):
+            reasons.append("circuit breaker open")
+        if degraded_datasets:
+            reasons.append(f"{degraded_datasets} degraded dataset(s)")
+        if jobs_stats["workers_alive"] < self.config.workers:
+            reasons.append(
+                f"{jobs_stats['workers_alive']}/{self.config.workers} "
+                "workers alive"
+            )
+        ttl = self.config.health_incident_ttl_s
+        for label, at in (
+            ("worker crash", self.jobs.last_crash_at),
+            ("spill quarantine", self.cache.last_quarantine_at),
+            ("dataset degradation", self.registry.last_degrade_at),
+        ):
+            if at is not None and now - at < ttl:
+                reasons.append(f"recent {label} ({now - at:.1f}s ago)")
+        if self._draining:
+            status = "draining"
+        elif reasons:
+            status = "degraded"
+        else:
+            status = "ok"
+        view = {
+            "status": status,
+            "uptime_s": now - self._started_at,
             "workers": self.config.workers,
+            "workers_alive": jobs_stats["workers_alive"],
+            "degraded_datasets": degraded_datasets,
+            "quarantined_spills": self.cache.quarantined,
+            "worker_crashes": self.jobs.worker_crashes,
+            "breakers": {
+                operation: breaker["state"]
+                for operation, breaker in breakers.items()
+            },
         }
+        if reasons:
+            view["reasons"] = reasons
+        if self.faults.enabled:
+            view["faults_enabled"] = True
+        return view
 
     def stats(self) -> dict:
         """The ``GET /stats`` document."""
@@ -121,4 +186,5 @@ class Service:
             "cache": self.cache.stats(),
             "registry": self.registry.stats(),
             "jobs": self.jobs.stats(),
+            "faults": self.faults.stats(),
         }

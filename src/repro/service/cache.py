@@ -19,18 +19,29 @@ Only reports that pass the shared CLI schema
 *and* again when re-loaded from disk — so a cache can never serve a
 malformed report.  Partial results (deadline-expired mining) are the
 caller's responsibility to withhold; see :mod:`repro.service.jobs`.
+
+Crash safety: spill writes fsync the temp file before the atomic
+rename (a hard kill cannot leave an empty-but-renamed entry), and a
+corrupt/truncated/schema-invalid spill file found at read time is
+**quarantined** — renamed aside into ``quarantine/`` and counted in
+``stats()`` — instead of raising or being retried forever.  A poisoned
+disk tier therefore degrades to a cache miss plus a recorded incident,
+never an error on the serving path.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import os
 import threading
+import time
 from collections import OrderedDict
 from pathlib import Path
 
 from repro.errors import ReproError, ServiceError
 from repro.factorize.report import validate_report
+from repro.service.faults import DISABLED, FaultPlan
 
 
 def canonical_key(fingerprint: str, operation: str, params: dict) -> str:
@@ -56,17 +67,21 @@ class ResultCache:
         *,
         max_entries: int = 1024,
         spill_dir: str | Path | None = None,
+        faults: FaultPlan | None = None,
     ) -> None:
         if max_entries < 1:
             raise ServiceError(f"max_entries must be >= 1, got {max_entries}")
         self._max_entries = max_entries
         self._spill_dir = Path(spill_dir) if spill_dir is not None else None
+        self._faults = faults if faults is not None else DISABLED
         self._entries: OrderedDict[str, dict] = OrderedDict()
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.spill_loads = 0
         self.spill_writes = 0
+        self.quarantined = 0
+        self.last_quarantine_at: float | None = None  # time.monotonic()
 
     # ------------------------------------------------------------------
     def _spill_path(self, key: str) -> Path | None:
@@ -101,13 +116,33 @@ class ResultCache:
         if path is None or not path.exists():
             return None
         try:
-            document = json.loads(path.read_text())
+            text = path.read_text()
+            if self._faults.fire("cache.spill_read_corrupt"):
+                # Chaos: the read sees a torn file (first half only).
+                text = text[: len(text) // 2]
+            document = json.loads(text)
             payload = document["payload"]
             validate_report(payload)
             return payload
-        except (OSError, ValueError, KeyError, ReproError):
-            # A torn or stale spill file is a miss, never an error.
+        except (OSError, ValueError, KeyError, TypeError, ReproError):
+            # A torn, stale, or schema-invalid spill file is a miss,
+            # never an error — and it is quarantined so it cannot be
+            # re-parsed on every later lookup (or mistaken for healthy
+            # state by an operator inspecting the spill directory).
+            self._quarantine(path)
             return None
+
+    def _quarantine(self, path: Path) -> None:
+        """Rename a poisoned spill file aside into ``quarantine/``."""
+        try:
+            target_dir = path.parent / "quarantine"
+            target_dir.mkdir(parents=True, exist_ok=True)
+            path.replace(target_dir / path.name)
+        except OSError:
+            pass  # best effort: a miss either way
+        with self._lock:
+            self.quarantined += 1
+            self.last_quarantine_at = time.monotonic()
 
     def put(self, key: str, payload: dict, *, meta: dict | None = None) -> None:
         """Admit a report (validated against the shared schema) under ``key``."""
@@ -121,10 +156,22 @@ class ResultCache:
                 path.parent.mkdir(parents=True, exist_ok=True)
                 document = {"key": key, "meta": meta or {}, "payload": frozen}
                 tmp = path.with_suffix(".tmp")
-                tmp.write_text(
-                    json.dumps(document, indent=2, sort_keys=True) + "\n"
-                )
+                with open(tmp, "w", encoding="utf-8") as handle:
+                    handle.write(
+                        json.dumps(document, indent=2, sort_keys=True) + "\n"
+                    )
+                    handle.flush()
+                    # Durability before visibility: without the fsync, a
+                    # hard kill after the rename could surface an
+                    # empty-but-renamed entry from the page cache.
+                    os.fsync(handle.fileno())
                 tmp.replace(path)  # atomic: readers never see a torn file
+                if self._faults.fire("cache.spill_write_torn"):
+                    # Chaos: simulate a crash that tore the entry on
+                    # disk (e.g. pre-fsync-discipline corruption) — the
+                    # read path must quarantine it, never serve it.
+                    with open(path, "r+", encoding="utf-8") as handle:
+                        handle.truncate(max(path.stat().st_size // 2, 1))
                 with self._lock:
                     self.spill_writes += 1
             except OSError:
@@ -156,4 +203,5 @@ class ResultCache:
                 ),
                 "spill_loads": self.spill_loads,
                 "spill_writes": self.spill_writes,
+                "quarantined": self.quarantined,
             }

@@ -14,16 +14,39 @@ job and block until it finishes, returning the report and raising
 :class:`ServiceClientError` on ``failed`` / ``timeout`` jobs.  The
 lower-level ``submit_job`` / ``get_job`` / ``wait_job`` expose the
 asynchronous lifecycle directly.
+
+Resilience (see ``docs/robustness.md``): every request is retried up to
+``retries`` times on transport failures (dropped/reset connections,
+truncated bodies, timeouts) and on HTTP 503 — with capped exponential
+backoff, full jitter, and the server's ``Retry-After`` honoured as a
+floor.  Other HTTP errors (400/404/409/...) are never retried: they are
+deterministic.  ``submit_job`` attaches an ``idempotency_key`` (an
+auto-generated UUID unless the caller picks one) that is constant
+across the retries of one logical submit, so a POST whose response was
+lost on the wire is replayed — never re-run — by the server.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
+import random
 import time
 import urllib.error
 import urllib.request
+import uuid
 
 from repro.errors import ServiceError
+
+#: Transport-level failures worth retrying: the request may never have
+#: reached the server, or the response died on the wire.  (HTTPError
+#: subclasses URLError and carries a status; it is handled separately.)
+_RETRYABLE_TRANSPORT = (
+    urllib.error.URLError,
+    http.client.HTTPException,
+    ConnectionError,
+    TimeoutError,
+)
 
 
 class ServiceClientError(ServiceError):
@@ -35,37 +58,108 @@ class ServiceClientError(ServiceError):
 
 
 class ServiceClient:
-    """Thin JSON-over-HTTP client for one service base URL."""
+    """Thin JSON-over-HTTP client for one service base URL.
 
-    def __init__(self, base_url: str, *, timeout: float = 30.0) -> None:
+    ``retries`` counts *re*-attempts (0 disables retrying entirely);
+    ``backoff_base_s``/``backoff_cap_s`` shape the capped exponential
+    full-jitter backoff; ``seed`` makes the jitter deterministic for
+    tests.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        timeout: float = 30.0,
+        retries: int = 3,
+        backoff_base_s: float = 0.05,
+        backoff_cap_s: float = 2.0,
+        seed: int | None = None,
+    ) -> None:
+        if retries < 0:
+            raise ServiceError(f"retries must be >= 0, got {retries}")
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retries = retries
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self._rng = random.Random(seed)
+        self.retried = 0  # lifetime count of re-attempted requests
 
     # ------------------------------------------------------------------
     # Transport
     # ------------------------------------------------------------------
+    def _backoff_s(self, attempt: int, *, floor: float = 0.0) -> float:
+        """Full-jitter capped exponential backoff for re-attempt #attempt."""
+        ceiling = min(self.backoff_cap_s, self.backoff_base_s * (2**attempt))
+        return max(self._rng.uniform(0, ceiling), floor)
+
+    @staticmethod
+    def _retry_after_s(exc: urllib.error.HTTPError) -> float:
+        """The server's Retry-After hint in seconds (0 when absent/garbled)."""
+        raw = exc.headers.get("Retry-After") if exc.headers else None
+        try:
+            return max(float(raw), 0.0) if raw is not None else 0.0
+        except ValueError:
+            return 0.0
+
     def _request(self, method: str, path: str, body: dict | None = None) -> dict:
         data = None
         headers = {"Accept": "application/json"}
         if body is not None:
             data = json.dumps(body).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        request = urllib.request.Request(
-            self.base_url + path, data=data, headers=headers, method=method
-        )
-        try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as response:
-                return json.loads(response.read().decode("utf-8"))
-        except urllib.error.HTTPError as exc:
+        attempt = 0
+        while True:
+            request = urllib.request.Request(
+                self.base_url + path, data=data, headers=headers, method=method
+            )
             try:
-                detail = json.loads(exc.read().decode("utf-8")).get("error", "")
-            except Exception:
-                detail = exc.reason
-            raise ServiceClientError(exc.code, detail or str(exc.reason)) from None
-        except urllib.error.URLError as exc:
-            raise ServiceError(
-                f"cannot reach service at {self.base_url}: {exc.reason}"
-            ) from None
+                with urllib.request.urlopen(
+                    request, timeout=self.timeout
+                ) as response:
+                    return json.loads(response.read().decode("utf-8"))
+            except urllib.error.HTTPError as exc:
+                # A status line arrived, so the server is up and spoke.
+                # Only 503 (backpressure / open breaker) is transient;
+                # everything else is deterministic and retrying would
+                # just repeat the failure N times slower.
+                if exc.code == 503 and attempt < self.retries:
+                    delay = self._backoff_s(
+                        attempt, floor=self._retry_after_s(exc)
+                    )
+                    attempt += 1
+                    self.retried += 1
+                    time.sleep(delay)
+                    continue
+                try:
+                    detail = json.loads(exc.read().decode("utf-8")).get(
+                        "error", ""
+                    )
+                except (OSError, ValueError, AttributeError) as decode_exc:
+                    # The error body was unreadable or not JSON; fall
+                    # back to the bare HTTP reason but keep the decode
+                    # failure chained for debugging.
+                    raise ServiceClientError(
+                        exc.code, str(exc.reason)
+                    ) from decode_exc
+                raise ServiceClientError(
+                    exc.code, detail or str(exc.reason)
+                ) from exc
+            except _RETRYABLE_TRANSPORT as exc:
+                # No (complete) response: dropped, reset, truncated, or
+                # timed out.  The request may or may not have executed —
+                # which is why submit_job sends an idempotency key.
+                if attempt < self.retries:
+                    delay = self._backoff_s(attempt)
+                    attempt += 1
+                    self.retried += 1
+                    time.sleep(delay)
+                    continue
+                reason = getattr(exc, "reason", None) or exc
+                raise ServiceError(
+                    f"cannot reach service at {self.base_url}: {reason}"
+                ) from exc
 
     # ------------------------------------------------------------------
     # Datasets
@@ -100,8 +194,22 @@ class ServiceClient:
     # Jobs
     # ------------------------------------------------------------------
     def submit_job(
-        self, fingerprint: str, operation: str, params: dict | None = None
+        self,
+        fingerprint: str,
+        operation: str,
+        params: dict | None = None,
+        *,
+        idempotency_key: str | None = None,
     ) -> dict:
+        """Submit one job, idempotently across this call's retries.
+
+        The key (auto-generated unless given) is part of the request
+        body, so every retry of this submit carries the same token and
+        the server replays — not re-runs — the job when an earlier
+        attempt did land but its response was lost.
+        """
+        if idempotency_key is None:
+            idempotency_key = uuid.uuid4().hex
         return self._request(
             "POST",
             "/jobs",
@@ -109,6 +217,7 @@ class ServiceClient:
                 "fingerprint": fingerprint,
                 "operation": operation,
                 "params": params or {},
+                "idempotency_key": idempotency_key,
             },
         )
 
@@ -121,18 +230,31 @@ class ServiceClient:
         *,
         timeout: float = 60.0,
         poll_s: float = 0.02,
+        poll_cap_s: float = 0.5,
     ) -> dict:
-        """Poll until the job leaves queued/running; return its view."""
+        """Poll until the job leaves queued/running; return its view.
+
+        The poll interval starts at ``poll_s`` and grows geometrically
+        (with jitter, capped at ``poll_cap_s``), so short jobs return
+        promptly while long jobs do not hammer the server — and a herd
+        of waiting clients does not poll in lockstep.
+        """
         deadline = time.monotonic() + timeout
+        interval = poll_s
         while True:
             view = self.get_job(job_id)
             if view["state"] not in ("queued", "running"):
                 return view
-            if time.monotonic() >= deadline:
+            now = time.monotonic()
+            if now >= deadline:
                 raise ServiceError(
                     f"job {job_id} still {view['state']} after {timeout:g}s"
                 )
-            time.sleep(poll_s)
+            sleep_s = min(
+                self._rng.uniform(interval * 0.5, interval), deadline - now
+            )
+            time.sleep(max(sleep_s, 0.0))
+            interval = min(interval * 1.6, poll_cap_s)
 
     def run(
         self,

@@ -46,6 +46,21 @@ class ServiceConfig:
     default_deadline_s:
         Deadline applied to jobs that do not set one; ``None`` means
         jobs without a deadline run unbounded.
+    fault_plan:
+        Chaos harness: a :class:`~repro.service.faults.FaultPlan` spec
+        (dict), inline JSON, or a path to a JSON file.  ``None`` (the
+        default) falls back to the ``REPRO_FAULT_PLAN`` environment
+        variable, and if that is unset too the shared disabled plan is
+        used — zero injection, (near-)zero overhead.
+    breaker_failures / breaker_cooldown_s:
+        Per-operation circuit breaker: after ``breaker_failures``
+        consecutive infrastructure failures, fresh submissions of that
+        operation fast-fail (HTTP 503 + ``Retry-After``) for
+        ``breaker_cooldown_s`` seconds.
+    health_incident_ttl_s:
+        How long after an incident (worker crash, spill quarantine,
+        dataset degradation) ``/healthz`` keeps reporting ``degraded``
+        even once the underlying state has healed.
     """
 
     host: str = "127.0.0.1"
@@ -56,6 +71,10 @@ class ServiceConfig:
     cache_entries: int = 1024
     spill_dir: str | Path | None = None
     default_deadline_s: float | None = None
+    fault_plan: dict | str | None = None
+    breaker_failures: int = 5
+    breaker_cooldown_s: float = 5.0
+    health_incident_ttl_s: float = 60.0
 
     def __post_init__(self) -> None:
         if self.port < 0 or self.port > 65535:
@@ -80,4 +99,17 @@ class ServiceConfig:
             raise ServiceError(
                 "default_deadline_s must be positive or None, got "
                 f"{self.default_deadline_s}"
+            )
+        if self.breaker_failures < 1:
+            raise ServiceError(
+                f"breaker_failures must be >= 1, got {self.breaker_failures}"
+            )
+        if self.breaker_cooldown_s <= 0:
+            raise ServiceError(
+                f"breaker_cooldown_s must be positive, got {self.breaker_cooldown_s}"
+            )
+        if self.health_incident_ttl_s < 0:
+            raise ServiceError(
+                "health_incident_ttl_s must be >= 0, got "
+                f"{self.health_incident_ttl_s}"
             )

@@ -1,0 +1,292 @@
+"""Deterministic fault injection for the service layer (chaos harness).
+
+A :class:`FaultPlan` is a seeded, declarative list of rules deciding
+when named **injection sites** inside the service misbehave.  The plan
+is off by default — ``FaultPlan.from_spec(None)`` returns a shared
+disabled instance whose hooks are no-op attribute lookups, so the
+production hot path pays (almost) nothing — and is only armed
+explicitly via :class:`~repro.service.config.ServiceConfig.fault_plan`
+or the ``REPRO_FAULT_PLAN`` environment variable (inline JSON or a path
+to a JSON file).
+
+A spec looks like::
+
+    {
+      "seed": 42,
+      "rules": [
+        {"site": "jobs.worker_crash", "times": 1},
+        {"site": "http.drop", "probability": 0.25, "times": 5},
+        {"site": "jobs.slow", "delay_s": 0.2}
+      ]
+    }
+
+Rule fields: ``site`` (required, see the table below), ``probability``
+(chance each eligible evaluation fires, default 1.0), ``times`` (max
+fires, default unlimited; 0 keeps the framework armed without ever
+firing — the "enabled but idle" overhead-benchmark mode), ``skip``
+(ignore the first k eligible evaluations, so "crash the 3rd job" is
+``{"skip": 2, "times": 1}``), and ``delay_s`` (sleep before acting, the
+payload of the slow/stall sites).
+
+Injection sites and their effects:
+
+==========================  ==================================================
+site                        effect when fired
+==========================  ==================================================
+``cache.spill_read_corrupt``  a spill read sees torn/garbage content
+``cache.spill_write_torn``    the just-written spill file is truncated on
+                              disk (as if a crash tore it post-rename)
+``registry.reingest``         re-ingesting an evicted dataset raises (source
+                              vanished mid-read)
+``jobs.worker_crash``         the claimed worker thread dies mid-job
+                              (``WorkerCrashInjection``, a BaseException that
+                              sails past ``except Exception``)
+``jobs.slow``                 the job sleeps ``delay_s`` before computing
+``jobs.oom``                  the exact mine raises ``MemoryError``
+                              (triggers the sketch-backend fallback)
+``http.drop``                 the connection is closed with no response
+``http.stall``                the response is delayed by ``delay_s``
+``http.truncate``             only half the response body is sent
+==========================  ==================================================
+
+Determinism: all probability draws come from one seeded
+``random.Random``; the same spec against the same request sequence
+fires the same faults.  Every evaluation and fire is counted per site
+(:meth:`FaultPlan.stats`, surfaced under ``/stats`` → ``faults``).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+import time
+from pathlib import Path
+
+from repro.errors import InjectedFaultError, ServiceError
+
+#: Every site the service's code threads a hook through.  Unknown sites
+#: in a spec are rejected up front — a typo'd rule that can never fire
+#: would otherwise silently void a chaos test.
+KNOWN_SITES = (
+    "cache.spill_read_corrupt",
+    "cache.spill_write_torn",
+    "registry.reingest",
+    "jobs.worker_crash",
+    "jobs.slow",
+    "jobs.oom",
+    "http.drop",
+    "http.stall",
+    "http.truncate",
+)
+
+
+class WorkerCrashInjection(BaseException):
+    """Simulated death of a worker thread.
+
+    Deliberately a ``BaseException`` so it escapes the job runner's
+    ``except Exception`` catch-all exactly like a real thread-killing
+    condition would, and is only caught by the worker supervisor.
+    """
+
+
+class _Rule:
+    """One parsed fault rule with its firing state."""
+
+    __slots__ = ("site", "probability", "times", "skip", "delay_s",
+                 "evaluated", "fired", "skipped")
+
+    def __init__(self, raw: dict, index: int) -> None:
+        if not isinstance(raw, dict):
+            raise ServiceError(f"fault rule #{index} must be an object, got {raw!r}")
+        unknown = set(raw) - {"site", "probability", "times", "skip", "delay_s"}
+        if unknown:
+            raise ServiceError(
+                f"fault rule #{index} has unknown field(s) {sorted(unknown)}"
+            )
+        site = raw.get("site")
+        if site not in KNOWN_SITES:
+            raise ServiceError(
+                f"fault rule #{index} names unknown site {site!r}; known: "
+                + ", ".join(KNOWN_SITES)
+            )
+        self.site = site
+        self.probability = float(raw.get("probability", 1.0))
+        if not 0.0 <= self.probability <= 1.0:
+            raise ServiceError(
+                f"fault rule #{index}: probability must be in [0, 1], got "
+                f"{self.probability}"
+            )
+        times = raw.get("times")
+        if times is not None and (not isinstance(times, int) or times < 0):
+            raise ServiceError(
+                f"fault rule #{index}: times must be a non-negative integer, "
+                f"got {times!r}"
+            )
+        self.times = times  # None: unlimited
+        self.skip = int(raw.get("skip", 0))
+        if self.skip < 0:
+            raise ServiceError(
+                f"fault rule #{index}: skip must be >= 0, got {self.skip}"
+            )
+        self.delay_s = float(raw.get("delay_s", 0.0))
+        if self.delay_s < 0:
+            raise ServiceError(
+                f"fault rule #{index}: delay_s must be >= 0, got {self.delay_s}"
+            )
+        self.evaluated = 0
+        self.fired = 0
+        self.skipped = 0
+
+    def exhausted(self) -> bool:
+        return self.times is not None and self.fired >= self.times
+
+
+class FaultPlan:
+    """Seeded, declarative fault schedule for the service's injection sites."""
+
+    def __init__(self, spec: dict | None = None) -> None:
+        spec = dict(spec or {})
+        unknown = set(spec) - {"seed", "rules"}
+        if unknown:
+            raise ServiceError(
+                f"fault plan has unknown field(s) {sorted(unknown)}; "
+                "expected 'seed' and 'rules'"
+            )
+        rules = spec.get("rules", [])
+        if not isinstance(rules, list):
+            raise ServiceError(f"fault plan 'rules' must be a list, got {rules!r}")
+        self._rules = [_Rule(raw, i) for i, raw in enumerate(rules)]
+        self._by_site: dict[str, list[_Rule]] = {}
+        for rule in self._rules:
+            self._by_site.setdefault(rule.site, []).append(rule)
+        self.seed = int(spec.get("seed", 0))
+        self._rng = random.Random(self.seed)
+        self._lock = threading.Lock()
+        #: Armed at all (the disabled singleton overrides this to False).
+        self.enabled = bool(self._rules)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_spec(cls, spec: "dict | str | FaultPlan | None") -> "FaultPlan":
+        """Resolve a plan from a dict, inline JSON, a JSON file path,
+        a ready plan, or ``None``/empty (the shared disabled plan)."""
+        if spec is None or spec == "":
+            return DISABLED
+        if isinstance(spec, FaultPlan):
+            return spec
+        if isinstance(spec, str):
+            text = spec.strip()
+            if not text.startswith("{"):
+                try:
+                    text = Path(text).read_text()
+                except OSError as exc:
+                    raise ServiceError(
+                        f"cannot read fault plan file {spec!r}: {exc}"
+                    ) from exc
+            try:
+                spec = json.loads(text)
+            except json.JSONDecodeError as exc:
+                raise ServiceError(f"fault plan is not valid JSON: {exc}") from exc
+        if not isinstance(spec, dict):
+            raise ServiceError(
+                f"fault plan must be a JSON object, got {type(spec).__name__}"
+            )
+        return cls(spec)
+
+    # ------------------------------------------------------------------
+    # Hooks (called from the injection sites)
+    # ------------------------------------------------------------------
+    def fire(self, site: str) -> "_Rule | None":
+        """Decide whether ``site`` misbehaves now; the caller acts on it.
+
+        Returns the fired rule (the caller reads ``delay_s`` etc.) or
+        ``None``.  Deterministic given the seed and call sequence.
+        """
+        if not self.enabled:
+            return None
+        rules = self._by_site.get(site)
+        if not rules:
+            return None
+        with self._lock:
+            for rule in rules:
+                # Counted even when exhausted (or times=0, the armed-idle
+                # benchmark mode): `evaluated` measures hook traffic, not
+                # eligibility.
+                rule.evaluated += 1
+                if rule.exhausted():
+                    continue
+                if rule.probability < 1.0 and self._rng.random() >= rule.probability:
+                    continue
+                if rule.skipped < rule.skip:
+                    rule.skipped += 1
+                    continue
+                rule.fired += 1
+                return rule
+        return None
+
+    def check(self, site: str) -> None:
+        """Fire-and-act hook for sites with a standard effect.
+
+        Sleeps ``delay_s`` first when set, then raises the site's
+        canonical exception (worker crash, OOM, re-ingest failure);
+        pure-delay sites just return after sleeping.
+        """
+        rule = self.fire(site)
+        if rule is None:
+            return
+        if rule.delay_s:
+            time.sleep(rule.delay_s)
+        if site == "jobs.worker_crash":
+            raise WorkerCrashInjection(f"injected worker crash at {site}")
+        if site == "jobs.oom":
+            raise MemoryError(f"injected out-of-memory at {site}")
+        if site == "registry.reingest":
+            raise InjectedFaultError(
+                f"injected re-ingest failure at {site}: source vanished mid-read"
+            )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """JSON-ready plan summary (``/stats`` → ``faults``)."""
+        with self._lock:
+            sites: dict[str, dict] = {}
+            for rule in self._rules:
+                agg = sites.setdefault(
+                    rule.site, {"evaluated": 0, "fired": 0, "remaining": 0}
+                )
+                agg["evaluated"] += rule.evaluated
+                agg["fired"] += rule.fired
+                if rule.times is None:
+                    agg["remaining"] = None
+                elif agg["remaining"] is not None:
+                    agg["remaining"] += rule.times - rule.fired
+            return {
+                "enabled": self.enabled,
+                "seed": self.seed,
+                "rules": len(self._rules),
+                "total_fired": sum(r.fired for r in self._rules),
+                "sites": sites,
+            }
+
+
+class _DisabledPlan(FaultPlan):
+    """The shared always-off plan: hooks are constant-time no-ops."""
+
+    def __init__(self) -> None:
+        super().__init__(None)
+        self.enabled = False
+
+    def fire(self, site: str) -> None:  # noqa: ARG002 - uniform signature
+        return None
+
+    def check(self, site: str) -> None:  # noqa: ARG002
+        return None
+
+
+#: Shared disabled plan — what every component defaults to.
+DISABLED = _DisabledPlan()

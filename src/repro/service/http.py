@@ -22,17 +22,30 @@ Routes (all request/response bodies are JSON):
 =========================  ====================================================
 
 Errors are JSON too: ``{"error": "..."}`` with 400 (bad request), 404
-(unknown dataset/job/route), 503 (queue full), or 500 (unexpected).
-The handler threads do no compute beyond registration ingest — jobs run
-on the worker pool, so slow mining never starves the accept loop.
+(unknown dataset/job/route), 409 (degraded dataset — re-register to
+heal), 503 (queue full or circuit breaker open, with a ``Retry-After``
+header), or 500 (unexpected).  The handler threads do no compute beyond
+registration ingest — jobs run on the worker pool, so slow mining never
+starves the accept loop.
+
+Chaos hooks: when a :class:`~repro.service.faults.FaultPlan` is armed,
+``_send_json`` threads the ``http.drop`` (connection closed with no
+response), ``http.stall`` (response delayed), and ``http.truncate``
+(half the body, then close) sites — all *after* the request was
+processed, which is exactly the window where client retries need
+idempotency to be safe.
 """
 
 from __future__ import annotations
 
 import json
+import math
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.errors import (
+    CircuitOpenError,
+    DatasetDegradedError,
     QueueFullError,
     ReproError,
     ServiceError,
@@ -69,26 +82,53 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
     def service(self):
         return self.server.service
 
-    def _send_json(self, status: int, payload: dict) -> None:
+    def _send_json(
+        self, status: int, payload: dict, *, retry_after: float | None = None
+    ) -> None:
+        faults = self.service.faults
+        truncate = False
+        if faults.enabled:
+            if faults.fire("http.drop"):
+                # Chaos: the connection dies before any response byte.
+                # The request WAS processed — the client's retry is what
+                # the idempotency machinery must make safe.
+                self.close_connection = True
+                return
+            stall = faults.fire("http.stall")
+            if stall is not None and stall.delay_s:
+                time.sleep(stall.delay_s)
+            truncate = faults.fire("http.truncate") is not None
         body = json.dumps(payload, indent=2, sort_keys=True).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
         if status == 503:
-            self.send_header("Retry-After", "1")
-        if self.close_connection:
+            # Queue-full keeps the legacy fixed hint; breaker-open
+            # advertises its actual remaining cooldown (rounded up —
+            # Retry-After is integer seconds and "0" invites a hot loop).
+            seconds = 1 if retry_after is None else max(1, math.ceil(retry_after))
+            self.send_header("Retry-After", str(seconds))
+        if truncate or self.close_connection:
             self.send_header("Connection", "close")
         self.end_headers()
+        if truncate:
+            # Chaos: half the promised Content-Length, then close — the
+            # client sees an IncompleteRead and must retry, not parse.
+            self.close_connection = True
+            self.wfile.write(body[: max(len(body) // 2, 1)])
+            return
         self.wfile.write(body)
 
-    def _send_error_json(self, status: int, message: str) -> None:
+    def _send_error_json(
+        self, status: int, message: str, *, retry_after: float | None = None
+    ) -> None:
         # Error paths cannot always prove the request body was consumed
         # (unknown route, oversized/garbled body), and an unread body on
         # a kept-alive HTTP/1.1 connection desyncs it — the leftover
         # bytes get parsed as the next request line.  Closing after any
         # error response is always legal and costs one reconnect.
         self.close_connection = True
-        self._send_json(status, {"error": message})
+        self._send_json(status, {"error": message}, retry_after=retry_after)
 
     def _read_json_body(self) -> dict:
         raw_length = self.headers.get("Content-Length") or "0"
@@ -160,8 +200,15 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                 self._send_error_json(404, f"no such route: POST {self.path}")
         except QueueFullError as exc:
             self._send_error_json(503, str(exc))
+        except CircuitOpenError as exc:
+            self._send_error_json(503, str(exc), retry_after=exc.retry_after_s)
         except UnknownDatasetError as exc:
             self._send_error_json(404, str(exc))
+        except DatasetDegradedError as exc:
+            # Retrying cannot help: the dataset's source is gone or
+            # changed.  409 (not 503) so resilient clients fail fast
+            # with the typed message instead of burning their retries.
+            self._send_error_json(409, str(exc))
         except ReproError as exc:
             # Bad CSVs, bad params, bad schemas: client errors, not 500s.
             self._send_error_json(400, str(exc))
@@ -216,5 +263,12 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         params = body.get("params") or {}
         if not isinstance(params, dict):
             raise ServiceError(f"params must be a JSON object, got {params!r}")
-        job = self.service.jobs.submit(fingerprint, operation, params)
+        idempotency_key = body.get("idempotency_key")
+        if idempotency_key is not None and not isinstance(idempotency_key, str):
+            raise ServiceError(
+                f"idempotency_key must be a string, got {idempotency_key!r}"
+            )
+        job = self.service.jobs.submit(
+            fingerprint, operation, params, idempotency_key=idempotency_key
+        )
         self._send_json(200 if job.state == "done" else 202, job.describe())

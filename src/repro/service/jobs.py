@@ -23,8 +23,27 @@ its deadline is failed as ``timeout`` without computing, and one that
 starts in time hands the remaining budget to the search context
 (:meth:`~repro.discovery.context.SearchContext.create` via
 ``deadline_at``), so an expiring search returns its best-so-far schema
-with ``partial: true``.  Timed-out and partial results are **never
-cached** — a retry with a larger budget must recompute.
+with ``partial: true``.  Timed-out, partial, and degraded results are
+**never cached** — a retry with a larger budget must recompute.
+
+Resilience (see ``docs/robustness.md``):
+
+* **Worker supervision** — each worker runs under a supervisor that
+  catches a thread-killing escape (anything ``_run_job``'s catch-all
+  does not absorb, including the injected
+  :class:`~repro.service.faults.WorkerCrashInjection`), fails the
+  in-flight job with a structured ``worker_crashed`` reason, and
+  respawns a replacement thread, so the pool never silently shrinks.
+* **Circuit breaker** — per operation: ``breaker_failures`` consecutive
+  *infrastructure* failures (worker crashes, internal errors, degraded
+  datasets — never client errors or timeouts) open the breaker, and
+  submissions fast-fail with :class:`~repro.errors.CircuitOpenError`
+  (HTTP 503 + ``Retry-After``) until the cooldown elapses; a success
+  closes it.  Cache hits and coalescing keep serving while open.
+* **Idempotent resubmission** — an optional ``idempotency_key`` maps a
+  retried submit back onto the job the first attempt created, so a
+  client that lost the response (dropped connection) never double-runs
+  work — even for deadline jobs, which deliberately never coalesce.
 """
 
 from __future__ import annotations
@@ -34,11 +53,18 @@ import queue
 import threading
 import time
 import traceback
-from collections import deque
+from collections import OrderedDict, deque
 
-from repro.errors import QueueFullError, ReproError, ServiceError
+from repro.errors import (
+    CircuitOpenError,
+    DatasetDegradedError,
+    QueueFullError,
+    ReproError,
+    ServiceError,
+)
 from repro.factorize.report import validate_report
 from repro.service.cache import ResultCache, canonical_key
+from repro.service.faults import DISABLED, FaultPlan
 from repro.service.operations import canonicalize_params, run_operation
 from repro.service.registry import DatasetRegistry
 
@@ -48,6 +74,59 @@ RUNNING = "running"
 DONE = "done"
 FAILED = "failed"
 TIMEOUT = "timeout"
+
+
+class CircuitBreaker:
+    """Consecutive-failure trip switch for one operation's compute path.
+
+    ``record_failure`` counts *infrastructure* failures; at
+    ``threshold`` consecutive ones the breaker opens for ``cooldown_s``
+    (``check`` returns the remaining cooldown to fast-fail with).  Once
+    the cooldown elapses the breaker is half-open: submissions pass
+    again, and the next success closes it while the next failure
+    re-opens it for a fresh cooldown.  All mutation happens under the
+    owning queue's lock.
+    """
+
+    __slots__ = ("threshold", "cooldown_s", "consecutive", "opened_at", "opens")
+
+    def __init__(self, threshold: int, cooldown_s: float) -> None:
+        self.threshold = threshold
+        self.cooldown_s = cooldown_s
+        self.consecutive = 0
+        self.opened_at: float | None = None  # time.monotonic()
+        self.opens = 0
+
+    def record_failure(self) -> None:
+        self.consecutive += 1
+        if self.consecutive >= self.threshold:
+            if self.opened_at is None:
+                self.opens += 1
+            self.opened_at = time.monotonic()  # (re-)start the cooldown
+
+    def record_success(self) -> None:
+        self.consecutive = 0
+        self.opened_at = None
+
+    def check(self) -> float | None:
+        """Remaining cooldown seconds if open (fast-fail), else ``None``."""
+        if self.opened_at is None:
+            return None
+        remaining = self.opened_at + self.cooldown_s - time.monotonic()
+        return remaining if remaining > 0 else None  # elapsed: half-open
+
+    def describe(self) -> dict:
+        retry_after = self.check()
+        state = "closed"
+        if self.opened_at is not None:
+            state = "open" if retry_after is not None else "half-open"
+        return {
+            "state": state,
+            "consecutive_failures": self.consecutive,
+            "threshold": self.threshold,
+            "opens": self.opens,
+            "retry_after_s": retry_after,
+        }
 
 
 class Job:
@@ -66,6 +145,7 @@ class Job:
         "id",
         "inflight_key",
         "operation",
+        "reason",
         "result",
         "started_at",
         "state",
@@ -101,6 +181,10 @@ class Job:
         self.finished_at: float | None = None
         self.result: dict | None = None
         self.error: str | None = None
+        #: Structured failure class for programmatic clients:
+        #: ``worker_crashed`` | ``dataset_degraded`` | ``shutdown`` |
+        #: ``None`` (success, timeout, or plain operation error).
+        self.reason: str | None = None
         self.cached = False
         self.event = threading.Event()
 
@@ -125,6 +209,8 @@ class Job:
         }
         if self.error is not None:
             view["error"] = self.error
+        if self.reason is not None:
+            view["reason"] = self.reason
         if include_result and self.result is not None:
             view["result"] = self.result
         return view
@@ -151,13 +237,25 @@ class JobQueue:
         max_queue: int = 64,
         default_deadline_s: float | None = None,
         max_finished: int = 4096,
+        faults: FaultPlan | None = None,
+        breaker_failures: int = 5,
+        breaker_cooldown_s: float = 5.0,
     ) -> None:
         if workers < 1:
             raise ServiceError(f"workers must be >= 1, got {workers}")
         if max_finished < 1:
             raise ServiceError(f"max_finished must be >= 1, got {max_finished}")
+        if breaker_failures < 1:
+            raise ServiceError(
+                f"breaker_failures must be >= 1, got {breaker_failures}"
+            )
+        if breaker_cooldown_s <= 0:
+            raise ServiceError(
+                f"breaker_cooldown_s must be positive, got {breaker_cooldown_s}"
+            )
         self._registry = registry
         self._cache = cache
+        self._faults = faults if faults is not None else DISABLED
         self._default_deadline_s = default_deadline_s
         self._queue: queue.Queue[Job | None] = queue.Queue(maxsize=max_queue)
         self._jobs: dict[str, Job] = {}
@@ -168,20 +266,40 @@ class JobQueue:
         self._finished: deque[str] = deque()
         self._max_finished = max_finished
         self._inflight: dict[str, Job] = {}  # cache_key → live deadline-free job
+        #: idempotency_key → job id, bounded like finished-job retention.
+        self._idempotency: OrderedDict[str, str] = OrderedDict()
         # Reentrant: the submit miss path creates jobs under the lock.
         self._lock = threading.RLock()
         self._ids = itertools.count(1)
         self.coalesced = 0
+        self.idempotent_replays = 0
         self.completed = {DONE: 0, FAILED: 0, TIMEOUT: 0}
+        self.worker_crashes = 0
+        self.worker_respawns = 0
+        self.last_crash_at: float | None = None  # time.monotonic()
+        self._breakers = {
+            operation: CircuitBreaker(breaker_failures, breaker_cooldown_s)
+            for operation in ("mine", "analyze", "decompose")
+        }
         self._closed = False
-        self._workers = [
-            threading.Thread(
-                target=self._worker_loop, name=f"repro-job-worker-{i}", daemon=True
-            )
-            for i in range(workers)
-        ]
-        for worker in self._workers:
-            worker.start()
+        self._configured_workers = workers
+        self._workers: list[threading.Thread] = [None] * workers  # type: ignore[list-item]
+        for index in range(workers):
+            self._spawn_worker(index)
+
+    def _spawn_worker(self, index: int) -> None:
+        thread = threading.Thread(
+            target=self._worker_main,
+            args=(index,),
+            name=f"repro-job-worker-{index}",
+            daemon=True,
+        )
+        # Start before publishing: a concurrent shutdown() snapshots
+        # self._workers to join, and joining a never-started thread is
+        # a RuntimeError.
+        thread.start()
+        with self._lock:
+            self._workers[index] = thread
 
     # ------------------------------------------------------------------
     # Submission
@@ -191,10 +309,34 @@ class JobQueue:
         fingerprint: str,
         operation: str,
         params: dict | None = None,
+        *,
+        idempotency_key: str | None = None,
     ) -> Job:
-        """Create (or coalesce into, or answer from cache) one job."""
+        """Create (or coalesce into, replay, or answer from cache) one job.
+
+        ``idempotency_key`` is a client-chosen token: a submit retried
+        with the same token returns the job the first attempt created
+        (whatever its state), so a client whose connection dropped after
+        submission never double-runs work.
+        """
         if self._closed:
             raise ServiceError("job queue is shut down")
+        if idempotency_key is not None:
+            if not isinstance(idempotency_key, str) or not (
+                0 < len(idempotency_key) <= 200
+            ):
+                raise ServiceError(
+                    "idempotency_key must be a non-empty string of at most "
+                    f"200 characters, got {idempotency_key!r}"
+                )
+            with self._lock:
+                replayed_id = self._idempotency.get(idempotency_key)
+                replayed = (
+                    self._jobs.get(replayed_id) if replayed_id is not None else None
+                )
+                if replayed is not None:
+                    self.idempotent_replays += 1
+                    return replayed
         params = dict(params or {})
         workers = params.pop("workers", None)
         if workers is not None and (
@@ -239,6 +381,7 @@ class JobQueue:
             with self._lock:
                 self.completed[DONE] += 1
                 self._record_finished(job)
+                self._record_idempotency(idempotency_key, job)
             return job
 
         with self._lock:
@@ -249,7 +392,26 @@ class JobQueue:
             )
             if inflight is not None:
                 self.coalesced += 1
+                self._record_idempotency(idempotency_key, inflight)
                 return inflight
+            # The breaker guards only fresh compute: cache hits and
+            # coalescing keep serving while it is open — that is the
+            # graceful part of the degradation.
+            breaker = self._breakers[operation]
+            retry_after = breaker.check()
+            if retry_after is not None:
+                raise CircuitOpenError(
+                    f"{operation} circuit breaker is open after "
+                    f"{breaker.consecutive} consecutive infrastructure "
+                    f"failures; retry in {retry_after:.1f}s",
+                    retry_after_s=retry_after,
+                )
+            if self._closed:
+                # Re-checked under the lock: shutdown sets the flag and
+                # then drains, so a submit racing it either lands before
+                # the drain (and is failed by it) or is rejected here —
+                # never enqueued onto a dead pool.
+                raise ServiceError("job queue is shut down")
             job = self._new_job(
                 fingerprint, operation, canonical, key,
                 deadline_s=deadline_s, workers=workers,
@@ -268,7 +430,17 @@ class JobQueue:
             if inflight_key is not None:
                 job.inflight_key = inflight_key
                 self._inflight[inflight_key] = job
+            self._record_idempotency(idempotency_key, job)
         return job
+
+    def _record_idempotency(self, token: str | None, job: Job) -> None:
+        """Remember token → job id, bounded (caller holds the lock)."""
+        if token is None:
+            return
+        self._idempotency[token] = job.id
+        self._idempotency.move_to_end(token)
+        while len(self._idempotency) > self._max_finished:
+            self._idempotency.popitem(last=False)
 
     def _new_job(
         self,
@@ -320,12 +492,46 @@ class JobQueue:
                 "waiting": self._queue.qsize(),
                 "max_queue": self._queue.maxsize,
                 "workers": len(self._workers),
+                "workers_alive": sum(
+                    1
+                    for worker in self._workers
+                    if worker is not None and worker.is_alive()
+                ),
                 "coalesced": self.coalesced,
+                "idempotent_replays": self.idempotent_replays,
+                "worker_crashes": self.worker_crashes,
+                "worker_respawns": self.worker_respawns,
+                "breakers": {
+                    operation: breaker.describe()
+                    for operation, breaker in self._breakers.items()
+                },
             }
 
     # ------------------------------------------------------------------
     # Worker pool
     # ------------------------------------------------------------------
+    def _worker_main(self, index: int) -> None:
+        """Supervisor shell: respawn the worker when its loop crashes.
+
+        ``_worker_loop`` only escapes on a clean sentinel (return) or a
+        thread-killing exception — a real one, or the chaos harness's
+        :class:`WorkerCrashInjection`.  Either way the in-flight job was
+        already failed with a ``worker_crashed`` reason by the loop's
+        finalizer; the supervisor's job is to account for the death and
+        put a replacement thread in the pool.
+        """
+        try:
+            self._worker_loop()
+        except BaseException:
+            with self._lock:
+                self.worker_crashes += 1
+                self.last_crash_at = time.monotonic()
+                closed = self._closed
+            if not closed:
+                with self._lock:
+                    self.worker_respawns += 1
+                self._spawn_worker(index)
+
     def _worker_loop(self) -> None:
         while True:
             job = self._queue.get()
@@ -333,7 +539,24 @@ class JobQueue:
                 self._queue.task_done()
                 return
             try:
+                self._faults.check("jobs.worker_crash")
                 self._run_job(job)
+            except BaseException as exc:
+                # The thread is dying mid-job (only BaseExceptions reach
+                # here; _run_job absorbs ordinary ones).  Fail the job
+                # with a structured reason so its waiters see a typed
+                # outcome instead of hanging, then let the supervisor
+                # respawn the worker.
+                if not job.event.is_set():
+                    job.error = (
+                        f"worker thread crashed while running the job: "
+                        f"{type(exc).__name__}: {exc}"
+                    )
+                    job.reason = "worker_crashed"
+                    with self._lock:
+                        self._breakers[job.operation].record_failure()
+                    job._finish(FAILED)
+                raise
             finally:
                 with self._lock:
                     if job.inflight_key is not None:
@@ -357,6 +580,7 @@ class JobQueue:
             return
         job.state = RUNNING
         try:
+            self._faults.check("jobs.slow")
             relation = self._registry.relation(job.fingerprint)
             payload = run_operation(
                 relation,
@@ -364,9 +588,13 @@ class JobQueue:
                 job.canonical_params,
                 deadline_at=job.deadline_at,
                 workers=job.workers,
+                faults=self._faults,
             )
             validate_report(payload)
-            if not payload.get("partial"):
+            if not payload.get("partial") and not payload.get("degraded"):
+                # Partial (deadline-expired) and degraded (sketch
+                # fallback) results are never cached: a retry under
+                # better conditions must recompute the exact answer.
                 self._cache.put(
                     job.cache_key,
                     payload,
@@ -377,12 +605,28 @@ class JobQueue:
                     },
                 )
             job.result = payload
+            with self._lock:
+                self._breakers[job.operation].record_success()
             job._finish(DONE)
+        except DatasetDegradedError as exc:
+            # Infrastructure, not the client's fault: counts toward the
+            # breaker so a registry with a vanished source fast-fails
+            # instead of re-ingest-storming on every request.
+            job.error = str(exc)
+            job.reason = "dataset_degraded"
+            with self._lock:
+                self._breakers[job.operation].record_failure()
+            job._finish(FAILED)
         except ReproError as exc:
+            # Client errors (bad schema, bad params): the breaker stays
+            # untouched — one misbehaving client must not trip the pool
+            # shut for everyone else.
             job.error = str(exc)
             job._finish(FAILED)
         except Exception as exc:  # never kill a worker thread
             job.error = f"internal error: {exc}"
+            with self._lock:
+                self._breakers[job.operation].record_failure()
             traceback.print_exc()
             job._finish(FAILED)
 
@@ -392,11 +636,16 @@ class JobQueue:
         Queued-but-unstarted jobs are failed immediately (never left
         hanging for waiters), so the shutdown sentinels reach the
         workers without blocking behind pending work; workers still
-        finish the job they are currently running.
+        finish the job they are currently running.  Idempotent: a
+        second call returns immediately.  Safe against racing submits:
+        the closed flag flips under the queue lock, so a concurrent
+        submit either lands before the drain (and is failed by it) or
+        is rejected with a typed error — never silently dropped.
         """
-        if self._closed:
-            return
-        self._closed = True
+        with self._lock:
+            if self._closed:
+                return  # double-shutdown is a no-op
+            self._closed = True
         while True:
             try:
                 job = self._queue.get_nowait()
@@ -405,6 +654,7 @@ class JobQueue:
             if job is None:
                 continue
             job.error = "server shut down before the job started"
+            job.reason = "shutdown"
             with self._lock:
                 if job.inflight_key is not None:
                     self._inflight.pop(job.inflight_key, None)
@@ -412,7 +662,9 @@ class JobQueue:
                 self._record_finished(job)
             job._finish(FAILED)
             self._queue.task_done()
-        for _ in self._workers:
+        with self._lock:
+            workers = [w for w in self._workers if w is not None]
+        for _ in workers:
             try:
                 # Bounded wait: with max_queue < workers the sentinels
                 # only fit as workers drain them.  Workers stuck on a
@@ -422,5 +674,5 @@ class JobQueue:
             except queue.Full:
                 break
         if wait:
-            for worker in self._workers:
+            for worker in workers:
                 worker.join(timeout=10)

@@ -27,6 +27,7 @@ from repro.info.backends import available_backends, make_backend
 from repro.info.engine import EntropyEngine
 from repro.jointrees.build import jointree_from_schema
 from repro.relations.relation import Relation
+from repro.service.faults import DISABLED, FaultPlan
 
 OPERATIONS = ("mine", "analyze", "decompose")
 
@@ -163,30 +164,52 @@ def _resolve_backend(canonical: dict):
     return make_backend(canonical["backend"], chunk_rows=canonical["chunk_rows"])
 
 
-def run_operation(
+def _mine_with_fallback(
     relation: Relation,
-    operation: str,
     canonical: dict,
+    backend,
     *,
-    deadline_at: float | None = None,
-    workers: int | None = None,
-) -> dict:
-    """Execute one canonical operation; return its CLI-shaped JSON report.
+    workers: int | None,
+    deadline_at: float | None,
+    faults: FaultPlan,
+):
+    """Mine, degrading from exact to the sketch backend on ``MemoryError``.
 
-    ``deadline_at`` (absolute ``time.monotonic()``) bounds the mining
-    search via the context plumbing; when mining runs out of time the
-    payload is marked ``"partial": true`` (and the job layer withholds
-    it from the cache).  ``workers`` requests fork-pool split scoring
-    inside this worker.
+    Graceful degradation: an exact mine that exhausts memory (real or
+    injected via the ``jobs.oom`` fault site) is retried once on the
+    bounded-memory sketch backend instead of failing the job.  Returns
+    ``(mined, degradation_reason)`` — the reason is ``None`` when the
+    primary attempt succeeded, and the job layer never caches a
+    degraded (approximate-when-exact-was-asked-for) report.
     """
-    start = time.perf_counter()
-    backend = _resolve_backend(canonical)
-    # Sampled immediately after each mining call: the deadline bounds the
-    # *search*, so time spent afterwards (report assembly, materializing
-    # a decomposition) must not retroactively mark a complete result
-    # partial.
-    mining_ran_out = False
-    if operation == "mine":
+    try:
+        faults.check("jobs.oom")
+        return (
+            mine_jointree(
+                relation,
+                threshold=canonical["threshold"],
+                max_separator_size=canonical["max_separator"],
+                strategy=canonical["strategy"],
+                workers=workers,
+                deadline_at=deadline_at,
+                seed=canonical["seed"],
+                backend=backend,
+            ),
+            None,
+        )
+    except MemoryError as exc:
+        if canonical["backend"] != "exact":
+            # Already on the bounded-memory backend: nothing cheaper to
+            # fall back to, so surface a typed error instead of looping.
+            raise ServiceError(
+                f"mining ran out of memory on the "
+                f"{canonical['backend']!r} backend: {exc}"
+            ) from exc
+        reason = (
+            f"exact mine ran out of memory ({exc}); "
+            "fell back to the sketch backend"
+        )
+        fallback = make_backend("sketch", chunk_rows=canonical["chunk_rows"])
         mined = mine_jointree(
             relation,
             threshold=canonical["threshold"],
@@ -195,7 +218,48 @@ def run_operation(
             workers=workers,
             deadline_at=deadline_at,
             seed=canonical["seed"],
-            backend=backend,
+            backend=fallback,
+        )
+        return mined, reason
+
+
+def run_operation(
+    relation: Relation,
+    operation: str,
+    canonical: dict,
+    *,
+    deadline_at: float | None = None,
+    workers: int | None = None,
+    faults: FaultPlan | None = None,
+) -> dict:
+    """Execute one canonical operation; return its CLI-shaped JSON report.
+
+    ``deadline_at`` (absolute ``time.monotonic()``) bounds the mining
+    search via the context plumbing; when mining runs out of time the
+    payload is marked ``"partial": true`` (and the job layer withholds
+    it from the cache).  ``workers`` requests fork-pool split scoring
+    inside this worker.  ``faults`` threads the chaos harness through
+    the compute path (``jobs.oom``); an exact mine that runs out of
+    memory degrades to the sketch backend and the payload is marked
+    ``"degraded": true`` (also withheld from the cache).
+    """
+    start = time.perf_counter()
+    backend = _resolve_backend(canonical)
+    faults = faults if faults is not None else DISABLED
+    # Sampled immediately after each mining call: the deadline bounds the
+    # *search*, so time spent afterwards (report assembly, materializing
+    # a decomposition) must not retroactively mark a complete result
+    # partial.
+    mining_ran_out = False
+    degradation: str | None = None
+    if operation == "mine":
+        mined, degradation = _mine_with_fallback(
+            relation,
+            canonical,
+            backend,
+            workers=workers,
+            deadline_at=deadline_at,
+            faults=faults,
         )
         mining_ran_out = (
             deadline_at is not None and time.monotonic() >= deadline_at
@@ -239,15 +303,13 @@ def run_operation(
             tree = jointree_from_schema(parse_schema_text(canonical["schema"]))
         else:
             strategy = canonical["strategy"]
-            mined = mine_jointree(
+            mined, degradation = _mine_with_fallback(
                 relation,
-                threshold=canonical["threshold"],
-                max_separator_size=canonical["max_separator"],
-                strategy=strategy,
+                canonical,
+                backend,
                 workers=workers,
                 deadline_at=deadline_at,
-                seed=canonical["seed"],
-                backend=backend,
+                faults=faults,
             )
             mining_ran_out = (
                 deadline_at is not None and time.monotonic() >= deadline_at
@@ -266,6 +328,12 @@ def run_operation(
         )
         payload.update(report.to_dict())
     payload["backend"] = canonical["backend"]
+    if degradation is not None:
+        # The exact computation the caller asked for did not happen;
+        # flag it loudly and report the backend that actually ran.
+        payload["backend"] = "sketch"
+        payload["degraded"] = True
+        payload["degradation_reason"] = degradation
     if mining_ran_out:
         # Mining is anytime-aware: the report is the best-so-far schema,
         # not necessarily the one an unbounded search would return.

@@ -21,6 +21,13 @@ detected instead of silently served.
 
 Registering identical content twice (same fingerprint) is idempotent:
 one resident copy, one entry, whichever source arrived first.
+
+Crash safety: a re-ingest that fails — source vanished, unreadable, or
+mutated behind the registry's back — **demotes the entry to a degraded
+metadata-only state** (``degraded: true`` plus the reason in its view)
+and raises a typed :class:`~repro.errors.DatasetDegradedError` to the
+caller, instead of crashing the serving thread or retrying blindly.
+A later successful re-ingest or re-registration heals the entry.
 """
 
 from __future__ import annotations
@@ -31,10 +38,11 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.errors import ServiceError, UnknownDatasetError
+from repro.errors import DatasetDegradedError, ServiceError, UnknownDatasetError
 from repro.info.engine import EntropyEngine
 from repro.relations.io import infer_integer_domains, read_csv
 from repro.relations.relation import Relation
+from repro.service.faults import DISABLED, FaultPlan
 
 
 def resident_bytes(relation: Relation) -> int:
@@ -68,6 +76,8 @@ class DatasetEntry:
     relation: Relation | None = None
     hits: int = 0
     reloads: int = 0
+    degraded: bool = False
+    degraded_reason: str | None = None
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     @property
@@ -89,6 +99,8 @@ class DatasetEntry:
             "resident_bytes": self.resident_bytes if self.resident else 0,
             "hits": self.hits,
             "reloads": self.reloads,
+            "degraded": self.degraded,
+            "degraded_reason": self.degraded_reason,
             "chunk_rows": self.chunk_rows,
             "source": self.source,
             "engine": engine_info,
@@ -103,6 +115,7 @@ class DatasetRegistry:
         *,
         memory_budget_bytes: int | None = None,
         spill_dir: str | Path | None = None,
+        faults: FaultPlan | None = None,
     ) -> None:
         if memory_budget_bytes is not None and memory_budget_bytes < 1:
             raise ServiceError(
@@ -111,9 +124,11 @@ class DatasetRegistry:
             )
         self._budget = memory_budget_bytes
         self._spill_dir = Path(spill_dir) if spill_dir is not None else None
+        self._faults = faults if faults is not None else DISABLED
         self._entries: OrderedDict[str, DatasetEntry] = OrderedDict()
         self._lock = threading.RLock()
         self.evictions = 0
+        self.last_degrade_at: float | None = None  # time.monotonic()
 
     # ------------------------------------------------------------------
     # Ingestion
@@ -194,6 +209,9 @@ class DatasetRegistry:
                     entry.relation = relation
                     entry.resident_bytes = resident_bytes(relation)
                     self._evict_over_budget()
+                # Fresh verified content heals a degraded entry.
+                entry.degraded = False
+                entry.degraded_reason = None
                 return entry, False
             entry = DatasetEntry(
                 fingerprint=fingerprint,
@@ -249,26 +267,45 @@ class DatasetRegistry:
             return list(self._entries.values())
 
     def relation(self, fingerprint: str) -> Relation:
-        """The dataset's relation, re-ingesting from source if evicted."""
+        """The dataset's relation, re-ingesting from source if evicted.
+
+        A failed re-ingest (source vanished, unreadable, or mutated)
+        demotes the entry to a degraded metadata-only state and raises
+        :class:`~repro.errors.DatasetDegradedError`; later calls keep
+        retrying the source, so a restored file heals the entry.
+        """
         entry = self._touch(fingerprint)
         with entry._lock:  # one reload per evicted dataset, not per caller
             if entry.relation is not None:
                 return entry.relation
             if entry.source is None:
-                raise ServiceError(
-                    f"dataset {fingerprint!r} was evicted and has no source "
-                    "to re-ingest from (inline upload without a spill dir); "
-                    "re-register it"
+                self._degrade(
+                    entry,
+                    "evicted with no source to re-ingest from (inline "
+                    "upload without a spill dir)",
+                )
+                raise DatasetDegradedError(
+                    f"dataset {fingerprint!r} is degraded: evicted with no "
+                    "source to re-ingest from (inline upload without a "
+                    "spill dir); re-register it"
                 )
             try:
+                self._faults.check("registry.reingest")
                 relation = self._ingest(entry.source, entry.chunk_rows)
             except Exception as exc:
-                raise ServiceError(
-                    f"re-ingesting evicted dataset {fingerprint!r} from "
-                    f"{entry.source} failed: {exc}"
+                self._degrade(entry, f"re-ingest from {entry.source} failed: {exc}")
+                raise DatasetDegradedError(
+                    f"dataset {fingerprint!r} is degraded: re-ingesting "
+                    f"from {entry.source} failed: {exc}; restore the source "
+                    "or re-register the dataset"
                 ) from exc
             if relation.fingerprint() != fingerprint:
-                raise ServiceError(
+                self._degrade(
+                    entry,
+                    f"source {entry.source} changed on disk "
+                    f"(fingerprint {relation.fingerprint()!r})",
+                )
+                raise DatasetDegradedError(
                     f"source {entry.source} changed on disk: re-ingested "
                     f"fingerprint {relation.fingerprint()!r} != registered "
                     f"{fingerprint!r}; re-register the dataset"
@@ -277,9 +314,18 @@ class DatasetRegistry:
                 entry.relation = relation
                 entry.resident_bytes = resident_bytes(relation)
                 entry.reloads += 1
+                entry.degraded = False  # a good source heals the entry
+                entry.degraded_reason = None
                 self._entries.move_to_end(fingerprint)
                 self._evict_over_budget()
             return relation
+
+    def _degrade(self, entry: DatasetEntry, reason: str) -> None:
+        """Demote an entry to metadata-only (caller holds ``entry._lock``)."""
+        with self._lock:
+            entry.degraded = True
+            entry.degraded_reason = reason
+            self.last_degrade_at = time.monotonic()
 
     def engine(self, fingerprint: str) -> EntropyEngine:
         """The dataset's resident exact entropy engine (shared memo)."""
@@ -293,6 +339,11 @@ class DatasetRegistry:
             return sum(
                 e.resident_bytes for e in self._entries.values() if e.resident
             )
+
+    def degraded_count(self) -> int:
+        """How many entries are currently metadata-only and unreloadable."""
+        with self._lock:
+            return sum(e.degraded for e in self._entries.values())
 
     def _evict_over_budget(self) -> None:
         """Drop LRU relations until within budget (caller holds the lock).
@@ -323,6 +374,7 @@ class DatasetRegistry:
                 "resident_bytes": sum(e.resident_bytes for e in resident),
                 "memory_budget_bytes": self._budget,
                 "evictions": self.evictions,
+                "degraded": sum(e.degraded for e in self._entries.values()),
                 "engines": {
                     e.fingerprint: e.relation._engine.cache_info()
                     for e in resident

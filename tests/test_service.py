@@ -529,3 +529,49 @@ class TestJobQueue:
             assert jobs.get(job.id) is job  # newest stays pollable
         finally:
             jobs.shutdown()
+
+    def test_double_shutdown_is_noop(self, tmp_path):
+        _, _, jobs, fp = self.queue_for(tmp_path, workers=1)
+        job = jobs.submit(fp, "mine", {})
+        assert job.wait(10) and job.state == DONE
+        jobs.shutdown(wait=True)
+        jobs.shutdown(wait=True)  # must return immediately, not raise
+        jobs.shutdown(wait=False)
+        with pytest.raises(ServiceError, match="shut down"):
+            jobs.submit(fp, "mine", {"seed": 7})
+
+    def test_shutdown_racing_submits_never_lose_jobs(self, tmp_path):
+        """Submits racing shutdown either land (and are drained to a
+        terminal state) or are rejected with a typed error — no job may
+        end up enqueued on a dead pool, hanging its waiter forever."""
+        _, _, jobs, fp = self.queue_for(tmp_path, workers=2, max_queue=64)
+        accepted: list = []
+        rejected = []
+        start = threading.Barrier(5)
+
+        def submitter(offset):
+            start.wait()
+            for i in range(25):
+                try:
+                    accepted.append(
+                        jobs.submit(fp, "mine", {"seed": offset * 1000 + i})
+                    )
+                except (ServiceError, QueueFullError) as exc:
+                    rejected.append(exc)
+
+        threads = [
+            threading.Thread(target=submitter, args=(k,)) for k in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        start.wait()  # all submitters poised before the shutdown fires
+        jobs.shutdown(wait=True)
+        for thread in threads:
+            thread.join(timeout=10)
+            assert not thread.is_alive()
+        assert accepted or rejected  # the race actually exercised something
+        for job in accepted:
+            assert job.wait(10), f"job {job.id} left hanging by shutdown race"
+            assert job.state in (DONE, FAILED, TIMEOUT)
+        for exc in rejected:
+            assert "shut down" in str(exc) or "full" in str(exc)

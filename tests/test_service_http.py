@@ -223,7 +223,10 @@ class TestJobEndpoints:
     def test_backpressure_maps_to_503(self, tmp_path):
         config = ServiceConfig(port=0, workers=1, max_queue=1)
         with Service(config) as service:
-            client = ServiceClient(f"http://127.0.0.1:{service.port}")
+            # retries=0: the point is the 503 itself, not riding it out.
+            client = ServiceClient(
+                f"http://127.0.0.1:{service.port}", retries=0
+            )
             fp = client.register_dataset(path=str(make_csv(tmp_path)))[
                 "fingerprint"
             ]
@@ -288,6 +291,6 @@ class TestIntrospectionEndpoints:
 
 class TestClientErrors:
     def test_unreachable_server(self):
-        client = ServiceClient("http://127.0.0.1:9", timeout=0.5)
+        client = ServiceClient("http://127.0.0.1:9", timeout=0.5, retries=0)
         with pytest.raises(ServiceError, match="cannot reach"):
             client.healthz()
