@@ -5,7 +5,8 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test bench bench-baseline bench-strategies bench-jmeasure \
-	bench-streaming bench-service bench-gate service-smoke chaos-smoke lint
+	bench-streaming bench-service bench-store bench-gate service-smoke \
+	chaos-smoke lint
 
 ## tier-1 suite (tests only; benchmarks are opt-in via `make bench`)
 test:
@@ -47,6 +48,13 @@ bench-streaming:
 bench-service:
 	BENCH_SERVICE_FULL=1 $(PYTHON) -m pytest \
 		benchmarks/test_bench_service.py -q -s --benchmark-disable
+
+## persistent columnar snapshots vs CSV re-ingest + batch-of-8 vs 8
+## singleton jobs over HTTP; appends a record to BENCH_store.json (see
+## docs/performance.md)
+bench-store:
+	BENCH_STORE_FULL=1 $(PYTHON) -m pytest \
+		benchmarks/test_bench_store.py -q -s --benchmark-disable
 
 ## boot a real `repro-ajd serve` subprocess and drive
 ## register -> mine -> decompose -> warm repeat over HTTP (the CI

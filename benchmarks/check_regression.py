@@ -154,6 +154,35 @@ def fresh_service_faults_idle_ratio() -> float:
     return _fresh_service_metrics()["faults_idle_speedup"]
 
 
+_fresh_store_tier: dict | None = None
+
+
+def _fresh_store_metrics() -> dict:
+    """One store smoke-tier run, shared by both store tracked ops."""
+    global _fresh_store_tier
+    if _fresh_store_tier is None:
+        import tempfile
+
+        from test_bench_store import run_batch_tier, run_store_tier
+
+        with tempfile.TemporaryDirectory() as tmp:
+            _fresh_store_tier = run_store_tier(20_000, 41, Path(tmp))
+            _fresh_store_tier.update(
+                run_batch_tier(20_000, 141, Path(tmp) / "batch.csv")
+            )
+    return _fresh_store_tier
+
+
+def fresh_store_snapshot_speedup() -> float:
+    """Snapshot mmap reload vs CSV re-ingest at the store smoke tier."""
+    return _fresh_store_metrics()["snapshot_vs_csv_reload_speedup"]
+
+
+def fresh_batch_dispatch_speedup() -> float:
+    """Batch-of-8 vs 8 singleton HTTP jobs at the store smoke tier."""
+    return _fresh_store_metrics()["batch_vs_singleton_dispatch_speedup"]
+
+
 def fresh_streaming_rss_ratio() -> float:
     """Eager-vs-stream peak-RSS ratio at the streaming smoke tier."""
     import tempfile
@@ -201,6 +230,18 @@ def baseline_service_faults_idle_ratio() -> float:
     return float(record["tiers"]["n=2e4"]["faults_idle_speedup"])
 
 
+def baseline_store_snapshot_speedup() -> float:
+    record = _last_record(REPO_ROOT / "BENCH_store.json")
+    return float(record["tiers"]["n=2e4"]["snapshot_vs_csv_reload_speedup"])
+
+
+def baseline_batch_dispatch_speedup() -> float:
+    record = _last_record(REPO_ROOT / "BENCH_store.json")
+    return float(
+        record["tiers"]["n=2e4"]["batch_vs_singleton_dispatch_speedup"]
+    )
+
+
 #: name → (baseline extractor, fresh measurement, slack).  All values
 #: are "higher is better" ratios; the gate fails when
 #: fresh < baseline / (factor · slack).  ``slack`` > 1 widens the floor
@@ -238,6 +279,20 @@ TRACKED_OPS = {
     "service/faults_idle_warm_ratio@2e4": (
         baseline_service_faults_idle_ratio,
         fresh_service_faults_idle_ratio,
+        1.5,
+    ),
+    # Snapshot reloads are sub-ms mmap opens vs ~50ms CSV parses, so the
+    # ratio is large but the numerator is noise-prone → widened floor.
+    "store/snapshot_vs_csv_reload_speedup@2e4": (
+        baseline_store_snapshot_speedup,
+        fresh_store_snapshot_speedup,
+        1.5,
+    ),
+    # Both sides are ~100ms of identical compute plus HTTP round trips;
+    # the delta (what the batch saves) is ms-scale → widened floor.
+    "service/batch_vs_singleton_dispatch_speedup@2e4": (
+        baseline_batch_dispatch_speedup,
+        fresh_batch_dispatch_speedup,
         1.5,
     ),
 }

@@ -11,8 +11,14 @@ What the CI ``service-smoke`` job (and ``make service-smoke``) runs:
    every report against the shared CLI report schema;
 4. repeat the identical mine request and assert it is served **from the
    cache** (``cached: true``, bit-identical report, hit-rate > 0);
-5. check ``/healthz`` and ``/stats`` shapes, then shut the server down
-   and require a clean exit.
+5. check ``/healthz`` and ``/stats`` shapes;
+6. submit one **batch** (two cached items + one fresh) via
+   ``POST /jobs/batch`` and require per-item reports;
+7. shut the server down cleanly, boot a **second** server on the same
+   spill directory, and require the dataset to come back from its
+   columnar snapshot (``created: false`` on re-register, a fresh
+   analyze served with ``snapshot_reloads == 1`` and zero CSV
+   re-parses).
 
 Exit codes: 0 ok · 1 assertion failed · 2 infrastructure trouble.
 """
@@ -140,6 +146,54 @@ def main() -> int:
                 f"[smoke] stats ok (hit rate "
                 f"{stats['cache']['hit_rate']:.2f}, "
                 f"{stats['registry']['resident_bytes']} resident bytes)"
+            )
+
+            batch = client.run_batch(
+                fp,
+                [
+                    {"operation": "mine", "params": {"strategy": "beam"}},
+                    {"operation": "analyze", "params": {"schema": "A,C;B,C"}},
+                    {"operation": "analyze", "params": {"schema": "A,B;B,C"}},
+                ],
+            )
+            assert batch["state"] == "done", batch
+            assert batch["n_items"] == 3 and batch["n_failed"] == 0, batch
+            for item in batch["items"]:
+                assert item["state"] == "done", item
+                validate_report(item["result"])
+            print(
+                f"[smoke] batch ok ({batch['n_items']} items, "
+                f"{batch['n_cached']} pre-answered from cache)"
+            )
+        finally:
+            process.terminate()
+            try:
+                process.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait(timeout=10)
+
+        # Restart on the same spill dir: the dataset must come back from
+        # its columnar snapshot, not a CSV re-parse.
+        process, port = start_server(
+            spill_dir, Path(spill_dir) / "server-stderr-restart.log"
+        )
+        try:
+            client = ServiceClient(f"http://127.0.0.1:{port}")
+            dataset = client.register_dataset(path=str(csv_path))
+            assert dataset["created"] is False, dataset
+            assert dataset["fingerprint"] == fp, dataset
+
+            fresh = client.analyze(fp, "A,B;A,C")  # not in the result cache
+            validate_report(fresh)
+            registry = client.stats()["registry"]
+            assert registry["restored_from_snapshot"] >= 1, registry
+            assert registry["snapshot_reloads"] == 1, registry
+            assert registry["csv_reloads"] == 0, registry
+            print(
+                f"[smoke] restart ok (dataset restored from snapshot, "
+                f"{registry['snapshot_reloads']} snapshot reload, "
+                f"{registry['csv_reloads']} csv re-parses)"
             )
         finally:
             process.terminate()

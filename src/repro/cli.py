@@ -16,6 +16,10 @@ Installed as ``repro-ajd`` (see pyproject).  Subcommands:
   [--spill-dir DIR] ...`` — run the decomposition service: an HTTP/JSON
   API with a dataset registry, fingerprint-keyed result cache, and a job
   worker pool (see :mod:`repro.service` and ``docs/service.md``);
+* ``snapshot <csv> <out>`` — write a persistent columnar snapshot of a
+  CSV (mmap-loadable ``.npy`` code arrays + decoders, see
+  :mod:`repro.relations.persist`), so later runs and service restarts
+  reload it without re-parsing;
 * ``experiment <id>|all``              — run a paper experiment (E1–E10);
 * ``version``                          — print the package version.
 
@@ -271,6 +275,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         fault_plan=args.fault_plan,
         breaker_failures=args.breaker_failures,
         breaker_cooldown_s=args.breaker_cooldown,
+        snapshots=not args.no_snapshots,
     )
     service = Service(config)
     if service.faults.enabled:
@@ -322,6 +327,28 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         flush=True,
     )
     service.serve_forever()
+    return 0
+
+
+def _cmd_snapshot(args: argparse.Namespace) -> int:
+    from repro.relations.persist import save_snapshot
+
+    start = time.perf_counter()
+    relation = _load_csv(args)
+    relation = infer_integer_domains(relation)
+    out = save_snapshot(
+        relation, args.out, source=args.csv, extra={"chunk_rows": args.chunk_rows}
+    )
+    _print_json(
+        {
+            "command": "snapshot",
+            "fingerprint": relation.fingerprint(),
+            "n_rows": len(relation),
+            "n_cols": relation.schema.arity,
+            "out": str(out),
+            "wall_time_s": time.perf_counter() - start,
+        }
+    )
     return 0
 
 
@@ -565,7 +592,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds an open circuit breaker fast-fails submissions "
         "before probing again (default: 5)",
     )
+    p_serve.add_argument(
+        "--no-snapshots",
+        action="store_true",
+        help="disable persistent columnar snapshots (the registry then "
+        "always re-ingests evicted datasets from CSV)",
+    )
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_snapshot = sub.add_parser(
+        "snapshot",
+        help="write a persistent columnar snapshot of a CSV (zero-parse "
+        "reloads via Relation.load_snapshot or 'serve --spill-dir')",
+    )
+    p_snapshot.add_argument("csv", help="path to a CSV file with a header row")
+    p_snapshot.add_argument(
+        "out", help="snapshot directory to write (created/replaced atomically)"
+    )
+    _add_ingest_options(p_snapshot)
+    p_snapshot.set_defaults(func=_cmd_snapshot)
 
     p_exp = sub.add_parser("experiment", help="run a paper experiment")
     p_exp.add_argument("id", help="experiment id (E1..E10) or 'all'")

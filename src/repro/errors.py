@@ -60,6 +60,18 @@ class ExperimentError(ReproError):
     """An experiment harness was configured inconsistently."""
 
 
+class SnapshotError(ReproError):
+    """An on-disk columnar snapshot cannot be written or trusted.
+
+    Raised when a snapshot is structurally invalid (bad format marker,
+    version mismatch, truncated arrays, shape/cardinality disagreement),
+    when its recorded fingerprint does not match the expected content,
+    or when a relation's values cannot be represented faithfully on disk
+    (:meth:`repro.relations.relation.Relation.save_snapshot` verifies the
+    round-trip before publishing).  Callers holding the original CSV
+    fall back to re-ingesting it."""
+
+
 class ServiceError(ReproError):
     """The decomposition service was asked for something it cannot do."""
 

@@ -24,6 +24,12 @@ from repro.relations.join import (
 )
 from repro.relations.columns import ColumnStore, GroupIndex
 from repro.relations.io import infer_integer_domains, read_csv, write_csv
+from repro.relations.persist import (
+    atomic_write_text,
+    load_snapshot,
+    read_snapshot_meta,
+    save_snapshot,
+)
 from repro.relations.relation import Relation
 from repro.relations.schema import Attribute, RelationSchema, Row, Value
 from repro.relations.semijoin import (
@@ -50,6 +56,7 @@ __all__ = [
     "Row",
     "Value",
     "acyclic_join_size",
+    "atomic_write_text",
     "cartesian_size",
     "dangling_counts",
     "evaluate_acyclic_join",
@@ -59,12 +66,15 @@ __all__ = [
     "is_globally_consistent",
     "iter_csv_chunks",
     "join_size",
+    "load_snapshot",
     "materialized_acyclic_join",
     "natural_join",
     "natural_join_all",
     "projections_for_tree",
     "read_csv",
+    "read_snapshot_meta",
     "relation_from_chunks",
+    "save_snapshot",
     "semijoin",
     "sniff_header",
     "split_join_size",

@@ -128,10 +128,20 @@ class ColumnStore:
     invalidation.
     """
 
-    __slots__ = ("cards", "codes", "row_list", "_counts", "_decoders", "_encoders", "_groups")
+    __slots__ = (
+        "cards",
+        "codes",
+        "n_rows",
+        "_counts",
+        "_decoders",
+        "_encoders",
+        "_groups",
+        "_row_list",
+    )
 
     def __init__(self, row_list: tuple, arity: int) -> None:
-        self.row_list = row_list
+        self._row_list = row_list
+        self.n_rows = len(row_list)
         columns = list(zip(*row_list)) if row_list else [()] * arity
         codes = []
         cards = []
@@ -161,7 +171,8 @@ class ColumnStore:
         identity-coded columns (``value == code``).
         """
         store = cls.__new__(cls)
-        store.row_list = row_list
+        store._row_list = row_list
+        store.n_rows = len(row_list)
         store.codes = tuple(columns)
         store.cards = tuple(int(c) for c in cards)
         store._decoders = [None] * len(store.codes)
@@ -173,21 +184,28 @@ class ColumnStore:
     @classmethod
     def from_coded_columns(
         cls,
-        row_list: tuple,
+        row_list: tuple | None,
         columns: Sequence[np.ndarray],
         cards: Sequence[int],
         decoders: Sequence[list],
     ) -> "ColumnStore":
         """Seed a store from externally dictionary-coded columns.
 
-        Used by :class:`repro.relations.builder.ColumnStoreBuilder`: the
-        arrays are adopted as dict-coded columns whose ``decoders[j]``
-        lists map each column's codes back to values
-        (``decoders[j][code] = value``), so neither factorization nor
-        value re-encoding runs again.
+        Used by :class:`repro.relations.builder.ColumnStoreBuilder` and
+        the snapshot loader: the arrays are adopted as dict-coded columns
+        whose ``decoders[j]`` lists map each column's codes back to
+        values (``decoders[j][code] = value``), so neither factorization
+        nor value re-encoding runs again.  ``row_list=None`` defers the
+        row-tuple decode until :attr:`row_list` is first read — code-level
+        queries (grouping, entropies) never pay for it.
         """
         store = cls.__new__(cls)
-        store.row_list = row_list
+        store._row_list = row_list
+        store.n_rows = (
+            len(row_list)
+            if row_list is not None
+            else (int(columns[0].shape[0]) if columns else 0)
+        )
         store.codes = tuple(columns)
         store.cards = tuple(int(c) for c in cards)
         store._decoders = list(decoders)
@@ -196,8 +214,26 @@ class ColumnStore:
         store._counts = {}
         return store
 
+    @property
+    def row_list(self) -> tuple:
+        """The decoded row tuples (decoded lazily, once, from the codes)."""
+        row_list = self._row_list
+        if row_list is None:
+            decoded = []
+            for codes, decoder in zip(self.codes, self._decoders):
+                if decoder is None:  # identity coding: value == code
+                    decoded.append(np.asarray(codes).tolist())
+                else:
+                    dec_arr = np.fromiter(
+                        decoder, dtype=object, count=len(decoder)
+                    )
+                    decoded.append(dec_arr[np.asarray(codes)].tolist())
+            row_list = tuple(zip(*decoded)) if self.n_rows else ()
+            self._row_list = row_list
+        return row_list
+
     def __len__(self) -> int:
-        return len(self.row_list)
+        return self.n_rows
 
     def encoder(self, position: int) -> dict:
         """``value → code`` mapping for one column (built lazily)."""

@@ -1,0 +1,610 @@
+"""Persistent columnar snapshots: zero-parse on-disk relations.
+
+A **snapshot** is a directory holding one relation in exactly the form
+the in-memory :class:`~repro.relations.columns.ColumnStore` wants it:
+
+* ``col-NNN.npy`` — one contiguous ``int64`` code array per attribute,
+  written with :func:`numpy.save` so it reloads with
+  ``numpy.load(..., mmap_mode="r")`` — no parsing, no factorization,
+  no per-value coercion;
+* ``meta.json`` — format marker + version, the schema's attribute
+  names, row count, per-column cardinalities, per-column **decoder**
+  lists (``decoder[code] = value``, values tagged by type so ints,
+  floats, strings, bools, and ``None`` round-trip exactly — including
+  ``nan``/``inf`` via ``repr``), the content
+  :meth:`~repro.relations.relation.Relation.fingerprint`, and optional
+  provenance (source CSV path + size + mtime).
+
+Loading rebuilds the relation through
+:meth:`ColumnStore.from_coded_columns` — the same zero-factorization
+path the streaming builder uses — so a reloaded dataset is immediately
+query-ready and **bit-identical** to the one that was saved: same
+fingerprint, same rows, same cardinalities, same decoders.
+
+Fidelity is enforced at *save* time: after deriving the on-disk form,
+:func:`save_snapshot` decodes it back and compares fingerprints; a
+relation whose values cannot round-trip (e.g. the ``1 == True == 1.0``
+hash collapse leaving two repr-distinct values behind one code) raises
+:class:`~repro.errors.SnapshotError` *instead of writing*, so a
+snapshot on disk is always trustworthy and loads do not pay an O(N)
+re-hash.  Loads verify structure (format, version, dtype, shapes, code
+ranges, duplicate-free decode) plus the recorded fingerprint string
+against the caller's expectation; ``verify_content=True`` additionally
+re-hashes the decoded rows (used by tests and one-off audits).
+
+Durability follows the ResultCache spill discipline: every file is
+flushed + fsynced inside a temporary sibling directory which is then
+atomically renamed into place — a hard kill can never leave a torn
+snapshot under the published name.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import SnapshotError
+from repro.relations.columns import ColumnStore
+from repro.relations.schema import Attribute, RelationSchema
+
+FORMAT_NAME = "repro-columnar-snapshot"
+FORMAT_VERSION = 1
+META_FILE = "meta.json"
+MEMO_FILE = "memo.json"
+MEMO_FORMAT_NAME = "repro-entropy-memo"
+
+
+# ----------------------------------------------------------------------
+# Shared crash-safe write helper (also used by the service's cache and
+# registry spills).
+# ----------------------------------------------------------------------
+def atomic_write_text(path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` with fsync-before-atomic-rename.
+
+    The temp file lives beside the target, is flushed and fsynced
+    before the rename, so readers either see the complete new content
+    or whatever was there before — never a torn file.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(
+        path.name + f".tmp{os.getpid()}-{threading.get_ident()}"
+    )
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(text)
+        handle.flush()
+        os.fsync(handle.fileno())
+    tmp.replace(path)
+
+
+def _fsync_file(path: Path) -> None:
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _fsync_dir(path: Path) -> None:
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return  # e.g. platforms refusing O_RDONLY on directories
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+# ----------------------------------------------------------------------
+# Decoder value (de)serialization — tagged so types survive JSON
+# ----------------------------------------------------------------------
+def _tag_value(value) -> list:
+    """``value`` → JSON-safe tagged pair; raises on unsupported types."""
+    if value is None:
+        return ["n"]
+    if isinstance(value, bool):  # before int: bool is an int subclass
+        return ["b", value]
+    if isinstance(value, int):
+        return ["i", value]
+    if isinstance(value, float):
+        # repr is the shortest exact round-trip and covers nan/inf,
+        # which strict JSON cannot carry as numbers.
+        return ["f", repr(value)]
+    if isinstance(value, str):
+        return ["s", value]
+    raise SnapshotError(
+        f"cannot snapshot a value of type {type(value).__name__!r} "
+        f"({value!r}); snapshots support int, float, str, bool, None"
+    )
+
+
+def _untag_value(tagged):
+    if (
+        not isinstance(tagged, list)
+        or not tagged
+        or tagged[0] not in ("n", "b", "i", "f", "s")
+    ):
+        raise SnapshotError(f"malformed decoder value {tagged!r}")
+    kind = tagged[0]
+    if kind == "n":
+        return None
+    if len(tagged) != 2:
+        raise SnapshotError(f"malformed decoder value {tagged!r}")
+    payload = tagged[1]
+    if kind == "b":
+        if not isinstance(payload, bool):
+            raise SnapshotError(f"malformed bool decoder value {tagged!r}")
+        return payload
+    if kind == "i":
+        if isinstance(payload, bool) or not isinstance(payload, int):
+            raise SnapshotError(f"malformed int decoder value {tagged!r}")
+        return payload
+    if kind == "f":
+        try:
+            return float(payload)
+        except (TypeError, ValueError) as exc:
+            raise SnapshotError(
+                f"malformed float decoder value {tagged!r}"
+            ) from exc
+    if not isinstance(payload, str):
+        raise SnapshotError(f"malformed str decoder value {tagged!r}")
+    return payload
+
+
+def _object_array(values, count: int) -> np.ndarray:
+    """1-D object array from ``values`` (safe for any element types)."""
+    return np.fromiter(values, dtype=object, count=count)
+
+
+# ----------------------------------------------------------------------
+# Save
+# ----------------------------------------------------------------------
+def _derive_decoders(relation) -> list[list]:
+    """Per-column ``code → original value`` lists from the live relation.
+
+    Values come from the relation's actual row tuples (not the store's
+    internal decoders) so identity- and unique-coded columns recover
+    the *original* Python objects (an int column ingested as float64 by
+    numpy would otherwise decode ``2`` as ``2.0``).  Codes never hit by
+    any row (identity coding admits gaps) decode to the code itself.
+    """
+    store = relation.columns()
+    row_list = store.row_list
+    n = len(row_list)
+    decoders: list[list] = []
+    for j, card in enumerate(store.cards):
+        dec = np.empty(card, dtype=object)
+        if n:
+            values = _object_array((row[j] for row in row_list), n)
+            codes = store.codes[j]
+            mask = np.zeros(card, dtype=bool)
+            dec[codes] = values
+            mask[codes] = True
+            for code in np.flatnonzero(~mask).tolist():
+                dec[code] = int(code)  # identity gap: value == code
+        decoders.append(dec.tolist())
+    return decoders
+
+
+def save_snapshot(
+    relation,
+    path: str | Path,
+    *,
+    source: str | None = None,
+    extra: dict | None = None,
+) -> Path:
+    """Persist ``relation`` as a verified columnar snapshot at ``path``.
+
+    ``path`` becomes a directory (replaced atomically if it already
+    exists).  ``source`` records provenance (the CSV the relation was
+    ingested from) with its current size/mtime so warm restarts can
+    cheaply detect an unchanged file; ``extra`` is carried verbatim in
+    the metadata (must be JSON-serializable).
+
+    Raises :class:`~repro.errors.SnapshotError` when the relation's
+    values cannot round-trip bit-identically (nothing is written) and
+    on I/O failure (wrapping the underlying ``OSError``).
+    """
+    path = Path(path)
+    store = relation.columns()
+    decoders = _derive_decoders(relation)
+    fingerprint = relation.fingerprint()
+
+    # Fidelity gate: decode the on-disk form back and require the same
+    # content fingerprint.  Catches every repr-changing collapse (1 vs
+    # True vs 1.0 behind one code) before anything is published.
+    rebuilt = _assemble(
+        relation.schema.names,
+        [np.asarray(col) for col in store.codes],
+        list(store.cards),
+        decoders,
+        len(relation),
+        expected_fingerprint=None,
+        domains=False,
+    )
+    if rebuilt.fingerprint() != fingerprint:
+        raise SnapshotError(
+            f"relation does not round-trip through columnar decoding "
+            f"(fingerprint {fingerprint} != {rebuilt.fingerprint()}); "
+            "numerically-colliding values (e.g. 1 vs True vs 1.0) share "
+            "a code — keep the CSV source for this dataset"
+        )
+
+    tagged = [[_tag_value(v) for v in dec] for dec in decoders]
+    column_files = [f"col-{j:03d}.npy" for j in range(len(store.cards))]
+    meta = {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "fingerprint": fingerprint,
+        "attributes": list(relation.schema.names),
+        "n_rows": len(relation),
+        "cards": [int(c) for c in store.cards],
+        "columns": column_files,
+        "decoders": tagged,
+        "created_at": time.time(),
+    }
+    if source is not None:
+        provenance: dict = {"path": str(source)}
+        try:
+            stat = os.stat(source)
+            provenance["size"] = stat.st_size
+            provenance["mtime_ns"] = stat.st_mtime_ns
+        except OSError:
+            pass  # provenance is advisory; the fingerprint is the truth
+        meta["source"] = provenance
+    if extra:
+        meta["extra"] = extra
+
+    tmp = path.with_name(
+        path.name + f".tmp{os.getpid()}-{threading.get_ident()}"
+    )
+    try:
+        if tmp.exists():
+            shutil.rmtree(tmp)
+        tmp.mkdir(parents=True)
+    except OSError as exc:
+        raise SnapshotError(
+            f"cannot create snapshot at {path}: {exc}"
+        ) from exc
+    try:
+        for j, name in enumerate(column_files):
+            with open(tmp / name, "wb") as handle:
+                np.save(handle, np.ascontiguousarray(store.codes[j]))
+                handle.flush()
+                os.fsync(handle.fileno())
+        meta_text = json.dumps(meta, indent=2, sort_keys=True) + "\n"
+        with open(tmp / META_FILE, "w", encoding="utf-8") as handle:
+            handle.write(meta_text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        _fsync_dir(tmp)
+        if path.exists():
+            shutil.rmtree(path)
+        os.replace(tmp, path)
+        _fsync_dir(path.parent)
+    except BaseException as exc:
+        shutil.rmtree(tmp, ignore_errors=True)
+        if isinstance(exc, OSError):
+            raise SnapshotError(
+                f"cannot write snapshot at {path}: {exc}"
+            ) from exc
+        raise
+    return path
+
+
+# ----------------------------------------------------------------------
+# Load
+# ----------------------------------------------------------------------
+def read_snapshot_meta(path: str | Path) -> dict:
+    """Parse and structurally validate a snapshot's ``meta.json``.
+
+    Raises :class:`~repro.errors.SnapshotError` on anything malformed —
+    missing file, bad JSON, wrong format marker, unsupported version,
+    or inconsistent schema/cardinality/decoder structure.
+    """
+    path = Path(path)
+    meta_path = path / META_FILE
+    try:
+        meta = json.loads(meta_path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise SnapshotError(f"cannot read snapshot {path}: {exc}") from exc
+    except ValueError as exc:
+        raise SnapshotError(
+            f"snapshot {path} has corrupt metadata: {exc}"
+        ) from exc
+    if not isinstance(meta, dict) or meta.get("format") != FORMAT_NAME:
+        raise SnapshotError(
+            f"{path} is not a {FORMAT_NAME} snapshot "
+            f"(format={meta.get('format') if isinstance(meta, dict) else meta!r})"
+        )
+    if meta.get("version") != FORMAT_VERSION:
+        raise SnapshotError(
+            f"snapshot {path} has format version {meta.get('version')!r}; "
+            f"this build reads version {FORMAT_VERSION}"
+        )
+    attributes = meta.get("attributes")
+    if (
+        not isinstance(attributes, list)
+        or not attributes
+        or not all(isinstance(a, str) for a in attributes)
+    ):
+        raise SnapshotError(f"snapshot {path} has a malformed attribute list")
+    arity = len(attributes)
+    n_rows = meta.get("n_rows")
+    if isinstance(n_rows, bool) or not isinstance(n_rows, int) or n_rows < 0:
+        raise SnapshotError(f"snapshot {path} has a malformed row count")
+    fingerprint = meta.get("fingerprint")
+    if not isinstance(fingerprint, str) or len(fingerprint) != 32:
+        raise SnapshotError(f"snapshot {path} has a malformed fingerprint")
+    cards = meta.get("cards")
+    if (
+        not isinstance(cards, list)
+        or len(cards) != arity
+        or not all(
+            not isinstance(c, bool) and isinstance(c, int) and c >= 0
+            for c in cards
+        )
+    ):
+        raise SnapshotError(f"snapshot {path} has malformed cardinalities")
+    columns = meta.get("columns")
+    if (
+        not isinstance(columns, list)
+        or len(columns) != arity
+        or not all(
+            isinstance(name, str) and Path(name).name == name
+            for name in columns
+        )
+    ):
+        raise SnapshotError(f"snapshot {path} has a malformed column list")
+    decoders = meta.get("decoders")
+    if (
+        not isinstance(decoders, list)
+        or len(decoders) != arity
+        or not all(
+            isinstance(dec, list) and len(dec) == card
+            for dec, card in zip(decoders, cards)
+        )
+    ):
+        raise SnapshotError(
+            f"snapshot {path} has decoders inconsistent with its "
+            "cardinalities"
+        )
+    return meta
+
+
+def _assemble(
+    names,
+    columns: list[np.ndarray],
+    cards: list[int],
+    decoders: list[list],
+    n_rows: int,
+    *,
+    expected_fingerprint: str | None,
+    domains: bool,
+    lazy: bool = False,
+):
+    """Build a Relation from coded columns + decoders (shared save/load).
+
+    ``lazy=True`` skips decoding the Python row tuples entirely — the
+    relation carries only its coded store, and
+    :attr:`~repro.relations.columns.ColumnStore.row_list` decodes on
+    first tuple-level access.  Store-level consumers (entropy engines,
+    groupings) therefore reload with zero per-row work.
+    """
+    from repro.relations.relation import Relation
+
+    decoded = []
+    attrs = []
+    for name, codes, card, decoder in zip(names, columns, cards, decoders):
+        dec_arr = _object_array(decoder, card)
+        if not lazy:
+            decoded.append(dec_arr[codes].tolist() if n_rows else [])
+        if domains:
+            # An Attribute may not declare an *empty* domain, so an
+            # empty relation keeps open-domain attributes.
+            if n_rows:
+                present = np.unique(codes)
+                attrs.append(
+                    Attribute(name, frozenset(dec_arr[present].tolist()))
+                )
+            else:
+                attrs.append(Attribute(name, None))
+    if lazy:
+        row_list = None
+        rows = None
+    else:
+        row_list = tuple(zip(*decoded)) if n_rows else ()
+        rows = frozenset(row_list)
+        if len(rows) != n_rows:
+            raise SnapshotError(
+                f"decoded rows are not pairwise distinct ({len(rows)} of "
+                f"{n_rows}); the snapshot is corrupt"
+            )
+    schema = (
+        RelationSchema(attrs) if domains else RelationSchema.from_names(names)
+    )
+    relation = Relation.__new__(Relation)
+    relation._schema = schema
+    relation._rows = rows
+    relation._engine = None
+    relation._eval = None
+    relation._fingerprint = expected_fingerprint
+    relation._store = ColumnStore.from_coded_columns(
+        row_list, columns, cards, decoders
+    )
+    return relation
+
+
+def load_snapshot(
+    path: str | Path,
+    *,
+    mmap: bool = True,
+    expected_fingerprint: str | None = None,
+    verify_content: bool = False,
+    domains: bool = False,
+):
+    """Load a relation from a snapshot directory — zero parsing.
+
+    Structural verification always runs: format marker + version, array
+    dtype/shape, code-range-vs-cardinality, decoder consistency.  The
+    Python row tuples are decoded **lazily** on first tuple-level access
+    (a non-duplicate-free decode is rejected there), so store-level
+    consumers — the entropy engine behind every mine/analyze — reload
+    with zero per-row work.  ``expected_fingerprint`` additionally pins
+    the recorded content fingerprint (the registry knows what it
+    admitted); ``verify_content=True`` re-hashes the decoded rows
+    against the recorded fingerprint (O(N); tests and audits only —
+    save already guaranteed it).  ``mmap`` maps the code arrays
+    read-only instead of copying them into memory.  ``domains=True``
+    declares each attribute's active domain on the schema (equivalent
+    to :func:`~repro.relations.io.infer_integer_domains`, computed
+    vectorized from the decoders).
+
+    Raises :class:`~repro.errors.SnapshotError` on any mismatch.
+    """
+    path = Path(path)
+    meta = read_snapshot_meta(path)
+    fingerprint = meta["fingerprint"]
+    if expected_fingerprint is not None and fingerprint != expected_fingerprint:
+        raise SnapshotError(
+            f"snapshot {path} holds fingerprint {fingerprint}, expected "
+            f"{expected_fingerprint}"
+        )
+    n_rows = meta["n_rows"]
+    cards = meta["cards"]
+    columns: list[np.ndarray] = []
+    for name, card in zip(meta["columns"], cards):
+        try:
+            arr = np.load(
+                path / name,
+                mmap_mode="r" if mmap else None,
+                allow_pickle=False,
+            )
+        except (OSError, ValueError) as exc:
+            raise SnapshotError(
+                f"snapshot column {path / name} is unreadable: {exc}"
+            ) from exc
+        if arr.dtype != np.int64 or arr.ndim != 1 or arr.shape[0] != n_rows:
+            raise SnapshotError(
+                f"snapshot column {path / name} has dtype {arr.dtype} and "
+                f"shape {arr.shape}; expected int64 of shape ({n_rows},)"
+            )
+        if n_rows and (int(arr.min()) < 0 or int(arr.max()) >= card):
+            raise SnapshotError(
+                f"snapshot column {path / name} has codes outside "
+                f"[0, {card}); the snapshot is corrupt"
+            )
+        columns.append(arr)
+    decoders = [
+        [_untag_value(tagged) for tagged in dec] for dec in meta["decoders"]
+    ]
+    relation = _assemble(
+        meta["attributes"],
+        columns,
+        cards,
+        decoders,
+        n_rows,
+        expected_fingerprint=fingerprint,
+        domains=domains,
+        lazy=True,
+    )
+    if verify_content:
+        relation._fingerprint = None
+        if relation.fingerprint() != fingerprint:
+            raise SnapshotError(
+                f"snapshot {path} content hashes to "
+                f"{relation.fingerprint()}, metadata records {fingerprint}"
+            )
+    return relation
+
+
+def quarantine_snapshot(path: str | Path) -> Path | None:
+    """Move a poisoned snapshot directory aside into ``quarantine/``.
+
+    Returns the new location, or ``None`` when the move failed (best
+    effort — the caller treats the snapshot as missing either way).
+    """
+    path = Path(path)
+    try:
+        target_dir = path.parent / "quarantine"
+        target_dir.mkdir(parents=True, exist_ok=True)
+        target = target_dir / path.name
+        suffix = 0
+        while target.exists():
+            suffix += 1
+            target = target_dir / f"{path.name}.{suffix}"
+        path.replace(target)
+        return target
+    except OSError:
+        return None
+
+
+# ----------------------------------------------------------------------
+# Entropy-memo sidecar
+# ----------------------------------------------------------------------
+def save_engine_memo(snapshot_path: str | Path, engine) -> bool:
+    """Spill an engine's entropy memo beside a snapshot (atomic write).
+
+    Returns ``False`` (writing nothing) when the memo is empty.  The
+    memo is advisory warm-start state: its loss is a performance event,
+    never a correctness one.
+    """
+    entries = engine.cache_snapshot()
+    if not entries:
+        return False
+    document = {
+        "format": MEMO_FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "entries": [
+            [list(key), float(value)] for key, value in entries.items()
+        ],
+    }
+    atomic_write_text(
+        Path(snapshot_path) / MEMO_FILE,
+        json.dumps(document, sort_keys=True) + "\n",
+    )
+    return True
+
+
+def load_engine_memo(snapshot_path: str | Path) -> dict[tuple[str, ...], float]:
+    """Read a snapshot's entropy-memo sidecar; ``{}`` when absent.
+
+    Raises :class:`~repro.errors.SnapshotError` when the file exists
+    but is corrupt (callers typically discard it and move on).
+    """
+    memo_path = Path(snapshot_path) / MEMO_FILE
+    if not memo_path.exists():
+        return {}
+    try:
+        document = json.loads(memo_path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        raise SnapshotError(f"memo {memo_path} is unreadable: {exc}") from exc
+    if (
+        not isinstance(document, dict)
+        or document.get("format") != MEMO_FORMAT_NAME
+        or document.get("version") != FORMAT_VERSION
+        or not isinstance(document.get("entries"), list)
+    ):
+        raise SnapshotError(f"memo {memo_path} is malformed")
+    out: dict[tuple[str, ...], float] = {}
+    for item in document["entries"]:
+        if (
+            not isinstance(item, list)
+            or len(item) != 2
+            or not isinstance(item[0], list)
+            or not all(isinstance(name, str) for name in item[0])
+            or isinstance(item[1], bool)
+            or not isinstance(item[1], (int, float))
+        ):
+            raise SnapshotError(f"memo {memo_path} has a malformed entry")
+        out[tuple(item[0])] = float(item[1])
+    return out

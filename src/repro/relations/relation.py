@@ -28,7 +28,7 @@ from collections.abc import Callable, Iterable, Iterator, Sequence
 
 import numpy as np
 
-from repro.errors import SchemaError, UnknownAttributeError
+from repro.errors import SchemaError, SnapshotError, UnknownAttributeError
 from repro.relations.columns import ColumnStore, _dense_limit
 from repro.relations.schema import RelationSchema, Row, Value
 
@@ -79,7 +79,14 @@ class Relation:
     [(1,), (2,)]
     """
 
-    __slots__ = ("_engine", "_eval", "_fingerprint", "_rows", "_schema", "_store")
+    __slots__ = (
+        "_engine",
+        "_eval",
+        "_fingerprint",
+        "_row_cache",
+        "_schema",
+        "_store",
+    )
 
     def __init__(
         self,
@@ -102,6 +109,31 @@ class Relation:
         self._engine = None
         self._eval = None
         self._fingerprint: str | None = None
+
+    @property
+    def _rows(self) -> frozenset:
+        """The row set, decoded lazily for snapshot-loaded relations.
+
+        A relation loaded from a columnar snapshot carries only its coded
+        store (``_row_cache is None``); the Python row tuples are decoded
+        on first tuple-level access, so store-level queries (entropies,
+        groupings) never pay for them.
+        """
+        rows = self._row_cache
+        if rows is None:
+            row_list = self._store.row_list
+            rows = frozenset(row_list)
+            if len(rows) != len(row_list):
+                raise SnapshotError(
+                    f"decoded rows are not pairwise distinct ({len(rows)} "
+                    f"of {len(row_list)}); the snapshot is corrupt"
+                )
+            self._row_cache = rows
+        return rows
+
+    @_rows.setter
+    def _rows(self, rows: "frozenset | None") -> None:
+        self._row_cache = rows
 
     # ------------------------------------------------------------------
     # Constructors
@@ -236,6 +268,49 @@ class Relation:
         return builder.finish(schema)
 
     @classmethod
+    def load_snapshot(
+        cls,
+        path,
+        *,
+        mmap: bool = True,
+        expected_fingerprint: str | None = None,
+        verify_content: bool = False,
+        domains: bool = False,
+    ) -> "Relation":
+        """Load a relation from an on-disk columnar snapshot — zero parsing.
+
+        The snapshot's ``int64`` code arrays are memory-mapped (or copied
+        with ``mmap=False``) and adopted via the
+        :meth:`ColumnStore.from_coded_columns` zero-factorization path,
+        so the result is immediately query-ready and bit-identical to
+        the saved relation.  See :func:`repro.relations.persist.load_snapshot`
+        for the verification knobs; raises
+        :class:`~repro.errors.SnapshotError` on anything untrustworthy.
+        """
+        from repro.relations.persist import load_snapshot
+
+        return load_snapshot(
+            path,
+            mmap=mmap,
+            expected_fingerprint=expected_fingerprint,
+            verify_content=verify_content,
+            domains=domains,
+        )
+
+    def save_snapshot(self, path, *, source: str | None = None) -> "Path":
+        """Persist this relation as a verified columnar snapshot directory.
+
+        Written with fsync-before-atomic-rename discipline and verified
+        to round-trip bit-identically (same fingerprint) before being
+        published; raises :class:`~repro.errors.SnapshotError` — writing
+        nothing — for relations whose values cannot be represented
+        faithfully.  See :mod:`repro.relations.persist`.
+        """
+        from repro.relations.persist import save_snapshot
+
+        return save_snapshot(self, path, source=source)
+
+    @classmethod
     def empty(cls, schema: RelationSchema) -> "Relation":
         """The empty relation over ``schema``."""
         return cls(schema, [])
@@ -278,7 +353,9 @@ class Relation:
         return self._rows
 
     def __len__(self) -> int:
-        return len(self._rows)
+        if self._row_cache is None:
+            return self._store.n_rows  # lazy snapshot load: no decode
+        return len(self._row_cache)
 
     def __iter__(self) -> Iterator[Row]:
         return iter(self._rows)
@@ -295,11 +372,11 @@ class Relation:
         return hash((self._schema.names, self._rows))
 
     def __repr__(self) -> str:
-        return f"Relation({list(self._schema.names)}, N={len(self._rows)})"
+        return f"Relation({list(self._schema.names)}, N={len(self)})"
 
     def is_empty(self) -> bool:
         """Whether the relation has no tuples."""
-        return not self._rows
+        return len(self) == 0
 
     # ------------------------------------------------------------------
     # Columnar backend

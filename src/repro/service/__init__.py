@@ -29,11 +29,13 @@ from repro.service.cache import ResultCache, canonical_key
 from repro.service.client import ServiceClient, ServiceClientError
 from repro.service.config import ServiceConfig
 from repro.service.faults import FaultPlan, WorkerCrashInjection
-from repro.service.jobs import CircuitBreaker, Job, JobQueue
+from repro.service.jobs import BatchItem, BatchJob, CircuitBreaker, Job, JobQueue
 from repro.service.operations import canonicalize_params, run_operation
 from repro.service.registry import DatasetEntry, DatasetRegistry
 
 __all__ = [
+    "BatchItem",
+    "BatchJob",
     "CircuitBreaker",
     "DatasetEntry",
     "DatasetRegistry",

@@ -40,6 +40,7 @@ class Service:
             memory_budget_bytes=self.config.memory_budget_bytes,
             spill_dir=self.config.spill_dir,
             faults=self.faults,
+            snapshots=self.config.snapshots,
         )
         self.cache = ResultCache(
             max_entries=self.config.cache_entries,
@@ -55,6 +56,7 @@ class Service:
             faults=self.faults,
             breaker_failures=self.config.breaker_failures,
             breaker_cooldown_s=self.config.breaker_cooldown_s,
+            max_batch_ops=self.config.max_batch_ops,
         )
         self._server: ServiceHTTPServer | None = None
         self._thread: threading.Thread | None = None

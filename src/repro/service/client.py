@@ -221,6 +221,31 @@ class ServiceClient:
             },
         )
 
+    def submit_batch(
+        self,
+        fingerprint: str,
+        operations: list[dict],
+        *,
+        idempotency_key: str | None = None,
+    ) -> dict:
+        """Submit a vector of operations as one batch job.
+
+        ``operations`` is a list of ``{"operation": ..., "params": ...}``
+        objects (``params`` optional).  Like :meth:`submit_job`, the
+        submission is idempotent across this call's transport retries.
+        """
+        if idempotency_key is None:
+            idempotency_key = uuid.uuid4().hex
+        return self._request(
+            "POST",
+            "/jobs/batch",
+            {
+                "fingerprint": fingerprint,
+                "operations": operations,
+                "idempotency_key": idempotency_key,
+            },
+        )
+
     def get_job(self, job_id: str) -> dict:
         return self._request("GET", f"/jobs/{job_id}")
 
@@ -255,6 +280,61 @@ class ServiceClient:
             )
             time.sleep(max(sleep_s, 0.0))
             interval = min(interval * 1.6, poll_cap_s)
+
+    def wait_batch(
+        self,
+        job_id: str,
+        *,
+        timeout: float = 60.0,
+        poll_s: float = 0.02,
+        poll_cap_s: float = 0.5,
+    ) -> dict:
+        """Alias of :meth:`wait_job` — batch jobs share the poll lifecycle."""
+        return self.wait_job(
+            job_id, timeout=timeout, poll_s=poll_s, poll_cap_s=poll_cap_s
+        )
+
+    def run_batch(
+        self,
+        fingerprint: str,
+        operations: list[dict],
+        *,
+        timeout: float = 60.0,
+    ) -> dict:
+        """Submit a batch, wait, and return the finished job view."""
+        job = self.submit_batch(fingerprint, operations)
+        if job["state"] in ("queued", "running"):
+            job = self.wait_batch(job["job_id"], timeout=timeout)
+        return job
+
+    def batch_reports(
+        self,
+        fingerprint: str,
+        operations: list[dict],
+        *,
+        timeout: float = 60.0,
+    ) -> list[dict]:
+        """Run a batch and return the per-item reports, in order.
+
+        Raises on a failed batch or on any failed item — use
+        :meth:`run_batch` for per-item error handling.
+        """
+        job = self.run_batch(fingerprint, operations, timeout=timeout)
+        if job["state"] != "done":
+            raise ServiceError(
+                f"batch {job['job_id']} ended {job['state']}: "
+                f"{job.get('error', 'no detail')}"
+            )
+        reports = []
+        for index, item in enumerate(job["items"]):
+            if item["state"] != "done":
+                raise ServiceError(
+                    f"batch {job['job_id']} item {index} "
+                    f"({item['operation']}) ended {item['state']}: "
+                    f"{item.get('error', 'no detail')}"
+                )
+            reports.append(item["result"])
+        return reports
 
     def run(
         self,

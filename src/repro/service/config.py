@@ -61,6 +61,14 @@ class ServiceConfig:
         How long after an incident (worker crash, spill quarantine,
         dataset degradation) ``/healthz`` keeps reporting ``degraded``
         even once the underlying state has healed.
+    snapshots:
+        Write persistent columnar snapshots beside the spill CSVs and
+        prefer them for eviction reloads and warm restarts (zero-parse
+        mmap instead of CSV re-ingest).  Requires ``spill_dir``; with no
+        spill dir the flag is inert.
+    max_batch_ops:
+        Upper bound on the number of operations one ``POST /jobs/batch``
+        submission may carry.
     """
 
     host: str = "127.0.0.1"
@@ -75,6 +83,8 @@ class ServiceConfig:
     breaker_failures: int = 5
     breaker_cooldown_s: float = 5.0
     health_incident_ttl_s: float = 60.0
+    snapshots: bool = True
+    max_batch_ops: int = 64
 
     def __post_init__(self) -> None:
         if self.port < 0 or self.port > 65535:
@@ -112,4 +122,8 @@ class ServiceConfig:
             raise ServiceError(
                 "health_incident_ttl_s must be >= 0, got "
                 f"{self.health_incident_ttl_s}"
+            )
+        if self.max_batch_ops < 1:
+            raise ServiceError(
+                f"max_batch_ops must be >= 1, got {self.max_batch_ops}"
             )

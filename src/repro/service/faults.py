@@ -38,6 +38,8 @@ site                        effect when fired
                               disk (as if a crash tore it post-rename)
 ``registry.reingest``         re-ingesting an evicted dataset raises (source
                               vanished mid-read)
+``registry.snapshot_load``    loading an evicted dataset's columnar snapshot
+                              raises (forces the CSV re-ingest fallback)
 ``jobs.worker_crash``         the claimed worker thread dies mid-job
                               (``WorkerCrashInjection``, a BaseException that
                               sails past ``except Exception``)
@@ -72,6 +74,7 @@ KNOWN_SITES = (
     "cache.spill_read_corrupt",
     "cache.spill_write_torn",
     "registry.reingest",
+    "registry.snapshot_load",
     "jobs.worker_crash",
     "jobs.slow",
     "jobs.oom",
@@ -246,6 +249,10 @@ class FaultPlan:
         if site == "registry.reingest":
             raise InjectedFaultError(
                 f"injected re-ingest failure at {site}: source vanished mid-read"
+            )
+        if site == "registry.snapshot_load":
+            raise InjectedFaultError(
+                f"injected snapshot-load failure at {site}: snapshot unreadable"
             )
 
     # ------------------------------------------------------------------

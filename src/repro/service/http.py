@@ -15,6 +15,12 @@ Routes (all request/response bodies are JSON):
                            200 with a finished job when served from cache,
                            202 with a queued/coalesced job otherwise, 503
                            when the queue is full (backpressure).
+``POST /jobs/batch``       submit a vector of operations against one dataset
+                           as a single queue unit: ``{"fingerprint": ...,
+                           "operations": [{"operation": ..., "params": ...},
+                           ...]}``.  200 when every item was answered from
+                           the cache, 202 otherwise; per-item results land
+                           under ``items`` in the job view.
 ``GET /jobs/{id}``         the job's state (+ ``result`` once done), or 404.
 ``GET /healthz``           liveness: ``{"status": "ok", ...}``.
 ``GET /stats``             cache hit-rates, registry residency/evictions,
@@ -196,6 +202,8 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                 self._handle_register()
             elif parts == ("jobs",):
                 self._handle_submit()
+            elif parts == ("jobs", "batch"):
+                self._handle_submit_batch()
             else:
                 self._send_error_json(404, f"no such route: POST {self.path}")
         except QueueFullError as exc:
@@ -270,5 +278,26 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             )
         job = self.service.jobs.submit(
             fingerprint, operation, params, idempotency_key=idempotency_key
+        )
+        self._send_json(200 if job.state == "done" else 202, job.describe())
+
+    def _handle_submit_batch(self) -> None:
+        body = self._read_json_body()
+        fingerprint = body.get("fingerprint")
+        if not isinstance(fingerprint, str):
+            raise ServiceError("batch body needs a string 'fingerprint'")
+        operations = body.get("operations")
+        if not isinstance(operations, list):
+            raise ServiceError(
+                "batch body needs an 'operations' list of "
+                '{"operation": ..., "params": ...} objects'
+            )
+        idempotency_key = body.get("idempotency_key")
+        if idempotency_key is not None and not isinstance(idempotency_key, str):
+            raise ServiceError(
+                f"idempotency_key must be a string, got {idempotency_key!r}"
+            )
+        job = self.service.jobs.submit_batch(
+            fingerprint, operations, idempotency_key=idempotency_key
         )
         self._send_json(200 if job.state == "done" else 202, job.describe())

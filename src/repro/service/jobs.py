@@ -44,6 +44,20 @@ Resilience (see ``docs/robustness.md``):
   retried submit back onto the job the first attempt created, so a
   client that lost the response (dropped connection) never double-runs
   work — even for deadline jobs, which deliberately never coalesce.
+
+Batches (``POST /jobs/batch``) amortize dispatch: a vector of
+operations against **one** dataset becomes a single
+:class:`BatchJob` — one queue unit, one registry lookup (the resident
+relation and its memoized entropy engine are shared across every item),
+one poll loop for the client.  Each item keeps its *own* canonical
+cache key: items are answered from the cache at submission when
+possible, re-checked just before running (an earlier identical item in
+the same batch fills the cache for its twins), and cached individually
+on success — so a batch's reports are bit-identical to the same K
+operations submitted as K singleton jobs.  Batch items are
+deadline-free and never coalesce; the per-operation breakers still
+guard them (submission fast-fails if any pending item's breaker is
+open, and item outcomes feed the same breakers).
 """
 
 from __future__ import annotations
@@ -225,6 +239,104 @@ class Job:
         self.event.set()
 
 
+class BatchItem:
+    """One operation inside a batch: its own key, cache row, and outcome."""
+
+    __slots__ = (
+        "cache_key",
+        "cached",
+        "canonical_params",
+        "error",
+        "operation",
+        "result",
+        "state",
+    )
+
+    def __init__(
+        self, operation: str, canonical_params: dict, cache_key: str
+    ) -> None:
+        self.operation = operation
+        self.canonical_params = canonical_params
+        self.cache_key = cache_key
+        self.state = QUEUED
+        self.result: dict | None = None
+        self.error: str | None = None
+        self.cached = False
+
+    def describe(self, *, include_result: bool = True) -> dict:
+        view = {
+            "operation": self.operation,
+            "params": dict(self.canonical_params),
+            "state": self.state,
+            "cached": self.cached,
+            "partial": bool(self.result and self.result.get("partial")),
+        }
+        if self.error is not None:
+            view["error"] = self.error
+        if include_result and self.result is not None:
+            view["result"] = self.result
+        return view
+
+
+class BatchJob(Job):
+    """A vector of operations against one dataset, run as one queue unit.
+
+    The batch shares one resident relation (and therefore one memoized
+    entropy engine) across all items; each item is individually
+    canonicalized, cache-checked, executed, and cached, so its report is
+    bit-identical to the singleton submission of the same operation.
+    The batch finishes ``done`` when it ran to completion (individual
+    item failures are reported per item, with a summary in ``error``)
+    and ``failed`` only when *every* item failed or the batch could not
+    run at all (degraded dataset, worker crash, shutdown).
+    """
+
+    __slots__ = ("items",)
+
+    def __init__(
+        self, job_id: str, fingerprint: str, items: list[BatchItem]
+    ) -> None:
+        super().__init__(
+            job_id, fingerprint, "batch", {}, "", deadline_s=None, workers=None
+        )
+        self.items = items
+
+    def pending_operations(self) -> list[str]:
+        """Distinct operations of items still awaiting compute."""
+        return sorted(
+            {item.operation for item in self.items if item.state == QUEUED}
+        )
+
+    def _fail_pending(self, error: str) -> None:
+        for item in self.items:
+            if item.state in (QUEUED, RUNNING):
+                item.state = FAILED
+                item.error = error
+
+    def describe(self, *, include_result: bool = True) -> dict:
+        """JSON view served by ``GET /jobs/{id}`` for batch jobs."""
+        view = {
+            "job_id": self.id,
+            "state": self.state,
+            "operation": "batch",
+            "fingerprint": self.fingerprint,
+            "n_items": len(self.items),
+            "n_cached": sum(item.cached for item in self.items),
+            "n_failed": sum(item.state == FAILED for item in self.items),
+            "cached": self.cached,
+            "service_time_s": self.service_time_s(),
+            "items": [
+                item.describe(include_result=include_result)
+                for item in self.items
+            ],
+        }
+        if self.error is not None:
+            view["error"] = self.error
+        if self.reason is not None:
+            view["reason"] = self.reason
+        return view
+
+
 class JobQueue:
     """Bounded queue + thread worker pool over a registry and a cache."""
 
@@ -240,11 +352,16 @@ class JobQueue:
         faults: FaultPlan | None = None,
         breaker_failures: int = 5,
         breaker_cooldown_s: float = 5.0,
+        max_batch_ops: int = 64,
     ) -> None:
         if workers < 1:
             raise ServiceError(f"workers must be >= 1, got {workers}")
         if max_finished < 1:
             raise ServiceError(f"max_finished must be >= 1, got {max_finished}")
+        if max_batch_ops < 1:
+            raise ServiceError(
+                f"max_batch_ops must be >= 1, got {max_batch_ops}"
+            )
         if breaker_failures < 1:
             raise ServiceError(
                 f"breaker_failures must be >= 1, got {breaker_failures}"
@@ -271,8 +388,12 @@ class JobQueue:
         # Reentrant: the submit miss path creates jobs under the lock.
         self._lock = threading.RLock()
         self._ids = itertools.count(1)
+        self._max_batch_ops = max_batch_ops
         self.coalesced = 0
         self.idempotent_replays = 0
+        self.batches = 0
+        self.batch_items = 0
+        self.batch_item_cache_hits = 0
         self.completed = {DONE: 0, FAILED: 0, TIMEOUT: 0}
         self.worker_crashes = 0
         self.worker_respawns = 0
@@ -433,6 +554,150 @@ class JobQueue:
             self._record_idempotency(idempotency_key, job)
         return job
 
+    def submit_batch(
+        self,
+        fingerprint: str,
+        operations: list,
+        *,
+        idempotency_key: str | None = None,
+    ) -> BatchJob:
+        """Submit a vector of operations against one dataset as one job.
+
+        ``operations`` is a list of ``{"operation": ..., "params": ...}``
+        objects (``params`` optional).  Items are deadline-free and may
+        not carry execution-only params (``workers``/``deadline``).
+        Items already in the result cache are answered at submission;
+        a batch whose items are *all* cached is born ``done`` without
+        touching a worker.  Otherwise the batch enqueues as a single
+        unit — one registry lookup and one shared resident engine for
+        every item — provided no pending item's circuit breaker is open.
+        """
+        if self._closed:
+            raise ServiceError("job queue is shut down")
+        if idempotency_key is not None:
+            if not isinstance(idempotency_key, str) or not (
+                0 < len(idempotency_key) <= 200
+            ):
+                raise ServiceError(
+                    "idempotency_key must be a non-empty string of at most "
+                    f"200 characters, got {idempotency_key!r}"
+                )
+            with self._lock:
+                replayed_id = self._idempotency.get(idempotency_key)
+                replayed = (
+                    self._jobs.get(replayed_id) if replayed_id is not None else None
+                )
+                if replayed is not None:
+                    self.idempotent_replays += 1
+                    if not isinstance(replayed, BatchJob):
+                        raise ServiceError(
+                            f"idempotency_key {idempotency_key!r} was used "
+                            "for a non-batch submission"
+                        )
+                    return replayed
+        if not isinstance(operations, list) or not operations:
+            raise ServiceError(
+                "operations must be a non-empty list of "
+                '{"operation": ..., "params": ...} objects'
+            )
+        if len(operations) > self._max_batch_ops:
+            raise ServiceError(
+                f"batch has {len(operations)} operations, limit is "
+                f"{self._max_batch_ops}"
+            )
+        self._registry.get(fingerprint)  # raises UnknownDatasetError early
+        items: list[BatchItem] = []
+        for index, spec in enumerate(operations):
+            if not isinstance(spec, dict):
+                raise ServiceError(
+                    f"operations[{index}] must be an object, got "
+                    f"{type(spec).__name__}"
+                )
+            spec = dict(spec)
+            operation = spec.pop("operation", None)
+            params = spec.pop("params", None)
+            if spec:
+                raise ServiceError(
+                    f"operations[{index}] has unknown keys: {sorted(spec)}"
+                )
+            if not isinstance(operation, str):
+                raise ServiceError(
+                    f"operations[{index}].operation must be a string, got "
+                    f"{operation!r}"
+                )
+            params = dict(params) if params else {}
+            for execution_only in ("workers", "deadline"):
+                if execution_only in params:
+                    raise ServiceError(
+                        f"operations[{index}]: {execution_only!r} is not "
+                        "supported inside a batch; submit a singleton job"
+                    )
+            canonical = canonicalize_params(operation, params)
+            items.append(
+                BatchItem(
+                    operation,
+                    canonical,
+                    canonical_key(fingerprint, operation, canonical),
+                )
+            )
+        # Pre-answer from the cache: fully cached batches never enqueue.
+        cache_hits = 0
+        for item in items:
+            cached = self._cache.get(item.cache_key)
+            if cached is not None:
+                cached["cached"] = True
+                item.result = cached
+                item.cached = True
+                item.state = DONE
+                cache_hits += 1
+        with self._lock:
+            self.batches += 1
+            self.batch_items += len(items)
+            self.batch_item_cache_hits += cache_hits
+            pending = sorted(
+                {item.operation for item in items if item.state == QUEUED}
+            )
+            if not pending:
+                job = self._new_batch_job(fingerprint, items)
+                job.cached = True
+                job._finish(DONE)
+                self.completed[DONE] += 1
+                self._record_finished(job)
+                self._record_idempotency(idempotency_key, job)
+                return job
+            for operation in pending:
+                breaker = self._breakers[operation]
+                retry_after = breaker.check()
+                if retry_after is not None:
+                    raise CircuitOpenError(
+                        f"{operation} circuit breaker is open after "
+                        f"{breaker.consecutive} consecutive infrastructure "
+                        f"failures; retry in {retry_after:.1f}s",
+                        retry_after_s=retry_after,
+                    )
+            if self._closed:
+                raise ServiceError("job queue is shut down")
+            job = self._new_batch_job(fingerprint, items)
+            try:
+                self._queue.put_nowait(job)
+            except queue.Full:
+                self._jobs.pop(job.id, None)
+                raise QueueFullError(
+                    f"job queue is full ({self._queue.maxsize} waiting); "
+                    "retry later"
+                ) from None
+            self._record_idempotency(idempotency_key, job)
+        return job
+
+    def _new_batch_job(
+        self, fingerprint: str, items: list[BatchItem]
+    ) -> BatchJob:
+        with self._lock:
+            job_id = f"job-{next(self._ids)}"
+            job = BatchJob(job_id, fingerprint, items)
+            self._jobs[job_id] = job
+            return job
+
     def _record_idempotency(self, token: str | None, job: Job) -> None:
         """Remember token → job id, bounded (caller holds the lock)."""
         if token is None:
@@ -499,6 +764,9 @@ class JobQueue:
                 ),
                 "coalesced": self.coalesced,
                 "idempotent_replays": self.idempotent_replays,
+                "batches": self.batches,
+                "batch_items": self.batch_items,
+                "batch_item_cache_hits": self.batch_item_cache_hits,
                 "worker_crashes": self.worker_crashes,
                 "worker_respawns": self.worker_respawns,
                 "breakers": {
@@ -554,7 +822,14 @@ class JobQueue:
                     )
                     job.reason = "worker_crashed"
                     with self._lock:
-                        self._breakers[job.operation].record_failure()
+                        if isinstance(job, BatchJob):
+                            # Charge each distinct still-pending item
+                            # operation; "batch" itself has no breaker.
+                            for operation in job.pending_operations():
+                                self._breakers[operation].record_failure()
+                            job._fail_pending(job.error)
+                        else:
+                            self._breakers[job.operation].record_failure()
                     job._finish(FAILED)
                 raise
             finally:
@@ -568,6 +843,9 @@ class JobQueue:
                 self._queue.task_done()
 
     def _run_job(self, job: Job) -> None:
+        if isinstance(job, BatchJob):
+            self._run_batch(job)
+            return
         job.started_at = time.monotonic()
         if job.deadline_at is not None and job.started_at >= job.deadline_at:
             # Expired while waiting in the queue: report a well-formed
@@ -630,6 +908,96 @@ class JobQueue:
             traceback.print_exc()
             job._finish(FAILED)
 
+    def _run_batch(self, job: BatchJob) -> None:
+        """Execute every pending item against one shared resident relation.
+
+        The registry lookup (and any snapshot/CSV reload it triggers)
+        happens **once**; each item then reuses the relation and its
+        memoized entropy engine.  Items re-check the cache just before
+        running — an earlier identical item in the same batch, or a
+        concurrent singleton job, may already have filled it.
+        """
+        job.started_at = time.monotonic()
+        job.state = RUNNING
+        try:
+            self._faults.check("jobs.slow")
+            relation = self._registry.relation(job.fingerprint)
+        except DatasetDegradedError as exc:
+            job.error = str(exc)
+            job.reason = "dataset_degraded"
+            with self._lock:
+                for operation in job.pending_operations():
+                    self._breakers[operation].record_failure()
+            job._fail_pending(str(exc))
+            job._finish(FAILED)
+            return
+        except ReproError as exc:
+            job.error = str(exc)
+            job._fail_pending(str(exc))
+            job._finish(FAILED)
+            return
+        except Exception as exc:  # never kill a worker thread
+            job.error = f"internal error: {exc}"
+            with self._lock:
+                for operation in job.pending_operations():
+                    self._breakers[operation].record_failure()
+            traceback.print_exc()
+            job._fail_pending(job.error)
+            job._finish(FAILED)
+            return
+        for item in job.items:
+            if item.state != QUEUED:
+                continue
+            cached = self._cache.get(item.cache_key)
+            if cached is not None:
+                cached["cached"] = True
+                item.result = cached
+                item.cached = True
+                item.state = DONE
+                with self._lock:
+                    self.batch_item_cache_hits += 1
+                continue
+            item.state = RUNNING
+            try:
+                payload = run_operation(
+                    relation,
+                    item.operation,
+                    item.canonical_params,
+                    deadline_at=None,
+                    workers=None,
+                    faults=self._faults,
+                )
+                validate_report(payload)
+                if not payload.get("partial") and not payload.get("degraded"):
+                    self._cache.put(
+                        item.cache_key,
+                        payload,
+                        meta={
+                            "fingerprint": job.fingerprint,
+                            "operation": item.operation,
+                            "params": item.canonical_params,
+                        },
+                    )
+                item.result = payload
+                item.state = DONE
+                with self._lock:
+                    self._breakers[item.operation].record_success()
+            except ReproError as exc:
+                # Client error on one item: that item fails, the rest
+                # of the batch keeps going, breaker untouched.
+                item.error = str(exc)
+                item.state = FAILED
+            except Exception as exc:  # never kill a worker thread
+                item.error = f"internal error: {exc}"
+                item.state = FAILED
+                with self._lock:
+                    self._breakers[item.operation].record_failure()
+                traceback.print_exc()
+        failed = sum(item.state == FAILED for item in job.items)
+        if failed:
+            job.error = f"{failed} of {len(job.items)} operations failed"
+        job._finish(FAILED if failed == len(job.items) else DONE)
+
     def shutdown(self, *, wait: bool = True) -> None:
         """Stop accepting jobs and (optionally) drain the workers.
 
@@ -655,6 +1023,8 @@ class JobQueue:
                 continue
             job.error = "server shut down before the job started"
             job.reason = "shutdown"
+            if isinstance(job, BatchJob):
+                job._fail_pending(job.error)
             with self._lock:
                 if job.inflight_key is not None:
                     self._inflight.pop(job.inflight_key, None)

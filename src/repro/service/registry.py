@@ -28,19 +28,50 @@ metadata-only state** (``degraded: true`` plus the reason in its view)
 and raises a typed :class:`~repro.errors.DatasetDegradedError` to the
 caller, instead of crashing the serving thread or retrying blindly.
 A later successful re-ingest or re-registration heals the entry.
+
+Persistent snapshots (see :mod:`repro.relations.persist`): with a spill
+directory configured, every admitted dataset is also written as an
+on-disk **columnar snapshot** beside the spill CSV.  Eviction reloads
+and warm restarts then prefer the snapshot — a zero-parse ``mmap`` of
+the ``int64`` code arrays, ~10-100x faster than re-parsing CSV — and
+fall back to the CSV source only when the snapshot is missing or fails
+verification (a corrupt snapshot is quarantined, counted, and never
+served).  A fresh registry scans the spill directory for snapshots and
+**restores** their entries metadata-only, so a restarted service knows
+its datasets before any request arrives and loads them lazily without
+touching the original CSVs.  The resident exact entropy memo is spilled
+alongside on eviction and merged back on snapshot reload, so a reloaded
+dataset comes back with its memo warm, not just its codes.
 """
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.errors import DatasetDegradedError, ServiceError, UnknownDatasetError
+from repro.errors import (
+    DatasetDegradedError,
+    ReproError,
+    ServiceError,
+    SnapshotError,
+    UnknownDatasetError,
+)
 from repro.info.engine import EntropyEngine
 from repro.relations.io import infer_integer_domains, read_csv
+from repro.relations.persist import (
+    META_FILE,
+    atomic_write_text,
+    load_engine_memo,
+    load_snapshot,
+    quarantine_snapshot,
+    read_snapshot_meta,
+    save_engine_memo,
+    save_snapshot,
+)
 from repro.relations.relation import Relation
 from repro.service.faults import DISABLED, FaultPlan
 
@@ -76,6 +107,11 @@ class DatasetEntry:
     relation: Relation | None = None
     hits: int = 0
     reloads: int = 0
+    #: How the most recent reload was satisfied: ``"snapshot"`` |
+    #: ``"csv"`` | ``None`` (never reloaded).
+    reload_source: str | None = None
+    #: Whether a columnar snapshot is known to exist on disk.
+    snapshot: bool = False
     degraded: bool = False
     degraded_reason: str | None = None
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
@@ -99,6 +135,8 @@ class DatasetEntry:
             "resident_bytes": self.resident_bytes if self.resident else 0,
             "hits": self.hits,
             "reloads": self.reloads,
+            "reload_source": self.reload_source,
+            "snapshot": self.snapshot,
             "degraded": self.degraded,
             "degraded_reason": self.degraded_reason,
             "chunk_rows": self.chunk_rows,
@@ -116,6 +154,7 @@ class DatasetRegistry:
         memory_budget_bytes: int | None = None,
         spill_dir: str | Path | None = None,
         faults: FaultPlan | None = None,
+        snapshots: bool = True,
     ) -> None:
         if memory_budget_bytes is not None and memory_budget_bytes < 1:
             raise ServiceError(
@@ -129,6 +168,18 @@ class DatasetRegistry:
         self._lock = threading.RLock()
         self.evictions = 0
         self.last_degrade_at: float | None = None  # time.monotonic()
+        #: Snapshots need somewhere durable to live: the spill dir.
+        self._snapshots_enabled = bool(snapshots) and self._spill_dir is not None
+        self.snapshot_writes = 0
+        self.snapshot_write_failures = 0
+        self.snapshot_reloads = 0
+        self.csv_reloads = 0
+        self.snapshot_quarantined = 0
+        self.restored_from_snapshot = 0
+        self.memo_spills = 0
+        self.memo_entries_restored = 0
+        if self._snapshots_enabled:
+            self._restore_from_snapshots()
 
     # ------------------------------------------------------------------
     # Ingestion
@@ -141,6 +192,188 @@ class DatasetRegistry:
         )
         return infer_integer_domains(loaded)
 
+    # ------------------------------------------------------------------
+    # Snapshot plumbing
+    # ------------------------------------------------------------------
+    def _snapshot_path(self, fingerprint: str) -> Path:
+        assert self._spill_dir is not None
+        return self._spill_dir / f"snapshot-{fingerprint}"
+
+    def _restore_from_snapshots(self) -> None:
+        """Adopt on-disk snapshots as metadata-only entries (warm restart).
+
+        Runs once at construction: every structurally valid snapshot in
+        the spill directory becomes a registered-but-not-resident entry
+        whose relation loads lazily (snapshot-first) on first use.
+        Malformed snapshots — and ones whose directory name disagrees
+        with their recorded fingerprint — are quarantined.
+        """
+        assert self._spill_dir is not None
+        if not self._spill_dir.exists():
+            return
+        for meta_path in sorted(self._spill_dir.glob("snapshot-*/" + META_FILE)):
+            snapshot_dir = meta_path.parent
+            try:
+                meta = read_snapshot_meta(snapshot_dir)
+            except SnapshotError:
+                quarantine_snapshot(snapshot_dir)
+                self.snapshot_quarantined += 1
+                continue
+            fingerprint = meta["fingerprint"]
+            if (
+                snapshot_dir.name != f"snapshot-{fingerprint}"
+                or fingerprint in self._entries
+            ):
+                quarantine_snapshot(snapshot_dir)
+                self.snapshot_quarantined += 1
+                continue
+            source = (meta.get("source") or {}).get("path")
+            chunk_rows = (meta.get("extra") or {}).get("chunk_rows")
+            if isinstance(chunk_rows, bool) or not isinstance(chunk_rows, int):
+                chunk_rows = None
+            entry = DatasetEntry(
+                fingerprint=fingerprint,
+                source=source if isinstance(source, str) else None,
+                chunk_rows=chunk_rows,
+                attributes=tuple(meta["attributes"]),
+                n_rows=meta["n_rows"],
+                n_cols=len(meta["attributes"]),
+                resident_bytes=0,
+                registered_at=time.time(),
+            )
+            entry.snapshot = True
+            self._entries[fingerprint] = entry
+            self.restored_from_snapshot += 1
+
+    def _maybe_write_snapshot(self, entry: DatasetEntry, relation: Relation) -> None:
+        """Write the entry's snapshot if it does not exist yet (best effort).
+
+        A relation whose values cannot round-trip bit-identically (the
+        ``1 == True == 1.0`` collapse) raises inside ``save_snapshot``
+        and is simply not snapshotted — its CSV source remains the
+        reload path, exactly as before this feature existed.
+        """
+        if not self._snapshots_enabled:
+            return
+        snapshot_dir = self._snapshot_path(entry.fingerprint)
+        if (snapshot_dir / META_FILE).exists():
+            entry.snapshot = True
+            return
+        try:
+            save_snapshot(
+                relation,
+                snapshot_dir,
+                source=entry.source,
+                extra=(
+                    {"chunk_rows": entry.chunk_rows}
+                    if entry.chunk_rows is not None
+                    else None
+                ),
+            )
+        except (SnapshotError, OSError):
+            with self._lock:
+                self.snapshot_write_failures += 1
+        else:
+            entry.snapshot = True
+            with self._lock:
+                self.snapshot_writes += 1
+
+    def _load_snapshot_for(self, entry: DatasetEntry) -> Relation | None:
+        """Load the entry's snapshot, or ``None`` (caller holds entry lock).
+
+        Any failure — corrupt metadata, torn arrays, fingerprint or
+        shape mismatch, injected fault — quarantines the snapshot and
+        returns ``None`` so the caller falls back to CSV re-ingest.
+        On success the spilled entropy memo (if any) is merged into the
+        relation's resident engine.
+        """
+        if not self._snapshots_enabled:
+            return None
+        snapshot_dir = self._snapshot_path(entry.fingerprint)
+        if not (snapshot_dir / META_FILE).exists():
+            return None
+        try:
+            self._faults.check("registry.snapshot_load")
+            relation = load_snapshot(
+                snapshot_dir,
+                expected_fingerprint=entry.fingerprint,
+                domains=True,
+            )
+        except (SnapshotError, OSError, ServiceError):
+            quarantine_snapshot(snapshot_dir)
+            entry.snapshot = False
+            with self._lock:
+                self.snapshot_quarantined += 1
+            return None
+        entry.snapshot = True
+        try:
+            memo = load_engine_memo(snapshot_dir)
+        except SnapshotError:
+            memo = {}
+        if memo:
+            added = EntropyEngine.for_relation(relation).merge_cache(memo)
+            with self._lock:
+                self.memo_entries_restored += added
+        return relation
+
+    def _spill_engine_memo(self, entry: DatasetEntry) -> None:
+        """Spill a resident engine's memo beside the snapshot (best effort)."""
+        if not self._snapshots_enabled:
+            return
+        relation = entry.relation
+        if relation is None or relation._engine is None:
+            return
+        snapshot_dir = self._snapshot_path(entry.fingerprint)
+        if not (snapshot_dir / META_FILE).exists():
+            return
+        try:
+            if save_engine_memo(snapshot_dir, relation._engine):
+                self.memo_spills += 1
+        except OSError:
+            pass
+
+    def _snapshot_shortcut(self, path_str: str) -> DatasetEntry | None:
+        """Serve ``register_path`` from a snapshot when the file is unchanged.
+
+        The snapshot's recorded provenance (source path + size +
+        mtime_ns) must match the file's current stat exactly; anything
+        else — no candidate entry, stale provenance, failed load —
+        falls through to a full ingest, which re-verifies content the
+        usual way.
+        """
+        if not self._snapshots_enabled:
+            return None
+        with self._lock:
+            candidates = [
+                e for e in self._entries.values() if e.source == path_str
+            ]
+        for entry in candidates:
+            try:
+                meta = read_snapshot_meta(self._snapshot_path(entry.fingerprint))
+            except SnapshotError:
+                continue
+            provenance = meta.get("source") or {}
+            if provenance.get("path") != path_str:
+                continue
+            try:
+                stat = os.stat(path_str)
+            except OSError:
+                return None  # unreadable: let the ingest path raise typed
+            if (
+                provenance.get("size") != stat.st_size
+                or provenance.get("mtime_ns") != stat.st_mtime_ns
+            ):
+                continue
+            try:
+                self.relation(entry.fingerprint)
+            except ReproError:
+                continue
+            return entry
+        return None
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
     def register_path(
         self, path: str | Path, *, chunk_rows: int | None = None
     ) -> tuple[DatasetEntry, bool]:
@@ -148,10 +381,21 @@ class DatasetRegistry:
 
         ``created`` is ``False`` when content with the same fingerprint
         is already registered (the existing entry is returned and
-        refreshed in LRU order).
+        refreshed in LRU order).  When a snapshot's recorded provenance
+        matches the file's current size and mtime exactly, the parse is
+        skipped entirely and the relation comes from the snapshot (the
+        warm-restart fast path); any doubt falls back to a full ingest.
         """
-        relation = self._ingest(str(path), chunk_rows)
-        return self._admit(relation, source=str(path), chunk_rows=chunk_rows)
+        path_str = str(path)
+        entry = self._snapshot_shortcut(path_str)
+        if entry is not None:
+            return entry, False
+        relation = self._ingest(path_str, chunk_rows)
+        entry, created = self._admit(
+            relation, source=path_str, chunk_rows=chunk_rows
+        )
+        self._maybe_write_snapshot(entry, relation)
+        return entry, created
 
     def register_text(
         self,
@@ -185,9 +429,17 @@ class DatasetRegistry:
                 self._spill_dir.mkdir(parents=True, exist_ok=True)
                 kept = self._spill_dir / f"dataset-{relation.fingerprint()}.csv"
                 if not kept.exists():
-                    kept.write_text(csv_text)
+                    # Crash-safe like every other spill: temp + fsync +
+                    # atomic rename, so a hard kill cannot leave a torn
+                    # CSV that would later re-ingest to the wrong
+                    # fingerprint and degrade the entry confusingly.
+                    atomic_write_text(kept, csv_text)
                 source = str(kept)
-            return self._admit(relation, source=source, chunk_rows=chunk_rows)
+            entry, created = self._admit(
+                relation, source=source, chunk_rows=chunk_rows
+            )
+            self._maybe_write_snapshot(entry, relation)
+            return entry, created
         finally:
             tmp_path.unlink(missing_ok=True)
 
@@ -278,46 +530,62 @@ class DatasetRegistry:
         with entry._lock:  # one reload per evicted dataset, not per caller
             if entry.relation is not None:
                 return entry.relation
-            if entry.source is None:
-                self._degrade(
-                    entry,
-                    "evicted with no source to re-ingest from (inline "
-                    "upload without a spill dir)",
-                )
-                raise DatasetDegradedError(
-                    f"dataset {fingerprint!r} is degraded: evicted with no "
-                    "source to re-ingest from (inline upload without a "
-                    "spill dir); re-register it"
-                )
-            try:
-                self._faults.check("registry.reingest")
-                relation = self._ingest(entry.source, entry.chunk_rows)
-            except Exception as exc:
-                self._degrade(entry, f"re-ingest from {entry.source} failed: {exc}")
-                raise DatasetDegradedError(
-                    f"dataset {fingerprint!r} is degraded: re-ingesting "
-                    f"from {entry.source} failed: {exc}; restore the source "
-                    "or re-register the dataset"
-                ) from exc
-            if relation.fingerprint() != fingerprint:
-                self._degrade(
-                    entry,
-                    f"source {entry.source} changed on disk "
-                    f"(fingerprint {relation.fingerprint()!r})",
-                )
-                raise DatasetDegradedError(
-                    f"source {entry.source} changed on disk: re-ingested "
-                    f"fingerprint {relation.fingerprint()!r} != registered "
-                    f"{fingerprint!r}; re-register the dataset"
-                )
+            # Snapshot first: a zero-parse mmap of the code arrays.  A
+            # missing/corrupt snapshot falls through to the CSV source
+            # (the corrupt one is quarantined by _load_snapshot_for).
+            relation = self._load_snapshot_for(entry)
+            reload_source = "snapshot"
+            if relation is None:
+                if entry.source is None:
+                    self._degrade(
+                        entry,
+                        "evicted with no source to re-ingest from (inline "
+                        "upload without a spill dir)",
+                    )
+                    raise DatasetDegradedError(
+                        f"dataset {fingerprint!r} is degraded: evicted with no "
+                        "source to re-ingest from (inline upload without a "
+                        "spill dir); re-register it"
+                    )
+                try:
+                    self._faults.check("registry.reingest")
+                    relation = self._ingest(entry.source, entry.chunk_rows)
+                except Exception as exc:
+                    self._degrade(entry, f"re-ingest from {entry.source} failed: {exc}")
+                    raise DatasetDegradedError(
+                        f"dataset {fingerprint!r} is degraded: re-ingesting "
+                        f"from {entry.source} failed: {exc}; restore the source "
+                        "or re-register the dataset"
+                    ) from exc
+                if relation.fingerprint() != fingerprint:
+                    self._degrade(
+                        entry,
+                        f"source {entry.source} changed on disk "
+                        f"(fingerprint {relation.fingerprint()!r})",
+                    )
+                    raise DatasetDegradedError(
+                        f"source {entry.source} changed on disk: re-ingested "
+                        f"fingerprint {relation.fingerprint()!r} != registered "
+                        f"{fingerprint!r}; re-register the dataset"
+                    )
+                reload_source = "csv"
             with self._lock:
                 entry.relation = relation
                 entry.resident_bytes = resident_bytes(relation)
                 entry.reloads += 1
+                entry.reload_source = reload_source
+                if reload_source == "snapshot":
+                    self.snapshot_reloads += 1
+                else:
+                    self.csv_reloads += 1
                 entry.degraded = False  # a good source heals the entry
                 entry.degraded_reason = None
                 self._entries.move_to_end(fingerprint)
                 self._evict_over_budget()
+            if reload_source == "csv":
+                # Heal a missing or just-quarantined snapshot from the
+                # freshly verified relation.
+                self._maybe_write_snapshot(entry, relation)
             return relation
 
     def _degrade(self, entry: DatasetEntry, reason: str) -> None:
@@ -360,6 +628,10 @@ class DatasetRegistry:
         for entry in resident[:-1]:
             if total <= self._budget:
                 break
+            # The relation is about to drop with its memoized engine;
+            # spill the memo beside the snapshot so a later reload
+            # comes back warm.
+            self._spill_engine_memo(entry)
             entry.relation = None
             total -= entry.resident_bytes
             self.evictions += 1
@@ -375,6 +647,15 @@ class DatasetRegistry:
                 "memory_budget_bytes": self._budget,
                 "evictions": self.evictions,
                 "degraded": sum(e.degraded for e in self._entries.values()),
+                "snapshots_enabled": self._snapshots_enabled,
+                "snapshot_writes": self.snapshot_writes,
+                "snapshot_write_failures": self.snapshot_write_failures,
+                "snapshot_reloads": self.snapshot_reloads,
+                "csv_reloads": self.csv_reloads,
+                "snapshot_quarantined": self.snapshot_quarantined,
+                "restored_from_snapshot": self.restored_from_snapshot,
+                "memo_spills": self.memo_spills,
+                "memo_entries_restored": self.memo_entries_restored,
                 "engines": {
                     e.fingerprint: e.relation._engine.cache_info()
                     for e in resident

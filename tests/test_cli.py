@@ -598,3 +598,58 @@ class TestOtherCommands:
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+class TestSnapshotCommand:
+    def test_writes_loadable_snapshot(self, table_csv, tmp_path, capsys):
+        from repro.relations.io import read_csv
+        from repro.relations.relation import Relation
+
+        out = tmp_path / "table.snap"
+        code = main(["snapshot", str(table_csv), str(out)])
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["command"] == "snapshot"
+        assert report["out"] == str(out)
+        eager = read_csv(table_csv)
+        assert report["fingerprint"] == eager.fingerprint()
+        assert report["n_rows"] == len(eager)
+        assert report["n_cols"] == eager.schema.arity
+        reloaded = Relation.load_snapshot(out)
+        assert reloaded.fingerprint() == eager.fingerprint()
+        assert reloaded.rows() == eager.rows()
+
+    def test_streamed_ingest_same_snapshot(self, table_csv, tmp_path, capsys):
+        out_eager = tmp_path / "eager.snap"
+        out_streamed = tmp_path / "streamed.snap"
+        assert main(["snapshot", str(table_csv), str(out_eager)]) == 0
+        eager_fp = json.loads(capsys.readouterr().out)["fingerprint"]
+        assert (
+            main(
+                [
+                    "snapshot",
+                    str(table_csv),
+                    str(out_streamed),
+                    "--chunk-rows",
+                    "3",
+                ]
+            )
+            == 0
+        )
+        assert json.loads(capsys.readouterr().out)["fingerprint"] == eager_fp
+
+    def test_missing_csv_exits_cleanly(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["snapshot", str(tmp_path / "nope.csv"), str(tmp_path / "o")])
+        assert excinfo.value.code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unwritable_out_exits_cleanly(self, table_csv, tmp_path, capsys):
+        # the out path's parent does not exist and cannot be created
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file, not a directory")
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                ["snapshot", str(table_csv), str(blocker / "nested" / "snap")]
+            )
+        assert excinfo.value.code == 2

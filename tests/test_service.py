@@ -575,3 +575,316 @@ class TestJobQueue:
             assert job.state in (DONE, FAILED, TIMEOUT)
         for exc in rejected:
             assert "shut down" in str(exc) or "full" in str(exc)
+
+
+class TestRegistrySnapshots:
+    """Persistent columnar snapshots: write at admit, prefer on reload."""
+
+    def test_snapshot_written_beside_spill(self, tmp_path, table_csv):
+        registry = DatasetRegistry(spill_dir=tmp_path / "spill")
+        entry, _ = registry.register_path(table_csv)
+        assert entry.snapshot is True
+        snap = tmp_path / "spill" / f"snapshot-{entry.fingerprint}"
+        assert (snap / "meta.json").exists()
+        assert registry.stats()["snapshot_writes"] == 1
+
+    def test_eviction_reload_prefers_snapshot(self, tmp_path):
+        registry = DatasetRegistry(
+            memory_budget_bytes=1, spill_dir=tmp_path / "spill"
+        )
+        first, _ = registry.register_path(make_csv(tmp_path, "a.csv"))
+        fp = first.fingerprint
+        registry.register_path(make_csv(tmp_path, "b.csv", n_classes=3))
+        assert not registry.get(fp).resident
+        relation = registry.relation(fp)
+        assert relation.fingerprint() == fp
+        stats = registry.stats()
+        assert stats["snapshot_reloads"] == 1
+        assert stats["csv_reloads"] == 0
+        assert registry.get(fp).describe()["reload_source"] == "snapshot"
+
+    def test_warm_restart_restores_from_snapshots(self, tmp_path, table_csv):
+        spill = tmp_path / "spill"
+        registry = DatasetRegistry(spill_dir=spill)
+        entry, _ = registry.register_path(table_csv)
+        fp = entry.fingerprint
+
+        reborn = DatasetRegistry(spill_dir=spill)
+        assert fp in reborn
+        assert reborn.stats()["restored_from_snapshot"] == 1
+        relation = reborn.relation(fp)
+        assert relation.fingerprint() == fp
+        assert reborn.get(fp).describe()["reload_source"] == "snapshot"
+
+    def test_corrupt_snapshot_quarantined_with_csv_fallback(self, tmp_path):
+        registry = DatasetRegistry(
+            memory_budget_bytes=1, spill_dir=tmp_path / "spill"
+        )
+        first, _ = registry.register_path(make_csv(tmp_path, "a.csv"))
+        fp = first.fingerprint
+        snap = tmp_path / "spill" / f"snapshot-{fp}"
+        (snap / "col-000.npy").write_bytes(b"garbage")
+        registry.register_path(make_csv(tmp_path, "b.csv", n_classes=3))
+
+        relation = registry.relation(fp)
+        assert relation.fingerprint() == fp  # healed from CSV
+        stats = registry.stats()
+        assert stats["snapshot_quarantined"] == 1
+        assert stats["csv_reloads"] == 1
+        assert registry.get(fp).describe()["reload_source"] == "csv"
+        # the CSV reload heals the snapshot in place
+        assert (snap / "meta.json").exists()
+        assert (tmp_path / "spill" / "quarantine").exists()
+
+    def test_snapshot_reload_matches_csv_ingest_bit_identically(
+        self, tmp_path, table_csv
+    ):
+        from repro.relations.io import read_csv
+
+        registry = DatasetRegistry(
+            memory_budget_bytes=1, spill_dir=tmp_path / "spill"
+        )
+        entry, _ = registry.register_path(table_csv)
+        fp = entry.fingerprint
+        registry.register_path(make_csv(tmp_path, "other.csv", n_classes=4))
+        reloaded = registry.relation(fp)
+        eager = read_csv(table_csv)
+        assert reloaded.fingerprint() == eager.fingerprint()
+        assert reloaded.rows() == eager.rows()
+
+    def test_engine_memo_spilled_and_restored(self, tmp_path):
+        from repro.info.engine import EntropyEngine
+
+        registry = DatasetRegistry(
+            memory_budget_bytes=1, spill_dir=tmp_path / "spill"
+        )
+        first, _ = registry.register_path(make_csv(tmp_path, "a.csv"))
+        fp = first.fingerprint
+        expected = registry.engine(fp).entropy(["A"])
+        registry.register_path(make_csv(tmp_path, "b.csv", n_classes=3))
+        assert registry.stats()["memo_spills"] == 1
+
+        relation = registry.relation(fp)
+        assert registry.stats()["memo_entries_restored"] >= 1
+        engine = EntropyEngine.for_relation(relation)
+        assert engine.entropy(["A"]) == expected
+
+    def test_snapshots_disabled_falls_back_to_csv(self, tmp_path):
+        registry = DatasetRegistry(
+            memory_budget_bytes=1,
+            spill_dir=tmp_path / "spill",
+            snapshots=False,
+        )
+        first, _ = registry.register_path(make_csv(tmp_path, "a.csv"))
+        fp = first.fingerprint
+        assert first.snapshot is False
+        registry.register_path(make_csv(tmp_path, "b.csv", n_classes=3))
+        registry.relation(fp)
+        stats = registry.stats()
+        assert stats["snapshots_enabled"] is False
+        assert stats["snapshot_writes"] == 0
+        assert stats["csv_reloads"] == 1
+
+    def test_register_text_spill_is_crash_safe_and_snapshotted(self, tmp_path):
+        registry = DatasetRegistry(spill_dir=tmp_path / "spill")
+        text = "A,B\n1,x\n2,y\n"
+        entry, created = registry.register_text(text)
+        assert created and entry.snapshot
+        kept = tmp_path / "spill" / f"dataset-{entry.fingerprint}.csv"
+        assert kept.read_text() == text
+        # no orphaned temp files from the atomic write
+        leftovers = [
+            p for p in (tmp_path / "spill").iterdir() if ".tmp" in p.name
+        ]
+        assert leftovers == []
+
+    def test_snapshot_load_fault_forces_csv_fallback(self, tmp_path):
+        from repro.service.faults import FaultPlan
+
+        faults = FaultPlan.from_spec(
+            {"rules": [{"site": "registry.snapshot_load"}]}
+        )
+        registry = DatasetRegistry(
+            memory_budget_bytes=1,
+            spill_dir=tmp_path / "spill",
+            faults=faults,
+        )
+        first, _ = registry.register_path(make_csv(tmp_path, "a.csv"))
+        fp = first.fingerprint
+        registry.register_path(make_csv(tmp_path, "b.csv", n_classes=3))
+        relation = registry.relation(fp)
+        assert relation.fingerprint() == fp
+        assert registry.stats()["csv_reloads"] == 1
+
+    def test_register_path_warm_shortcut_skips_reingest(self, tmp_path):
+        spill = tmp_path / "spill"
+        path = make_csv(tmp_path, "a.csv")
+        old = DatasetRegistry(spill_dir=spill)
+        entry, _ = old.register_path(path)
+        fp = entry.fingerprint
+
+        reborn = DatasetRegistry(spill_dir=spill)
+        again, created = reborn.register_path(path)
+        assert created is False
+        assert again.fingerprint == fp
+        assert reborn.stats()["snapshot_reloads"] == 1
+
+    def test_register_path_shortcut_rejects_mutated_source(self, tmp_path):
+        spill = tmp_path / "spill"
+        path = make_csv(tmp_path, "a.csv")
+        old = DatasetRegistry(spill_dir=spill)
+        fp = old.register_path(path)[0].fingerprint
+
+        make_csv(tmp_path, "a.csv", n_classes=3)  # same path, new content
+        reborn = DatasetRegistry(spill_dir=spill)
+        entry, created = reborn.register_path(path)
+        assert created is True
+        assert entry.fingerprint != fp
+
+
+class TestBatchJobs:
+    def _queue(self, tmp_path, **kwargs):
+        registry = DatasetRegistry()
+        fp = registry.register_path(make_csv(tmp_path))[0].fingerprint
+        cache = ResultCache()
+        return JobQueue(registry, cache, workers=1, **kwargs), fp
+
+    def test_batch_reports_bit_identical_to_singletons(self, tmp_path):
+        import json as json_mod
+
+        registry = DatasetRegistry()
+        fp = registry.register_path(make_csv(tmp_path))[0].fingerprint
+        specs = [
+            {"operation": "analyze", "params": {"schema": "A,C;B,C"}},
+            {"operation": "mine", "params": {"strategy": "beam"}},
+            {"operation": "decompose", "params": {}},
+        ]
+        singleton_queue = JobQueue(registry, ResultCache(), workers=1)
+        singles = []
+        for spec in specs:
+            job = singleton_queue.submit(fp, spec["operation"], dict(spec["params"]))
+            assert job.wait(30)
+            assert job.state == DONE
+            singles.append(job.result)
+        singleton_queue.shutdown()
+
+        batch_queue = JobQueue(registry, ResultCache(), workers=1)
+        batch = batch_queue.submit_batch(fp, specs)
+        assert batch.wait(30)
+        assert batch.state == DONE
+        assert len(batch.items) == len(specs)
+        # wall_time_s is the one legitimately nondeterministic field
+        # when the runs are independent (separate caches); everything
+        # else must agree bit-for-bit.
+        volatile = ("cached", "wall_time_s")
+        for single, item in zip(singles, batch.items):
+            left = {k: v for k, v in single.items() if k not in volatile}
+            right = {
+                k: v for k, v in item.result.items() if k not in volatile
+            }
+            assert json_mod.dumps(left, sort_keys=True) == json_mod.dumps(
+                right, sort_keys=True
+            )
+        batch_queue.shutdown()
+
+    def test_fully_cached_batch_is_born_done(self, tmp_path):
+        jobs, fp = self._queue(tmp_path)
+        specs = [{"operation": "decompose", "params": {}}]
+        first = jobs.submit_batch(fp, specs)
+        assert first.wait(30) and first.state == DONE
+        second = jobs.submit_batch(fp, specs)
+        assert second.state == DONE  # no queue round-trip
+        assert second.cached is True
+        assert second.items[0].cached is True
+        assert jobs.stats()["batch_item_cache_hits"] == 1
+        jobs.shutdown()
+
+    def test_duplicate_items_fill_from_cache_mid_batch(self, tmp_path):
+        jobs, fp = self._queue(tmp_path)
+        spec = {"operation": "analyze", "params": {"schema": "A,C;B,C"}}
+        batch = jobs.submit_batch(fp, [spec, dict(spec)])
+        assert batch.wait(30) and batch.state == DONE
+        assert batch.items[0].cached is False
+        assert batch.items[1].cached is True
+        assert batch.items[0].result["rho"] == batch.items[1].result["rho"]
+        jobs.shutdown()
+
+    def test_item_failure_is_isolated(self, tmp_path):
+        jobs, fp = self._queue(tmp_path)
+        batch = jobs.submit_batch(
+            fp,
+            [
+                {"operation": "analyze", "params": {"schema": "NOPE"}},
+                {"operation": "decompose", "params": {}},
+            ],
+        )
+        assert batch.wait(30)
+        assert batch.state == DONE  # the batch ran; one item failed
+        assert batch.items[0].state == FAILED
+        assert batch.items[0].error
+        assert batch.items[1].state == DONE
+        # client errors never touch the breakers
+        breakers = jobs.stats()["breakers"]
+        assert all(b["consecutive_failures"] == 0 for b in breakers.values())
+        jobs.shutdown()
+
+    def test_all_items_failing_fails_the_batch(self, tmp_path):
+        jobs, fp = self._queue(tmp_path)
+        batch = jobs.submit_batch(
+            fp, [{"operation": "analyze", "params": {"schema": "NOPE"}}]
+        )
+        assert batch.wait(30)
+        assert batch.state == FAILED
+        jobs.shutdown()
+
+    def test_batch_validation(self, tmp_path):
+        jobs, fp = self._queue(tmp_path)
+        with pytest.raises(ServiceError):
+            jobs.submit_batch(fp, [])
+        with pytest.raises(ServiceError):
+            jobs.submit_batch(fp, "not a list")
+        with pytest.raises(ServiceError):
+            jobs.submit_batch(fp, [{"operation": "mine", "bogus": 1}])
+        with pytest.raises(ServiceError):
+            jobs.submit_batch(fp, [{"operation": "nope"}])
+        with pytest.raises(ServiceError):
+            jobs.submit_batch(
+                fp, [{"operation": "mine", "params": {"deadline": 5}}]
+            )
+        with pytest.raises(UnknownDatasetError):
+            jobs.submit_batch("deadbeef", [{"operation": "mine"}])
+        jobs.shutdown()
+
+    def test_max_batch_ops_enforced(self, tmp_path):
+        jobs, fp = self._queue(tmp_path, max_batch_ops=2)
+        with pytest.raises(ServiceError):
+            jobs.submit_batch(
+                fp, [{"operation": "decompose"} for _ in range(3)]
+            )
+        jobs.shutdown()
+
+    def test_idempotent_batch_replay(self, tmp_path):
+        jobs, fp = self._queue(tmp_path)
+        specs = [{"operation": "decompose", "params": {}}]
+        first = jobs.submit_batch(fp, specs, idempotency_key="tok")
+        again = jobs.submit_batch(fp, specs, idempotency_key="tok")
+        assert again is first
+        assert jobs.stats()["idempotent_replays"] == 1
+        assert first.wait(30)
+        jobs.shutdown()
+
+    def test_batch_counters_in_stats(self, tmp_path):
+        jobs, fp = self._queue(tmp_path)
+        batch = jobs.submit_batch(
+            fp,
+            [
+                {"operation": "decompose", "params": {}},
+                {"operation": "decompose", "params": {}},
+            ],
+        )
+        assert batch.wait(30)
+        stats = jobs.stats()
+        assert stats["batches"] == 1
+        assert stats["batch_items"] == 2
+        assert stats["batch_item_cache_hits"] == 1  # the twin
+        jobs.shutdown()

@@ -294,3 +294,130 @@ class TestClientErrors:
         client = ServiceClient("http://127.0.0.1:9", timeout=0.5, retries=0)
         with pytest.raises(ServiceError, match="cannot reach"):
             client.healthz()
+
+
+class TestBatchEndpoint:
+    def test_batch_over_http_matches_singletons(self, client, tmp_path):
+        fp = client.register_dataset(path=str(make_csv(tmp_path)))["fingerprint"]
+        specs = [
+            {"operation": "analyze", "params": {"schema": "A,C;B,C"}},
+            {"operation": "mine", "params": {"strategy": "beam"}},
+            {"operation": "decompose", "params": {}},
+        ]
+        singles = [
+            client.run(fp, s["operation"], dict(s["params"]))["result"]
+            for s in specs
+        ]
+        reports = client.batch_reports(fp, specs)
+        assert len(reports) == 3
+        for single, batched in zip(singles, reports):
+            left = {k: v for k, v in single.items() if k != "cached"}
+            right = {k: v for k, v in batched.items() if k != "cached"}
+            assert left == right
+
+    def test_fully_cached_batch_returns_200_immediately(self, client, tmp_path):
+        fp = client.register_dataset(path=str(make_csv(tmp_path)))["fingerprint"]
+        specs = [{"operation": "decompose", "params": {}}]
+        first = client.run_batch(fp, specs)
+        assert first["state"] == "done"
+        # all items cached now: the submit response is already done (200)
+        second = client.submit_batch(fp, specs)
+        assert second["state"] == "done"
+        assert second["cached"] is True
+        assert second["n_cached"] == 1
+
+    def test_batch_fewer_dispatch_round_trips_than_singletons(
+        self, client, service, tmp_path
+    ):
+        fp = client.register_dataset(path=str(make_csv(tmp_path)))["fingerprint"]
+        specs = [
+            {"operation": "analyze", "params": {"schema": f"A,C;B,C" if i % 2 else "A,B;B,C"}}
+            for i in range(6)
+        ]
+        client.run_batch(fp, specs)
+        stats = client.stats()["jobs"]
+        # 6 operations entered the service as ONE queue unit
+        assert stats["batches"] == 1
+        assert stats["batch_items"] == 6
+        assert stats["completed_total"]["done"] == 1
+
+    def test_batch_validation_maps_to_400(self, client, tmp_path):
+        fp = client.register_dataset(path=str(make_csv(tmp_path)))["fingerprint"]
+        with pytest.raises(ServiceClientError) as excinfo:
+            client.submit_batch(fp, [])
+        assert excinfo.value.status == 400
+        with pytest.raises(ServiceClientError) as excinfo:
+            client.submit_batch(
+                fp, [{"operation": "mine", "params": {"deadline": 5}}]
+            )
+        assert excinfo.value.status == 400
+        with pytest.raises(ServiceClientError) as excinfo:
+            client.submit_batch("ffffffffffffffffffffffffffffffff", [{"operation": "mine"}])
+        assert excinfo.value.status == 404
+
+    def test_item_failure_isolated_over_http(self, client, tmp_path):
+        fp = client.register_dataset(path=str(make_csv(tmp_path)))["fingerprint"]
+        view = client.run_batch(
+            fp,
+            [
+                {"operation": "analyze", "params": {"schema": "NOPE"}},
+                {"operation": "decompose", "params": {}},
+            ],
+        )
+        assert view["state"] == "done"
+        assert view["n_failed"] == 1
+        assert view["items"][0]["state"] == "failed"
+        assert view["items"][1]["state"] == "done"
+        with pytest.raises(ServiceError, match="item 0"):
+            client.batch_reports(
+                fp,
+                [
+                    {"operation": "analyze", "params": {"schema": "NOPE"}},
+                    {"operation": "decompose", "params": {}},
+                ],
+            )
+
+
+class TestSnapshotRestart:
+    def test_restart_reloads_datasets_from_snapshots(self, tmp_path):
+        spill = tmp_path / "spill"
+        path = make_csv(tmp_path)
+        with Service(ServiceConfig(port=0, spill_dir=spill)) as first:
+            client = ServiceClient(f"http://127.0.0.1:{first.port}")
+            fp = client.register_dataset(path=str(path))["fingerprint"]
+            cold = client.mine(fp)
+        # The restarted service knows the dataset before any client
+        # re-registers it, and reloads it from the snapshot (no CSV parse).
+        with Service(ServiceConfig(port=0, spill_dir=spill)) as second:
+            client = ServiceClient(f"http://127.0.0.1:{second.port}")
+            listed = client.list_datasets()
+            assert [d["fingerprint"] for d in listed] == [fp]
+            assert listed[0]["snapshot"] is True
+            # mine is answered from the spilled result cache without
+            # touching the relation at all...
+            report = client.run(fp, "mine", {})["result"]
+            clean = dict(report)
+            clean.pop("cached", None)
+            assert clean == cold
+            assert client.stats()["registry"]["snapshot_reloads"] == 0
+            # ...while a fresh operation forces the reload, which comes
+            # from the snapshot, not the CSV.
+            client.analyze(fp, "A,C;B,C")
+            stats = client.stats()["registry"]
+            assert stats["restored_from_snapshot"] == 1
+            assert stats["snapshot_reloads"] == 1
+            assert stats["csv_reloads"] == 0
+            view = client.get_dataset(fp)
+            assert view["reload_source"] == "snapshot"
+
+    def test_snapshots_disabled_by_config(self, tmp_path):
+        spill = tmp_path / "spill"
+        path = make_csv(tmp_path)
+        with Service(
+            ServiceConfig(port=0, spill_dir=spill, snapshots=False)
+        ) as running:
+            client = ServiceClient(f"http://127.0.0.1:{running.port}")
+            client.register_dataset(path=str(path))
+            stats = client.stats()["registry"]
+            assert stats["snapshots_enabled"] is False
+            assert stats["snapshot_writes"] == 0
