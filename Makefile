@@ -5,8 +5,8 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test bench bench-baseline bench-strategies bench-jmeasure \
-	bench-streaming bench-service bench-store bench-gate service-smoke \
-	chaos-smoke lint
+	bench-streaming bench-service bench-store bench-cluster bench-gate \
+	service-smoke chaos-smoke lint
 
 ## tier-1 suite (tests only; benchmarks are opt-in via `make bench`)
 test:
@@ -55,6 +55,14 @@ bench-service:
 bench-store:
 	BENCH_STORE_FULL=1 $(PYTHON) -m pytest \
 		benchmarks/test_bench_store.py -q -s --benchmark-disable
+
+## multi-process scale-out: uncached mixed-dataset throughput at
+## worker_procs 1/2/4 vs single-process; appends the cluster sweep
+## tier to BENCH_service.json (see docs/service.md)
+bench-cluster:
+	BENCH_CLUSTER_SWEEP=1 $(PYTHON) -m pytest \
+		benchmarks/test_bench_service.py -q -s -k cluster \
+		--benchmark-disable
 
 ## boot a real `repro-ajd serve` subprocess and drive
 ## register -> mine -> decompose -> warm repeat over HTTP (the CI

@@ -45,6 +45,25 @@ def _last_record(path: Path) -> dict:
     return history
 
 
+def _last_record_with_tier(path: Path, tier: str) -> dict:
+    """The most recent record that carries ``tier`` in its tiers map.
+
+    Bench modules only record the tiers their selected tests ran, so a
+    partial run (``pytest -k``) appends records without, say, the
+    cluster tier.  Scanning backwards keeps those from shadowing the
+    last real baseline.
+    """
+    if not path.exists():
+        raise FileNotFoundError(f"baseline file {path.name} is missing")
+    history = json.loads(path.read_text())
+    if not isinstance(history, list):
+        history = [history]
+    for record in reversed(history):
+        if isinstance(record, dict) and tier in record.get("tiers", {}):
+            return record
+    raise KeyError(f"no record in {path.name} carries tier {tier!r}")
+
+
 # ----------------------------------------------------------------------
 # Fresh smoke measurements (one function per tracked op family)
 # ----------------------------------------------------------------------
@@ -154,6 +173,17 @@ def fresh_service_faults_idle_ratio() -> float:
     return _fresh_service_metrics()["faults_idle_speedup"]
 
 
+def fresh_cluster_rps_ratio() -> float:
+    """worker_procs=2 vs single-process throughput on uncached load."""
+    import tempfile
+
+    from test_bench_service import run_cluster_tier
+
+    with tempfile.TemporaryDirectory() as tmp:
+        tier = run_cluster_tier(20_000, 59, Path(tmp))
+    return tier["cluster_vs_single_proc_rps_ratio"]
+
+
 _fresh_store_tier: dict | None = None
 
 
@@ -230,6 +260,15 @@ def baseline_service_faults_idle_ratio() -> float:
     return float(record["tiers"]["n=2e4"]["faults_idle_speedup"])
 
 
+def baseline_cluster_rps_ratio() -> float:
+    record = _last_record_with_tier(
+        REPO_ROOT / "BENCH_service.json", "cluster@n=2e4"
+    )
+    return float(
+        record["tiers"]["cluster@n=2e4"]["cluster_vs_single_proc_rps_ratio"]
+    )
+
+
 def baseline_store_snapshot_speedup() -> float:
     record = _last_record(REPO_ROOT / "BENCH_store.json")
     return float(record["tiers"]["n=2e4"]["snapshot_vs_csv_reload_speedup"])
@@ -293,6 +332,16 @@ TRACKED_OPS = {
     "service/batch_vs_singleton_dispatch_speedup@2e4": (
         baseline_batch_dispatch_speedup,
         fresh_batch_dispatch_speedup,
+        1.5,
+    ),
+    # Cluster scale-out (or, on one core, dispatch overhead): the ratio
+    # depends on the runner's core count, so the gate only guards
+    # against the ratio collapsing relative to its own baseline —
+    # recorded on the same class of machine.  Thread-scheduling noise on
+    # both sides → widened floor.
+    "service/cluster_vs_single_proc_rps_ratio@2e4": (
+        baseline_cluster_rps_ratio,
+        fresh_cluster_rps_ratio,
         1.5,
     ),
 }

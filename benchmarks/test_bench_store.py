@@ -125,6 +125,9 @@ def run_store_tier(n_rows: int, seed: int, tmp_dir: Path) -> dict:
         "n_rows": len(ingested),
         "csv_mb": csv_path.stat().st_size / 1e6,
         "snapshot_mb": _dir_bytes(snap_path) / 1e6,
+        # v2 narrows code dtypes by cardinality (uint8/16/32); this
+        # tracks the on-disk footprint so a dtype regression shows up.
+        "snapshot_bytes_per_row": _dir_bytes(snap_path) / max(len(ingested), 1),
         "csv_parse_s": csv_parse_s,
         "snapshot_write_s": snapshot_write_s,
         "snapshot_load_s": snapshot_load_s,

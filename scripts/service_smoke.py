@@ -18,7 +18,13 @@ What the CI ``service-smoke`` job (and ``make service-smoke``) runs:
    spill directory, and require the dataset to come back from its
    columnar snapshot (``created: false`` on re-register, a fresh
    analyze served with ``snapshot_reloads == 1`` and zero CSV
-   re-parses).
+   re-parses);
+8. boot a **cluster** server (``--worker-procs 2``) under a seeded
+   fault plan that kills a worker process mid-job: the in-flight mine
+   must fail with ``reason: "worker_crashed"``, the supervisor must
+   respawn the shard's worker, the retried mine must succeed from the
+   snapshot rehydrate, and ``/stats`` must expose per-worker shard
+   residency and dispatch counters.
 
 Exit codes: 0 ok · 1 assertion failed · 2 infrastructure trouble.
 """
@@ -42,7 +48,9 @@ from repro.factorize.report import validate_report  # noqa: E402
 from repro.service.client import ServiceClient  # noqa: E402
 
 
-def start_server(spill_dir: str, stderr_path: Path) -> tuple[subprocess.Popen, int]:
+def start_server(
+    spill_dir: str, stderr_path: Path, extra_args: list[str] | None = None
+) -> tuple[subprocess.Popen, int]:
     # stderr goes to a file (never a blocking pipe) and is read back on
     # failure; stdout is drained by a thread so a stalled server fails
     # this script fast instead of hanging a blocking readline().
@@ -56,6 +64,7 @@ def start_server(spill_dir: str, stderr_path: Path) -> tuple[subprocess.Popen, i
             "--port", "0",
             "--workers", "2",
             "--spill-dir", spill_dir,
+            *(extra_args or []),
         ],
         cwd=REPO_ROOT,
         env={"PYTHONPATH": str(SRC_PATH), "PATH": "/usr/bin:/bin"},
@@ -202,8 +211,80 @@ def main() -> int:
             except subprocess.TimeoutExpired:
                 process.kill()
                 process.wait(timeout=10)
-        print("[smoke] service smoke ok")
-        return 0
+
+    cluster_phase(csv_path)
+    print("[smoke] service smoke ok")
+    return 0
+
+
+def cluster_phase(csv_path: Path) -> None:
+    """``--worker-procs 2`` under a seeded worker-kill fault plan."""
+    plan = json.dumps(
+        {"seed": 11, "rules": [{"site": "cluster.worker_exit", "times": 1}]}
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-cluster-") as spill_dir:
+        process, port = start_server(
+            spill_dir,
+            Path(spill_dir) / "server-stderr-cluster.log",
+            extra_args=["--worker-procs", "2", "--fault-plan", plan],
+        )
+        try:
+            client = ServiceClient(f"http://127.0.0.1:{port}")
+            fp = client.register_dataset(path=str(csv_path))["fingerprint"]
+
+            crashed = client.run(fp, "mine", {"strategy": "beam"})
+            assert crashed["state"] == "failed", crashed
+            assert crashed["reason"] == "worker_crashed", crashed
+            print("[smoke] cluster: injected worker kill failed the "
+                  "in-flight job with reason=worker_crashed")
+
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                if client.healthz().get("worker_procs_alive") == 2:
+                    break
+                time.sleep(0.25)
+            else:
+                raise AssertionError(
+                    "dead worker was never respawned within 30s"
+                )
+            print("[smoke] cluster: shard worker respawned")
+
+            report = client.mine(fp, strategy="beam")
+            validate_report(report)
+            assert report["rho"] == 0.0, report
+
+            warm = client.run(fp, "mine", {"strategy": "beam"})
+            assert warm["cached"] is True, warm
+
+            cluster = client.stats()["cluster"]
+            assert cluster["worker_procs"] == 2, cluster
+            assert cluster["alive"] == 2, cluster
+            assert cluster["worker_crashes"] == 1, cluster
+            assert cluster["worker_respawns"] == 1, cluster
+            assert cluster["dispatched"] >= 2, cluster
+            assert cluster["hydrations"]["snapshot"] >= 1, cluster
+            assert cluster["hydrations"]["csv"] == 0, cluster
+            homes = [
+                worker_id
+                for worker_id, owned in cluster["shards"].items()
+                if fp in owned
+            ]
+            assert len(homes) == 1, cluster["shards"]
+            assert len(cluster["workers"]) == 2, cluster
+            print(
+                f"[smoke] cluster ok (retry rehydrated from snapshot, "
+                f"dataset homed on worker {homes[0]}, "
+                f"{cluster['dispatched']} dispatches, "
+                f"{cluster['worker_crashes']} crash/"
+                f"{cluster['worker_respawns']} respawn)"
+            )
+        finally:
+            process.terminate()
+            try:
+                process.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait(timeout=10)
 
 
 if __name__ == "__main__":

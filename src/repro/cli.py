@@ -276,6 +276,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         breaker_failures=args.breaker_failures,
         breaker_cooldown_s=args.breaker_cooldown,
         snapshots=not args.no_snapshots,
+        worker_procs=args.worker_procs,
     )
     service = Service(config)
     if service.faults.enabled:
@@ -322,6 +323,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 "host": config.host,
                 "port": port,
                 "workers": config.workers,
+                **(
+                    {"worker_procs": config.worker_procs}
+                    if config.worker_procs
+                    else {}
+                ),
             }
         ),
         flush=True,
@@ -597,6 +603,16 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable persistent columnar snapshots (the registry then "
         "always re-ingests evicted datasets from CSV)",
+    )
+    p_serve.add_argument(
+        "--worker-procs",
+        type=int,
+        default=0,
+        metavar="N",
+        help="worker subprocesses for compute scale-out; each owns a "
+        "consistent-hash shard of the datasets and jobs are dispatched "
+        "to the owner over a local socket (default: 0 = in-process, "
+        "bit-identical to the single-process service)",
     )
     p_serve.set_defaults(func=_cmd_serve)
 

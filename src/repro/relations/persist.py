@@ -54,10 +54,34 @@ from repro.relations.columns import ColumnStore
 from repro.relations.schema import Attribute, RelationSchema
 
 FORMAT_NAME = "repro-columnar-snapshot"
-FORMAT_VERSION = 1
+#: Current write version.  Version 1 stored every code column as int64;
+#: version 2 narrows each column to the smallest unsigned dtype that can
+#: hold ``card - 1`` (uint8/16/32, falling back to int64 past 2**32).
+#: Loads accept both and always hand the engine int64 arrays.
+FORMAT_VERSION = 2
+SUPPORTED_VERSIONS = (1, 2)
 META_FILE = "meta.json"
 MEMO_FILE = "memo.json"
 MEMO_FORMAT_NAME = "repro-entropy-memo"
+#: The memo sidecar format is versioned independently of the snapshot
+#: format (its shape did not change when snapshots learned narrow
+#: dtypes), so v1 sidecars written beside v1 snapshots stay readable.
+MEMO_FORMAT_VERSION = 1
+
+
+def code_dtype_for(card: int) -> np.dtype:
+    """Narrowest dtype holding codes in ``[0, card)`` (version-2 layout).
+
+    An empty column (``card == 0``) stores no codes; uint8 is used so
+    the on-disk array still has a well-defined element type.
+    """
+    if card <= 1 << 8:
+        return np.dtype(np.uint8)
+    if card <= 1 << 16:
+        return np.dtype(np.uint16)
+    if card <= 1 << 32:
+        return np.dtype(np.uint32)
+    return np.dtype(np.int64)
 
 
 # ----------------------------------------------------------------------
@@ -277,8 +301,16 @@ def save_snapshot(
         ) from exc
     try:
         for j, name in enumerate(column_files):
+            # Narrow losslessly: codes live in [0, card) by construction
+            # (the range is re-verified against the same card on load).
+            narrow = code_dtype_for(int(store.cards[j]))
             with open(tmp / name, "wb") as handle:
-                np.save(handle, np.ascontiguousarray(store.codes[j]))
+                np.save(
+                    handle,
+                    np.ascontiguousarray(
+                        store.codes[j].astype(narrow, copy=False)
+                    ),
+                )
                 handle.flush()
                 os.fsync(handle.fileno())
         meta_text = json.dumps(meta, indent=2, sort_keys=True) + "\n"
@@ -326,10 +358,10 @@ def read_snapshot_meta(path: str | Path) -> dict:
             f"{path} is not a {FORMAT_NAME} snapshot "
             f"(format={meta.get('format') if isinstance(meta, dict) else meta!r})"
         )
-    if meta.get("version") != FORMAT_VERSION:
+    if meta.get("version") not in SUPPORTED_VERSIONS:
         raise SnapshotError(
             f"snapshot {path} has format version {meta.get('version')!r}; "
-            f"this build reads version {FORMAT_VERSION}"
+            f"this build reads versions {SUPPORTED_VERSIONS}"
         )
     attributes = meta.get("attributes")
     if (
@@ -481,6 +513,7 @@ def load_snapshot(
         )
     n_rows = meta["n_rows"]
     cards = meta["cards"]
+    version = meta["version"]
     columns: list[np.ndarray] = []
     for name, card in zip(meta["columns"], cards):
         try:
@@ -493,16 +526,29 @@ def load_snapshot(
             raise SnapshotError(
                 f"snapshot column {path / name} is unreadable: {exc}"
             ) from exc
-        if arr.dtype != np.int64 or arr.ndim != 1 or arr.shape[0] != n_rows:
+        expected_dtype = (
+            np.dtype(np.int64) if version == 1 else code_dtype_for(card)
+        )
+        if (
+            arr.dtype != expected_dtype
+            or arr.ndim != 1
+            or arr.shape[0] != n_rows
+        ):
             raise SnapshotError(
                 f"snapshot column {path / name} has dtype {arr.dtype} and "
-                f"shape {arr.shape}; expected int64 of shape ({n_rows},)"
+                f"shape {arr.shape}; expected {expected_dtype} of shape "
+                f"({n_rows},)"
             )
         if n_rows and (int(arr.min()) < 0 or int(arr.max()) >= card):
             raise SnapshotError(
                 f"snapshot column {path / name} has codes outside "
                 f"[0, {card}); the snapshot is corrupt"
             )
+        if arr.dtype != np.int64:
+            # The in-memory contract is int64 (ColumnStore.packed_key
+            # does mixed-radix arithmetic that would overflow narrow
+            # unsigned arrays).  One vectorized widen — still zero-parse.
+            arr = arr.astype(np.int64)
         columns.append(arr)
     decoders = [
         [_untag_value(tagged) for tagged in dec] for dec in meta["decoders"]
@@ -563,7 +609,7 @@ def save_engine_memo(snapshot_path: str | Path, engine) -> bool:
         return False
     document = {
         "format": MEMO_FORMAT_NAME,
-        "version": FORMAT_VERSION,
+        "version": MEMO_FORMAT_VERSION,
         "entries": [
             [list(key), float(value)] for key, value in entries.items()
         ],
@@ -591,7 +637,7 @@ def load_engine_memo(snapshot_path: str | Path) -> dict[tuple[str, ...], float]:
     if (
         not isinstance(document, dict)
         or document.get("format") != MEMO_FORMAT_NAME
-        or document.get("version") != FORMAT_VERSION
+        or document.get("version") != MEMO_FORMAT_VERSION
         or not isinstance(document.get("entries"), list)
     ):
         raise SnapshotError(f"memo {memo_path} is malformed")
@@ -608,3 +654,121 @@ def load_engine_memo(snapshot_path: str | Path) -> dict[tuple[str, ...], float]:
             raise SnapshotError(f"memo {memo_path} has a malformed entry")
         out[tuple(item[0])] = float(item[1])
     return out
+
+
+def merge_engine_memo(
+    snapshot_path: str | Path, entries: dict[tuple[str, ...], float]
+) -> int:
+    """Fold ``entries`` into a snapshot's memo sidecar; return new keys.
+
+    This is the front end's half of the cluster memo hand-off: workers
+    return the entropy values they computed as a delta, and the
+    dispatcher merges each delta into the shared sidecar so the *next*
+    process to hydrate the dataset (a respawned worker, a restarted
+    server) starts warm.  Existing keys win — entropy values for a
+    fixed fingerprint are deterministic, so a conflict can only be a
+    duplicate.  A corrupt sidecar is overwritten with the delta alone.
+    """
+    if not entries:
+        return 0
+    snapshot_path = Path(snapshot_path)
+    if not (snapshot_path / META_FILE).exists():
+        return 0
+    try:
+        merged = load_engine_memo(snapshot_path)
+    except SnapshotError:
+        merged = {}
+    added = 0
+    for key, value in entries.items():
+        if key not in merged:
+            merged[tuple(key)] = float(value)
+            added += 1
+    if not added:
+        return 0
+    document = {
+        "format": MEMO_FORMAT_NAME,
+        "version": MEMO_FORMAT_VERSION,
+        "entries": [
+            [list(key), float(value)] for key, value in merged.items()
+        ],
+    }
+    atomic_write_text(
+        snapshot_path / MEMO_FILE,
+        json.dumps(document, sort_keys=True) + "\n",
+    )
+    return added
+
+
+# ----------------------------------------------------------------------
+# Worker-side hydration
+# ----------------------------------------------------------------------
+def hydrate_relation(
+    *,
+    expected_fingerprint: str,
+    snapshot_path: str | Path | None = None,
+    source: str | None = None,
+    chunk_rows: int | None = None,
+):
+    """Materialize a relation in a worker process: snapshot, then CSV.
+
+    The cluster dispatcher ships *references* (snapshot directory, CSV
+    source path) instead of pickled relations; each worker rebuilds the
+    dataset locally through the same zero-parse path the registry uses:
+
+    1. the columnar snapshot (mmap + decode-free assembly), with the
+       entropy-memo sidecar merged into the resident engine so a
+       rehomed dataset starts warm;
+    2. the CSV source, re-fingerprinted and rejected on mismatch (a
+       mutated source must never silently impersonate the dataset).
+
+    Returns ``(relation, origin)`` with ``origin`` in ``{"snapshot",
+    "csv"}``.  Raises :class:`~repro.errors.SnapshotError` when no
+    route produces the expected content.
+    """
+    from repro.info.engine import EntropyEngine
+    from repro.relations.io import infer_integer_domains, read_csv
+    from repro.relations.relation import Relation
+
+    if snapshot_path is not None:
+        snapshot_path = Path(snapshot_path)
+        if (snapshot_path / META_FILE).exists():
+            try:
+                relation = load_snapshot(
+                    snapshot_path,
+                    expected_fingerprint=expected_fingerprint,
+                    domains=True,
+                )
+            except (SnapshotError, OSError):
+                relation = None
+            if relation is not None:
+                try:
+                    memo = load_engine_memo(snapshot_path)
+                except SnapshotError:
+                    memo = {}
+                if memo:
+                    EntropyEngine.for_relation(relation).merge_cache(memo)
+                return relation, "snapshot"
+    if source is not None:
+        try:
+            loaded = (
+                Relation.from_csv_stream(source, chunk_rows=chunk_rows)
+                if chunk_rows is not None
+                else read_csv(source)
+            )
+        except OSError as exc:
+            raise SnapshotError(
+                f"dataset {expected_fingerprint} has no loadable snapshot "
+                f"and its source {source!r} is unreadable: {exc}"
+            ) from exc
+        relation = infer_integer_domains(loaded)
+        if relation.fingerprint() != expected_fingerprint:
+            raise SnapshotError(
+                f"source {source!r} re-ingests to fingerprint "
+                f"{relation.fingerprint()}, expected {expected_fingerprint}; "
+                "the file mutated since registration"
+            )
+        return relation, "csv"
+    raise SnapshotError(
+        f"dataset {expected_fingerprint} cannot be hydrated: no snapshot "
+        "directory and no CSV source were provided"
+    )

@@ -18,7 +18,11 @@ service that amortizes work across requests:
 * :class:`~repro.service.client.ServiceClient` — the Python client,
   with capped-jittered retries and idempotent resubmission;
 * :class:`~repro.service.faults.FaultPlan` — the deterministic
-  fault-injection harness behind the chaos test suite.
+  fault-injection harness behind the chaos test suite;
+* :mod:`repro.service.cluster` / :mod:`repro.service.dispatch` — the
+  ``--worker-procs N`` multi-process scale-out: worker subprocesses own
+  consistent-hash shards of the datasets, hydrate them zero-parse from
+  snapshots, and receive jobs over a length-prefixed socket protocol.
 
 See ``docs/service.md`` for the API reference and semantics, and
 ``docs/robustness.md`` for the failure model.
@@ -28,6 +32,7 @@ from repro.service.app import Service
 from repro.service.cache import ResultCache, canonical_key
 from repro.service.client import ServiceClient, ServiceClientError
 from repro.service.config import ServiceConfig
+from repro.service.dispatch import DispatchError, WorkerCrashedError
 from repro.service.faults import FaultPlan, WorkerCrashInjection
 from repro.service.jobs import BatchItem, BatchJob, CircuitBreaker, Job, JobQueue
 from repro.service.operations import canonicalize_params, run_operation
@@ -37,8 +42,10 @@ __all__ = [
     "BatchItem",
     "BatchJob",
     "CircuitBreaker",
+    "ClusterSupervisor",
     "DatasetEntry",
     "DatasetRegistry",
+    "DispatchError",
     "FaultPlan",
     "Job",
     "JobQueue",
@@ -47,8 +54,20 @@ __all__ = [
     "ServiceClient",
     "ServiceClientError",
     "ServiceConfig",
+    "ShardMap",
     "WorkerCrashInjection",
+    "WorkerCrashedError",
     "canonical_key",
     "canonicalize_params",
     "run_operation",
 ]
+
+
+def __getattr__(name: str):
+    # ClusterSupervisor/ShardMap resolve lazily: the cluster module pulls
+    # in subprocess machinery that single-process embedders never need.
+    if name in ("ClusterSupervisor", "ShardMap"):
+        from repro.service import cluster
+
+        return getattr(cluster, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -47,17 +47,38 @@ class Service:
             spill_dir=self.config.spill_dir,
             faults=self.faults,
         )
-        self.jobs = JobQueue(
-            self.registry,
-            self.cache,
-            workers=self.config.workers,
-            max_queue=self.config.max_queue,
-            default_deadline_s=self.config.default_deadline_s,
-            faults=self.faults,
-            breaker_failures=self.config.breaker_failures,
-            breaker_cooldown_s=self.config.breaker_cooldown_s,
-            max_batch_ops=self.config.max_batch_ops,
-        )
+        #: ``worker_procs > 0`` scales compute across worker subprocesses
+        #: (see :mod:`repro.service.cluster`); 0 keeps the classic
+        #: in-process pool — bit-identical to the pre-cluster service,
+        #: down to never importing the cluster module.
+        self.cluster = None
+        if self.config.worker_procs > 0:
+            from repro.service.cluster import ClusterSupervisor
+
+            self.cluster = ClusterSupervisor(
+                worker_procs=self.config.worker_procs,
+                registry=self.registry,
+                faults=self.faults,
+                max_inflight=self.config.worker_inflight,
+                max_resident=self.config.worker_max_resident,
+            )
+        try:
+            self.jobs = JobQueue(
+                self.registry,
+                self.cache,
+                workers=self.config.workers,
+                max_queue=self.config.max_queue,
+                default_deadline_s=self.config.default_deadline_s,
+                faults=self.faults,
+                breaker_failures=self.config.breaker_failures,
+                breaker_cooldown_s=self.config.breaker_cooldown_s,
+                max_batch_ops=self.config.max_batch_ops,
+                executor=self.cluster,
+            )
+        except BaseException:
+            if self.cluster is not None:
+                self.cluster.shutdown()
+            raise
         self._server: ServiceHTTPServer | None = None
         self._thread: threading.Thread | None = None
         self._started_at = time.monotonic()
@@ -114,6 +135,8 @@ class Service:
             self._server = None
         self._thread = None
         self.jobs.shutdown(wait=True)
+        if self.cluster is not None:
+            self.cluster.shutdown()
 
     def __enter__(self) -> "Service":
         return self.start()
@@ -148,6 +171,13 @@ class Service:
                 f"{jobs_stats['workers_alive']}/{self.config.workers} "
                 "workers alive"
             )
+        if self.cluster is not None:
+            cluster_alive = self.cluster.alive_workers()
+            if cluster_alive < self.config.worker_procs:
+                reasons.append(
+                    f"{cluster_alive}/{self.config.worker_procs} "
+                    "cluster workers alive"
+                )
         ttl = self.config.health_incident_ttl_s
         for label, at in (
             ("worker crash", self.jobs.last_crash_at),
@@ -175,6 +205,9 @@ class Service:
                 for operation, breaker in breakers.items()
             },
         }
+        if self.cluster is not None:
+            view["worker_procs"] = self.config.worker_procs
+            view["worker_procs_alive"] = self.cluster.alive_workers()
         if reasons:
             view["reasons"] = reasons
         if self.faults.enabled:
@@ -182,11 +215,19 @@ class Service:
         return view
 
     def stats(self) -> dict:
-        """The ``GET /stats`` document."""
-        return {
+        """The ``GET /stats`` document.
+
+        The ``cluster`` section appears only when ``worker_procs > 0``,
+        keeping the single-process document byte-identical to the
+        pre-cluster service.
+        """
+        view = {
             "uptime_s": time.monotonic() - self._started_at,
             "cache": self.cache.stats(),
             "registry": self.registry.stats(),
             "jobs": self.jobs.stats(),
             "faults": self.faults.stats(),
         }
+        if self.cluster is not None:
+            view["cluster"] = self.cluster.stats()
+        return view

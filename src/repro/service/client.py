@@ -387,3 +387,11 @@ class ServiceClient:
 
     def stats(self) -> dict:
         return self._request("GET", "/stats")
+
+    def cluster_stats(self) -> dict | None:
+        """The ``cluster`` section of ``/stats``.
+
+        ``None`` when the server runs single-process
+        (``--worker-procs 0``), which omits the section entirely.
+        """
+        return self.stats().get("cluster")

@@ -69,6 +69,21 @@ class ServiceConfig:
     max_batch_ops:
         Upper bound on the number of operations one ``POST /jobs/batch``
         submission may carry.
+    worker_procs:
+        Multi-process scale-out: ``0`` (the default) computes in-process
+        — bit-identical to the pre-cluster service — while ``N >= 1``
+        starts N worker subprocesses, each owning a consistent-hash
+        shard of the datasets, with jobs dispatched over the
+        :mod:`repro.service.dispatch` socket protocol.  See
+        :mod:`repro.service.cluster`.
+    worker_inflight:
+        Per-worker-process in-flight dispatch limit: a job bound for a
+        worker already running this many requests blocks its submitting
+        queue thread until the worker drains.
+    worker_max_resident:
+        How many hydrated datasets one worker process keeps resident
+        (LRU); beyond it the oldest is dropped and re-hydrates from its
+        snapshot on next use.
     """
 
     host: str = "127.0.0.1"
@@ -85,6 +100,9 @@ class ServiceConfig:
     health_incident_ttl_s: float = 60.0
     snapshots: bool = True
     max_batch_ops: int = 64
+    worker_procs: int = 0
+    worker_inflight: int = 8
+    worker_max_resident: int = 16
 
     def __post_init__(self) -> None:
         if self.port < 0 or self.port > 65535:
@@ -126,4 +144,17 @@ class ServiceConfig:
         if self.max_batch_ops < 1:
             raise ServiceError(
                 f"max_batch_ops must be >= 1, got {self.max_batch_ops}"
+            )
+        if self.worker_procs < 0:
+            raise ServiceError(
+                f"worker_procs must be >= 0, got {self.worker_procs}"
+            )
+        if self.worker_inflight < 1:
+            raise ServiceError(
+                f"worker_inflight must be >= 1, got {self.worker_inflight}"
+            )
+        if self.worker_max_resident < 1:
+            raise ServiceError(
+                "worker_max_resident must be >= 1, got "
+                f"{self.worker_max_resident}"
             )

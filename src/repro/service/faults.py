@@ -49,6 +49,13 @@ site                        effect when fired
 ``http.drop``                 the connection is closed with no response
 ``http.stall``                the response is delayed by ``delay_s``
 ``http.truncate``             only half the response body is sent
+``cluster.dispatch``          the front end's socket send to a worker
+                              process fails (as if the connection died
+                              mid-frame)
+``cluster.worker_exit``       a worker **process** dies abruptly mid-job
+                              (``os._exit``; exercises respawn + shard
+                              rehoming, the process-level analogue of
+                              ``jobs.worker_crash``)
 ==========================  ==================================================
 
 Determinism: all probability draws come from one seeded
@@ -81,6 +88,8 @@ KNOWN_SITES = (
     "http.drop",
     "http.stall",
     "http.truncate",
+    "cluster.dispatch",
+    "cluster.worker_exit",
 )
 
 
@@ -244,6 +253,16 @@ class FaultPlan:
             time.sleep(rule.delay_s)
         if site == "jobs.worker_crash":
             raise WorkerCrashInjection(f"injected worker crash at {site}")
+        if site == "cluster.worker_exit":
+            # Raised inside the worker *process*; its main loop catches
+            # this and dies via os._exit so the front end sees a real
+            # process death (EOF on the socket, non-zero exit status).
+            raise WorkerCrashInjection(f"injected worker exit at {site}")
+        if site == "cluster.dispatch":
+            raise InjectedFaultError(
+                f"injected dispatch failure at {site}: worker socket died "
+                "mid-frame"
+            )
         if site == "jobs.oom":
             raise MemoryError(f"injected out-of-memory at {site}")
         if site == "registry.reingest":
@@ -258,6 +277,28 @@ class FaultPlan:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    def to_spec(self) -> dict:
+        """Reconstruct the JSON spec this plan was built from.
+
+        Used by the cluster supervisor to ship the plan to worker
+        subprocesses (each worker arms its own seeded copy for the
+        worker-side sites).  Firing state is *not* carried — a spec
+        round-trips to a fresh plan.
+        """
+        rules = []
+        for rule in self._rules:
+            raw: dict = {"site": rule.site}
+            if rule.probability != 1.0:
+                raw["probability"] = rule.probability
+            if rule.times is not None:
+                raw["times"] = rule.times
+            if rule.skip:
+                raw["skip"] = rule.skip
+            if rule.delay_s:
+                raw["delay_s"] = rule.delay_s
+            rules.append(raw)
+        return {"seed": self.seed, "rules": rules}
+
     def stats(self) -> dict:
         """JSON-ready plan summary (``/stats`` → ``faults``)."""
         with self._lock:

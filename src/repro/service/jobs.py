@@ -78,6 +78,7 @@ from repro.errors import (
 )
 from repro.factorize.report import validate_report
 from repro.service.cache import ResultCache, canonical_key
+from repro.service.dispatch import DispatchError, WorkerCrashedError
 from repro.service.faults import DISABLED, FaultPlan
 from repro.service.operations import canonicalize_params, run_operation
 from repro.service.registry import DatasetRegistry
@@ -353,6 +354,7 @@ class JobQueue:
         breaker_failures: int = 5,
         breaker_cooldown_s: float = 5.0,
         max_batch_ops: int = 64,
+        executor=None,
     ) -> None:
         if workers < 1:
             raise ServiceError(f"workers must be >= 1, got {workers}")
@@ -372,6 +374,11 @@ class JobQueue:
             )
         self._registry = registry
         self._cache = cache
+        #: Pluggable compute: ``None`` runs operations in-process (the
+        #: classic single-process service, bit-identical behaviour);
+        #: a :class:`~repro.service.cluster.ClusterSupervisor` routes
+        #: them to the shard's owning worker subprocess instead.
+        self._executor = executor
         self._faults = faults if faults is not None else DISABLED
         self._default_deadline_s = default_deadline_s
         self._queue: queue.Queue[Job | None] = queue.Queue(maxsize=max_queue)
@@ -842,6 +849,42 @@ class JobQueue:
                     self._record_finished(job)
                 self._queue.task_done()
 
+    def _execute(
+        self,
+        fingerprint: str,
+        operation: str,
+        canonical: dict,
+        *,
+        deadline_at: float | None,
+        workers: int | None,
+    ) -> dict:
+        """One operation's compute, in-process or via the cluster executor.
+
+        The in-process path (``executor=None``) is byte-for-byte the
+        pre-cluster code: resident relation from the registry, then
+        :func:`~repro.service.operations.run_operation` on this thread.
+        With an executor, the relation never materializes here — the
+        shard's owning worker hydrates it from its snapshot and runs
+        the operation in its own process.
+        """
+        if self._executor is not None:
+            return self._executor.execute(
+                fingerprint,
+                operation,
+                canonical,
+                deadline_at=deadline_at,
+                workers=workers,
+            )
+        relation = self._registry.relation(fingerprint)
+        return run_operation(
+            relation,
+            operation,
+            canonical,
+            deadline_at=deadline_at,
+            workers=workers,
+            faults=self._faults,
+        )
+
     def _run_job(self, job: Job) -> None:
         if isinstance(job, BatchJob):
             self._run_batch(job)
@@ -859,14 +902,12 @@ class JobQueue:
         job.state = RUNNING
         try:
             self._faults.check("jobs.slow")
-            relation = self._registry.relation(job.fingerprint)
-            payload = run_operation(
-                relation,
+            payload = self._execute(
+                job.fingerprint,
                 job.operation,
                 job.canonical_params,
                 deadline_at=job.deadline_at,
                 workers=job.workers,
-                faults=self._faults,
             )
             validate_report(payload)
             if not payload.get("partial") and not payload.get("degraded"):
@@ -886,6 +927,25 @@ class JobQueue:
             with self._lock:
                 self._breakers[job.operation].record_success()
             job._finish(DONE)
+        except WorkerCrashedError as exc:
+            # The dataset's owning worker *process* died mid-job — the
+            # process-level twin of a worker-thread crash, with the same
+            # structured reason and breaker accounting.  The cluster
+            # supervisor respawns the shard; a retry rehydrates from the
+            # snapshot.
+            job.error = str(exc)
+            job.reason = "worker_crashed"
+            with self._lock:
+                self._breakers[job.operation].record_failure()
+            job._finish(FAILED)
+        except DispatchError as exc:
+            # The front end could not reach (or gave up on) the owning
+            # worker: infrastructure, so the breaker counts it.
+            job.error = str(exc)
+            job.reason = "dispatch_failed"
+            with self._lock:
+                self._breakers[job.operation].record_failure()
+            job._finish(FAILED)
         except DatasetDegradedError as exc:
             # Infrastructure, not the client's fault: counts toward the
             # breaker so a registry with a vanished source fast-fails
@@ -921,7 +981,15 @@ class JobQueue:
         job.state = RUNNING
         try:
             self._faults.check("jobs.slow")
-            relation = self._registry.relation(job.fingerprint)
+            # In cluster mode the relation lives in the owning worker,
+            # not here; the per-item dispatch below carries the
+            # hydration references instead (same worker for every item
+            # — the batch shares one fingerprint, hence one shard).
+            relation = (
+                self._registry.relation(job.fingerprint)
+                if self._executor is None
+                else None
+            )
         except DatasetDegradedError as exc:
             job.error = str(exc)
             job.reason = "dataset_degraded"
@@ -959,14 +1027,23 @@ class JobQueue:
                 continue
             item.state = RUNNING
             try:
-                payload = run_operation(
-                    relation,
-                    item.operation,
-                    item.canonical_params,
-                    deadline_at=None,
-                    workers=None,
-                    faults=self._faults,
-                )
+                if relation is not None:
+                    payload = run_operation(
+                        relation,
+                        item.operation,
+                        item.canonical_params,
+                        deadline_at=None,
+                        workers=None,
+                        faults=self._faults,
+                    )
+                else:
+                    payload = self._executor.execute(
+                        job.fingerprint,
+                        item.operation,
+                        item.canonical_params,
+                        deadline_at=None,
+                        workers=None,
+                    )
                 validate_report(payload)
                 if not payload.get("partial") and not payload.get("degraded"):
                     self._cache.put(
@@ -982,6 +1059,31 @@ class JobQueue:
                 item.state = DONE
                 with self._lock:
                     self._breakers[item.operation].record_success()
+            except (
+                WorkerCrashedError,
+                DispatchError,
+                DatasetDegradedError,
+            ) as exc:
+                # Cluster-mode infrastructure failure: every remaining
+                # item targets the same dataset, hence the same (dead or
+                # unreachable or degraded) worker path — fail the batch's
+                # pending items together instead of grinding through K
+                # identical failures.
+                item.error = str(exc)
+                item.state = FAILED
+                job.reason = (
+                    "worker_crashed"
+                    if isinstance(exc, WorkerCrashedError)
+                    else "dataset_degraded"
+                    if isinstance(exc, DatasetDegradedError)
+                    else "dispatch_failed"
+                )
+                with self._lock:
+                    self._breakers[item.operation].record_failure()
+                    for operation in job.pending_operations():
+                        self._breakers[operation].record_failure()
+                job._fail_pending(str(exc))
+                break
             except ReproError as exc:
                 # Client error on one item: that item fails, the rest
                 # of the batch keeps going, breaker untouched.

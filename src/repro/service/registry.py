@@ -518,6 +518,65 @@ class DatasetRegistry:
         with self._lock:
             return list(self._entries.values())
 
+    def fingerprints(self) -> list[str]:
+        """All registered fingerprints, least- to most-recently used."""
+        with self._lock:
+            return list(self._entries.keys())
+
+    # ------------------------------------------------------------------
+    # Cluster support (front-end/worker split)
+    # ------------------------------------------------------------------
+    def hydration_spec(self, fingerprint: str) -> dict:
+        """Hydration *references* for a worker process — never the data.
+
+        The cluster dispatcher ships this dict to the shard's owning
+        worker, which rebuilds the relation locally via
+        :func:`repro.relations.persist.hydrate_relation`: columnar
+        snapshot first (zero-parse), CSV source as the fallback.
+        Raises :class:`~repro.errors.UnknownDatasetError` for unknown
+        fingerprints.  Counts an LRU touch but no hit — the request
+        already paid its hit at submission.
+        """
+        entry = self._touch(fingerprint)
+        snapshot_dir: str | None = None
+        if self._snapshots_enabled:
+            candidate = self._snapshot_path(fingerprint)
+            if (candidate / META_FILE).exists():
+                snapshot_dir = str(candidate)
+        return {
+            "fingerprint": fingerprint,
+            "snapshot_dir": snapshot_dir,
+            "source": entry.source,
+            "chunk_rows": entry.chunk_rows,
+        }
+
+    def note_remote_outcome(
+        self, fingerprint: str, *, ok: bool, reason: str | None = None
+    ) -> None:
+        """Reflect a worker-side hydrate outcome on the entry's state.
+
+        In cluster mode the front end never materializes the relation
+        itself, so degradation (source vanished/mutated, snapshot
+        corrupt — discovered *in the worker*) is reported back here to
+        keep ``GET /datasets`` and ``/healthz`` truthful.  A later
+        worker success heals the flag, mirroring the in-process path.
+        Unknown fingerprints are ignored (the dataset may have been
+        dropped while the job was in flight).
+        """
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            if entry is None:
+                return
+            if ok:
+                entry.degraded = False
+                entry.degraded_reason = None
+            else:
+                entry.degraded = True
+                entry.degraded_reason = (
+                    reason or "worker-side hydration failed"
+                )
+                self.last_degrade_at = time.monotonic()
+
     def relation(self, fingerprint: str) -> Relation:
         """The dataset's relation, re-ingesting from source if evicted.
 

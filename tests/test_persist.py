@@ -29,6 +29,7 @@ from repro.relations.persist import (
     FORMAT_VERSION,
     META_FILE,
     atomic_write_text,
+    code_dtype_for,
     load_engine_memo,
     load_snapshot,
     quarantine_snapshot,
@@ -301,6 +302,143 @@ class TestCorruptionRejection:
         assert moved is not None and moved.exists()
         assert not snap.exists()
         assert moved.parent.name == "quarantine"
+
+
+class TestNarrowDtypes:
+    """Format v2: column codes stored in the narrowest dtype that fits."""
+
+    def test_code_dtype_for_boundaries(self):
+        assert code_dtype_for(1) == np.uint8
+        assert code_dtype_for(256) == np.uint8
+        assert code_dtype_for(257) == np.uint16
+        assert code_dtype_for(1 << 16) == np.uint16
+        assert code_dtype_for((1 << 16) + 1) == np.uint32
+        assert code_dtype_for(1 << 32) == np.uint32
+        assert code_dtype_for((1 << 32) + 1) == np.int64
+
+    def test_small_cardinality_columns_stored_uint8(self, tmp_path):
+        original = make_relation(
+            [(i % 4, f"s{i % 3}", i % 2 == 0) for i in range(20)]
+        )
+        path = save_snapshot(original, tmp_path / "snap")
+        meta = json.loads((path / META_FILE).read_text())
+        assert meta["version"] == FORMAT_VERSION == 2
+        for column in meta["columns"]:
+            assert np.load(path / column).dtype == np.uint8
+        assert_identical(load_snapshot(path), original)
+
+    def test_loaded_codes_upcast_to_int64(self, tmp_path):
+        """packed_key's mixed-radix arithmetic needs int64 in memory —
+        a uint8 column would overflow silently under NEP 50."""
+        original = make_relation([(i % 4, i % 3) for i in range(24)])
+        path = save_snapshot(original, tmp_path / "snap")
+        reloaded = load_snapshot(path)
+        engine = EntropyEngine.for_relation(reloaded)
+        baseline = EntropyEngine.for_relation(original)
+        names = original.schema.names
+        assert engine.entropy(frozenset(names)) == pytest.approx(
+            baseline.entropy(frozenset(names))
+        )
+
+    def test_v1_int64_snapshot_still_loads(self, tmp_path):
+        """Snapshots written before the dtype narrowing stay readable."""
+        original = make_relation(
+            [(i % 4, f"s{i % 3}", i % 2 == 0) for i in range(20)]
+        )
+        path = save_snapshot(original, tmp_path / "snap")
+        meta = json.loads((path / META_FILE).read_text())
+        meta["version"] = 1  # v1 stored every column as int64
+        (path / META_FILE).write_text(json.dumps(meta))
+        for column in meta["columns"]:
+            codes = np.load(path / column).astype(np.int64)
+            with (path / column).open("wb") as handle:
+                np.save(handle, codes)
+        assert_identical(load_snapshot(path), original)
+
+    def test_v1_snapshot_with_narrow_dtype_rejected(self, tmp_path):
+        """A v1 snapshot must carry int64 columns — anything else is
+        corruption, exactly as before the format bump."""
+        original = make_relation([(i % 4, i % 3) for i in range(12)])
+        path = save_snapshot(original, tmp_path / "snap")
+        meta = json.loads((path / META_FILE).read_text())
+        meta["version"] = 1
+        (path / META_FILE).write_text(json.dumps(meta))
+        with pytest.raises(SnapshotError):
+            load_snapshot(path)  # columns are uint8 on disk
+
+
+class TestHydrateAndMemoMerge:
+    """The worker-side hydrate helper and the dispatcher's memo fold."""
+
+    @pytest.fixture()
+    def fixture_csv(self, tmp_path):
+        path = tmp_path / "data.csv"
+        lines = ["A,B,C"]
+        for i in range(16):
+            lines.append(f"{i % 4},{i % 3},{i % 2}")
+        path.write_text("\n".join(lines) + "\n")
+        return path
+
+    def test_hydrates_from_snapshot_first(self, fixture_csv, tmp_path):
+        from repro.relations.io import read_csv
+        from repro.relations.persist import hydrate_relation
+
+        original = read_csv(fixture_csv)
+        snap = save_snapshot(original, tmp_path / "snap")
+        relation, origin = hydrate_relation(
+            expected_fingerprint=original.fingerprint(),
+            snapshot_path=snap,
+            source=str(fixture_csv),
+        )
+        assert origin == "snapshot"
+        assert relation.fingerprint() == original.fingerprint()
+
+    def test_falls_back_to_csv_when_snapshot_missing(self, fixture_csv, tmp_path):
+        from repro.relations.io import read_csv
+        from repro.relations.persist import hydrate_relation
+
+        original = read_csv(fixture_csv)
+        relation, origin = hydrate_relation(
+            expected_fingerprint=original.fingerprint(),
+            snapshot_path=tmp_path / "never-written",
+            source=str(fixture_csv),
+        )
+        assert origin == "csv"
+        assert relation.fingerprint() == original.fingerprint()
+
+    def test_mutated_csv_source_rejected(self, fixture_csv):
+        from repro.relations.io import read_csv
+        from repro.relations.persist import hydrate_relation
+
+        fingerprint = read_csv(fixture_csv).fingerprint()
+        fixture_csv.write_text("A,B,C\n9,9,9\n")
+        with pytest.raises(SnapshotError):
+            hydrate_relation(
+                expected_fingerprint=fingerprint, source=str(fixture_csv)
+            )
+
+    def test_no_route_raises(self):
+        from repro.relations.persist import hydrate_relation
+
+        with pytest.raises(SnapshotError):
+            hydrate_relation(expected_fingerprint="d" * 32)
+
+    def test_merge_engine_memo_existing_keys_win(self, tmp_path):
+        from repro.relations.persist import merge_engine_memo
+
+        original = make_relation([(i % 3, i % 2) for i in range(12)])
+        path = save_snapshot(original, tmp_path / "snap")
+        assert merge_engine_memo(path, {("A",): 1.5}) == 1
+        added = merge_engine_memo(path, {("A",): 9.9, ("B",): 1.0})
+        assert added == 1
+        memo = load_engine_memo(path)
+        assert memo[("A",)] == 1.5  # existing value kept
+        assert memo[("B",)] == 1.0
+
+    def test_merge_engine_memo_noop_without_snapshot(self, tmp_path):
+        from repro.relations.persist import merge_engine_memo
+
+        assert merge_engine_memo(tmp_path / "missing", {("A",): 1.0}) == 0
 
 
 class TestEngineMemoSidecar:
