@@ -19,7 +19,14 @@ What the CI ``service-smoke`` job (and ``make service-smoke``) runs:
    columnar snapshot (``created: false`` on re-register, a fresh
    analyze served with ``snapshot_reloads == 1`` and zero CSV
    re-parses);
-8. boot a **cluster** server (``--worker-procs 2``) under a seeded
+8. boot a fresh server, **append** a delta over
+   ``POST /v1/datasets/{fp}/append`` (inline CSV), require a new
+   fingerprint with a version-2 chain, at least one cache entry
+   **revalidated** onto the new version, and the repeated mine on the
+   appended dataset served warm from that revalidated entry; a bogus
+   fingerprint must come back as a typed ``unknown_dataset`` envelope
+   raising ``UnknownResourceError``;
+9. boot a **cluster** server (``--worker-procs 2``) under a seeded
    fault plan that kills a worker process mid-job: the in-flight mine
    must fail with ``reason: "worker_crashed"``, the supervisor must
    respawn the shard's worker, the retried mine must succeed from the
@@ -212,9 +219,77 @@ def main() -> int:
                 process.kill()
                 process.wait(timeout=10)
 
+    append_phase(csv_path)
     cluster_phase(csv_path)
     print("[smoke] service smoke ok")
     return 0
+
+
+# Extends the planted MVD C ->> A | B (a new C-block with a full
+# A x B product), so the revalidated jointree's J/rho stay at 0 and the
+# cached mine entry is *kept*, not invalidated.
+APPEND_DELTA_CSV = "A,B,C\n0,0,9\n0,1,9\n1,0,9\n1,1,9\n"
+
+
+def append_phase(csv_path: Path) -> None:
+    """Delta ingest: append rows, revalidated cache answers the repeat."""
+    from repro.service.client import UnknownResourceError
+
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-append-") as spill_dir:
+        process, port = start_server(
+            spill_dir, Path(spill_dir) / "server-stderr-append.log"
+        )
+        try:
+            client = ServiceClient(f"http://127.0.0.1:{port}")
+            fp = client.register_dataset(path=str(csv_path))["fingerprint"]
+            cold = client.run(fp, "mine", {"strategy": "beam"})
+            assert cold["state"] == "done" and cold["cached"] is False, cold
+
+            out = client.append_dataset(fp, csv=APPEND_DELTA_CSV)
+            new_fp = out["fingerprint"]
+            assert out["changed"] is True and new_fp != fp, out
+            assert out["version"] == 2, out
+            assert out["chain"]["base"] == fp, out
+            assert len(out["chain"]["chunks"]) == 1, out
+            reval = out["revalidation"]
+            assert reval["examined"] >= 1, reval
+            assert reval["revalidated"] >= 1, reval
+            print(
+                f"[smoke] append ok ({out['rows_added']} rows added, "
+                f"version {out['version']}, {reval['revalidated']} cache "
+                f"entr{'y' if reval['revalidated'] == 1 else 'ies'} "
+                f"revalidated onto {new_fp})"
+            )
+
+            warm = client.run(new_fp, "mine", {"strategy": "beam"})
+            assert warm["state"] == "done" and warm["cached"] is True, warm
+            assert warm["result"]["revalidated"] is True, warm["result"]
+            assert warm["result"]["n_rows"] == cold["result"]["n_rows"] + 4
+            validate_report(warm["result"])
+            print(
+                f"[smoke] revalidated warm repeat served from cache "
+                f"({warm['service_time_s'] * 1e3:.2f} ms, no re-mine)"
+            )
+
+            try:
+                client.append_dataset("0" * 32, csv=APPEND_DELTA_CSV)
+            except UnknownResourceError as exc:
+                assert exc.code == "unknown_dataset", exc.code
+                assert exc.retryable is False, exc
+            else:
+                raise AssertionError(
+                    "append to a bogus fingerprint did not raise "
+                    "UnknownResourceError"
+                )
+            print("[smoke] typed error envelope ok (unknown_dataset -> "
+                  "UnknownResourceError)")
+        finally:
+            process.terminate()
+            try:
+                process.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait(timeout=10)
 
 
 def cluster_phase(csv_path: Path) -> None:

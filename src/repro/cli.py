@@ -277,6 +277,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         breaker_cooldown_s=args.breaker_cooldown,
         snapshots=not args.no_snapshots,
         worker_procs=args.worker_procs,
+        revalidate_tolerance=args.revalidate_tolerance,
     )
     service = Service(config)
     if service.faults.enabled:
@@ -613,6 +614,16 @@ def build_parser() -> argparse.ArgumentParser:
         "consistent-hash shard of the datasets and jobs are dispatched "
         "to the owner over a local socket (default: 0 = in-process, "
         "bit-identical to the single-process service)",
+    )
+    p_serve.add_argument(
+        "--revalidate-tolerance",
+        type=float,
+        default=0.05,
+        metavar="EPS",
+        help="delta-ingest cache revalidation: keep a cached mined "
+        "jointree across an append when re-scoring it on the appended "
+        "data moves J and rho by at most EPS each; 0 keeps only "
+        "bit-stable results (default: 0.05)",
     )
     p_serve.set_defaults(func=_cmd_serve)
 

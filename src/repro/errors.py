@@ -80,6 +80,10 @@ class UnknownDatasetError(ServiceError):
     """A request referenced a dataset fingerprint the registry never saw."""
 
 
+class UnknownJobError(ServiceError):
+    """A request referenced a job id the queue has never issued."""
+
+
 class QueueFullError(ServiceError):
     """The job queue is at capacity; the caller should back off and retry."""
 

@@ -63,6 +63,48 @@ class ColumnStoreBuilder:
         self._n = 0
         self._finished = False
 
+    @classmethod
+    def from_relation(cls, relation) -> "ColumnStoreBuilder":
+        """Seed a builder with an existing relation's coded content.
+
+        The delta-ingest primitive: the relation's columnar store is
+        adopted *as codes* — its rows become the builder's first chunk
+        and its dictionaries become the builder's encoders — so
+        appending rows extends the dictionary coding instead of
+        re-factorizing the resident data.  Dictionary codes stay
+        append-only (an existing value keeps its code; new values take
+        the next free one), which is what makes ``finish()`` equal to a
+        from-scratch ingest of the concatenated rows for any chunking.
+
+        Encoders are rebuilt from dense per-column ``code → value``
+        decoders (:func:`repro.relations.persist._derive_decoders`):
+        identity-coded columns admit code gaps, and a gap at code ``c``
+        decodes to ``int(c)`` — so the derived encoder maps that value
+        back to ``c``, keeping the mapping a bijection.
+        """
+        from repro.relations.persist import _derive_decoders
+
+        store = relation.columns()
+        arity = len(store.cards)
+        builder = cls(arity)
+        builder._decoders = [list(d) for d in _derive_decoders(relation)]
+        builder._encoders = [
+            {value: code for code, value in enumerate(decoder)}
+            for decoder in builder._decoders
+        ]
+        if store.n_rows:
+            base = np.stack(
+                [
+                    np.asarray(store.codes[j], dtype=np.int64)
+                    for j in range(arity)
+                ],
+                axis=1,
+            )
+            builder._chunks = [base]
+            builder._seen = set(map(tuple, base.tolist()))
+        builder._n = store.n_rows
+        return builder
+
     @property
     def rows_ingested(self) -> int:
         """Number of rows added so far (before deduplication)."""

@@ -334,6 +334,57 @@ def save_snapshot(
 
 
 # ----------------------------------------------------------------------
+# Fingerprint chains (delta ingest)
+# ----------------------------------------------------------------------
+#: ``meta["extra"]`` key carrying a dataset's version chain.
+CHAIN_KEY = "chain"
+
+
+def validate_chain(chain) -> dict:
+    """Structurally validate a fingerprint chain; return it normalized.
+
+    A chain records a live dataset's append history:
+    ``{"base": <fp>, "chunks": [<fp>, ...], "version": 1 + len(chunks)}``
+    — the base ingest's content fingerprint plus one fingerprint per
+    appended delta, in order.  The *current* content fingerprint is not
+    part of the chain (it keys the snapshot/registry entry itself); the
+    chain is the provenance trail proving how that content was reached.
+    Raises :class:`~repro.errors.SnapshotError` on anything malformed.
+    """
+
+    def _is_fp(value) -> bool:
+        return isinstance(value, str) and len(value) == 32
+
+    if (
+        not isinstance(chain, dict)
+        or not _is_fp(chain.get("base"))
+        or not isinstance(chain.get("chunks"), list)
+        or not all(_is_fp(fp) for fp in chain["chunks"])
+        or chain.get("version") != 1 + len(chain["chunks"])
+    ):
+        raise SnapshotError(f"malformed fingerprint chain: {chain!r}")
+    return {
+        "base": chain["base"],
+        "chunks": [str(fp) for fp in chain["chunks"]],
+        "version": int(chain["version"]),
+    }
+
+
+def chain_from_meta(meta: dict) -> dict | None:
+    """The snapshot's fingerprint chain, or ``None`` for version-1 data.
+
+    Reads ``meta["extra"]["chain"]`` (see :data:`CHAIN_KEY`) as written
+    by the registry's append path; a malformed chain raises
+    :class:`~repro.errors.SnapshotError` rather than silently dropping
+    provenance.
+    """
+    extra = meta.get("extra")
+    if not isinstance(extra, dict) or CHAIN_KEY not in extra:
+        return None
+    return validate_chain(extra[CHAIN_KEY])
+
+
+# ----------------------------------------------------------------------
 # Load
 # ----------------------------------------------------------------------
 def read_snapshot_meta(path: str | Path) -> dict:

@@ -634,6 +634,31 @@ class Relation:
                 f"{list(self._schema.names)} vs {list(other._schema.names)}"
             )
 
+    def extended_with(self, rows: Iterable[Row]) -> "Relation":
+        """A new relation holding this relation's rows plus ``rows``.
+
+        The delta-ingest path: unlike :meth:`union` (which unions row
+        *sets* and re-factorizes columns lazily), this seeds a
+        :class:`~repro.relations.builder.ColumnStoreBuilder` with the
+        resident columnar store and dictionary-codes only the appended
+        rows, so the result's store extends the existing coding
+        in place of a from-scratch rebuild.  The result equals — rows,
+        columnar content, and :meth:`fingerprint` — an eager ingest of
+        the concatenated rows, for any split of the data into appends
+        (pinned by the property tests in ``tests/test_service_append.py``).
+
+        The result's schema keeps this relation's attribute *names* but
+        drops declared domains (appended values may extend them); apply
+        :func:`repro.relations.io.infer_integer_domains` to re-derive
+        them.  ``self`` is untouched — relations stay immutable; live
+        engines and caches keyed on ``self`` remain valid for ``self``.
+        """
+        from repro.relations.builder import ColumnStoreBuilder
+
+        builder = ColumnStoreBuilder.from_relation(self)
+        builder.add_rows(rows)
+        return builder.finish(RelationSchema.from_names(self._schema.names))
+
     # ------------------------------------------------------------------
     # Content identity
     # ------------------------------------------------------------------

@@ -145,6 +145,116 @@ class Service:
         self.stop()
 
     # ------------------------------------------------------------------
+    # Delta ingest
+    # ------------------------------------------------------------------
+    def _parse_delta(self, entry, body: dict) -> list:
+        """Parse + validate an append body's delta rows.
+
+        Exactly one of ``csv`` (inline content) or ``path``
+        (server-local CSV) supplies the delta; both run through the
+        *ingest* parser (:func:`repro.relations.io.iter_csv_chunks`,
+        same typed coercion as registration), which is what makes the
+        appended fingerprint provably equal to a from-scratch ingest of
+        the concatenated source.  The delta's header must match the
+        dataset's attributes exactly (same names, same order).
+        """
+        import tempfile
+
+        from repro.errors import ServiceError
+        from repro.relations.io import iter_csv_chunks
+
+        if ("path" in body) == ("csv" in body):
+            raise ServiceError(
+                "append exactly one of 'path' (server-local CSV) or "
+                "'csv' (inline content)"
+            )
+        source = body.get("path", body.get("csv"))
+        if not isinstance(source, str):
+            raise ServiceError(
+                f"append source must be a string, got {source!r}"
+            )
+
+        def _collect(path) -> tuple[tuple, list]:
+            header = None
+            rows: list = []
+            for chunk in iter_csv_chunks(path):
+                header = chunk.header
+                rows.extend(chunk.rows)
+            return header, rows
+
+        if "path" in body:
+            header, rows = _collect(source)
+        else:
+            with tempfile.NamedTemporaryFile(
+                "w",
+                encoding="utf-8",
+                suffix=".csv",
+                dir=(
+                    str(self.registry.spill_dir)
+                    if self.registry.spill_dir is not None
+                    else None
+                ),
+                delete=False,
+            ) as handle:
+                handle.write(source)
+                tmp_path = handle.name
+            try:
+                header, rows = _collect(tmp_path)
+            finally:
+                try:
+                    os.unlink(tmp_path)
+                except OSError:
+                    pass
+        if list(header or ()) != list(entry.attributes):
+            raise ServiceError(
+                f"delta header {list(header or ())!r} does not match "
+                f"dataset attributes {list(entry.attributes)!r}"
+            )
+        return rows
+
+    def append(self, fingerprint: str, body: dict) -> dict:
+        """``POST /v1/datasets/{fp}/append``: delta ingest + maintenance.
+
+        Appends the delta through the dict-coding append path (cluster
+        mode dispatches to the shard owner; see
+        :meth:`~repro.service.cluster.ClusterSupervisor.append`), then
+        revalidates the dataset's cached results against the new
+        content (:meth:`~repro.service.jobs.JobQueue.revalidate_after_append`).
+        The response carries the new fingerprint, the version chain,
+        and the revalidation summary.  Retry-safe: a replayed append
+        whose first attempt landed resolves through the old
+        fingerprint's alias and dedups to a no-op.
+        """
+        entry = self.registry.get(fingerprint)
+        old_fingerprint = entry.fingerprint
+        rows = self._parse_delta(entry, body)
+        if self.cluster is not None:
+            info = self.cluster.append(
+                old_fingerprint, rows, chain=entry.chain()
+            )
+            if info.get("changed"):
+                self.registry.adopt_appended(old_fingerprint, info)
+        else:
+            _, info = self.registry.append_rows(old_fingerprint, rows)
+        tolerance = self.config.revalidate_tolerance
+        if info.get("changed"):
+            revalidation = self.jobs.revalidate_after_append(
+                old_fingerprint, info["fingerprint"], tolerance=tolerance
+            )
+        else:
+            revalidation = {
+                "examined": 0,
+                "revalidated": 0,
+                "invalidated": 0,
+                "tolerance": tolerance,
+                "wall_time_s": 0.0,
+            }
+        view = dict(info)
+        view["revalidation"] = revalidation
+        view["dataset"] = self.registry.get(info["fingerprint"]).describe()
+        return view
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def health(self) -> dict:

@@ -75,12 +75,19 @@ class ResultCache:
         self._spill_dir = Path(spill_dir) if spill_dir is not None else None
         self._faults = faults if faults is not None else DISABLED
         self._entries: OrderedDict[str, dict] = OrderedDict()
+        # Sidecar per-entry metadata ({fingerprint, operation, params},
+        # as supplied by the job layer) plus a fingerprint → keys index,
+        # so delta ingest can enumerate a dataset's cached results for
+        # revalidation without scanning every entry.
+        self._meta: dict[str, dict] = {}
+        self._by_fingerprint: dict[str, set[str]] = {}
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.spill_loads = 0
         self.spill_writes = 0
         self.quarantined = 0
+        self.invalidated = 0
         self.last_quarantine_at: float | None = None  # time.monotonic()
 
     # ------------------------------------------------------------------
@@ -104,14 +111,15 @@ class ResultCache:
         spilled = self._load_spilled(key)
         with self._lock:
             if spilled is not None:
+                payload, meta = spilled
                 self.hits += 1
                 self.spill_loads += 1
-                self._admit(key, spilled)
-                return json.loads(json.dumps(spilled))
+                self._admit(key, payload, meta)
+                return json.loads(json.dumps(payload))
             self.misses += 1
         return None
 
-    def _load_spilled(self, key: str) -> dict | None:
+    def _load_spilled(self, key: str) -> tuple[dict, dict] | None:
         path = self._spill_path(key)
         if path is None or not path.exists():
             return None
@@ -123,7 +131,8 @@ class ResultCache:
             document = json.loads(text)
             payload = document["payload"]
             validate_report(payload)
-            return payload
+            meta = document.get("meta")
+            return payload, meta if isinstance(meta, dict) else {}
         except (OSError, ValueError, KeyError, TypeError, ReproError):
             # A torn, stale, or schema-invalid spill file is a miss,
             # never an error — and it is quarantined so it cannot be
@@ -149,7 +158,7 @@ class ResultCache:
         validate_report(payload)
         frozen = json.loads(json.dumps(payload))  # detach from the producer
         with self._lock:
-            self._admit(key, frozen)
+            self._admit(key, frozen, meta)
         path = self._spill_path(key)
         if path is not None:
             try:
@@ -177,12 +186,73 @@ class ResultCache:
             except OSError:
                 pass  # spill is best-effort; the memory tier already has it
 
-    def _admit(self, key: str, payload: dict) -> None:
+    def _admit(self, key: str, payload: dict, meta: dict | None = None) -> None:
         """Insert/refresh under the LRU cap (caller holds the lock)."""
         self._entries[key] = payload
         self._entries.move_to_end(key)
+        if meta:
+            self._index(key, meta)
         while len(self._entries) > self._max_entries:
-            self._entries.popitem(last=False)
+            evicted, _ = self._entries.popitem(last=False)
+            self._unindex(evicted)
+
+    def _index(self, key: str, meta: dict) -> None:
+        """Record ``key``'s metadata + fingerprint index (lock held)."""
+        self._meta[key] = dict(meta)
+        fingerprint = meta.get("fingerprint")
+        if isinstance(fingerprint, str):
+            self._by_fingerprint.setdefault(fingerprint, set()).add(key)
+
+    def _unindex(self, key: str) -> None:
+        """Drop ``key`` from the metadata sidecar + index (lock held)."""
+        meta = self._meta.pop(key, None)
+        if meta is None:
+            return
+        fingerprint = meta.get("fingerprint")
+        keys = self._by_fingerprint.get(fingerprint)
+        if keys is not None:
+            keys.discard(key)
+            if not keys:
+                del self._by_fingerprint[fingerprint]
+
+    def entries_for(self, fingerprint: str) -> list[tuple[str, dict, dict]]:
+        """All indexed ``(key, meta, payload)`` entries for one dataset.
+
+        Covers entries stored (or spill-rehydrated) by *this* process —
+        spilled entries from a previous run that were never touched are
+        not enumerated; they age out as stale keys nobody asks for.
+        Payloads and meta are deep copies.
+        """
+        with self._lock:
+            keys = sorted(self._by_fingerprint.get(fingerprint, ()))
+            out = []
+            for key in keys:
+                payload = self._entries.get(key)
+                if payload is None:
+                    continue
+                out.append(
+                    (
+                        key,
+                        dict(self._meta.get(key, {})),
+                        json.loads(json.dumps(payload)),
+                    )
+                )
+            return out
+
+    def remove(self, key: str) -> None:
+        """Invalidate one entry: memory, index, and spill file."""
+        with self._lock:
+            existed = self._entries.pop(key, None) is not None
+            self._unindex(key)
+            if existed:
+                self.invalidated += 1
+        path = self._spill_path(key)
+        if path is not None:
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                pass  # best effort; a stale spill entry is only a cache hit
+                # for the superseded fingerprint, which nothing asks for
 
     def __len__(self) -> int:
         with self._lock:
@@ -204,4 +274,5 @@ class ResultCache:
                 "spill_loads": self.spill_loads,
                 "spill_writes": self.spill_writes,
                 "quarantined": self.quarantined,
+                "invalidated": self.invalidated,
             }

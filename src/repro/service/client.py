@@ -17,13 +17,26 @@ asynchronous lifecycle directly.
 
 Resilience (see ``docs/robustness.md``): every request is retried up to
 ``retries`` times on transport failures (dropped/reset connections,
-truncated bodies, timeouts) and on HTTP 503 — with capped exponential
-backoff, full jitter, and the server's ``Retry-After`` honoured as a
-floor.  Other HTTP errors (400/404/409/...) are never retried: they are
-deterministic.  ``submit_job`` attaches an ``idempotency_key`` (an
-auto-generated UUID unless the caller picks one) that is constant
-across the retries of one logical submit, so a POST whose response was
-lost on the wire is replayed — never re-run — by the server.
+truncated bodies, timeouts) and on HTTP errors the server marks
+``"retryable": true`` in its typed envelope (queue full, open breaker —
+with a legacy fallback to "retry iff 503") — with capped exponential
+backoff, full jitter, and the server's ``retry_after_s`` /
+``Retry-After`` honoured as a floor.  Other HTTP errors (400/404/409/
+...) are never retried: they are deterministic.  ``submit_job``
+attaches an ``idempotency_key`` (an auto-generated UUID unless the
+caller picks one) that is constant across the retries of one logical
+submit, so a POST whose response was lost on the wire is replayed —
+never re-run — by the server.
+
+Errors surface as typed exceptions mapped from the envelope's machine
+code (see ``ERROR_CATALOG`` in :mod:`repro.service.http`): 400 →
+:class:`BadRequestError`, 404 → :class:`UnknownResourceError`, 409 →
+:class:`DegradedDatasetError`, 503 → :class:`ServiceUnavailableError`,
+500 → :class:`InternalServerError` — all subclasses of
+:class:`ServiceClientError`, which carries ``.status``, ``.code``,
+``.retryable``, and ``.retry_after_s``.  Requests default to the
+versioned ``/v1/`` paths; pass ``api_version=None`` to exercise the
+deprecated bare aliases.
 """
 
 from __future__ import annotations
@@ -50,11 +63,61 @@ _RETRYABLE_TRANSPORT = (
 
 
 class ServiceClientError(ServiceError):
-    """An HTTP call failed; carries the status and server-sent error."""
+    """An HTTP call failed; carries the typed envelope fields.
 
-    def __init__(self, status: int, message: str) -> None:
+    ``status`` is the HTTP status, ``code`` the machine-readable error
+    code from the envelope (``"unknown"`` when the server sent a legacy
+    string error), ``retryable`` whether the server said a retry can
+    succeed, and ``retry_after_s`` its backoff hint (or ``None``).
+    """
+
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        *,
+        code: str | None = None,
+        retryable: bool = False,
+        retry_after_s: float | None = None,
+    ) -> None:
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
+        self.code = code or "unknown"
+        self.retryable = retryable
+        self.retry_after_s = retry_after_s
+
+
+class BadRequestError(ServiceClientError):
+    """400 ``bad_request``: malformed body, params, CSV, or schema."""
+
+
+class UnknownResourceError(ServiceClientError):
+    """404 ``unknown_dataset`` / ``unknown_job`` / ``unknown_route``."""
+
+
+class DegradedDatasetError(ServiceClientError):
+    """409 ``dataset_degraded``: source gone/changed; re-register to heal."""
+
+
+class ServiceUnavailableError(ServiceClientError):
+    """503 ``queue_full`` / ``circuit_open``: transient, retryable."""
+
+
+class InternalServerError(ServiceClientError):
+    """500 ``internal``: an unexpected server-side failure."""
+
+
+#: Envelope code → typed exception class (fallback: ServiceClientError).
+_CODE_EXCEPTIONS = {
+    "bad_request": BadRequestError,
+    "unknown_dataset": UnknownResourceError,
+    "unknown_job": UnknownResourceError,
+    "unknown_route": UnknownResourceError,
+    "dataset_degraded": DegradedDatasetError,
+    "queue_full": ServiceUnavailableError,
+    "circuit_open": ServiceUnavailableError,
+    "internal": InternalServerError,
+}
 
 
 class ServiceClient:
@@ -75,10 +138,12 @@ class ServiceClient:
         backoff_base_s: float = 0.05,
         backoff_cap_s: float = 2.0,
         seed: int | None = None,
+        api_version: str | None = "v1",
     ) -> None:
         if retries < 0:
             raise ServiceError(f"retries must be >= 0, got {retries}")
         self.base_url = base_url.rstrip("/")
+        self._prefix = f"/{api_version}" if api_version else ""
         self.timeout = timeout
         self.retries = retries
         self.backoff_base_s = backoff_base_s
@@ -103,6 +168,46 @@ class ServiceClient:
         except ValueError:
             return 0.0
 
+    @staticmethod
+    def _parse_error_body(
+        exc: urllib.error.HTTPError,
+    ) -> tuple[str | None, str, bool, float | None]:
+        """Decode an error response: ``(code, message, retryable, retry_after_s)``.
+
+        Understands the typed envelope (``{"error": {"code": ...}}``),
+        the legacy string form (``{"error": "..."}``), and unreadable /
+        non-JSON bodies — the latter two fall back to "retry iff 503",
+        the pre-envelope client behavior.
+        """
+        legacy_retryable = exc.code == 503
+        try:
+            document = json.loads(exc.read().decode("utf-8"))
+        except (OSError, ValueError, AttributeError):
+            return None, str(exc.reason), legacy_retryable, None
+        error = document.get("error") if isinstance(document, dict) else None
+        if isinstance(error, dict):
+            code = error.get("code")
+            message = (
+                error.get("message")
+                or document.get("message")
+                or str(exc.reason)
+            )
+            hint = error.get("retry_after_s")
+            retry_after_s = (
+                float(hint)
+                if isinstance(hint, (int, float)) and not isinstance(hint, bool)
+                else None
+            )
+            return (
+                code if isinstance(code, str) else None,
+                str(message),
+                bool(error.get("retryable", legacy_retryable)),
+                retry_after_s,
+            )
+        if isinstance(error, str) and error:
+            return None, error, legacy_retryable, None
+        return None, str(exc.reason), legacy_retryable, None
+
     def _request(self, method: str, path: str, body: dict | None = None) -> dict:
         data = None
         headers = {"Accept": "application/json"}
@@ -121,30 +226,31 @@ class ServiceClient:
                     return json.loads(response.read().decode("utf-8"))
             except urllib.error.HTTPError as exc:
                 # A status line arrived, so the server is up and spoke.
-                # Only 503 (backpressure / open breaker) is transient;
-                # everything else is deterministic and retrying would
-                # just repeat the failure N times slower.
-                if exc.code == 503 and attempt < self.retries:
+                # The envelope says whether retrying can help (queue
+                # full, open breaker); everything it marks permanent is
+                # deterministic and retrying would just repeat the
+                # failure N times slower.
+                code, message, retryable, retry_after_s = (
+                    self._parse_error_body(exc)
+                )
+                if retry_after_s is None:
+                    header_hint = self._retry_after_s(exc)
+                    retry_after_s = header_hint if header_hint > 0 else None
+                if retryable and attempt < self.retries:
                     delay = self._backoff_s(
-                        attempt, floor=self._retry_after_s(exc)
+                        attempt, floor=retry_after_s or 0.0
                     )
                     attempt += 1
                     self.retried += 1
                     time.sleep(delay)
                     continue
-                try:
-                    detail = json.loads(exc.read().decode("utf-8")).get(
-                        "error", ""
-                    )
-                except (OSError, ValueError, AttributeError) as decode_exc:
-                    # The error body was unreadable or not JSON; fall
-                    # back to the bare HTTP reason but keep the decode
-                    # failure chained for debugging.
-                    raise ServiceClientError(
-                        exc.code, str(exc.reason)
-                    ) from decode_exc
-                raise ServiceClientError(
-                    exc.code, detail or str(exc.reason)
+                exc_class = _CODE_EXCEPTIONS.get(code, ServiceClientError)
+                raise exc_class(
+                    exc.code,
+                    message,
+                    code=code,
+                    retryable=retryable,
+                    retry_after_s=retry_after_s,
                 ) from exc
             except _RETRYABLE_TRANSPORT as exc:
                 # No (complete) response: dropped, reset, truncated, or
@@ -182,13 +288,37 @@ class ServiceClient:
             body["chunk_rows"] = chunk_rows
         if name is not None:
             body["name"] = name
-        return self._request("POST", "/datasets", body)
+        return self._request("POST", f"{self._prefix}/datasets", body)
+
+    def append_dataset(
+        self,
+        fingerprint: str,
+        *,
+        csv: str | None = None,
+        path: str | None = None,
+    ) -> dict:
+        """Delta ingest: append rows (inline CSV or server-local path).
+
+        The delta must carry the dataset's exact header.  Returns the
+        append view: the new ``fingerprint`` (key subsequent jobs by
+        it), the version ``chain``, ``rows_added`` (after set-semantics
+        dedup; ``"changed": false`` when every row was already present),
+        and the cache ``revalidation`` summary.
+        """
+        body: dict = {}
+        if csv is not None:
+            body["csv"] = csv
+        if path is not None:
+            body["path"] = str(path)
+        return self._request(
+            "POST", f"{self._prefix}/datasets/{fingerprint}/append", body
+        )
 
     def get_dataset(self, fingerprint: str) -> dict:
-        return self._request("GET", f"/datasets/{fingerprint}")
+        return self._request("GET", f"{self._prefix}/datasets/{fingerprint}")
 
     def list_datasets(self) -> list[dict]:
-        return self._request("GET", "/datasets")["datasets"]
+        return self._request("GET", f"{self._prefix}/datasets")["datasets"]
 
     # ------------------------------------------------------------------
     # Jobs
@@ -212,7 +342,7 @@ class ServiceClient:
             idempotency_key = uuid.uuid4().hex
         return self._request(
             "POST",
-            "/jobs",
+            f"{self._prefix}/jobs",
             {
                 "fingerprint": fingerprint,
                 "operation": operation,
@@ -238,7 +368,7 @@ class ServiceClient:
             idempotency_key = uuid.uuid4().hex
         return self._request(
             "POST",
-            "/jobs/batch",
+            f"{self._prefix}/jobs/batch",
             {
                 "fingerprint": fingerprint,
                 "operations": operations,
@@ -247,7 +377,7 @@ class ServiceClient:
         )
 
     def get_job(self, job_id: str) -> dict:
-        return self._request("GET", f"/jobs/{job_id}")
+        return self._request("GET", f"{self._prefix}/jobs/{job_id}")
 
     def wait_job(
         self,
@@ -383,10 +513,10 @@ class ServiceClient:
     # Introspection
     # ------------------------------------------------------------------
     def healthz(self) -> dict:
-        return self._request("GET", "/healthz")
+        return self._request("GET", f"{self._prefix}/healthz")
 
     def stats(self) -> dict:
-        return self._request("GET", "/stats")
+        return self._request("GET", f"{self._prefix}/stats")
 
     def cluster_stats(self) -> dict | None:
         """The ``cluster`` section of ``/stats``.

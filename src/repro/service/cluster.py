@@ -102,6 +102,12 @@ DISPATCH_GRACE_S = 30.0
 #: at most a few thousand subsets; the cap bounds a pathological frame).
 MEMO_DELTA_CAP = 8192
 
+#: Pseudo-operation dispatched for delta ingest.  Not a member of
+#: :data:`repro.service.operations.OPERATIONS`: it mutates the dataset
+#: instead of computing a report, so it bypasses params
+#: canonicalization, the result cache, and report validation.
+APPEND_OP = "__append__"
+
 
 # ----------------------------------------------------------------------
 # Consistent-hash shard placement
@@ -538,6 +544,94 @@ class ClusterSupervisor:
             raise ReproError(message)
         raise RuntimeError(f"worker {worker_id} failed the job: {message}")
 
+    def append(
+        self,
+        fingerprint: str,
+        rows: list,
+        *,
+        chain: dict,
+        timeout: float | None = None,
+    ) -> dict:
+        """Delta ingest on the shard owner: extend, snapshot, return info.
+
+        The append is routed to the worker that owns the *current*
+        fingerprint (it likely holds the relation resident); the worker
+        extends the relation through the same
+        :meth:`~repro.relations.relation.Relation.extended_with` path
+        the in-process registry uses, writes the new version's snapshot
+        (chain in ``extra``) under the shared spill directory, and
+        returns the append info for
+        :meth:`~repro.service.registry.DatasetRegistry.adopt_appended`.
+        The new fingerprint generally hashes to a *different* shard
+        owner, which hydrates from that snapshot on first use — the
+        snapshot write is therefore mandatory, not advisory, and its
+        failure fails the append.
+        """
+        spill_dir = self._registry.spill_dir
+        if spill_dir is None or not self._registry.snapshots_enabled:
+            raise ServiceError(
+                "cluster append requires snapshots and a spill directory"
+            )
+        with self._lock:
+            if self._closed:
+                raise ServiceError("cluster is shut down")
+            self.dispatched += 1
+        try:
+            self._faults.check("cluster.dispatch")
+        except InjectedFaultError as exc:
+            with self._lock:
+                self.dispatch_failures += 1
+            raise DispatchError(str(exc)) from exc
+        spec = self._registry.hydration_spec(fingerprint)
+        worker_id = self._shards.owner(fingerprint)
+        handle = self._live_handle(worker_id)
+        body = {
+            "fingerprint": fingerprint,
+            "operation": APPEND_OP,
+            "append_rows": [list(row) for row in rows],
+            "chain": chain,
+            "spill_dir": str(spill_dir),
+            "snapshot_dir": spec["snapshot_dir"],
+            "source": spec["source"],
+            "chunk_rows": spec["chunk_rows"],
+        }
+        try:
+            response = handle.request(body, timeout=timeout)
+        except (WorkerCrashedError, DispatchError):
+            with self._lock:
+                self.dispatch_failures += 1
+            raise
+        if response.get("ok"):
+            info = response.get("report")
+            if not isinstance(info, dict) or "fingerprint" not in info:
+                with self._lock:
+                    self.dispatch_failures += 1
+                raise DispatchError(
+                    f"worker {worker_id} returned malformed append info "
+                    f"({type(info).__name__})"
+                )
+            if info.get("changed"):
+                # Fold any memos the worker reported into the *new*
+                # version's sidecar (the old version's memos are stale:
+                # every marginal changed with N).
+                new_dir = Path(spill_dir) / f"snapshot-{info['fingerprint']}"
+                self._fold_memo_delta(
+                    {"snapshot_dir": str(new_dir)},
+                    response.get("memo_delta"),
+                )
+            self._registry.note_remote_outcome(fingerprint, ok=True)
+            return info
+        message = str(response.get("error") or "worker reported failure")
+        kind = response.get("error_kind")
+        if kind == "degraded":
+            self._registry.note_remote_outcome(
+                fingerprint, ok=False, reason=message
+            )
+            raise DatasetDegradedError(message)
+        if kind == "repro":
+            raise ReproError(message)
+        raise RuntimeError(f"worker {worker_id} failed the append: {message}")
+
     def _fold_memo_delta(self, spec: dict, delta) -> None:
         """Merge a worker's entropy-memo delta into the shared sidecar."""
         if not delta or not isinstance(delta, list) or not spec.get("snapshot_dir"):
@@ -690,6 +784,8 @@ class _WorkerRuntime:
 
         request_id = message.get("id")
         base = {"t": "res", "id": request_id}
+        if message.get("operation") == APPEND_OP:
+            return self._handle_append(message, base)
         try:
             relation, origin = self._relation_for(message)
         except (SnapshotError, DatasetDegradedError) as exc:
@@ -764,6 +860,155 @@ class _WorkerRuntime:
             "report": report,
             "origin": origin,
             "memo_delta": delta,
+            "resident": self.resident(),
+        }
+
+    def _handle_append(self, message: dict, base: dict) -> dict:
+        """Delta ingest on the shard owner (the ``__append__`` pseudo-op).
+
+        Hydrates the current version, extends it through
+        :meth:`~repro.relations.relation.Relation.extended_with` (only
+        the delta is dictionary-coded), and writes the new version's
+        verified snapshot — chain in ``extra`` — into the shared spill
+        directory, where the new fingerprint's owning worker (usually a
+        different process) hydrates it on first use.  The old version
+        stays out of the resident LRU; the new one replaces it.
+        """
+        from repro.relations.io import infer_integer_domains
+        from repro.relations.persist import (
+            CHAIN_KEY,
+            save_snapshot,
+            validate_chain,
+        )
+        from repro.relations.relation import Relation
+        from repro.relations.schema import RelationSchema
+
+        try:
+            relation, origin = self._relation_for(message)
+        except (SnapshotError, DatasetDegradedError) as exc:
+            return {
+                **base,
+                "ok": False,
+                "error": str(exc),
+                "error_kind": "degraded",
+                "resident": self.resident(),
+            }
+        except ReproError as exc:
+            return {
+                **base,
+                "ok": False,
+                "error": str(exc),
+                "error_kind": "repro",
+                "resident": self.resident(),
+            }
+        except Exception as exc:
+            return {
+                **base,
+                "ok": False,
+                "error": f"{type(exc).__name__}: {exc}",
+                "error_kind": "internal",
+                "resident": self.resident(),
+            }
+        start = time.perf_counter()
+        old_fingerprint = message["fingerprint"]
+        try:
+            chain = validate_chain(message["chain"])
+            rows = [tuple(row) for row in message["append_rows"]]
+            appended = infer_integer_domains(relation.extended_with(rows))
+            new_fingerprint = appended.fingerprint()
+            if new_fingerprint == old_fingerprint:
+                # Every submitted row was already present (set
+                # semantics): same content, same version, nothing to
+                # persist or re-home.
+                self.jobs_done += 1
+                return {
+                    **base,
+                    "ok": True,
+                    "report": {
+                        "fingerprint": old_fingerprint,
+                        "previous_fingerprint": old_fingerprint,
+                        "changed": False,
+                        "version": chain["version"],
+                        "chain": chain,
+                        "rows_submitted": len(rows),
+                        "rows_added": 0,
+                        "n_rows": len(relation),
+                        "n_cols": len(relation.attributes),
+                        "snapshot": False,
+                        "wall_time_s": time.perf_counter() - start,
+                    },
+                    "origin": origin,
+                    "memo_delta": [],
+                    "resident": self.resident(),
+                }
+            names = list(relation.attributes)
+            chunk_fingerprint = Relation(
+                RelationSchema.from_names(names), rows, validate=False
+            ).fingerprint()
+            new_chain = validate_chain(
+                {
+                    "base": chain["base"],
+                    "chunks": chain["chunks"] + [chunk_fingerprint],
+                    "version": chain["version"] + 1,
+                }
+            )
+            snapshot_dir = (
+                Path(message["spill_dir"]) / f"snapshot-{new_fingerprint}"
+            )
+            extra = {CHAIN_KEY: new_chain}
+            if message.get("chunk_rows") is not None:
+                extra["chunk_rows"] = message["chunk_rows"]
+            save_snapshot(appended, snapshot_dir, source=None, extra=extra)
+        except (SnapshotError, OSError) as exc:
+            # The snapshot is how the new fingerprint's shard owner will
+            # materialize the data — failing to write it fails the
+            # append rather than stranding an unhydratable version.
+            return {
+                **base,
+                "ok": False,
+                "error": str(exc),
+                "error_kind": "degraded",
+                "resident": self.resident(),
+            }
+        except ReproError as exc:
+            return {
+                **base,
+                "ok": False,
+                "error": str(exc),
+                "error_kind": "repro",
+                "resident": self.resident(),
+            }
+        except Exception as exc:
+            return {
+                **base,
+                "ok": False,
+                "error": f"{type(exc).__name__}: {exc}",
+                "error_kind": "internal",
+                "resident": self.resident(),
+            }
+        self._relations.pop(old_fingerprint, None)
+        self._relations[new_fingerprint] = appended
+        while len(self._relations) > self._max_resident:
+            self._relations.popitem(last=False)
+        self.jobs_done += 1
+        return {
+            **base,
+            "ok": True,
+            "report": {
+                "fingerprint": new_fingerprint,
+                "previous_fingerprint": old_fingerprint,
+                "changed": True,
+                "version": new_chain["version"],
+                "chain": new_chain,
+                "rows_submitted": len(rows),
+                "rows_added": len(appended) - len(relation),
+                "n_rows": len(appended),
+                "n_cols": len(names),
+                "snapshot": True,
+                "wall_time_s": time.perf_counter() - start,
+            },
+            "origin": origin,
+            "memo_delta": [],
             "resident": self.resident(),
         }
 

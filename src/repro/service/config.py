@@ -84,6 +84,13 @@ class ServiceConfig:
         How many hydrated datasets one worker process keeps resident
         (LRU); beyond it the oldest is dropped and re-hydrates from its
         snapshot on next use.
+    revalidate_tolerance:
+        Delta-ingest cache revalidation: after an append, each cached
+        mined jointree is re-scored (fixed tree, no search) on the
+        appended relation and **kept** — re-keyed under the new content
+        fingerprint — when both ``|ΔJ|`` and ``|Δρ|`` moved by at most
+        this much; otherwise the entry is dropped so the next request
+        re-mines.  ``0.0`` keeps only bit-stable results.
     """
 
     host: str = "127.0.0.1"
@@ -103,6 +110,7 @@ class ServiceConfig:
     worker_procs: int = 0
     worker_inflight: int = 8
     worker_max_resident: int = 16
+    revalidate_tolerance: float = 0.05
 
     def __post_init__(self) -> None:
         if self.port < 0 or self.port > 65535:
@@ -157,4 +165,13 @@ class ServiceConfig:
             raise ServiceError(
                 "worker_max_resident must be >= 1, got "
                 f"{self.worker_max_resident}"
+            )
+        if (
+            isinstance(self.revalidate_tolerance, bool)
+            or not isinstance(self.revalidate_tolerance, (int, float))
+            or self.revalidate_tolerance < 0
+        ):
+            raise ServiceError(
+                "revalidate_tolerance must be a number >= 0, got "
+                f"{self.revalidate_tolerance!r}"
             )

@@ -1,38 +1,75 @@
 """HTTP/JSON API: a stdlib ``ThreadingHTTPServer`` over the service core.
 
+The API is versioned under ``/v1/``; the bare legacy paths (``/jobs``,
+``/datasets``, ...) remain as **deprecated aliases** of the same
+handlers (responses to them carry a ``Deprecation: true`` header).
+Routing is a declarative table (:data:`ROUTES`) — method + path
+pattern, with ``{placeholder}`` segments bound as handler arguments —
+shared by both verbs, replacing the old per-verb if/elif ladders.
+
 Routes (all request/response bodies are JSON):
 
-=========================  ====================================================
-``POST /datasets``         register a dataset: ``{"path": ...}`` (server-local
-                           CSV) or ``{"csv": ...}`` (inline content), plus
-                           optional ``"chunk_rows"`` for streamed ingestion.
-                           201 with the dataset view (``"created": false``
-                           when the fingerprint was already registered).
-``GET /datasets``          list registered datasets (LRU → MRU order).
-``GET /datasets/{fp}``     one dataset's view, or 404.
-``POST /jobs``             submit work: ``{"fingerprint": ..., "operation":
-                           "mine"|"analyze"|"decompose", "params": {...}}``.
-                           200 with a finished job when served from cache,
-                           202 with a queued/coalesced job otherwise, 503
-                           when the queue is full (backpressure).
-``POST /jobs/batch``       submit a vector of operations against one dataset
-                           as a single queue unit: ``{"fingerprint": ...,
-                           "operations": [{"operation": ..., "params": ...},
-                           ...]}``.  200 when every item was answered from
-                           the cache, 202 otherwise; per-item results land
-                           under ``items`` in the job view.
-``GET /jobs/{id}``         the job's state (+ ``result`` once done), or 404.
-``GET /healthz``           liveness: ``{"status": "ok", ...}``.
-``GET /stats``             cache hit-rates, registry residency/evictions,
-                           queue/worker counters, per-dataset engine memos.
-=========================  ====================================================
+==================================  ==========================================
+``POST /v1/datasets``               register a dataset: ``{"path": ...}``
+                                    (server-local CSV) or ``{"csv": ...}``
+                                    (inline content), plus optional
+                                    ``"chunk_rows"`` for streamed ingestion.
+                                    201 with the dataset view (``"created":
+                                    false`` when the fingerprint was already
+                                    registered).
+``POST /v1/datasets/{fp}/append``   delta ingest: ``{"rows": [[...], ...]}``
+                                    or ``{"csv": ...}`` or ``{"path": ...}``
+                                    appends rows to the registered dataset,
+                                    returning the new fingerprint, the
+                                    version chain, and the cache-revalidation
+                                    summary.  200 always (a fully
+                                    deduplicated delta is a no-op with
+                                    ``"changed": false``).
+``GET /v1/datasets``                list registered datasets (LRU → MRU).
+``GET /v1/datasets/{fp}``           one dataset's view, or 404.  Superseded
+                                    fingerprints (pre-append versions) are
+                                    followed to the current entry.
+``POST /v1/jobs``                   submit work: ``{"fingerprint": ...,
+                                    "operation": "mine"|"analyze"|
+                                    "decompose", "params": {...}}``.  200
+                                    with a finished job when served from
+                                    cache, 202 with a queued/coalesced job
+                                    otherwise, 503 when the queue is full
+                                    (backpressure).
+``POST /v1/jobs/batch``             submit a vector of operations against one
+                                    dataset as a single queue unit:
+                                    ``{"fingerprint": ..., "operations":
+                                    [{"operation": ..., "params": ...},
+                                    ...]}``.  200 when every item was
+                                    answered from the cache, 202 otherwise.
+``GET /v1/jobs/{id}``               the job's state (+ ``result`` once
+                                    done), or 404.
+``GET /v1/healthz``                 liveness: ``{"status": "ok", ...}``.
+``GET /v1/stats``                   cache hit-rates, registry residency,
+                                    delta-ingest and revalidation counters,
+                                    queue/worker/cluster stats.
+==================================  ==========================================
 
-Errors are JSON too: ``{"error": "..."}`` with 400 (bad request), 404
-(unknown dataset/job/route), 409 (degraded dataset — re-register to
-heal), 503 (queue full or circuit breaker open, with a ``Retry-After``
-header), or 500 (unexpected).  The handler threads do no compute beyond
-registration ingest — jobs run on the worker pool, so slow mining never
-starves the accept loop.
+Errors are a **typed envelope**, classified uniformly for both verbs by
+:func:`classify_error`::
+
+    {
+      "error": {
+        "code": "<machine-readable>",   # stable; see ERROR_CATALOG
+        "message": "<human-readable>",
+        "retryable": bool,              # whether a retry can succeed
+        "retry_after_s": float | null   # hint when the server knows
+      },
+      "message": "<human-readable>"     # legacy-compat copy
+    }
+
+The code → status catalogue is :data:`ERROR_CATALOG`: ``bad_request``
+(400), ``unknown_dataset`` / ``unknown_job`` / ``unknown_route`` (404),
+``dataset_degraded`` (409, re-register to heal), ``queue_full`` /
+``circuit_open`` (503, retryable, with a ``Retry-After`` header), and
+``internal`` (500).  The handler threads do no compute beyond
+registration/append ingest — jobs run on the worker pool, so slow
+mining never starves the accept loop.
 
 Chaos hooks: when a :class:`~repro.service.faults.FaultPlan` is armed,
 ``_send_json`` threads the ``http.drop`` (connection closed with no
@@ -56,10 +93,89 @@ from repro.errors import (
     ReproError,
     ServiceError,
     UnknownDatasetError,
+    UnknownJobError,
 )
 
 #: Cap on request bodies (inline CSV uploads included): 64 MiB.
 MAX_BODY_BYTES = 64 * 1024 * 1024
+
+#: The current (only) API version segment.
+API_VERSION = "v1"
+
+#: Machine-readable error code → HTTP status.  Stable: clients switch on
+#: these, tests pin them, and docs/service.md documents each one.
+ERROR_CATALOG = {
+    "bad_request": 400,
+    "unknown_dataset": 404,
+    "unknown_job": 404,
+    "unknown_route": 404,
+    "dataset_degraded": 409,
+    "queue_full": 503,
+    "circuit_open": 503,
+    "internal": 500,
+}
+
+#: Declarative route table: (method, path pattern, handler attribute).
+#: ``{name}`` segments match any one segment and are passed to the
+#: handler positionally, in pattern order.  Every pattern is served both
+#: under ``/v1/`` and bare (deprecated legacy alias).  Literal patterns
+#: must precede placeholder patterns that would also match them.
+ROUTES = (
+    ("GET", ("healthz",), "_handle_healthz"),
+    ("GET", ("stats",), "_handle_stats"),
+    ("GET", ("datasets",), "_handle_list_datasets"),
+    ("GET", ("datasets", "{fingerprint}"), "_handle_get_dataset"),
+    ("GET", ("jobs", "{job_id}"), "_handle_get_job"),
+    ("POST", ("datasets",), "_handle_register"),
+    ("POST", ("datasets", "{fingerprint}", "append"), "_handle_append"),
+    ("POST", ("jobs", "batch"), "_handle_submit_batch"),
+    ("POST", ("jobs",), "_handle_submit"),
+)
+
+
+def classify_error(exc: BaseException) -> tuple[int, str, bool, float | None]:
+    """Map an exception to ``(status, code, retryable, retry_after_s)``.
+
+    One ladder for every verb and endpoint — most-specific type first —
+    so GET and POST can never disagree about what a degraded dataset or
+    a full queue looks like on the wire.
+    """
+    if isinstance(exc, QueueFullError):
+        return 503, "queue_full", True, None
+    if isinstance(exc, CircuitOpenError):
+        return 503, "circuit_open", True, exc.retry_after_s
+    if isinstance(exc, UnknownJobError):
+        return 404, "unknown_job", False, None
+    if isinstance(exc, UnknownDatasetError):
+        return 404, "unknown_dataset", False, None
+    if isinstance(exc, DatasetDegradedError):
+        # Retrying cannot help: the dataset's source is gone or changed.
+        # 409 (not 503) so resilient clients fail fast with the typed
+        # message instead of burning their retries.
+        return 409, "dataset_degraded", False, None
+    if isinstance(exc, ReproError):
+        # Bad CSVs, bad params, bad schemas: client errors, not 500s.
+        return 400, "bad_request", False, None
+    return 500, "internal", False, None
+
+
+def error_envelope(
+    code: str,
+    message: str,
+    *,
+    retryable: bool = False,
+    retry_after_s: float | None = None,
+) -> dict:
+    """The typed error body (plus the legacy-compat ``message`` copy)."""
+    return {
+        "error": {
+            "code": code,
+            "message": message,
+            "retryable": retryable,
+            "retry_after_s": retry_after_s,
+        },
+        "message": message,
+    }
 
 
 class ServiceHTTPServer(ThreadingHTTPServer):
@@ -108,6 +224,10 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if getattr(self, "_legacy_route", False):
+            # Bare (unversioned) path: still served, but flagged so
+            # clients can migrate to /v1/ before the alias is removed.
+            self.send_header("Deprecation", "true")
         if status == 503:
             # Queue-full keeps the legacy fixed hint; breaker-open
             # advertises its actual remaining cooldown (rounded up —
@@ -126,7 +246,13 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         self.wfile.write(body)
 
     def _send_error_json(
-        self, status: int, message: str, *, retry_after: float | None = None
+        self,
+        status: int,
+        code: str,
+        message: str,
+        *,
+        retryable: bool = False,
+        retry_after: float | None = None,
     ) -> None:
         # Error paths cannot always prove the request body was consumed
         # (unknown route, oversized/garbled body), and an unread body on
@@ -134,7 +260,21 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         # bytes get parsed as the next request line.  Closing after any
         # error response is always legal and costs one reconnect.
         self.close_connection = True
-        self._send_json(status, {"error": message}, retry_after=retry_after)
+        self._send_json(
+            status,
+            error_envelope(
+                code, message, retryable=retryable, retry_after_s=retry_after
+            ),
+            retry_after=retry_after,
+        )
+
+    def _send_exception(self, exc: BaseException) -> None:
+        """Classify + send: the one error path for every verb/endpoint."""
+        status, code, retryable, retry_after = classify_error(exc)
+        message = str(exc) if status != 500 else f"internal error: {exc}"
+        self._send_error_json(
+            status, code, message, retryable=retryable, retry_after=retry_after
+        )
 
     def _read_json_body(self) -> dict:
         raw_length = self.headers.get("Content-Length") or "0"
@@ -165,67 +305,64 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         return tuple(part for part in path.split("/") if part)
 
     # ------------------------------------------------------------------
-    # Verbs
+    # Dispatch
     # ------------------------------------------------------------------
-    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+    def _dispatch(self, method: str) -> None:
+        parts = self._route()
+        self._legacy_route = not (parts and parts[0] == API_VERSION)
+        if not self._legacy_route:
+            parts = parts[1:]
         try:
-            parts = self._route()
-            if parts == ("healthz",):
-                self._send_json(200, self.service.health())
-            elif parts == ("stats",):
-                self._send_json(200, self.service.stats())
-            elif parts == ("datasets",):
-                self._send_json(
-                    200,
-                    {
-                        "datasets": [
-                            entry.describe()
-                            for entry in self.service.registry.entries()
-                        ]
-                    },
-                )
-            elif len(parts) == 2 and parts[0] == "datasets":
-                self._send_json(200, self.service.registry.get(parts[1]).describe())
-            elif len(parts) == 2 and parts[0] == "jobs":
-                self._send_json(200, self.service.jobs.get(parts[1]).describe())
-            else:
-                self._send_error_json(404, f"no such route: GET {self.path}")
-        except (UnknownDatasetError, ServiceError) as exc:
-            self._send_error_json(404, str(exc))
-        except Exception as exc:  # pragma: no cover - defensive
-            self._send_error_json(500, f"internal error: {exc}")
+            for route_method, pattern, handler_name in ROUTES:
+                if route_method != method or len(pattern) != len(parts):
+                    continue
+                args = []
+                for expected, actual in zip(pattern, parts):
+                    if expected.startswith("{"):
+                        args.append(actual)
+                    elif expected != actual:
+                        break
+                else:
+                    getattr(self, handler_name)(*args)
+                    return
+            self._send_error_json(
+                404, "unknown_route", f"no such route: {method} {self.path}"
+            )
+        except Exception as exc:
+            self._send_exception(exc)
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        self._dispatch("GET")
 
     def do_POST(self) -> None:  # noqa: N802
-        try:
-            parts = self._route()
-            if parts == ("datasets",):
-                self._handle_register()
-            elif parts == ("jobs",):
-                self._handle_submit()
-            elif parts == ("jobs", "batch"):
-                self._handle_submit_batch()
-            else:
-                self._send_error_json(404, f"no such route: POST {self.path}")
-        except QueueFullError as exc:
-            self._send_error_json(503, str(exc))
-        except CircuitOpenError as exc:
-            self._send_error_json(503, str(exc), retry_after=exc.retry_after_s)
-        except UnknownDatasetError as exc:
-            self._send_error_json(404, str(exc))
-        except DatasetDegradedError as exc:
-            # Retrying cannot help: the dataset's source is gone or
-            # changed.  409 (not 503) so resilient clients fail fast
-            # with the typed message instead of burning their retries.
-            self._send_error_json(409, str(exc))
-        except ReproError as exc:
-            # Bad CSVs, bad params, bad schemas: client errors, not 500s.
-            self._send_error_json(400, str(exc))
-        except Exception as exc:  # pragma: no cover - defensive
-            self._send_error_json(500, f"internal error: {exc}")
+        self._dispatch("POST")
 
     # ------------------------------------------------------------------
     # Endpoints
     # ------------------------------------------------------------------
+    def _handle_healthz(self) -> None:
+        self._send_json(200, self.service.health())
+
+    def _handle_stats(self) -> None:
+        self._send_json(200, self.service.stats())
+
+    def _handle_list_datasets(self) -> None:
+        self._send_json(
+            200,
+            {
+                "datasets": [
+                    entry.describe()
+                    for entry in self.service.registry.entries()
+                ]
+            },
+        )
+
+    def _handle_get_dataset(self, fingerprint: str) -> None:
+        self._send_json(200, self.service.registry.get(fingerprint).describe())
+
+    def _handle_get_job(self, job_id: str) -> None:
+        self._send_json(200, self.service.jobs.get(job_id).describe())
+
     def _handle_register(self) -> None:
         body = self._read_json_body()
         chunk_rows = body.get("chunk_rows")
@@ -259,6 +396,10 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         view = entry.describe()
         view["created"] = created
         self._send_json(201 if created else 200, view)
+
+    def _handle_append(self, fingerprint: str) -> None:
+        body = self._read_json_body()
+        self._send_json(200, self.service.append(fingerprint, body))
 
     def _handle_submit(self) -> None:
         body = self._read_json_body()

@@ -75,6 +75,7 @@ from repro.errors import (
     QueueFullError,
     ReproError,
     ServiceError,
+    UnknownJobError,
 )
 from repro.factorize.report import validate_report
 from repro.service.cache import ResultCache, canonical_key
@@ -398,6 +399,8 @@ class JobQueue:
         self._max_batch_ops = max_batch_ops
         self.coalesced = 0
         self.idempotent_replays = 0
+        self.revalidated = 0
+        self.revalidation_invalidated = 0
         self.batches = 0
         self.batch_items = 0
         self.batch_item_cache_hits = 0
@@ -485,7 +488,10 @@ class JobQueue:
         else:
             deadline_s = self._default_deadline_s
         canonical = canonicalize_params(operation, params)
-        self._registry.get(fingerprint)  # raises UnknownDatasetError early
+        # Raises UnknownDatasetError early; a fingerprint superseded by
+        # an append resolves to the live version, so the cache is keyed
+        # (and the job runs) on current content.
+        fingerprint = self._registry.get(fingerprint).fingerprint
         key = canonical_key(fingerprint, operation, canonical)
         # The cache key is deadline-free (cached results are complete,
         # hence valid under any budget); coalescing is stricter still:
@@ -612,7 +618,9 @@ class JobQueue:
                 f"batch has {len(operations)} operations, limit is "
                 f"{self._max_batch_ops}"
             )
-        self._registry.get(fingerprint)  # raises UnknownDatasetError early
+        # Raises UnknownDatasetError early; appended-over fingerprints
+        # resolve to the live version (see ``submit``).
+        fingerprint = self._registry.get(fingerprint).fingerprint
         items: list[BatchItem] = []
         for index, spec in enumerate(operations):
             if not isinstance(spec, dict):
@@ -746,8 +754,92 @@ class JobQueue:
         with self._lock:
             job = self._jobs.get(job_id)
         if job is None:
-            raise ServiceError(f"no such job: {job_id!r}")
+            raise UnknownJobError(f"no such job: {job_id!r}")
         return job
+
+    # ------------------------------------------------------------------
+    # Delta-ingest cache revalidation
+    # ------------------------------------------------------------------
+    def revalidate_after_append(
+        self, old_fingerprint: str, new_fingerprint: str, *, tolerance: float
+    ) -> dict:
+        """Carry cached jointrees across an append instead of dropping them.
+
+        For every cached ``mine`` result of the superseded fingerprint,
+        the mined tree is **re-scored on the appended relation** — a
+        fixed-tree :func:`~repro.core.analysis.analyze` pass, no search —
+        and, when both ``|ΔJ|`` and ``|Δρ|`` stay within ``tolerance``,
+        the entry is re-keyed under the new fingerprint with the
+        re-scored numbers and a ``"revalidated"`` marker; otherwise it is
+        invalidated so the next request re-mines.  ``analyze`` /
+        ``decompose`` entries are always invalidated (their payloads
+        embed per-bag detail a fixed-tree pass cannot refresh).  Either
+        way the superseded key is removed, so no request keyed on stale
+        content can hit it.
+        """
+        from repro.core.analysis import analyze
+        from repro.jointrees.build import jointree_from_schema
+
+        start = time.perf_counter()
+        examined = revalidated = invalidated = 0
+        relation = None
+        for key, meta, payload in self._cache.entries_for(old_fingerprint):
+            operation = meta.get("operation")
+            params = meta.get("params")
+            examined += 1
+            keep = False
+            if (
+                operation == "mine"
+                and isinstance(params, dict)
+                and isinstance(payload.get("bags"), list)
+            ):
+                try:
+                    if relation is None:
+                        relation = self._registry.relation(new_fingerprint)
+                    tree = jointree_from_schema(
+                        [set(bag) for bag in payload["bags"]]
+                    )
+                    report = analyze(relation, tree)
+                    keep = (
+                        abs(report.j_entropy - payload["j_measure"])
+                        <= tolerance
+                        and abs(report.rho - payload["rho"]) <= tolerance
+                    )
+                except ReproError:
+                    keep = False  # unscoreable on the new content: drop
+                if keep:
+                    payload["j_measure"] = report.j_entropy
+                    payload["rho"] = report.rho
+                    payload["n_rows"] = len(relation)
+                    payload["revalidated"] = True
+                    payload["revalidated_from"] = old_fingerprint
+                    new_key = canonical_key(
+                        new_fingerprint, operation, params
+                    )
+                    self._cache.put(
+                        new_key,
+                        payload,
+                        meta={
+                            "fingerprint": new_fingerprint,
+                            "operation": operation,
+                            "params": params,
+                        },
+                    )
+            self._cache.remove(key)
+            if keep:
+                revalidated += 1
+            else:
+                invalidated += 1
+        with self._lock:
+            self.revalidated += revalidated
+            self.revalidation_invalidated += invalidated
+        return {
+            "examined": examined,
+            "revalidated": revalidated,
+            "invalidated": invalidated,
+            "tolerance": tolerance,
+            "wall_time_s": time.perf_counter() - start,
+        }
 
     def stats(self) -> dict:
         """JSON-ready queue summary (part of ``GET /stats``)."""
@@ -771,6 +863,8 @@ class JobQueue:
                 ),
                 "coalesced": self.coalesced,
                 "idempotent_replays": self.idempotent_replays,
+                "revalidated": self.revalidated,
+                "revalidation_invalidated": self.revalidation_invalidated,
                 "batches": self.batches,
                 "batch_items": self.batch_items,
                 "batch_item_cache_hits": self.batch_item_cache_hits,

@@ -63,16 +63,20 @@ from repro.errors import (
 from repro.info.engine import EntropyEngine
 from repro.relations.io import infer_integer_domains, read_csv
 from repro.relations.persist import (
+    CHAIN_KEY,
     META_FILE,
     atomic_write_text,
+    chain_from_meta,
     load_engine_memo,
     load_snapshot,
     quarantine_snapshot,
     read_snapshot_meta,
     save_engine_memo,
     save_snapshot,
+    validate_chain,
 )
 from repro.relations.relation import Relation
+from repro.relations.schema import RelationSchema
 from repro.service.faults import DISABLED, FaultPlan
 
 
@@ -107,6 +111,15 @@ class DatasetEntry:
     relation: Relation | None = None
     hits: int = 0
     reloads: int = 0
+    #: Delta-ingest version chain: ``version`` counts ingests (1 = the
+    #: base registration), ``base_fingerprint`` is the version-1 content
+    #: fingerprint, and ``chunk_fingerprints`` holds one content
+    #: fingerprint per appended delta, in order.  ``fingerprint`` above
+    #: is always the *current* content.
+    version: int = 1
+    base_fingerprint: str | None = None
+    chunk_fingerprints: list[str] = field(default_factory=list)
+    appends: int = 0
     #: How the most recent reload was satisfied: ``"snapshot"`` |
     #: ``"csv"`` | ``None`` (never reloaded).
     reload_source: str | None = None
@@ -119,6 +132,14 @@ class DatasetEntry:
     @property
     def resident(self) -> bool:
         return self.relation is not None
+
+    def chain(self) -> dict:
+        """The entry's fingerprint chain (see :func:`~repro.relations.persist.validate_chain`)."""
+        return {
+            "base": self.base_fingerprint or self.fingerprint,
+            "chunks": list(self.chunk_fingerprints),
+            "version": self.version,
+        }
 
     def describe(self) -> dict:
         """JSON view served by ``GET /datasets/{fingerprint}``."""
@@ -141,6 +162,9 @@ class DatasetEntry:
             "degraded_reason": self.degraded_reason,
             "chunk_rows": self.chunk_rows,
             "source": self.source,
+            "version": self.version,
+            "chain": self.chain(),
+            "appends": self.appends,
             "engine": engine_info,
         }
 
@@ -165,8 +189,18 @@ class DatasetRegistry:
         self._spill_dir = Path(spill_dir) if spill_dir is not None else None
         self._faults = faults if faults is not None else DISABLED
         self._entries: OrderedDict[str, DatasetEntry] = OrderedDict()
+        #: Superseded fingerprint → its successor (one hop per append).
+        #: Lets clients holding a pre-append fingerprint keep addressing
+        #: the dataset; chains resolve transitively in :meth:`resolve`.
+        self._aliases: dict[str, str] = {}
+        #: Serializes appends: each one must read the current version,
+        #: extend it, and re-key the entry as one atomic step.
+        self._append_lock = threading.Lock()
         self._lock = threading.RLock()
         self.evictions = 0
+        self.appends = 0
+        self.append_noops = 0
+        self.append_rows_added = 0
         self.last_degrade_at: float | None = None  # time.monotonic()
         #: Snapshots need somewhere durable to live: the spill dir.
         self._snapshots_enabled = bool(snapshots) and self._spill_dir is not None
@@ -241,6 +275,14 @@ class DatasetRegistry:
                 resident_bytes=0,
                 registered_at=time.time(),
             )
+            try:
+                chain = chain_from_meta(meta)
+            except SnapshotError:
+                chain = None  # provenance is advisory; content verified
+            if chain is not None:
+                entry.version = chain["version"]
+                entry.base_fingerprint = chain["base"]
+                entry.chunk_fingerprints = list(chain["chunks"])
             entry.snapshot = True
             self._entries[fingerprint] = entry
             self.restored_from_snapshot += 1
@@ -259,16 +301,17 @@ class DatasetRegistry:
         if (snapshot_dir / META_FILE).exists():
             entry.snapshot = True
             return
+        extra: dict = {}
+        if entry.chunk_rows is not None:
+            extra["chunk_rows"] = entry.chunk_rows
+        if entry.version > 1:
+            extra[CHAIN_KEY] = entry.chain()
         try:
             save_snapshot(
                 relation,
                 snapshot_dir,
                 source=entry.source,
-                extra=(
-                    {"chunk_rows": entry.chunk_rows}
-                    if entry.chunk_rows is not None
-                    else None
-                ),
+                extra=extra or None,
             )
         except (SnapshotError, OSError):
             with self._lock:
@@ -481,6 +524,224 @@ class DatasetRegistry:
             return entry, True
 
     # ------------------------------------------------------------------
+    # Delta ingest (live datasets)
+    # ------------------------------------------------------------------
+    @property
+    def spill_dir(self) -> Path | None:
+        """The registry's spill directory (``None`` when not configured)."""
+        return self._spill_dir
+
+    @property
+    def snapshots_enabled(self) -> bool:
+        return self._snapshots_enabled
+
+    def append_rows(self, fingerprint: str, rows: list) -> tuple[DatasetEntry, dict]:
+        """Append ``rows`` to a registered dataset; returns ``(entry, info)``.
+
+        The delta-ingest tentpole.  The resident relation is **extended,
+        not rebuilt**: its columnar store seeds a
+        :class:`~repro.relations.builder.ColumnStoreBuilder`
+        (:meth:`Relation.extended_with`), so only the delta is
+        dictionary-coded and the result's fingerprint provably equals a
+        from-scratch ingest of the concatenated source.  The entry is
+        re-keyed under the new content fingerprint, the superseded
+        fingerprint becomes an alias (:meth:`resolve`), the fingerprint
+        chain gains the delta's own content fingerprint, and the
+        snapshot + memo sidecar are rewritten atomically at the new
+        version while the superseded version's spill files are retired.
+
+        Exact entropy memos are invalidated *selectively*: relations are
+        row **sets**, so any delta that survives deduplication changes
+        the row count — and with it every marginal distribution — which
+        makes the sound selective rule all-or-nothing.  A delta that
+        deduplicates away entirely is a **no-op**: same fingerprint,
+        same version, every memo and cached result stays valid
+        (``info["changed"]`` is ``False``).
+
+        Raises :class:`~repro.errors.UnknownDatasetError` for unknown
+        fingerprints, :class:`~repro.errors.DatasetDegradedError` when
+        the current version cannot be materialized, and
+        :class:`~repro.errors.SchemaError` for rows of the wrong arity.
+        """
+        start = time.perf_counter()
+        rows = [tuple(row) for row in rows]
+        with self._append_lock:
+            entry = self._touch(fingerprint)
+            old_fp = entry.fingerprint
+            relation = self.relation(old_fp)
+            old_n_rows = len(relation)
+            appended = (
+                infer_integer_domains(relation.extended_with(rows))
+                if rows
+                else relation
+            )
+            new_fp = appended.fingerprint()
+            if new_fp == old_fp:
+                with self._lock:
+                    self.append_noops += 1
+                return entry, {
+                    "fingerprint": old_fp,
+                    "previous_fingerprint": old_fp,
+                    "changed": False,
+                    "version": entry.version,
+                    "chain": entry.chain(),
+                    "rows_submitted": len(rows),
+                    "rows_added": 0,
+                    "n_rows": old_n_rows,
+                    "wall_time_s": time.perf_counter() - start,
+                }
+            chunk_fp = Relation(
+                RelationSchema.from_names(entry.attributes),
+                rows,
+                validate=False,
+            ).fingerprint()
+            with self._lock:
+                existing = self._entries.get(new_fp)
+                if existing is not None and existing is not entry:
+                    # The appended content coincides with another
+                    # registered dataset: fold into that entry instead
+                    # of keying two entries to one fingerprint.
+                    del self._entries[old_fp]
+                    self._aliases[old_fp] = new_fp
+                    if existing.relation is None:
+                        existing.relation = appended
+                        existing.resident_bytes = resident_bytes(appended)
+                    existing.degraded = False
+                    existing.degraded_reason = None
+                    self._entries.move_to_end(new_fp)
+                    self.appends += 1
+                    entry = existing
+                else:
+                    del self._entries[old_fp]
+                    self._aliases[old_fp] = new_fp
+                    entry.fingerprint = new_fp
+                    entry.base_fingerprint = entry.base_fingerprint or old_fp
+                    entry.chunk_fingerprints = [
+                        *entry.chunk_fingerprints,
+                        chunk_fp,
+                    ]
+                    entry.version += 1
+                    entry.appends += 1
+                    entry.relation = appended
+                    entry.attributes = appended.schema.names
+                    entry.n_rows = len(appended)
+                    entry.n_cols = appended.schema.arity
+                    entry.resident_bytes = resident_bytes(appended)
+                    entry.snapshot = False
+                    entry.degraded = False
+                    entry.degraded_reason = None
+                    self._entries[new_fp] = entry
+                    self.appends += 1
+                    self.append_rows_added += len(appended) - old_n_rows
+                self._evict_over_budget()
+            # Publish the new version's durable forms, then retire the
+            # superseded one's (its snapshot must not resurrect the old
+            # fingerprint as a separate dataset on the next restart).
+            entry.source = self._spill_concatenated_csv(appended, new_fp)
+            self._maybe_write_snapshot(entry, appended)
+            self._retire_version_files(old_fp)
+            return entry, {
+                "fingerprint": new_fp,
+                "previous_fingerprint": old_fp,
+                "changed": True,
+                "version": entry.version,
+                "chain": entry.chain(),
+                "rows_submitted": len(rows),
+                "rows_added": len(appended) - old_n_rows,
+                "n_rows": len(appended),
+                "wall_time_s": time.perf_counter() - start,
+            }
+
+    def adopt_appended(self, old_fingerprint: str, info: dict) -> DatasetEntry:
+        """Re-key an entry after a *worker-side* append (cluster mode).
+
+        The shard's owning worker extended the relation and wrote the
+        new version's snapshot (see
+        :meth:`repro.service.cluster.ClusterSupervisor.append`); the
+        front end — which never materialized the data — adopts the
+        result as metadata: new fingerprint, chain, row count, alias,
+        retired old spill files.  The relation itself hydrates lazily
+        from the worker-written snapshot on first front-end use.
+        """
+        chain = validate_chain(info["chain"])
+        new_fp = str(info["fingerprint"])
+        with self._append_lock:
+            with self._lock:
+                entry = self._entries.get(old_fingerprint)
+                if entry is None:
+                    raise UnknownDatasetError(
+                        "no dataset registered with fingerprint "
+                        f"{old_fingerprint!r}"
+                    )
+                del self._entries[old_fingerprint]
+                self._aliases[old_fingerprint] = new_fp
+                entry.fingerprint = new_fp
+                entry.version = chain["version"]
+                entry.base_fingerprint = chain["base"]
+                entry.chunk_fingerprints = list(chain["chunks"])
+                entry.appends += 1
+                entry.relation = None
+                entry.resident_bytes = 0
+                entry.n_rows = int(info["n_rows"])
+                entry.n_cols = int(info["n_cols"])
+                entry.source = None
+                entry.snapshot = bool(info.get("snapshot"))
+                entry.degraded = False
+                entry.degraded_reason = None
+                self._entries[new_fp] = entry
+                self.appends += 1
+                rows_added = info.get("rows_added")
+                if isinstance(rows_added, int) and rows_added > 0:
+                    self.append_rows_added += rows_added
+            self._retire_version_files(old_fingerprint)
+            return entry
+
+    def _spill_concatenated_csv(
+        self, relation: Relation, fingerprint: str
+    ) -> str | None:
+        """Persist the appended content as a CSV source (best effort).
+
+        Keeps the CSV-fallback reload path alive for appended versions
+        (the original source file no longer matches the content).  Rows
+        are written in deterministic order; the re-ingest re-verifies
+        the fingerprint, so a value that cannot round-trip through CSV
+        text degrades the entry loudly instead of serving wrong data —
+        and the columnar snapshot, which is exact, is always preferred.
+        """
+        if self._spill_dir is None:
+            return None
+        import csv
+        from io import StringIO
+
+        buffer = StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(relation.schema.names)
+        writer.writerows(relation.sorted_rows())
+        kept = self._spill_dir / f"dataset-{fingerprint}.csv"
+        try:
+            self._spill_dir.mkdir(parents=True, exist_ok=True)
+            atomic_write_text(kept, buffer.getvalue())
+        except OSError:
+            return None
+        return str(kept)
+
+    def _retire_version_files(self, fingerprint: str) -> None:
+        """Remove a superseded version's spill files (best effort)."""
+        if self._spill_dir is None:
+            return
+        import shutil
+
+        snapshot_dir = self._spill_dir / f"snapshot-{fingerprint}"
+        if snapshot_dir.exists():
+            shutil.rmtree(snapshot_dir, ignore_errors=True)
+        try:
+            (self._spill_dir / f"dataset-{fingerprint}.csv").unlink(
+                missing_ok=True
+            )
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
     # Lookup
     # ------------------------------------------------------------------
     def get(self, fingerprint: str) -> DatasetEntry:
@@ -494,15 +755,45 @@ class DatasetRegistry:
         entry.hits += 1
         return entry
 
+    def resolve(self, fingerprint: str) -> str:
+        """The *current* fingerprint for ``fingerprint``, following appends.
+
+        A client that registered (or last appended to) a dataset may
+        still hold a fingerprint that later appends superseded; aliases
+        map each superseded version to its successor so such requests
+        land on the live entry.  Unknown fingerprints are returned
+        unchanged — the caller's lookup raises the usual typed error.
+        Aliases live in memory only: after a restart, superseded
+        fingerprints are gone and clients use the fingerprint returned
+        by their last append.
+        """
+        with self._lock:
+            seen = {fingerprint}
+            current = fingerprint
+            while current not in self._entries:
+                successor = self._aliases.get(current)
+                if successor is None or successor in seen:
+                    return fingerprint
+                seen.add(successor)
+                current = successor
+            return current
+
     def _touch(self, fingerprint: str) -> DatasetEntry:
-        """Look up + refresh LRU order without counting a hit."""
+        """Look up + refresh LRU order without counting a hit.
+
+        Superseded fingerprints resolve to their current version, so
+        every lookup path (jobs, HTTP GET, hydration specs) transparently
+        follows the append chain.
+        """
         with self._lock:
             entry = self._entries.get(fingerprint)
+            if entry is None:
+                entry = self._entries.get(self.resolve(fingerprint))
             if entry is None:
                 raise UnknownDatasetError(
                     f"no dataset registered with fingerprint {fingerprint!r}"
                 )
-            self._entries.move_to_end(fingerprint)
+            self._entries.move_to_end(entry.fingerprint)
             return entry
 
     def __contains__(self, fingerprint: str) -> bool:
@@ -540,11 +831,11 @@ class DatasetRegistry:
         entry = self._touch(fingerprint)
         snapshot_dir: str | None = None
         if self._snapshots_enabled:
-            candidate = self._snapshot_path(fingerprint)
+            candidate = self._snapshot_path(entry.fingerprint)
             if (candidate / META_FILE).exists():
                 snapshot_dir = str(candidate)
         return {
-            "fingerprint": fingerprint,
+            "fingerprint": entry.fingerprint,
             "snapshot_dir": snapshot_dir,
             "source": entry.source,
             "chunk_rows": entry.chunk_rows,
@@ -706,6 +997,10 @@ class DatasetRegistry:
                 "memory_budget_bytes": self._budget,
                 "evictions": self.evictions,
                 "degraded": sum(e.degraded for e in self._entries.values()),
+                "appends": self.appends,
+                "append_noops": self.append_noops,
+                "append_rows_added": self.append_rows_added,
+                "aliases": len(self._aliases),
                 "snapshots_enabled": self._snapshots_enabled,
                 "snapshot_writes": self.snapshot_writes,
                 "snapshot_write_failures": self.snapshot_write_failures,

@@ -96,7 +96,9 @@ class TestDatasetEndpoints:
             connection.endheaders()
             response = connection.getresponse()
             assert response.status == 400
-            assert "Content-Length" in json.loads(response.read())["error"]
+            envelope = json.loads(response.read())["error"]
+            assert envelope["code"] == "bad_request"
+            assert "Content-Length" in envelope["message"]
         finally:
             connection.close()
 
