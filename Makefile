@@ -5,8 +5,9 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test bench bench-baseline bench-strategies bench-jmeasure \
-	bench-streaming bench-service bench-store bench-cluster bench-gate \
-	service-smoke chaos-smoke lint
+	bench-streaming bench-service bench-store bench-cluster \
+	bench-saturation bench-gate service-smoke chaos-smoke \
+	saturation-smoke lint
 
 ## tier-1 suite (tests only; benchmarks are opt-in via `make bench`)
 test:
@@ -75,6 +76,19 @@ service-smoke:
 ## CI chaos-smoke job runs exactly this (see docs/robustness.md)
 chaos-smoke:
 	$(PYTHON) scripts/chaos_smoke.py
+
+## ramp concurrent clients against a warm in-process service until the
+## p99 crosses the threshold (short CI ramp, no baseline recording);
+## the CI saturation-smoke step runs exactly this and uploads the
+## per-level latency table (see docs/observability.md)
+saturation-smoke:
+	$(PYTHON) scripts/saturation_load.py --smoke
+
+## full saturation ramp (1..32 clients); appends the per-level
+## p50/p95/p99 table + knee point to BENCH_service.json (see
+## docs/observability.md)
+bench-saturation:
+	$(PYTHON) scripts/saturation_load.py --record
 
 ## benchmark-regression gate: re-run smoke benches and compare against
 ## the committed BENCH_*.json baselines (>2x degradation fails); the CI

@@ -173,6 +173,11 @@ def fresh_service_faults_idle_ratio() -> float:
     return _fresh_service_metrics()["faults_idle_speedup"]
 
 
+def fresh_service_telemetry_overhead_ratio() -> float:
+    """Warm HTTP latency telemetry-on vs telemetry-off (1.0 is free)."""
+    return _fresh_service_metrics()["telemetry_overhead_warm_ratio"]
+
+
 def fresh_service_append_revalidate_speedup() -> float:
     """Append + cache revalidation vs from-scratch ingest + re-mine."""
     return _fresh_service_metrics()["append_revalidate_vs_remine_speedup"]
@@ -256,20 +261,25 @@ def baseline_streaming_rss_ratio() -> float:
 
 
 def baseline_service_warm_speedup() -> float:
-    record = _last_record(REPO_ROOT / "BENCH_service.json")
+    record = _last_record_with_tier(REPO_ROOT / "BENCH_service.json", "n=2e4")
     return float(record["tiers"]["n=2e4"]["warm_http_speedup"])
 
 
 def baseline_service_faults_idle_ratio() -> float:
-    record = _last_record(REPO_ROOT / "BENCH_service.json")
+    record = _last_record_with_tier(REPO_ROOT / "BENCH_service.json", "n=2e4")
     return float(record["tiers"]["n=2e4"]["faults_idle_speedup"])
 
 
 def baseline_service_append_revalidate_speedup() -> float:
-    record = _last_record(REPO_ROOT / "BENCH_service.json")
+    record = _last_record_with_tier(REPO_ROOT / "BENCH_service.json", "n=2e4")
     return float(
         record["tiers"]["n=2e4"]["append_revalidate_vs_remine_speedup"]
     )
+
+
+def baseline_service_telemetry_overhead_ratio() -> float:
+    record = _last_record_with_tier(REPO_ROOT / "BENCH_service.json", "n=2e4")
+    return float(record["tiers"]["n=2e4"]["telemetry_overhead_warm_ratio"])
 
 
 def baseline_cluster_rps_ratio() -> float:
@@ -368,6 +378,22 @@ TRACKED_OPS = {
     ),
 }
 
+#: name → (baseline extractor, fresh measurement, ceiling).  Unlike
+#: TRACKED_OPS these are **lower is better** overhead ratios gated
+#: against an *absolute* ceiling, not a baseline-relative floor: the
+#: observability bar is "telemetry may cost at most 15% of a warm hit"
+#: on any machine, so a uniformly slower runner must not shift it.  The
+#: committed baseline is still printed for context.
+CEILING_OPS = {
+    # Warm HTTP mine latency with per-request telemetry on vs off,
+    # min-of-N interleaved (see run_telemetry_overhead_tier).
+    "service/telemetry_overhead_warm_ratio@2e4": (
+        baseline_service_telemetry_overhead_ratio,
+        fresh_service_telemetry_overhead_ratio,
+        1.15,
+    ),
+}
+
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -424,6 +450,40 @@ def main(argv: list[str] | None = None) -> int:
                 "fresh": fresh,
                 "floor": floor,
                 "slack": slack,
+                "ok": ok,
+            }
+        )
+
+    for name, (baseline_fn, fresh_fn, ceiling) in CEILING_OPS.items():
+        try:
+            baseline = baseline_fn()
+        except (FileNotFoundError, KeyError, ValueError, json.JSONDecodeError) as exc:
+            print(f"[gate] ERROR {name}: unusable baseline ({exc})")
+            errors += 1
+            results.append({"op": name, "error": f"baseline: {exc}"})
+            continue
+        try:
+            fresh = fresh_fn()
+        except Exception as exc:
+            print(f"[gate] ERROR {name}: fresh measurement failed ({exc})")
+            errors += 1
+            results.append(
+                {"op": name, "baseline": baseline, "error": f"fresh: {exc}"}
+            )
+            continue
+        ok = fresh <= ceiling
+        failures += 0 if ok else 1
+        verdict = "ok" if ok else "REGRESSION"
+        print(
+            f"[gate] {verdict:>10}  {name}: fresh {fresh:.2f}x vs absolute "
+            f"ceiling {ceiling:.2f}x (baseline {baseline:.2f}x)"
+        )
+        results.append(
+            {
+                "op": name,
+                "baseline": baseline,
+                "fresh": fresh,
+                "ceiling": ceiling,
                 "ok": ok,
             }
         )

@@ -42,14 +42,18 @@ from repro.service.client import ServiceClient  # noqa: E402
 
 #: The seeded plan: deterministic, bounded chaos.  One worker crash
 #: (exercises supervision + respawn), one torn spill write (exercises
-#: quarantine), and up to five dropped responses at 30% (exercises
-#: client retries + idempotent resubmission).
+#: quarantine), up to five dropped responses at 30% (exercises client
+#: retries + idempotent resubmission), and a permanently slow log sink
+#: (exercises the bounded non-blocking request-log writer: combined
+#: with ``--request-log-capacity 4`` the storm must overflow the queue
+#: and the writer must drop-and-count instead of stalling requests).
 FAULT_PLAN = {
     "seed": 20230817,
     "rules": [
         {"site": "jobs.worker_crash", "times": 1},
         {"site": "cache.spill_write_torn", "times": 1},
         {"site": "http.drop", "probability": 0.3, "times": 5},
+        {"site": "telemetry.log_write", "delay_s": 0.25},
     ],
 }
 
@@ -67,6 +71,7 @@ def start_server(spill_dir: str, stderr_path: Path) -> tuple[subprocess.Popen, i
             "--spill-dir", spill_dir,
             "--breaker-failures", "3",
             "--breaker-cooldown", "1.0",
+            "--request-log-capacity", "4",
         ],
         cwd=REPO_ROOT,
         env={
@@ -192,6 +197,21 @@ def main() -> int:
                 final_stats["cache"]["quarantined"] <= 1
             )
             assert checks["no_unexplained_quarantine"], final_stats["cache"]
+
+            # The slow-sink rule stalls every log write 250ms against a
+            # capacity-4 queue: the storm above must have overflowed it.
+            # The invariant is drop-and-count — lost lines show up in
+            # the counter and the request path never absorbed the stall
+            # (every assertion above already ran at full speed).
+            log_stats = final_stats["metrics"]["log"]
+            checks["slow_log_sink_dropped_and_counted"] = (
+                log_stats["dropped"] >= 1
+            )
+            assert checks["slow_log_sink_dropped_and_counted"], log_stats
+            print(
+                f"[chaos] slow log sink shed load: {log_stats['dropped']} "
+                f"line(s) dropped-and-counted, requests unaffected"
+            )
         finally:
             process.terminate()
             try:

@@ -1,0 +1,241 @@
+#!/usr/bin/env python
+"""Saturation load probe: ramp concurrency until tail latency gives out.
+
+Boots an in-process service, primes one cached ``mine``, then drives
+warm requests at an increasing number of concurrent clients.  Each
+level reports throughput and the p50/p95/p99 HTTP latency; the **knee**
+is the first level whose p99 crosses the threshold — the point where
+queueing, not compute, starts pricing requests.
+
+What the CI ``saturation-smoke`` job (and ``make saturation-smoke``)
+runs, with a short ramp and no baseline recording; ``make
+bench-saturation`` runs the full ramp and appends the level table +
+knee to ``BENCH_service.json``.
+
+Gates (exit 1 when violated):
+
+* every request at every level succeeds (saturation must degrade into
+  latency, never into errors);
+* the lowest level's p99 is under the threshold (an unloaded service
+  must not already be past the knee);
+* peak throughput is at least that of the lowest level (adding clients
+  before the knee must buy requests/second, not lose them).
+
+A per-level JSON report (the latency table, uploaded as a CI artifact)
+is written to ``$SATURATION_REPORT`` (default ``saturation_report.json``).
+
+Exit codes: 0 ok · 1 gate violated · 2 infrastructure trouble.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_PATH = REPO_ROOT / "src"
+sys.path.insert(0, str(SRC_PATH))
+
+import numpy as np  # noqa: E402
+
+from repro.core.random_relations import random_relation  # noqa: E402
+from repro.relations.io import write_csv  # noqa: E402
+from repro.service import Service, ServiceClient, ServiceConfig  # noqa: E402
+
+FULL_LEVELS = (1, 2, 4, 8, 16, 32)
+SMOKE_LEVELS = (1, 2, 4, 8)
+
+
+def run_level(base_url: str, fingerprint: str, clients: int, per_client: int) -> dict:
+    """One ramp level: ``clients`` threads × ``per_client`` warm mines."""
+    latencies: list[float] = []
+    latency_lock = threading.Lock()
+    errors: list[Exception] = []
+    barrier = threading.Barrier(clients + 1)
+
+    def hammer() -> None:
+        try:
+            client = ServiceClient(base_url, retries=0)
+            client.healthz()  # connection + interpreter warmup off-clock
+            barrier.wait()
+            own: list[float] = []
+            for _ in range(per_client):
+                start = time.perf_counter()
+                view = client.run(fingerprint, "mine", {"strategy": "beam"})
+                own.append(time.perf_counter() - start)
+                assert view["state"] == "done", view
+            with latency_lock:
+                latencies.extend(own)
+        except Exception as exc:  # collected, not raised: the gate reports
+            errors.append(exc)
+            try:
+                barrier.abort()
+            except threading.BrokenBarrierError:
+                pass
+
+    threads = [threading.Thread(target=hammer) for _ in range(clients)]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - started
+    if errors:
+        raise AssertionError(
+            f"{len(errors)} client error(s) at {clients} clients: {errors[:3]}"
+        )
+    samples = np.asarray(latencies)
+    return {
+        "clients": clients,
+        "requests": clients * per_client,
+        "rps": clients * per_client / wall,
+        "p50_ms": float(np.percentile(samples, 50)) * 1e3,
+        "p95_ms": float(np.percentile(samples, 95)) * 1e3,
+        "p99_ms": float(np.percentile(samples, 99)) * 1e3,
+    }
+
+
+def run_ramp(
+    levels: tuple[int, ...], per_client: int, p99_threshold_ms: float
+) -> dict:
+    """The whole probe: boot, prime, ramp, find the knee."""
+    import tempfile
+
+    with tempfile.TemporaryDirectory(prefix="repro-saturation-") as tmp:
+        csv_path = Path(tmp) / "saturation.csv"
+        relation = random_relation(
+            {name: 16 for name in "ABCDE"}, 20_000, np.random.default_rng(31)
+        )
+        write_csv(relation, csv_path)
+        config = ServiceConfig(port=0, workers=2, max_queue=4096)
+        with Service(config) as service:
+            base_url = f"http://127.0.0.1:{service.port}"
+            client = ServiceClient(base_url)
+            fp = client.register_dataset(path=str(csv_path))["fingerprint"]
+            cold = client.run(fp, "mine", {"strategy": "beam"}, timeout=600)
+            assert cold["state"] == "done", cold
+
+            table = []
+            knee = None
+            for clients in levels:
+                level = run_level(base_url, fp, clients, per_client)
+                table.append(level)
+                print(
+                    f"[saturation] {level['clients']:>3} clients | "
+                    f"{level['rps']:7.1f} req/s | p50 {level['p50_ms']:7.2f} ms"
+                    f" | p95 {level['p95_ms']:7.2f} ms | "
+                    f"p99 {level['p99_ms']:7.2f} ms"
+                )
+                if knee is None and level["p99_ms"] > p99_threshold_ms:
+                    knee = clients
+            summary = client.stats()["metrics"]
+    return {
+        "n_rows": 20_000,
+        "per_client_requests": per_client,
+        "p99_threshold_ms": p99_threshold_ms,
+        "levels": table,
+        "knee_clients": knee,
+        "request_latency": summary["request_latency"],
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="short ramp for CI: fewer levels and requests, never records "
+        "a baseline",
+    )
+    parser.add_argument(
+        "--per-client",
+        type=int,
+        default=None,
+        metavar="N",
+        help="requests each client issues per level (default 50, smoke 25)",
+    )
+    parser.add_argument(
+        "--p99-threshold-ms",
+        type=float,
+        default=25.0,
+        help="p99 above this marks a level as past the knee (default 25)",
+    )
+    parser.add_argument(
+        "--record",
+        action="store_true",
+        help="append the level table + knee to BENCH_service.json",
+    )
+    args = parser.parse_args(argv)
+    levels = SMOKE_LEVELS if args.smoke else FULL_LEVELS
+    per_client = args.per_client or (25 if args.smoke else 50)
+
+    result = run_ramp(levels, per_client, args.p99_threshold_ms)
+    table = result["levels"]
+    knee = result["knee_clients"]
+    if knee is None:
+        print(
+            f"[saturation] no knee: p99 stayed under "
+            f"{args.p99_threshold_ms:.0f} ms through {levels[-1]} clients"
+        )
+    else:
+        print(
+            f"[saturation] knee at {knee} clients (first p99 over "
+            f"{args.p99_threshold_ms:.0f} ms)"
+        )
+
+    report_path = Path(os.environ.get("SATURATION_REPORT", "saturation_report.json"))
+    report_path.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+    print(f"[saturation] per-level latency table written to {report_path}")
+
+    # Gates: errors already raised inside run_level; check the shape.
+    assert table[0]["p99_ms"] <= args.p99_threshold_ms, (
+        f"unloaded p99 {table[0]['p99_ms']:.2f} ms is already past the "
+        f"{args.p99_threshold_ms:.0f} ms threshold"
+    )
+    peak_rps = max(level["rps"] for level in table)
+    assert peak_rps >= table[0]["rps"], (
+        f"concurrency never paid: peak {peak_rps:.1f} req/s < single-client "
+        f"{table[0]['rps']:.1f} req/s"
+    )
+
+    if args.record and not args.smoke:
+        results_path = REPO_ROOT / "BENCH_service.json"
+        history = []
+        if results_path.exists():
+            try:
+                history = json.loads(results_path.read_text())
+            except json.JSONDecodeError:
+                history = []
+        if not isinstance(history, list):
+            history = [history]
+        history.append(
+            {
+                "bench": "service_saturation",
+                "cpu_count": os.cpu_count(),
+                "timestamp": time.time(),
+                "tiers": {"saturation@n=2e4": result},
+            }
+        )
+        results_path.write_text(
+            json.dumps(history, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"[saturation] recorded to {results_path.name}")
+    print("[saturation] saturation probe ok")
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        raise SystemExit(main())
+    except AssertionError as exc:
+        print(f"[saturation] FAILED: {exc}", file=sys.stderr)
+        raise SystemExit(1) from exc
+    except RuntimeError as exc:
+        print(f"[saturation] infrastructure error: {exc}", file=sys.stderr)
+        raise SystemExit(2) from exc

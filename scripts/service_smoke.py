@@ -164,6 +164,8 @@ def main() -> int:
                 f"{stats['registry']['resident_bytes']} resident bytes)"
             )
 
+            check_metrics_exposition(client)
+
             batch = client.run_batch(
                 fp,
                 [
@@ -223,6 +225,44 @@ def main() -> int:
     cluster_phase(csv_path)
     print("[smoke] service smoke ok")
     return 0
+
+
+def check_metrics_exposition(client: ServiceClient) -> None:
+    """Scrape ``GET /v1/metrics`` and parse the Prometheus text format.
+
+    Every non-empty line must be a ``# HELP``/``# TYPE`` comment or a
+    ``name[{labels}] value`` sample; the migrated component counters and
+    the request-latency histogram (cumulative buckets ending in +Inf)
+    must be present.
+    """
+    text = client.metrics_text()
+    types: dict[str, str] = {}
+    values: dict[str, float] = {}
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        if line.startswith("# HELP ") or line.startswith("# TYPE "):
+            _, kind, rest = line.split(" ", 2)
+            name, payload = rest.split(" ", 1)
+            if kind == "TYPE":
+                assert payload in ("counter", "gauge", "histogram"), line
+                types[name] = payload
+            continue
+        assert not line.startswith("#"), f"malformed comment line: {line!r}"
+        body, raw_value = line.rsplit(" ", 1)
+        name = body.split("{", 1)[0]
+        values[name] = values.get(name, 0.0) + float(raw_value)
+    assert types.get("cache_hits_total") == "counter", types
+    assert values.get("cache_hits_total", 0) >= 1, values
+    assert types.get("jobs_completed_total") == "counter", types
+    assert values.get("jobs_completed_total", 0) >= 1, values
+    assert types.get("http_request_seconds") == "histogram", types
+    assert 'le="+Inf"' in text, "histograms lack a terminal +Inf bucket"
+    assert values.get("http_request_seconds_count", 0) >= 1, values
+    print(
+        f"[smoke] /v1/metrics ok ({len(types)} instrument families, "
+        f"{values['http_request_seconds_count']:.0f} requests observed)"
+    )
 
 
 # Extends the planted MVD C ->> A | B (a new C-block with a full

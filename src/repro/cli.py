@@ -278,6 +278,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         snapshots=not args.no_snapshots,
         worker_procs=args.worker_procs,
         revalidate_tolerance=args.revalidate_tolerance,
+        telemetry=not args.no_telemetry,
+        request_log_path=args.request_log,
+        request_log_capacity=args.request_log_capacity,
     )
     service = Service(config)
     if service.faults.enabled:
@@ -604,6 +607,28 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable persistent columnar snapshots (the registry then "
         "always re-ingests evicted datasets from CSV)",
+    )
+    p_serve.add_argument(
+        "--no-telemetry",
+        action="store_true",
+        help="disable per-request telemetry (spans, structured request "
+        "logs, latency histograms); component counters and /v1/metrics "
+        "stay live",
+    )
+    p_serve.add_argument(
+        "--request-log",
+        default=None,
+        metavar="PATH",
+        help="append structured JSON request/job log lines to this file "
+        "(default: stderr)",
+    )
+    p_serve.add_argument(
+        "--request-log-capacity",
+        type=int,
+        default=1024,
+        metavar="N",
+        help="bound on the request-log writer queue; lines beyond it are "
+        "dropped and counted rather than blocking the request path",
     )
     p_serve.add_argument(
         "--worker-procs",

@@ -19,6 +19,10 @@ service that amortizes work across requests:
   with capped-jittered retries and idempotent resubmission;
 * :class:`~repro.service.faults.FaultPlan` — the deterministic
   fault-injection harness behind the chaos test suite;
+* :mod:`repro.service.telemetry` — the observability plane: a typed
+  metrics registry (Prometheus exposition at ``/v1/metrics``), latency
+  histograms with exact-ish quantiles, structured JSON request logs,
+  and cross-process trace propagation (``docs/observability.md``);
 * :mod:`repro.service.cluster` / :mod:`repro.service.dispatch` — the
   ``--worker-procs N`` multi-process scale-out: worker subprocesses own
   consistent-hash shards of the datasets, hydrate them zero-parse from
@@ -37,6 +41,7 @@ from repro.service.faults import FaultPlan, WorkerCrashInjection
 from repro.service.jobs import BatchItem, BatchJob, CircuitBreaker, Job, JobQueue
 from repro.service.operations import canonicalize_params, run_operation
 from repro.service.registry import DatasetEntry, DatasetRegistry
+from repro.service.telemetry import MetricsRegistry, StageTimings, Telemetry
 
 __all__ = [
     "BatchItem",
@@ -49,12 +54,15 @@ __all__ = [
     "FaultPlan",
     "Job",
     "JobQueue",
+    "MetricsRegistry",
     "ResultCache",
     "Service",
     "ServiceClient",
     "ServiceClientError",
     "ServiceConfig",
     "ShardMap",
+    "StageTimings",
+    "Telemetry",
     "WorkerCrashInjection",
     "WorkerCrashedError",
     "canonical_key",

@@ -24,6 +24,7 @@ from repro.service.faults import FaultPlan
 from repro.service.http import ServiceHTTPServer, ServiceRequestHandler
 from repro.service.jobs import JobQueue
 from repro.service.registry import DatasetRegistry
+from repro.service.telemetry import Telemetry
 
 
 class Service:
@@ -36,16 +37,30 @@ class Service:
             if self.config.fault_plan is not None
             else os.environ.get("REPRO_FAULT_PLAN")
         )
+        #: One telemetry plane per process: the shared metrics registry
+        #: every subsystem's counters live on (so ``/stats`` and
+        #: ``/v1/metrics`` can never disagree), the request log, and the
+        #: fold point for worker-process metric snapshots.
+        self.telemetry = Telemetry(
+            enabled=self.config.telemetry,
+            log_sink=self.config.request_log_path,
+            log_capacity=self.config.request_log_capacity,
+            faults=self.faults,
+            proc="frontend",
+        )
+        metrics = self.telemetry.metrics
         self.registry = DatasetRegistry(
             memory_budget_bytes=self.config.memory_budget_bytes,
             spill_dir=self.config.spill_dir,
             faults=self.faults,
             snapshots=self.config.snapshots,
+            metrics=metrics,
         )
         self.cache = ResultCache(
             max_entries=self.config.cache_entries,
             spill_dir=self.config.spill_dir,
             faults=self.faults,
+            metrics=metrics,
         )
         #: ``worker_procs > 0`` scales compute across worker subprocesses
         #: (see :mod:`repro.service.cluster`); 0 keeps the classic
@@ -61,6 +76,7 @@ class Service:
                 faults=self.faults,
                 max_inflight=self.config.worker_inflight,
                 max_resident=self.config.worker_max_resident,
+                telemetry=self.telemetry,
             )
         try:
             self.jobs = JobQueue(
@@ -74,6 +90,7 @@ class Service:
                 breaker_cooldown_s=self.config.breaker_cooldown_s,
                 max_batch_ops=self.config.max_batch_ops,
                 executor=self.cluster,
+                telemetry=self.telemetry,
             )
         except BaseException:
             if self.cluster is not None:
@@ -137,6 +154,7 @@ class Service:
         self.jobs.shutdown(wait=True)
         if self.cluster is not None:
             self.cluster.shutdown()
+        self.telemetry.close()
 
     def __enter__(self) -> "Service":
         return self.start()
@@ -333,10 +351,16 @@ class Service:
         """
         view = {
             "uptime_s": time.monotonic() - self._started_at,
+            # The registry snapshot rides a short TTL cache so a /stats
+            # poller never contends with a long mine for the
+            # registry-wide lock (see DatasetRegistry.stats).
             "cache": self.cache.stats(),
-            "registry": self.registry.stats(),
+            "registry": self.registry.stats(
+                max_age_s=self.config.stats_cache_ttl_s
+            ),
             "jobs": self.jobs.stats(),
             "faults": self.faults.stats(),
+            "metrics": self.telemetry.summary(),
         }
         if self.cluster is not None:
             view["cluster"] = self.cluster.stats()

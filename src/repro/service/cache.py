@@ -42,6 +42,7 @@ from pathlib import Path
 from repro.errors import ReproError, ServiceError
 from repro.factorize.report import validate_report
 from repro.service.faults import DISABLED, FaultPlan
+from repro.service.telemetry import MetricsRegistry
 
 
 def canonical_key(fingerprint: str, operation: str, params: dict) -> str:
@@ -68,6 +69,7 @@ class ResultCache:
         max_entries: int = 1024,
         spill_dir: str | Path | None = None,
         faults: FaultPlan | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if max_entries < 1:
             raise ServiceError(f"max_entries must be >= 1, got {max_entries}")
@@ -82,13 +84,56 @@ class ResultCache:
         self._meta: dict[str, dict] = {}
         self._by_fingerprint: dict[str, set[str]] = {}
         self._lock = threading.Lock()
-        self.hits = 0
-        self.misses = 0
-        self.spill_loads = 0
-        self.spill_writes = 0
-        self.quarantined = 0
-        self.invalidated = 0
+        # Counters live on the (shared) metrics registry — ``/stats``
+        # and ``/v1/metrics`` read the same instruments, so the two
+        # documents can never disagree.  Standalone (unit-test) caches
+        # get a private registry.
+        metrics = metrics or MetricsRegistry()
+        self._c_hits = metrics.counter(
+            "cache_hits_total", "Result-cache hits (memory or spill)"
+        )
+        self._c_misses = metrics.counter(
+            "cache_misses_total", "Result-cache misses"
+        )
+        self._c_spill_loads = metrics.counter(
+            "cache_spill_loads_total", "Entries rehydrated from the disk spill"
+        )
+        self._c_spill_writes = metrics.counter(
+            "cache_spill_writes_total", "Entries spilled to disk"
+        )
+        self._c_quarantined = metrics.counter(
+            "cache_quarantined_total", "Poisoned spill files quarantined"
+        )
+        self._c_invalidated = metrics.counter(
+            "cache_invalidated_total", "Entries explicitly invalidated"
+        )
         self.last_quarantine_at: float | None = None  # time.monotonic()
+
+    # Counter attributes stay readable (health checks, tests) while the
+    # values live on the metrics registry.
+    @property
+    def hits(self) -> int:
+        return int(self._c_hits.value())
+
+    @property
+    def misses(self) -> int:
+        return int(self._c_misses.value())
+
+    @property
+    def spill_loads(self) -> int:
+        return int(self._c_spill_loads.value())
+
+    @property
+    def spill_writes(self) -> int:
+        return int(self._c_spill_writes.value())
+
+    @property
+    def quarantined(self) -> int:
+        return int(self._c_quarantined.value())
+
+    @property
+    def invalidated(self) -> int:
+        return int(self._c_invalidated.value())
 
     # ------------------------------------------------------------------
     def _spill_path(self, key: str) -> Path | None:
@@ -106,17 +151,17 @@ class ResultCache:
             cached = self._entries.get(key)
             if cached is not None:
                 self._entries.move_to_end(key)
-                self.hits += 1
+                self._c_hits.inc()
                 return json.loads(json.dumps(cached))
         spilled = self._load_spilled(key)
         with self._lock:
             if spilled is not None:
                 payload, meta = spilled
-                self.hits += 1
-                self.spill_loads += 1
+                self._c_hits.inc()
+                self._c_spill_loads.inc()
                 self._admit(key, payload, meta)
                 return json.loads(json.dumps(payload))
-            self.misses += 1
+            self._c_misses.inc()
         return None
 
     def _load_spilled(self, key: str) -> tuple[dict, dict] | None:
@@ -150,7 +195,7 @@ class ResultCache:
         except OSError:
             pass  # best effort: a miss either way
         with self._lock:
-            self.quarantined += 1
+            self._c_quarantined.inc()
             self.last_quarantine_at = time.monotonic()
 
     def put(self, key: str, payload: dict, *, meta: dict | None = None) -> None:
@@ -181,8 +226,7 @@ class ResultCache:
                     # read path must quarantine it, never serve it.
                     with open(path, "r+", encoding="utf-8") as handle:
                         handle.truncate(max(path.stat().st_size // 2, 1))
-                with self._lock:
-                    self.spill_writes += 1
+                self._c_spill_writes.inc()
             except OSError:
                 pass  # spill is best-effort; the memory tier already has it
 
@@ -245,7 +289,7 @@ class ResultCache:
             existed = self._entries.pop(key, None) is not None
             self._unindex(key)
             if existed:
-                self.invalidated += 1
+                self._c_invalidated.inc()
         path = self._spill_path(key)
         if path is not None:
             try:

@@ -68,7 +68,10 @@ class ServiceClientError(ServiceError):
     ``status`` is the HTTP status, ``code`` the machine-readable error
     code from the envelope (``"unknown"`` when the server sent a legacy
     string error), ``retryable`` whether the server said a retry can
-    succeed, and ``retry_after_s`` its backoff hint (or ``None``).
+    succeed, ``retry_after_s`` its backoff hint (or ``None``), and
+    ``request_id`` the server's ``X-Request-Id`` header — quote it when
+    reporting a failure and the operator can grep the request log for
+    the exact exchange.
     """
 
     def __init__(
@@ -79,12 +82,14 @@ class ServiceClientError(ServiceError):
         code: str | None = None,
         retryable: bool = False,
         retry_after_s: float | None = None,
+        request_id: str | None = None,
     ) -> None:
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
         self.code = code or "unknown"
         self.retryable = retryable
         self.retry_after_s = retry_after_s
+        self.request_id = request_id
 
 
 class BadRequestError(ServiceClientError):
@@ -245,12 +250,16 @@ class ServiceClient:
                     time.sleep(delay)
                     continue
                 exc_class = _CODE_EXCEPTIONS.get(code, ServiceClientError)
+                request_id = (
+                    exc.headers.get("X-Request-Id") if exc.headers else None
+                )
                 raise exc_class(
                     exc.code,
                     message,
                     code=code,
                     retryable=retryable,
                     retry_after_s=retry_after_s,
+                    request_id=request_id,
                 ) from exc
             except _RETRYABLE_TRANSPORT as exc:
                 # No (complete) response: dropped, reset, truncated, or
@@ -517,6 +526,15 @@ class ServiceClient:
 
     def stats(self) -> dict:
         return self._request("GET", f"{self._prefix}/stats")
+
+    def metrics_text(self) -> str:
+        """``GET /v1/metrics``: the raw Prometheus text exposition."""
+        request = urllib.request.Request(
+            self.base_url + f"{self._prefix}/metrics",
+            headers={"Accept": "text/plain"},
+        )
+        with urllib.request.urlopen(request, timeout=self.timeout) as response:
+            return response.read().decode("utf-8")
 
     def cluster_stats(self) -> dict | None:
         """The ``cluster`` section of ``/stats``.

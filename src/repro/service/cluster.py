@@ -80,6 +80,7 @@ from repro.service.dispatch import (
     send_frame,
 )
 from repro.service.faults import DISABLED, FaultPlan, WorkerCrashInjection
+from repro.service.telemetry import MetricsRegistry, StageTimings, Telemetry
 
 #: Environment variables carrying spawn-time secrets/config to workers
 #: (argv is visible in ``ps``; the token must not be).
@@ -209,6 +210,7 @@ class ClusterSupervisor:
         heartbeat_interval_s: float = 1.0,
         heartbeat_timeout_s: float = 15.0,
         spawn_timeout_s: float = 60.0,
+        telemetry: Telemetry | None = None,
     ) -> None:
         if worker_procs < 1:
             raise ServiceError(
@@ -236,13 +238,40 @@ class ClusterSupervisor:
         }
         self._procs: dict[int, subprocess.Popen] = {}
         self._reaped: set[int] = set()  # ids of WorkerHandle objects already accounted
-        self.dispatched = 0
-        self.dispatch_failures = 0
-        self.worker_crashes = 0
-        self.worker_respawns = 0
-        self.memo_entries_folded = 0
-        self.memo_deltas_folded = 0
-        self.hydrations = {"snapshot": 0, "csv": 0, "resident": 0}
+        # Counters live on the shared metrics registry (a private one
+        # when constructed standalone); read-only properties preserve
+        # the original attribute names for /stats, health, and tests.
+        self._telemetry = telemetry
+        metrics = telemetry.metrics if telemetry is not None else MetricsRegistry()
+        self._c_dispatched = metrics.counter(
+            "cluster_dispatched_total", "Jobs dispatched to worker processes"
+        )
+        self._c_dispatch_failures = metrics.counter(
+            "cluster_dispatch_failures_total",
+            "Dispatches failed: transport error, crash, malformed reply",
+        )
+        self._c_worker_crashes = metrics.counter(
+            "cluster_worker_crashes_total", "Worker processes reaped after dying"
+        )
+        self._c_worker_respawns = metrics.counter(
+            "cluster_worker_respawns_total",
+            "Replacement worker processes spawned into a shard slot",
+        )
+        self._c_memo_deltas = metrics.counter(
+            "cluster_memo_deltas_folded_total",
+            "Entropy-memo deltas folded into snapshot sidecars",
+        )
+        self._c_memo_entries = metrics.counter(
+            "cluster_memo_entries_folded_total",
+            "Entropy-memo entries added by folded deltas",
+        )
+        self._c_hydrations = metrics.counter(
+            "cluster_hydrations_total",
+            "Worker dataset materializations by origin",
+            labelnames=("origin",),
+        )
+        for origin in ("snapshot", "csv", "resident"):
+            self._c_hydrations.labels(origin)  # pre-touch: /stats shows zeros
 
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
@@ -268,6 +297,41 @@ class ClusterSupervisor:
     @property
     def worker_procs(self) -> int:
         return self._shards.worker_procs
+
+    @property
+    def dispatched(self) -> int:
+        return int(self._c_dispatched.value())
+
+    @property
+    def dispatch_failures(self) -> int:
+        return int(self._c_dispatch_failures.value())
+
+    @property
+    def worker_crashes(self) -> int:
+        return int(self._c_worker_crashes.value())
+
+    @property
+    def worker_respawns(self) -> int:
+        return int(self._c_worker_respawns.value())
+
+    @property
+    def memo_deltas_folded(self) -> int:
+        return int(self._c_memo_deltas.value())
+
+    @property
+    def memo_entries_folded(self) -> int:
+        return int(self._c_memo_entries.value())
+
+    @property
+    def hydrations(self) -> dict:
+        return {
+            series["labels"][0]: int(series["value"])
+            for series in self._c_hydrations.series()
+        }
+
+    def slot_for(self, fingerprint: str) -> int:
+        """The shard slot owning ``fingerprint`` (observability hook)."""
+        return self._shards.owner(fingerprint)
 
     # ------------------------------------------------------------------
     # Spawning + handshakes
@@ -420,6 +484,10 @@ class ClusterSupervisor:
                     )
                 if handle.alive:
                     handle.ping()
+                    tele = self._telemetry
+                    snapshot = handle.worker_metrics  # ridden in on pongs
+                    if tele is not None and isinstance(snapshot, dict):
+                        tele.workers.update(worker_id, snapshot)
                 else:
                     self._reap_and_respawn(worker_id, handle)
             time.sleep(self._heartbeat_interval_s)
@@ -431,8 +499,17 @@ class ClusterSupervisor:
                 return
             self._reaped.add(id(handle))
             closed = self._closed
-            if not closed:
-                self.worker_crashes += 1
+        if not closed:
+            self._c_worker_crashes.inc()
+        # Fold the dead worker's final metric snapshot into the
+        # committed base before its slot restarts from zero — merged
+        # totals stay monotonic across the respawn.
+        tele = self._telemetry
+        if tele is not None:
+            snapshot = getattr(handle, "worker_metrics", None)
+            if isinstance(snapshot, dict):
+                tele.workers.update(worker_id, snapshot)
+            tele.workers.retire(worker_id)
         try:
             handle.process.kill()
         except OSError:
@@ -444,8 +521,7 @@ class ClusterSupervisor:
         if closed:
             return
         self._spawn(worker_id)
-        with self._lock:
-            self.worker_respawns += 1
+        self._c_worker_respawns.inc()
 
     # ------------------------------------------------------------------
     # Execution (the JobQueue's executor hook)
@@ -458,6 +534,8 @@ class ClusterSupervisor:
         *,
         deadline_at: float | None = None,
         workers: int | None = None,
+        trace: str | None = None,
+        timings: StageTimings | None = None,
     ) -> dict:
         """Run one operation on the shard's owning worker; return the report.
 
@@ -473,12 +551,11 @@ class ClusterSupervisor:
         with self._lock:
             if self._closed:
                 raise ServiceError("cluster is shut down")
-            self.dispatched += 1
+        self._c_dispatched.inc()
         try:
             self._faults.check("cluster.dispatch")
         except InjectedFaultError as exc:
-            with self._lock:
-                self.dispatch_failures += 1
+            self._c_dispatch_failures.inc()
             raise DispatchError(str(exc)) from exc
         inject_exit = False
         try:
@@ -509,27 +586,28 @@ class ClusterSupervisor:
             "source": spec["source"],
             "chunk_rows": spec["chunk_rows"],
         }
+        if trace is not None:
+            # Rides the req frame; old workers ignore unknown fields.
+            body["trace"] = trace
         if inject_exit:
             body["inject"] = "worker_exit"
         try:
             response = handle.request(body, timeout=timeout)
         except (WorkerCrashedError, DispatchError):
-            with self._lock:
-                self.dispatch_failures += 1
+            self._c_dispatch_failures.inc()
             raise
+        self._fold_worker_telemetry(worker_id, response, timings)
         if response.get("ok"):
             report = response.get("report")
             if not isinstance(report, dict):
-                with self._lock:
-                    self.dispatch_failures += 1
+                self._c_dispatch_failures.inc()
                 raise DispatchError(
                     f"worker {worker_id} returned a malformed report "
                     f"({type(report).__name__})"
                 )
             origin = response.get("origin")
-            with self._lock:
-                if origin in self.hydrations:
-                    self.hydrations[origin] += 1
+            if origin in ("snapshot", "csv", "resident"):
+                self._c_hydrations.labels(origin).inc()
             self._fold_memo_delta(spec, response.get("memo_delta"))
             self._registry.note_remote_outcome(fingerprint, ok=True)
             return report
@@ -575,12 +653,11 @@ class ClusterSupervisor:
         with self._lock:
             if self._closed:
                 raise ServiceError("cluster is shut down")
-            self.dispatched += 1
+        self._c_dispatched.inc()
         try:
             self._faults.check("cluster.dispatch")
         except InjectedFaultError as exc:
-            with self._lock:
-                self.dispatch_failures += 1
+            self._c_dispatch_failures.inc()
             raise DispatchError(str(exc)) from exc
         spec = self._registry.hydration_spec(fingerprint)
         worker_id = self._shards.owner(fingerprint)
@@ -598,14 +675,13 @@ class ClusterSupervisor:
         try:
             response = handle.request(body, timeout=timeout)
         except (WorkerCrashedError, DispatchError):
-            with self._lock:
-                self.dispatch_failures += 1
+            self._c_dispatch_failures.inc()
             raise
+        self._fold_worker_telemetry(worker_id, response, None)
         if response.get("ok"):
             info = response.get("report")
             if not isinstance(info, dict) or "fingerprint" not in info:
-                with self._lock:
-                    self.dispatch_failures += 1
+                self._c_dispatch_failures.inc()
                 raise DispatchError(
                     f"worker {worker_id} returned malformed append info "
                     f"({type(info).__name__})"
@@ -632,6 +708,35 @@ class ClusterSupervisor:
             raise ReproError(message)
         raise RuntimeError(f"worker {worker_id} failed the append: {message}")
 
+    def _fold_worker_telemetry(
+        self,
+        worker_id: int,
+        response: dict,
+        timings: StageTimings | None,
+    ) -> None:
+        """Fold the telemetry riding a ``res`` frame (all best effort).
+
+        Three payloads, each optional: the worker's metric snapshot
+        (merged like an entropy-memo delta: latest per live slot, dead
+        slots folded into a committed base), the worker-side stage
+        timeline (merged into the job's timings under ``worker_``), and
+        the worker's structured log record (forwarded to the front
+        end's sink, so one log stream carries both halves of a trace).
+        """
+        tele = self._telemetry
+        snapshot = response.get("metrics")
+        if tele is not None and isinstance(snapshot, dict):
+            tele.workers.update(worker_id, snapshot)
+        payload = response.get("telemetry")
+        if not isinstance(payload, dict):
+            return
+        stages = payload.get("stages")
+        if timings is not None and isinstance(stages, dict):
+            timings.merge(stages, prefix="worker_")
+        record = payload.get("log")
+        if tele is not None and tele.enabled and isinstance(record, dict):
+            tele.log.emit(record)
+
     def _fold_memo_delta(self, spec: dict, delta) -> None:
         """Merge a worker's entropy-memo delta into the shared sidecar."""
         if not delta or not isinstance(delta, list) or not spec.get("snapshot_dir"):
@@ -652,9 +757,9 @@ class ClusterSupervisor:
             added = merge_engine_memo_lazy(spec["snapshot_dir"], entries)
         except (SnapshotError, OSError):
             return  # advisory state: folding is best effort
-        with self._lock:
-            self.memo_deltas_folded += 1
-            self.memo_entries_folded += added
+        self._c_memo_deltas.inc()
+        if added:
+            self._c_memo_entries.inc(added)
 
     # ------------------------------------------------------------------
     # Introspection + lifecycle
@@ -747,11 +852,55 @@ def merge_engine_memo_lazy(snapshot_dir: str, entries: dict) -> int:
 class _WorkerRuntime:
     """One worker's local state: hydrated relations + memo-delta capture."""
 
-    def __init__(self, *, max_resident: int, faults: FaultPlan) -> None:
+    def __init__(
+        self, *, max_resident: int, faults: FaultPlan, worker_id: int = 0
+    ) -> None:
         self._max_resident = max(1, int(max_resident))
         self._faults = faults
         self._relations: OrderedDict[str, object] = OrderedDict()
         self.jobs_done = 0
+        self.worker_id = worker_id
+        # A private registry per worker process; its snapshot rides
+        # every res frame and pong, and the front end folds it under
+        # the ``worker_`` prefix of /v1/metrics.
+        self.metrics = MetricsRegistry()
+        self._c_jobs = self.metrics.counter(
+            "jobs_total", "Jobs completed by this worker process"
+        )
+        self._c_hydrations = self.metrics.counter(
+            "hydrations_total",
+            "Dataset materializations by origin",
+            labelnames=("origin",),
+        )
+        self._h_job = self.metrics.histogram(
+            "job_seconds", "Per-job wall time inside the worker"
+        )
+
+    def metrics_snapshot(self) -> dict:
+        return self.metrics.snapshot()
+
+    def _job_telemetry(
+        self, message: dict, timings: StageTimings, origin, elapsed_s: float
+    ) -> dict:
+        """The ``telemetry`` field of a successful res frame.
+
+        Carries the request's trace id back with the worker-side stage
+        timeline and a ready-to-forward log record, so the front end's
+        log stream shows both halves of the trace.
+        """
+        trace = message.get("trace")
+        record = {
+            "kind": "job",
+            "proc": f"w{self.worker_id}",
+            "ts": round(time.time(), 6),
+            "trace_id": trace,
+            "fingerprint": message.get("fingerprint"),
+            "operation": message.get("operation"),
+            "origin": origin,
+            "elapsed_s": round(elapsed_s, 6),
+            "stages": dict(timings.stages),
+        }
+        return {"trace": trace, "stages": dict(timings.stages), "log": record}
 
     def resident(self) -> list[str]:
         return list(self._relations)
@@ -786,8 +935,11 @@ class _WorkerRuntime:
         base = {"t": "res", "id": request_id}
         if message.get("operation") == APPEND_OP:
             return self._handle_append(message, base)
+        timings = StageTimings()
+        started = time.perf_counter()
         try:
-            relation, origin = self._relation_for(message)
+            with timings.span("hydrate"):
+                relation, origin = self._relation_for(message)
         except (SnapshotError, DatasetDegradedError) as exc:
             return {
                 **base,
@@ -828,6 +980,7 @@ class _WorkerRuntime:
                 deadline_at=deadline_at,
                 workers=message.get("workers"),
                 faults=self._faults,
+                timings=timings,
             )
             validate_report(report)
         except WorkerCrashInjection:
@@ -854,6 +1007,11 @@ class _WorkerRuntime:
             if key not in baseline
         ][:MEMO_DELTA_CAP]
         self.jobs_done += 1
+        elapsed = time.perf_counter() - started
+        self._c_jobs.inc()
+        if isinstance(origin, str):
+            self._c_hydrations.labels(origin).inc()
+        self._h_job.observe(elapsed)
         return {
             **base,
             "ok": True,
@@ -861,6 +1019,7 @@ class _WorkerRuntime:
             "origin": origin,
             "memo_delta": delta,
             "resident": self.resident(),
+            "telemetry": self._job_telemetry(message, timings, origin, elapsed),
         }
 
     def _handle_append(self, message: dict, base: dict) -> dict:
@@ -1070,7 +1229,9 @@ def worker_main(argv: list[str] | None = None) -> int:
         return 1
     sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
     send_lock = threading.Lock()
-    runtime = _WorkerRuntime(max_resident=args.max_resident, faults=plan)
+    runtime = _WorkerRuntime(
+        max_resident=args.max_resident, faults=plan, worker_id=args.worker_id
+    )
     with send_lock:
         send_frame(
             sock,
@@ -1104,6 +1265,7 @@ def worker_main(argv: list[str] | None = None) -> int:
                                 "id": message.get("id"),
                                 "resident": runtime.resident(),
                                 "jobs_done": runtime.jobs_done,
+                                "metrics": runtime.metrics_snapshot(),
                             },
                         )
                 except DispatchError:
@@ -1124,6 +1286,7 @@ def worker_main(argv: list[str] | None = None) -> int:
                     "dispatcher-injected worker exit (cluster.worker_exit)"
                 )
             response = runtime.handle(message)
+            response["metrics"] = runtime.metrics_snapshot()
         except WorkerCrashInjection:
             # Die like a real crash: no response, no cleanup, nonzero
             # status.  The dispatcher's reader sees EOF and fails the

@@ -91,6 +91,28 @@ class ServiceConfig:
         fingerprint — when both ``|ΔJ|`` and ``|Δρ|`` moved by at most
         this much; otherwise the entry is dropped so the next request
         re-mines.  ``0.0`` keeps only bit-stable results.
+    telemetry:
+        Per-request telemetry (latency histograms, stage spans,
+        structured request/job log lines).  Component counters stay
+        registry-backed either way, so ``/stats`` and ``/v1/metrics``
+        remain truthful with telemetry off; disabling only removes the
+        per-request work (the overhead bench compares the two modes).
+    request_log_path:
+        Sink for the structured JSON request log; ``None`` writes to
+        stderr.  Lines flow through a bounded non-blocking writer —
+        a slow or dead sink drops lines (counted) instead of stalling
+        requests.
+    request_log_capacity:
+        Bound on the request-log writer queue; beyond it lines are
+        dropped and counted (``telemetry_log_dropped_total``).
+    stats_cache_ttl_s:
+        How long one assembled registry-stats snapshot is reused by
+        ``GET /stats`` before being rebuilt.  Monitoring pollers within
+        the TTL read the cached document without touching the registry
+        lock.  Even at the default ``0`` (rebuild every call) a scrape
+        never *waits* on the registry lock: when a mine or append holds
+        it, the previous document is served stale instead of queueing
+        behind the serving path.
     """
 
     host: str = "127.0.0.1"
@@ -111,6 +133,10 @@ class ServiceConfig:
     worker_inflight: int = 8
     worker_max_resident: int = 16
     revalidate_tolerance: float = 0.05
+    telemetry: bool = True
+    request_log_path: str | Path | None = None
+    request_log_capacity: int = 1024
+    stats_cache_ttl_s: float = 0.0
 
     def __post_init__(self) -> None:
         if self.port < 0 or self.port > 65535:
@@ -174,4 +200,13 @@ class ServiceConfig:
             raise ServiceError(
                 "revalidate_tolerance must be a number >= 0, got "
                 f"{self.revalidate_tolerance!r}"
+            )
+        if self.request_log_capacity < 1:
+            raise ServiceError(
+                "request_log_capacity must be >= 1, got "
+                f"{self.request_log_capacity}"
+            )
+        if self.stats_cache_ttl_s < 0:
+            raise ServiceError(
+                f"stats_cache_ttl_s must be >= 0, got {self.stats_cache_ttl_s}"
             )

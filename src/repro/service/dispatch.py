@@ -18,18 +18,26 @@ transport between them:
   ``req``     f → w      run one operation: ``id``, ``fingerprint``,
                          ``operation``, canonical ``params``, ``workers``,
                          ``deadline_in_s`` (remaining budget — absolute
-                         monotonic times do not cross processes), plus the
+                         monotonic times do not cross processes), the
                          hydration references ``snapshot_dir`` / ``source``
-                         / ``chunk_rows``
+                         / ``chunk_rows``, and the optional ``trace`` id
+                         the worker threads into its spans and log line
   ``res``     w → f      the answer to ``req`` with the same ``id``:
                          ``ok`` + ``report`` + ``origin`` + ``memo_delta``
-                         + ``resident``, or ``ok: false`` + ``error`` +
-                         ``error_kind`` (``degraded`` / ``repro`` /
-                         ``internal``)
+                         + ``resident`` + ``telemetry`` (trace, stage
+                         timeline, forwardable log record) + ``metrics``
+                         (the worker's registry snapshot), or ``ok:
+                         false`` + ``error`` + ``error_kind``
+                         (``degraded`` / ``repro`` / ``internal``)
   ``ping``    f → w      heartbeat probe (answered by the worker's reader
                          thread, so a long-running mine still heartbeats)
   ``pong``    w → f      heartbeat answer; carries the worker's resident
-                         fingerprints and lifetime job count
+                         fingerprints, lifetime job count, and metric
+                         snapshot
+
+Unknown fields and frame types are ignored on both sides (forward
+compatibility): a PR-9-era worker simply never echoes ``trace`` or
+``metrics``, and the front end degrades to traceless dispatch.
   ``bye``     f → w      orderly shutdown request
   ==========  =========  ==================================================
 
@@ -197,6 +205,10 @@ class WorkerHandle:
         self.pings = 0
         self.resident: list[str] = []
         self.worker_jobs_done = 0
+        #: Latest metric-registry snapshot the worker shipped (rides
+        #: both ``pong`` and ``res`` frames); the supervisor folds it
+        #: into the front end's merged worker metrics.
+        self.worker_metrics: dict | None = None
         self._ids = request_ids  # shared itertools.count
         self._send_lock = threading.Lock()
         self._state_lock = threading.Lock()
@@ -317,10 +329,16 @@ class WorkerHandle:
                     jobs_done = message.get("jobs_done")
                     if isinstance(jobs_done, int):
                         self.worker_jobs_done = jobs_done
+                    metrics = message.get("metrics")
+                    if isinstance(metrics, dict):
+                        self.worker_metrics = metrics
                 continue
             if kind == "res":
                 with self._state_lock:
                     pending = self._pending.pop(message.get("id"), None)
+                    metrics = message.get("metrics")
+                    if isinstance(metrics, dict):
+                        self.worker_metrics = metrics
                 if pending is not None:
                     pending.response = message
                     pending.event.set()

@@ -56,6 +56,12 @@ site                        effect when fired
                               (``os._exit``; exercises respawn + shard
                               rehoming, the process-level analogue of
                               ``jobs.worker_crash``)
+``telemetry.log_write``       the structured-log sink misbehaves: stalls
+                              ``delay_s`` per line (slow sink) or, with no
+                              delay, raises (dead sink).  Fired on the log
+                              **writer thread** — the bounded non-blocking
+                              writer must drop-and-count, never stall a
+                              request
 ==========================  ==================================================
 
 Determinism: all probability draws come from one seeded
@@ -90,6 +96,7 @@ KNOWN_SITES = (
     "http.truncate",
     "cluster.dispatch",
     "cluster.worker_exit",
+    "telemetry.log_write",
 )
 
 
@@ -272,6 +279,12 @@ class FaultPlan:
         if site == "registry.snapshot_load":
             raise InjectedFaultError(
                 f"injected snapshot-load failure at {site}: snapshot unreadable"
+            )
+        if site == "telemetry.log_write" and not rule.delay_s:
+            # With delay_s the site is a pure slow sink (the sleep above);
+            # without it, the sink is dead and every write raises.
+            raise InjectedFaultError(
+                f"injected log-sink failure at {site}: write refused"
             )
 
     # ------------------------------------------------------------------

@@ -45,6 +45,9 @@ Routes (all request/response bodies are JSON):
 ``GET /v1/jobs/{id}``               the job's state (+ ``result`` once
                                     done), or 404.
 ``GET /v1/healthz``                 liveness: ``{"status": "ok", ...}``.
+``GET /v1/metrics``                 Prometheus text exposition (0.0.4) of
+                                    every registered instrument, worker
+                                    snapshots merged under ``worker_``.
 ``GET /v1/stats``                   cache hit-rates, registry residency,
                                     delta-ingest and revalidation counters,
                                     queue/worker/cluster stats.
@@ -71,6 +74,16 @@ The code → status catalogue is :data:`ERROR_CATALOG`: ``bad_request``
 registration/append ingest — jobs run on the worker pool, so slow
 mining never starves the accept loop.
 
+Observability: every response carries an ``X-Request-Id`` header (fresh
+per exchange) and an ``X-Trace-Id`` (echoed from the request's
+``X-Trace-Id`` header when it is a hex/dash token, freshly generated
+otherwise).  Submits thread the trace id into the job, so the job's
+log line — and the worker-process line, under cluster dispatch — share
+it.  ``GET /v1/jobs/{id}`` adds a ``Server-Timing`` header with the
+job's stage timeline once it has run.  Each request is observed into
+the ``http_request_seconds`` histogram (labelled by method, route
+*pattern*, status) and emitted as one structured log line.
+
 Chaos hooks: when a :class:`~repro.service.faults.FaultPlan` is armed,
 ``_send_json`` threads the ``http.drop`` (connection closed with no
 response), ``http.stall`` (response delayed), and ``http.truncate``
@@ -95,6 +108,7 @@ from repro.errors import (
     UnknownDatasetError,
     UnknownJobError,
 )
+from repro.service.telemetry import new_request_id, new_trace_id
 
 #: Cap on request bodies (inline CSV uploads included): 64 MiB.
 MAX_BODY_BYTES = 64 * 1024 * 1024
@@ -123,6 +137,7 @@ ERROR_CATALOG = {
 ROUTES = (
     ("GET", ("healthz",), "_handle_healthz"),
     ("GET", ("stats",), "_handle_stats"),
+    ("GET", ("metrics",), "_handle_metrics"),
     ("GET", ("datasets",), "_handle_list_datasets"),
     ("GET", ("datasets", "{fingerprint}"), "_handle_get_dataset"),
     ("GET", ("jobs", "{job_id}"), "_handle_get_job"),
@@ -131,6 +146,33 @@ ROUTES = (
     ("POST", ("jobs", "batch"), "_handle_submit_batch"),
     ("POST", ("jobs",), "_handle_submit"),
 )
+
+
+def _client_trace_id(headers) -> str | None:
+    """A safe caller-supplied ``X-Trace-Id``, or ``None``.
+
+    Anything that is not a short token of hex digits / dashes is
+    discarded (it would otherwise flow verbatim into log lines and
+    response headers).
+    """
+    raw = headers.get("X-Trace-Id")
+    if not isinstance(raw, str):
+        return None
+    raw = raw.strip()
+    if not (1 <= len(raw) <= 64):
+        return None
+    if all(c in "0123456789abcdefABCDEF-" for c in raw):
+        return raw.lower()
+    return None
+
+
+def server_timing_value(stages: dict) -> str:
+    """``stages`` (name → seconds) as a ``Server-Timing`` header value."""
+    return ", ".join(
+        f"{name};dur={float(seconds) * 1e3:.2f}"
+        for name, seconds in stages.items()
+        if isinstance(seconds, (int, float))
+    )
 
 
 def classify_error(exc: BaseException) -> tuple[int, str, bool, float | None]:
@@ -182,6 +224,10 @@ class ServiceHTTPServer(ThreadingHTTPServer):
     """ThreadingHTTPServer carrying the service instance for handlers."""
 
     daemon_threads = True
+    # The stdlib default listen backlog (5) RSTs connection bursts well
+    # below the knee the saturation probe measures; saturation must
+    # degrade into latency, not into connection resets.
+    request_queue_size = 128
 
     def __init__(self, address, handler_class, service) -> None:
         self.service = service
@@ -207,6 +253,7 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
     def _send_json(
         self, status: int, payload: dict, *, retry_after: float | None = None
     ) -> None:
+        self._status = status  # recorded even when chaos eats the response
         faults = self.service.faults
         truncate = False
         if faults.enabled:
@@ -224,6 +271,7 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        self._send_tracing_headers()
         if getattr(self, "_legacy_route", False):
             # Bare (unversioned) path: still served, but flagged so
             # clients can migrate to /v1/ before the alias is removed.
@@ -244,6 +292,18 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             self.wfile.write(body[: max(len(body) // 2, 1)])
             return
         self.wfile.write(body)
+
+    def _send_tracing_headers(self) -> None:
+        """``X-Request-Id`` (every response) + optional ``Server-Timing``."""
+        request_id = getattr(self, "_request_id", None)
+        if request_id:
+            self.send_header("X-Request-Id", request_id)
+        trace_id = getattr(self, "_trace_id", None)
+        if trace_id:
+            self.send_header("X-Trace-Id", trace_id)
+        server_timing = getattr(self, "_server_timing", None)
+        if server_timing:
+            self.send_header("Server-Timing", server_timing)
 
     def _send_error_json(
         self,
@@ -312,6 +372,17 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         self._legacy_route = not (parts and parts[0] == API_VERSION)
         if not self._legacy_route:
             parts = parts[1:]
+        # Per-request telemetry identity: the request id is always fresh
+        # (one per HTTP exchange); the trace id is taken from the caller's
+        # ``X-Trace-Id`` header when present so multi-request workflows
+        # (submit, then poll) share one trace end to end.
+        self._request_id = new_request_id()
+        self._trace_id = _client_trace_id(self.headers) or new_trace_id()
+        self._status = 0
+        self._server_timing = None
+        self._route_label = "unmatched"
+        self._log_fields: dict = {}
+        started = time.perf_counter()
         try:
             for route_method, pattern, handler_name in ROUTES:
                 if route_method != method or len(pattern) != len(parts):
@@ -323,6 +394,10 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                     elif expected != actual:
                         break
                 else:
+                    # The *pattern* (not the raw path) labels the metric,
+                    # so per-job/per-dataset ids cannot explode the
+                    # route label's cardinality.
+                    self._route_label = "/".join(pattern)
                     getattr(self, handler_name)(*args)
                     return
             self._send_error_json(
@@ -330,6 +405,28 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             )
         except Exception as exc:
             self._send_exception(exc)
+        finally:
+            self._observe_request(method, time.perf_counter() - started)
+
+    def _observe_request(self, method: str, elapsed_s: float) -> None:
+        """Latency histogram sample + one structured log line per request."""
+        tele = getattr(self.service, "telemetry", None)
+        if tele is None or not tele.enabled:
+            return
+        status = str(self._status or 0)
+        tele.http_latency.labels(method, self._route_label, status).observe(
+            elapsed_s
+        )
+        tele.emit(
+            "request",
+            request_id=self._request_id,
+            trace_id=self._trace_id,
+            method=method,
+            route=self._route_label,
+            status=self._status,
+            elapsed_s=round(elapsed_s, 6),
+            **self._log_fields,
+        )
 
     def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
         self._dispatch("GET")
@@ -346,6 +443,26 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
     def _handle_stats(self) -> None:
         self._send_json(200, self.service.stats())
 
+    def _handle_metrics(self) -> None:
+        """Prometheus text exposition (format 0.0.4) of every instrument.
+
+        Served even when per-request telemetry is disabled: the
+        component counters live on the registry either way, and a
+        scraper that 404s on a config flag is a debugging trap.
+        """
+        body = self.service.telemetry.render().encode("utf-8")
+        self._status = 200
+        self.send_response(200)
+        self.send_header(
+            "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+        )
+        self.send_header("Content-Length", str(len(body)))
+        self._send_tracing_headers()
+        if getattr(self, "_legacy_route", False):
+            self.send_header("Deprecation", "true")
+        self.end_headers()
+        self.wfile.write(body)
+
     def _handle_list_datasets(self) -> None:
         self._send_json(
             200,
@@ -361,7 +478,14 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         self._send_json(200, self.service.registry.get(fingerprint).describe())
 
     def _handle_get_job(self, job_id: str) -> None:
-        self._send_json(200, self.service.jobs.get(job_id).describe())
+        job = self.service.jobs.get(job_id)
+        if job.timings:
+            # Stage timeline as a standard Server-Timing header, so
+            # browser devtools / curl -v show where the job's time went
+            # without a second request to /v1/metrics.
+            self._server_timing = server_timing_value(job.timings)
+        self._log_fields["job_id"] = job.id
+        self._send_json(200, job.describe())
 
     def _handle_register(self) -> None:
         body = self._read_json_body()
@@ -418,7 +542,14 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                 f"idempotency_key must be a string, got {idempotency_key!r}"
             )
         job = self.service.jobs.submit(
-            fingerprint, operation, params, idempotency_key=idempotency_key
+            fingerprint,
+            operation,
+            params,
+            idempotency_key=idempotency_key,
+            trace_id=self._trace_id,
+        )
+        self._log_fields.update(
+            job_id=job.id, operation=operation, cached=job.cached
         )
         self._send_json(200 if job.state == "done" else 202, job.describe())
 
@@ -439,6 +570,10 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                 f"idempotency_key must be a string, got {idempotency_key!r}"
             )
         job = self.service.jobs.submit_batch(
-            fingerprint, operations, idempotency_key=idempotency_key
+            fingerprint,
+            operations,
+            idempotency_key=idempotency_key,
+            trace_id=self._trace_id,
         )
+        self._log_fields.update(job_id=job.id, cached=job.cached)
         self._send_json(200 if job.state == "done" else 202, job.describe())

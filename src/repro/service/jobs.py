@@ -83,6 +83,7 @@ from repro.service.dispatch import DispatchError, WorkerCrashedError
 from repro.service.faults import DISABLED, FaultPlan
 from repro.service.operations import canonicalize_params, run_operation
 from repro.service.registry import DatasetRegistry
+from repro.service.telemetry import MetricsRegistry, Telemetry, new_trace_id
 
 #: Job lifecycle states (``state`` in every ``GET /jobs/{id}`` response).
 QUEUED = "queued"
@@ -166,6 +167,9 @@ class Job:
         "started_at",
         "state",
         "submitted_at",
+        "timings",
+        "trace_id",
+        "worker_slot",
         "workers",
     )
 
@@ -179,6 +183,7 @@ class Job:
         *,
         deadline_s: float | None,
         workers: int | None,
+        trace_id: str | None = None,
     ) -> None:
         self.id = job_id
         self.fingerprint = fingerprint
@@ -202,6 +207,14 @@ class Job:
         #: ``None`` (success, timeout, or plain operation error).
         self.reason: str | None = None
         self.cached = False
+        #: Correlates this job's spans and log lines across processes —
+        #: minted at the front end, rides the cluster wire protocol.
+        self.trace_id = trace_id or new_trace_id()
+        #: Finished stage timeline (``{"run": 0.12, "worker_run": ...}``)
+        #: when telemetry is on; rendered as a ``Server-Timing`` header.
+        self.timings: dict | None = None
+        #: Cluster worker slot that computed the job (None in-process).
+        self.worker_slot: int | None = None
         self.event = threading.Event()
 
     def service_time_s(self) -> float | None:
@@ -222,7 +235,10 @@ class Job:
             "deadline_s": self.deadline_s,
             "service_time_s": self.service_time_s(),
             "partial": bool(self.result and self.result.get("partial")),
+            "trace_id": self.trace_id,
         }
+        if self.timings:
+            view["stages"] = dict(self.timings)
         if self.error is not None:
             view["error"] = self.error
         if self.reason is not None:
@@ -296,10 +312,16 @@ class BatchJob(Job):
     __slots__ = ("items",)
 
     def __init__(
-        self, job_id: str, fingerprint: str, items: list[BatchItem]
+        self,
+        job_id: str,
+        fingerprint: str,
+        items: list[BatchItem],
+        *,
+        trace_id: str | None = None,
     ) -> None:
         super().__init__(
-            job_id, fingerprint, "batch", {}, "", deadline_s=None, workers=None
+            job_id, fingerprint, "batch", {}, "",
+            deadline_s=None, workers=None, trace_id=trace_id,
         )
         self.items = items
 
@@ -327,6 +349,7 @@ class BatchJob(Job):
             "n_failed": sum(item.state == FAILED for item in self.items),
             "cached": self.cached,
             "service_time_s": self.service_time_s(),
+            "trace_id": self.trace_id,
             "items": [
                 item.describe(include_result=include_result)
                 for item in self.items
@@ -356,6 +379,8 @@ class JobQueue:
         breaker_cooldown_s: float = 5.0,
         max_batch_ops: int = 64,
         executor=None,
+        metrics: MetricsRegistry | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         if workers < 1:
             raise ServiceError(f"workers must be >= 1, got {workers}")
@@ -397,16 +422,61 @@ class JobQueue:
         self._lock = threading.RLock()
         self._ids = itertools.count(1)
         self._max_batch_ops = max_batch_ops
-        self.coalesced = 0
-        self.idempotent_replays = 0
-        self.revalidated = 0
-        self.revalidation_invalidated = 0
-        self.batches = 0
-        self.batch_items = 0
-        self.batch_item_cache_hits = 0
-        self.completed = {DONE: 0, FAILED: 0, TIMEOUT: 0}
-        self.worker_crashes = 0
-        self.worker_respawns = 0
+        #: The telemetry plane (latency histograms, job log lines).  The
+        #: queue's counters live on the metrics registry either way —
+        #: shared with the service so ``/stats`` and ``/v1/metrics``
+        #: read the same instruments — while per-job spans and log
+        #: emission are skipped when telemetry is disabled.
+        self._telemetry = telemetry
+        if metrics is None:
+            metrics = (
+                telemetry.metrics if telemetry is not None else MetricsRegistry()
+            )
+        self._metrics = metrics
+        self._c_coalesced = metrics.counter(
+            "jobs_coalesced_total",
+            "Submissions coalesced onto an identical in-flight job",
+        )
+        self._c_idempotent = metrics.counter(
+            "jobs_idempotent_replays_total",
+            "Submissions replayed via their idempotency key",
+        )
+        self._c_revalidated = metrics.counter(
+            "jobs_revalidated_total",
+            "Cached results carried across an append by re-scoring",
+        )
+        self._c_revalidation_invalidated = metrics.counter(
+            "jobs_revalidation_invalidated_total",
+            "Cached results dropped by post-append revalidation",
+        )
+        self._c_batches = metrics.counter(
+            "jobs_batches_total", "Batch submissions"
+        )
+        self._c_batch_items = metrics.counter(
+            "jobs_batch_items_total", "Operations submitted inside batches"
+        )
+        self._c_batch_item_cache_hits = metrics.counter(
+            "jobs_batch_item_cache_hits_total",
+            "Batch items answered from the result cache",
+        )
+        self._c_completed = metrics.counter(
+            "jobs_completed_total",
+            "Jobs finished, by terminal state",
+            labelnames=("state",),
+        )
+        for state in (DONE, FAILED, TIMEOUT):
+            self._c_completed.labels(state)  # pre-touch: /stats shows zeros
+        self._c_worker_crashes = metrics.counter(
+            "jobs_worker_crashes_total",
+            "Worker thread crashes caught by the supervisor",
+        )
+        self._c_worker_respawns = metrics.counter(
+            "jobs_worker_respawns_total",
+            "Worker threads respawned after a crash",
+        )
+        self._h_queue_wait = metrics.histogram(
+            "job_queue_wait_seconds", "Time jobs spent queued before running"
+        )
         self.last_crash_at: float | None = None  # time.monotonic()
         self._breakers = {
             operation: CircuitBreaker(breaker_failures, breaker_cooldown_s)
@@ -417,6 +487,51 @@ class JobQueue:
         self._workers: list[threading.Thread] = [None] * workers  # type: ignore[list-item]
         for index in range(workers):
             self._spawn_worker(index)
+
+    # Counter attributes stay readable (health checks, tests) while the
+    # values live on the metrics registry.
+    @property
+    def coalesced(self) -> int:
+        return int(self._c_coalesced.value())
+
+    @property
+    def idempotent_replays(self) -> int:
+        return int(self._c_idempotent.value())
+
+    @property
+    def revalidated(self) -> int:
+        return int(self._c_revalidated.value())
+
+    @property
+    def revalidation_invalidated(self) -> int:
+        return int(self._c_revalidation_invalidated.value())
+
+    @property
+    def batches(self) -> int:
+        return int(self._c_batches.value())
+
+    @property
+    def batch_items(self) -> int:
+        return int(self._c_batch_items.value())
+
+    @property
+    def batch_item_cache_hits(self) -> int:
+        return int(self._c_batch_item_cache_hits.value())
+
+    @property
+    def completed(self) -> dict:
+        counts = {DONE: 0, FAILED: 0, TIMEOUT: 0}
+        for series in self._c_completed.series():
+            counts[series["labels"][0]] = int(series["value"])
+        return counts
+
+    @property
+    def worker_crashes(self) -> int:
+        return int(self._c_worker_crashes.value())
+
+    @property
+    def worker_respawns(self) -> int:
+        return int(self._c_worker_respawns.value())
 
     def _spawn_worker(self, index: int) -> None:
         thread = threading.Thread(
@@ -442,6 +557,7 @@ class JobQueue:
         params: dict | None = None,
         *,
         idempotency_key: str | None = None,
+        trace_id: str | None = None,
     ) -> Job:
         """Create (or coalesce into, replay, or answer from cache) one job.
 
@@ -466,7 +582,7 @@ class JobQueue:
                     self._jobs.get(replayed_id) if replayed_id is not None else None
                 )
                 if replayed is not None:
-                    self.idempotent_replays += 1
+                    self._c_idempotent.inc()
                     return replayed
         params = dict(params or {})
         workers = params.pop("workers", None)
@@ -506,14 +622,14 @@ class JobQueue:
         if cached is not None:
             job = self._new_job(
                 fingerprint, operation, canonical, key,
-                deadline_s=deadline_s, workers=workers,
+                deadline_s=deadline_s, workers=workers, trace_id=trace_id,
             )
             job.cached = True
             job.result = cached
             job.result["cached"] = True
             job._finish(DONE)
             with self._lock:
-                self.completed[DONE] += 1
+                self._c_completed.labels(DONE).inc()
                 self._record_finished(job)
                 self._record_idempotency(idempotency_key, job)
             return job
@@ -525,7 +641,7 @@ class JobQueue:
                 else None
             )
             if inflight is not None:
-                self.coalesced += 1
+                self._c_coalesced.inc()
                 self._record_idempotency(idempotency_key, inflight)
                 return inflight
             # The breaker guards only fresh compute: cache hits and
@@ -548,7 +664,7 @@ class JobQueue:
                 raise ServiceError("job queue is shut down")
             job = self._new_job(
                 fingerprint, operation, canonical, key,
-                deadline_s=deadline_s, workers=workers,
+                deadline_s=deadline_s, workers=workers, trace_id=trace_id,
             )
             # Enqueue while still holding the lock (put_nowait cannot
             # block): nobody can coalesce onto a job that backpressure
@@ -573,6 +689,7 @@ class JobQueue:
         operations: list,
         *,
         idempotency_key: str | None = None,
+        trace_id: str | None = None,
     ) -> BatchJob:
         """Submit a vector of operations against one dataset as one job.
 
@@ -601,7 +718,7 @@ class JobQueue:
                     self._jobs.get(replayed_id) if replayed_id is not None else None
                 )
                 if replayed is not None:
-                    self.idempotent_replays += 1
+                    self._c_idempotent.inc()
                     if not isinstance(replayed, BatchJob):
                         raise ServiceError(
                             f"idempotency_key {idempotency_key!r} was used "
@@ -666,17 +783,18 @@ class JobQueue:
                 item.state = DONE
                 cache_hits += 1
         with self._lock:
-            self.batches += 1
-            self.batch_items += len(items)
-            self.batch_item_cache_hits += cache_hits
+            self._c_batches.inc()
+            self._c_batch_items.inc(len(items))
+            if cache_hits:
+                self._c_batch_item_cache_hits.inc(cache_hits)
             pending = sorted(
                 {item.operation for item in items if item.state == QUEUED}
             )
             if not pending:
-                job = self._new_batch_job(fingerprint, items)
+                job = self._new_batch_job(fingerprint, items, trace_id=trace_id)
                 job.cached = True
                 job._finish(DONE)
-                self.completed[DONE] += 1
+                self._c_completed.labels(DONE).inc()
                 self._record_finished(job)
                 self._record_idempotency(idempotency_key, job)
                 return job
@@ -692,7 +810,7 @@ class JobQueue:
                     )
             if self._closed:
                 raise ServiceError("job queue is shut down")
-            job = self._new_batch_job(fingerprint, items)
+            job = self._new_batch_job(fingerprint, items, trace_id=trace_id)
             try:
                 self._queue.put_nowait(job)
             except queue.Full:
@@ -705,11 +823,15 @@ class JobQueue:
         return job
 
     def _new_batch_job(
-        self, fingerprint: str, items: list[BatchItem]
+        self,
+        fingerprint: str,
+        items: list[BatchItem],
+        *,
+        trace_id: str | None = None,
     ) -> BatchJob:
         with self._lock:
             job_id = f"job-{next(self._ids)}"
-            job = BatchJob(job_id, fingerprint, items)
+            job = BatchJob(job_id, fingerprint, items, trace_id=trace_id)
             self._jobs[job_id] = job
             return job
 
@@ -731,12 +853,13 @@ class JobQueue:
         *,
         deadline_s: float | None,
         workers: int | None,
+        trace_id: str | None = None,
     ) -> Job:
         with self._lock:
             job_id = f"job-{next(self._ids)}"
             job = Job(
                 job_id, fingerprint, operation, canonical, key,
-                deadline_s=deadline_s, workers=workers,
+                deadline_s=deadline_s, workers=workers, trace_id=trace_id,
             )
             self._jobs[job_id] = job
             return job
@@ -830,9 +953,10 @@ class JobQueue:
                 revalidated += 1
             else:
                 invalidated += 1
-        with self._lock:
-            self.revalidated += revalidated
-            self.revalidation_invalidated += invalidated
+        if revalidated:
+            self._c_revalidated.inc(revalidated)
+        if invalidated:
+            self._c_revalidation_invalidated.inc(invalidated)
         return {
             "examined": examined,
             "revalidated": revalidated,
@@ -892,13 +1016,12 @@ class JobQueue:
         try:
             self._worker_loop()
         except BaseException:
+            self._c_worker_crashes.inc()
             with self._lock:
-                self.worker_crashes += 1
                 self.last_crash_at = time.monotonic()
                 closed = self._closed
             if not closed:
-                with self._lock:
-                    self.worker_respawns += 1
+                self._c_worker_respawns.inc()
                 self._spawn_worker(index)
 
     def _worker_loop(self) -> None:
@@ -937,11 +1060,51 @@ class JobQueue:
                 with self._lock:
                     if job.inflight_key is not None:
                         self._inflight.pop(job.inflight_key, None)
-                    self.completed[job.state] = (
-                        self.completed.get(job.state, 0) + 1
-                    )
+                    self._c_completed.labels(job.state).inc()
                     self._record_finished(job)
+                self._observe_finished(job)
                 self._queue.task_done()
+
+    def _timings(self):
+        """A fresh stage timeline, or ``None`` when telemetry is off."""
+        tele = self._telemetry
+        return tele.timings() if tele is not None and tele.enabled else None
+
+    def _observe_finished(self, job: Job) -> None:
+        """Latency observations + one structured log line per run job."""
+        tele = self._telemetry
+        if tele is None or not tele.enabled:
+            return
+        queue_wait = None
+        if job.started_at is not None:
+            queue_wait = max(job.started_at - job.submitted_at, 0.0)
+            self._h_queue_wait.observe(queue_wait)
+        stages = job.timings or {}
+        for name, seconds in stages.items():
+            tele.stage_latency.labels(name).observe(seconds)
+        tele.emit(
+            "job",
+            job_id=job.id,
+            trace_id=job.trace_id,
+            fingerprint=job.fingerprint,
+            operation=job.operation,
+            state=job.state,
+            reason=job.reason,
+            cached=job.cached,
+            queue_wait_s=queue_wait,
+            service_time_s=job.service_time_s(),
+            worker_slot=job.worker_slot,
+            stages=stages,
+        )
+
+    def _note_worker_slot(self, job: Job) -> None:
+        """Record which cluster slot owns the job's dataset (log field)."""
+        slot_for = getattr(self._executor, "slot_for", None)
+        if slot_for is not None:
+            try:
+                job.worker_slot = slot_for(job.fingerprint)
+            except ServiceError:
+                pass  # purely observational; never fail the job over it
 
     def _execute(
         self,
@@ -951,6 +1114,8 @@ class JobQueue:
         *,
         deadline_at: float | None,
         workers: int | None,
+        trace: str | None = None,
+        timings=None,
     ) -> dict:
         """One operation's compute, in-process or via the cluster executor.
 
@@ -968,6 +1133,8 @@ class JobQueue:
                 canonical,
                 deadline_at=deadline_at,
                 workers=workers,
+                trace=trace,
+                timings=timings,
             )
         relation = self._registry.relation(fingerprint)
         return run_operation(
@@ -977,6 +1144,7 @@ class JobQueue:
             deadline_at=deadline_at,
             workers=workers,
             faults=self._faults,
+            timings=timings,
         )
 
     def _run_job(self, job: Job) -> None:
@@ -994,14 +1162,20 @@ class JobQueue:
             job._finish(TIMEOUT)
             return
         job.state = RUNNING
+        timings = self._timings()
+        run_started = time.perf_counter()
         try:
             self._faults.check("jobs.slow")
+            if timings is not None and self._executor is not None:
+                self._note_worker_slot(job)
             payload = self._execute(
                 job.fingerprint,
                 job.operation,
                 job.canonical_params,
                 deadline_at=job.deadline_at,
                 workers=job.workers,
+                trace=job.trace_id,
+                timings=timings,
             )
             validate_report(payload)
             if not payload.get("partial") and not payload.get("degraded"):
@@ -1061,6 +1235,10 @@ class JobQueue:
                 self._breakers[job.operation].record_failure()
             traceback.print_exc()
             job._finish(FAILED)
+        finally:
+            if timings is not None:
+                timings.add("run", time.perf_counter() - run_started)
+                job.timings = timings.to_dict()
 
     def _run_batch(self, job: BatchJob) -> None:
         """Execute every pending item against one shared resident relation.
@@ -1073,6 +1251,10 @@ class JobQueue:
         """
         job.started_at = time.monotonic()
         job.state = RUNNING
+        timings = self._timings()
+        run_started = time.perf_counter()
+        if timings is not None and self._executor is not None:
+            self._note_worker_slot(job)
         try:
             self._faults.check("jobs.slow")
             # In cluster mode the relation lives in the owning worker,
@@ -1116,8 +1298,7 @@ class JobQueue:
                 item.result = cached
                 item.cached = True
                 item.state = DONE
-                with self._lock:
-                    self.batch_item_cache_hits += 1
+                self._c_batch_item_cache_hits.inc()
                 continue
             item.state = RUNNING
             try:
@@ -1129,6 +1310,7 @@ class JobQueue:
                         deadline_at=None,
                         workers=None,
                         faults=self._faults,
+                        timings=timings,
                     )
                 else:
                     payload = self._executor.execute(
@@ -1137,6 +1319,8 @@ class JobQueue:
                         item.canonical_params,
                         deadline_at=None,
                         workers=None,
+                        trace=job.trace_id,
+                        timings=timings,
                     )
                 validate_report(payload)
                 if not payload.get("partial") and not payload.get("degraded"):
@@ -1192,6 +1376,9 @@ class JobQueue:
         failed = sum(item.state == FAILED for item in job.items)
         if failed:
             job.error = f"{failed} of {len(job.items)} operations failed"
+        if timings is not None:
+            timings.add("run", time.perf_counter() - run_started)
+            job.timings = timings.to_dict()
         job._finish(FAILED if failed == len(job.items) else DONE)
 
     def shutdown(self, *, wait: bool = True) -> None:
@@ -1224,7 +1411,7 @@ class JobQueue:
             with self._lock:
                 if job.inflight_key is not None:
                     self._inflight.pop(job.inflight_key, None)
-                self.completed[FAILED] += 1
+                self._c_completed.labels(FAILED).inc()
                 self._record_finished(job)
             job._finish(FAILED)
             self._queue.task_done()

@@ -15,6 +15,7 @@ so all spellings of the same computation share one cache key.
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 
 from repro.core.analysis import analyze
 from repro.core.evalcontext import EvalContext
@@ -223,6 +224,11 @@ def _mine_with_fallback(
         return mined, reason
 
 
+def _span(timings, name: str):
+    """A stage span on ``timings``, or a no-op when telemetry is off."""
+    return timings.span(name) if timings is not None else nullcontext()
+
+
 def run_operation(
     relation: Relation,
     operation: str,
@@ -231,6 +237,7 @@ def run_operation(
     deadline_at: float | None = None,
     workers: int | None = None,
     faults: FaultPlan | None = None,
+    timings=None,
 ) -> dict:
     """Execute one canonical operation; return its CLI-shaped JSON report.
 
@@ -241,7 +248,10 @@ def run_operation(
     inside this worker.  ``faults`` threads the chaos harness through
     the compute path (``jobs.oom``); an exact mine that runs out of
     memory degrades to the sketch backend and the payload is marked
-    ``"degraded": true`` (also withheld from the cache).
+    ``"degraded": true`` (also withheld from the cache).  ``timings``
+    (a :class:`~repro.service.telemetry.StageTimings`, or ``None``)
+    collects per-engine-stage spans — ``mine`` / ``analyze`` /
+    ``materialize`` — for the request's timeline.
     """
     start = time.perf_counter()
     backend = _resolve_backend(canonical)
@@ -253,14 +263,15 @@ def run_operation(
     mining_ran_out = False
     degradation: str | None = None
     if operation == "mine":
-        mined, degradation = _mine_with_fallback(
-            relation,
-            canonical,
-            backend,
-            workers=workers,
-            deadline_at=deadline_at,
-            faults=faults,
-        )
+        with _span(timings, "mine"):
+            mined, degradation = _mine_with_fallback(
+                relation,
+                canonical,
+                backend,
+                workers=workers,
+                deadline_at=deadline_at,
+                faults=faults,
+            )
         mining_ran_out = (
             deadline_at is not None and time.monotonic() >= deadline_at
         )
@@ -284,9 +295,10 @@ def run_operation(
             if backend is not None
             else None
         )
-        report = analyze(
-            relation, tree, delta=canonical["delta"], context=context
-        )
+        with _span(timings, "analyze"):
+            report = analyze(
+                relation, tree, delta=canonical["delta"], context=context
+            )
         payload = base_report(
             command="analyze",
             strategy=None,
@@ -303,19 +315,21 @@ def run_operation(
             tree = jointree_from_schema(parse_schema_text(canonical["schema"]))
         else:
             strategy = canonical["strategy"]
-            mined, degradation = _mine_with_fallback(
-                relation,
-                canonical,
-                backend,
-                workers=workers,
-                deadline_at=deadline_at,
-                faults=faults,
-            )
+            with _span(timings, "mine"):
+                mined, degradation = _mine_with_fallback(
+                    relation,
+                    canonical,
+                    backend,
+                    workers=workers,
+                    deadline_at=deadline_at,
+                    faults=faults,
+                )
             mining_ran_out = (
                 deadline_at is not None and time.monotonic() >= deadline_at
             )
             tree = mined.jointree
-        decomposition = decompose(relation, tree)
+        with _span(timings, "materialize"):
+            decomposition = decompose(relation, tree)
         report = decomposition.report
         payload = base_report(
             command="decompose",

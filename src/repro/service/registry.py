@@ -78,6 +78,7 @@ from repro.relations.persist import (
 from repro.relations.relation import Relation
 from repro.relations.schema import RelationSchema
 from repro.service.faults import DISABLED, FaultPlan
+from repro.service.telemetry import MetricsRegistry
 
 
 def resident_bytes(relation: Relation) -> int:
@@ -179,6 +180,7 @@ class DatasetRegistry:
         spill_dir: str | Path | None = None,
         faults: FaultPlan | None = None,
         snapshots: bool = True,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if memory_budget_bytes is not None and memory_budget_bytes < 1:
             raise ServiceError(
@@ -197,23 +199,111 @@ class DatasetRegistry:
         #: extend it, and re-key the entry as one atomic step.
         self._append_lock = threading.Lock()
         self._lock = threading.RLock()
-        self.evictions = 0
-        self.appends = 0
-        self.append_noops = 0
-        self.append_rows_added = 0
         self.last_degrade_at: float | None = None  # time.monotonic()
         #: Snapshots need somewhere durable to live: the spill dir.
         self._snapshots_enabled = bool(snapshots) and self._spill_dir is not None
-        self.snapshot_writes = 0
-        self.snapshot_write_failures = 0
-        self.snapshot_reloads = 0
-        self.csv_reloads = 0
-        self.snapshot_quarantined = 0
-        self.restored_from_snapshot = 0
-        self.memo_spills = 0
-        self.memo_entries_restored = 0
+        # Counters live on the (shared) metrics registry so /stats and
+        # /v1/metrics read the same instruments; standalone registries
+        # get a private one.
+        metrics = metrics or MetricsRegistry()
+        counter = metrics.counter
+        self._c_evictions = counter(
+            "registry_evictions_total", "Resident datasets evicted (LRU budget)"
+        )
+        self._c_appends = counter(
+            "registry_appends_total", "Delta-ingest appends applied"
+        )
+        self._c_append_noops = counter(
+            "registry_append_noops_total", "Appends fully deduplicated to no-ops"
+        )
+        self._c_append_rows_added = counter(
+            "registry_append_rows_added_total", "Distinct rows added by appends"
+        )
+        self._c_snapshot_writes = counter(
+            "registry_snapshot_writes_total", "Columnar snapshots written"
+        )
+        self._c_snapshot_write_failures = counter(
+            "registry_snapshot_write_failures_total", "Snapshot writes that failed"
+        )
+        self._c_snapshot_reloads = counter(
+            "registry_snapshot_reloads_total", "Evicted datasets reloaded zero-parse"
+        )
+        self._c_csv_reloads = counter(
+            "registry_csv_reloads_total", "Evicted datasets re-ingested from CSV"
+        )
+        self._c_snapshot_quarantined = counter(
+            "registry_snapshot_quarantined_total", "Malformed snapshots quarantined"
+        )
+        self._c_restored_from_snapshot = counter(
+            "registry_restored_from_snapshot_total",
+            "Datasets adopted from snapshots at startup",
+        )
+        self._c_memo_spills = counter(
+            "registry_memo_spills_total", "Entropy memos spilled beside snapshots"
+        )
+        self._c_memo_entries_restored = counter(
+            "registry_memo_entries_restored_total",
+            "Entropy-memo entries restored from sidecars",
+        )
+        self._h_snapshot_load = metrics.histogram(
+            "registry_snapshot_load_seconds",
+            "Wall time hydrating a dataset from its columnar snapshot",
+        )
+        #: One assembled stats() document reused for a short TTL so
+        #: monitoring pollers never contend with the serving path.
+        self._stats_cache: tuple[float, dict] | None = None
         if self._snapshots_enabled:
             self._restore_from_snapshots()
+
+    # Counter attributes stay readable while the values live on the
+    # metrics registry.
+    @property
+    def evictions(self) -> int:
+        return int(self._c_evictions.value())
+
+    @property
+    def appends(self) -> int:
+        return int(self._c_appends.value())
+
+    @property
+    def append_noops(self) -> int:
+        return int(self._c_append_noops.value())
+
+    @property
+    def append_rows_added(self) -> int:
+        return int(self._c_append_rows_added.value())
+
+    @property
+    def snapshot_writes(self) -> int:
+        return int(self._c_snapshot_writes.value())
+
+    @property
+    def snapshot_write_failures(self) -> int:
+        return int(self._c_snapshot_write_failures.value())
+
+    @property
+    def snapshot_reloads(self) -> int:
+        return int(self._c_snapshot_reloads.value())
+
+    @property
+    def csv_reloads(self) -> int:
+        return int(self._c_csv_reloads.value())
+
+    @property
+    def snapshot_quarantined(self) -> int:
+        return int(self._c_snapshot_quarantined.value())
+
+    @property
+    def restored_from_snapshot(self) -> int:
+        return int(self._c_restored_from_snapshot.value())
+
+    @property
+    def memo_spills(self) -> int:
+        return int(self._c_memo_spills.value())
+
+    @property
+    def memo_entries_restored(self) -> int:
+        return int(self._c_memo_entries_restored.value())
 
     # ------------------------------------------------------------------
     # Ingestion
@@ -251,7 +341,7 @@ class DatasetRegistry:
                 meta = read_snapshot_meta(snapshot_dir)
             except SnapshotError:
                 quarantine_snapshot(snapshot_dir)
-                self.snapshot_quarantined += 1
+                self._c_snapshot_quarantined.inc()
                 continue
             fingerprint = meta["fingerprint"]
             if (
@@ -259,7 +349,7 @@ class DatasetRegistry:
                 or fingerprint in self._entries
             ):
                 quarantine_snapshot(snapshot_dir)
-                self.snapshot_quarantined += 1
+                self._c_snapshot_quarantined.inc()
                 continue
             source = (meta.get("source") or {}).get("path")
             chunk_rows = (meta.get("extra") or {}).get("chunk_rows")
@@ -285,7 +375,7 @@ class DatasetRegistry:
                 entry.chunk_fingerprints = list(chain["chunks"])
             entry.snapshot = True
             self._entries[fingerprint] = entry
-            self.restored_from_snapshot += 1
+            self._c_restored_from_snapshot.inc()
 
     def _maybe_write_snapshot(self, entry: DatasetEntry, relation: Relation) -> None:
         """Write the entry's snapshot if it does not exist yet (best effort).
@@ -315,11 +405,11 @@ class DatasetRegistry:
             )
         except (SnapshotError, OSError):
             with self._lock:
-                self.snapshot_write_failures += 1
+                self._c_snapshot_write_failures.inc()
         else:
             entry.snapshot = True
             with self._lock:
-                self.snapshot_writes += 1
+                self._c_snapshot_writes.inc()
 
     def _load_snapshot_for(self, entry: DatasetEntry) -> Relation | None:
         """Load the entry's snapshot, or ``None`` (caller holds entry lock).
@@ -346,7 +436,7 @@ class DatasetRegistry:
             quarantine_snapshot(snapshot_dir)
             entry.snapshot = False
             with self._lock:
-                self.snapshot_quarantined += 1
+                self._c_snapshot_quarantined.inc()
             return None
         entry.snapshot = True
         try:
@@ -356,7 +446,7 @@ class DatasetRegistry:
         if memo:
             added = EntropyEngine.for_relation(relation).merge_cache(memo)
             with self._lock:
-                self.memo_entries_restored += added
+                self._c_memo_entries_restored.inc(added)
         return relation
 
     def _spill_engine_memo(self, entry: DatasetEntry) -> None:
@@ -371,7 +461,7 @@ class DatasetRegistry:
             return
         try:
             if save_engine_memo(snapshot_dir, relation._engine):
-                self.memo_spills += 1
+                self._c_memo_spills.inc()
         except OSError:
             pass
 
@@ -578,7 +668,7 @@ class DatasetRegistry:
             new_fp = appended.fingerprint()
             if new_fp == old_fp:
                 with self._lock:
-                    self.append_noops += 1
+                    self._c_append_noops.inc()
                 return entry, {
                     "fingerprint": old_fp,
                     "previous_fingerprint": old_fp,
@@ -609,7 +699,7 @@ class DatasetRegistry:
                     existing.degraded = False
                     existing.degraded_reason = None
                     self._entries.move_to_end(new_fp)
-                    self.appends += 1
+                    self._c_appends.inc()
                     entry = existing
                 else:
                     del self._entries[old_fp]
@@ -631,8 +721,8 @@ class DatasetRegistry:
                     entry.degraded = False
                     entry.degraded_reason = None
                     self._entries[new_fp] = entry
-                    self.appends += 1
-                    self.append_rows_added += len(appended) - old_n_rows
+                    self._c_appends.inc()
+                    self._c_append_rows_added.inc(len(appended) - old_n_rows)
                 self._evict_over_budget()
             # Publish the new version's durable forms, then retire the
             # superseded one's (its snapshot must not resurrect the old
@@ -689,10 +779,10 @@ class DatasetRegistry:
                 entry.degraded = False
                 entry.degraded_reason = None
                 self._entries[new_fp] = entry
-                self.appends += 1
+                self._c_appends.inc()
                 rows_added = info.get("rows_added")
                 if isinstance(rows_added, int) and rows_added > 0:
-                    self.append_rows_added += rows_added
+                    self._c_append_rows_added.inc(rows_added)
             self._retire_version_files(old_fingerprint)
             return entry
 
@@ -883,7 +973,10 @@ class DatasetRegistry:
             # Snapshot first: a zero-parse mmap of the code arrays.  A
             # missing/corrupt snapshot falls through to the CSV source
             # (the corrupt one is quarantined by _load_snapshot_for).
+            load_started = time.perf_counter()
             relation = self._load_snapshot_for(entry)
+            if relation is not None:
+                self._h_snapshot_load.observe(time.perf_counter() - load_started)
             reload_source = "snapshot"
             if relation is None:
                 if entry.source is None:
@@ -925,9 +1018,9 @@ class DatasetRegistry:
                 entry.reloads += 1
                 entry.reload_source = reload_source
                 if reload_source == "snapshot":
-                    self.snapshot_reloads += 1
+                    self._c_snapshot_reloads.inc()
                 else:
-                    self.csv_reloads += 1
+                    self._c_csv_reloads.inc()
                 entry.degraded = False  # a good source heals the entry
                 entry.degraded_reason = None
                 self._entries.move_to_end(fingerprint)
@@ -984,13 +1077,31 @@ class DatasetRegistry:
             self._spill_engine_memo(entry)
             entry.relation = None
             total -= entry.resident_bytes
-            self.evictions += 1
+            self._c_evictions.inc()
 
-    def stats(self) -> dict:
-        """JSON-ready registry summary (part of ``GET /stats``)."""
-        with self._lock:
+    def stats(self, *, max_age_s: float = 0.0) -> dict:
+        """JSON-ready registry summary (part of ``GET /stats``).
+
+        Assembling the document walks every resident entry and its
+        engine's ``cache_info()`` under the registry lock — cheap once,
+        but a monitoring poller hammering ``/stats`` would contend with
+        the serving path.  With ``max_age_s > 0`` one assembled document
+        is reused for that long, and when the lock is held by someone
+        else (a mine touching the registry, an append re-keying an
+        entry) a stale cached document is served **without blocking**
+        rather than queueing behind the serving path.  Callers must
+        treat the returned dict as read-only.
+        """
+        now = time.monotonic()
+        cached = self._stats_cache
+        if cached is not None and now - cached[0] < max_age_s:
+            return cached[1]
+        blocking = cached is None  # first ever call must produce something
+        if not self._lock.acquire(blocking=blocking):
+            return cached[1]  # lock contended: stale beats blocking
+        try:
             resident = [e for e in self._entries.values() if e.resident]
-            return {
+            view = {
                 "datasets": len(self._entries),
                 "resident": len(resident),
                 "resident_bytes": sum(e.resident_bytes for e in resident),
@@ -1016,3 +1127,7 @@ class DatasetRegistry:
                     if e.relation._engine is not None
                 },
             }
+        finally:
+            self._lock.release()
+        self._stats_cache = (now, view)
+        return view

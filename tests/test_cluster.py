@@ -308,3 +308,84 @@ class TestClusterService:
             stats = client.stats()["cluster"]
         assert stats["memo_deltas_folded"] >= 1
         assert stats["memo_entries_folded"] >= 1
+
+
+# ----------------------------------------------------------------------
+# Cross-process telemetry
+# ----------------------------------------------------------------------
+class TestClusterTelemetry:
+    def test_trace_id_round_trips_through_worker_dispatch(self, tmp_path):
+        """One trace, two processes: the front-end job line and the
+        worker's forwarded line must share a trace_id, and the job view
+        must carry the worker-side stage timings folded back."""
+        csv = make_csv(tmp_path)
+        log_path = tmp_path / "requests.log"
+        config = ServiceConfig(
+            port=0,
+            spill_dir=tmp_path / "spill",
+            worker_procs=1,
+            request_log_path=log_path,
+        )
+        with Service(config) as service:
+            client = ServiceClient(f"http://127.0.0.1:{service.port}")
+            fp = client.register_dataset(path=str(csv))["fingerprint"]
+            job_id = client.submit_job(fp, "mine", {"strategy": "beam"})["job_id"]
+            view = client.wait_job(job_id)
+            assert view["state"] == "done"
+            trace = view["trace_id"]
+            assert trace
+            stages = view.get("stages", {})
+            assert "run" in stages
+            assert any(name.startswith("worker_") for name in stages), stages
+        lines = [
+            json.loads(line)
+            for line in log_path.read_text().splitlines()
+            if line.strip()
+        ]
+        job_lines = [line for line in lines if line["kind"] == "job"]
+        procs = {line["proc"]: line["trace_id"] for line in job_lines}
+        assert "frontend" in procs and "w0" in procs, procs
+        assert procs["frontend"] == procs["w0"] == trace
+
+    def test_merged_worker_counters_monotonic_across_respawn(self, tmp_path):
+        """worker_jobs_total must never decrease when an incarnation dies:
+        the dead worker's last snapshot folds into a committed base."""
+        from test_telemetry import parse_prometheus
+
+        def worker_jobs(client):
+            families = parse_prometheus(client.metrics_text())
+            entry = families.get("worker_jobs_total")
+            if entry is None:
+                return 0
+            return sum(v for _, _, v in entry["samples"])
+
+        csv = make_csv(tmp_path)
+        # skip=1: the first dispatch succeeds (counts a worker job), the
+        # second one kills the worker mid-request.
+        plan = {
+            "seed": 11,
+            "rules": [{"site": "cluster.worker_exit", "skip": 1, "times": 1}],
+        }
+        config = ServiceConfig(
+            port=0,
+            spill_dir=tmp_path / "spill",
+            worker_procs=1,
+            fault_plan=plan,
+        )
+        with Service(config) as service:
+            client = ServiceClient(f"http://127.0.0.1:{service.port}", retries=0)
+            fp = client.register_dataset(path=str(csv))["fingerprint"]
+            client.mine(fp, strategy="beam")
+            before_crash = worker_jobs(client)
+            assert before_crash == 1
+            job = client.run(fp, "decompose", {})
+            assert job["state"] == "failed"
+            assert job["reason"] == "worker_crashed"
+            _wait_for_alive(client, 1)
+            after_respawn = worker_jobs(client)
+            assert after_respawn >= before_crash  # dead incarnation folded
+            report = client.mine(fp, strategy="recursive")
+            assert report["rho"] == 0.0
+            final = worker_jobs(client)
+            assert final >= after_respawn
+            assert final == 2  # 1 (folded base) + 1 (new incarnation)

@@ -564,3 +564,45 @@ class TestOverheadWhenDisabled:
             assert stats["faults"]["enabled"] is True
             assert stats["faults"]["total_fired"] == 0
             assert stats["faults"]["sites"]["http.drop"]["evaluated"] > 0
+
+
+class TestTelemetryLogFaults:
+    def test_dead_sink_counts_write_errors_and_loses_only_lines(self, tmp_path):
+        """telemetry.log_write with no delay raises on the writer thread:
+        every line is lost-and-counted, the emitting caller never sees it."""
+        from repro.service.telemetry import MetricsRegistry, RequestLog
+
+        log_path = tmp_path / "requests.log"
+        log = RequestLog(
+            str(log_path),
+            metrics=MetricsRegistry(),
+            faults=plan({"site": "telemetry.log_write"}),
+        )
+        try:
+            for i in range(5):
+                log.emit({"kind": "probe", "i": i})
+        finally:
+            log.close()
+        assert log.write_errors.value() == 5
+        assert log.lines.value() == 0
+        assert log_path.read_text() == ""  # nothing ever reached the sink
+
+    def test_slow_sink_drops_and_counts_instead_of_stalling(self, tmp_path):
+        """A sink stalling 200ms/line against a capacity-2 queue must shed
+        load: requests stay fast and successful, drops are counted."""
+        rules = [{"site": "telemetry.log_write", "delay_s": 0.2}]
+        with http_service(
+            tmp_path, rules, request_log_capacity=2
+        ) as service:
+            client = ServiceClient(f"http://127.0.0.1:{service.port}")
+            started = time.perf_counter()
+            for _ in range(20):
+                assert client.healthz()["status"] == "ok"
+            elapsed = time.perf_counter() - started
+            # 20 log lines at 200ms each would take 4s to write; the
+            # request path must not absorb any of that.
+            assert elapsed < 3.0
+            metrics = client.stats()["metrics"]["log"]
+        assert metrics["dropped"] > 0
+        stats_faults = service.faults.stats()
+        assert stats_faults["sites"]["telemetry.log_write"]["fired"] > 0

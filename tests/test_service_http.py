@@ -423,3 +423,99 @@ class TestSnapshotRestart:
             stats = client.stats()["registry"]
             assert stats["snapshots_enabled"] is False
             assert stats["snapshot_writes"] == 0
+
+
+class TestObservabilityHTTP:
+    """Tracing headers, request ids, and the /v1/metrics exposition."""
+
+    @staticmethod
+    def _raw_get(service, path, headers=None):
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{service.port}{path}", headers=headers or {}
+        )
+        with urllib.request.urlopen(request) as response:
+            return response.status, dict(response.headers), response.read()
+
+    def test_every_response_carries_a_fresh_request_id(
+        self, client, service, tmp_path
+    ):
+        fp = client.register_dataset(path=str(make_csv(tmp_path)))["fingerprint"]
+        seen = set()
+        for path in ("/v1/healthz", "/v1/stats", f"/v1/datasets/{fp}", "/v1/metrics"):
+            _, headers, _ = self._raw_get(service, path)
+            request_id = headers.get("X-Request-Id")
+            assert request_id, f"no X-Request-Id on {path}"
+            assert set(request_id) <= set("0123456789abcdef")
+            seen.add(request_id)
+        assert len(seen) == 4  # ids are per-request, not per-connection
+
+    def test_client_echoes_request_id_into_raised_errors(self, client):
+        with pytest.raises(ServiceClientError) as excinfo:
+            client.get_dataset("deadbeef")
+        assert excinfo.value.status == 404
+        assert excinfo.value.request_id
+        assert set(excinfo.value.request_id) <= set("0123456789abcdef")
+
+    def test_valid_trace_header_is_echoed_lowercased(self, service):
+        _, headers, _ = self._raw_get(
+            service, "/v1/healthz", {"X-Trace-Id": "ABC-123"}
+        )
+        assert headers["X-Trace-Id"] == "abc-123"
+
+    def test_garbage_trace_header_gets_a_fresh_trace(self, service):
+        _, headers, _ = self._raw_get(
+            service, "/v1/healthz", {"X-Trace-Id": "not a trace!!"}
+        )
+        got = headers["X-Trace-Id"]
+        assert got != "not a trace!!"
+        assert len(got) == 16 and set(got) <= set("0123456789abcdef")
+
+    def test_finished_job_get_carries_server_timing(
+        self, client, service, tmp_path
+    ):
+        fp = client.register_dataset(path=str(make_csv(tmp_path)))["fingerprint"]
+        job_id = client.submit_job(fp, "mine", {})["job_id"]
+        client.wait_job(job_id)
+        _, headers, _ = self._raw_get(service, f"/v1/jobs/{job_id}")
+        timing = headers.get("Server-Timing")
+        assert timing and "dur=" in timing
+        names = {part.split(";", 1)[0].strip() for part in timing.split(",")}
+        assert "run" in names  # the executor stage is always timed
+
+    def test_metrics_exposition_parses_and_carries_migrated_counters(
+        self, client, tmp_path
+    ):
+        from test_telemetry import parse_prometheus
+
+        fp = client.register_dataset(path=str(make_csv(tmp_path)))["fingerprint"]
+        client.mine(fp)
+        client.mine(fp)  # second one is a cache hit
+        families = parse_prometheus(client.metrics_text())
+
+        def value(metric):
+            return sum(v for _, _, v in families[metric]["samples"])
+
+        assert families["cache_hits_total"]["type"] == "counter"
+        assert value("cache_hits_total") >= 1
+        assert value("cache_misses_total") >= 1
+        assert value("jobs_completed_total") >= 2
+        assert value("registry_appends_total") == 0
+        # The request histogram labels by route *pattern*, never raw path.
+        http = families["http_request_seconds"]
+        assert http["type"] == "histogram"
+        routes = {
+            labels.get("route")
+            for name, labels, _ in http["samples"]
+            if name.endswith("_bucket")
+        }
+        assert "jobs/{job_id}" in routes
+        assert not any(route and "job-" in route for route in routes)
+
+    def test_stats_reports_telemetry_summary(self, client, tmp_path):
+        fp = client.register_dataset(path=str(make_csv(tmp_path)))["fingerprint"]
+        client.mine(fp)
+        metrics = client.stats()["metrics"]
+        assert metrics["enabled"] is True
+        assert metrics["request_latency"]["count"] >= 2
+        assert metrics["log"]["lines"] >= 1
+        assert metrics["log"]["dropped"] == 0
